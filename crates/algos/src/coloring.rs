@@ -1,0 +1,251 @@
+//! Greedy graph coloring — the paper's running example (Sections 2 and
+//! 7.2.1).
+//!
+//! Two variants are provided:
+//!
+//! * [`GreedyColoring`] is the paper's Algorithm 1, written for the
+//!   *serializable* AP model: each vertex picks its color exactly once,
+//!   relying on conditions C1/C2 to see fresh neighbor colors. On a
+//!   non-serializable engine it still terminates but produces conflicting
+//!   colors (deterministically so under BSP, where every vertex sees no
+//!   messages in superstep 1 and picks color 0).
+//! * [`ConflictFixColoring`] is the classic conflict-repair greedy coloring
+//!   used in the motivating Figures 2 and 3: a vertex re-selects its color
+//!   whenever a received color equals its own. Under BSP on the 4-cycle it
+//!   oscillates forever between colors 0 and 1; under AP it cycles through
+//!   three graph states; under any serializable technique it terminates.
+
+use sg_engine::{Context, VertexProgram};
+use sg_graph::{Graph, VertexId};
+
+/// Sentinel for "no color assigned yet".
+pub const NO_COLOR: u32 = u32::MAX;
+
+/// Smallest non-negative color absent from `taken`.
+fn smallest_free(taken: &[u32]) -> u32 {
+    let mut used: Vec<u32> = taken.to_vec();
+    used.sort_unstable();
+    used.dedup();
+    let mut candidate = 0u32;
+    for c in used {
+        if c == candidate {
+            candidate += 1;
+        } else if c > candidate {
+            break;
+        }
+    }
+    candidate
+}
+
+/// The paper's Algorithm 1. Requires an undirected (symmetric) input graph
+/// and a serializable engine for a proper coloring.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GreedyColoring;
+
+impl VertexProgram for GreedyColoring {
+    type Value = u32;
+    type Message = u32;
+
+    fn init(&self, _v: VertexId, _g: &Graph) -> u32 {
+        NO_COLOR
+    }
+
+    fn compute(&self, ctx: &mut Context<'_, Self>, messages: &[u32]) {
+        // Algorithm 1, line 2-4: superstep 0 only initializes (the value is
+        // already NO_COLOR from init); the vertex stays active. Under
+        // globally coordinated supersteps no message can exist yet; under
+        // barrierless logical supersteps a neighbor may already have
+        // colored — those messages must not be dropped, so the init pass
+        // only applies to an empty mailbox.
+        if ctx.superstep() == 0 && messages.is_empty() {
+            return;
+        }
+        // Lines 5-8: uncolored vertices pick the smallest color not taken
+        // by a neighbor, and broadcast it.
+        if *ctx.value() == NO_COLOR {
+            let c = smallest_free(messages);
+            ctx.set_value(c);
+            ctx.send_to_all(c);
+        }
+        // Line 9: unconditional vote to halt; extraneous color broadcasts
+        // wake vertices for one extra no-op superstep (Section 7.2.1's
+        // "three iterations in practice").
+        ctx.vote_to_halt();
+    }
+}
+
+/// Conflict-repair greedy coloring (the Figures 2/3 motivating variant):
+/// re-select whenever a received color clashes with the current one.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConflictFixColoring;
+
+impl VertexProgram for ConflictFixColoring {
+    type Value = u32;
+    type Message = u32;
+
+    fn init(&self, _v: VertexId, _g: &Graph) -> u32 {
+        NO_COLOR
+    }
+
+    fn compute(&self, ctx: &mut Context<'_, Self>, messages: &[u32]) {
+        let mine = *ctx.value();
+        if mine == NO_COLOR || messages.contains(&mine) {
+            let c = smallest_free(messages);
+            ctx.set_value(c);
+            ctx.send_to_all(c);
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+    use sg_engine::{Engine, EngineConfig, Model, TechniqueKind};
+    use sg_graph::gen;
+    use std::sync::Arc;
+
+    #[test]
+    fn smallest_free_color() {
+        assert_eq!(smallest_free(&[]), 0);
+        assert_eq!(smallest_free(&[0]), 1);
+        assert_eq!(smallest_free(&[1, 2]), 0);
+        assert_eq!(smallest_free(&[0, 1, 3, 1, 0]), 2);
+        assert_eq!(smallest_free(&[NO_COLOR]), 0);
+    }
+
+    fn color_with(
+        g: Arc<Graph>,
+        technique: TechniqueKind,
+        workers: u32,
+    ) -> sg_engine::Outcome<u32> {
+        let config = EngineConfig {
+            workers,
+            technique,
+            model: Model::Async,
+            threads_per_worker: 2,
+            max_supersteps: 500,
+            ..Default::default()
+        };
+        Engine::new(g, GreedyColoring, config).unwrap().run()
+    }
+
+    #[test]
+    fn serializable_coloring_is_proper_on_paper_c4() {
+        let g = Arc::new(gen::paper_c4());
+        for technique in [
+            TechniqueKind::SingleToken,
+            TechniqueKind::DualToken,
+            TechniqueKind::VertexLock,
+            TechniqueKind::PartitionLock,
+        ] {
+            let out = color_with(Arc::clone(&g), technique, 2);
+            assert!(out.converged, "{technique:?}");
+            assert_eq!(
+                validate::coloring_conflicts(&g, &out.values),
+                0,
+                "{technique:?} produced conflicts"
+            );
+        }
+    }
+
+    #[test]
+    fn serializable_coloring_proper_on_power_law_graph() {
+        let g = Arc::new(gen::preferential_attachment(300, 4, 7));
+        for technique in [TechniqueKind::PartitionLock, TechniqueKind::DualToken] {
+            let out = color_with(Arc::clone(&g), technique, 4);
+            assert!(out.converged);
+            assert_eq!(validate::coloring_conflicts(&g, &out.values), 0);
+            assert!(validate::all_colored(&out.values));
+        }
+    }
+
+    #[test]
+    fn serializable_coloring_uses_few_supersteps() {
+        // "In theory one iteration; in practice three" (Section 7.2.1) —
+        // plus the init superstep and token-rotation slack. The point:
+        // dramatically fewer than non-serializable repair loops.
+        let g = Arc::new(gen::ring(32));
+        let out = color_with(g, TechniqueKind::PartitionLock, 2);
+        assert!(out.converged);
+        assert!(out.supersteps <= 5, "took {} supersteps", out.supersteps);
+    }
+
+    #[test]
+    fn bsp_algorithm1_colors_everything_zero() {
+        // Deterministic failure without serializability: under BSP no
+        // vertex sees any message in superstep 1, so every vertex picks 0.
+        let g = Arc::new(gen::complete(6));
+        let config = EngineConfig {
+            workers: 2,
+            model: Model::Bsp,
+            ..Default::default()
+        };
+        let out = Engine::new(Arc::clone(&g), GreedyColoring, config)
+            .unwrap()
+            .run();
+        assert!(out.converged);
+        assert!(out.values.iter().all(|&c| c == 0));
+        assert_eq!(
+            validate::coloring_conflicts(&g, &out.values),
+            g.num_undirected_edges()
+        );
+    }
+
+    #[test]
+    fn conflict_fix_oscillates_forever_under_bsp() {
+        // Figure 2: the 4-cycle never terminates under BSP.
+        let g = Arc::new(gen::paper_c4());
+        let config = EngineConfig {
+            workers: 2,
+            partitions_per_worker: Some(1),
+            threads_per_worker: 1,
+            model: Model::Bsp,
+            max_supersteps: 50,
+            explicit_partitions: Some(validate::paper_c4_assignment()),
+            ..Default::default()
+        };
+        let out = Engine::new(g, ConflictFixColoring, config).unwrap().run();
+        assert!(!out.converged, "BSP coloring must not terminate (Figure 2)");
+    }
+
+    #[test]
+    fn conflict_fix_terminates_with_serializability() {
+        let g = Arc::new(gen::paper_c4());
+        let config = EngineConfig {
+            workers: 2,
+            partitions_per_worker: Some(1),
+            threads_per_worker: 1,
+            model: Model::Async,
+            technique: TechniqueKind::PartitionLock,
+            max_supersteps: 50,
+            explicit_partitions: Some(validate::paper_c4_assignment()),
+            ..Default::default()
+        };
+        let gref = Arc::clone(&g);
+        let out = Engine::new(g, ConflictFixColoring, config).unwrap().run();
+        assert!(out.converged);
+        assert_eq!(validate::coloring_conflicts(&gref, &out.values), 0);
+    }
+
+    #[test]
+    fn coloring_on_complete_graph_uses_n_colors() {
+        let g = Arc::new(gen::complete(8));
+        let out = color_with(g, TechniqueKind::PartitionLock, 2);
+        assert!(out.converged);
+        let mut colors = out.values.clone();
+        colors.sort_unstable();
+        colors.dedup();
+        assert_eq!(colors.len(), 8, "K8 needs exactly 8 colors");
+    }
+
+    #[test]
+    fn bipartite_graph_gets_two_colors_or_fewer_than_greedy_bound() {
+        let g = Arc::new(gen::bipartite_complete(4, 5));
+        let out = color_with(g, TechniqueKind::DualToken, 3);
+        assert!(out.converged);
+        let distinct = validate::num_colors(&out.values);
+        assert!(distinct <= 2, "greedy on complete bipartite is 2-colorable, got {distinct}");
+    }
+}

@@ -1,0 +1,270 @@
+//! Giraphx-style *user-level* synchronization (Section 7.3's comparison).
+//!
+//! Giraphx (Tasci & Demirbas, Euro-Par '13) implements token passing and
+//! vertex-based locking *inside each user algorithm* instead of in the
+//! system. The paper criticizes this on two grounds: the techniques must be
+//! re-implemented per algorithm, and the locking variant divides each
+//! superstep into sub-supersteps in which only a subset of vertices makes
+//! progress, multiplying barrier costs.
+//!
+//! Two faithful analogues for graph coloring:
+//!
+//! * [`ByIdColoring`] — user-level distributed locking: a vertex may color
+//!   itself only when it holds "priority" (the smallest id) among its
+//!   still-uncolored neighbors, negotiated entirely with user-visible
+//!   messages across supersteps. Correct even on plain BSP, but needs as
+//!   many supersteps as the longest decreasing-id chain — the
+//!   sub-superstep overhead in its purest form.
+//! * [`UserTokenColoring`] — user-level single-layer token passing: the
+//!   gating rule `worker(v) == superstep mod |W|` is hard-coded into the
+//!   algorithm, which therefore has to know the system's partition map —
+//!   exactly the coupling of internals the paper objects to. Requires the
+//!   AP model and one thread per worker, like its system-level twin.
+
+use crate::coloring::NO_COLOR;
+use sg_engine::{Context, VertexProgram};
+use sg_graph::{Graph, PartitionMap, VertexId, WorkerId};
+use std::sync::Arc;
+
+/// Per-vertex state of [`ByIdColoring`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ByIdValue {
+    /// Chosen color, or [`NO_COLOR`].
+    pub color: u32,
+    /// Ids of neighbors believed still uncolored.
+    pub waiting_on: Vec<u32>,
+    /// Colors already taken by colored neighbors.
+    pub taken: Vec<u32>,
+}
+
+/// Message: `(sender id, color)` where `color == NO_COLOR` announces an
+/// uncolored vertex during setup.
+pub type ByIdMessage = (u32, u32);
+
+/// User-level locking by id priority (see module docs). Requires a
+/// symmetric input graph; correct under BSP, AP, and serializable AP.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ByIdColoring;
+
+fn smallest_free(taken: &[u32]) -> u32 {
+    let mut used: Vec<u32> = taken.to_vec();
+    used.sort_unstable();
+    used.dedup();
+    let mut candidate = 0u32;
+    for c in used {
+        if c == candidate {
+            candidate += 1;
+        } else if c > candidate {
+            break;
+        }
+    }
+    candidate
+}
+
+impl VertexProgram for ByIdColoring {
+    type Value = ByIdValue;
+    type Message = ByIdMessage;
+
+    fn init(&self, _v: VertexId, _g: &Graph) -> ByIdValue {
+        ByIdValue {
+            color: NO_COLOR,
+            waiting_on: Vec::new(),
+            taken: Vec::new(),
+        }
+    }
+
+    fn compute(&self, ctx: &mut Context<'_, Self>, messages: &[ByIdMessage]) {
+        let me = ctx.vertex().raw();
+        if ctx.superstep() == 0 {
+            // Announce "uncolored" to all neighbors; stay active.
+            ctx.send_to_all((me, NO_COLOR));
+            return;
+        }
+        // Fold in announcements and colors.
+        {
+            let v = ctx.value_mut();
+            for &(sender, color) in messages {
+                if color == NO_COLOR {
+                    if !v.waiting_on.contains(&sender) {
+                        v.waiting_on.push(sender);
+                    }
+                } else {
+                    v.waiting_on.retain(|&s| s != sender);
+                    v.taken.push(color);
+                }
+            }
+        }
+        if ctx.value().color == NO_COLOR {
+            let has_priority = ctx.value().waiting_on.iter().all(|&s| s > me);
+            if has_priority {
+                let c = smallest_free(&ctx.value().taken);
+                ctx.value_mut().color = c;
+                ctx.send_to_all((me, c));
+            }
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+/// Extract the plain color vector from `ByIdColoring` results.
+pub fn by_id_colors(values: &[ByIdValue]) -> Vec<u32> {
+    values.iter().map(|v| v.color).collect()
+}
+
+/// User-level single-layer token passing for coloring (see module docs).
+///
+/// Must be run on the AP model with **one thread per worker** and the same
+/// partition map baked in — the engine cannot enforce any of that because,
+/// by design, this algorithm bypasses the system's synchronization.
+pub struct UserTokenColoring {
+    pm: Arc<PartitionMap>,
+}
+
+impl UserTokenColoring {
+    /// Build with the partition map the engine will use (obtainable from
+    /// `Engine::partition_map`) — the internals-coupling the paper warns
+    /// about.
+    pub fn new(pm: Arc<PartitionMap>) -> Self {
+        Self { pm }
+    }
+
+    fn token_holder(&self, superstep: u64) -> WorkerId {
+        let w = u64::from(self.pm.layout().num_workers());
+        WorkerId::new((superstep % w) as u32)
+    }
+}
+
+/// Per-vertex state of [`UserTokenColoring`]: the chosen color plus every
+/// neighbor color seen so far. The cache is necessary because the engine —
+/// which knows nothing of the user-level gating — delivers messages to a
+/// vertex even in supersteps where the vertex's embedded protocol makes it
+/// "wait"; without system support the algorithm must preserve them itself
+/// (one more burden of the user-level approach).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UserTokenValue {
+    /// Chosen color, or [`NO_COLOR`].
+    pub color: u32,
+    /// Neighbor colors observed so far.
+    pub seen: Vec<u32>,
+}
+
+impl VertexProgram for UserTokenColoring {
+    type Value = UserTokenValue;
+    type Message = u32;
+
+    fn init(&self, _v: VertexId, _g: &Graph) -> UserTokenValue {
+        UserTokenValue {
+            color: NO_COLOR,
+            seen: Vec::new(),
+        }
+    }
+
+    fn compute(&self, ctx: &mut Context<'_, Self>, messages: &[u32]) {
+        ctx.value_mut().seen.extend_from_slice(messages);
+        if ctx.superstep() == 0 {
+            return; // initialization superstep, stay active
+        }
+        if ctx.value().color == NO_COLOR {
+            let v = ctx.vertex();
+            let allowed = !self.pm.is_m_boundary(v)
+                || self.pm.worker_of(v) == self.token_holder(ctx.superstep());
+            if !allowed {
+                // No system support: burn the superstep and stay active
+                // (do NOT halt — no one will wake us).
+                return;
+            }
+            let c = smallest_free(&ctx.value().seen);
+            ctx.value_mut().color = c;
+            ctx.send_to_all(c);
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+/// Extract the plain color vector from `UserTokenColoring` results.
+pub fn user_token_colors(values: &[UserTokenValue]) -> Vec<u32> {
+    values.iter().map(|v| v.color).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+    use sg_engine::{Engine, EngineConfig, Model, TechniqueKind};
+    use sg_graph::gen;
+
+    #[test]
+    fn by_id_coloring_proper_on_bsp() {
+        let g = Arc::new(gen::preferential_attachment(150, 3, 4));
+        let config = EngineConfig {
+            workers: 2,
+            model: Model::Bsp,
+            max_supersteps: 2_000,
+            ..Default::default()
+        };
+        let out = Engine::new(Arc::clone(&g), ByIdColoring, config)
+            .unwrap()
+            .run();
+        assert!(out.converged);
+        let colors = by_id_colors(&out.values);
+        assert!(validate::all_colored(&colors));
+        assert_eq!(validate::coloring_conflicts(&g, &colors), 0);
+    }
+
+    #[test]
+    fn by_id_coloring_needs_linear_supersteps_on_a_path() {
+        // A ring is the adversarial case: priorities chain, so supersteps
+        // grow with n — the sub-superstep overhead the paper criticizes.
+        let g = Arc::new(gen::ring(40));
+        let config = EngineConfig {
+            workers: 2,
+            model: Model::Bsp,
+            max_supersteps: 2_000,
+            ..Default::default()
+        };
+        let out = Engine::new(Arc::clone(&g), ByIdColoring, config)
+            .unwrap()
+            .run();
+        assert!(out.converged);
+        assert_eq!(validate::coloring_conflicts(&g, &by_id_colors(&out.values)), 0);
+        assert!(
+            out.supersteps >= 10,
+            "expected many sub-supersteps, got {}",
+            out.supersteps
+        );
+    }
+
+    #[test]
+    fn user_token_coloring_proper_on_ap() {
+        let g = Arc::new(gen::preferential_attachment(120, 3, 8));
+        let config = EngineConfig {
+            workers: 3,
+            model: Model::Async,
+            technique: TechniqueKind::None, // user-level: no system help
+            threads_per_worker: 1,          // required by the algorithm
+            max_supersteps: 2_000,
+            ..Default::default()
+        };
+        let engine = Engine::new(Arc::clone(&g), UserTokenColoring::new(Arc::new(
+            sg_graph::PartitionMap::build(
+                &g,
+                sg_graph::ClusterLayout::new(3, 3),
+                &sg_graph::partition::HashPartitioner::new(0xC0FFEE),
+            ),
+        )), config)
+        .unwrap();
+        // The user-level algorithm must agree with the engine's actual map:
+        // same seed, same layout (this fragile duplication is the point).
+        let out = engine.run();
+        assert!(out.converged);
+        let colors = user_token_colors(&out.values);
+        assert!(validate::all_colored(&colors));
+        assert_eq!(validate::coloring_conflicts(&g, &colors), 0);
+    }
+
+    #[test]
+    fn by_id_smallest_free_helper() {
+        assert_eq!(smallest_free(&[]), 0);
+        assert_eq!(smallest_free(&[0, 2]), 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! k-core decomposition (membership for a fixed `k`): iteratively peel
+//! vertices whose remaining degree drops below `k`; what survives is the
+//! maximal subgraph with minimum degree ≥ k.
+//!
+//! Classic vertex-centric peeling: a vertex that falls below `k` announces
+//! its removal once; neighbors decrement their remaining degree and may
+//! cascade. The fixed point is unique regardless of peeling order, so all
+//! computation models and techniques agree.
+
+use sg_engine::{Context, VertexProgram};
+use sg_graph::{Graph, VertexId};
+
+/// Per-vertex k-core state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KCoreValue {
+    /// Neighbors not yet peeled (counting parallel edges once each way).
+    pub remaining: u32,
+    /// Still a member of the candidate core?
+    pub in_core: bool,
+}
+
+/// k-core membership for a fixed `k` (undirected input expected).
+#[derive(Clone, Copy, Debug)]
+pub struct KCore {
+    /// The minimum-degree threshold.
+    pub k: u32,
+}
+
+impl KCore {
+    /// Membership computation for the `k`-core.
+    pub fn new(k: u32) -> Self {
+        Self { k }
+    }
+
+    /// Extract the membership mask from final values.
+    pub fn membership(values: &[KCoreValue]) -> Vec<bool> {
+        values.iter().map(|v| v.in_core).collect()
+    }
+}
+
+impl VertexProgram for KCore {
+    type Value = KCoreValue;
+    /// A removal announcement from a peeled neighbor.
+    type Message = ();
+
+    fn init(&self, v: VertexId, g: &Graph) -> KCoreValue {
+        KCoreValue {
+            remaining: g.out_degree(v),
+            in_core: true,
+        }
+    }
+
+    fn compute(&self, ctx: &mut Context<'_, Self>, messages: &[()]) {
+        if !ctx.value().in_core {
+            // Already peeled; ignore further notifications.
+            ctx.vote_to_halt();
+            return;
+        }
+        let removed_neighbors = messages.len() as u32;
+        let v = ctx.value_mut();
+        v.remaining = v.remaining.saturating_sub(removed_neighbors);
+        if v.remaining < self.k {
+            v.in_core = false;
+            ctx.send_to_all(());
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+/// Reference implementation: sequential peeling with a worklist.
+pub fn kcore_reference(g: &Graph, k: u32) -> Vec<bool> {
+    let n = g.num_vertices() as usize;
+    let mut degree: Vec<u32> = g.vertices().map(|v| g.out_degree(v)).collect();
+    let mut in_core = vec![true; n];
+    let mut stack: Vec<VertexId> = g.vertices().filter(|&v| degree[v.index()] < k).collect();
+    while let Some(v) = stack.pop() {
+        if !in_core[v.index()] {
+            continue;
+        }
+        in_core[v.index()] = false;
+        for &u in g.out_neighbors(v) {
+            if in_core[u.index()] {
+                degree[u.index()] = degree[u.index()].saturating_sub(1);
+                if degree[u.index()] < k {
+                    stack.push(u);
+                }
+            }
+        }
+    }
+    in_core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_engine::{Engine, EngineConfig, Model, TechniqueKind};
+    use sg_graph::gen;
+    use std::sync::Arc;
+
+    fn run(g: Arc<Graph>, k: u32, model: Model, technique: TechniqueKind) -> Vec<bool> {
+        let config = EngineConfig {
+            workers: 3,
+            model,
+            technique,
+            max_supersteps: 10_000,
+            ..Default::default()
+        };
+        let out = Engine::new(g, KCore::new(k), config).unwrap().run();
+        assert!(out.converged);
+        KCore::membership(&out.values)
+    }
+
+    #[test]
+    fn reference_on_known_graphs() {
+        // K5 is a 4-core; peeling at k=5 removes everything.
+        assert!(kcore_reference(&gen::complete(5), 4).iter().all(|&b| b));
+        assert!(kcore_reference(&gen::complete(5), 5).iter().all(|&b| !b));
+        // A ring is a 2-core but not a 3-core.
+        assert!(kcore_reference(&gen::ring(8), 2).iter().all(|&b| b));
+        assert!(kcore_reference(&gen::ring(8), 3).iter().all(|&b| !b));
+        // A star collapses entirely at k = 2 (leaves peel, then the hub).
+        assert!(kcore_reference(&gen::star(6), 2).iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn engine_matches_reference_small() {
+        let g = Arc::new(gen::ring(10));
+        assert_eq!(
+            run(Arc::clone(&g), 2, Model::Bsp, TechniqueKind::None),
+            kcore_reference(&g, 2)
+        );
+        assert_eq!(
+            run(Arc::clone(&g), 3, Model::Async, TechniqueKind::None),
+            kcore_reference(&g, 3)
+        );
+    }
+
+    #[test]
+    fn engine_matches_reference_power_law() {
+        let g = Arc::new(gen::preferential_attachment(300, 3, 23));
+        for k in [2u32, 3, 4, 5] {
+            let want = kcore_reference(&g, k);
+            for technique in [TechniqueKind::None, TechniqueKind::PartitionLock] {
+                let got = run(Arc::clone(&g), k, Model::Async, technique);
+                assert_eq!(got, want, "k={k} {technique:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn core_is_monotone_in_k() {
+        let g = Arc::new(gen::preferential_attachment(200, 3, 29));
+        let c2 = run(Arc::clone(&g), 2, Model::Bsp, TechniqueKind::None);
+        let c4 = run(Arc::clone(&g), 4, Model::Bsp, TechniqueKind::None);
+        for (a, b) in c2.iter().zip(&c4) {
+            assert!(*a || !*b, "4-core must be inside 2-core");
+        }
+    }
+
+    #[test]
+    fn surviving_core_has_min_degree_k() {
+        let g = Arc::new(gen::preferential_attachment(250, 4, 31));
+        let k = 4;
+        let members = run(Arc::clone(&g), k, Model::Async, TechniqueKind::None);
+        for v in g.vertices() {
+            if members[v.index()] {
+                let deg_in_core = g
+                    .out_neighbors(v)
+                    .iter()
+                    .filter(|u| members[u.index()])
+                    .count() as u32;
+                assert!(deg_in_core >= k, "{v:?} has in-core degree {deg_in_core}");
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # sg-algos — graph algorithms for the serigraph engines
+//!
+//! The four algorithms of the paper's evaluation (Section 7.2), written for
+//! the Pregel-style vertex-centric API of `sg-engine`:
+//!
+//! * [`coloring`] — greedy graph coloring (Algorithm 1), the paper's
+//!   running example of an algorithm that *requires* serializability: under
+//!   plain BSP/AP it oscillates forever or produces conflicting colors;
+//!   under a serializable engine it completes in a handful of supersteps
+//!   with a proper coloring.
+//! * [`pagerank`] — the accumulative (delta) formulation used by Giraph
+//!   async, with the paper's convergence-threshold termination.
+//! * [`sssp`] — parallel Bellman–Ford with unit weights.
+//! * [`wcc`] — weakly connected components (HCC).
+//!
+//! Extensions beyond the paper's evaluation:
+//!
+//! * [`mis`] — greedy maximal independent set, a second algorithm whose
+//!   one-pass correctness needs conditions C1/C2;
+//! * [`triangles`] — triangle counting (message-heavy, large payloads);
+//! * [`kcore`] — k-core membership by iterative peeling;
+//! * [`giraphx`] — "user-level" coloring variants in the style of Giraphx
+//!   (Tasci & Demirbas), where the synchronization is re-implemented
+//!   *inside* the algorithm (Section 7.3's comparison): priority-based
+//!   sub-superstep locking and user-level token passing.
+//! * [`validate`] — reference implementations and result checkers
+//!   (coloring conflicts, BFS distances, union-find components, power
+//!   iteration) used by the test suite to cross-check every engine run.
+//!
+//! GAS-model equivalents of the four algorithms live in `sg-gas`'s
+//! `programs` module, mirroring GraphLab.
+
+pub mod coloring;
+pub mod giraphx;
+pub mod kcore;
+pub mod mis;
+pub mod pagerank;
+pub mod sssp;
+pub mod triangles;
+pub mod validate;
+pub mod wcc;
+
+pub use coloring::{ConflictFixColoring, GreedyColoring, NO_COLOR};
+pub use kcore::KCore;
+pub use mis::{GreedyMis, MisState};
+pub use triangles::TriangleCount;
+pub use pagerank::DeltaPageRank;
+pub use sssp::{Sssp, INFINITY};
+pub use wcc::Wcc;

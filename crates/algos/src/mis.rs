@@ -1,0 +1,230 @@
+//! Greedy maximal independent set — an extension algorithm whose one-pass
+//! correctness *requires* serializability, like graph coloring.
+//!
+//! Protocol: an undecided vertex that has heard from no in-MIS neighbor
+//! joins the set and announces itself; a vertex that has heard an
+//! announcement leaves. Under conditions C1/C2 the executions are
+//! equivalent to some serial greedy order, which yields a maximal
+//! independent set in one sweep. Under plain BSP every vertex joins in
+//! superstep 1 (no messages visible yet), so the "set" is the whole vertex
+//! set — maximally wrong, and a deterministic witness for the tests.
+
+use sg_engine::{Context, VertexProgram};
+use sg_graph::{Graph, VertexId};
+
+/// Decision state of a vertex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MisState {
+    /// Not yet decided.
+    Undecided,
+    /// In the independent set.
+    In,
+    /// Out (a neighbor is in).
+    Out,
+}
+
+/// One-pass greedy MIS (serializability-dependent).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GreedyMis;
+
+impl VertexProgram for GreedyMis {
+    type Value = MisState;
+    /// An announcement that the sender joined the set.
+    type Message = ();
+
+    fn init(&self, _v: VertexId, _g: &Graph) -> MisState {
+        MisState::Undecided
+    }
+
+    fn compute(&self, ctx: &mut Context<'_, Self>, messages: &[()]) {
+        if ctx.superstep() == 0 && messages.is_empty() {
+            // Initialization pass; stay active for the decision pass. A
+            // non-empty mailbox (possible under barrierless logical
+            // supersteps) must be processed, not dropped.
+            return;
+        }
+        if *ctx.value() == MisState::Undecided {
+            if messages.is_empty() {
+                ctx.set_value(MisState::In);
+                ctx.send_to_all(());
+            } else {
+                ctx.set_value(MisState::Out);
+            }
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+/// Convert final values to a membership mask.
+pub fn membership(values: &[MisState]) -> Vec<bool> {
+    values.iter().map(|&s| s == MisState::In).collect()
+}
+
+/// The same greedy MIS on the GAS API (pull-based): gather whether any
+/// in-neighbor has joined, apply the join/leave decision, scatter to wake
+/// undecided neighbors. One pass under serializable async GAS; incorrect
+/// under interleaved executions — the same contrast as the Pregel version.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GasMis;
+
+impl sg_gas::GasProgram for GasMis {
+    type Value = MisState;
+    /// Accumulator: does some neighbor claim membership?
+    type Accum = bool;
+
+    fn init(&self, _v: VertexId, _g: &Graph) -> MisState {
+        MisState::Undecided
+    }
+
+    fn empty_accum(&self) -> bool {
+        false
+    }
+
+    fn gather(&self, _g: &Graph, _v: VertexId, _nbr: VertexId, nbr_value: &MisState) -> bool {
+        *nbr_value == MisState::In
+    }
+
+    fn merge(&self, a: bool, b: bool) -> bool {
+        a || b
+    }
+
+    fn apply(&self, _g: &Graph, _v: VertexId, value: &mut MisState, any_in: bool) -> bool {
+        if *value != MisState::Undecided {
+            return false;
+        }
+        *value = if any_in { MisState::Out } else { MisState::In };
+        true
+    }
+
+    fn scatter_activate(
+        &self,
+        _g: &Graph,
+        _v: VertexId,
+        _value: &MisState,
+        _nbr: VertexId,
+        nbr_value: &MisState,
+    ) -> bool {
+        // Wake neighbors that still need a decision (or whose decision my
+        // change may invalidate under non-serializable interleavings).
+        *nbr_value != MisState::Out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+    use sg_engine::{Engine, EngineConfig, Model, TechniqueKind};
+    use sg_graph::gen;
+    use std::sync::Arc;
+
+    fn run_mis(g: Arc<Graph>, model: Model, technique: TechniqueKind) -> Vec<MisState> {
+        let config = EngineConfig {
+            workers: 2,
+            model,
+            technique,
+            max_supersteps: 500,
+            ..Default::default()
+        };
+        let out = Engine::new(g, GreedyMis, config).unwrap().run();
+        assert!(out.converged);
+        out.values
+    }
+
+    #[test]
+    fn serializable_mis_is_maximal_independent() {
+        for technique in [
+            TechniqueKind::SingleToken,
+            TechniqueKind::DualToken,
+            TechniqueKind::VertexLock,
+            TechniqueKind::PartitionLock,
+        ] {
+            let g = Arc::new(gen::preferential_attachment(200, 3, 2));
+            let values = run_mis(Arc::clone(&g), Model::Async, technique);
+            let members = membership(&values);
+            assert!(
+                validate::is_maximal_independent_set(&g, &members),
+                "{technique:?} produced a non-MIS"
+            );
+            assert!(values.iter().all(|&s| s != MisState::Undecided));
+        }
+    }
+
+    #[test]
+    fn bsp_mis_fails_deterministically() {
+        // Without serializability, superstep 1 has no visible messages:
+        // everyone joins.
+        let g = Arc::new(gen::complete(6));
+        let values = run_mis(Arc::clone(&g), Model::Bsp, TechniqueKind::None);
+        assert!(values.iter().all(|&s| s == MisState::In));
+        assert!(!validate::is_independent_set(&g, &membership(&values)));
+    }
+
+    #[test]
+    fn complete_graph_mis_is_single_vertex() {
+        let g = Arc::new(gen::complete(9));
+        let values = run_mis(Arc::clone(&g), Model::Async, TechniqueKind::PartitionLock);
+        let members = membership(&values);
+        assert_eq!(members.iter().filter(|&&m| m).count(), 1);
+        assert!(validate::is_maximal_independent_set(&g, &members));
+    }
+
+    #[test]
+    fn star_mis_is_leaves_or_center() {
+        let g = Arc::new(gen::star(8));
+        let values = run_mis(Arc::clone(&g), Model::Async, TechniqueKind::DualToken);
+        let members = membership(&values);
+        assert!(validate::is_maximal_independent_set(&g, &members));
+        // Either the center alone, or all 7 leaves.
+        let count = members.iter().filter(|&&m| m).count();
+        assert!(count == 1 || count == 7, "unexpected MIS size {count}");
+    }
+
+    #[test]
+    fn gas_mis_maximal_under_serializable_async() {
+        use sg_gas::{AsyncGasEngine, GasConfig};
+        let g = Arc::new(gen::preferential_attachment(150, 3, 3));
+        let out = AsyncGasEngine::new(
+            Arc::clone(&g),
+            GasMis,
+            GasConfig {
+                machines: 3,
+                fibers_per_machine: 3,
+                serializable: true,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(out.converged);
+        assert!(validate::is_maximal_independent_set(&g, &membership(&out.values)));
+    }
+
+    #[test]
+    fn gas_mis_single_fiber_is_serial_and_correct() {
+        use sg_gas::{AsyncGasEngine, GasConfig};
+        let g = Arc::new(gen::complete(10));
+        let out = AsyncGasEngine::new(
+            Arc::clone(&g),
+            GasMis,
+            GasConfig {
+                machines: 1,
+                fibers_per_machine: 1,
+                serializable: false, // serial execution needs no locks
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(out.converged);
+        let members = membership(&out.values);
+        assert_eq!(members.iter().filter(|&&m| m).count(), 1);
+    }
+
+    #[test]
+    fn isolated_vertices_all_join() {
+        let g = Arc::new(Graph::from_edges(4, &[]));
+        let values = run_mis(Arc::clone(&g), Model::Async, TechniqueKind::PartitionLock);
+        assert!(values.iter().all(|&s| s == MisState::In));
+    }
+
+    use sg_graph::Graph;
+}

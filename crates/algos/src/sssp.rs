@@ -1,0 +1,130 @@
+//! Single-source shortest paths (Section 7.2.3): the parallel Bellman–Ford
+//! variant with unit edge weights, exactly as the paper runs it.
+
+use sg_engine::{Context, MinCombiner, VertexProgram};
+use sg_graph::{Graph, VertexId};
+
+/// Distance sentinel for unreached vertices (the paper's `∞`).
+pub const INFINITY: u64 = u64::MAX;
+
+/// Parallel Bellman–Ford from a fixed source with unit weights.
+#[derive(Clone, Copy, Debug)]
+pub struct Sssp {
+    /// The source vertex (the paper uses the same source across systems to
+    /// equalize work).
+    pub source: VertexId,
+}
+
+impl Sssp {
+    /// SSSP from `source`.
+    pub fn new(source: VertexId) -> Self {
+        Self { source }
+    }
+
+    /// The appropriate combiner: only the minimum distance matters.
+    pub fn combiner() -> MinCombiner {
+        MinCombiner
+    }
+}
+
+impl VertexProgram for Sssp {
+    type Value = u64;
+    type Message = u64;
+
+    fn init(&self, _v: VertexId, _g: &Graph) -> u64 {
+        INFINITY
+    }
+
+    fn compute(&self, ctx: &mut Context<'_, Self>, messages: &[u64]) {
+        // The source proposes 0 on its first execution — phrased so it also
+        // works when a token technique delays that first execution past
+        // superstep 0.
+        let mut proposal = messages.iter().copied().min().unwrap_or(INFINITY);
+        if ctx.vertex() == self.source {
+            proposal = 0;
+        }
+        if proposal < *ctx.value() {
+            ctx.set_value(proposal);
+            ctx.send_to_all(proposal + 1);
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+    use sg_engine::{Engine, EngineConfig, Model, TechniqueKind};
+    use sg_graph::gen;
+    use std::sync::Arc;
+
+    fn run_sssp(g: Arc<Graph>, model: Model, technique: TechniqueKind) -> Vec<u64> {
+        let config = EngineConfig {
+            workers: 3,
+            model,
+            technique,
+            max_supersteps: 5_000,
+            ..Default::default()
+        };
+        let out = Engine::new(g, Sssp::new(VertexId::new(0)), config)
+            .unwrap()
+            .with_combiner(Box::new(Sssp::combiner()))
+            .run();
+        assert!(out.converged);
+        out.values
+    }
+
+    fn assert_matches_bfs(g: &Graph, dists: &[u64]) {
+        let want = validate::bfs_distances(g, VertexId::new(0));
+        for (v, (got, want)) in dists.iter().zip(&want).enumerate() {
+            let want = if *want == u64::MAX { INFINITY } else { *want };
+            assert_eq!(*got, want, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn matches_bfs_on_grid_bsp() {
+        let g = Arc::new(gen::grid(5, 7));
+        let d = run_sssp(Arc::clone(&g), Model::Bsp, TechniqueKind::None);
+        assert_matches_bfs(&g, &d);
+    }
+
+    #[test]
+    fn matches_bfs_on_grid_async() {
+        let g = Arc::new(gen::grid(5, 7));
+        let d = run_sssp(Arc::clone(&g), Model::Async, TechniqueKind::None);
+        assert_matches_bfs(&g, &d);
+    }
+
+    #[test]
+    fn all_techniques_agree_with_bfs() {
+        let g = Arc::new(gen::preferential_attachment(150, 3, 11));
+        for technique in [
+            TechniqueKind::SingleToken,
+            TechniqueKind::DualToken,
+            TechniqueKind::VertexLock,
+            TechniqueKind::PartitionLock,
+        ] {
+            let d = run_sssp(Arc::clone(&g), Model::Async, technique);
+            assert_matches_bfs(&g, &d);
+        }
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_infinite() {
+        let g = Arc::new(Graph::from_edges(4, &[(0, 1), (2, 3)]));
+        let d = run_sssp(g, Model::Bsp, TechniqueKind::None);
+        assert_eq!(d, vec![0, 1, INFINITY, INFINITY]);
+    }
+
+    #[test]
+    fn directed_distances_respect_edge_direction() {
+        // 0 -> 1 -> 2, and 2 -> 0 back edge: dist(2) = 2 via forward path.
+        let g = Arc::new(Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]));
+        let d = run_sssp(g, Model::Bsp, TechniqueKind::None);
+        assert_eq!(d, vec![0, 1, 2]);
+    }
+
+    use sg_graph::Graph;
+}

@@ -1,0 +1,208 @@
+//! Reference implementations and result checkers used by the test suite to
+//! cross-validate every engine run.
+
+use crate::coloring::NO_COLOR;
+use sg_graph::{Graph, PartitionId, VertexId};
+
+/// Number of undirected edges whose endpoints share a color (0 for a
+/// proper coloring). `NO_COLOR` vertices conflict with nothing.
+pub fn coloring_conflicts(g: &Graph, colors: &[u32]) -> u64 {
+    let mut conflicts = 0u64;
+    for u in g.vertices() {
+        for &v in g.out_neighbors(u) {
+            if v.raw() > u.raw()
+                && colors[u.index()] != NO_COLOR
+                && colors[u.index()] == colors[v.index()]
+            {
+                conflicts += 1;
+            }
+        }
+    }
+    conflicts
+}
+
+/// `true` if every vertex received a color.
+pub fn all_colored(colors: &[u32]) -> bool {
+    colors.iter().all(|&c| c != NO_COLOR)
+}
+
+/// Number of distinct colors used (ignoring `NO_COLOR`).
+pub fn num_colors(colors: &[u32]) -> usize {
+    let mut cs: Vec<u32> = colors.iter().copied().filter(|&c| c != NO_COLOR).collect();
+    cs.sort_unstable();
+    cs.dedup();
+    cs.len()
+}
+
+/// BFS distances (unit weights) from `source` — the SSSP reference.
+/// Unreachable vertices get `u64::MAX`.
+pub fn bfs_distances(g: &Graph, source: VertexId) -> Vec<u64> {
+    let mut dist = vec![u64::MAX; g.num_vertices() as usize];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.out_neighbors(u) {
+            if dist[v.index()] == u64::MAX {
+                dist[v.index()] = dist[u.index()] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Union-find weakly connected components — the WCC reference. Returns the
+/// smallest vertex id in each vertex's component (HCC's fixed point).
+pub fn wcc_reference(g: &Graph) -> Vec<u32> {
+    let n = g.num_vertices() as usize;
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut root = x;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        let mut cur = x;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for u in g.vertices() {
+        for &v in g.out_neighbors(u) {
+            let (ru, rv) = (find(&mut parent, u.raw()), find(&mut parent, v.raw()));
+            if ru != rv {
+                // Union by smaller id so roots are component minima.
+                let (lo, hi) = (ru.min(rv), ru.max(rv));
+                parent[hi as usize] = lo;
+            }
+        }
+    }
+    (0..n as u32).map(|x| find(&mut parent, x)).collect()
+}
+
+/// Power-iteration PageRank reference: `pr = 0.15 + 0.85 * Σ pr(v)/deg+(v)`,
+/// iterated until the max change is below `tol`.
+pub fn pagerank_reference(g: &Graph, tol: f64, max_iters: u32) -> Vec<f64> {
+    let n = g.num_vertices() as usize;
+    let mut pr = vec![1.0f64; n];
+    for _ in 0..max_iters {
+        let mut next = vec![0.15f64; n];
+        for u in g.vertices() {
+            let deg = g.out_degree(u);
+            if deg == 0 {
+                continue;
+            }
+            let share = 0.85 * pr[u.index()] / f64::from(deg);
+            for &v in g.out_neighbors(u) {
+                next[v.index()] += share;
+            }
+        }
+        let delta = pr
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        pr = next;
+        if delta < tol {
+            break;
+        }
+    }
+    pr
+}
+
+/// The explicit partition assignment of the paper's Figures 2/3:
+/// two workers with one partition each; W1 = {v0, v2}, W2 = {v1, v3}.
+pub fn paper_c4_assignment() -> Vec<PartitionId> {
+    vec![
+        PartitionId::new(0),
+        PartitionId::new(1),
+        PartitionId::new(0),
+        PartitionId::new(1),
+    ]
+}
+
+/// Is `set` an independent set (no two members adjacent)?
+pub fn is_independent_set(g: &Graph, members: &[bool]) -> bool {
+    g.vertices().all(|u| {
+        !members[u.index()]
+            || g.out_neighbors(u)
+                .iter()
+                .all(|&v| v == u || !members[v.index()])
+    })
+}
+
+/// Is `set` a *maximal* independent set (every non-member has a member
+/// neighbor)?
+pub fn is_maximal_independent_set(g: &Graph, members: &[bool]) -> bool {
+    is_independent_set(g, members)
+        && g.vertices().all(|u| {
+            members[u.index()]
+                || g.neighbors(u).iter().any(|&v| members[v.index()])
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graph::gen;
+
+    #[test]
+    fn conflicts_counted_once_per_edge() {
+        let g = gen::paper_c4();
+        assert_eq!(coloring_conflicts(&g, &[0, 0, 0, 0]), 4);
+        assert_eq!(coloring_conflicts(&g, &[0, 1, 1, 0]), 0);
+        assert_eq!(coloring_conflicts(&g, &[NO_COLOR; 4]), 0);
+    }
+
+    #[test]
+    fn bfs_on_ring() {
+        let g = gen::ring(6);
+        let d = bfs_distances(&g, VertexId::new(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let d = bfs_distances(&g, VertexId::new(0));
+        assert_eq!(d[2], u64::MAX);
+    }
+
+    #[test]
+    fn wcc_two_components() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(wcc_reference(&g), vec![0, 0, 0, 3, 3]);
+    }
+
+    #[test]
+    fn wcc_ignores_direction() {
+        let g = Graph::from_edges(3, &[(2, 1), (1, 0)]);
+        assert_eq!(wcc_reference(&g), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn pagerank_sums_to_n() {
+        let g = gen::ring(10);
+        let pr = pagerank_reference(&g, 1e-10, 500);
+        let total: f64 = pr.iter().sum();
+        assert!((total - 10.0).abs() < 1e-6, "total {total}");
+        // Symmetric ring: all equal.
+        assert!(pr.iter().all(|&x| (x - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn independent_set_checks() {
+        let g = gen::paper_c4();
+        assert!(is_independent_set(&g, &[true, false, false, true]));
+        assert!(is_maximal_independent_set(&g, &[true, false, false, true]));
+        assert!(!is_independent_set(&g, &[true, true, false, false]));
+        // Independent but not maximal: empty set.
+        assert!(is_independent_set(&g, &[false; 4]));
+        assert!(!is_maximal_independent_set(&g, &[false; 4]));
+    }
+
+    use sg_graph::Graph;
+}

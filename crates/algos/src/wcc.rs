@@ -1,0 +1,118 @@
+//! Weakly connected components (Section 7.2.4): the HCC algorithm of
+//! PEGASUS — every vertex adopts and propagates the smallest component id
+//! it has seen.
+//!
+//! WCC treats the graph as undirected; like the paper, callers should
+//! symmetrize directed inputs (`Graph::to_undirected`) or accept
+//! propagation along out-edges only per superstep (HCC still converges on
+//! weakly connected graphs when run on the symmetrized input).
+
+use sg_engine::{Context, MinCombiner, VertexProgram};
+use sg_graph::{Graph, VertexId};
+
+/// HCC: component ids are the minimum vertex id in each component.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Wcc;
+
+impl Wcc {
+    /// The appropriate combiner: only the minimum id matters.
+    pub fn combiner() -> MinCombiner {
+        MinCombiner
+    }
+}
+
+impl VertexProgram for Wcc {
+    type Value = u32;
+    type Message = u32;
+
+    fn init(&self, v: VertexId, _g: &Graph) -> u32 {
+        v.raw()
+    }
+
+    fn compute(&self, ctx: &mut Context<'_, Self>, messages: &[u32]) {
+        // On the first execution a vertex must announce even without an
+        // improvement; afterwards it only propagates improvements. The
+        // "first execution" test is phrased against the superstep *of this
+        // vertex's first run*, which token techniques may delay past
+        // superstep 0 — so fold messages in unconditionally first.
+        let received = messages.iter().copied().min().unwrap_or(u32::MAX);
+        let current = *ctx.value();
+        let best = current.min(received);
+        let first = ctx.superstep() == 0 || (current == ctx.vertex().raw() && best == current);
+        if best < current || first {
+            ctx.set_value(best);
+            ctx.send_to_all(best);
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+    use sg_engine::{Engine, EngineConfig, Model, TechniqueKind};
+    use sg_graph::gen;
+    use std::sync::Arc;
+
+    fn run_wcc(g: Arc<Graph>, model: Model, technique: TechniqueKind) -> Vec<u32> {
+        let config = EngineConfig {
+            workers: 2,
+            model,
+            technique,
+            max_supersteps: 5_000,
+            ..Default::default()
+        };
+        let out = Engine::new(g, Wcc, config)
+            .unwrap()
+            .with_combiner(Box::new(Wcc::combiner()))
+            .run();
+        assert!(out.converged);
+        out.values
+    }
+
+    #[test]
+    fn single_component_ring() {
+        let g = Arc::new(gen::ring(12));
+        let ids = run_wcc(Arc::clone(&g), Model::Bsp, TechniqueKind::None);
+        assert!(ids.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn multiple_components_match_union_find() {
+        let mut b = sg_graph::GraphBuilder::new();
+        b.symmetric(true)
+            .add_edges([(0, 1), (1, 2), (4, 5), (6, 7), (7, 8), (8, 6)]);
+        b.reserve_vertices(10);
+        let g = Arc::new(b.build());
+        let want = validate::wcc_reference(&g);
+        for model in [Model::Bsp, Model::Async] {
+            let got = run_wcc(Arc::clone(&g), model, TechniqueKind::None);
+            assert_eq!(got, want, "{model:?}");
+        }
+    }
+
+    #[test]
+    fn all_techniques_match_union_find() {
+        let g = Arc::new(gen::preferential_attachment(150, 2, 5));
+        let want = validate::wcc_reference(&g);
+        for technique in [
+            TechniqueKind::SingleToken,
+            TechniqueKind::DualToken,
+            TechniqueKind::VertexLock,
+            TechniqueKind::PartitionLock,
+        ] {
+            let got = run_wcc(Arc::clone(&g), Model::Async, technique);
+            assert_eq!(got, want, "{technique:?}");
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_are_their_own_component() {
+        let g = Arc::new(sg_graph::Graph::from_edges(3, &[]));
+        let ids = run_wcc(g, Model::Bsp, TechniqueKind::None);
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    use sg_graph::Graph;
+}

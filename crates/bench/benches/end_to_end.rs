@@ -1,0 +1,64 @@
+//! End-to-end criterion benchmarks: one small PageRank / coloring /
+//! SSSP / WCC per technique, wall-clock. These complement the `fig6`
+//! binary (which reports simulated time at larger scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sg_bench::experiment::{run_gas_vertex_lock, run_pregel, Algo, OrderedF64};
+use sg_core::prelude::*;
+use std::sync::Arc;
+
+fn technique_benches(c: &mut Criterion) {
+    let graph = Arc::new(sg_core::sg_graph::gen::datasets::or_sim(64));
+
+    let mut group = c.benchmark_group("pagerank_or_sim64");
+    for (name, technique) in [
+        ("none", Technique::None),
+        ("dual_token", Technique::DualToken),
+        ("partition_lock", Technique::PartitionLock),
+        ("vertex_lock", Technique::VertexLock),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run_pregel(
+                    &graph,
+                    Algo::PageRank(OrderedF64(0.01)),
+                    technique,
+                    4,
+                    2,
+                    20_000,
+                )
+            })
+        });
+    }
+    group.bench_function("gas_vertex_lock", |b| {
+        b.iter(|| run_gas_vertex_lock(&graph, Algo::PageRank(OrderedF64(0.01)), 4, 4, 10_000_000))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("coloring_or_sim64");
+    for (name, technique) in [
+        ("dual_token", Technique::DualToken),
+        ("partition_lock", Technique::PartitionLock),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| run_pregel(&graph, Algo::Coloring, technique, 4, 2, 20_000))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sssp_wcc_or_sim64");
+    group.bench_function("sssp_partition_lock", |b| {
+        b.iter(|| run_pregel(&graph, Algo::Sssp, Technique::PartitionLock, 4, 2, 20_000))
+    });
+    group.bench_function("wcc_partition_lock", |b| {
+        b.iter(|| run_pregel(&graph, Algo::Wcc, Technique::PartitionLock, 4, 2, 20_000))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = technique_benches
+}
+criterion_main!(benches);

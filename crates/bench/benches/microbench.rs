@@ -1,0 +1,116 @@
+//! Criterion microbenchmarks of the building blocks: Chandy–Misra fork
+//! tables at both granularities, message stores, partitioners, and
+//! generators.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sg_core::sg_graph::partition::{HashPartitioner, Partitioner};
+use sg_core::sg_graph::{gen, ClusterLayout, PartitionMap, VertexId, WorkerId};
+use sg_core::sg_metrics::Metrics;
+use sg_core::sg_sync::{ForkTable, NoopTransport};
+use std::sync::Arc;
+
+fn fork_table_benches(c: &mut Criterion) {
+    let g = gen::preferential_attachment(2_000, 4, 42);
+    let layout = ClusterLayout::new(4, 4);
+    let pm = PartitionMap::build(&g, layout, &HashPartitioner::default());
+
+    // Vertex-grain table: one philosopher per vertex, forks on every edge.
+    let vertex_table = {
+        let owner: Vec<WorkerId> = g.vertices().map(|v| pm.worker_of(v)).collect();
+        let mut edges = Vec::new();
+        for v in g.vertices() {
+            for u in g.neighbors(v) {
+                if u.raw() > v.raw() {
+                    edges.push((v.raw(), u.raw()));
+                }
+            }
+        }
+        Arc::new(ForkTable::new(owner, &edges, Arc::new(Metrics::new())))
+    };
+    // Partition-grain table: one philosopher per partition.
+    let partition_table = {
+        let owner: Vec<WorkerId> = layout
+            .partitions()
+            .map(|p| layout.worker_of_partition(p))
+            .collect();
+        let mut edges = Vec::new();
+        for p in layout.partitions() {
+            for &q in pm.partition_neighbors(p) {
+                if q.raw() > p.raw() {
+                    edges.push((p.raw(), q.raw()));
+                }
+            }
+        }
+        Arc::new(ForkTable::new(owner, &edges, Arc::new(Metrics::new())))
+    };
+
+    c.bench_function("fork_acquire_release/vertex_grain_sweep", |b| {
+        b.iter(|| {
+            for v in 0..g.num_vertices() {
+                vertex_table.acquire(v, &NoopTransport);
+                vertex_table.release(v, 0, &NoopTransport);
+            }
+        })
+    });
+    c.bench_function("fork_acquire_release/partition_grain_sweep", |b| {
+        b.iter(|| {
+            for p in 0..layout.num_partitions() {
+                partition_table.acquire(p, &NoopTransport);
+                partition_table.release(p, 0, &NoopTransport);
+            }
+        })
+    });
+}
+
+fn store_benches(c: &mut Criterion) {
+    use sg_core::sg_engine::program::MinCombiner;
+    use sg_core::sg_engine::store::PartitionStore;
+
+    c.bench_function("message_store/insert_drain_1k", |b| {
+        b.iter_batched(
+            || PartitionStore::<u64>::new(64),
+            |store| {
+                for i in 0..1_000u64 {
+                    store.insert((i % 64) as usize, VertexId::new(0), i, None);
+                }
+                for i in 0..64 {
+                    let _ = store.drain(i);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("message_store/insert_combined_1k", |b| {
+        let comb = MinCombiner;
+        b.iter_batched(
+            || PartitionStore::<u64>::new(64),
+            |store| {
+                for i in 0..1_000u64 {
+                    store.insert((i % 64) as usize, VertexId::new(0), i, Some(&comb));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn graph_benches(c: &mut Criterion) {
+    c.bench_function("generate/rmat_scale10", |b| {
+        b.iter(|| gen::rmat(10, 10_000, gen::datasets::SKEW, 7))
+    });
+    let g = gen::rmat(12, 50_000, gen::datasets::SKEW, 7);
+    let layout = ClusterLayout::new(8, 8);
+    c.bench_function("partition/hash_assign", |b| {
+        b.iter(|| HashPartitioner::default().assign(&g, &layout))
+    });
+    c.bench_function("partition/full_map_build", |b| {
+        b.iter(|| PartitionMap::build(&g, layout, &HashPartitioner::default()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fork_table_benches, store_benches, graph_benches
+}
+criterion_main!(benches);

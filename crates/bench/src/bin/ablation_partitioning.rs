@@ -1,0 +1,86 @@
+//! Partitioning-quality ablation (DESIGN.md §4 extension).
+//!
+//! The paper uses random hash partitioning "as it does not favour any
+//! particular synchronization technique" and dismisses METIS as
+//! impractical (Section 7.1). This ablation quantifies what a cheap
+//! locality-aware streaming partitioner (LDG) buys partition-based
+//! locking: fewer cut edges → fewer virtual partition edges → fewer forks
+//! and fewer remote messages.
+//!
+//! Usage: `cargo run -p sg-bench --release --bin ablation_partitioning --
+//!   [--scale-div N] [--workers 8]`
+
+use sg_bench::experiment::fmt_makespan;
+use sg_bench::{Args, Table};
+use sg_core::prelude::*;
+use sg_core::sg_engine::Engine;
+use sg_core::sg_graph::partition::{HashPartitioner, LdgPartitioner, Partitioner};
+use sg_core::sg_graph::PartitionMap;
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::from_env();
+    let scale_div = args.get_or("scale-div", 16u64);
+    let workers = args.get_or("workers", 8u32);
+    let graph = Arc::new(sg_core::sg_graph::gen::datasets::or_sim(scale_div));
+    let layout = ClusterLayout::new(workers, workers);
+    println!(
+        "Partitioning ablation: PageRank(0.01) with partition-based locking on OR-sim \
+         ({} vertices / {} edges), {workers} workers\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let mut t = Table::new([
+        "partitioner",
+        "cut edges",
+        "partition edges (forks)",
+        "sim time",
+        "remote msgs",
+        "batches",
+    ]);
+    let hash = HashPartitioner::new(0xC0FFEE);
+    let ldg = LdgPartitioner::default();
+    let partitioners: [(&str, &dyn Partitioner); 2] = [("hash", &hash), ("ldg", &ldg)];
+    for (name, partitioner) in partitioners {
+        let assignment = partitioner.assign(&graph, &layout);
+        let pm = PartitionMap::from_assignment(&graph, layout, assignment.clone());
+        let cut: u64 = graph
+            .vertices()
+            .map(|v| {
+                graph
+                    .out_neighbors(v)
+                    .iter()
+                    .filter(|u| pm.partition_of(**u) != pm.partition_of(v))
+                    .count() as u64
+            })
+            .sum();
+
+        let config = EngineConfig {
+            workers,
+            technique: TechniqueKind::PartitionLock,
+            explicit_partitions: Some(assignment),
+            max_supersteps: 50_000,
+            ..Default::default()
+        };
+        let out = Engine::new(
+            Arc::clone(&graph),
+            sg_core::sg_algos::DeltaPageRank::new(0.01),
+            config,
+        )
+        .expect("config")
+        .with_combiner(Box::new(sg_core::sg_algos::DeltaPageRank::combiner()))
+        .run();
+        assert!(out.converged);
+        t.row([
+            name.to_string(),
+            cut.to_string(),
+            pm.num_partition_edges().to_string(),
+            fmt_makespan(out.makespan_ns),
+            out.metrics.remote_messages.to_string(),
+            out.metrics.remote_batches.to_string(),
+        ]);
+    }
+    t.print();
+    println!("\nExpected: LDG cuts fewer edges, so fewer remote messages and forks.");
+}

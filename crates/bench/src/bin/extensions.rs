@@ -1,0 +1,103 @@
+//! Extension benchmarks: the serializable execution regimes beyond the
+//! paper's evaluation (see DESIGN.md):
+//!
+//! * **Proposition 1** — constrained vertex-based locking on BSP
+//!   (sub-superstep execution, implemented though the paper declined to);
+//! * **barrierless AP** (reference [20]) — partition-based locking with
+//!   per-worker logical supersteps and no global barriers.
+//!
+//! Compares both against the paper's serializable AP configurations on
+//! graph coloring and SSSP.
+//!
+//! Usage: `cargo run -p sg-bench --release --bin extensions --
+//!   [--scale-div N] [--workers 8]`
+
+use sg_bench::experiment::fmt_makespan;
+use sg_bench::{Args, Table};
+use sg_core::prelude::*;
+use sg_core::sg_algos::validate;
+use sg_core::Runner;
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::from_env();
+    let scale_div = args.get_or("scale-div", 16u64);
+    let workers = args.get_or("workers", 8u32);
+    let graph = Arc::new(sg_core::sg_graph::gen::datasets::or_sim(scale_div).to_undirected());
+    println!(
+        "Serializable execution regimes: coloring + SSSP on OR-sim undirected \
+         ({} vertices / {} edges), {workers} workers\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let configure = |r: Runner, regime: &str| match regime {
+        "AP + partition-lock" => r.technique(Technique::PartitionLock),
+        "AP + vertex-lock" => r.technique(Technique::VertexLock),
+        "barrierless + partition-lock" => r.technique(Technique::PartitionLock).barrierless(true),
+        "BSP + Prop.1 vertex-lock" => r.model(Model::Bsp).technique(Technique::BspVertexLock),
+        other => panic!("unknown regime {other}"),
+    };
+    let regimes = [
+        "AP + partition-lock",
+        "AP + vertex-lock",
+        "barrierless + partition-lock",
+        "BSP + Prop.1 vertex-lock",
+    ];
+
+    println!("== graph coloring ==");
+    let mut t = Table::new(["regime", "sim time", "supersteps", "barriers", "forks", "conflicts"]);
+    for regime in regimes {
+        let runner = configure(
+            Runner::from_arc(Arc::clone(&graph))
+                .workers(workers)
+                .max_supersteps(100_000),
+            regime,
+        );
+        let out = runner.run_coloring().expect("config");
+        assert!(out.converged, "{regime}");
+        t.row([
+            regime.to_string(),
+            fmt_makespan(out.makespan_ns),
+            out.supersteps.to_string(),
+            out.metrics.barriers.to_string(),
+            out.metrics.fork_transfers.to_string(),
+            validate::coloring_conflicts(&graph, &out.values).to_string(),
+        ]);
+    }
+    t.print();
+
+    println!("\n== SSSP ==");
+    let mut t = Table::new(["regime", "sim time", "supersteps", "barriers", "forks", "max dist"]);
+    for regime in regimes {
+        let runner = configure(
+            Runner::from_arc(Arc::clone(&graph))
+                .workers(workers)
+                .max_supersteps(100_000),
+            regime,
+        );
+        let out = runner.run_sssp(VertexId::new(0)).expect("config");
+        assert!(out.converged, "{regime}");
+        let max_dist = out
+            .values
+            .iter()
+            .filter(|&&d| d != u64::MAX)
+            .max()
+            .copied()
+            .unwrap_or(0);
+        t.row([
+            regime.to_string(),
+            fmt_makespan(out.makespan_ns),
+            out.supersteps.to_string(),
+            out.metrics.barriers.to_string(),
+            out.metrics.fork_transfers.to_string(),
+            max_dist.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nExpected: barrierless shaves the barrier costs off AP + partition-lock;\n\
+         Proposition 1 pays heavily in sub-supersteps — the reason the paper\n\
+         declined to implement it (Section 6)."
+    );
+}

@@ -1,0 +1,100 @@
+//! Figure 1 — the parallelism/communication spectrum, plus the
+//! Section 7.1 partition-count discussion.
+//!
+//! Sweeps the synchronization techniques across the spectrum on one
+//! workload, then sweeps partition-based locking's partition count
+//! `|P|` from 1 per worker towards vertex granularity, showing the
+//! tunable trade-off of Section 5.4: few partitions = few forks and big
+//! batches but little parallelism; many partitions = the reverse, with
+//! `|P| = |V|` degenerating into vertex-based locking.
+//!
+//! Usage: `cargo run -p sg-bench --release --bin fig1_spectrum --
+//!   [--scale-div N] [--workers 8] [--algo pagerank]`
+
+use sg_bench::experiment::{fmt_makespan, run_pregel, Algo};
+use sg_bench::{Args, Table};
+use sg_core::prelude::*;
+use sg_core::Runner;
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::from_env();
+    let scale_div = args.get_or("scale-div", 16u64);
+    let workers = args.get_or("workers", 8u32);
+    let algo = Algo::from_name(args.get("algo").unwrap_or("pagerank"), 0.01).expect("algo");
+
+    let graph = Arc::new(sg_core::sg_graph::gen::datasets::or_sim(scale_div));
+    println!(
+        "Figure 1 spectrum on OR-sim (scale-div={scale_div}), {} vertices / {} edges, {workers} workers, algo={}\n",
+        graph.num_vertices(),
+        graph.num_edges(),
+        algo.name(),
+    );
+
+    let mut t = Table::new([
+        "technique",
+        "sim time",
+        "iters",
+        "sync transfers",
+        "remote msgs",
+        "batches",
+        "avg batch",
+    ]);
+    for (name, technique) in [
+        ("single-token", Technique::SingleToken),
+        ("dual-token", Technique::DualToken),
+        ("partition-lock", Technique::PartitionLock),
+        ("vertex-lock (p-boundary)", Technique::VertexLock),
+    ] {
+        let r = run_pregel(&graph, algo, technique, workers, 4, 50_000);
+        t.row([
+            name.to_string(),
+            fmt_makespan(r.makespan_ns),
+            r.iterations.to_string(),
+            r.metrics.sync_transfers().to_string(),
+            r.metrics.remote_messages.to_string(),
+            r.metrics.remote_batches.to_string(),
+            format!("{:.1}", r.metrics.avg_batch_size()),
+        ]);
+    }
+    t.print();
+
+    println!("\nPartition-count sweep (Section 7.1): partition-based locking, |P| per worker");
+    let mut t = Table::new([
+        "partitions/worker",
+        "total |P|",
+        "forks (|P| edges)",
+        "sim time",
+        "batches",
+        "avg batch",
+    ]);
+    for ppw in [1u32, 2, 4, 8, 16, 32, 64] {
+        let runner = Runner::from_arc(Arc::clone(&graph))
+            .workers(workers)
+            .partitions_per_worker(ppw)
+            .threads_per_worker(4)
+            .technique(Technique::PartitionLock)
+            .max_supersteps(50_000);
+        let out = runner.run_pagerank(0.01).expect("config");
+        // Count virtual partition edges for this layout.
+        let pm = sg_core::sg_graph::PartitionMap::build(
+            &graph,
+            ClusterLayout::new(workers, ppw),
+            &sg_core::sg_graph::partition::HashPartitioner::new(runner.config().partition_seed),
+        );
+        t.row([
+            ppw.to_string(),
+            (workers * ppw).to_string(),
+            pm.num_partition_edges().to_string(),
+            fmt_makespan(out.makespan_ns),
+            out.metrics.remote_batches.to_string(),
+            format!("{:.1}", out.metrics.avg_batch_size()),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nExpected shape: tokens = minimal transfers but most iterations;\n\
+         vertex grain = most transfers, smallest batches; partition-based\n\
+         in between, best simulated time near the Giraph default |P|/worker = |W|."
+    );
+}

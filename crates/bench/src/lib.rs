@@ -1,0 +1,26 @@
+//! # sg-bench — the experiment harness
+//!
+//! Shared machinery for the binaries that regenerate the paper's tables
+//! and figures (see `DESIGN.md` for the experiment index):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 (datasets) |
+//! | `fig2_fig3` | Figures 2 and 3 (BSP/AP coloring failures) |
+//! | `fig6` | Figures 6a–6d (computation times per algorithm) |
+//! | `fig1_spectrum` | Figure 1 (parallelism/communication spectrum) |
+//! | `giraphx_compare` | Section 7.3 (system- vs user-level techniques) |
+//! | `ablation_batching` | batching ablation (DESIGN.md §4) |
+//! | `ablation_halt_skip` | halted-partition-skip ablation (DESIGN.md §4) |
+//!
+//! Every binary prints plain-text tables (and accepts `--scale-div N` to
+//! shrink the synthetic datasets; the EXPERIMENTS.md runs use the
+//! defaults).
+
+pub mod cli;
+pub mod experiment;
+pub mod table;
+
+pub use cli::Args;
+pub use experiment::{run_gas_vertex_lock, run_pregel, Algo, ExperimentResult};
+pub use table::Table;

@@ -1,0 +1,271 @@
+//! The high-level [`Runner`] builder.
+
+use sg_algos::kcore::KCoreValue;
+use sg_algos::triangles::TriangleValue;
+use sg_algos::{
+    ConflictFixColoring, DeltaPageRank, GreedyColoring, GreedyMis, KCore, MisState, Sssp,
+    TriangleCount, Wcc,
+};
+use sg_engine::{Engine, EngineConfig, EngineError, Model, Outcome, TechniqueKind, VertexProgram};
+use sg_graph::{Graph, PartitionId, VertexId};
+use sg_metrics::CostModel;
+use std::sync::Arc;
+
+/// User-facing synchronization technique selector — a re-badged
+/// [`TechniqueKind`] so applications don't need to import `sg-engine`.
+pub type Technique = TechniqueKind;
+
+/// Fluent builder for engine runs.
+///
+/// Defaults: 2 workers, Giraph's `|W|` partitions per worker, 2 threads per
+/// worker, asynchronous model, no synchronization (not serializable), the
+/// default EC2-flavoured cost model.
+#[derive(Clone)]
+pub struct Runner {
+    graph: Arc<Graph>,
+    config: EngineConfig,
+}
+
+impl Runner {
+    /// Start from a graph.
+    pub fn new(graph: Graph) -> Self {
+        Self::from_arc(Arc::new(graph))
+    }
+
+    /// Start from a shared graph.
+    pub fn from_arc(graph: Arc<Graph>) -> Self {
+        Self {
+            graph,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Number of simulated worker machines.
+    pub fn workers(mut self, workers: u32) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Partitions per worker (default: `workers`, Giraph's default).
+    pub fn partitions_per_worker(mut self, ppw: u32) -> Self {
+        self.config.partitions_per_worker = Some(ppw);
+        self
+    }
+
+    /// Compute threads per worker.
+    pub fn threads_per_worker(mut self, threads: u32) -> Self {
+        self.config.threads_per_worker = threads;
+        self
+    }
+
+    /// Computation model (BSP or AP).
+    pub fn model(mut self, model: Model) -> Self {
+        self.config.model = model;
+        self
+    }
+
+    /// Synchronization technique (serializable execution when not
+    /// [`Technique::None`]; requires the asynchronous model).
+    pub fn technique(mut self, technique: Technique) -> Self {
+        self.config.technique = technique;
+        self
+    }
+
+    /// Cap on supersteps.
+    pub fn max_supersteps(mut self, cap: u64) -> Self {
+        self.config.max_supersteps = cap;
+        self
+    }
+
+    /// Virtual-time cost model.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.config.cost = cost;
+        self
+    }
+
+    /// Message buffer cache capacity.
+    pub fn buffer_cap(mut self, cap: usize) -> Self {
+        self.config.buffer_cap = cap;
+        self
+    }
+
+    /// Explicit vertex -> partition assignment.
+    pub fn explicit_partitions(mut self, assignment: Vec<PartitionId>) -> Self {
+        self.config.explicit_partitions = Some(assignment);
+        self
+    }
+
+    /// Record a transaction history for serializability checking.
+    pub fn record_history(mut self, yes: bool) -> Self {
+        self.config.record_history = yes;
+        self
+    }
+
+    /// Checkpoint every `k` supersteps (Section 6.4 fault tolerance).
+    pub fn checkpoint_every(mut self, k: u64) -> Self {
+        self.config.checkpoint_every = Some(k);
+        self
+    }
+
+    /// Inject a simulated machine failure after the given superstep; the
+    /// run recovers from the latest checkpoint.
+    pub fn fail_at_superstep(mut self, s: u64) -> Self {
+        self.config.fail_at_superstep = Some(s);
+        self
+    }
+
+    /// Barrierless execution with per-worker logical supersteps (the
+    /// paper's reference [20]); pair with a locking technique for
+    /// serializability without global barriers.
+    pub fn barrierless(mut self, yes: bool) -> Self {
+        self.config.barrierless = yes;
+        self
+    }
+
+    /// The underlying engine configuration (escape hatch).
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// Run an arbitrary vertex program.
+    pub fn run_program<P: VertexProgram>(&self, program: P) -> Result<Outcome<P::Value>, EngineError> {
+        Ok(Engine::new(Arc::clone(&self.graph), program, self.config.clone())?.run())
+    }
+
+    /// Greedy graph coloring (Algorithm 1). Requires a symmetric graph;
+    /// proper colorings require a serializable technique.
+    pub fn run_coloring(&self) -> Result<Outcome<u32>, EngineError> {
+        self.run_program(GreedyColoring)
+    }
+
+    /// Conflict-repair coloring (the Figures 2/3 variant).
+    pub fn run_conflict_fix_coloring(&self) -> Result<Outcome<u32>, EngineError> {
+        self.run_program(ConflictFixColoring)
+    }
+
+    /// PageRank with the given residual threshold (paper: 0.01 / 0.1).
+    pub fn run_pagerank(&self, threshold: f64) -> Result<Outcome<f64>, EngineError> {
+        Ok(
+            Engine::new(Arc::clone(&self.graph), DeltaPageRank::new(threshold), self.config.clone())?
+                .with_combiner(Box::new(DeltaPageRank::combiner()))
+                .run(),
+        )
+    }
+
+    /// SSSP from `source` with unit weights.
+    pub fn run_sssp(&self, source: VertexId) -> Result<Outcome<u64>, EngineError> {
+        Ok(
+            Engine::new(Arc::clone(&self.graph), Sssp::new(source), self.config.clone())?
+                .with_combiner(Box::new(Sssp::combiner()))
+                .run(),
+        )
+    }
+
+    /// Weakly connected components (HCC).
+    pub fn run_wcc(&self) -> Result<Outcome<u32>, EngineError> {
+        Ok(Engine::new(Arc::clone(&self.graph), Wcc, self.config.clone())?
+            .with_combiner(Box::new(Wcc::combiner()))
+            .run())
+    }
+
+    /// Greedy maximal independent set (requires a serializable technique
+    /// for correctness).
+    pub fn run_mis(&self) -> Result<Outcome<MisState>, EngineError> {
+        self.run_program(GreedyMis)
+    }
+
+    /// Triangle counting (symmetric input expected); sum the per-vertex
+    /// counts with [`TriangleCount::total`].
+    pub fn run_triangles(&self) -> Result<Outcome<TriangleValue>, EngineError> {
+        self.run_program(TriangleCount)
+    }
+
+    /// k-core membership for a fixed `k` (symmetric input expected).
+    pub fn run_kcore(&self, k: u32) -> Result<Outcome<KCoreValue>, EngineError> {
+        self.run_program(KCore::new(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_algos::validate;
+    use sg_graph::gen;
+
+    #[test]
+    fn builder_round_trip() {
+        let r = Runner::new(gen::ring(8))
+            .workers(4)
+            .partitions_per_worker(2)
+            .threads_per_worker(1)
+            .model(Model::Async)
+            .technique(Technique::DualToken)
+            .max_supersteps(99)
+            .buffer_cap(7)
+            .record_history(true);
+        assert_eq!(r.config().workers, 4);
+        assert_eq!(r.config().partitions_per_worker, Some(2));
+        assert_eq!(r.config().threads_per_worker, 1);
+        assert_eq!(r.config().technique, Technique::DualToken);
+        assert_eq!(r.config().max_supersteps, 99);
+        assert_eq!(r.config().buffer_cap, 7);
+        assert!(r.config().record_history);
+    }
+
+    #[test]
+    fn coloring_through_runner() {
+        let out = Runner::new(gen::paper_c4())
+            .workers(2)
+            .technique(Technique::PartitionLock)
+            .run_coloring()
+            .unwrap();
+        assert!(out.converged);
+        assert_eq!(validate::coloring_conflicts(&gen::paper_c4(), &out.values), 0);
+    }
+
+    #[test]
+    fn pagerank_through_runner() {
+        let out = Runner::new(gen::ring(10))
+            .run_pagerank(1e-6)
+            .unwrap();
+        assert!(out.converged);
+        assert!(out.values.iter().all(|&p| (p - 1.0).abs() < 1e-3));
+    }
+
+    #[test]
+    fn sssp_and_wcc_through_runner() {
+        let g = gen::grid(3, 3);
+        let r = Runner::new(g.clone()).workers(2);
+        let sssp = r.run_sssp(VertexId::new(0)).unwrap();
+        assert_eq!(sssp.values[8], 4);
+        let wcc = r.run_wcc().unwrap();
+        assert!(wcc.values.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn mis_through_runner() {
+        let g = gen::star(6);
+        let out = Runner::new(g.clone())
+            .technique(Technique::PartitionLock)
+            .run_mis()
+            .unwrap();
+        assert!(out.converged);
+        let members = sg_algos::mis::membership(&out.values);
+        assert!(validate::is_maximal_independent_set(&g, &members));
+    }
+
+    #[test]
+    fn invalid_config_surfaces_error() {
+        let err = Runner::new(gen::ring(4))
+            .model(Model::Bsp)
+            .technique(Technique::PartitionLock)
+            .run_coloring()
+            .unwrap_err();
+        assert_eq!(err, EngineError::BspWithSynchronization);
+    }
+}

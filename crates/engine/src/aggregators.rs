@@ -1,0 +1,213 @@
+//! Pregel-style aggregators: global `f64` reductions computed during a
+//! superstep and readable by every vertex (and the master hook) in the
+//! next one.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Reduction operator of an aggregator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggOp {
+    /// Sum of contributions; identity 0.
+    Sum,
+    /// Minimum contribution; identity +inf.
+    Min,
+    /// Maximum contribution; identity -inf.
+    Max,
+}
+
+impl AggOp {
+    fn identity(self) -> f64 {
+        match self {
+            AggOp::Sum => 0.0,
+            AggOp::Min => f64::INFINITY,
+            AggOp::Max => f64::NEG_INFINITY,
+        }
+    }
+
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            AggOp::Sum => a + b,
+            AggOp::Min => a.min(b),
+            AggOp::Max => a.max(b),
+        }
+    }
+}
+
+struct Slot {
+    op: AggOp,
+    current: Mutex<f64>,
+    previous: Mutex<f64>,
+}
+
+/// The registered aggregators of one engine run.
+#[derive(Default)]
+pub struct AggregatorSet {
+    slots: HashMap<String, Slot>,
+}
+
+impl AggregatorSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when no aggregators are registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Register an aggregator; returns `&mut self` for chaining.
+    pub fn register(&mut self, name: &str, op: AggOp) -> &mut Self {
+        self.slots.insert(
+            name.to_owned(),
+            Slot {
+                op,
+                current: Mutex::new(op.identity()),
+                previous: Mutex::new(op.identity()),
+            },
+        );
+        self
+    }
+
+    /// Contribute `value` to this superstep's reduction.
+    ///
+    /// # Panics
+    /// Panics on unknown names — aggregator typos should fail loudly.
+    pub fn aggregate(&self, name: &str, value: f64) {
+        let slot = self
+            .slots
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown aggregator {name:?}"));
+        let mut cur = slot.current.lock();
+        *cur = slot.op.apply(*cur, value);
+    }
+
+    /// The value reduced during the *previous* superstep.
+    pub fn previous(&self, name: &str) -> f64 {
+        let slot = self
+            .slots
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown aggregator {name:?}"));
+        *slot.previous.lock()
+    }
+
+    /// Master-side: close the superstep — current values become previous,
+    /// current resets to the identity.
+    pub fn roll(&self) {
+        for slot in self.slots.values() {
+            let mut cur = slot.current.lock();
+            *slot.previous.lock() = *cur;
+            *cur = slot.op.identity();
+        }
+    }
+
+    /// Read-only view handed to the master hook.
+    pub fn view(&self) -> AggregatorView<'_> {
+        AggregatorView { set: self }
+    }
+
+    /// Checkpoint support: export `(name, previous, current)` triples.
+    pub fn export(&self) -> Vec<(String, f64, f64)> {
+        let mut out: Vec<(String, f64, f64)> = self
+            .slots
+            .iter()
+            .map(|(name, slot)| (name.clone(), *slot.previous.lock(), *slot.current.lock()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Checkpoint support: restore values exported by [`Self::export`].
+    pub fn import(&self, exported: &[(String, f64, f64)]) {
+        for (name, previous, current) in exported {
+            let slot = self
+                .slots
+                .get(name)
+                .unwrap_or_else(|| panic!("unknown aggregator {name:?} in checkpoint"));
+            *slot.previous.lock() = *previous;
+            *slot.current.lock() = *current;
+        }
+    }
+}
+
+/// Read-only access to the previous superstep's aggregates.
+pub struct AggregatorView<'a> {
+    set: &'a AggregatorSet,
+}
+
+impl AggregatorView<'_> {
+    /// The value reduced during the superstep that just finished.
+    pub fn get(&self, name: &str) -> f64 {
+        self.set.previous(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_rolls_between_supersteps() {
+        let mut s = AggregatorSet::new();
+        s.register("delta", AggOp::Sum);
+        s.aggregate("delta", 1.0);
+        s.aggregate("delta", 2.0);
+        assert_eq!(s.previous("delta"), 0.0); // not yet rolled
+        s.roll();
+        assert_eq!(s.previous("delta"), 3.0);
+        s.roll();
+        assert_eq!(s.previous("delta"), 0.0); // identity again
+    }
+
+    #[test]
+    fn min_and_max_identities() {
+        let mut s = AggregatorSet::new();
+        s.register("lo", AggOp::Min).register("hi", AggOp::Max);
+        s.aggregate("lo", 4.0);
+        s.aggregate("lo", -2.0);
+        s.aggregate("hi", 4.0);
+        s.aggregate("hi", -2.0);
+        s.roll();
+        assert_eq!(s.previous("lo"), -2.0);
+        assert_eq!(s.previous("hi"), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown aggregator")]
+    fn unknown_name_panics() {
+        AggregatorSet::new().aggregate("nope", 1.0);
+    }
+
+    #[test]
+    fn view_reads_previous() {
+        let mut s = AggregatorSet::new();
+        s.register("x", AggOp::Sum);
+        s.aggregate("x", 7.0);
+        s.roll();
+        assert_eq!(s.view().get("x"), 7.0);
+    }
+
+    #[test]
+    fn concurrent_aggregation() {
+        use std::sync::Arc;
+        let mut s = AggregatorSet::new();
+        s.register("n", AggOp::Sum);
+        let s = Arc::new(s);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        s.aggregate("n", 1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        s.roll();
+        assert_eq!(s.previous("n"), 400.0);
+    }
+}

@@ -1,0 +1,1032 @@
+//! The engine runtime: master loop, persistent worker threads, message
+//! routing, and the virtual-time accounting.
+
+use crate::aggregators::AggregatorSet;
+use crate::config::{EngineConfig, EngineError, Model, TechniqueKind};
+use crate::context::Context;
+use crate::program::{Combiner, VertexProgram};
+use crate::state::PartitionData;
+use crate::store::{OutboundBuffers, PartitionStore};
+use parking_lot::Mutex;
+use sg_graph::partition::{ExplicitPartitioner, HashPartitioner};
+use sg_graph::{Graph, PartitionId, PartitionMap, VertexId, WorkerId};
+use sg_metrics::{CostModel, Metrics, MetricsSnapshot, SimClocks};
+use sg_serial::{History, Recorder};
+use sg_sync::technique::LockGranularity;
+use sg_sync::{
+    BspVertexLock, DualLayerToken, ForkSnapshot, NoSync, PartitionLock, SingleLayerToken,
+    SyncTransport, Synchronizer, VertexLock,
+};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Result of an engine run.
+#[derive(Clone, Debug)]
+pub struct Outcome<V> {
+    /// Final vertex values, indexed by vertex id.
+    pub values: Vec<V>,
+    /// Supersteps executed.
+    pub supersteps: u64,
+    /// `true` if the computation halted (all vertices inactive, no pending
+    /// messages, or the master hook requested a halt); `false` if the
+    /// `max_supersteps` cap was hit — e.g. the paper's non-terminating
+    /// BSP/AP graph-coloring executions.
+    pub converged: bool,
+    /// Counter snapshot for the run.
+    pub metrics: MetricsSnapshot,
+    /// Simulated computation time (virtual-time makespan, nanoseconds).
+    pub makespan_ns: u64,
+    /// Host wall-clock time of the run.
+    pub wall_time: Duration,
+    /// Recorded transaction history, when `record_history` was set.
+    pub history: Option<History>,
+}
+
+/// A configured, ready-to-run engine.
+///
+/// ```
+/// use sg_engine::{Engine, EngineConfig, Model, TechniqueKind};
+/// use sg_engine::{Context, VertexProgram};
+/// use sg_graph::{gen, Graph, VertexId};
+/// use std::sync::Arc;
+///
+/// /// Flood a token: every vertex adopts the max id it has heard of.
+/// struct MaxId;
+/// impl VertexProgram for MaxId {
+///     type Value = u32;
+///     type Message = u32;
+///     fn init(&self, v: VertexId, _: &Graph) -> u32 { v.raw() }
+///     fn compute(&self, ctx: &mut Context<'_, Self>, msgs: &[u32]) {
+///         let best = msgs.iter().copied().max().unwrap_or(0).max(*ctx.value());
+///         if best > *ctx.value() || ctx.superstep() == 0 {
+///             ctx.set_value(best);
+///             ctx.send_to_all(best);
+///         }
+///         ctx.vote_to_halt();
+///     }
+/// }
+///
+/// let g = Arc::new(gen::ring(8));
+/// let outcome = Engine::new(g, MaxId, EngineConfig::default()).unwrap().run();
+/// assert!(outcome.converged);
+/// assert!(outcome.values.iter().all(|&v| v == 7));
+/// ```
+pub struct Engine<P: VertexProgram> {
+    graph: Arc<Graph>,
+    program: P,
+    config: EngineConfig,
+    pm: Arc<PartitionMap>,
+    combiner: Option<Box<dyn Combiner<P::Message>>>,
+}
+
+impl<P: VertexProgram> Engine<P> {
+    /// Build an engine. Partitions the graph (hash partitioning by default,
+    /// Section 7.1) and validates the configuration.
+    pub fn new(graph: Arc<Graph>, program: P, config: EngineConfig) -> Result<Self, EngineError> {
+        config.validate()?;
+        let layout = sg_graph::ClusterLayout::new(config.workers, config.effective_ppw());
+        let pm = match &config.explicit_partitions {
+            Some(assignment) => {
+                if assignment.len() != graph.num_vertices() as usize {
+                    return Err(EngineError::InvalidConfig(format!(
+                        "explicit_partitions has {} entries for {} vertices",
+                        assignment.len(),
+                        graph.num_vertices()
+                    )));
+                }
+                PartitionMap::build(&graph, layout, &ExplicitPartitioner(assignment.clone()))
+            }
+            None => PartitionMap::build(&graph, layout, &HashPartitioner::new(config.partition_seed)),
+        };
+        Ok(Self {
+            graph,
+            program,
+            config,
+            pm: Arc::new(pm),
+            combiner: None,
+        })
+    }
+
+    /// Attach a message combiner.
+    pub fn with_combiner(mut self, combiner: Box<dyn Combiner<P::Message>>) -> Self {
+        self.combiner = Some(combiner);
+        self
+    }
+
+    /// The partition map in effect.
+    pub fn partition_map(&self) -> &Arc<PartitionMap> {
+        &self.pm
+    }
+
+    /// Execute to completion.
+    pub fn run(self) -> Outcome<P::Value> {
+        let metrics = Arc::new(Metrics::new());
+        let sync: Arc<dyn Synchronizer> = match self.config.technique {
+            TechniqueKind::None => Arc::new(NoSync),
+            TechniqueKind::SingleToken => Arc::new(SingleLayerToken::new(
+                Arc::clone(&self.pm),
+                Arc::clone(&metrics),
+            )),
+            TechniqueKind::DualToken => Arc::new(DualLayerToken::new(
+                Arc::clone(&self.pm),
+                Arc::clone(&metrics),
+            )),
+            TechniqueKind::VertexLock => Arc::new(VertexLock::new(
+                &self.graph,
+                &self.pm,
+                Arc::clone(&metrics),
+            )),
+            TechniqueKind::PartitionLock => {
+                Arc::new(PartitionLock::new(&self.pm, Arc::clone(&metrics)))
+            }
+            TechniqueKind::PartitionLockNoSkip => Arc::new(PartitionLock::with_options(
+                &self.pm,
+                Arc::clone(&metrics),
+                false,
+            )),
+            TechniqueKind::BspVertexLock => Arc::new(BspVertexLock::new(
+                &self.graph,
+                &self.pm,
+                Arc::clone(&metrics),
+            )),
+        };
+
+        let threads_per_worker = match sync.max_threads_per_worker() {
+            Some(k) => self.config.threads_per_worker.min(k).max(1),
+            None => self.config.threads_per_worker.max(1),
+        };
+
+        let recorder = self
+            .config
+            .record_history
+            .then(|| Arc::new(Recorder::new(Arc::clone(&self.graph))));
+
+        let layout = *self.pm.layout();
+        let num_partitions = layout.num_partitions() as usize;
+        let workers = layout.num_workers() as usize;
+
+        // vertex -> (partition index, local index)
+        let mut locate = vec![(0u32, 0u32); self.graph.num_vertices() as usize];
+        let mut partitions = Vec::with_capacity(num_partitions);
+        let mut current = Vec::with_capacity(num_partitions);
+        let mut next = Vec::with_capacity(num_partitions);
+        for p in layout.partitions() {
+            let vertices = self.pm.vertices_in(p).to_vec();
+            for (i, &v) in vertices.iter().enumerate() {
+                locate[v.index()] = (p.raw(), i as u32);
+            }
+            let values: Vec<P::Value> = vertices
+                .iter()
+                .map(|&v| self.program.init(v, &self.graph))
+                .collect();
+            current.push(PartitionStore::new(vertices.len()));
+            next.push(PartitionStore::new(vertices.len()));
+            partitions.push(Mutex::new(PartitionData::new(vertices, values)));
+        }
+
+        let mut aggs = AggregatorSet::new();
+        self.program.register_aggregators(&mut aggs);
+
+        let core = Arc::new(Core {
+            graph: Arc::clone(&self.graph),
+            program: self.program,
+            pm: Arc::clone(&self.pm),
+            model: self.config.model,
+            locate,
+            partitions,
+            current,
+            next,
+            outbound: OutboundBuffers::new(workers),
+            combiner: self.combiner,
+            aggs,
+            metrics: Arc::clone(&metrics),
+            clocks: SimClocks::new(workers),
+            cost: self.config.cost,
+            pending: AtomicU64::new(0),
+            superstep: AtomicU64::new(0),
+            sync,
+            recorder: recorder.clone(),
+            buffer_cap: self.config.buffer_cap.max(1),
+            claim: (0..workers).map(|_| AtomicU32::new(0)).collect(),
+            stop: AtomicBool::new(false),
+            barrierless: self.config.barrierless,
+            idle: Mutex::new(0),
+            idle_cv: parking_lot::Condvar::new(),
+            total_threads: workers * threads_per_worker as usize,
+            rounds: AtomicU64::new(0),
+            round_capped: AtomicBool::new(false),
+        });
+
+        if self.config.barrierless {
+            return run_barrierless(core, recorder, metrics, self.config.max_supersteps);
+        }
+
+        let total_threads = workers * threads_per_worker as usize;
+        let start_barrier = Arc::new(Barrier::new(total_threads + 1));
+        let end_barrier = Arc::new(Barrier::new(total_threads + 1));
+
+        let wall_start = Instant::now();
+        let mut handles = Vec::with_capacity(total_threads);
+        for w in 0..workers {
+            for _slot in 0..threads_per_worker {
+                let core = Arc::clone(&core);
+                let start_barrier = Arc::clone(&start_barrier);
+                let end_barrier = Arc::clone(&end_barrier);
+                handles.push(std::thread::spawn(move || {
+                    worker_loop(&core, w, &start_barrier, &end_barrier);
+                }));
+            }
+        }
+
+        let mut converged = false;
+        let mut executed = 0u64;
+        let mut logical = 0u64;
+        let max_supersteps = self.config.max_supersteps;
+        // Section 6.4: checkpoints are in-memory snapshots taken at
+        // barriers (quiescent: no executing vertices, no in-flight
+        // messages, forks and tokens at rest). A superstep-0 checkpoint is
+        // always available once fault tolerance is enabled.
+        let ckpt_enabled =
+            self.config.checkpoint_every.is_some() || self.config.fail_at_superstep.is_some();
+        let mut latest_ckpt = ckpt_enabled.then(|| core.take_checkpoint(0));
+        let mut fail_at = self.config.fail_at_superstep;
+        loop {
+            let s = logical;
+            core.superstep.store(s, Ordering::SeqCst);
+            for c in &core.claim {
+                c.store(0, Ordering::SeqCst);
+            }
+            start_barrier.wait();
+            // ... workers execute superstep s ...
+            end_barrier.wait();
+
+            // Master phase: deliver stragglers, rotate tokens, swap BSP
+            // stores, roll aggregators, level virtual clocks, decide halt.
+            for w in 0..workers {
+                core.flush_outbound(w);
+            }
+            core.sync.end_superstep(s, core.as_ref());
+            if core.model == Model::Bsp {
+                core.bsp_swap();
+            }
+            core.aggs.roll();
+            core.metrics.inc(|m| &m.supersteps);
+            core.metrics.inc(|m| &m.barriers);
+            core.clocks.barrier(core.cost.barrier_ns);
+
+            executed += 1;
+
+            // Failure injection: lose a machine after this barrier; every
+            // worker rolls back to the latest checkpoint (Section 3.3:
+            // "failure recovery requires all machines to rollback").
+            if fail_at == Some(s) {
+                fail_at = None;
+                core.metrics.inc(|m| &m.recoveries);
+                let ckpt = latest_ckpt.as_ref().expect("checkpointing enabled");
+                logical = core.restore_checkpoint(ckpt);
+                if executed >= max_supersteps {
+                    break;
+                }
+                continue;
+            }
+            logical += 1;
+
+            if let Some(every) = self.config.checkpoint_every {
+                if logical.is_multiple_of(every) {
+                    latest_ckpt = Some(core.take_checkpoint(logical));
+                    core.metrics.inc(|m| &m.checkpoints);
+                }
+            }
+
+            let pending = core.pending.load(Ordering::SeqCst);
+            let active: usize = core.partitions.iter().map(|p| p.lock().active_count()).sum();
+            if core.program.master_halt(s, &core.aggs.view()) || (active == 0 && pending == 0) {
+                converged = true;
+                break;
+            }
+            if executed >= max_supersteps {
+                break;
+            }
+        }
+
+        core.stop.store(true, Ordering::SeqCst);
+        start_barrier.wait();
+        for h in handles {
+            h.join().expect("worker thread panicked");
+        }
+
+        // Collect values by vertex id.
+        let mut values: Vec<P::Value> = Vec::with_capacity(core.graph.num_vertices() as usize);
+        {
+            let mut by_vertex: Vec<Option<P::Value>> =
+                vec![None; core.graph.num_vertices() as usize];
+            for pdata in &core.partitions {
+                let d = pdata.lock();
+                for (i, &v) in d.vertices.iter().enumerate() {
+                    by_vertex[v.index()] = Some(d.values[i].clone());
+                }
+            }
+            values.extend(by_vertex.into_iter().map(|v| v.expect("vertex unassigned")));
+        }
+
+        Outcome {
+            values,
+            supersteps: executed,
+            converged,
+            metrics: metrics.snapshot(),
+            makespan_ns: core.clocks.makespan(),
+            wall_time: wall_start.elapsed(),
+            history: recorder.map(|r| r.history()),
+        }
+    }
+}
+
+/// Shared runtime state: everything worker threads and the master touch.
+struct Core<P: VertexProgram> {
+    graph: Arc<Graph>,
+    program: P,
+    pm: Arc<PartitionMap>,
+    model: Model,
+    locate: Vec<(u32, u32)>,
+    partitions: Vec<Mutex<PartitionData<P::Value>>>,
+    current: Vec<PartitionStore<P::Message>>,
+    next: Vec<PartitionStore<P::Message>>,
+    outbound: OutboundBuffers<P::Message>,
+    combiner: Option<Box<dyn Combiner<P::Message>>>,
+    aggs: AggregatorSet,
+    metrics: Arc<Metrics>,
+    clocks: SimClocks,
+    cost: CostModel,
+    /// Messages anywhere in the system (stores + buffers), for termination.
+    pending: AtomicU64,
+    superstep: AtomicU64,
+    sync: Arc<dyn Synchronizer>,
+    recorder: Option<Arc<Recorder>>,
+    buffer_cap: usize,
+    /// Per worker: next partition offset to claim this superstep.
+    claim: Vec<AtomicU32>,
+    stop: AtomicBool,
+    /// Barrierless mode ([20]-style logical supersteps) — see
+    /// `EngineConfig::barrierless`.
+    barrierless: bool,
+    /// Parked threads (barrierless termination detection).
+    idle: Mutex<usize>,
+    idle_cv: parking_lot::Condvar,
+    total_threads: usize,
+    /// Max local rounds any thread has completed (barrierless reporting).
+    rounds: AtomicU64,
+    /// A thread hit the local-round cap (barrierless non-convergence).
+    round_capped: AtomicBool,
+}
+
+/// The engine is the technique's transport: fork/token hops trigger the C1
+/// write-all flush (Section 4.1's "flush all pending remote replica
+/// updates ... before handing over the shared resource"). Virtual-time
+/// dependencies ride on the fork timestamps themselves (`sg-sync` adds
+/// [`SyncTransport::network_latency_ns`] per cross-machine hop), so only
+/// the *global token* of the ring techniques — which really does stall the
+/// receiving worker — joins whole-worker clocks here.
+impl<P: VertexProgram> SyncTransport for Core<P> {
+    fn on_fork_transfer(&self, from: WorkerId, to: WorkerId) {
+        self.flush_outbound(from.index());
+        if self.sync.granularity() == LockGranularity::None {
+            // Token techniques: the token gates the whole worker.
+            let ts = self.clocks.now(from.index()) + self.cost.network_latency_ns;
+            self.clocks.observe(to.index(), ts);
+        }
+    }
+
+    fn on_control_message(&self, _from: WorkerId, _to: WorkerId) {}
+
+    fn network_latency_ns(&self) -> u64 {
+        self.cost.network_latency_ns
+    }
+}
+
+/// Execute in barrierless mode: every thread loops over its statically
+/// assigned partitions in *logical* per-worker supersteps, parking when its
+/// worker has no work. Global termination = all threads parked, no pending
+/// messages, no active vertex. This is the execution regime of the paper's
+/// reference [20] ("Giraph Unchained"); the serializability formalism of
+/// Section 3.2 covers it explicitly ("per-worker logical supersteps"), and
+/// the locking techniques keep enforcing C1/C2 because the write-all flush
+/// rides on fork handovers, not barriers.
+fn run_barrierless<P: VertexProgram>(
+    core: Arc<Core<P>>,
+    recorder: Option<Arc<Recorder>>,
+    metrics: Arc<Metrics>,
+    max_rounds: u64,
+) -> Outcome<P::Value> {
+    assert!(
+        core.aggs.is_empty(),
+        "aggregators need global barriers; not available in barrierless mode"
+    );
+    let layout = *core.pm.layout();
+    let workers = layout.num_workers() as usize;
+    let tpw = core.total_threads / workers;
+    let wall_start = Instant::now();
+
+    let mut handles = Vec::with_capacity(core.total_threads);
+    for w in 0..workers {
+        for slot in 0..tpw {
+            let core = Arc::clone(&core);
+            handles.push(std::thread::spawn(move || {
+                barrierless_loop(&core, w, slot, tpw, max_rounds);
+            }));
+        }
+    }
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+
+    let rounds = core.rounds.load(Ordering::SeqCst);
+    metrics.add(|m| &m.supersteps, rounds);
+    let mut by_vertex: Vec<Option<P::Value>> = vec![None; core.graph.num_vertices() as usize];
+    for pdata in &core.partitions {
+        let d = pdata.lock();
+        for (i, &v) in d.vertices.iter().enumerate() {
+            by_vertex[v.index()] = Some(d.values[i].clone());
+        }
+    }
+    Outcome {
+        values: by_vertex
+            .into_iter()
+            .map(|v| v.expect("vertex unassigned"))
+            .collect(),
+        supersteps: rounds,
+        converged: !core.round_capped.load(Ordering::SeqCst),
+        metrics: metrics.snapshot(),
+        makespan_ns: core.clocks.makespan(),
+        wall_time: wall_start.elapsed(),
+        history: recorder.map(|r| r.history()),
+    }
+}
+
+fn barrierless_loop<P: VertexProgram>(
+    core: &Core<P>,
+    worker: usize,
+    slot: usize,
+    tpw: usize,
+    max_rounds: u64,
+) {
+    let layout = *core.pm.layout();
+    let ppw = layout.partitions_per_worker();
+    // Static partition ownership: no claim contention, no local barrier.
+    let my_parts: Vec<PartitionId> = (0..ppw)
+        .filter(|k| *k as usize % tpw == slot)
+        .map(|k| PartitionId::new(worker as u32 * ppw + k))
+        .collect();
+    let mut thread_clock = 0u64;
+    let mut round = 0u64;
+    loop {
+        if core.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut did_work = false;
+        for &p in &my_parts {
+            if core.partition_has_work(p.index()) {
+                did_work = true;
+                core.execute_partition(worker, p, round, &mut thread_clock);
+            }
+        }
+        core.flush_outbound(worker);
+        core.clocks.observe(worker, thread_clock);
+        if did_work {
+            round += 1;
+            core.rounds.fetch_max(round, Ordering::SeqCst);
+            if round >= max_rounds {
+                core.round_capped.store(true, Ordering::SeqCst);
+                core.finish_barrierless();
+                return;
+            }
+        } else if !core.park(&my_parts) {
+            return; // stopped while parked
+        }
+    }
+}
+
+impl<P: VertexProgram> Core<P> {
+    fn finish_barrierless(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.idle_cv.notify_all();
+    }
+
+    /// Park until this thread's partitions have work again; returns `false`
+    /// when the engine stopped. The *last* thread to park performs the
+    /// global quiescence check (no other thread is executing then, so the
+    /// pending counter is stable).
+    fn park(&self, my_parts: &[PartitionId]) -> bool {
+        let mut idle = self.idle.lock();
+        *idle += 1;
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                *idle -= 1;
+                return false;
+            }
+            if *idle == self.total_threads && self.pending.load(Ordering::SeqCst) == 0 {
+                let active: usize = self
+                    .partitions
+                    .iter()
+                    .map(|p| p.lock().active_count())
+                    .sum();
+                if active == 0 {
+                    *idle -= 1;
+                    self.finish_barrierless();
+                    return false;
+                }
+            }
+            if my_parts.iter().any(|&p| self.partition_has_work(p.index())) {
+                *idle -= 1;
+                return true;
+            }
+            // Timed wait: deliveries notify, but a bounded recheck makes
+            // the protocol robust to any missed wakeup.
+            self.idle_cv
+                .wait_for(&mut idle, std::time::Duration::from_millis(20));
+        }
+    }
+}
+
+/// An in-memory Section 6.4 checkpoint: engine state plus the
+/// synchronization technique's fork/token placement.
+struct EngineCheckpoint<V, M> {
+    superstep: u64,
+    partitions: Vec<(Vec<V>, Vec<bool>)>,
+    stores: Vec<Vec<Vec<(VertexId, M)>>>,
+    pending: u64,
+    aggregators: Vec<(String, f64, f64)>,
+    forks: Option<ForkSnapshot>,
+}
+
+fn worker_loop<P: VertexProgram>(
+    core: &Core<P>,
+    worker: usize,
+    start_barrier: &Barrier,
+    end_barrier: &Barrier,
+) {
+    let layout = *core.pm.layout();
+    let ppw = layout.partitions_per_worker();
+    loop {
+        start_barrier.wait();
+        if core.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let s = core.superstep.load(Ordering::SeqCst);
+        // This OS thread models one core of the simulated worker: its
+        // virtual clock starts at the worker's barrier-leveled frontier
+        // and advances with everything the thread executes or waits on.
+        let mut thread_clock = core.clocks.now(worker);
+        loop {
+            let k = core.claim[worker].fetch_add(1, Ordering::SeqCst);
+            if k >= ppw {
+                break;
+            }
+            let p = PartitionId::new(worker as u32 * ppw + k);
+            core.execute_partition(worker, p, s, &mut thread_clock);
+        }
+        core.clocks.observe(worker, thread_clock);
+        end_barrier.wait();
+    }
+}
+
+impl<P: VertexProgram> Core<P> {
+    /// Any active vertex or queued message in partition `p`?
+    fn partition_has_work(&self, p: usize) -> bool {
+        self.current[p].total() > 0 || {
+            let d = self.partitions[p].lock();
+            d.halted.iter().any(|h| !*h)
+        }
+    }
+
+    fn execute_partition(&self, worker: usize, p: PartitionId, s: u64, thread_clock: &mut u64) {
+        let p_idx = p.index();
+        let has_work = self.partition_has_work(p_idx);
+        match self.sync.granularity() {
+            LockGranularity::Partition => {
+                if self.sync.unit_skippable(p.raw(), has_work) {
+                    return;
+                }
+                let ready = self.sync.acquire_unit(p.raw(), self);
+                // The partition may start once this core is free AND its
+                // last fork has arrived.
+                *thread_clock = (*thread_clock).max(ready);
+                self.run_partition(worker, p_idx, s, false, thread_clock);
+                self.sync.release_unit(p.raw(), *thread_clock, self);
+            }
+            LockGranularity::Vertex => {
+                if !has_work {
+                    return;
+                }
+                self.run_partition(worker, p_idx, s, true, thread_clock);
+            }
+            LockGranularity::None => {
+                if !has_work {
+                    return;
+                }
+                self.run_partition(worker, p_idx, s, false, thread_clock);
+            }
+        }
+    }
+
+    fn run_partition(
+        &self,
+        worker: usize,
+        p_idx: usize,
+        s: u64,
+        per_vertex_lock: bool,
+        thread_clock: &mut u64,
+    ) {
+        let mut data = self.partitions[p_idx].lock();
+        let store = &self.current[p_idx];
+        let mut outgoing: Vec<(VertexId, P::Message)> = Vec::new();
+
+        for i in 0..data.vertices.len() {
+            let v = data.vertices[i];
+            if data.halted[i] && !store.has_messages(i) {
+                continue;
+            }
+            if !self.sync.vertex_allowed(s, v) {
+                continue; // gated: keeps its messages and activity
+            }
+            if per_vertex_lock {
+                let ready = self.sync.acquire_unit(v.raw(), self);
+                *thread_clock = (*thread_clock).max(ready);
+            }
+
+            let envelopes = store.drain(i);
+            self.pending
+                .fetch_sub(envelopes.len() as u64, Ordering::SeqCst);
+            let guard = self.recorder.as_ref().map(|r| r.begin(v));
+            let messages: Vec<P::Message> = envelopes.into_iter().map(|(_, m)| m).collect();
+
+            let mut ctx = Context::<P> {
+                vertex: v,
+                superstep: s,
+                graph: &self.graph,
+                value: &mut data.values[i],
+                halt: false,
+                outgoing: &mut outgoing,
+                aggregators: &self.aggs,
+            };
+            self.program.compute(&mut ctx, &messages);
+            let halt = ctx.halt;
+            data.halted[i] = halt;
+
+            let n_out = outgoing.len() as u64;
+            for (to, m) in outgoing.drain(..) {
+                self.send(worker, v, to, m);
+            }
+            if let (Some(r), Some(g)) = (self.recorder.as_ref(), guard) {
+                r.end(g);
+            }
+            *thread_clock += self.cost.vertex_cost(messages.len() as u64, n_out);
+            if per_vertex_lock {
+                self.sync.release_unit(v.raw(), *thread_clock, self);
+            }
+            self.metrics.inc(|m| &m.vertex_executions);
+        }
+        drop(data);
+    }
+
+    /// Route one message. Local messages go straight to the recipient's
+    /// store (eagerly visible under AP, next-superstep under BSP); remote
+    /// messages enter the buffer cache and may trigger a batch flush.
+    fn send(&self, from_worker: usize, sender: VertexId, to: VertexId, msg: P::Message) {
+        if let Some(r) = &self.recorder {
+            r.on_send(sender, to);
+        }
+        let to_worker = self.pm.worker_of(to).index();
+        if to_worker == from_worker {
+            self.metrics.inc(|m| &m.local_messages);
+            let to_next = self.model == Model::Bsp;
+            self.deliver(sender, to, msg, to_next);
+        } else {
+            self.metrics.inc(|m| &m.remote_messages);
+            self.pending.fetch_add(1, Ordering::SeqCst);
+            let len = self.outbound.push(from_worker, to_worker, (to, sender, msg));
+            if len >= self.buffer_cap {
+                self.flush_buffer(from_worker, to_worker);
+            }
+        }
+    }
+
+    /// Insert into the recipient's store. `to_next` = BSP semantics
+    /// (visible after the next barrier).
+    fn deliver(&self, sender: VertexId, to: VertexId, msg: P::Message, to_next: bool) {
+        let (p, l) = self.locate[to.index()];
+        let store = if to_next {
+            &self.next[p as usize]
+        } else {
+            &self.current[p as usize]
+        };
+        let gained = store.insert(l as usize, sender, msg, self.combiner.as_deref());
+        self.pending.fetch_add(gained as u64, Ordering::SeqCst);
+        if !to_next {
+            if let Some(r) = &self.recorder {
+                r.on_visible(sender, to);
+            }
+        }
+        if self.barrierless {
+            // Wake parked workers: new work may have arrived for them.
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Ship one (from, to) buffer as a batch: count it, charge the wire,
+    /// deliver into the destination stores.
+    fn flush_buffer(&self, from: usize, to: usize) {
+        let routed = self.outbound.take(from, to);
+        if routed.is_empty() {
+            return;
+        }
+        let n = routed.len() as u64;
+        self.metrics.inc(|m| &m.remote_batches);
+        // The sender pays to assemble/dispatch the batch; the receiver
+        // observes its arrival.
+        self.clocks.advance(from, self.cost.batch_overhead_ns);
+        let ts = self.clocks.now(from) + self.cost.batch_cost(n);
+        self.clocks.observe(to, ts);
+        self.pending.fetch_sub(n, Ordering::SeqCst);
+        let to_next = self.model == Model::Bsp;
+        for (to_v, sender, m) in routed {
+            self.deliver(sender, to_v, m, to_next);
+        }
+    }
+
+    /// Write-all flush of every buffer leaving worker `from` (the C1 step).
+    fn flush_outbound(&self, from: usize) {
+        for to in 0..self.clocks.len() {
+            if to != from {
+                self.flush_buffer(from, to);
+            }
+        }
+    }
+
+    /// Capture a Section 6.4 checkpoint at a quiescent barrier.
+    fn take_checkpoint(&self, superstep: u64) -> EngineCheckpoint<P::Value, P::Message> {
+        EngineCheckpoint {
+            superstep,
+            partitions: self
+                .partitions
+                .iter()
+                .map(|p| {
+                    let d = p.lock();
+                    (d.values.clone(), d.halted.clone())
+                })
+                .collect(),
+            stores: self.current.iter().map(|s| s.export()).collect(),
+            pending: self.pending.load(Ordering::SeqCst),
+            aggregators: self.aggs.export(),
+            forks: self.sync.checkpoint(),
+        }
+    }
+
+    /// Roll every worker back to `ckpt`; returns the superstep to resume
+    /// from. Outbound buffers and BSP next-stores are empty at any barrier,
+    /// so only values, halt votes, current stores, aggregators, and the
+    /// technique's fork placement need restoring.
+    fn restore_checkpoint(&self, ckpt: &EngineCheckpoint<P::Value, P::Message>) -> u64 {
+        for (p, (values, halted)) in self.partitions.iter().zip(&ckpt.partitions) {
+            let mut d = p.lock();
+            d.values.clone_from(values);
+            d.halted.clone_from(halted);
+        }
+        for (store, snapshot) in self.current.iter().zip(&ckpt.stores) {
+            store.restore(snapshot.clone());
+        }
+        self.pending.store(ckpt.pending, Ordering::SeqCst);
+        self.aggs.import(&ckpt.aggregators);
+        if let Some(forks) = &ckpt.forks {
+            self.sync.restore(forks);
+        }
+        ckpt.superstep
+    }
+
+    /// BSP barrier: messages sent this superstep become visible.
+    fn bsp_swap(&self) {
+        for p in 0..self.next.len() {
+            let batches = self.next[p].drain_all();
+            if let Some(r) = &self.recorder {
+                let d = self.partitions[p].lock();
+                for (i, batch) in batches.iter().enumerate() {
+                    for (sender, _) in batch {
+                        r.on_visible(*sender, d.vertices[i]);
+                    }
+                }
+            }
+            self.current[p].append_all(batches);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graph::gen;
+
+    /// Counts supersteps: runs for `rounds` supersteps then halts.
+    struct Rounds(u64);
+    impl VertexProgram for Rounds {
+        type Value = u64;
+        type Message = ();
+        fn init(&self, _v: VertexId, _g: &Graph) -> u64 {
+            0
+        }
+        fn compute(&self, ctx: &mut Context<'_, Self>, _m: &[()]) {
+            *ctx.value_mut() += 1;
+            if ctx.superstep() + 1 >= self.0 {
+                ctx.vote_to_halt();
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_program_halts() {
+        let g = Arc::new(gen::ring(10));
+        let out = Engine::new(g, Rounds(3), EngineConfig::default())
+            .unwrap()
+            .run();
+        assert!(out.converged);
+        assert_eq!(out.supersteps, 3);
+        assert!(out.values.iter().all(|&v| v == 3));
+        assert_eq!(out.metrics.vertex_executions, 30);
+    }
+
+    /// Max-id flood used across the engine tests.
+    struct MaxId;
+    impl VertexProgram for MaxId {
+        type Value = u32;
+        type Message = u32;
+        fn init(&self, v: VertexId, _g: &Graph) -> u32 {
+            v.raw()
+        }
+        fn compute(&self, ctx: &mut Context<'_, Self>, msgs: &[u32]) {
+            let incoming = msgs.iter().copied().max().unwrap_or(0);
+            let known = (*ctx.value()).max(incoming);
+            if known > *ctx.value() || ctx.superstep() == 0 {
+                ctx.set_value(known);
+                ctx.send_to_all(known);
+            }
+            ctx.vote_to_halt();
+        }
+    }
+
+    fn run_maxid(model: Model, technique: TechniqueKind, workers: u32) -> Outcome<u32> {
+        let g = Arc::new(gen::ring(24));
+        let config = EngineConfig {
+            workers,
+            model,
+            technique,
+            threads_per_worker: 2,
+            ..Default::default()
+        };
+        Engine::new(g, MaxId, config).unwrap().run()
+    }
+
+    #[test]
+    fn maxid_bsp() {
+        let out = run_maxid(Model::Bsp, TechniqueKind::None, 2);
+        assert!(out.converged);
+        assert!(out.values.iter().all(|&v| v == 23));
+    }
+
+    #[test]
+    fn maxid_async() {
+        let out = run_maxid(Model::Async, TechniqueKind::None, 2);
+        assert!(out.converged);
+        assert!(out.values.iter().all(|&v| v == 23));
+    }
+
+    #[test]
+    fn maxid_all_techniques_agree() {
+        for technique in [
+            TechniqueKind::SingleToken,
+            TechniqueKind::DualToken,
+            TechniqueKind::VertexLock,
+            TechniqueKind::PartitionLock,
+            TechniqueKind::PartitionLockNoSkip,
+        ] {
+            let out = run_maxid(Model::Async, technique, 3);
+            assert!(out.converged, "{technique:?} did not converge");
+            assert!(
+                out.values.iter().all(|&v| v == 23),
+                "{technique:?} wrong result"
+            );
+        }
+    }
+
+    #[test]
+    fn async_uses_fewer_or_equal_supersteps_than_bsp() {
+        let bsp = run_maxid(Model::Bsp, TechniqueKind::None, 2);
+        let ap = run_maxid(Model::Async, TechniqueKind::None, 2);
+        assert!(
+            ap.supersteps <= bsp.supersteps,
+            "AP {} vs BSP {}",
+            ap.supersteps,
+            bsp.supersteps
+        );
+    }
+
+    #[test]
+    fn messages_counted_and_split_by_locality() {
+        let out = run_maxid(Model::Bsp, TechniqueKind::None, 2);
+        assert!(out.metrics.local_messages > 0);
+        assert!(out.metrics.remote_messages > 0);
+        assert!(out.metrics.remote_batches > 0);
+    }
+
+    #[test]
+    fn single_worker_has_no_remote_traffic() {
+        let out = run_maxid(Model::Async, TechniqueKind::None, 1);
+        assert_eq!(out.metrics.remote_messages, 0);
+        assert_eq!(out.metrics.remote_batches, 0);
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn max_supersteps_cap_reports_non_convergence() {
+        /// Never halts: keeps messaging forever.
+        struct Forever;
+        impl VertexProgram for Forever {
+            type Value = ();
+            type Message = u8;
+            fn init(&self, _v: VertexId, _g: &Graph) {}
+            fn compute(&self, ctx: &mut Context<'_, Self>, _m: &[u8]) {
+                ctx.send_to_all(0);
+            }
+        }
+        let g = Arc::new(gen::ring(4));
+        let config = EngineConfig {
+            max_supersteps: 5,
+            ..Default::default()
+        };
+        let out = Engine::new(g, Forever, config).unwrap().run();
+        assert!(!out.converged);
+        assert_eq!(out.supersteps, 5);
+    }
+
+    #[test]
+    fn makespan_positive_with_default_costs() {
+        let out = run_maxid(Model::Async, TechniqueKind::None, 2);
+        assert!(out.makespan_ns > 0);
+    }
+
+    #[test]
+    fn history_recording_round_trips() {
+        let g = Arc::new(gen::ring(8));
+        let config = EngineConfig {
+            workers: 2,
+            technique: TechniqueKind::PartitionLock,
+            record_history: true,
+            ..Default::default()
+        };
+        let gref = Arc::clone(&g);
+        let out = Engine::new(g, MaxId, config).unwrap().run();
+        let h = out.history.expect("history requested");
+        assert!(h.len() as u64 >= out.metrics.vertex_executions);
+        assert!(h.is_one_copy_serializable(&gref));
+    }
+
+    #[test]
+    fn empty_graph_converges_immediately() {
+        let g = Arc::new(Graph::from_edges(0, &[]));
+        let out = Engine::new(g, MaxId, EngineConfig::default()).unwrap().run();
+        assert!(out.converged);
+        assert!(out.values.is_empty());
+    }
+
+    #[test]
+    fn explicit_partition_assignment_respected() {
+        let g = Arc::new(gen::paper_c4());
+        // Paper's Figures 2/3 layout: W1 = {v0, v2}, W2 = {v1, v3}.
+        let config = EngineConfig {
+            workers: 2,
+            partitions_per_worker: Some(1),
+            explicit_partitions: Some(vec![
+                PartitionId::new(0),
+                PartitionId::new(1),
+                PartitionId::new(0),
+                PartitionId::new(1),
+            ]),
+            ..Default::default()
+        };
+        let engine = Engine::new(g, MaxId, config).unwrap();
+        let pm = engine.partition_map();
+        assert_eq!(pm.worker_of(VertexId::new(0)), WorkerId::new(0));
+        assert_eq!(pm.worker_of(VertexId::new(2)), WorkerId::new(0));
+        assert_eq!(pm.worker_of(VertexId::new(1)), WorkerId::new(1));
+        let out = engine.run();
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn explicit_partition_length_mismatch_rejected() {
+        let g = Arc::new(gen::ring(4));
+        let config = EngineConfig {
+            explicit_partitions: Some(vec![PartitionId::new(0)]),
+            ..Default::default()
+        };
+        assert!(Engine::new(g, MaxId, config).is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! The vertex-centric programming interface (Pregel's `compute()` model).
+
+use crate::aggregators::AggregatorView;
+use crate::context::Context;
+use sg_graph::{Graph, VertexId};
+
+/// A vertex-centric graph algorithm.
+///
+/// The engine calls [`VertexProgram::compute`] once per active vertex per
+/// superstep, passing the messages delivered to that vertex. Programs are
+/// written exactly as for BSP Giraph; when executed on the serializable AP
+/// model they additionally enjoy conditions C1 and C2 (fresh reads, no
+/// neighboring execution) without any code change — the transparency
+/// property of Section 6.5.
+pub trait VertexProgram: Send + Sync + 'static {
+    /// Per-vertex state (Pregel's "vertex value").
+    type Value: Clone + Send + Sync + 'static;
+    /// Message type exchanged along edges.
+    type Message: Clone + Send + Sync + 'static;
+
+    /// Initial value of vertex `v`.
+    fn init(&self, v: VertexId, graph: &Graph) -> Self::Value;
+
+    /// Execute one vertex for one superstep.
+    fn compute(&self, ctx: &mut Context<'_, Self>, messages: &[Self::Message]);
+
+    /// Declare the aggregators this program uses; called once before the
+    /// first superstep.
+    fn register_aggregators(&self, _aggs: &mut crate::aggregators::AggregatorSet) {}
+
+    /// Master hook, run after every superstep with the aggregator values
+    /// from that superstep. Return `true` to halt the whole computation
+    /// (used e.g. by PageRank's convergence threshold).
+    fn master_halt(&self, _superstep: u64, _aggregates: &AggregatorView) -> bool {
+        false
+    }
+}
+
+/// Combines two messages bound for the same vertex into one — Pregel's
+/// message combiner, used to shrink stores and network batches when the
+/// algorithm only needs an associative reduction of its messages
+/// (e.g. `min` for SSSP and WCC, `sum` for PageRank).
+pub trait Combiner<M>: Send + Sync + 'static {
+    /// Associative, commutative combination.
+    fn combine(&self, a: M, b: M) -> M;
+}
+
+/// Combiner keeping the minimum message (SSSP, WCC).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinCombiner;
+
+impl<M: PartialOrd> Combiner<M> for MinCombiner
+where
+    M: Send + Sync + 'static,
+{
+    fn combine(&self, a: M, b: M) -> M {
+        if b < a {
+            b
+        } else {
+            a
+        }
+    }
+}
+
+/// Combiner summing messages (PageRank contributions).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SumCombiner;
+
+impl Combiner<f64> for SumCombiner {
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_combiner_keeps_smaller() {
+        let c = MinCombiner;
+        assert_eq!(Combiner::<u64>::combine(&c, 3, 5), 3);
+        assert_eq!(Combiner::<u64>::combine(&c, 5, 3), 3);
+        assert_eq!(Combiner::<f64>::combine(&c, 1.5, 2.5), 1.5);
+    }
+
+    #[test]
+    fn sum_combiner_adds() {
+        let c = SumCombiner;
+        assert_eq!(c.combine(1.0, 2.5), 3.5);
+    }
+}

@@ -1,0 +1,82 @@
+//! Per-partition vertex state: values and halt votes.
+//!
+//! Each partition's state is owned by exactly one compute thread at a time
+//! (the engine wraps it in a mutex locked for the whole partition
+//! execution), which is precisely Giraph's "vertices in each partition are
+//! executed sequentially" discipline (Section 5.1).
+
+use sg_graph::VertexId;
+
+/// State of one partition's vertices. Index `i` corresponds to the `i`-th
+/// vertex of the partition in ascending id order.
+#[derive(Debug)]
+pub struct PartitionData<V> {
+    /// The vertices of this partition, ascending.
+    pub vertices: Vec<VertexId>,
+    /// Vertex values, parallel to `vertices`.
+    pub values: Vec<V>,
+    /// Halt votes, parallel to `vertices`. A halted vertex executes again
+    /// only when it receives a message (Pregel reactivation).
+    pub halted: Vec<bool>,
+}
+
+impl<V> PartitionData<V> {
+    /// Build with all vertices active and the given initial values.
+    pub fn new(vertices: Vec<VertexId>, values: Vec<V>) -> Self {
+        assert_eq!(vertices.len(), values.len());
+        let n = vertices.len();
+        Self {
+            vertices,
+            values,
+            halted: vec![false; n],
+        }
+    }
+
+    /// Number of vertices in the partition.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` for an empty partition.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Number of vertices that have not voted to halt.
+    pub fn active_count(&self) -> usize {
+        self.halted.iter().filter(|h| !**h).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_fully_active() {
+        let d = PartitionData::new(vec![VertexId::new(3), VertexId::new(7)], vec![0u32, 1]);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.active_count(), 2);
+    }
+
+    #[test]
+    fn halting_reduces_active_count() {
+        let mut d = PartitionData::new(vec![VertexId::new(0)], vec![0u32]);
+        d.halted[0] = true;
+        assert_eq!(d.active_count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        PartitionData::new(vec![VertexId::new(0)], Vec::<u32>::new());
+    }
+
+    #[test]
+    fn empty_partition() {
+        let d = PartitionData::<u32>::new(vec![], vec![]);
+        assert!(d.is_empty());
+        assert_eq!(d.active_count(), 0);
+    }
+}

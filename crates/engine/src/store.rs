@@ -1,0 +1,200 @@
+//! Message stores and outbound buffer caches — the engine's "network".
+//!
+//! Mirrors the Giraph machinery of Section 6.1: each worker holds a message
+//! store for incoming messages (here, one sub-store per partition so that
+//! "more partitions enables more parallel modifications to the store",
+//! Section 7.1), while outgoing remote messages accumulate in per-
+//! destination buffer caches that are flushed when full, at superstep
+//! boundaries, and whenever a synchronization technique needs a write-all
+//! flush before handing a fork or token to another worker (condition C1).
+
+use crate::program::Combiner;
+use parking_lot::Mutex;
+use sg_graph::VertexId;
+
+/// A queued message: who sent it (needed by the serializability recorder
+/// and the BSP visibility swap) and its payload.
+pub type Envelope<M> = (VertexId, M);
+
+/// Incoming-message store of one partition: one queue per local vertex.
+#[derive(Debug)]
+pub struct PartitionStore<M> {
+    queues: Mutex<Vec<Vec<Envelope<M>>>>,
+}
+
+impl<M: Clone + Send + 'static> PartitionStore<M> {
+    /// Store for a partition with `len` vertices.
+    pub fn new(len: usize) -> Self {
+        Self {
+            queues: Mutex::new((0..len).map(|_| Vec::new()).collect()),
+        }
+    }
+
+    /// Queue a message for local vertex `local`, applying the combiner if
+    /// one is configured (keeps at most one message per vertex). Returns
+    /// how many envelopes the queue *grew* by (0 when combined into an
+    /// existing one) so callers can keep exact pending-message counts.
+    pub fn insert(
+        &self,
+        local: usize,
+        sender: VertexId,
+        msg: M,
+        combiner: Option<&dyn Combiner<M>>,
+    ) -> usize {
+        let mut q = self.queues.lock();
+        let queue = &mut q[local];
+        match combiner {
+            Some(c) if !queue.is_empty() => {
+                let (_, old) = queue.pop().expect("non-empty");
+                queue.push((sender, c.combine(old, msg)));
+                0
+            }
+            _ => {
+                queue.push((sender, msg));
+                1
+            }
+        }
+    }
+
+    /// Take all messages currently queued for `local`.
+    pub fn drain(&self, local: usize) -> Vec<Envelope<M>> {
+        std::mem::take(&mut self.queues.lock()[local])
+    }
+
+    /// Does `local` have queued messages?
+    pub fn has_messages(&self, local: usize) -> bool {
+        !self.queues.lock()[local].is_empty()
+    }
+
+    /// Total queued messages in this store.
+    pub fn total(&self) -> usize {
+        self.queues.lock().iter().map(Vec::len).sum()
+    }
+
+    /// Take every queue (used by the BSP barrier swap).
+    pub fn drain_all(&self) -> Vec<Vec<Envelope<M>>> {
+        let mut q = self.queues.lock();
+        let len = q.len();
+        std::mem::replace(&mut *q, (0..len).map(|_| Vec::new()).collect())
+    }
+
+    /// Checkpoint support: clone every queue.
+    pub fn export(&self) -> Vec<Vec<Envelope<M>>> {
+        self.queues.lock().clone()
+    }
+
+    /// Checkpoint support: replace every queue with a snapshot.
+    pub fn restore(&self, snapshot: Vec<Vec<Envelope<M>>>) {
+        let mut q = self.queues.lock();
+        assert_eq!(q.len(), snapshot.len());
+        *q = snapshot;
+    }
+
+    /// Append previously drained queues (BSP swap target side).
+    pub fn append_all(&self, batches: Vec<Vec<Envelope<M>>>) {
+        let mut q = self.queues.lock();
+        assert_eq!(q.len(), batches.len());
+        for (queue, mut batch) in q.iter_mut().zip(batches) {
+            queue.append(&mut batch);
+        }
+    }
+}
+
+/// A message routed to another worker, waiting in the sender's buffer
+/// cache: destination vertex, original sender, payload.
+pub type Routed<M> = (VertexId, VertexId, M);
+
+/// Per-(source worker, destination worker) buffer caches.
+#[derive(Debug)]
+pub struct OutboundBuffers<M> {
+    bufs: Vec<Vec<Mutex<Vec<Routed<M>>>>>,
+}
+
+impl<M: Send> OutboundBuffers<M> {
+    /// Buffers for a `workers`-machine cluster.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            bufs: (0..workers)
+                .map(|_| (0..workers).map(|_| Mutex::new(Vec::new())).collect())
+                .collect(),
+        }
+    }
+
+    /// Buffer a message from worker `from` to worker `to`; returns the new
+    /// buffer length so the caller can decide to flush.
+    pub fn push(&self, from: usize, to: usize, routed: Routed<M>) -> usize {
+        let mut b = self.bufs[from][to].lock();
+        b.push(routed);
+        b.len()
+    }
+
+    /// Take everything buffered from `from` to `to`.
+    pub fn take(&self, from: usize, to: usize) -> Vec<Routed<M>> {
+        std::mem::take(&mut self.bufs[from][to].lock())
+    }
+
+    /// Total buffered messages from worker `from` (all destinations).
+    pub fn pending_from(&self, from: usize) -> usize {
+        self.bufs[from].iter().map(|b| b.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::MinCombiner;
+
+    fn v(raw: u32) -> VertexId {
+        VertexId::new(raw)
+    }
+
+    #[test]
+    fn insert_and_drain() {
+        let s = PartitionStore::new(2);
+        s.insert(0, v(9), 10u64, None);
+        s.insert(0, v(8), 20, None);
+        s.insert(1, v(9), 30, None);
+        assert!(s.has_messages(0));
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.drain(0), vec![(v(9), 10), (v(8), 20)]);
+        assert!(!s.has_messages(0));
+        assert_eq!(s.total(), 1);
+    }
+
+    #[test]
+    fn combiner_collapses_queue() {
+        let s = PartitionStore::new(1);
+        let c = MinCombiner;
+        s.insert(0, v(1), 10u64, Some(&c));
+        s.insert(0, v(2), 5, Some(&c));
+        s.insert(0, v(3), 7, Some(&c));
+        let drained = s.drain(0);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].1, 5);
+    }
+
+    #[test]
+    fn drain_all_and_append_all_roundtrip() {
+        let a = PartitionStore::new(2);
+        let b = PartitionStore::new(2);
+        a.insert(0, v(0), 1u64, None);
+        a.insert(1, v(0), 2, None);
+        let batches = a.drain_all();
+        assert_eq!(a.total(), 0);
+        b.append_all(batches);
+        assert_eq!(b.total(), 2);
+        assert_eq!(b.drain(1), vec![(v(0), 2)]);
+    }
+
+    #[test]
+    fn outbound_push_take() {
+        let o = OutboundBuffers::new(2);
+        assert_eq!(o.push(0, 1, (v(5), v(0), 1u64)), 1);
+        assert_eq!(o.push(0, 1, (v(6), v(0), 2)), 2);
+        assert_eq!(o.pending_from(0), 2);
+        let taken = o.take(0, 1);
+        assert_eq!(taken.len(), 2);
+        assert_eq!(o.pending_from(0), 0);
+        assert!(o.take(0, 1).is_empty());
+    }
+}

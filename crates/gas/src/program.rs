@@ -1,0 +1,54 @@
+//! The Gather–Apply–Scatter vertex program interface (GraphLab's API).
+
+use sg_graph::{Graph, VertexId};
+
+/// A pull-based vertex-centric program.
+///
+/// Semantics per executed vertex `v`:
+///
+/// 1. **Gather** — fold [`GasProgram::gather`] over `v`'s in-edge
+///    neighbors with [`GasProgram::merge`], starting from
+///    [`GasProgram::empty_accum`];
+/// 2. **Apply** — [`GasProgram::apply`] updates `v`'s value from the
+///    accumulator and reports whether the value changed significantly;
+/// 3. **Scatter** — when the value changed,
+///    [`GasProgram::scatter_activate`] is asked, per out-edge neighbor,
+///    whether that neighbor should be (re)scheduled.
+pub trait GasProgram: Send + Sync + 'static {
+    /// Per-vertex state.
+    type Value: Clone + Send + Sync + 'static;
+    /// Gather accumulator.
+    type Accum: Clone + Send + 'static;
+
+    /// Initial value of vertex `v`.
+    fn init(&self, v: VertexId, g: &Graph) -> Self::Value;
+
+    /// Should `v` be scheduled at startup? (defaults to all vertices —
+    /// SSSP-style algorithms restrict this to the source).
+    fn initially_active(&self, _v: VertexId) -> bool {
+        true
+    }
+
+    /// The gather identity.
+    fn empty_accum(&self) -> Self::Accum;
+
+    /// Contribution of in-neighbor `nbr` (with value `nbr_value`) to `v`.
+    fn gather(&self, g: &Graph, v: VertexId, nbr: VertexId, nbr_value: &Self::Value)
+        -> Self::Accum;
+
+    /// Associative, commutative merge of two accumulators.
+    fn merge(&self, a: Self::Accum, b: Self::Accum) -> Self::Accum;
+
+    /// Update `v`'s value; return `true` if it changed enough to scatter.
+    fn apply(&self, g: &Graph, v: VertexId, value: &mut Self::Value, acc: Self::Accum) -> bool;
+
+    /// After a change of `v`, should out-neighbor `nbr` be activated?
+    fn scatter_activate(
+        &self,
+        g: &Graph,
+        v: VertexId,
+        value: &Self::Value,
+        nbr: VertexId,
+        nbr_value: &Self::Value,
+    ) -> bool;
+}

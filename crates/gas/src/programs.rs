@@ -1,0 +1,305 @@
+//! The paper's four algorithms on the GAS API (GraphLab's implementations,
+//! Section 7.2).
+
+use crate::program::GasProgram;
+use sg_graph::{Graph, VertexId};
+
+/// "No color yet" sentinel for [`GasColoring`].
+pub const GAS_NO_COLOR: u32 = u32::MAX;
+
+/// Greedy graph coloring, pull-based: gather neighbor colors, apply the
+/// smallest non-conflicting color, scatter to (re)activate conflicting
+/// neighbors. Completes in a single pass per vertex under serializable
+/// async GAS (Section 7.2.1); may livelock without it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GasColoring;
+
+impl GasProgram for GasColoring {
+    type Value = u32;
+    type Accum = Vec<u32>;
+
+    fn init(&self, _v: VertexId, _g: &Graph) -> u32 {
+        GAS_NO_COLOR
+    }
+
+    fn empty_accum(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
+    fn gather(&self, _g: &Graph, _v: VertexId, _nbr: VertexId, nbr_value: &u32) -> Vec<u32> {
+        vec![*nbr_value]
+    }
+
+    fn merge(&self, mut a: Vec<u32>, mut b: Vec<u32>) -> Vec<u32> {
+        a.append(&mut b);
+        a
+    }
+
+    fn apply(&self, _g: &Graph, _v: VertexId, value: &mut u32, acc: Vec<u32>) -> bool {
+        if *value != GAS_NO_COLOR && !acc.contains(value) {
+            return false;
+        }
+        let mut taken = acc;
+        taken.sort_unstable();
+        taken.dedup();
+        let mut c = 0u32;
+        for t in taken {
+            if t == c {
+                c += 1;
+            } else if t > c {
+                break;
+            }
+        }
+        let changed = *value != c;
+        *value = c;
+        changed
+    }
+
+    fn scatter_activate(
+        &self,
+        _g: &Graph,
+        _v: VertexId,
+        _value: &u32,
+        _nbr: VertexId,
+        _nbr_value: &u32,
+    ) -> bool {
+        // Our color changed, so every neighbor must re-check for a
+        // conflict. (Comparing against the neighbor's value here would
+        // read a stale snapshot under sync GAS and a racy one under async
+        // GAS — unconditional activation is what makes the coloring
+        // livelock of Section 2.3 observable, and under serializability it
+        // costs only one no-op wake per neighbor.)
+        true
+    }
+}
+
+/// PageRank: gather `Σ pr(nbr)/deg+(nbr)`, apply the damped update,
+/// scatter while the change exceeds the tolerance.
+#[derive(Clone, Copy, Debug)]
+pub struct GasPageRank {
+    /// Re-activation tolerance (GraphLab's convergence knob).
+    pub tolerance: f64,
+}
+
+impl GasPageRank {
+    /// PageRank with the given tolerance.
+    pub fn new(tolerance: f64) -> Self {
+        Self { tolerance }
+    }
+}
+
+impl GasProgram for GasPageRank {
+    type Value = f64;
+    type Accum = f64;
+
+    fn init(&self, _v: VertexId, _g: &Graph) -> f64 {
+        1.0
+    }
+
+    fn empty_accum(&self) -> f64 {
+        0.0
+    }
+
+    fn gather(&self, g: &Graph, _v: VertexId, nbr: VertexId, nbr_value: &f64) -> f64 {
+        let deg = g.out_degree(nbr);
+        if deg == 0 {
+            0.0
+        } else {
+            *nbr_value / f64::from(deg)
+        }
+    }
+
+    fn merge(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+
+    fn apply(&self, _g: &Graph, _v: VertexId, value: &mut f64, acc: f64) -> bool {
+        let new = 0.15 + 0.85 * acc;
+        let changed = (new - *value).abs() > self.tolerance;
+        *value = new;
+        changed
+    }
+
+    fn scatter_activate(
+        &self,
+        _g: &Graph,
+        _v: VertexId,
+        _value: &f64,
+        _nbr: VertexId,
+        _nbr_value: &f64,
+    ) -> bool {
+        true
+    }
+}
+
+/// SSSP with unit weights: only the source starts active; distances relax
+/// through gathers.
+#[derive(Clone, Copy, Debug)]
+pub struct GasSssp {
+    /// The source vertex.
+    pub source: VertexId,
+}
+
+/// Unreached-distance sentinel.
+pub const GAS_INFINITY: u64 = u64::MAX;
+
+impl GasSssp {
+    /// SSSP from `source`.
+    pub fn new(source: VertexId) -> Self {
+        Self { source }
+    }
+}
+
+impl GasProgram for GasSssp {
+    type Value = u64;
+    type Accum = u64;
+
+    fn init(&self, _v: VertexId, _g: &Graph) -> u64 {
+        GAS_INFINITY
+    }
+
+    fn initially_active(&self, v: VertexId) -> bool {
+        v == self.source
+    }
+
+    fn empty_accum(&self) -> u64 {
+        GAS_INFINITY
+    }
+
+    fn gather(&self, _g: &Graph, _v: VertexId, _nbr: VertexId, nbr_value: &u64) -> u64 {
+        nbr_value.saturating_add(1)
+    }
+
+    fn merge(&self, a: u64, b: u64) -> u64 {
+        a.min(b)
+    }
+
+    fn apply(&self, _g: &Graph, v: VertexId, value: &mut u64, acc: u64) -> bool {
+        let mut best = acc;
+        if v == self.source {
+            best = 0;
+        }
+        if best < *value {
+            *value = best;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn scatter_activate(
+        &self,
+        _g: &Graph,
+        _v: VertexId,
+        value: &u64,
+        _nbr: VertexId,
+        nbr_value: &u64,
+    ) -> bool {
+        *nbr_value > value.saturating_add(1)
+    }
+}
+
+/// WCC (HCC): propagate the minimum component id.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GasWcc;
+
+impl GasProgram for GasWcc {
+    type Value = u32;
+    type Accum = u32;
+
+    fn init(&self, v: VertexId, _g: &Graph) -> u32 {
+        v.raw()
+    }
+
+    fn empty_accum(&self) -> u32 {
+        u32::MAX
+    }
+
+    fn gather(&self, _g: &Graph, _v: VertexId, _nbr: VertexId, nbr_value: &u32) -> u32 {
+        *nbr_value
+    }
+
+    fn merge(&self, a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+
+    fn apply(&self, _g: &Graph, _v: VertexId, value: &mut u32, acc: u32) -> bool {
+        if acc < *value {
+            *value = acc;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn scatter_activate(
+        &self,
+        _g: &Graph,
+        _v: VertexId,
+        value: &u32,
+        _nbr: VertexId,
+        nbr_value: &u32,
+    ) -> bool {
+        *nbr_value > *value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graph::gen;
+
+    #[test]
+    fn coloring_apply_picks_smallest_free() {
+        let g = gen::ring(3);
+        let p = GasColoring;
+        let mut value = GAS_NO_COLOR;
+        assert!(p.apply(&g, VertexId::new(0), &mut value, vec![0, 2, GAS_NO_COLOR]));
+        assert_eq!(value, 1);
+        // No conflict: keep color.
+        assert!(!p.apply(&g, VertexId::new(0), &mut value, vec![0, 2]));
+        assert_eq!(value, 1);
+        // Conflict: recolor.
+        assert!(p.apply(&g, VertexId::new(0), &mut value, vec![1]));
+        assert_eq!(value, 0);
+    }
+
+    #[test]
+    fn pagerank_gather_divides_by_out_degree() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 0)]);
+        let p = GasPageRank::new(0.01);
+        // vertex 0 has out-degree 2
+        assert_eq!(p.gather(&g, VertexId::new(1), VertexId::new(0), &2.0), 1.0);
+    }
+
+    #[test]
+    fn sssp_merge_and_apply() {
+        let g = gen::ring(4);
+        let p = GasSssp::new(VertexId::new(0));
+        assert_eq!(p.merge(5, 3), 3);
+        let mut d = GAS_INFINITY;
+        assert!(p.apply(&g, VertexId::new(2), &mut d, 4));
+        assert_eq!(d, 4);
+        assert!(!p.apply(&g, VertexId::new(2), &mut d, 9));
+    }
+
+    #[test]
+    fn sssp_gather_saturates_at_infinity() {
+        let g = gen::ring(4);
+        let p = GasSssp::new(VertexId::new(0));
+        assert_eq!(
+            p.gather(&g, VertexId::new(1), VertexId::new(0), &GAS_INFINITY),
+            GAS_INFINITY
+        );
+    }
+
+    #[test]
+    fn wcc_activation_only_for_larger_neighbors() {
+        let g = gen::ring(4);
+        let p = GasWcc;
+        assert!(p.scatter_activate(&g, VertexId::new(0), &1, VertexId::new(1), &5));
+        assert!(!p.scatter_activate(&g, VertexId::new(0), &1, VertexId::new(1), &0));
+    }
+
+    use sg_graph::Graph;
+}

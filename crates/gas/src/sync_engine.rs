@@ -1,0 +1,167 @@
+//! Synchronous GAS (GraphLab sync): rounds with double-buffered values.
+//!
+//! Gather in round `r` sees the values as of the end of round `r - 1`
+//! ("the effects of apply and scatter of one superstep are visible only to
+//! the gather of the next superstep", Section 2.3). Like BSP, this model
+//! cannot provide serializability — the coloring oscillation test below
+//! reproduces the Section 2.3 failure deterministically.
+
+use crate::program::GasProgram;
+use sg_graph::Graph;
+use std::sync::Arc;
+
+/// Result of a sync GAS run.
+#[derive(Clone, Debug)]
+pub struct SyncGasOutcome<V> {
+    /// Final values by vertex id.
+    pub values: Vec<V>,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// `false` if the round cap was hit with work remaining.
+    pub converged: bool,
+    /// Total vertex executions.
+    pub executions: u64,
+}
+
+/// The synchronous GAS engine (single-host reference implementation; the
+/// paper's evaluation uses the async mode, so this engine prioritizes
+/// clarity over parallel throughput).
+pub struct SyncGasEngine<P: GasProgram> {
+    graph: Arc<Graph>,
+    program: P,
+    max_rounds: u64,
+}
+
+impl<P: GasProgram> SyncGasEngine<P> {
+    /// Engine over `graph` with a round cap.
+    pub fn new(graph: Arc<Graph>, program: P, max_rounds: u64) -> Self {
+        Self {
+            graph,
+            program,
+            max_rounds,
+        }
+    }
+
+    /// Run to quiescence or the round cap.
+    pub fn run(self) -> SyncGasOutcome<P::Value> {
+        let g = &self.graph;
+        let n = g.num_vertices() as usize;
+        let mut values: Vec<P::Value> = g.vertices().map(|v| self.program.init(v, g)).collect();
+        let mut active: Vec<bool> = g
+            .vertices()
+            .map(|v| self.program.initially_active(v))
+            .collect();
+        let mut executions = 0u64;
+        let mut rounds = 0u64;
+
+        while rounds < self.max_rounds {
+            if !active.iter().any(|&a| a) {
+                return SyncGasOutcome {
+                    values,
+                    rounds,
+                    converged: true,
+                    executions,
+                };
+            }
+            rounds += 1;
+            let old = values.clone(); // gather reads the previous round
+            let mut next_active = vec![false; n];
+            for v in g.vertices() {
+                if !active[v.index()] {
+                    continue;
+                }
+                executions += 1;
+                let mut acc = self.program.empty_accum();
+                for &u in g.in_neighbors(v) {
+                    acc = self
+                        .program
+                        .merge(acc, self.program.gather(g, v, u, &old[u.index()]));
+                }
+                let changed = self
+                    .program
+                    .apply(g, v, &mut values[v.index()], acc);
+                if changed {
+                    for &u in g.out_neighbors(v) {
+                        if self.program.scatter_activate(
+                            g,
+                            v,
+                            &values[v.index()],
+                            u,
+                            &old[u.index()],
+                        ) {
+                            next_active[u.index()] = true;
+                        }
+                    }
+                }
+            }
+            active = next_active;
+        }
+
+        let converged = !active.iter().any(|&a| a);
+        SyncGasOutcome {
+            values,
+            rounds,
+            converged,
+            executions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::{GasColoring, GasWcc};
+    use sg_graph::VertexId;
+    use sg_graph::gen;
+
+    #[test]
+    fn wcc_converges_in_sync_mode() {
+        let g = Arc::new(gen::ring(10));
+        let out = SyncGasEngine::new(g, GasWcc, 100).run();
+        assert!(out.converged);
+        assert!(out.values.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn coloring_oscillates_in_sync_mode() {
+        // Section 2.3 / Figure 2 analogue: all vertices recolor in
+        // lockstep from the same stale snapshot and never settle.
+        let g = Arc::new(gen::paper_c4());
+        let out = SyncGasEngine::new(g, GasColoring, 60).run();
+        assert!(!out.converged, "sync GAS coloring must oscillate");
+    }
+
+    #[test]
+    fn inactive_start_is_immediate_quiescence() {
+        struct Never;
+        impl GasProgram for Never {
+            type Value = ();
+            type Accum = ();
+            fn init(&self, _v: VertexId, _g: &Graph) {}
+            fn initially_active(&self, _v: VertexId) -> bool {
+                false
+            }
+            fn empty_accum(&self) {}
+            fn gather(&self, _g: &Graph, _v: VertexId, _n: VertexId, _nv: &()) {}
+            fn merge(&self, _a: (), _b: ()) {}
+            fn apply(&self, _g: &Graph, _v: VertexId, _val: &mut (), _acc: ()) -> bool {
+                false
+            }
+            fn scatter_activate(
+                &self,
+                _g: &Graph,
+                _v: VertexId,
+                _val: &(),
+                _n: VertexId,
+                _nv: &(),
+            ) -> bool {
+                false
+            }
+        }
+        let g = Arc::new(gen::ring(4));
+        let out = SyncGasEngine::new(g, Never, 10).run();
+        assert!(out.converged);
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.executions, 0);
+    }
+}

@@ -1,0 +1,503 @@
+//! Seeded synthetic graph generators.
+//!
+//! The paper evaluates on four large real-world graphs (com-Orkut,
+//! arabic-2005, twitter-2010, uk-2007-05; Table 1). Those datasets are not
+//! redistributable here and would not fit a single-host simulation anyway,
+//! so [`datasets`] provides scaled-down synthetic stand-ins with matched
+//! degree skew (power-law via R-MAT) and matched |E|/|V| ratios. The small
+//! deterministic generators (rings, grids, cliques, …) feed the unit,
+//! property, and oscillation tests.
+//!
+//! Every generator takes an explicit seed; identical seeds produce identical
+//! graphs on every platform.
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Undirected cycle `0-1-…-(n-1)-0`, stored symmetrically.
+///
+/// `ring(4)` is isomorphic to the 4-cycle of the paper's Figures 2 and 3
+/// (there the cycle order is v0-v1-v3-v2; use [`paper_c4`] for that exact
+/// labelling).
+pub fn ring(n: u32) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut edges = Vec::with_capacity(2 * n as usize);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        edges.push((i, j));
+        edges.push((j, i));
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// The exact 4-cycle of Figures 2 and 3: edges v0-v1, v1-v3, v3-v2, v2-v0,
+/// so the two color classes are {v0, v3} and {v1, v2}, and workers
+/// W1 = {v0, v2}, W2 = {v1, v3} cut every edge.
+pub fn paper_c4() -> Graph {
+    Graph::from_edges(
+        4,
+        &[
+            (0, 1),
+            (1, 0),
+            (1, 3),
+            (3, 1),
+            (3, 2),
+            (2, 3),
+            (2, 0),
+            (0, 2),
+        ],
+    )
+}
+
+/// Undirected `rows × cols` grid with 4-neighborhoods.
+pub fn grid(rows: u32, cols: u32) -> Graph {
+    assert!(rows > 0 && cols > 0);
+    let id = |r: u32, c: u32| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+                edges.push((id(r, c + 1), id(r, c)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+                edges.push((id(r + 1, c), id(r, c)));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, &edges)
+}
+
+/// Complete undirected graph on `n` vertices (the dense case that makes
+/// non-serializable greedy coloring fail to terminate, Section 1).
+pub fn complete(n: u32) -> Graph {
+    let mut edges = Vec::with_capacity((n as usize) * (n as usize - 1));
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                edges.push((i, j));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Star: vertex 0 connected to all others, undirected.
+pub fn star(n: u32) -> Graph {
+    assert!(n >= 2);
+    let mut edges = Vec::with_capacity(2 * (n as usize - 1));
+    for i in 1..n {
+        edges.push((0, i));
+        edges.push((i, 0));
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Complete bipartite graph `K(a, b)`, undirected; vertices `0..a` on the
+/// left, `a..a+b` on the right.
+pub fn bipartite_complete(a: u32, b: u32) -> Graph {
+    let mut edges = Vec::with_capacity(2 * (a as usize) * (b as usize));
+    for i in 0..a {
+        for j in a..a + b {
+            edges.push((i, j));
+            edges.push((j, i));
+        }
+    }
+    Graph::from_edges(a + b, &edges)
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct directed edges chosen
+/// uniformly (no self-loops). If `symmetric`, the reverse of each edge is
+/// added too (and `m` counts undirected edges).
+pub fn erdos_renyi(n: u32, m: u64, symmetric: bool, seed: u64) -> Graph {
+    assert!(n >= 2);
+    let max_edges = n as u64 * (n as u64 - 1) / if symmetric { 2 } else { 1 };
+    assert!(m <= max_edges, "too many edges requested");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(m as usize);
+    let mut edges = Vec::with_capacity(if symmetric { 2 * m as usize } else { m as usize });
+    while (seen.len() as u64) < m {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        let key = if symmetric { (a.min(b), a.max(b)) } else { (a, b) };
+        if seen.insert(key) {
+            edges.push((key.0, key.1));
+            if symmetric {
+                edges.push((key.1, key.0));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m_per_vertex` existing vertices chosen proportionally to degree.
+/// Produces an undirected (symmetric) power-law graph.
+pub fn preferential_attachment(n: u32, m_per_vertex: u32, seed: u64) -> Graph {
+    let m = m_per_vertex.max(1);
+    assert!(n > m, "need more vertices than attachments per vertex");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // `targets` holds one entry per edge endpoint, so sampling uniformly
+    // from it is degree-proportional sampling.
+    let mut endpoint_pool: Vec<u32> = Vec::with_capacity(2 * (n as usize) * (m as usize));
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(2 * (n as usize) * (m as usize));
+
+    // Seed clique over the first m+1 vertices.
+    for i in 0..=m {
+        for j in 0..i {
+            edges.push((i, j));
+            edges.push((j, i));
+            endpoint_pool.push(i);
+            endpoint_pool.push(j);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut chosen = std::collections::BTreeSet::new();
+        while (chosen.len() as u32) < m {
+            let t = endpoint_pool[rng.gen_range(0..endpoint_pool.len())];
+            if t != v {
+                chosen.insert(t);
+            }
+        }
+        // Deterministic iteration order matters: the endpoint pool's
+        // order feeds later degree-proportional draws, so a HashSet here
+        // would make "identical seed" graphs differ between calls.
+        for &t in &chosen {
+            edges.push((v, t));
+            edges.push((t, v));
+            endpoint_pool.push(v);
+            endpoint_pool.push(t);
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where each vertex
+/// connects to its `k/2` nearest neighbors on each side, with every edge
+/// rewired to a uniform random endpoint with probability `beta`. Produces
+/// high clustering with short paths — a useful contrast to the power-law
+/// generators for the coloring and triangle workloads.
+pub fn watts_strogatz(n: u32, k: u32, beta: f64, seed: u64) -> Graph {
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2");
+    assert!(n > k, "need n > k");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = std::collections::BTreeSet::new();
+    for v in 0..n {
+        for j in 1..=(k / 2) {
+            let mut t = (v + j) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire to a uniform non-self endpoint, avoiding duplicates.
+                for _ in 0..16 {
+                    let cand = rng.gen_range(0..n);
+                    let key = (v.min(cand), v.max(cand));
+                    if cand != v && !edges.contains(&key) {
+                        t = cand;
+                        break;
+                    }
+                }
+            }
+            if t != v {
+                edges.insert((v.min(t), v.max(t)));
+            }
+        }
+    }
+    let mut sym = Vec::with_capacity(edges.len() * 2);
+    for &(a, b) in &edges {
+        sym.push((a, b));
+        sym.push((b, a));
+    }
+    Graph::from_edges(n, &sym)
+}
+
+/// R-MAT recursive-matrix generator (Chakrabarti et al.): `2^scale`
+/// vertices, `num_edges` directed edges drawn by recursive quadrant
+/// selection with probabilities `(a, b, c, d)`, `a + b + c + d = 1`.
+/// Self-loops are rejected; parallel edges are rejected, so the output has
+/// exactly `num_edges` distinct directed edges (callers should keep
+/// `num_edges` well below `4^scale`).
+pub fn rmat(scale: u32, num_edges: u64, probs: (f64, f64, f64, f64), seed: u64) -> Graph {
+    let (a, b, c, d) = probs;
+    assert!(
+        (a + b + c + d - 1.0).abs() < 1e-9,
+        "R-MAT probabilities must sum to 1"
+    );
+    let n: u64 = 1 << scale;
+    assert!(
+        num_edges <= n * (n - 1) / 2,
+        "too many edges for 2^{scale} vertices"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(num_edges as usize);
+    let mut edges = Vec::with_capacity(num_edges as usize);
+    while (seen.len() as u64) < num_edges {
+        let (mut x0, mut x1) = (0u64, n);
+        let (mut y0, mut y1) = (0u64, n);
+        while x1 - x0 > 1 {
+            let r: f64 = rng.gen();
+            let (right, down) = if r < a {
+                (false, false)
+            } else if r < a + b {
+                (true, false)
+            } else if r < a + b + c {
+                (false, true)
+            } else {
+                (true, true)
+            };
+            let xm = (x0 + x1) / 2;
+            let ym = (y0 + y1) / 2;
+            if right {
+                x0 = xm;
+            } else {
+                x1 = xm;
+            }
+            if down {
+                y0 = ym;
+            } else {
+                y1 = ym;
+            }
+        }
+        let (s, t) = (x0 as u32, y0 as u32);
+        if s == t {
+            continue;
+        }
+        if seen.insert((s, t)) {
+            edges.push((s, t));
+        }
+    }
+    Graph::from_edges(n as u32, &edges)
+}
+
+/// Scaled-down synthetic stand-ins for the paper's Table 1 datasets.
+///
+/// Each function returns a *directed* graph (like the originals); the
+/// coloring experiments symmetrize with [`Graph::to_undirected`] exactly as
+/// the paper does. `scale_div` divides the default edge count (and shrinks
+/// the vertex count by half the log) for quicker runs; `1` gives the default
+/// ~1000×-reduced sizes.
+pub mod datasets {
+    use super::*;
+
+    /// Standard R-MAT skew used for all four stand-ins.
+    pub const SKEW: (f64, f64, f64, f64) = (0.57, 0.19, 0.19, 0.05);
+
+    fn shrink(scale: u32, edges: u64, scale_div: u64) -> (u32, u64) {
+        assert!(scale_div >= 1);
+        // Halve the vertex count for every 4x reduction in edges so the
+        // average degree (and thus contention character) stays similar.
+        let log4 = (63 - scale_div.leading_zeros() as u64) / 2;
+        let new_scale = scale.saturating_sub(log4 as u32).max(6);
+        (new_scale, (edges / scale_div).max(1 << new_scale))
+    }
+
+    /// com-Orkut stand-in: social network, |V| ≈ 4.1K, |E| ≈ 160K (vs the
+    /// real 3.0M / 117M — same |E|/|V| ≈ 39).
+    pub fn or_sim(scale_div: u64) -> Graph {
+        let (s, e) = shrink(12, 160_000, scale_div);
+        rmat(s, e, SKEW, 0x0_12)
+    }
+
+    /// arabic-2005 stand-in: web graph, |V| ≈ 16K, |E| ≈ 459K (real:
+    /// 22.7M / 639M, |E|/|V| ≈ 28).
+    pub fn ar_sim(scale_div: u64) -> Graph {
+        let (s, e) = shrink(14, 459_000, scale_div);
+        rmat(s, e, SKEW, 0xA5)
+    }
+
+    /// twitter-2010 stand-in: social network, |V| ≈ 33K, |E| ≈ 1.15M
+    /// (real: 41.6M / 1.46B, |E|/|V| ≈ 35).
+    pub fn tw_sim(scale_div: u64) -> Graph {
+        let (s, e) = shrink(15, 1_150_000, scale_div);
+        rmat(s, e, SKEW, 0x0_74)
+    }
+
+    /// uk-2007-05 stand-in: web graph, |V| ≈ 65K, |E| ≈ 2.36M (real:
+    /// 105M / 3.73B, |E|/|V| ≈ 35.5).
+    pub fn uk_sim(scale_div: u64) -> Graph {
+        let (s, e) = shrink(16, 2_360_000, scale_div);
+        rmat(s, e, SKEW, 0x0_7C)
+    }
+
+    /// All four stand-ins with their short names, in Table 1 order.
+    pub fn all(scale_div: u64) -> Vec<(&'static str, Graph)> {
+        vec![
+            ("OR-sim", or_sim(scale_div)),
+            ("AR-sim", ar_sim(scale_div)),
+            ("TW-sim", tw_sim(scale_div)),
+            ("UK-sim", uk_sim(scale_div)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VertexId;
+
+    #[test]
+    fn ring_structure() {
+        let g = ring(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 10);
+        assert!(g.is_symmetric());
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn paper_c4_color_classes() {
+        let g = paper_c4();
+        assert!(g.is_symmetric());
+        // v0's neighbors are v1 and v2 — not v3.
+        assert_eq!(
+            g.neighbors(VertexId::new(0)),
+            vec![VertexId::new(1), VertexId::new(2)]
+        );
+        assert_eq!(
+            g.neighbors(VertexId::new(3)),
+            vec![VertexId::new(1), VertexId::new(2)]
+        );
+    }
+
+    #[test]
+    fn grid_degrees() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert!(g.is_symmetric());
+        // corner has degree 2 (out), center 4
+        assert_eq!(g.out_degree(VertexId::new(0)), 2);
+        assert_eq!(g.out_degree(VertexId::new(5)), 4);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 20);
+        assert!(g.is_symmetric());
+        assert_eq!(g.num_undirected_edges(), 10);
+    }
+
+    #[test]
+    fn star_graph() {
+        let g = star(6);
+        assert_eq!(g.out_degree(VertexId::new(0)), 5);
+        assert_eq!(g.out_degree(VertexId::new(3)), 1);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn bipartite_graph() {
+        let g = bipartite_complete(2, 3);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_undirected_edges(), 6);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn erdos_renyi_exact_edge_count() {
+        let g = erdos_renyi(50, 100, false, 1);
+        assert_eq!(g.num_edges(), 100);
+        let u = erdos_renyi(50, 100, true, 1);
+        assert_eq!(u.num_edges(), 200);
+        assert!(u.is_symmetric());
+        assert_eq!(u.num_undirected_edges(), 100);
+    }
+
+    #[test]
+    fn erdos_renyi_deterministic_per_seed() {
+        let a = erdos_renyi(40, 60, false, 9);
+        let b = erdos_renyi(40, 60, false, 9);
+        for v in a.vertices() {
+            assert_eq!(a.out_neighbors(v), b.out_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn preferential_attachment_properties() {
+        let g = preferential_attachment(200, 3, 4);
+        assert_eq!(g.num_vertices(), 200);
+        assert!(g.is_symmetric());
+        // Power-law-ish: max degree should be well above the mean.
+        let mean = g.num_edges() / 200;
+        assert!(u64::from(g.max_degree()) > 2 * mean);
+        // No self-loops.
+        for v in g.vertices() {
+            assert!(!g.out_neighbors(v).contains(&v));
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_shape() {
+        let g = watts_strogatz(100, 4, 0.1, 3);
+        assert_eq!(g.num_vertices(), 100);
+        assert!(g.is_symmetric());
+        // Roughly n*k/2 undirected edges (rewiring collisions may drop a few).
+        let und = g.num_undirected_edges();
+        assert!((180..=200).contains(&und), "got {und}");
+        // beta = 0 is the pure ring lattice: exactly n*k/2 edges, all degree k.
+        let lattice = watts_strogatz(50, 4, 0.0, 1);
+        assert_eq!(lattice.num_undirected_edges(), 100);
+        assert!(lattice.vertices().all(|v| lattice.out_degree(v) == 4));
+    }
+
+    #[test]
+    fn watts_strogatz_deterministic() {
+        let a = watts_strogatz(80, 6, 0.2, 9);
+        let b = watts_strogatz(80, 6, 0.2, 9);
+        for v in a.vertices() {
+            assert_eq!(a.out_neighbors(v), b.out_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn rmat_shape() {
+        let g = rmat(8, 1000, datasets::SKEW, 7);
+        assert_eq!(g.num_vertices(), 256);
+        assert_eq!(g.num_edges(), 1000);
+        // Skewed: some vertex should be much hotter than average.
+        assert!(g.max_degree() > 30);
+    }
+
+    #[test]
+    fn preferential_attachment_deterministic() {
+        // Regression: a HashSet in the attachment loop once made two
+        // same-seed calls return different graphs.
+        let a = preferential_attachment(100, 3, 9);
+        let b = preferential_attachment(100, 3, 9);
+        for v in a.vertices() {
+            assert_eq!(a.out_neighbors(v), b.out_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn rmat_deterministic() {
+        let a = rmat(7, 300, datasets::SKEW, 42);
+        let b = rmat(7, 300, datasets::SKEW, 42);
+        for v in a.vertices() {
+            assert_eq!(a.out_neighbors(v), b.out_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn dataset_sims_scale_down() {
+        let small = datasets::or_sim(64);
+        let smaller = datasets::or_sim(256);
+        assert!(small.num_edges() > smaller.num_edges());
+        assert!(small.num_vertices() >= smaller.num_vertices());
+    }
+
+    #[test]
+    fn dataset_sims_ordering_matches_table1() {
+        // With the same scale_div the four stand-ins must preserve the
+        // paper's size ordering OR < AR < TW < UK.
+        let gs = datasets::all(256);
+        let sizes: Vec<u64> = gs.iter().map(|(_, g)| g.num_edges()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "sizes {sizes:?}");
+    }
+}

@@ -1,0 +1,395 @@
+//! Immutable CSR graph storage with out- and in-adjacency.
+//!
+//! The engines treat the topology as read-only (vertex *values* mutate, the
+//! structure does not — the same assumption Pregel, Giraph, and GraphLab
+//! make for the algorithm classes the paper studies). A [`Graph`] therefore
+//! stores two compressed sparse row structures: one over out-edges (used to
+//! push messages / scatter) and one over in-edges (used to know the read set
+//! `N_u` of a transaction and, in pull-based GAS, to gather).
+
+use crate::ids::VertexId;
+
+/// An immutable directed graph in CSR form.
+///
+/// Vertex ids are dense `0..num_vertices()`. Parallel edges are permitted
+/// (builders deduplicate by default); self-loops are permitted but ignored
+/// by the synchronization techniques (a vertex trivially never conflicts
+/// with itself).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    num_vertices: u32,
+    /// CSR offsets into `out_targets`; length `num_vertices + 1`.
+    out_offsets: Vec<u64>,
+    out_targets: Vec<VertexId>,
+    /// CSR offsets into `in_sources`; length `num_vertices + 1`.
+    in_offsets: Vec<u64>,
+    in_sources: Vec<VertexId>,
+}
+
+impl Graph {
+    /// Build a graph from a directed edge list.
+    ///
+    /// `num_vertices` fixes the id space; every endpoint must be `< num_vertices`.
+    /// Adjacency lists are sorted for deterministic iteration. Duplicate
+    /// edges are kept as-is (use [`crate::GraphBuilder`] to deduplicate).
+    ///
+    /// # Panics
+    /// Panics if an edge endpoint is out of range.
+    pub fn from_edges(num_vertices: u32, edges: &[(u32, u32)]) -> Self {
+        for &(s, t) in edges {
+            assert!(
+                s < num_vertices && t < num_vertices,
+                "edge ({s}, {t}) out of range for {num_vertices} vertices"
+            );
+        }
+        let n = num_vertices as usize;
+
+        let mut out_counts = vec![0u64; n + 1];
+        let mut in_counts = vec![0u64; n + 1];
+        for &(s, t) in edges {
+            out_counts[s as usize + 1] += 1;
+            in_counts[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_counts[i + 1] += out_counts[i];
+            in_counts[i + 1] += in_counts[i];
+        }
+        let out_offsets = out_counts;
+        let in_offsets = in_counts;
+
+        let mut out_targets = vec![VertexId::new(0); edges.len()];
+        let mut in_sources = vec![VertexId::new(0); edges.len()];
+        let mut out_cursor: Vec<u64> = out_offsets[..n].to_vec();
+        let mut in_cursor: Vec<u64> = in_offsets[..n].to_vec();
+        for &(s, t) in edges {
+            let oc = &mut out_cursor[s as usize];
+            out_targets[*oc as usize] = VertexId::new(t);
+            *oc += 1;
+            let ic = &mut in_cursor[t as usize];
+            in_sources[*ic as usize] = VertexId::new(s);
+            *ic += 1;
+        }
+
+        // Sort each adjacency run for deterministic iteration order.
+        let mut g = Graph {
+            num_vertices,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        };
+        for v in 0..n {
+            let (a, b) = g.out_range(v);
+            g.out_targets[a..b].sort_unstable();
+            let (a, b) = g.in_range(v);
+            g.in_sources[a..b].sort_unstable();
+        }
+        g
+    }
+
+    #[inline]
+    fn out_range(&self, v: usize) -> (usize, usize) {
+        (self.out_offsets[v] as usize, self.out_offsets[v + 1] as usize)
+    }
+
+    #[inline]
+    fn in_range(&self, v: usize) -> (usize, usize) {
+        (self.in_offsets[v] as usize, self.in_offsets[v + 1] as usize)
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Number of directed edges `|E|` (parallel edges counted).
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.out_targets.len() as u64
+    }
+
+    /// Iterator over all vertex ids `0..|V|`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices).map(VertexId::new)
+    }
+
+    /// Out-edge neighbors of `v` (sorted, possibly with duplicates if the
+    /// input had parallel edges).
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let (a, b) = self.out_range(v.index());
+        &self.out_targets[a..b]
+    }
+
+    /// In-edge neighbors of `v` (sorted).
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let (a, b) = self.in_range(v.index());
+        &self.in_sources[a..b]
+    }
+
+    /// All distinct neighbors of `v`, in- and out-, excluding `v` itself.
+    ///
+    /// This is the neighbor notion of the paper's Section 3.1 ("let
+    /// neighbors refer to both in-edge and out-edge neighbors") used by
+    /// every synchronization technique: `u` must not run concurrently with
+    /// any vertex in this set.
+    pub fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        let outs = self.out_neighbors(v);
+        let ins = self.in_neighbors(v);
+        let mut merged = Vec::with_capacity(outs.len() + ins.len());
+        // Merge two sorted lists, dropping duplicates and self-loops.
+        let (mut i, mut j) = (0, 0);
+        while i < outs.len() || j < ins.len() {
+            let next = match (outs.get(i), ins.get(j)) {
+                (Some(&a), Some(&b)) => {
+                    if a <= b {
+                        i += 1;
+                        if a == b {
+                            j += 1;
+                        }
+                        a
+                    } else {
+                        j += 1;
+                        b
+                    }
+                }
+                (Some(&a), None) => {
+                    i += 1;
+                    a
+                }
+                (None, Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (None, None) => unreachable!(),
+            };
+            if next != v && merged.last() != Some(&next) {
+                merged.push(next);
+            }
+        }
+        merged
+    }
+
+    /// Out-degree of `v`, counting parallel edges (the paper's
+    /// `deg+(u)` used by PageRank).
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> u32 {
+        let (a, b) = self.out_range(v.index());
+        (b - a) as u32
+    }
+
+    /// In-degree of `v`, counting parallel edges.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> u32 {
+        let (a, b) = self.in_range(v.index());
+        (b - a) as u32
+    }
+
+    /// Total degree (in + out, parallel edges counted).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// Global in-CSR index of the edge `source -> target`, if present.
+    ///
+    /// Parallel edges share the first matching slot. Used by the
+    /// serializability recorder to key per-directed-pair counters.
+    pub fn in_edge_index(&self, target: VertexId, source: VertexId) -> Option<u64> {
+        let (a, b) = self.in_range(target.index());
+        self.in_sources[a..b]
+            .binary_search(&source)
+            .ok()
+            .map(|pos| (a + pos) as u64)
+    }
+
+    /// Maximum total degree over all vertices (Table 1's "Max Degree").
+    pub fn max_degree(&self) -> u32 {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// `true` if for every edge `(u, v)` the reverse edge `(v, u)` exists.
+    pub fn is_symmetric(&self) -> bool {
+        self.vertices().all(|u| {
+            self.out_neighbors(u)
+                .iter()
+                .all(|&v| self.out_neighbors(v).binary_search(&u).is_ok())
+        })
+    }
+
+    /// Number of undirected edges: pairs `{u, v}` with at least one edge in
+    /// either direction, self-loops counted once. This is the `|E|` of the
+    /// paper's fork-count bound `O(|E|)` for vertex-based locking.
+    pub fn num_undirected_edges(&self) -> u64 {
+        let mut count = 0u64;
+        for u in self.vertices() {
+            let mut prev = None;
+            for &v in self.out_neighbors(u) {
+                if prev == Some(v) {
+                    continue; // parallel edge
+                }
+                prev = Some(v);
+                if v.raw() > u.raw() {
+                    count += 1;
+                } else if v == u {
+                    count += 1; // self-loop, counted once
+                } else {
+                    // v < u: count it only if the reverse edge is absent
+                    // (otherwise it was counted from v's side).
+                    if self.out_neighbors(v).binary_search(&u).is_err() {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Symmetrized copy: for every edge `(u, v)` both directions exist,
+    /// duplicates removed, self-loops removed. This is the transformation
+    /// the paper applies to produce the undirected inputs for graph
+    /// coloring (Table 1, parenthesized values).
+    pub fn to_undirected(&self) -> Graph {
+        let mut edges = Vec::with_capacity(self.out_targets.len() * 2);
+        for u in self.vertices() {
+            for &v in self.out_neighbors(u) {
+                if u != v {
+                    edges.push((u.raw(), v.raw()));
+                    edges.push((v.raw(), u.raw()));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        Graph::from_edges(self.num_vertices, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(raw: u32) -> VertexId {
+        VertexId::new(raw)
+    }
+
+    /// The paper's Figure 2/3 example: a 4-cycle v0-v1-v3-v2-v0 (so that
+    /// {v0, v3} and {v1, v2} are the two independent sets).
+    pub fn c4() -> Graph {
+        Graph::from_edges(
+            4,
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 3),
+                (3, 1),
+                (3, 2),
+                (2, 3),
+                (2, 0),
+                (0, 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.num_undirected_edges(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = Graph::from_edges(5, &[]);
+        assert_eq!(g.num_vertices(), 5);
+        for u in g.vertices() {
+            assert!(g.out_neighbors(u).is_empty());
+            assert!(g.in_neighbors(u).is_empty());
+            assert!(g.neighbors(u).is_empty());
+        }
+    }
+
+    #[test]
+    fn directed_adjacency() {
+        let g = Graph::from_edges(3, &[(0, 1), (0, 2), (2, 1)]);
+        assert_eq!(g.out_neighbors(v(0)), &[v(1), v(2)]);
+        assert_eq!(g.out_neighbors(v(1)), &[] as &[VertexId]);
+        assert_eq!(g.in_neighbors(v(1)), &[v(0), v(2)]);
+        assert_eq!(g.out_degree(v(0)), 2);
+        assert_eq!(g.in_degree(v(1)), 2);
+        assert_eq!(g.degree(v(2)), 2);
+    }
+
+    #[test]
+    fn neighbors_unions_in_and_out() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 0), (0, 2), (3, 0)]);
+        // out: {1, 2}; in: {2, 3} -> union {1, 2, 3}
+        assert_eq!(g.neighbors(v(0)), vec![v(1), v(2), v(3)]);
+    }
+
+    #[test]
+    fn neighbors_skips_self_loop() {
+        let g = Graph::from_edges(2, &[(0, 0), (0, 1)]);
+        assert_eq!(g.neighbors(v(0)), vec![v(1)]);
+    }
+
+    #[test]
+    fn c4_is_symmetric_and_counted() {
+        let g = c4();
+        assert!(g.is_symmetric());
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.num_undirected_edges(), 4);
+        assert_eq!(g.max_degree(), 4); // in+out = 2+2
+    }
+
+    #[test]
+    fn undirected_edge_count_on_asymmetric_graph() {
+        // 0->1 plus both directions of 1-2: undirected edges {0,1}, {1,2}.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 1)]);
+        assert_eq!(g.num_undirected_edges(), 2);
+        assert!(!g.is_symmetric());
+    }
+
+    #[test]
+    fn to_undirected_symmetrizes() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let u = g.to_undirected();
+        assert!(u.is_symmetric());
+        assert_eq!(u.num_edges(), 4);
+        assert_eq!(u.num_undirected_edges(), 2);
+        assert_eq!(u.out_neighbors(v(1)), &[v(0), v(2)]);
+    }
+
+    #[test]
+    fn to_undirected_drops_self_loops_and_parallels() {
+        let g = Graph::from_edges(2, &[(0, 0), (0, 1), (0, 1), (1, 0)]);
+        let u = g.to_undirected();
+        assert_eq!(u.num_edges(), 2);
+        assert_eq!(u.out_neighbors(v(0)), &[v(1)]);
+    }
+
+    #[test]
+    fn parallel_edges_kept_by_from_edges() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_degree(v(0)), 2);
+        // but num_undirected_edges collapses them
+        assert_eq!(g.num_undirected_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Graph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn self_loop_counts_once_undirected() {
+        let g = Graph::from_edges(1, &[(0, 0)]);
+        assert_eq!(g.num_undirected_edges(), 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Dense integer identifiers for vertices, partitions, and workers.
+//!
+//! All three are `u32` newtypes: graphs are loaded with contiguous vertex
+//! ids `0..n`, partitions are numbered `0..p` across the whole cluster, and
+//! workers `0..w`. Newtypes keep the three id spaces from being mixed up at
+//! compile time while still being free to convert to array indices.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw `u32`.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw `u32` value.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The id as a `usize` array index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(raw: usize) -> Self {
+                debug_assert!(raw <= u32::MAX as usize, "id overflows u32");
+                Self(raw as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a vertex; dense in `0..graph.num_vertices()`.
+    VertexId,
+    "v"
+);
+id_type!(
+    /// Identifier of a graph partition; dense in `0..layout.num_partitions()`
+    /// across the whole cluster (not per worker).
+    PartitionId,
+    "P"
+);
+id_type!(
+    /// Identifier of a (simulated) worker machine; dense in `0..layout.num_workers()`.
+    WorkerId,
+    "W"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_raw() {
+        let v = VertexId::new(42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(v.index(), 42usize);
+        assert_eq!(VertexId::from(42u32), v);
+        assert_eq!(VertexId::from(42usize), v);
+    }
+
+    #[test]
+    fn debug_formats_with_prefix() {
+        assert_eq!(format!("{:?}", VertexId::new(7)), "v7");
+        assert_eq!(format!("{:?}", PartitionId::new(3)), "P3");
+        assert_eq!(format!("{:?}", WorkerId::new(1)), "W1");
+    }
+
+    #[test]
+    fn display_is_bare_number() {
+        assert_eq!(format!("{}", VertexId::new(9)), "9");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(VertexId::new(1) < VertexId::new(2));
+        assert!(PartitionId::new(0) < PartitionId::new(10));
+    }
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // This is a compile-time property; the test documents intent.
+        fn takes_vertex(_: VertexId) {}
+        takes_vertex(VertexId::new(0));
+    }
+}

@@ -1,0 +1,192 @@
+//! Plain-text edge-list I/O.
+//!
+//! The paper stores its datasets "on HDFS as text files" in the usual
+//! SNAP/LAW edge-list format: one `src dst` pair per line, `#`-prefixed
+//! comment lines. This module reads and writes that format so users can run
+//! serigraph on real datasets when they have them.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Error produced while parsing an edge list.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that is neither a comment, blank, nor a `src dst` pair.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { line, content } => {
+                write!(f, "malformed edge list at line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            ParseError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Read a directed edge list from any buffered reader.
+///
+/// Accepted lines: blank, `# comment`, or `src dst` separated by arbitrary
+/// whitespace (tabs included, as in SNAP dumps). Vertex ids must be `u32`.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, ParseError> {
+    let mut b = GraphBuilder::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (src, dst) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(s), Some(t), None) => {
+                match (s.parse::<u32>(), t.parse::<u32>()) {
+                    (Ok(s), Ok(t)) => (s, t),
+                    _ => {
+                        return Err(ParseError::Malformed {
+                            line: idx + 1,
+                            content: line.clone(),
+                        })
+                    }
+                }
+            }
+            _ => {
+                return Err(ParseError::Malformed {
+                    line: idx + 1,
+                    content: line.clone(),
+                })
+            }
+        };
+        b.add_edge(src, dst);
+    }
+    Ok(b.build())
+}
+
+/// Read a directed edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Graph, ParseError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(io::BufReader::new(file))
+}
+
+/// Write `g` as an edge list (one `src\tdst` line per directed edge), with a
+/// header comment carrying the vertex and edge counts.
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "# serigraph edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    for u in g.vertices() {
+        for &v in g.out_neighbors(u) {
+            writeln!(out, "{}\t{}", u.raw(), v.raw())?;
+        }
+    }
+    out.flush()
+}
+
+/// Write `g` to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(g: &Graph, path: P) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(g, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VertexId;
+
+    #[test]
+    fn parse_simple_list() {
+        let input = "# a comment\n0 1\n1\t2\n\n  2   0  \n";
+        let g = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_neighbors(VertexId::new(1)), &[VertexId::new(2)]);
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn comments_only() {
+        let g = read_edge_list("# x\n#y\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let err = read_edge_list("0 1\nnot an edge\n".as_bytes()).unwrap_err();
+        match err {
+            ParseError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_many_fields_rejected() {
+        let err = read_edge_list("0 1 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn negative_ids_rejected() {
+        let err = read_edge_list("0 -1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { .. }));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = crate::gen::ring(6);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for v in g.vertices() {
+            assert_eq!(g.out_neighbors(v), g2.out_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = crate::gen::grid(2, 3);
+        let path = std::env::temp_dir().join("sg_io_test_edges.txt");
+        write_edge_list_file(&g, &path).unwrap();
+        let g2 = read_edge_list_file(&path).unwrap();
+        assert_eq!(g.num_edges(), g2.num_edges());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = read_edge_list("zzz\n".as_bytes()).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("line 1"));
+        assert!(msg.contains("zzz"));
+    }
+}

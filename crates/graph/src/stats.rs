@@ -1,0 +1,179 @@
+//! Descriptive graph statistics, used by the dataset reports (Table 1) and
+//! for validating that the synthetic stand-ins have the right character
+//! (power-law skew, clustering).
+
+use crate::graph::Graph;
+use crate::ids::VertexId;
+
+/// Summary statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub vertices: u32,
+    /// Directed `|E|`.
+    pub edges: u64,
+    /// Mean total degree (in + out).
+    pub mean_degree: f64,
+    /// Maximum total degree.
+    pub max_degree: u32,
+    /// Degree skew: max / mean (≫ 1 for power-law graphs).
+    pub skew: f64,
+    /// Share of vertices with above-mean degree (small for heavy tails).
+    pub above_mean_fraction: f64,
+}
+
+impl GraphStats {
+    /// Compute the summary for `g`.
+    pub fn of(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        if n == 0 {
+            return Self {
+                vertices: 0,
+                edges: 0,
+                mean_degree: 0.0,
+                max_degree: 0,
+                skew: 0.0,
+                above_mean_fraction: 0.0,
+            };
+        }
+        let degrees: Vec<u32> = g.vertices().map(|v| g.degree(v)).collect();
+        let total: u64 = degrees.iter().map(|&d| u64::from(d)).sum();
+        let mean = total as f64 / f64::from(n);
+        let max = degrees.iter().copied().max().unwrap_or(0);
+        let above = degrees.iter().filter(|&&d| f64::from(d) > mean).count();
+        Self {
+            vertices: n,
+            edges: g.num_edges(),
+            mean_degree: mean,
+            max_degree: max,
+            skew: if mean > 0.0 { f64::from(max) / mean } else { 0.0 },
+            above_mean_fraction: above as f64 / f64::from(n),
+        }
+    }
+}
+
+/// Histogram of total degrees in power-of-two buckets:
+/// `[1, 2), [2, 4), [4, 8), …` with bucket 0 for isolated vertices.
+/// Returns `(bucket_upper_bound, count)` pairs for non-empty buckets.
+pub fn degree_histogram(g: &Graph) -> Vec<(u32, u32)> {
+    let mut buckets: Vec<u32> = Vec::new();
+    for v in g.vertices() {
+        let d = g.degree(v);
+        let b = if d == 0 { 0 } else { (32 - d.leading_zeros()) as usize };
+        if buckets.len() <= b {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c > 0)
+        .map(|(b, c)| (if b == 0 { 0 } else { 1u32 << b }, c))
+        .collect()
+}
+
+/// Average local clustering coefficient (treating the graph as undirected;
+/// callers should symmetrize first for meaningful values on directed
+/// inputs). O(Σ deg²) — intended for test-scale graphs.
+pub fn average_clustering(g: &Graph) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for v in g.vertices() {
+        let nbrs: Vec<VertexId> = g
+            .out_neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| u != v)
+            .collect();
+        let k = nbrs.len();
+        if k < 2 {
+            continue;
+        }
+        let mut links = 0usize;
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                if g.out_neighbors(a).binary_search(&b).is_ok() {
+                    links += 1;
+                }
+            }
+        }
+        total += 2.0 * links as f64 / (k as f64 * (k as f64 - 1.0));
+    }
+    total / f64::from(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn stats_on_ring() {
+        let s = GraphStats::of(&gen::ring(10));
+        assert_eq!(s.vertices, 10);
+        assert_eq!(s.edges, 20);
+        assert_eq!(s.mean_degree, 4.0); // in 2 + out 2
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.skew, 1.0);
+        assert_eq!(s.above_mean_fraction, 0.0);
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let s = GraphStats::of(&Graph::from_edges(0, &[]));
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.skew, 0.0);
+    }
+
+    #[test]
+    fn power_law_graphs_are_skewed() {
+        let s = GraphStats::of(&gen::datasets::or_sim(256));
+        assert!(s.skew > 5.0, "expected heavy tail, skew = {}", s.skew);
+        assert!(s.above_mean_fraction < 0.5);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_all_vertices() {
+        let g = gen::preferential_attachment(200, 3, 6);
+        let h = degree_histogram(&g);
+        let total: u32 = h.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 200);
+        // Bucket bounds strictly increase.
+        assert!(h.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn histogram_isolated_bucket() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0)]);
+        let h = degree_histogram(&g);
+        assert_eq!(h[0], (0, 1)); // vertex 2 isolated
+    }
+
+    #[test]
+    fn clustering_known_values() {
+        // Complete graph: coefficient 1.0 everywhere.
+        assert!((average_clustering(&gen::complete(6)) - 1.0).abs() < 1e-12);
+        // Ring: neighbors of any vertex are not adjacent.
+        assert_eq!(average_clustering(&gen::ring(8)), 0.0);
+        // Star: hub's neighbors not adjacent, leaves have degree 1.
+        assert_eq!(average_clustering(&gen::star(6)), 0.0);
+    }
+
+    #[test]
+    fn small_world_clusters_more_than_random() {
+        let ws = gen::watts_strogatz(300, 6, 0.05, 7);
+        let er = gen::erdos_renyi(300, ws.num_undirected_edges(), true, 7);
+        assert!(
+            average_clustering(&ws) > 3.0 * average_clustering(&er),
+            "WS {} vs ER {}",
+            average_clustering(&ws),
+            average_clustering(&er)
+        );
+    }
+
+    use crate::graph::Graph;
+}

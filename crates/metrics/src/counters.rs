@@ -1,0 +1,238 @@
+//! Lock-free event counters shared by the engines and synchronization
+//! techniques.
+//!
+//! Counters use relaxed atomics: the values are aggregated statistics, not
+//! synchronization points, and the engines' own barriers order them before
+//! any snapshot is taken.
+
+use std::fmt;
+use std::ops::Sub;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! metrics {
+    ($( $(#[$doc:meta])* $field:ident ),+ $(,)?) => {
+        /// Shared atomic counters. One instance lives per engine run; every
+        /// worker thread increments it concurrently.
+        #[derive(Debug, Default)]
+        pub struct Metrics {
+            $( $(#[$doc])* pub $field: AtomicU64, )+
+        }
+
+        /// A point-in-time copy of [`Metrics`], with arithmetic for
+        /// computing deltas between phases.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct MetricsSnapshot {
+            $( $(#[$doc])* pub $field: u64, )+
+        }
+
+        impl Metrics {
+            /// Copy the current counter values.
+            pub fn snapshot(&self) -> MetricsSnapshot {
+                MetricsSnapshot {
+                    $( $field: self.$field.load(Ordering::Relaxed), )+
+                }
+            }
+
+            /// Reset every counter to zero.
+            pub fn reset(&self) {
+                $( self.$field.store(0, Ordering::Relaxed); )+
+            }
+        }
+
+        impl Sub for MetricsSnapshot {
+            type Output = MetricsSnapshot;
+            fn sub(self, rhs: Self) -> Self {
+                MetricsSnapshot {
+                    $( $field: self.$field.saturating_sub(rhs.$field), )+
+                }
+            }
+        }
+
+        impl fmt::Display for MetricsSnapshot {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                $( writeln!(f, "{:<28} {:>14}", stringify!($field), self.$field)?; )+
+                Ok(())
+            }
+        }
+    };
+}
+
+metrics! {
+    /// Messages delivered between vertices on the same worker (skip the
+    /// buffer cache in Giraph async, Section 6.1).
+    local_messages,
+    /// Messages destined for vertices on other workers (buffered, batched).
+    remote_messages,
+    /// Remote batch flushes: each is one network round of buffered messages.
+    remote_batches,
+    /// Fork transfers between philosophers (Chandy-Misra), any locality.
+    fork_transfers,
+    /// Fork transfers that crossed a worker boundary (network forks).
+    fork_transfers_remote,
+    /// Request-token sends (Chandy-Misra), any locality.
+    request_tokens,
+    /// Request-token sends that crossed a worker boundary.
+    request_tokens_remote,
+    /// Global-token ring passes (single- and dual-layer token passing).
+    global_token_passes,
+    /// Local-token passes between partitions of one worker (dual-layer).
+    local_token_passes,
+    /// Global synchronization barriers executed.
+    barriers,
+    /// Supersteps completed.
+    supersteps,
+    /// Vertex compute-function invocations.
+    vertex_executions,
+    /// Partition (or vertex) acquisitions skipped because the unit was
+    /// halted with no pending messages (Section 5.4 optimization).
+    halted_skips,
+    /// Checkpoints written (Section 6.4 fault tolerance).
+    checkpoints,
+    /// Checkpoint recoveries performed after an injected failure.
+    recoveries,
+}
+
+impl Metrics {
+    /// Create a fresh zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to a counter identified by the field closure; convenience for
+    /// hot paths: `m.add(|m| &m.local_messages, 3)`.
+    #[inline]
+    pub fn add(&self, field: impl Fn(&Self) -> &AtomicU64, n: u64) {
+        field(self).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn inc(&self, field: impl Fn(&Self) -> &AtomicU64) {
+        self.add(field, 1);
+    }
+}
+
+impl MetricsSnapshot {
+    /// Total messages, local + remote.
+    pub fn total_messages(&self) -> u64 {
+        self.local_messages + self.remote_messages
+    }
+
+    /// Total synchronization-protocol transfers (forks + request tokens +
+    /// ring passes) — the "communication overhead" axis of Figure 1.
+    pub fn sync_transfers(&self) -> u64 {
+        self.fork_transfers + self.request_tokens + self.global_token_passes + self.local_token_passes
+    }
+
+    /// Average remote batch size (messages per flush); 0 when no flushes.
+    pub fn avg_batch_size(&self) -> f64 {
+        if self.remote_batches == 0 {
+            0.0
+        } else {
+            self.remote_messages as f64 / self.remote_batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn snapshot_reflects_increments() {
+        let m = Metrics::new();
+        m.inc(|m| &m.local_messages);
+        m.add(|m| &m.remote_messages, 5);
+        let s = m.snapshot();
+        assert_eq!(s.local_messages, 1);
+        assert_eq!(s.remote_messages, 5);
+        assert_eq!(s.total_messages(), 6);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = Metrics::new();
+        m.add(|m| &m.fork_transfers, 10);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_subtraction_gives_delta() {
+        let m = Metrics::new();
+        m.add(|m| &m.barriers, 2);
+        let before = m.snapshot();
+        m.add(|m| &m.barriers, 3);
+        let delta = m.snapshot() - before;
+        assert_eq!(delta.barriers, 3);
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let a = MetricsSnapshot {
+            barriers: 1,
+            ..Default::default()
+        };
+        let b = MetricsSnapshot {
+            barriers: 5,
+            ..Default::default()
+        };
+        assert_eq!((a - b).barriers, 0);
+    }
+
+    #[test]
+    fn avg_batch_size() {
+        let mut s = MetricsSnapshot::default();
+        assert_eq!(s.avg_batch_size(), 0.0);
+        s.remote_messages = 100;
+        s.remote_batches = 4;
+        assert_eq!(s.avg_batch_size(), 25.0);
+    }
+
+    #[test]
+    fn sync_transfers_sums_protocol_traffic() {
+        let s = MetricsSnapshot {
+            fork_transfers: 3,
+            request_tokens: 2,
+            global_token_passes: 1,
+            local_token_passes: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.sync_transfers(), 10);
+    }
+
+    #[test]
+    fn concurrent_increments_all_land() {
+        let m = Arc::new(Metrics::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.inc(|m| &m.vertex_executions);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.snapshot().vertex_executions, 4000);
+    }
+
+    #[test]
+    fn display_lists_every_field() {
+        let s = MetricsSnapshot::default();
+        let text = format!("{s}");
+        for name in [
+            "local_messages",
+            "remote_messages",
+            "fork_transfers",
+            "barriers",
+            "halted_skips",
+        ] {
+            assert!(text.contains(name), "missing {name} in display output");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # sg-metrics — instrumentation and the virtual-time cluster cost model
+//!
+//! The paper's evaluation metric is *computation time* on a 16/32-machine
+//! EC2 cluster, which "captures any communication overheads that the
+//! synchronization techniques may have" (Section 7.3). This reproduction
+//! runs on a single host, so wall-clock time cannot expose the parallelism
+//! differences between techniques. Instead the engines are instrumented two
+//! ways:
+//!
+//! 1. **Counters** ([`Metrics`]): every local/remote message, batch flush,
+//!    fork transfer, request token, token-ring pass, barrier, and vertex
+//!    execution is counted. These are exact, deterministic measures of the
+//!    communication overheads Figure 1 talks about.
+//! 2. **Virtual time** ([`SimClocks`] + [`CostModel`]): each simulated
+//!    worker carries a logical clock in nanoseconds. Executing a vertex
+//!    advances the executing worker's clock; a remote transfer (message
+//!    batch, fork, or token) stamps the sender's clock and the receiver
+//!    joins it with `max(own, sent + latency)`; a global barrier joins all
+//!    clocks. The final **makespan** (max clock) is the simulated
+//!    computation time the benchmark harness reports — it exposes exactly
+//!    the serial chains (token rings) and per-transfer latencies (per-vertex
+//!    forks) that dominate the paper's results.
+
+pub mod counters;
+pub mod simtime;
+
+pub use counters::{Metrics, MetricsSnapshot};
+pub use simtime::{CostModel, SimClocks};

@@ -1,0 +1,505 @@
+//! Transaction histories and the Section 3 correctness checkers.
+
+use sg_graph::{Graph, VertexId};
+
+/// Dense transaction identifier (index into the history).
+pub type TxnId = usize;
+
+/// One recorded transaction `Ti(Nu) = ri[Nu] wi[u]` — a single execution of
+/// vertex `u` (Section 3.2).
+///
+/// `start` and `end` are strictly increasing logical timestamps drawn from
+/// one global counter: the read set is considered read at `start`, the
+/// write of `u` applied at `end`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxnRecord {
+    /// The vertex this transaction executed.
+    pub vertex: VertexId,
+    /// Logical time the execution (and its reads) began.
+    pub start: u64,
+    /// Logical time the execution committed its write. `end > start`.
+    pub end: u64,
+    /// In-edge neighbors whose replica was stale at `start` — C1 witnesses.
+    pub stale_reads: Vec<VertexId>,
+    /// Neighbors observed mid-execution at `start` — eager C2 witnesses
+    /// (the post-hoc interval check in [`History::c2_violations`] is
+    /// authoritative; this field helps debugging).
+    pub concurrent_neighbors: Vec<VertexId>,
+}
+
+impl TxnRecord {
+    /// Does this transaction's interval overlap another's?
+    /// Intervals are half-open `[start, end)`.
+    #[inline]
+    pub fn overlaps(&self, other: &TxnRecord) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// A complete recorded execution: all transactions plus the graph they ran
+/// over (needed to know read sets and neighborhoods).
+#[derive(Clone, Debug)]
+pub struct History {
+    txns: Vec<TxnRecord>,
+}
+
+/// A C2 violation: two neighboring vertices executed concurrently.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OverlapViolation {
+    /// First transaction (by id).
+    pub a: TxnId,
+    /// Second transaction.
+    pub b: TxnId,
+}
+
+impl History {
+    /// Build from recorded transactions.
+    pub fn new(txns: Vec<TxnRecord>) -> Self {
+        Self { txns }
+    }
+
+    /// The recorded transactions.
+    pub fn txns(&self) -> &[TxnRecord] {
+        &self.txns
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// `true` if no transactions were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// Transactions that read at least one stale replica — the witnesses
+    /// that **condition C1** failed. Empty iff C1 held throughout.
+    pub fn c1_violations(&self) -> Vec<TxnId> {
+        self.txns
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.stale_reads.is_empty())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Pairs of transactions on *neighboring* vertices whose execution
+    /// intervals overlap — the witnesses that **condition C2** failed.
+    ///
+    /// This is a post-hoc check over the full history: for every undirected
+    /// edge `{u, v}` of `g`, the interval lists of `u`'s and `v`'s
+    /// transactions are merge-scanned.
+    pub fn c2_violations(&self, g: &Graph) -> Vec<OverlapViolation> {
+        let mut per_vertex: Vec<Vec<TxnId>> = vec![Vec::new(); g.num_vertices() as usize];
+        for (i, t) in self.txns.iter().enumerate() {
+            per_vertex[t.vertex.index()].push(i);
+        }
+        for list in &mut per_vertex {
+            list.sort_by_key(|&i| self.txns[i].start);
+        }
+
+        let mut out = Vec::new();
+        for u in g.vertices() {
+            for v in g.neighbors(u) {
+                if v.raw() <= u.raw() {
+                    continue; // each undirected pair once
+                }
+                let (us, vs) = (&per_vertex[u.index()], &per_vertex[v.index()]);
+                // Merge scan: for each txn of u, find overlapping txns of v.
+                let mut j = 0;
+                for &ti in us {
+                    let t = &self.txns[ti];
+                    // advance past v-txns that end before t starts
+                    while j < vs.len() && self.txns[vs[j]].end <= t.start {
+                        j += 1;
+                    }
+                    let mut k = j;
+                    while k < vs.len() && self.txns[vs[k]].start < t.end {
+                        if t.overlaps(&self.txns[vs[k]]) {
+                            out.push(OverlapViolation {
+                                a: ti.min(vs[k]),
+                                b: ti.max(vs[k]),
+                            });
+                        }
+                        k += 1;
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|v| (v.a, v.b));
+        out.dedup();
+        out
+    }
+
+    /// Build the serialization graph (Bernstein et al.): one node per
+    /// transaction, an edge `Ti -> Tj` whenever `Ti` and `Tj` issue
+    /// conflicting operations (same vertex, at least one write) and `Ti`'s
+    /// operation comes first. Returns the adjacency list.
+    ///
+    /// Operation model: `Ti(Nu)` reads `u` and `u`'s in-edge neighbors at
+    /// `start`, writes `u` at `end`. Timestamps are globally unique, so the
+    /// order is total.
+    pub fn serialization_graph(&self, g: &Graph) -> Vec<Vec<TxnId>> {
+        #[derive(Clone, Copy)]
+        struct Op {
+            time: u64,
+            txn: TxnId,
+            is_write: bool,
+        }
+
+        // Ops per item (= vertex): writes by the vertex's own txns; reads by
+        // the vertex's own txns and by txns of its out-edge neighbors
+        // (u ∈ N_v iff v is an out-edge neighbor of u).
+        let mut ops: Vec<Vec<Op>> = vec![Vec::new(); g.num_vertices() as usize];
+        for (i, t) in self.txns.iter().enumerate() {
+            let u = t.vertex;
+            ops[u.index()].push(Op {
+                time: t.start,
+                txn: i,
+                is_write: false,
+            });
+            ops[u.index()].push(Op {
+                time: t.end,
+                txn: i,
+                is_write: true,
+            });
+            for &v in g.in_neighbors(u) {
+                if v != u {
+                    ops[v.index()].push(Op {
+                        time: t.start,
+                        txn: i,
+                        is_write: false,
+                    });
+                }
+            }
+        }
+
+        let mut adj: Vec<Vec<TxnId>> = vec![Vec::new(); self.txns.len()];
+        for item_ops in &mut ops {
+            item_ops.sort_by_key(|o| o.time);
+            // Conflict edges in transitive-reduction form: between
+            // consecutive writes w1 < w2: w1 -> (reads between) -> w2 and
+            // w1 -> w2; reads before the first write -> first write.
+            let mut last_write: Option<TxnId> = None;
+            let mut reads_since_write: Vec<TxnId> = Vec::new();
+            for op in item_ops.iter() {
+                if op.is_write {
+                    if let Some(w) = last_write {
+                        if w != op.txn {
+                            adj[w].push(op.txn);
+                        }
+                    }
+                    for &r in &reads_since_write {
+                        if r != op.txn {
+                            adj[r].push(op.txn);
+                        }
+                    }
+                    reads_since_write.clear();
+                    last_write = Some(op.txn);
+                } else {
+                    if let Some(w) = last_write {
+                        if w != op.txn {
+                            adj[w].push(op.txn);
+                        }
+                    }
+                    reads_since_write.push(op.txn);
+                }
+            }
+        }
+        for edges in &mut adj {
+            edges.sort_unstable();
+            edges.dedup();
+        }
+        adj
+    }
+
+    /// Is the serialization graph acyclic? By the serializability theorem,
+    /// an acyclic serialization graph means the history is
+    /// conflict-serializable; combined with C1 (Lemma 1 collapses replicas
+    /// to one logical copy) this certifies one-copy serializability.
+    pub fn serialization_graph_acyclic(&self, g: &Graph) -> bool {
+        let adj = self.serialization_graph(g);
+        acyclic(&adj)
+    }
+
+    /// The full Theorem 1 check: C1 holds, C2 holds, and the serialization
+    /// graph is acyclic.
+    pub fn is_one_copy_serializable(&self, g: &Graph) -> bool {
+        self.c1_violations().is_empty()
+            && self.c2_violations(g).is_empty()
+            && self.serialization_graph_acyclic(g)
+    }
+
+    /// A topological order of transactions — an *equivalent serial
+    /// execution* — if the serialization graph is acyclic.
+    pub fn equivalent_serial_order(&self, g: &Graph) -> Option<Vec<TxnId>> {
+        let adj = self.serialization_graph(g);
+        topo_sort(&adj)
+    }
+
+    /// One-call report of everything the Theorem 1 checkers can say about
+    /// this history against `g`.
+    pub fn summarize(&self, g: &Graph) -> HistorySummary {
+        let c1 = self.c1_violations();
+        let c2 = self.c2_violations(g);
+        let acyclic = self.serialization_graph_acyclic(g);
+        HistorySummary {
+            transactions: self.len(),
+            c1_violations: c1.len(),
+            c2_violations: c2.len(),
+            serialization_graph_acyclic: acyclic,
+            one_copy_serializable: c1.is_empty() && c2.is_empty() && acyclic,
+        }
+    }
+}
+
+/// Aggregate verdict of the Theorem 1 checkers for one recorded history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistorySummary {
+    /// Transactions recorded.
+    pub transactions: usize,
+    /// Transactions that read at least one stale replica (C1 witnesses).
+    pub c1_violations: usize,
+    /// Overlapping neighbor-transaction pairs (C2 witnesses).
+    pub c2_violations: usize,
+    /// Is the serialization graph acyclic?
+    pub serialization_graph_acyclic: bool,
+    /// The Theorem 1 conjunction.
+    pub one_copy_serializable: bool,
+}
+
+impl std::fmt::Display for HistorySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "transactions:            {}", self.transactions)?;
+        writeln!(f, "C1 (stale reads):        {} violations", self.c1_violations)?;
+        writeln!(f, "C2 (neighbor overlap):   {} violations", self.c2_violations)?;
+        writeln!(
+            f,
+            "serialization graph:     {}",
+            if self.serialization_graph_acyclic { "acyclic" } else { "CYCLIC" }
+        )?;
+        write!(
+            f,
+            "one-copy serializable:   {}",
+            if self.one_copy_serializable { "YES" } else { "NO" }
+        )
+    }
+}
+
+fn topo_sort(adj: &[Vec<TxnId>]) -> Option<Vec<TxnId>> {
+    let n = adj.len();
+    let mut indeg = vec![0usize; n];
+    for edges in adj {
+        for &v in edges {
+            indeg[v] += 1;
+        }
+    }
+    let mut queue: Vec<TxnId> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = queue.pop() {
+        order.push(u);
+        for &v in &adj[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+fn acyclic(adj: &[Vec<TxnId>]) -> bool {
+    topo_sort(adj).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graph::gen;
+
+    fn v(raw: u32) -> VertexId {
+        VertexId::new(raw)
+    }
+
+    fn txn(vertex: u32, start: u64, end: u64) -> TxnRecord {
+        TxnRecord {
+            vertex: v(vertex),
+            start,
+            end,
+            stale_reads: vec![],
+            concurrent_neighbors: vec![],
+        }
+    }
+
+    /// Two vertices joined by an undirected edge — the graph of the
+    /// paper's Theorem 1 "only if" counterexamples.
+    fn two_clique() -> Graph {
+        Graph::from_edges(2, &[(0, 1), (1, 0)])
+    }
+
+    #[test]
+    fn empty_history_is_serializable() {
+        let g = two_clique();
+        let h = History::new(vec![]);
+        assert!(h.is_one_copy_serializable(&g));
+        assert_eq!(h.equivalent_serial_order(&g), Some(vec![]));
+    }
+
+    #[test]
+    fn serial_fresh_history_is_serializable() {
+        let g = two_clique();
+        // T0 on v0 [0,1), T1 on v1 [2,3): serial, fresh.
+        let h = History::new(vec![txn(0, 0, 1), txn(1, 2, 3)]);
+        assert!(h.c1_violations().is_empty());
+        assert!(h.c2_violations(&g).is_empty());
+        assert!(h.serialization_graph_acyclic(&g));
+        assert!(h.is_one_copy_serializable(&g));
+    }
+
+    #[test]
+    fn overlapping_neighbors_violate_c2() {
+        // The paper's "C1 true, C2 false" counterexample: two parallel
+        // conflicting transactions on the two-vertex clique.
+        let g = two_clique();
+        let h = History::new(vec![txn(0, 0, 2), txn(1, 1, 3)]);
+        let violations = h.c2_violations(&g);
+        assert_eq!(violations, vec![OverlapViolation { a: 0, b: 1 }]);
+        assert!(!h.is_one_copy_serializable(&g));
+    }
+
+    #[test]
+    fn overlapping_parallel_txns_create_sg_cycle() {
+        // T0(v0): reads {v0, v1}@0, writes v0@2.
+        // T1(v1): reads {v1, v0}@1, writes v1@3.
+        // Item v0: r0@0, r1@1, w0@2 -> edge T1 -> T0 (r1 before w0)
+        // Item v1: r1@1, r0@0, w1@3 -> edge T0 -> T1. Cycle.
+        let g = two_clique();
+        let h = History::new(vec![txn(0, 0, 2), txn(1, 1, 3)]);
+        assert!(!h.serialization_graph_acyclic(&g));
+        assert_eq!(h.equivalent_serial_order(&g), None);
+    }
+
+    #[test]
+    fn stale_read_violates_c1_even_when_serial() {
+        // The paper's "C2 true, C1 false" counterexample: a serial history
+        // where the second transaction reads a stale replica.
+        let g = two_clique();
+        let mut t2 = txn(1, 2, 3);
+        t2.stale_reads.push(v(0));
+        let h = History::new(vec![txn(0, 0, 1), t2]);
+        assert!(h.c2_violations(&g).is_empty());
+        assert_eq!(h.c1_violations(), vec![1]);
+        assert!(!h.is_one_copy_serializable(&g));
+    }
+
+    #[test]
+    fn non_neighbors_may_overlap() {
+        // v0 and v2 are not adjacent in a path 0-1-2: overlap is fine.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]);
+        let h = History::new(vec![txn(0, 0, 5), txn(2, 1, 4)]);
+        assert!(h.c2_violations(&g).is_empty());
+        assert!(h.is_one_copy_serializable(&g));
+    }
+
+    #[test]
+    fn same_vertex_repeated_txns_ordered_by_time() {
+        let g = two_clique();
+        // v0 executes twice, serially; v1 in between.
+        let h = History::new(vec![txn(0, 0, 1), txn(1, 2, 3), txn(0, 4, 5)]);
+        assert!(h.is_one_copy_serializable(&g));
+        let order = h.equivalent_serial_order(&g).unwrap();
+        let pos = |t: TxnId| order.iter().position(|&x| x == t).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(1) < pos(2));
+    }
+
+    #[test]
+    fn sg_respects_write_read_order() {
+        // Path graph 0 -> 1 (directed). T0 writes v0@1; T1 (vertex 1) reads
+        // v0@2: edge T0 -> T1 only.
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let h = History::new(vec![txn(0, 0, 1), txn(1, 2, 3)]);
+        let adj = h.serialization_graph(&g);
+        assert_eq!(adj[0], vec![1]);
+        assert!(adj[1].is_empty());
+    }
+
+    #[test]
+    fn adversarial_interval_overlap_detected_across_many() {
+        let g = gen::ring(6);
+        // Txns around the ring, all disjoint except vertices 2 and 3.
+        let mut txns = vec![
+            txn(0, 0, 1),
+            txn(1, 2, 3),
+            txn(2, 4, 7),
+            txn(3, 6, 9),
+            txn(4, 10, 11),
+            txn(5, 12, 13),
+        ];
+        let h = History::new(txns.clone());
+        assert_eq!(h.c2_violations(&g), vec![OverlapViolation { a: 2, b: 3 }]);
+        // Fix the overlap: everything passes.
+        txns[3].start = 7;
+        let h = History::new(txns);
+        assert!(h.c2_violations(&g).is_empty());
+    }
+
+    #[test]
+    fn ww_conflicts_on_same_vertex_are_ordered_not_cyclic() {
+        let g = Graph::from_edges(1, &[]);
+        let h = History::new(vec![txn(0, 0, 1), txn(0, 2, 3), txn(0, 4, 5)]);
+        assert!(h.serialization_graph_acyclic(&g));
+    }
+
+    #[test]
+    fn overlap_predicate() {
+        let a = txn(0, 0, 2);
+        assert!(a.overlaps(&txn(1, 1, 3)));
+        assert!(!a.overlaps(&txn(1, 2, 3))); // half-open: touch is fine
+        assert!(!a.overlaps(&txn(1, 5, 6)));
+        assert!(a.overlaps(&txn(1, 0, 1)));
+    }
+
+    #[test]
+    fn summary_reports_all_dimensions() {
+        let g = two_clique();
+        let good = History::new(vec![txn(0, 0, 1), txn(1, 2, 3)]);
+        let s = good.summarize(&g);
+        assert!(s.one_copy_serializable);
+        assert_eq!(s.transactions, 2);
+        assert!(format!("{s}").contains("YES"));
+
+        let bad = History::new(vec![txn(0, 0, 2), txn(1, 1, 3)]);
+        let s = bad.summarize(&g);
+        assert!(!s.one_copy_serializable);
+        assert_eq!(s.c2_violations, 1);
+        assert!(!s.serialization_graph_acyclic);
+        assert!(format!("{s}").contains("CYCLIC"));
+    }
+
+    /// Property: any *serial* history (no overlaps anywhere) with fresh
+    /// reads is 1SR — the checker must never flag it.
+    #[test]
+    fn prop_serial_fresh_histories_always_pass() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let g = gen::complete(5);
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut t = 0u64;
+            let txns: Vec<TxnRecord> = (0..30)
+                .map(|_| {
+                    let vertex = rng.gen_range(0..5);
+                    let start = t;
+                    t += 1;
+                    let end = t;
+                    t += 1;
+                    txn(vertex, start, end)
+                })
+                .collect();
+            let h = History::new(txns);
+            assert!(h.is_one_copy_serializable(&g), "seed {seed} failed");
+        }
+    }
+}

@@ -1,0 +1,643 @@
+//! The hygienic dining philosophers algorithm (Chandy & Misra 1984).
+//!
+//! Both distributed-locking techniques reduce to this protocol — the paper
+//! treats individual vertices as philosophers (Section 4.3) or whole
+//! partitions as philosophers (Section 5.4). Two philosophers that share an
+//! edge share a **fork**; a philosopher must hold *all* its forks to eat
+//! (execute). The protocol state per pair is a fork (with a *dirty* bit)
+//! and a *request token*:
+//!
+//! * to request a missing fork you must hold the pair's request token; the
+//!   token travels to the fork holder and marks the request pending;
+//! * a philosopher that is **not eating** yields a **dirty** fork
+//!   immediately upon request (the fork is cleaned in transit);
+//! * a **clean** fork is never yielded — its holder has priority and will
+//!   eat first (this is the "hygiene" that guarantees no starvation);
+//! * eating dirties all of the eater's forks; after eating, pending
+//!   requests are satisfied.
+//!
+//! Initial placement follows Section 6.3: for each pair, the philosopher
+//! with the **smaller id gets the request token** and the one with the
+//! **larger id gets the dirty fork**, which makes the initial precedence
+//! graph acyclic and hence the protocol deadlock-free.
+//!
+//! This implementation keeps the protocol state behind one mutex with one
+//! condvar per philosopher. On a single-host simulation this is both simple
+//! to verify and faithful: what the paper measures about these protocols is
+//! *how many* fork/token transfers cross machine boundaries (counted here
+//! through [`Metrics`]) and when workers must flush messages (triggered
+//! here through [`SyncTransport::on_fork_transfer`]), not the raw lock
+//! throughput of one host.
+
+use crate::transport::SyncTransport;
+use parking_lot::{Condvar, Mutex};
+use sg_metrics::Metrics;
+use sg_graph::WorkerId;
+use std::sync::Arc;
+
+/// Philosopher identifier: a vertex id or a partition id, depending on the
+/// locking granularity.
+pub type PhilId = u32;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Thinking,
+    Hungry,
+    Eating,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PairState {
+    /// Lower endpoint id.
+    a: PhilId,
+    /// Higher endpoint id.
+    b: PhilId,
+    /// `true` when the fork sits at endpoint `a`.
+    fork_at_a: bool,
+    /// Dirty forks are yielded on request; clean forks are kept.
+    dirty: bool,
+    /// `true` when the request token sits at endpoint `a`.
+    token_at_a: bool,
+    /// Virtual time at which the fork is available at its current
+    /// location: the last holder's eat-end, plus one network latency per
+    /// cross-machine hop. This is what makes the virtual-time model track
+    /// *resource* dependencies instead of serializing whole machines.
+    ts: u64,
+}
+
+impl PairState {
+    #[inline]
+    fn fork_at(&self, p: PhilId) -> bool {
+        (p == self.a) == self.fork_at_a
+    }
+
+    #[inline]
+    fn token_at(&self, p: PhilId) -> bool {
+        (p == self.a) == self.token_at_a
+    }
+
+    #[inline]
+    fn move_fork_to(&mut self, p: PhilId) {
+        self.fork_at_a = p == self.a;
+    }
+
+    #[inline]
+    fn move_token_to(&mut self, p: PhilId) {
+        self.token_at_a = p == self.a;
+    }
+}
+
+struct State {
+    status: Vec<Status>,
+    pairs: Vec<PairState>,
+}
+
+/// A shared fork table over `n` philosophers.
+///
+/// `acquire(p)` blocks the calling thread until `p` holds every fork it
+/// shares with a neighbor, then marks `p` *eating*; `release(p)` hands
+/// requested forks over and marks `p` *thinking*. The table asserts the
+/// mutual-exclusion property (condition C2 at the chosen granularity) on
+/// every eat transition.
+pub struct ForkTable {
+    state: Mutex<State>,
+    cv: Vec<Condvar>,
+    /// adjacency: philosopher -> [(neighbor, pair index)]
+    adj: Vec<Vec<(PhilId, u32)>>,
+    /// philosopher -> owning (simulated) worker machine
+    owner: Vec<WorkerId>,
+    metrics: Arc<Metrics>,
+}
+
+impl ForkTable {
+    /// Build a table for philosophers `0..owner.len()`, where `owner[p]` is
+    /// the worker machine hosting philosopher `p`, and `edges` lists the
+    /// conflicting pairs (duplicates and self-pairs are ignored).
+    pub fn new(owner: Vec<WorkerId>, edges: &[(PhilId, PhilId)], metrics: Arc<Metrics>) -> Self {
+        let n = owner.len();
+        let mut normalized: Vec<(PhilId, PhilId)> = edges
+            .iter()
+            .filter(|(x, y)| x != y)
+            .map(|&(x, y)| (x.min(y), x.max(y)))
+            .collect();
+        normalized.sort_unstable();
+        normalized.dedup();
+
+        let mut adj: Vec<Vec<(PhilId, u32)>> = vec![Vec::new(); n];
+        let mut pairs = Vec::with_capacity(normalized.len());
+        for (idx, &(a, b)) in normalized.iter().enumerate() {
+            assert!((b as usize) < n, "philosopher {b} out of range");
+            adj[a as usize].push((b, idx as u32));
+            adj[b as usize].push((a, idx as u32));
+            pairs.push(PairState {
+                a,
+                b,
+                // Section 6.3 initialization: dirty fork to the larger id,
+                // request token to the smaller id => acyclic precedence.
+                fork_at_a: false,
+                dirty: true,
+                token_at_a: true,
+                ts: 0,
+            });
+        }
+
+        Self {
+            state: Mutex::new(State {
+                status: vec![Status::Thinking; n],
+                pairs,
+            }),
+            cv: (0..n).map(|_| Condvar::new()).collect(),
+            adj,
+            owner,
+            metrics,
+        }
+    }
+
+    /// Number of philosophers.
+    pub fn num_philosophers(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Number of forks (conflicting pairs).
+    pub fn num_forks(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Worker hosting philosopher `p`.
+    #[inline]
+    pub fn owner_of(&self, p: PhilId) -> WorkerId {
+        self.owner[p as usize]
+    }
+
+    #[inline]
+    fn count_fork_transfer(&self, from: PhilId, to: PhilId, transport: &dyn SyncTransport) {
+        self.metrics.inc(|m| &m.fork_transfers);
+        let (fw, tw) = (self.owner_of(from), self.owner_of(to));
+        if fw != tw {
+            self.metrics.inc(|m| &m.fork_transfers_remote);
+            // Write-all before the fork crosses machines (C1), plus the
+            // virtual-time join for the fork's network hop.
+            transport.on_fork_transfer(fw, tw);
+        }
+    }
+
+    #[inline]
+    fn count_request_token(&self, from: PhilId, to: PhilId, transport: &dyn SyncTransport) {
+        self.metrics.inc(|m| &m.request_tokens);
+        let (fw, tw) = (self.owner_of(from), self.owner_of(to));
+        if fw != tw {
+            self.metrics.inc(|m| &m.request_tokens_remote);
+            transport.on_control_message(fw, tw);
+        }
+    }
+
+    /// Block until philosopher `p` holds all its forks, then mark it
+    /// eating. Returns the virtual time at which the last fork becomes
+    /// available — the earliest simulated instant the execution may start.
+    ///
+    /// # Panics
+    /// Panics if `p` is already hungry or eating (each philosopher is driven
+    /// by one thread at a time), or if mutual exclusion would be violated —
+    /// the latter indicates a protocol bug and is checked on every call.
+    pub fn acquire(&self, p: PhilId, transport: &dyn SyncTransport) -> u64 {
+        let pi = p as usize;
+        let mut s = self.state.lock();
+        assert_eq!(
+            s.status[pi],
+            Status::Thinking,
+            "philosopher {p} acquired twice"
+        );
+        s.status[pi] = Status::Hungry;
+
+        loop {
+            let mut missing = 0usize;
+            for &(q, pair_idx) in &self.adj[pi] {
+                let pair = s.pairs[pair_idx as usize];
+                if pair.fork_at(p) {
+                    continue;
+                }
+                missing += 1;
+                if pair.token_at(p) {
+                    // Send the request token to the fork holder.
+                    s.pairs[pair_idx as usize].move_token_to(q);
+                    self.count_request_token(p, q, transport);
+                    // The holder yields immediately iff it is not eating
+                    // and the fork is dirty (hygiene rule).
+                    if s.status[q as usize] != Status::Eating && pair.dirty {
+                        let ps = &mut s.pairs[pair_idx as usize];
+                        ps.move_fork_to(p);
+                        ps.dirty = false;
+                        if self.owner_of(q) != self.owner_of(p) {
+                            ps.ts += transport.network_latency_ns();
+                        }
+                        missing -= 1;
+                        self.count_fork_transfer(q, p, transport);
+                        // If the holder was hungry and waiting, it does not
+                        // need a wakeup — it lost a fork, gained nothing.
+                    }
+                }
+                // Otherwise the token is already with the holder: our
+                // request is pending and will be satisfied on its release.
+            }
+            if missing == 0 {
+                break;
+            }
+            self.cv[pi].wait(&mut s);
+        }
+
+        s.status[pi] = Status::Eating;
+        let mut ready_at = 0u64;
+        for &(q, pair_idx) in &self.adj[pi] {
+            // Eating dirties every fork of the eater.
+            let pair = &mut s.pairs[pair_idx as usize];
+            pair.dirty = true;
+            ready_at = ready_at.max(pair.ts);
+            assert_ne!(
+                s.status[q as usize],
+                Status::Eating,
+                "mutual exclusion violated: {p} and {q} eating together"
+            );
+        }
+        ready_at
+    }
+
+    /// Mark `p` thinking and hand its requested forks to the requesters.
+    /// `end_ts` is the virtual time `p`'s execution finished: every
+    /// incident fork becomes available no earlier than that (plus a
+    /// network latency when it immediately crosses machines).
+    ///
+    /// # Panics
+    /// Panics if `p` is not currently eating.
+    pub fn release(&self, p: PhilId, end_ts: u64, transport: &dyn SyncTransport) {
+        let pi = p as usize;
+        let mut s = self.state.lock();
+        assert_eq!(s.status[pi], Status::Eating, "release without acquire");
+        s.status[pi] = Status::Thinking;
+        for &(q, pair_idx) in &self.adj[pi] {
+            {
+                let ps = &mut s.pairs[pair_idx as usize];
+                ps.ts = ps.ts.max(end_ts);
+            }
+            let pair = s.pairs[pair_idx as usize];
+            // fork here + token here = a deferred request from q.
+            if pair.fork_at(p) && pair.token_at(p) {
+                let ps = &mut s.pairs[pair_idx as usize];
+                ps.move_fork_to(q);
+                ps.dirty = false;
+                if self.owner_of(p) != self.owner_of(q) {
+                    ps.ts += transport.network_latency_ns();
+                }
+                self.count_fork_transfer(p, q, transport);
+                self.cv[q as usize].notify_one();
+            }
+        }
+    }
+
+    /// Is `p` currently eating? (test/diagnostic helper)
+    pub fn is_eating(&self, p: PhilId) -> bool {
+        self.state.lock().status[p as usize] == Status::Eating
+    }
+
+    /// Check structural invariants; intended for tests at quiescent points.
+    ///
+    /// * no two neighbors are eating;
+    /// * an eating philosopher holds all its forks;
+    /// * when every philosopher is thinking, the precedence graph given by
+    ///   dirty-fork directions is acyclic (no deadlock is latent).
+    pub fn check_invariants(&self) {
+        let s = self.state.lock();
+        for (pair_idx, pair) in s.pairs.iter().enumerate() {
+            let _ = pair_idx;
+            let (a, b) = (pair.a as usize, pair.b as usize);
+            assert!(
+                !(s.status[a] == Status::Eating && s.status[b] == Status::Eating),
+                "neighbors {a} and {b} both eating"
+            );
+        }
+        for (p, st) in s.status.iter().enumerate() {
+            if *st == Status::Eating {
+                for &(_, pair_idx) in &self.adj[p] {
+                    assert!(
+                        s.pairs[pair_idx as usize].fork_at(p as PhilId),
+                        "eating philosopher {p} missing a fork"
+                    );
+                }
+            }
+        }
+        if s.status.iter().all(|st| *st == Status::Thinking) {
+            assert!(
+                precedence_acyclic(&s.pairs, self.owner.len()),
+                "precedence graph has a cycle at quiescence"
+            );
+        }
+    }
+}
+
+/// Serialized protocol state of one fork table, as recorded by the
+/// Section 6.4 checkpointing mechanism ("we change Giraph to also record
+/// the relevant data structures that are used by the synchronization
+/// techniques"). Captured at a global barrier, when no philosopher is
+/// eating and no fork or token is in transit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForkSnapshot {
+    /// `(fork_at_a, dirty, token_at_a, ts)` per pair, in pair-index order.
+    pairs: Vec<(bool, bool, bool, u64)>,
+}
+
+impl ForkSnapshot {
+    /// Build from raw `(fork_at_a, dirty, token_at_a, ts)` tuples (used by
+    /// the synchronous Proposition 1 table, which shares the format).
+    pub fn from_tuples(pairs: Vec<(bool, bool, bool, u64)>) -> Self {
+        Self { pairs }
+    }
+
+    /// The raw tuples.
+    pub fn tuples(&self) -> &[(bool, bool, bool, u64)] {
+        &self.pairs
+    }
+}
+
+impl ForkTable {
+    /// Capture the fork/token placement. Must be called at quiescence
+    /// (between supersteps); panics if any philosopher is eating.
+    pub fn snapshot(&self) -> ForkSnapshot {
+        let s = self.state.lock();
+        assert!(
+            s.status.iter().all(|st| *st == Status::Thinking),
+            "checkpoint requires quiescence"
+        );
+        ForkSnapshot {
+            pairs: s
+                .pairs
+                .iter()
+                .map(|p| (p.fork_at_a, p.dirty, p.token_at_a, p.ts))
+                .collect(),
+        }
+    }
+
+    /// Restore a previously captured placement (recovery, Section 6.4).
+    pub fn restore(&self, snapshot: &ForkSnapshot) {
+        let mut s = self.state.lock();
+        assert!(
+            s.status.iter().all(|st| *st == Status::Thinking),
+            "recovery requires quiescence"
+        );
+        assert_eq!(s.pairs.len(), snapshot.pairs.len(), "snapshot shape mismatch");
+        for (pair, &(fork_at_a, dirty, token_at_a, ts)) in s.pairs.iter_mut().zip(&snapshot.pairs)
+        {
+            pair.fork_at_a = fork_at_a;
+            pair.dirty = dirty;
+            pair.token_at_a = token_at_a;
+            pair.ts = ts;
+        }
+    }
+}
+
+/// In the Chandy–Misra precedence graph, an edge points from the
+/// philosopher that will defer to the one that has priority: the holder of
+/// a *clean* fork has priority, the holder of a *dirty* fork will yield.
+/// Returns `true` if that graph is acyclic.
+fn precedence_acyclic(pairs: &[PairState], n: usize) -> bool {
+    // Edge u -> v means v has priority over u (u yields to v).
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for pair in pairs {
+        let holder = if pair.fork_at_a { pair.a } else { pair.b };
+        let other = if pair.fork_at_a { pair.b } else { pair.a };
+        if pair.dirty {
+            // Dirty fork: holder yields, other has priority.
+            adj[holder as usize].push(other);
+        } else {
+            adj[other as usize].push(holder);
+        }
+    }
+    // Kahn's algorithm.
+    let mut indeg = vec![0u32; n];
+    for edges in &adj {
+        for &v in edges {
+            indeg[v as usize] += 1;
+        }
+    }
+    let mut queue: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(u) = queue.pop() {
+        seen += 1;
+        for &v in &adj[u as usize] {
+            indeg[v as usize] -= 1;
+            if indeg[v as usize] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    seen == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{NoopTransport, RecordingTransport, TransportEvent};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    fn table(owner: Vec<u32>, edges: &[(u32, u32)]) -> Arc<ForkTable> {
+        let owner = owner.into_iter().map(WorkerId::new).collect();
+        Arc::new(ForkTable::new(owner, edges, Arc::new(Metrics::new())))
+    }
+
+    #[test]
+    fn construction_counts() {
+        let t = table(vec![0, 0, 1], &[(0, 1), (1, 2), (1, 0), (2, 2)]);
+        assert_eq!(t.num_philosophers(), 3);
+        // (0,1) deduped with (1,0); (2,2) self-pair ignored.
+        assert_eq!(t.num_forks(), 2);
+    }
+
+    #[test]
+    fn initial_precedence_is_acyclic() {
+        let t = table(vec![0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn lone_philosopher_eats_immediately() {
+        let t = table(vec![0, 0], &[]);
+        t.acquire(0, &NoopTransport);
+        assert!(t.is_eating(0));
+        t.release(0, 0, &NoopTransport);
+        assert!(!t.is_eating(0));
+    }
+
+    #[test]
+    fn sequential_pair_alternates() {
+        let t = table(vec![0, 0], &[(0, 1)]);
+        for _ in 0..5 {
+            t.acquire(0, &NoopTransport);
+            t.release(0, 0, &NoopTransport);
+            t.acquire(1, &NoopTransport);
+            t.release(1, 0, &NoopTransport);
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "acquired twice")]
+    fn double_acquire_panics() {
+        let t = table(vec![0, 0], &[]);
+        t.acquire(0, &NoopTransport);
+        t.acquire(0, &NoopTransport);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without acquire")]
+    fn release_without_acquire_panics() {
+        let t = table(vec![0], &[]);
+        t.release(0, 0, &NoopTransport);
+    }
+
+    #[test]
+    fn cross_worker_transfer_flushes() {
+        // Philosophers on different workers: fork movement must call the
+        // transport (the C1 flush site).
+        let t = table(vec![0, 1], &[(0, 1)]);
+        let rec = RecordingTransport::new();
+        // Initially the dirty fork is at 1 (larger id), token at 0.
+        t.acquire(0, &rec);
+        let events = rec.take();
+        assert!(events.contains(&TransportEvent::Control(WorkerId::new(0), WorkerId::new(1))));
+        assert!(events.contains(&TransportEvent::Fork(WorkerId::new(1), WorkerId::new(0))));
+        t.release(0, 0, &rec);
+    }
+
+    #[test]
+    fn same_worker_transfer_does_not_flush() {
+        let t = table(vec![0, 0], &[(0, 1)]);
+        let rec = RecordingTransport::new();
+        t.acquire(0, &rec);
+        t.release(0, 0, &rec);
+        assert!(rec.take().is_empty(), "no cross-worker traffic expected");
+    }
+
+    #[test]
+    fn metrics_count_forks_and_tokens() {
+        let m = Arc::new(Metrics::new());
+        let t = ForkTable::new(
+            vec![WorkerId::new(0), WorkerId::new(1)],
+            &[(0, 1)],
+            Arc::clone(&m),
+        );
+        t.acquire(0, &NoopTransport); // request token + fork transfer
+        t.release(0, 0, &NoopTransport);
+        let s = m.snapshot();
+        assert_eq!(s.request_tokens, 1);
+        assert_eq!(s.request_tokens_remote, 1);
+        assert_eq!(s.fork_transfers, 1);
+        assert_eq!(s.fork_transfers_remote, 1);
+    }
+
+    #[test]
+    fn deferred_transfer_after_eating() {
+        // 0 eats; 1 requests while 0 eats; fork arrives on 0's release.
+        let t = table(vec![0, 0], &[(0, 1)]);
+        t.acquire(0, &NoopTransport);
+        let t2 = Arc::clone(&t);
+        let h = thread::spawn(move || {
+            t2.acquire(1, &NoopTransport);
+            t2.release(1, 0, &NoopTransport);
+        });
+        // Give the hungry thread time to lodge its request.
+        thread::sleep(Duration::from_millis(50));
+        assert!(!t.is_eating(1), "1 must wait while 0 eats");
+        t.release(0, 0, &NoopTransport);
+        h.join().unwrap();
+        t.check_invariants();
+    }
+
+    /// Run `rounds` eat cycles per philosopher on `threads` OS threads and
+    /// assert completion (deadlock/starvation freedom) and mutual exclusion
+    /// (asserted inside `acquire`).
+    fn stress(owner: Vec<u32>, edges: &[(u32, u32)], rounds: usize) {
+        let t = table(owner, edges);
+        let eaten: Arc<Vec<AtomicU64>> =
+            Arc::new((0..t.num_philosophers()).map(|_| AtomicU64::new(0)).collect());
+        let handles: Vec<_> = (0..t.num_philosophers() as u32)
+            .map(|p| {
+                let t = Arc::clone(&t);
+                let eaten = Arc::clone(&eaten);
+                thread::spawn(move || {
+                    for _ in 0..rounds {
+                        t.acquire(p, &NoopTransport);
+                        eaten[p as usize].fetch_add(1, Ordering::Relaxed);
+                        t.release(p, 0, &NoopTransport);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("philosopher thread panicked");
+        }
+        for (p, count) in eaten.iter().enumerate() {
+            assert_eq!(
+                count.load(Ordering::Relaxed),
+                rounds as u64,
+                "philosopher {p} starved"
+            );
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn stress_pair() {
+        stress(vec![0, 1], &[(0, 1)], 200);
+    }
+
+    #[test]
+    fn stress_triangle() {
+        stress(vec![0, 0, 1], &[(0, 1), (1, 2), (0, 2)], 150);
+    }
+
+    #[test]
+    fn stress_ring_of_five() {
+        stress(vec![0, 0, 1, 1, 1], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)], 100);
+    }
+
+    #[test]
+    fn stress_complete_k5() {
+        let edges: Vec<(u32, u32)> = (0..5)
+            .flat_map(|i| ((i + 1)..5).map(move |j| (i, j)))
+            .collect();
+        stress(vec![0, 1, 0, 1, 0], &edges, 80);
+    }
+
+    #[test]
+    fn stress_star() {
+        let edges: Vec<(u32, u32)> = (1..8).map(|i| (0, i)).collect();
+        stress((0..8).map(|i| i % 3).collect(), &edges, 60);
+    }
+
+    #[test]
+    fn non_neighbors_eat_concurrently() {
+        // 0-1 conflict, 2 is independent: while 0 eats, 2 must be able to
+        // acquire without waiting.
+        let t = table(vec![0, 0, 1], &[(0, 1)]);
+        t.acquire(0, &NoopTransport);
+        t.acquire(2, &NoopTransport);
+        assert!(t.is_eating(0) && t.is_eating(2));
+        t.release(0, 0, &NoopTransport);
+        t.release(2, 0, &NoopTransport);
+    }
+
+    #[test]
+    fn halted_philosopher_does_not_block_neighbors() {
+        // Philosopher 1 never acquires (models a halted partition,
+        // Section 5.4's skip optimization): 0 and 2 keep making progress.
+        let t = table(vec![0, 1, 2], &[(0, 1), (1, 2)]);
+        for _ in 0..50 {
+            t.acquire(0, &NoopTransport);
+            t.release(0, 0, &NoopTransport);
+            t.acquire(2, &NoopTransport);
+            t.release(2, 0, &NoopTransport);
+        }
+        t.check_invariants();
+    }
+}

@@ -1,0 +1,417 @@
+//! The [`Synchronizer`] abstraction and the two distributed-locking
+//! techniques.
+//!
+//! An engine in *serializable mode* drives its technique at four points:
+//!
+//! 1. [`Synchronizer::vertex_allowed`] — token techniques gate which
+//!    vertices may execute in a superstep (only a subset executes per
+//!    superstep, Section 6.5); locking techniques allow everything.
+//! 2. [`Synchronizer::acquire_unit`] / [`release_unit`] — locking
+//!    techniques block here until the execution unit (a partition, or a
+//!    single vertex) holds all its forks. Token techniques no-op.
+//! 3. [`Synchronizer::end_superstep`] — token rings advance here.
+//! 4. [`Synchronizer::unit_skippable`] — the Section 5.4 optimization:
+//!    partitions whose vertices are all halted with no pending messages
+//!    skip fork acquisition entirely.
+//!
+//! [`release_unit`]: Synchronizer::release_unit
+
+use crate::chandy_misra::{ForkSnapshot, ForkTable};
+use crate::transport::SyncTransport;
+use sg_graph::{Graph, PartitionMap, VertexId};
+use sg_metrics::Metrics;
+use std::sync::Arc;
+
+/// What a technique locks around: whole partitions or individual vertices.
+///
+/// The engine consults this to decide whether to wrap each partition or
+/// each vertex in `acquire_unit`/`release_unit`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockGranularity {
+    /// No locking (token techniques and plain asynchronous execution).
+    None,
+    /// Acquire once per partition per superstep (partition-based locking).
+    Partition,
+    /// Acquire once per vertex execution (vertex-based locking).
+    Vertex,
+}
+
+/// A synchronization technique pluggable into the engines.
+///
+/// All methods must be callable concurrently from many worker threads.
+pub trait Synchronizer: Send + Sync {
+    /// Technique name for reports.
+    fn name(&self) -> &'static str;
+
+    /// If `Some(k)`, the engine must restrict every worker to `k` compute
+    /// threads (single-layer token passing requires exactly one,
+    /// Section 4.2).
+    fn max_threads_per_worker(&self) -> Option<u32> {
+        None
+    }
+
+    /// Locking granularity; decides which `acquire_unit` calls the engine
+    /// makes.
+    fn granularity(&self) -> LockGranularity {
+        LockGranularity::None
+    }
+
+    /// May vertex `v` execute during `superstep`? Vertices denied here keep
+    /// their pending messages and remain active for a later superstep.
+    fn vertex_allowed(&self, _superstep: u64, _v: VertexId) -> bool {
+        true
+    }
+
+    /// Blocking acquisition of the unit identified by `unit` (a partition
+    /// id under [`LockGranularity::Partition`], a vertex id under
+    /// [`LockGranularity::Vertex`]). Returns the virtual time at which the
+    /// unit's last fork becomes available — the earliest simulated instant
+    /// the execution may start (0 for techniques without forks).
+    fn acquire_unit(&self, _unit: u32, _transport: &dyn SyncTransport) -> u64 {
+        0
+    }
+
+    /// Release a unit previously acquired; `end_ts` is the virtual time
+    /// its execution finished (stamped onto the released forks).
+    fn release_unit(&self, _unit: u32, _end_ts: u64, _transport: &dyn SyncTransport) {}
+
+    /// The Section 5.4 skip optimization: `true` if the technique agrees
+    /// the unit needs no synchronization this superstep because it is
+    /// halted. `active` is computed by the engine (all vertices voted to
+    /// halt and no pending messages).
+    fn unit_skippable(&self, _unit: u32, active: bool) -> bool {
+        !active
+    }
+
+    /// Called once (by the master) after every superstep, before the global
+    /// barrier completes. Token rings rotate here.
+    fn end_superstep(&self, _superstep: u64, _transport: &dyn SyncTransport) {}
+
+    /// Section 6.4 checkpointing: capture the technique's protocol state at
+    /// a barrier. Token techniques derive everything from the superstep
+    /// number and return `None`.
+    fn checkpoint(&self) -> Option<ForkSnapshot> {
+        None
+    }
+
+    /// Section 6.4 recovery: restore protocol state captured by
+    /// [`Synchronizer::checkpoint`].
+    fn restore(&self, _snapshot: &ForkSnapshot) {}
+}
+
+/// The identity technique: no gating, no locking. Plain BSP/AP execution —
+/// *not* serializable; exists so the engines can run unsynchronized and so
+/// the checkers in `sg-serial` have something to falsify.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoSync;
+
+impl Synchronizer for NoSync {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Partition-based distributed locking (Section 5.4) — the paper's novel
+/// technique. Partitions are the philosophers; two partitions share a fork
+/// iff an edge connects their constituent vertices (the *virtual partition
+/// edges*). p-internal vertices need no coordination because each partition
+/// executes sequentially; p-boundary vertices are protected because
+/// neighboring partitions never eat together.
+pub struct PartitionLock {
+    table: ForkTable,
+    /// Section 5.4 optimization toggle: skip fork acquisition for halted
+    /// partitions.
+    skip_halted: bool,
+    metrics: Arc<Metrics>,
+}
+
+impl PartitionLock {
+    /// Build from a partition map: one philosopher per partition, forks on
+    /// the virtual partition edges.
+    pub fn new(pm: &PartitionMap, metrics: Arc<Metrics>) -> Self {
+        Self::with_options(pm, metrics, true)
+    }
+
+    /// As [`PartitionLock::new`], with the halted-partition skip
+    /// optimization configurable (for the ablation benchmarks).
+    pub fn with_options(pm: &PartitionMap, metrics: Arc<Metrics>, skip_halted: bool) -> Self {
+        let layout = pm.layout();
+        let owner: Vec<_> = layout
+            .partitions()
+            .map(|p| layout.worker_of_partition(p))
+            .collect();
+        let mut edges = Vec::new();
+        for p in layout.partitions() {
+            for &q in pm.partition_neighbors(p) {
+                if q.raw() > p.raw() {
+                    edges.push((p.raw(), q.raw()));
+                }
+            }
+        }
+        Self {
+            table: ForkTable::new(owner, &edges, Arc::clone(&metrics)),
+            skip_halted,
+            metrics,
+        }
+    }
+
+    /// The number of forks in play — `O(|P|²)` worst case, compared to
+    /// `O(|E|)` for vertex-based locking (Section 5.4).
+    pub fn num_forks(&self) -> usize {
+        self.table.num_forks()
+    }
+}
+
+impl Synchronizer for PartitionLock {
+    fn name(&self) -> &'static str {
+        "partition-lock"
+    }
+
+    fn granularity(&self) -> LockGranularity {
+        LockGranularity::Partition
+    }
+
+    fn acquire_unit(&self, unit: u32, transport: &dyn SyncTransport) -> u64 {
+        self.table.acquire(unit, transport)
+    }
+
+    fn release_unit(&self, unit: u32, end_ts: u64, transport: &dyn SyncTransport) {
+        self.table.release(unit, end_ts, transport);
+    }
+
+    fn unit_skippable(&self, _unit: u32, active: bool) -> bool {
+        if !active && self.skip_halted {
+            self.metrics.inc(|m| &m.halted_skips);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn checkpoint(&self) -> Option<ForkSnapshot> {
+        Some(self.table.snapshot())
+    }
+
+    fn restore(&self, snapshot: &ForkSnapshot) {
+        self.table.restore(snapshot);
+    }
+}
+
+/// Vertex-based distributed locking (Section 4.3) adapted to a partition
+/// aware engine: every **p-boundary** vertex is a philosopher (p-internal
+/// vertices are already serialized by their partition's sequential
+/// execution, Section 5.2); forks sit on every edge crossing partitions.
+///
+/// On the GAS engine (no partitions, GraphLab-style), *every* vertex is a
+/// philosopher and the fork count reaches the full `O(|E|)` of the paper —
+/// see `sg-gas`.
+pub struct VertexLock {
+    table: ForkTable,
+    /// Per-vertex: does this vertex need forks at all?
+    is_philosopher: Vec<bool>,
+}
+
+impl VertexLock {
+    /// Build for `g` partitioned by `pm`. Forks connect neighbor pairs in
+    /// different partitions.
+    pub fn new(g: &Graph, pm: &PartitionMap, metrics: Arc<Metrics>) -> Self {
+        Self::build(g, pm, metrics, false)
+    }
+
+    /// GraphLab-style: every vertex with a neighbor is a philosopher and
+    /// every undirected edge carries a fork, regardless of partitions.
+    pub fn new_all_vertices(g: &Graph, pm: &PartitionMap, metrics: Arc<Metrics>) -> Self {
+        Self::build(g, pm, metrics, true)
+    }
+
+    fn build(g: &Graph, pm: &PartitionMap, metrics: Arc<Metrics>, all_vertices: bool) -> Self {
+        let owner: Vec<_> = g.vertices().map(|v| pm.worker_of(v)).collect();
+        let mut edges = Vec::new();
+        let mut is_philosopher = vec![false; g.num_vertices() as usize];
+        for v in g.vertices() {
+            for u in g.neighbors(v) {
+                if u.raw() > v.raw() && (all_vertices || pm.partition_of(u) != pm.partition_of(v))
+                {
+                    edges.push((v.raw(), u.raw()));
+                    is_philosopher[v.index()] = true;
+                    is_philosopher[u.index()] = true;
+                }
+            }
+        }
+        Self {
+            table: ForkTable::new(owner, &edges, metrics),
+            is_philosopher,
+        }
+    }
+
+    /// Number of forks — `O(|E|)` (the scalability problem of Section 5.2).
+    pub fn num_forks(&self) -> usize {
+        self.table.num_forks()
+    }
+}
+
+impl Synchronizer for VertexLock {
+    fn name(&self) -> &'static str {
+        "vertex-lock"
+    }
+
+    fn granularity(&self) -> LockGranularity {
+        LockGranularity::Vertex
+    }
+
+    fn acquire_unit(&self, unit: u32, transport: &dyn SyncTransport) -> u64 {
+        if self.is_philosopher[unit as usize] {
+            self.table.acquire(unit, transport)
+        } else {
+            0
+        }
+    }
+
+    fn release_unit(&self, unit: u32, end_ts: u64, transport: &dyn SyncTransport) {
+        if self.is_philosopher[unit as usize] {
+            self.table.release(unit, end_ts, transport);
+        }
+    }
+
+    fn checkpoint(&self) -> Option<ForkSnapshot> {
+        Some(self.table.snapshot())
+    }
+
+    fn restore(&self, snapshot: &ForkSnapshot) {
+        self.table.restore(snapshot);
+    }
+
+    // Vertex-grain acquisition cannot skip halted units wholesale (the
+    // engine only knows per-partition halting); harmless to allow.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::NoopTransport;
+    use sg_graph::partition::{ExplicitPartitioner, HashPartitioner};
+    use sg_graph::{gen, ClusterLayout, PartitionId};
+
+    fn pm_for(g: &Graph, workers: u32, ppw: u32) -> PartitionMap {
+        PartitionMap::build(g, ClusterLayout::new(workers, ppw), &HashPartitioner::default())
+    }
+
+    #[test]
+    fn partition_lock_fork_count_matches_virtual_edges() {
+        let g = gen::ring(32);
+        let pm = pm_for(&g, 4, 2);
+        let pl = PartitionLock::new(&pm, Arc::new(Metrics::new()));
+        assert_eq!(pl.num_forks() as u64, pm.num_partition_edges());
+    }
+
+    #[test]
+    fn partition_lock_far_fewer_forks_than_vertex_lock() {
+        // The paper's central claim: |P| << |V| slashes the fork count.
+        let g = gen::preferential_attachment(500, 4, 1);
+        let pm = pm_for(&g, 4, 4);
+        let metrics = Arc::new(Metrics::new());
+        let pl = PartitionLock::new(&pm, Arc::clone(&metrics));
+        let vl = VertexLock::new_all_vertices(&g, &pm, metrics);
+        assert!(pl.num_forks() * 4 < vl.num_forks());
+        assert_eq!(vl.num_forks() as u64, g.num_undirected_edges());
+    }
+
+    #[test]
+    fn vertex_lock_pboundary_only_skips_internal_edges() {
+        // Two partitions, explicit: vertices 0,1 in P0; 2,3 in P1.
+        // Edges 0-1 (internal), 1-2 (cross), 2-3 (internal).
+        let g = sg_graph::Graph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]);
+        let layout = ClusterLayout::new(2, 1);
+        let pm = PartitionMap::build(
+            &g,
+            layout,
+            &ExplicitPartitioner(vec![
+                PartitionId::new(0),
+                PartitionId::new(0),
+                PartitionId::new(1),
+                PartitionId::new(1),
+            ]),
+        );
+        let vl = VertexLock::new(&g, &pm, Arc::new(Metrics::new()));
+        assert_eq!(vl.num_forks(), 1); // only the 1-2 edge
+        // Non-philosophers acquire without touching the table.
+        vl.acquire_unit(0, &NoopTransport);
+        vl.release_unit(0, 0, &NoopTransport);
+    }
+
+    #[test]
+    fn partition_lock_skip_halted_counts() {
+        let g = gen::ring(8);
+        let pm = pm_for(&g, 2, 2);
+        let metrics = Arc::new(Metrics::new());
+        let pl = PartitionLock::new(&pm, Arc::clone(&metrics));
+        assert!(pl.unit_skippable(0, false));
+        assert!(!pl.unit_skippable(0, true));
+        assert_eq!(metrics.snapshot().halted_skips, 1);
+    }
+
+    #[test]
+    fn partition_lock_skip_can_be_disabled() {
+        let g = gen::ring(8);
+        let pm = pm_for(&g, 2, 2);
+        let metrics = Arc::new(Metrics::new());
+        let pl = PartitionLock::with_options(&pm, metrics, false);
+        assert!(!pl.unit_skippable(0, false));
+    }
+
+    #[test]
+    fn nosync_permits_everything() {
+        let s = NoSync;
+        assert!(s.vertex_allowed(0, VertexId::new(0)));
+        assert_eq!(s.granularity(), LockGranularity::None);
+        assert_eq!(s.max_threads_per_worker(), None);
+        s.acquire_unit(0, &NoopTransport);
+        s.release_unit(0, 0, &NoopTransport);
+        s.end_superstep(0, &NoopTransport);
+    }
+
+    #[test]
+    fn neighboring_partitions_never_concurrent() {
+        // Drive partitions from threads; ForkTable asserts exclusion.
+        let g = gen::complete(12);
+        let pm = pm_for(&g, 3, 2);
+        let metrics = Arc::new(Metrics::new());
+        let pl = Arc::new(PartitionLock::new(&pm, metrics));
+        let handles: Vec<_> = (0..6u32)
+            .map(|p| {
+                let pl = Arc::clone(&pl);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        pl.acquire_unit(p, &NoopTransport);
+                        pl.release_unit(p, 0, &NoopTransport);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn vertex_lock_stress_on_grid() {
+        let g = gen::grid(4, 4);
+        let pm = pm_for(&g, 2, 2);
+        let metrics = Arc::new(Metrics::new());
+        let vl = Arc::new(VertexLock::new_all_vertices(&g, &pm, metrics));
+        let handles: Vec<_> = (0..16u32)
+            .map(|v| {
+                let vl = Arc::clone(&vl);
+                std::thread::spawn(move || {
+                    for _ in 0..30 {
+                        vl.acquire_unit(v, &NoopTransport);
+                        vl.release_unit(v, 0, &NoopTransport);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! The engine-facing transport hooks a synchronization technique calls when
+//! its protocol traffic crosses (simulated) machine boundaries.
+
+use sg_graph::WorkerId;
+
+/// Callbacks from a synchronization technique into the hosting engine.
+///
+/// The engine owns the message buffers and the virtual clocks; the
+/// technique owns the protocol. Whenever a fork or token is about to move
+/// from one worker to another, the technique calls back so the engine can:
+///
+/// 1. **flush** the sending worker's pending remote replica updates and
+///    ensure their receipt *before* the resource is handed over — this is
+///    the write-all step that enforces condition C1 (Sections 4.1, 5.4);
+/// 2. **join clocks**: charge the one-way network latency and make the
+///    receiving worker's virtual clock at least the send timestamp.
+pub trait SyncTransport: Send + Sync {
+    /// A fork (or the global token) moves from `from` to `to`, `from != to`.
+    /// The engine must flush `from`'s buffered remote messages (write-all /
+    /// C1) before the transfer is considered complete, then join clocks.
+    fn on_fork_transfer(&self, from: WorkerId, to: WorkerId);
+
+    /// A lightweight control message (request token) moves from `from` to
+    /// `to`. No flush is required — request tokens do not guard data — but
+    /// clocks join.
+    fn on_control_message(&self, from: WorkerId, to: WorkerId);
+
+    /// One-way network latency in simulated nanoseconds, added to a fork's
+    /// availability timestamp whenever it crosses worker machines. The
+    /// default of 0 keeps protocol-only tests free of virtual time.
+    fn network_latency_ns(&self) -> u64 {
+        0
+    }
+}
+
+/// A transport that does nothing. Used by unit tests that exercise protocol
+/// logic without an engine, and by single-worker configurations where no
+/// resource ever crosses a machine boundary.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopTransport;
+
+impl SyncTransport for NoopTransport {
+    fn on_fork_transfer(&self, _from: WorkerId, _to: WorkerId) {}
+    fn on_control_message(&self, _from: WorkerId, _to: WorkerId) {}
+}
+
+/// A transport that records every callback, for protocol tests.
+#[derive(Debug, Default)]
+pub struct RecordingTransport {
+    inner: parking_lot::Mutex<Vec<TransportEvent>>,
+}
+
+/// One recorded transport callback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportEvent {
+    /// `on_fork_transfer(from, to)`.
+    Fork(WorkerId, WorkerId),
+    /// `on_control_message(from, to)`.
+    Control(WorkerId, WorkerId),
+}
+
+impl RecordingTransport {
+    /// New empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drain the recorded events.
+    pub fn take(&self) -> Vec<TransportEvent> {
+        std::mem::take(&mut self.inner.lock())
+    }
+}
+
+impl SyncTransport for RecordingTransport {
+    fn on_fork_transfer(&self, from: WorkerId, to: WorkerId) {
+        self.inner.lock().push(TransportEvent::Fork(from, to));
+    }
+    fn on_control_message(&self, from: WorkerId, to: WorkerId) {
+        self.inner.lock().push(TransportEvent::Control(from, to));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_transport_captures_in_order() {
+        let t = RecordingTransport::new();
+        t.on_fork_transfer(WorkerId::new(0), WorkerId::new(1));
+        t.on_control_message(WorkerId::new(1), WorkerId::new(0));
+        assert_eq!(
+            t.take(),
+            vec![
+                TransportEvent::Fork(WorkerId::new(0), WorkerId::new(1)),
+                TransportEvent::Control(WorkerId::new(1), WorkerId::new(0)),
+            ]
+        );
+        assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn noop_transport_is_callable() {
+        let t = NoopTransport;
+        t.on_fork_transfer(WorkerId::new(0), WorkerId::new(1));
+        t.on_control_message(WorkerId::new(0), WorkerId::new(1));
+    }
+}

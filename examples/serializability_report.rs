@@ -1,0 +1,50 @@
+//! The formal framework as a diagnostic tool: record executions of graph
+//! coloring under every model/technique combination and print what the
+//! Theorem 1 checkers (C1 freshness, C2 isolation, serialization-graph
+//! acyclicity) find.
+//!
+//! Run with: `cargo run --release --example serializability_report`
+
+use serigraph::prelude::*;
+
+fn report(name: &str, model: Model, technique: Technique) {
+    let graph = gen::complete(12); // dense: every overlap is a conflict
+    let out = Runner::new(graph.clone())
+        .workers(3)
+        .threads_per_worker(2)
+        .model(model)
+        .technique(technique)
+        .record_history(true)
+        .max_supersteps(100)
+        .run_coloring()
+        .expect("valid configuration");
+    let history = out.history.expect("history recorded");
+    let summary = history.summarize(&graph);
+    let conflicts = serigraph::sg_algos::validate::coloring_conflicts(&graph, &out.values);
+    println!("== {name} ==");
+    println!("{summary}");
+    println!("coloring conflicts:      {conflicts}\n");
+}
+
+fn main() {
+    println!("Greedy coloring on K12 (3 workers, 2 threads each)\n");
+    report("BSP, no synchronization", Model::Bsp, Technique::None);
+    report("AP, no synchronization", Model::Async, Technique::None);
+    report("AP + dual-layer token passing", Model::Async, Technique::DualToken);
+    report("AP + vertex-based locking", Model::Async, Technique::VertexLock);
+    report(
+        "AP + partition-based locking (the paper's technique)",
+        Model::Async,
+        Technique::PartitionLock,
+    );
+    report(
+        "BSP + Proposition 1 vertex locking",
+        Model::Bsp,
+        Technique::BspVertexLock,
+    );
+    println!(
+        "Theorem 1, live: the serializable configurations report zero C1/C2\n\
+         violations and an acyclic serialization graph — and only they\n\
+         produce proper colorings."
+    );
+}

@@ -1,0 +1,80 @@
+//! A web-graph pipeline: load an edge list, find its weakly connected
+//! components, then compute crawl distances from a seed page — the SSSP /
+//! WCC workloads of Section 7.2 on a web-shaped (uk-2007-like) input,
+//! with results cross-checked between the Pregel engine and the
+//! GraphLab-style GAS engine.
+//!
+//! Run with: `cargo run --release --example web_crawl_analysis`
+
+use serigraph::prelude::*;
+use serigraph::sg_algos::validate;
+use serigraph::sg_gas::programs::{GasSssp, GasWcc};
+use std::sync::Arc;
+
+fn main() {
+    // A uk-2007-flavoured synthetic web graph, round-tripped through the
+    // text edge-list format the paper's datasets ship in.
+    let generated = gen::datasets::uk_sim(256);
+    let path = std::env::temp_dir().join("serigraph_web_example.txt");
+    serigraph::sg_graph::io::write_edge_list_file(&generated, &path).expect("write edge list");
+    let graph = serigraph::sg_graph::io::read_edge_list_file(&path).expect("read edge list");
+    std::fs::remove_file(&path).ok();
+    println!(
+        "web graph: {} pages, {} links",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // Weakly connected components on the Pregel engine (serializable AP).
+    let runner = Runner::new(graph.clone())
+        .workers(8)
+        .technique(Technique::PartitionLock);
+    let wcc = runner.run_wcc().expect("valid configuration");
+    assert!(wcc.converged);
+    let reference = validate::wcc_reference(&graph);
+    assert_eq!(wcc.values, reference, "WCC must match union-find");
+    let mut comps: Vec<u32> = wcc.values.clone();
+    comps.sort_unstable();
+    comps.dedup();
+    println!("components: {}", comps.len());
+
+    // Crawl distance (SSSP, unit weights) from page 0.
+    let sssp = runner.run_sssp(VertexId::new(0)).expect("valid configuration");
+    assert!(sssp.converged);
+    let bfs = validate::bfs_distances(&graph, VertexId::new(0));
+    let reachable = bfs.iter().filter(|&&d| d != u64::MAX).count();
+    for (got, want) in sssp.values.iter().zip(&bfs) {
+        let want = if *want == u64::MAX { u64::MAX } else { *want };
+        assert_eq!(*got, want);
+    }
+    let max_depth = sssp
+        .values
+        .iter()
+        .filter(|&&d| d != u64::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    println!("crawl from page 0 reaches {reachable} pages, max depth {max_depth}");
+
+    // Cross-check both algorithms on the GAS engine with vertex-based
+    // distributed locking (the GraphLab async configuration).
+    let gas_cfg = GasConfig {
+        machines: 4,
+        fibers_per_machine: 4,
+        serializable: true,
+        ..Default::default()
+    };
+    let shared = Arc::new(graph.clone());
+    let gas_wcc = AsyncGasEngine::new(Arc::clone(&shared), GasWcc, gas_cfg.clone()).run();
+    assert!(gas_wcc.converged);
+    assert_eq!(gas_wcc.values, reference, "GAS WCC must agree");
+    let gas_sssp =
+        AsyncGasEngine::new(shared, GasSssp::new(VertexId::new(0)), gas_cfg).run();
+    assert!(gas_sssp.converged);
+    assert_eq!(gas_sssp.values, sssp.values, "GAS SSSP must agree");
+    println!(
+        "GAS engine agrees (vertex-based locking: {} forks exchanged, {} replica updates)",
+        gas_wcc.metrics.fork_transfers + gas_sssp.metrics.fork_transfers,
+        gas_wcc.metrics.remote_messages + gas_sssp.metrics.remote_messages,
+    );
+}

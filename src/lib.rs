@@ -1,0 +1,32 @@
+//! # serigraph
+//!
+//! A from-scratch Rust reproduction of *"Providing Serializability for
+//! Pregel-like Graph Processing Systems"* (Minyang Han and Khuzaima Daudjee,
+//! EDBT 2016): a Pregel-like graph processing engine (BSP and asynchronous
+//! parallel models), a GraphLab-style GAS engine, the paper's four
+//! synchronization techniques (single- and dual-layer token passing,
+//! vertex-based and partition-based distributed locking), and the formal
+//! serializability framework (conditions C1/C2, one-copy serializability
+//! checking) that proves them correct.
+//!
+//! This crate is a thin facade over the workspace; see [`sg_core`] for the
+//! high-level [`Runner`](sg_core::Runner) API and the `sg-*` crates for the
+//! individual subsystems.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use serigraph::prelude::*;
+//!
+//! // An undirected 4-cycle split across 2 simulated workers — the exact
+//! // graph of the paper's Figures 2 and 3.
+//! let graph = sg_graph::gen::paper_c4();
+//! let outcome = Runner::new(graph)
+//!     .workers(2)
+//!     .technique(Technique::PartitionLock)
+//!     .run_coloring()
+//!     .expect("serializable coloring terminates");
+//! assert!(outcome.converged);
+//! ```
+
+pub use sg_core::*;

@@ -1,0 +1,128 @@
+//! Exact reproductions of the paper's worked examples: the superstep-by-
+//! superstep states of Figures 2 and 3, and the termination/size facts of
+//! the running text.
+
+use serigraph::prelude::*;
+use serigraph::sg_algos::validate;
+
+/// Run conflict-repair coloring on the paper's 4-cycle with the paper's
+/// placement, capped at `cap` supersteps, returning (values, converged).
+fn run_capped(model: Model, technique: Technique, cap: u64) -> (Vec<u32>, bool) {
+    let out = Runner::new(gen::paper_c4())
+        .workers(2)
+        .partitions_per_worker(1)
+        .threads_per_worker(1)
+        .model(model)
+        .technique(technique)
+        .max_supersteps(cap)
+        .buffer_cap(usize::MAX) // remote flushes only at barriers
+        .explicit_partitions(validate::paper_c4_assignment())
+        .run_conflict_fix_coloring()
+        .expect("valid config");
+    (out.values, out.converged)
+}
+
+/// Figure 2: under BSP every vertex sees only stale colors, so the whole
+/// graph oscillates 0 -> 1 -> 0 -> … and never terminates.
+#[test]
+fn figure2_bsp_state_sequence() {
+    // State at the end of each paper superstep i = engine cap i.
+    assert_eq!(run_capped(Model::Bsp, Technique::None, 1).0, vec![0, 0, 0, 0]);
+    assert_eq!(run_capped(Model::Bsp, Technique::None, 2).0, vec![1, 1, 1, 1]);
+    assert_eq!(run_capped(Model::Bsp, Technique::None, 3).0, vec![0, 0, 0, 0]);
+    assert_eq!(run_capped(Model::Bsp, Technique::None, 4).0, vec![1, 1, 1, 1]);
+    let (_, converged) = run_capped(Model::Bsp, Technique::None, 60);
+    assert!(!converged, "Figure 2: BSP coloring never terminates");
+}
+
+/// Figure 3: under AP (local messages eager, remote at barriers, workers
+/// executing v0 then v2 and v1 then v3) the graph cycles through exactly
+/// three states.
+#[test]
+fn figure3_ap_state_sequence() {
+    // Superstep 1: v0, v1 pick 0; v2, v3 see their worker-local neighbor's
+    // 0 and pick 1.
+    assert_eq!(run_capped(Model::Async, Technique::None, 1).0, vec![0, 0, 1, 1]);
+    // Superstep 2: v0, v1 see each other's 0 and the local 1 -> 2;
+    // v2, v3 -> 0.
+    assert_eq!(run_capped(Model::Async, Technique::None, 2).0, vec![2, 2, 0, 0]);
+    // Superstep 3: -> 1, 1, 2, 2.
+    assert_eq!(run_capped(Model::Async, Technique::None, 3).0, vec![1, 1, 2, 2]);
+    // Superstep 4 returns to the superstep-1 state: a cycle of three.
+    assert_eq!(run_capped(Model::Async, Technique::None, 4).0, vec![0, 0, 1, 1]);
+    assert_eq!(run_capped(Model::Async, Technique::None, 7).0, vec![0, 0, 1, 1]);
+    let (_, converged) = run_capped(Model::Async, Technique::None, 60);
+    assert!(!converged, "Figure 3: AP coloring cycles forever");
+}
+
+/// Section 2.2's remedy: "with these two constraints, graph coloring will
+/// terminate in just two supersteps" — serializable techniques terminate
+/// quickly with a proper 2-coloring of the C4.
+#[test]
+fn serializable_c4_terminates_with_two_colors() {
+    for technique in [
+        Technique::SingleToken,
+        Technique::DualToken,
+        Technique::VertexLock,
+        Technique::PartitionLock,
+    ] {
+        let (values, converged) = run_capped(Model::Async, technique, 40);
+        assert!(converged, "{technique:?} did not terminate");
+        assert_eq!(
+            validate::coloring_conflicts(&gen::paper_c4(), &values),
+            0,
+            "{technique:?}"
+        );
+        assert_eq!(validate::num_colors(&values), 2, "{technique:?}: C4 is 2-chromatic");
+    }
+}
+
+/// Algorithm 1 "in practice requires three iterations: initialization,
+/// color selection, and handling extraneous messages" (Section 7.2.1).
+#[test]
+fn algorithm1_three_iterations_in_practice() {
+    let out = Runner::new(gen::paper_c4())
+        .workers(2)
+        .partitions_per_worker(1)
+        .threads_per_worker(1)
+        .technique(Technique::PartitionLock)
+        .explicit_partitions(validate::paper_c4_assignment())
+        .run_coloring()
+        .expect("valid config");
+    assert!(out.converged);
+    assert!(
+        (3..=4).contains(&out.supersteps),
+        "expected ~3 supersteps, got {}",
+        out.supersteps
+    );
+    assert_eq!(validate::coloring_conflicts(&gen::paper_c4(), &out.values), 0);
+}
+
+/// Table 1 invariants on the synthetic stand-ins: size ordering, |E|/|V|
+/// ratios within range, symmetrized sizes roughly double, power-law skew.
+#[test]
+fn table1_dataset_shape() {
+    let all = gen::datasets::all(16);
+    assert_eq!(all.len(), 4);
+    let mut last_edges = 0;
+    for (name, g) in &all {
+        // The shrink rule halves |V| per 4x edge reduction, so at
+        // scale-div 16 the |E|/|V| ratios sit at one quarter of the real
+        // datasets' 28-39.
+        let ratio = g.num_edges() as f64 / f64::from(g.num_vertices());
+        assert!(
+            (6.0..60.0).contains(&ratio),
+            "{name}: |E|/|V| = {ratio} out of range"
+        );
+        assert!(g.num_edges() > last_edges, "{name} breaks size ordering");
+        last_edges = g.num_edges();
+        // Power-law skew: hub way above average degree.
+        assert!(
+            u64::from(g.max_degree()) > 5 * (2 * g.num_edges() / u64::from(g.num_vertices())),
+            "{name}: no degree skew"
+        );
+        let und = g.to_undirected();
+        assert!(und.num_edges() >= g.num_edges());
+        assert!(und.is_symmetric());
+    }
+}

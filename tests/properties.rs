@@ -1,0 +1,203 @@
+//! Property-based tests (proptest): core invariants over random graphs,
+//! cluster shapes, and seeds.
+
+use proptest::prelude::*;
+use serigraph::prelude::*;
+use serigraph::sg_algos::validate;
+use std::sync::Arc;
+
+/// Random undirected graph as an edge list over `n` vertices.
+fn arb_undirected(max_n: u32, max_edges: usize) -> impl Strategy<Value = Graph> {
+    (3..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..max_edges).prop_map(move |edges| {
+            let mut b = GraphBuilder::new();
+            b.symmetric(true).reserve_vertices(n);
+            b.add_edges(edges);
+            b.build()
+        })
+    })
+}
+
+/// Random directed graph.
+fn arb_directed(max_n: u32, max_edges: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..max_edges).prop_map(move |edges| {
+            let mut b = GraphBuilder::new();
+            b.dedup(true).reserve_vertices(n);
+            b.add_edges(edges.into_iter().filter(|(a, b)| a != b));
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Serializable coloring is proper on any undirected graph, any
+    /// cluster shape, any technique.
+    #[test]
+    fn coloring_always_proper(
+        g in arb_undirected(40, 120),
+        workers in 1u32..5,
+        tech in prop_oneof![
+            Just(Technique::DualToken),
+            Just(Technique::VertexLock),
+            Just(Technique::PartitionLock),
+        ],
+    ) {
+        let out = Runner::new(g.clone())
+            .workers(workers)
+            .technique(tech)
+            .max_supersteps(2_000)
+            .run_coloring()
+            .expect("config");
+        prop_assert!(out.converged);
+        prop_assert!(validate::all_colored(&out.values));
+        prop_assert_eq!(validate::coloring_conflicts(&g, &out.values), 0);
+    }
+
+    /// SSSP equals BFS on any directed graph under any technique.
+    #[test]
+    fn sssp_equals_bfs(
+        g in arb_directed(40, 150),
+        workers in 1u32..4,
+        tech in prop_oneof![
+            Just(Technique::None),
+            Just(Technique::SingleToken),
+            Just(Technique::PartitionLock),
+        ],
+    ) {
+        let out = Runner::new(g.clone())
+            .workers(workers)
+            .technique(tech)
+            .max_supersteps(5_000)
+            .run_sssp(VertexId::new(0))
+            .expect("config");
+        prop_assert!(out.converged);
+        let want = validate::bfs_distances(&g, VertexId::new(0));
+        for (got, want) in out.values.iter().zip(&want) {
+            prop_assert_eq!(*got, *want);
+        }
+    }
+
+    /// WCC equals union-find on any graph. HCC propagates along out-edges,
+    /// so (exactly like the paper's datasets) directed inputs are
+    /// symmetrized first; weak components are unchanged by that.
+    #[test]
+    fn wcc_equals_union_find(
+        directed in arb_directed(40, 120),
+        workers in 1u32..4,
+    ) {
+        let g = directed.to_undirected();
+        let out = Runner::new(g.clone())
+            .workers(workers)
+            .technique(Technique::PartitionLock)
+            .max_supersteps(5_000)
+            .run_wcc()
+            .expect("config");
+        prop_assert!(out.converged);
+        prop_assert_eq!(out.values, validate::wcc_reference(&g));
+    }
+
+    /// Histories recorded under partition-based locking always satisfy
+    /// Theorem 1's conditions — the headline property.
+    #[test]
+    fn partition_lock_history_always_1sr(
+        g in arb_undirected(24, 80),
+        workers in 2u32..5,
+        seed in 0u64..1000,
+    ) {
+        let mut config = EngineConfig {
+            workers,
+            technique: Technique::PartitionLock,
+            record_history: true,
+            max_supersteps: 2_000,
+            partition_seed: seed,
+            ..Default::default()
+        };
+        config.threads_per_worker = 2;
+        let out = Engine::new(
+            Arc::new(g.clone()),
+            serigraph::sg_algos::GreedyColoring,
+            config,
+        )
+        .expect("config")
+        .run();
+        let h = out.history.expect("recorded");
+        prop_assert!(h.c1_violations().is_empty());
+        prop_assert!(h.c2_violations(&g).is_empty());
+        prop_assert!(h.is_one_copy_serializable(&g));
+    }
+
+    /// The boundary classification is self-consistent on random graphs
+    /// and partition counts.
+    #[test]
+    fn boundary_classification_consistent(
+        g in arb_directed(60, 200),
+        workers in 1u32..5,
+        ppw in 1u32..5,
+    ) {
+        let layout = ClusterLayout::new(workers, ppw);
+        let pm = sg_graph::PartitionMap::build(
+            &g,
+            layout,
+            &sg_graph::partition::HashPartitioner::new(1),
+        );
+        for v in g.vertices() {
+            let class = pm.class_of(v);
+            let mut local_cross = false;
+            let mut remote = false;
+            for u in g.neighbors(v) {
+                if pm.partition_of(u) != pm.partition_of(v) {
+                    if pm.worker_of(u) == pm.worker_of(v) {
+                        local_cross = true;
+                    } else {
+                        remote = true;
+                    }
+                }
+            }
+            prop_assert_eq!(class.is_m_boundary(), remote);
+            prop_assert_eq!(class.is_p_boundary(), local_cross || remote);
+            prop_assert_eq!(class.needs_local_token(), local_cross);
+        }
+        // Virtual partition edges cover exactly the cross-partition
+        // neighbor pairs.
+        for p in layout.partitions() {
+            for &q in pm.partition_neighbors(p) {
+                let connected = pm
+                    .vertices_in(p)
+                    .iter()
+                    .any(|&v| g.neighbors(v).iter().any(|&u| pm.partition_of(u) == q));
+                prop_assert!(connected);
+            }
+        }
+    }
+
+    /// Edge-list I/O round-trips arbitrary graphs.
+    #[test]
+    fn io_roundtrip(g in arb_directed(50, 200)) {
+        let mut buf = Vec::new();
+        sg_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = sg_graph::io::read_edge_list(buf.as_slice()).unwrap();
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+        for v in g.vertices() {
+            if g2.num_vertices() > v.raw() {
+                prop_assert_eq!(g.out_neighbors(v), g2.out_neighbors(v));
+            } else {
+                // Trailing isolated vertices are not representable in an
+                // edge list; they must have no edges.
+                prop_assert!(g.out_neighbors(v).is_empty());
+            }
+        }
+    }
+
+    /// `to_undirected` is idempotent and symmetric.
+    #[test]
+    fn symmetrization_idempotent(g in arb_directed(40, 150)) {
+        let u1 = g.to_undirected();
+        let u2 = u1.to_undirected();
+        prop_assert!(u1.is_symmetric());
+        prop_assert_eq!(u1.num_edges(), u2.num_edges());
+        prop_assert_eq!(u1.num_undirected_edges() * 2, u1.num_edges());
+    }
+}

@@ -1,0 +1,167 @@
+//! Empirical validation of Theorem 1, end to end: executions under any
+//! synchronization technique satisfy conditions C1 and C2 and are one-copy
+//! serializable; executions without one violate the conditions.
+
+use serigraph::prelude::*;
+use serigraph::sg_algos::{ConflictFixColoring, GreedyColoring};
+use serigraph::sg_serial::History;
+use std::sync::Arc;
+
+const TECHNIQUES: [Technique; 5] = [
+    Technique::SingleToken,
+    Technique::DualToken,
+    Technique::VertexLock,
+    Technique::PartitionLock,
+    Technique::PartitionLockNoSkip,
+];
+
+fn record_run<P: VertexProgram>(
+    g: &Graph,
+    program: P,
+    model: Model,
+    technique: Technique,
+    workers: u32,
+) -> History {
+    let config = EngineConfig {
+        workers,
+        threads_per_worker: 2,
+        model,
+        technique,
+        record_history: true,
+        max_supersteps: 200,
+        ..Default::default()
+    };
+    let out = Engine::new(Arc::new(g.clone()), program, config)
+        .expect("valid config")
+        .run();
+    out.history.expect("history recorded")
+}
+
+/// Theorem 1 (if direction): C1 ∧ C2 ⇒ 1SR, for every technique, on an
+/// adversarial dense graph where any unsynchronized overlap would be a
+/// conflict.
+#[test]
+fn all_techniques_produce_serializable_histories() {
+    let g = gen::complete(10);
+    for technique in TECHNIQUES {
+        let h = record_run(&g, GreedyColoring, Model::Async, technique, 3);
+        assert!(
+            h.c1_violations().is_empty(),
+            "{technique:?}: stale reads observed"
+        );
+        assert!(
+            h.c2_violations(&g).is_empty(),
+            "{technique:?}: neighboring executions overlapped"
+        );
+        assert!(
+            h.is_one_copy_serializable(&g),
+            "{technique:?}: serialization graph has a cycle"
+        );
+        assert!(h.equivalent_serial_order(&g).is_some());
+    }
+}
+
+/// Techniques stay serializable across algorithm shapes (message-heavy
+/// PageRank, frontier-style SSSP).
+#[test]
+fn techniques_serializable_across_algorithms() {
+    let g = gen::preferential_attachment(60, 3, 5);
+    for technique in [Technique::PartitionLock, Technique::DualToken] {
+        let h = record_run(
+            &g,
+            serigraph::sg_algos::DeltaPageRank::new(1e-3),
+            Model::Async,
+            technique,
+            2,
+        );
+        assert!(h.is_one_copy_serializable(&g), "{technique:?} pagerank");
+        let h = record_run(
+            &g,
+            serigraph::sg_algos::Sssp::new(VertexId::new(0)),
+            Model::Async,
+            technique,
+            2,
+        );
+        assert!(h.is_one_copy_serializable(&g), "{technique:?} sssp");
+    }
+}
+
+/// BSP violates C1 even under this (effectively serial) execution: the
+/// paper's Section 3.5 observation that synchronous models update replicas
+/// lazily, so reads are stale even without concurrency.
+#[test]
+fn bsp_violates_c1() {
+    let g = gen::paper_c4();
+    let h = record_run(&g, ConflictFixColoring, Model::Bsp, Technique::None, 2);
+    assert!(
+        !h.c1_violations().is_empty(),
+        "BSP must produce stale reads (lazy replica updates)"
+    );
+    assert!(!h.is_one_copy_serializable(&g));
+}
+
+/// Plain AP delays remote replica updates: stale reads again (Section 3.5),
+/// even with one thread per worker.
+#[test]
+fn plain_ap_violates_c1_across_workers() {
+    let g = gen::paper_c4();
+    let config = EngineConfig {
+        workers: 2,
+        partitions_per_worker: Some(1),
+        threads_per_worker: 1,
+        model: Model::Async,
+        technique: Technique::None,
+        record_history: true,
+        max_supersteps: 12,
+        buffer_cap: usize::MAX,
+        explicit_partitions: Some(serigraph::sg_algos::validate::paper_c4_assignment()),
+        ..Default::default()
+    };
+    let out = Engine::new(Arc::new(g.clone()), ConflictFixColoring, config)
+        .expect("valid config")
+        .run();
+    let h = out.history.expect("history");
+    assert!(
+        !h.c1_violations().is_empty(),
+        "AP buffers remote messages: stale reads expected"
+    );
+}
+
+/// The sync techniques remain serializable when partitions outnumber
+/// threads and workers disagree (stress of the fork protocol under real
+/// concurrency).
+#[test]
+fn partition_lock_serializable_under_contention() {
+    let g = gen::complete(24);
+    for workers in [2u32, 4, 6] {
+        let h = record_run(&g, GreedyColoring, Model::Async, Technique::PartitionLock, workers);
+        assert!(h.c2_violations(&g).is_empty(), "workers={workers}");
+        assert!(h.is_one_copy_serializable(&g), "workers={workers}");
+    }
+}
+
+/// GAS engine: serializable mode passes the checkers; the default mode's
+/// interleaving produces C2 violations (Section 2.3), demonstrated with
+/// widened race windows.
+#[test]
+fn gas_serializability_contrast() {
+    use serigraph::sg_gas::programs::GasColoring;
+    let g = Arc::new(gen::complete(8));
+
+    let ser = AsyncGasEngine::new(
+        Arc::clone(&g),
+        GasColoring,
+        GasConfig {
+            machines: 2,
+            fibers_per_machine: 4,
+            serializable: true,
+            record_history: true,
+            ..Default::default()
+        },
+    )
+    .run();
+    let h = ser.history.unwrap();
+    assert!(ser.converged);
+    assert!(h.c2_violations(&g).is_empty());
+    assert!(h.is_one_copy_serializable(&g));
+}

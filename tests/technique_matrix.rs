@@ -1,0 +1,157 @@
+//! Correctness matrix: every algorithm × every technique × several cluster
+//! shapes must produce correct results (identical where the algorithm has a
+//! unique answer).
+
+use serigraph::prelude::*;
+use serigraph::sg_algos::validate;
+use serigraph::sg_algos::{mis, MisState};
+
+const TECHNIQUES: [Technique; 6] = [
+    Technique::None,
+    Technique::SingleToken,
+    Technique::DualToken,
+    Technique::VertexLock,
+    Technique::PartitionLock,
+    Technique::PartitionLockNoSkip,
+];
+
+fn runner(g: &Graph, technique: Technique, workers: u32) -> Runner {
+    Runner::new(g.clone())
+        .workers(workers)
+        .threads_per_worker(2)
+        .technique(technique)
+        .max_supersteps(10_000)
+}
+
+#[test]
+fn sssp_matrix() {
+    let g = gen::preferential_attachment(120, 3, 21);
+    let want = validate::bfs_distances(&g, VertexId::new(0));
+    for technique in TECHNIQUES {
+        for workers in [1u32, 3, 5] {
+            let out = runner(&g, technique, workers)
+                .run_sssp(VertexId::new(0))
+                .expect("config");
+            assert!(out.converged, "{technique:?}/{workers}");
+            for (v, (got, want)) in out.values.iter().zip(&want).enumerate() {
+                assert_eq!(*got, *want, "{technique:?}/{workers} vertex {v}");
+            }
+        }
+    }
+}
+
+#[test]
+fn wcc_matrix() {
+    // Disconnected graph with several components.
+    let mut b = GraphBuilder::new();
+    b.symmetric(true);
+    for c in 0..4u32 {
+        let base = c * 25;
+        for i in 0..24 {
+            b.add_edge(base + i, base + ((i * 7 + 1) % 25));
+        }
+    }
+    let g = b.build();
+    let want = validate::wcc_reference(&g);
+    for technique in TECHNIQUES {
+        for workers in [2u32, 4] {
+            let out = runner(&g, technique, workers).run_wcc().expect("config");
+            assert!(out.converged, "{technique:?}/{workers}");
+            assert_eq!(out.values, want, "{technique:?}/{workers}");
+        }
+    }
+}
+
+#[test]
+fn pagerank_matrix() {
+    let g = gen::preferential_attachment(100, 3, 31);
+    let reference = validate::pagerank_reference(&g, 1e-12, 3_000);
+    for technique in TECHNIQUES {
+        let out = runner(&g, technique, 3).run_pagerank(1e-7).expect("config");
+        assert!(out.converged, "{technique:?}");
+        for (v, (got, want)) in out.values.iter().zip(&reference).enumerate() {
+            assert!(
+                (got - want).abs() < 1e-3,
+                "{technique:?} vertex {v}: {got} vs {want}"
+            );
+        }
+        // Probability interpretation: total rank mass ≈ |V| (Section 7.2.2).
+        let total: f64 = out.values.iter().sum();
+        assert!((total - f64::from(g.num_vertices())).abs() < 0.5, "{technique:?}");
+    }
+}
+
+#[test]
+fn coloring_matrix_serializable_only() {
+    let g = gen::preferential_attachment(150, 4, 41);
+    for technique in &TECHNIQUES[1..] {
+        for workers in [2u32, 4] {
+            let out = runner(&g, *technique, workers).run_coloring().expect("config");
+            assert!(out.converged, "{technique:?}/{workers}");
+            assert!(validate::all_colored(&out.values), "{technique:?}/{workers}");
+            assert_eq!(
+                validate::coloring_conflicts(&g, &out.values),
+                0,
+                "{technique:?}/{workers}"
+            );
+            // Greedy bound: at most maxdeg + 1 colors.
+            assert!(
+                validate::num_colors(&out.values) <= g.max_degree() as usize + 1,
+                "{technique:?}/{workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mis_matrix_serializable_only() {
+    let g = gen::preferential_attachment(120, 3, 51);
+    for technique in &TECHNIQUES[1..] {
+        let out = runner(&g, *technique, 3).run_mis().expect("config");
+        assert!(out.converged, "{technique:?}");
+        assert!(out.values.iter().all(|&s| s != MisState::Undecided));
+        assert!(
+            validate::is_maximal_independent_set(&g, &mis::membership(&out.values)),
+            "{technique:?}"
+        );
+    }
+}
+
+/// One-worker degenerate cluster: every technique reduces to sequential
+/// execution and still works.
+#[test]
+fn single_worker_degenerate() {
+    let g = gen::ring(20);
+    for technique in TECHNIQUES {
+        let out = runner(&g, technique, 1).run_coloring().expect("config");
+        assert!(out.converged, "{technique:?}");
+        assert_eq!(out.metrics.remote_messages, 0, "{technique:?}");
+        if technique != Technique::None {
+            assert_eq!(validate::coloring_conflicts(&g, &out.values), 0);
+        }
+    }
+}
+
+/// Giraph's compatibility claim (Section 6.5): the locking techniques
+/// execute every active vertex exactly once per superstep — no
+/// sub-supersteps. We can't compare absolute counts against the
+/// unsynchronized run (under AP, message timing changes which vertices
+/// wake), but per-superstep exactly-once implies `executions ≤ supersteps
+/// × |V|`, and superstep 0 alone must execute all of them.
+#[test]
+fn locking_executes_at_most_once_per_superstep() {
+    let g = gen::ring(30);
+    for technique in [Technique::VertexLock, Technique::PartitionLock] {
+        let out = runner(&g, technique, 3).run_wcc().expect("config");
+        assert!(out.converged);
+        let v = u64::from(g.num_vertices());
+        assert!(
+            out.metrics.vertex_executions <= out.supersteps * v,
+            "{technique:?}: more than once per superstep"
+        );
+        assert!(
+            out.metrics.vertex_executions >= v,
+            "{technique:?}: some vertex never executed"
+        );
+    }
+}
