@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI gate — exactly what .github/workflows/ci.yml runs.
+# Everything here is offline-safe: no network, no external crates.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: release build + root test suite =="
+cargo build --release
+cargo test -q
+
+echo "== full workspace tests =="
+cargo test -q --workspace
+
+echo "CI green."

@@ -246,6 +246,9 @@ mod tests {
         let out = color_with(g, TechniqueKind::DualToken, 3);
         assert!(out.converged);
         let distinct = validate::num_colors(&out.values);
-        assert!(distinct <= 2, "greedy on complete bipartite is 2-colorable, got {distinct}");
+        assert!(
+            distinct <= 2,
+            "greedy on complete bipartite is 2-colorable, got {distinct}"
+        );
     }
 }

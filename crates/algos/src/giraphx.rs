@@ -226,7 +226,10 @@ mod tests {
             .unwrap()
             .run();
         assert!(out.converged);
-        assert_eq!(validate::coloring_conflicts(&g, &by_id_colors(&out.values)), 0);
+        assert_eq!(
+            validate::coloring_conflicts(&g, &by_id_colors(&out.values)),
+            0
+        );
         assert!(
             out.supersteps >= 10,
             "expected many sub-supersteps, got {}",
@@ -245,13 +248,15 @@ mod tests {
             max_supersteps: 2_000,
             ..Default::default()
         };
-        let engine = Engine::new(Arc::clone(&g), UserTokenColoring::new(Arc::new(
-            sg_graph::PartitionMap::build(
+        let engine = Engine::new(
+            Arc::clone(&g),
+            UserTokenColoring::new(Arc::new(sg_graph::PartitionMap::build(
                 &g,
                 sg_graph::ClusterLayout::new(3, 3),
                 &sg_graph::partition::HashPartitioner::new(0xC0FFEE),
-            ),
-        )), config)
+            ))),
+            config,
+        )
         .unwrap();
         // The user-level algorithm must agree with the engine's actual map:
         // same seed, same layout (this fragile duplication is the point).

@@ -43,7 +43,7 @@ pub mod wcc;
 pub use coloring::{ConflictFixColoring, GreedyColoring, NO_COLOR};
 pub use kcore::KCore;
 pub use mis::{GreedyMis, MisState};
-pub use triangles::TriangleCount;
 pub use pagerank::DeltaPageRank;
 pub use sssp::{Sssp, INFINITY};
+pub use triangles::TriangleCount;
 pub use wcc::Wcc;

@@ -196,7 +196,10 @@ mod tests {
         )
         .run();
         assert!(out.converged);
-        assert!(validate::is_maximal_independent_set(&g, &membership(&out.values)));
+        assert!(validate::is_maximal_independent_set(
+            &g,
+            &membership(&out.values)
+        ));
     }
 
     #[test]

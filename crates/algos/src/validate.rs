@@ -138,10 +138,8 @@ pub fn is_independent_set(g: &Graph, members: &[bool]) -> bool {
 /// neighbor)?
 pub fn is_maximal_independent_set(g: &Graph, members: &[bool]) -> bool {
     is_independent_set(g, members)
-        && g.vertices().all(|u| {
-            members[u.index()]
-                || g.neighbors(u).iter().any(|&v| members[v.index()])
-        })
+        && g.vertices()
+            .all(|u| members[u.index()] || g.neighbors(u).iter().any(|&v| members[v.index()]))
 }
 
 #[cfg(test)]

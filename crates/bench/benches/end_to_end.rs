@@ -1,64 +1,63 @@
-//! End-to-end criterion benchmarks: one small PageRank / coloring /
-//! SSSP / WCC per technique, wall-clock. These complement the `fig6`
-//! binary (which reports simulated time at larger scale).
+//! End-to-end wall-clock benchmarks: one small PageRank / coloring /
+//! SSSP / WCC per technique. These complement the `fig6` binary (which
+//! reports simulated time at larger scale).
+//!
+//! Plain timing (`harness = false`): fixed warmup, then best-of-N. Run with
+//! `cargo bench -p sg-bench --bench end_to_end`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sg_bench::experiment::{run_gas_vertex_lock, run_pregel, Algo, OrderedF64};
 use sg_core::prelude::*;
 use std::sync::Arc;
+use std::time::Instant;
 
-fn technique_benches(c: &mut Criterion) {
+fn bench(name: &str, iters: usize, mut f: impl FnMut()) {
+    f(); // warmup
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    println!("{name:<45} {:>12.3?} /iter (best of {iters})", best);
+}
+
+fn main() {
     let graph = Arc::new(sg_core::sg_graph::gen::datasets::or_sim(64));
 
-    let mut group = c.benchmark_group("pagerank_or_sim64");
     for (name, technique) in [
-        ("none", Technique::None),
-        ("dual_token", Technique::DualToken),
-        ("partition_lock", Technique::PartitionLock),
-        ("vertex_lock", Technique::VertexLock),
+        ("pagerank_or_sim64/none", Technique::None),
+        ("pagerank_or_sim64/dual_token", Technique::DualToken),
+        ("pagerank_or_sim64/partition_lock", Technique::PartitionLock),
+        ("pagerank_or_sim64/vertex_lock", Technique::VertexLock),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                run_pregel(
-                    &graph,
-                    Algo::PageRank(OrderedF64(0.01)),
-                    technique,
-                    4,
-                    2,
-                    20_000,
-                )
-            })
+        bench(name, 5, || {
+            let _ = run_pregel(
+                &graph,
+                Algo::PageRank(OrderedF64(0.01)),
+                technique,
+                4,
+                2,
+                20_000,
+            );
         });
     }
-    group.bench_function("gas_vertex_lock", |b| {
-        b.iter(|| run_gas_vertex_lock(&graph, Algo::PageRank(OrderedF64(0.01)), 4, 4, 10_000_000))
+    bench("pagerank_or_sim64/gas_vertex_lock", 5, || {
+        let _ = run_gas_vertex_lock(&graph, Algo::PageRank(OrderedF64(0.01)), 4, 4, 10_000_000);
     });
-    group.finish();
 
-    let mut group = c.benchmark_group("coloring_or_sim64");
     for (name, technique) in [
-        ("dual_token", Technique::DualToken),
-        ("partition_lock", Technique::PartitionLock),
+        ("coloring_or_sim64/dual_token", Technique::DualToken),
+        ("coloring_or_sim64/partition_lock", Technique::PartitionLock),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| run_pregel(&graph, Algo::Coloring, technique, 4, 2, 20_000))
+        bench(name, 5, || {
+            let _ = run_pregel(&graph, Algo::Coloring, technique, 4, 2, 20_000);
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("sssp_wcc_or_sim64");
-    group.bench_function("sssp_partition_lock", |b| {
-        b.iter(|| run_pregel(&graph, Algo::Sssp, Technique::PartitionLock, 4, 2, 20_000))
+    bench("sssp_wcc_or_sim64/sssp_partition_lock", 5, || {
+        let _ = run_pregel(&graph, Algo::Sssp, Technique::PartitionLock, 4, 2, 20_000);
     });
-    group.bench_function("wcc_partition_lock", |b| {
-        b.iter(|| run_pregel(&graph, Algo::Wcc, Technique::PartitionLock, 4, 2, 20_000))
+    bench("sssp_wcc_or_sim64/wcc_partition_lock", 5, || {
+        let _ = run_pregel(&graph, Algo::Wcc, Technique::PartitionLock, 4, 2, 20_000);
     });
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = technique_benches
-}
-criterion_main!(benches);

@@ -1,15 +1,34 @@
-//! Criterion microbenchmarks of the building blocks: Chandy–Misra fork
-//! tables at both granularities, message stores, partitioners, and
-//! generators.
+//! Microbenchmarks of the building blocks: Chandy–Misra fork tables at both
+//! granularities, message stores, partitioners, and generators.
+//!
+//! Plain wall-clock timing (`harness = false`): each benchmark runs a
+//! fixed warmup, then reports the best-of-N iteration time. Run with
+//! `cargo bench -p sg-bench --bench microbench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use sg_core::sg_graph::partition::{HashPartitioner, Partitioner};
 use sg_core::sg_graph::{gen, ClusterLayout, PartitionMap, VertexId, WorkerId};
 use sg_core::sg_metrics::Metrics;
 use sg_core::sg_sync::{ForkTable, NoopTransport};
 use std::sync::Arc;
+use std::time::Instant;
 
-fn fork_table_benches(c: &mut Criterion) {
+/// Time `f` for `iters` iterations after `warmup` untimed ones; print the
+/// best (minimum) per-iteration time, which is the least noisy statistic on
+/// a shared machine.
+fn bench(name: &str, warmup: usize, iters: usize, mut f: impl FnMut()) {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    println!("{name:<45} {:>12.3?} /iter (best of {iters})", best);
+}
+
+fn fork_table_benches() {
     let g = gen::preferential_attachment(2_000, 4, 42);
     let layout = ClusterLayout::new(4, 4);
     let pm = PartitionMap::build(&g, layout, &HashPartitioner::default());
@@ -44,73 +63,58 @@ fn fork_table_benches(c: &mut Criterion) {
         Arc::new(ForkTable::new(owner, &edges, Arc::new(Metrics::new())))
     };
 
-    c.bench_function("fork_acquire_release/vertex_grain_sweep", |b| {
-        b.iter(|| {
-            for v in 0..g.num_vertices() {
-                vertex_table.acquire(v, &NoopTransport);
-                vertex_table.release(v, 0, &NoopTransport);
-            }
-        })
+    bench("fork_acquire_release/vertex_grain_sweep", 2, 10, || {
+        for v in 0..g.num_vertices() {
+            vertex_table.acquire(v, &NoopTransport);
+            vertex_table.release(v, 0, &NoopTransport);
+        }
     });
-    c.bench_function("fork_acquire_release/partition_grain_sweep", |b| {
-        b.iter(|| {
-            for p in 0..layout.num_partitions() {
-                partition_table.acquire(p, &NoopTransport);
-                partition_table.release(p, 0, &NoopTransport);
-            }
-        })
+    bench("fork_acquire_release/partition_grain_sweep", 2, 10, || {
+        for p in 0..layout.num_partitions() {
+            partition_table.acquire(p, &NoopTransport);
+            partition_table.release(p, 0, &NoopTransport);
+        }
     });
 }
 
-fn store_benches(c: &mut Criterion) {
+fn store_benches() {
     use sg_core::sg_engine::program::MinCombiner;
     use sg_core::sg_engine::store::PartitionStore;
 
-    c.bench_function("message_store/insert_drain_1k", |b| {
-        b.iter_batched(
-            || PartitionStore::<u64>::new(64),
-            |store| {
-                for i in 0..1_000u64 {
-                    store.insert((i % 64) as usize, VertexId::new(0), i, None);
-                }
-                for i in 0..64 {
-                    let _ = store.drain(i);
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    bench("message_store/insert_drain_1k", 2, 10, || {
+        let store = PartitionStore::<u64>::new(64);
+        for i in 0..1_000u64 {
+            store.insert((i % 64) as usize, VertexId::new(0), i, None);
+        }
+        for i in 0..64 {
+            let _ = store.drain(i);
+        }
     });
-    c.bench_function("message_store/insert_combined_1k", |b| {
+    bench("message_store/insert_combined_1k", 2, 10, || {
         let comb = MinCombiner;
-        b.iter_batched(
-            || PartitionStore::<u64>::new(64),
-            |store| {
-                for i in 0..1_000u64 {
-                    store.insert((i % 64) as usize, VertexId::new(0), i, Some(&comb));
-                }
-            },
-            BatchSize::SmallInput,
-        )
+        let store = PartitionStore::<u64>::new(64);
+        for i in 0..1_000u64 {
+            store.insert((i % 64) as usize, VertexId::new(0), i, Some(&comb));
+        }
     });
 }
 
-fn graph_benches(c: &mut Criterion) {
-    c.bench_function("generate/rmat_scale10", |b| {
-        b.iter(|| gen::rmat(10, 10_000, gen::datasets::SKEW, 7))
+fn graph_benches() {
+    bench("generate/rmat_scale10", 1, 10, || {
+        let _ = gen::rmat(10, 10_000, gen::datasets::SKEW, 7);
     });
     let g = gen::rmat(12, 50_000, gen::datasets::SKEW, 7);
     let layout = ClusterLayout::new(8, 8);
-    c.bench_function("partition/hash_assign", |b| {
-        b.iter(|| HashPartitioner::default().assign(&g, &layout))
+    bench("partition/hash_assign", 1, 10, || {
+        let _ = HashPartitioner::default().assign(&g, &layout);
     });
-    c.bench_function("partition/full_map_build", |b| {
-        b.iter(|| PartitionMap::build(&g, layout, &HashPartitioner::default()))
+    bench("partition/full_map_build", 1, 10, || {
+        let _ = PartitionMap::build(&g, layout, &HashPartitioner::default());
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = fork_table_benches, store_benches, graph_benches
+fn main() {
+    fork_table_benches();
+    store_benches();
+    graph_benches();
 }
-criterion_main!(benches);

@@ -10,7 +10,7 @@
 //!   [--scale-div N] [--workers 8]`
 
 use sg_bench::experiment::fmt_makespan;
-use sg_bench::{Args, Table};
+use sg_bench::{Args, BenchLog, Table};
 use sg_core::prelude::*;
 use sg_core::Runner;
 use std::sync::Arc;
@@ -24,7 +24,14 @@ fn main() {
     println!(
         "Batching ablation: PageRank(0.01) on OR-sim, {workers} workers, partition-based locking\n"
     );
-    let mut t = Table::new(["buffer cap", "sim time", "batches", "avg batch", "remote msgs"]);
+    let mut log = BenchLog::new("ablation_batching");
+    let mut t = Table::new([
+        "buffer cap",
+        "sim time",
+        "batches",
+        "avg batch",
+        "remote msgs",
+    ]);
     for cap in [1usize, 8, 64, 512, 4096, usize::MAX] {
         let out = Runner::from_arc(Arc::clone(&graph))
             .workers(workers)
@@ -33,18 +40,26 @@ fn main() {
             .max_supersteps(50_000)
             .run_pagerank(0.01)
             .expect("config");
+        let label = if cap == usize::MAX {
+            "unbounded".to_string()
+        } else {
+            cap.to_string()
+        };
         t.row([
-            if cap == usize::MAX {
-                "unbounded".to_string()
-            } else {
-                cap.to_string()
-            },
+            label.clone(),
             fmt_makespan(out.makespan_ns),
             out.metrics.remote_batches.to_string(),
             format!("{:.1}", out.metrics.avg_batch_size()),
             out.metrics.remote_messages.to_string(),
         ]);
+        log.outcome_cell(&format!("cap/{label}"), &out);
     }
     t.print();
-    println!("\nExpected: cap 1 ≈ vertex-based locking's tiny batches; large caps amortize latency.");
+    println!(
+        "\nExpected: cap 1 ≈ vertex-based locking's tiny batches; large caps amortize latency."
+    );
+    match log.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH json: {e}"),
+    }
 }

@@ -11,7 +11,7 @@
 //!   [--scale-div N] [--workers 8]`
 
 use sg_bench::experiment::fmt_makespan;
-use sg_bench::{Args, Table};
+use sg_bench::{Args, BenchLog, Table};
 use sg_core::prelude::*;
 use sg_core::Runner;
 use std::sync::Arc;
@@ -23,6 +23,7 @@ fn main() {
     let graph = Arc::new(sg_core::sg_graph::gen::datasets::or_sim(scale_div));
 
     println!("Halted-partition skip ablation: SSSP on OR-sim, {workers} workers\n");
+    let mut log = BenchLog::new("ablation_halt_skip");
     let mut t = Table::new([
         "variant",
         "sim time",
@@ -50,7 +51,12 @@ fn main() {
             out.metrics.request_tokens.to_string(),
             out.metrics.halted_skips.to_string(),
         ]);
+        log.outcome_cell(name, &out);
     }
     t.print();
     println!("\nExpected: the skip variant trades fork traffic for `skips` and finishes sooner.");
+    match log.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH json: {e}"),
+    }
 }

@@ -11,7 +11,7 @@
 //!   [--scale-div N] [--workers 8]`
 
 use sg_bench::experiment::fmt_makespan;
-use sg_bench::{Args, Table};
+use sg_bench::{Args, BenchLog, Table};
 use sg_core::prelude::*;
 use sg_core::sg_engine::Engine;
 use sg_core::sg_graph::partition::{HashPartitioner, LdgPartitioner, Partitioner};
@@ -31,6 +31,7 @@ fn main() {
         graph.num_edges()
     );
 
+    let mut log = BenchLog::new("ablation_partitioning");
     let mut t = Table::new([
         "partitioner",
         "cut edges",
@@ -80,7 +81,19 @@ fn main() {
             out.metrics.remote_messages.to_string(),
             out.metrics.remote_batches.to_string(),
         ]);
+        log.outcome_cell(name, &out);
+        log.raw_cell(
+            &format!("{name}/layout"),
+            &[
+                ("cut_edges", cut.to_string()),
+                ("partition_edges", pm.num_partition_edges().to_string()),
+            ],
+        );
     }
     t.print();
     println!("\nExpected: LDG cuts fewer edges, so fewer remote messages and forks.");
+    match log.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH json: {e}"),
+    }
 }

@@ -13,7 +13,7 @@
 //!   [--scale-div N] [--workers 8]`
 
 use sg_bench::experiment::fmt_makespan;
-use sg_bench::{Args, Table};
+use sg_bench::{Args, BenchLog, Table};
 use sg_core::prelude::*;
 use sg_core::sg_algos::validate;
 use sg_core::Runner;
@@ -46,7 +46,15 @@ fn main() {
     ];
 
     println!("== graph coloring ==");
-    let mut t = Table::new(["regime", "sim time", "supersteps", "barriers", "forks", "conflicts"]);
+    let mut log = BenchLog::new("extensions");
+    let mut t = Table::new([
+        "regime",
+        "sim time",
+        "supersteps",
+        "barriers",
+        "forks",
+        "conflicts",
+    ]);
     for regime in regimes {
         let runner = configure(
             Runner::from_arc(Arc::clone(&graph))
@@ -64,11 +72,19 @@ fn main() {
             out.metrics.fork_transfers.to_string(),
             validate::coloring_conflicts(&graph, &out.values).to_string(),
         ]);
+        log.outcome_cell(&format!("coloring/{regime}"), &out);
     }
     t.print();
 
     println!("\n== SSSP ==");
-    let mut t = Table::new(["regime", "sim time", "supersteps", "barriers", "forks", "max dist"]);
+    let mut t = Table::new([
+        "regime",
+        "sim time",
+        "supersteps",
+        "barriers",
+        "forks",
+        "max dist",
+    ]);
     for regime in regimes {
         let runner = configure(
             Runner::from_arc(Arc::clone(&graph))
@@ -93,6 +109,7 @@ fn main() {
             out.metrics.fork_transfers.to_string(),
             max_dist.to_string(),
         ]);
+        log.outcome_cell(&format!("sssp/{regime}"), &out);
     }
     t.print();
     println!(
@@ -100,4 +117,8 @@ fn main() {
          Proposition 1 pays heavily in sub-supersteps — the reason the paper\n\
          declined to implement it (Section 6)."
     );
+    match log.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH json: {e}"),
+    }
 }

@@ -8,13 +8,21 @@
 //! batches but little parallelism; many partitions = the reverse, with
 //! `|P| = |V|` degenerating into vertex-based locking.
 //!
+//! Headline numbers (with per-superstep counter deltas) land in
+//! `results/BENCH_fig1_spectrum.json`. With `--trace [path]` the
+//! partition-lock run is re-executed fully instrumented and exports a
+//! Chrome `trace_event` file (default `results/TRACE_fig1_spectrum.json`;
+//! open it in Perfetto or `chrome://tracing`) plus a human-readable
+//! per-worker report `results/REPORT_fig1_spectrum.txt`.
+//!
 //! Usage: `cargo run -p sg-bench --release --bin fig1_spectrum --
-//!   [--scale-div N] [--workers 8] [--algo pagerank]`
+//!   [--scale-div N] [--workers 8] [--algo pagerank] [--trace [path]]`
 
-use sg_bench::experiment::{fmt_makespan, run_pregel, Algo};
-use sg_bench::{Args, Table};
+use sg_bench::experiment::{fmt_makespan, run_pregel_obs, Algo};
+use sg_bench::{emit_obs, Args, BenchLog, Table};
 use sg_core::prelude::*;
 use sg_core::Runner;
+use std::path::Path;
 use std::sync::Arc;
 
 fn main() {
@@ -22,6 +30,7 @@ fn main() {
     let scale_div = args.get_or("scale-div", 16u64);
     let workers = args.get_or("workers", 8u32);
     let algo = Algo::from_name(args.get("algo").unwrap_or("pagerank"), 0.01).expect("algo");
+    let trace_requested = args.get("trace").is_some() || args.has_flag("trace");
 
     let graph = Arc::new(sg_core::sg_graph::gen::datasets::or_sim(scale_div));
     println!(
@@ -31,6 +40,7 @@ fn main() {
         algo.name(),
     );
 
+    let mut log = BenchLog::new("fig1_spectrum");
     let mut t = Table::new([
         "technique",
         "sim time",
@@ -46,7 +56,13 @@ fn main() {
         ("partition-lock", Technique::PartitionLock),
         ("vertex-lock (p-boundary)", Technique::VertexLock),
     ] {
-        let r = run_pregel(&graph, algo, technique, workers, 4, 50_000);
+        // Breakdown collection feeds BENCH_*.json per-superstep deltas;
+        // it changes no counters and costs only relaxed atomic adds.
+        let obs = ObsConfig {
+            breakdown: true,
+            ..ObsConfig::default()
+        };
+        let r = run_pregel_obs(&graph, algo, technique, workers, 4, 50_000, obs);
         t.row([
             name.to_string(),
             fmt_makespan(r.makespan_ns),
@@ -56,8 +72,28 @@ fn main() {
             r.metrics.remote_batches.to_string(),
             format!("{:.1}", r.metrics.avg_batch_size()),
         ]);
+        log.cell(name, &r);
     }
     t.print();
+
+    if trace_requested {
+        // Dedicated fully-instrumented run of the paper's technique:
+        // tracing + breakdown + a 30 s stall watchdog.
+        println!("\nTracing an instrumented partition-lock run...");
+        let r = run_pregel_obs(
+            &graph,
+            algo,
+            Technique::PartitionLock,
+            workers,
+            4,
+            50_000,
+            ObsConfig::full(),
+        );
+        log.cell("partition-lock (traced)", &r);
+        let obs = r.obs.expect("instrumented run carries a report");
+        emit_obs("fig1_spectrum", args.get("trace").map(Path::new), &obs)
+            .expect("write trace artifacts");
+    }
 
     println!("\nPartition-count sweep (Section 7.1): partition-based locking, |P| per worker");
     let mut t = Table::new([
@@ -90,6 +126,15 @@ fn main() {
             out.metrics.remote_batches.to_string(),
             format!("{:.1}", out.metrics.avg_batch_size()),
         ]);
+        log.raw_cell(
+            &format!("ppw-sweep/{ppw}"),
+            &[
+                ("partitions_per_worker", ppw.to_string()),
+                ("partition_edges", pm.num_partition_edges().to_string()),
+                ("makespan_ns", out.makespan_ns.to_string()),
+                ("remote_batches", out.metrics.remote_batches.to_string()),
+            ],
+        );
     }
     t.print();
     println!(
@@ -97,4 +142,8 @@ fn main() {
          vertex grain = most transfers, smallest batches; partition-based\n\
          in between, best simulated time near the Giraph default |P|/worker = |W|."
     );
+    match log.write() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write BENCH json: {e}"),
+    }
 }

@@ -12,7 +12,7 @@
 //!
 //! Usage: `cargo run -p sg-bench --release --bin fig2_fig3`
 
-use sg_bench::Table;
+use sg_bench::{BenchLog, Table};
 use sg_core::prelude::*;
 use sg_core::sg_algos::validate;
 use sg_core::sg_algos::ConflictFixColoring;
@@ -48,7 +48,7 @@ fn states(model: Model, technique: Technique, upto: u64) -> Vec<(u64, Vec<u32>, 
     out
 }
 
-fn print_run(title: &str, model: Model, technique: Technique, upto: u64) {
+fn print_run(log: &mut BenchLog, title: &str, model: Model, technique: Technique, upto: u64) {
     println!("\n== {title} ==");
     let runs = states(model, technique, upto);
     let mut t = Table::new(["superstep", "v0", "v1", "v2", "v3", "conflicts"]);
@@ -69,33 +69,58 @@ fn print_run(title: &str, model: Model, technique: Technique, upto: u64) {
         t.row(cells);
     }
     t.print();
-    let (last_cap, _, converged) = runs.last().expect("at least one superstep");
+    let (last_cap, last_colors, converged) = runs.last().expect("at least one superstep");
     if *converged {
         println!("terminated after {last_cap} supersteps");
     } else {
         println!("NOT terminated after {last_cap} supersteps (as the paper predicts)");
     }
+    log.raw_cell(
+        title,
+        &[
+            ("supersteps", last_cap.to_string()),
+            ("terminated", converged.to_string()),
+            (
+                "conflicts",
+                validate::coloring_conflicts(&g, last_colors).to_string(),
+            ),
+        ],
+    );
 }
 
 fn main() {
     println!("Graph: 4-cycle v0-v1-v3-v2-v0; W1 = {{v0, v2}}, W2 = {{v1, v3}}");
-    print_run("Figure 2: BSP (oscillates 0/1 forever)", Model::Bsp, Technique::None, 8);
+    let mut log = BenchLog::new("fig2_fig3");
     print_run(
+        &mut log,
+        "Figure 2: BSP (oscillates 0/1 forever)",
+        Model::Bsp,
+        Technique::None,
+        8,
+    );
+    print_run(
+        &mut log,
         "Figure 3: AP (cycles through 3 graph states)",
         Model::Async,
         Technique::None,
         9,
     );
     print_run(
+        &mut log,
         "Serializable AP via partition-based locking (terminates)",
         Model::Async,
         Technique::PartitionLock,
         20,
     );
     print_run(
+        &mut log,
         "Serializable AP via dual-layer token passing (terminates)",
         Model::Async,
         Technique::DualToken,
         20,
     );
+    match log.write() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write BENCH json: {e}"),
+    }
 }

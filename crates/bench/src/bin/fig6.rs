@@ -21,7 +21,7 @@
 //!     [--workers16 16] [--workers32 32] [--include-ar]
 
 use sg_bench::experiment::{fmt_makespan, run_gas_vertex_lock, run_pregel, Algo};
-use sg_bench::{Args, Table};
+use sg_bench::{Args, BenchLog, Table};
 use sg_core::prelude::*;
 use std::sync::Arc;
 
@@ -50,6 +50,7 @@ fn main() {
          clusters of {w_small} and {w_large} workers\n"
     );
 
+    let mut log = BenchLog::new("fig6");
     for algo_name in algos {
         println!("== Figure 6 ({algo_name}) ==");
         let mut t = Table::new([
@@ -68,8 +69,16 @@ fn main() {
             let graph = Arc::new(load(gname, scale_div));
             for &workers in &[w_small, w_large] {
                 // Dual-layer token passing (Giraph async).
-                let r = run_pregel(&graph, algo, Technique::DualToken, workers, 4, max_supersteps);
+                let r = run_pregel(
+                    &graph,
+                    algo,
+                    Technique::DualToken,
+                    workers,
+                    4,
+                    max_supersteps,
+                );
                 push_row(&mut t, gname, workers, "token (dual)", &r);
+                log.cell(&format!("{algo_name}/{gname}/w{workers}/token-dual"), &r);
                 // Partition-based distributed locking (the paper's).
                 let r = run_pregel(
                     &graph,
@@ -80,13 +89,25 @@ fn main() {
                     max_supersteps,
                 );
                 push_row(&mut t, gname, workers, "partition-lock", &r);
+                log.cell(
+                    &format!("{algo_name}/{gname}/w{workers}/partition-lock"),
+                    &r,
+                );
                 // Vertex-based distributed locking (GraphLab async).
                 let r = run_gas_vertex_lock(&graph, algo, workers, 8, max_exec);
                 push_row(&mut t, gname, workers, "vertex-lock (GAS)", &r);
+                log.cell(
+                    &format!("{algo_name}/{gname}/w{workers}/vertex-lock-gas"),
+                    &r,
+                );
             }
         }
         t.print();
         println!();
+    }
+    match log.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH json: {e}"),
     }
 }
 

@@ -18,7 +18,7 @@
 //!   [--scale-div N] [--workers 16]`
 
 use sg_bench::experiment::fmt_makespan;
-use sg_bench::{Args, Table};
+use sg_bench::{Args, BenchLog, Table};
 use sg_core::prelude::*;
 use sg_core::sg_algos::giraphx::{ByIdColoring, UserTokenColoring};
 use sg_core::sg_algos::{validate, GreedyColoring};
@@ -38,6 +38,7 @@ fn main() {
         graph.num_edges()
     );
 
+    let mut log = BenchLog::new("giraphx_compare");
     let mut t = Table::new([
         "approach",
         "sim time",
@@ -72,6 +73,7 @@ fn main() {
             validate::coloring_conflicts(&graph, &out.values).to_string(),
             if out.converged { "yes" } else { "NO" }.to_string(),
         ]);
+        log.outcome_cell(name, &out);
     }
 
     // User-level token passing: gating embedded in the algorithm.
@@ -98,6 +100,7 @@ fn main() {
             validate::coloring_conflicts(&graph, &colors).to_string(),
             if out.converged { "yes" } else { "NO" }.to_string(),
         ]);
+        log.outcome_cell("user-level token (Giraphx)", &out);
     }
 
     // User-level locking: priority negotiation over sub-supersteps on BSP.
@@ -121,7 +124,12 @@ fn main() {
             validate::coloring_conflicts(&graph, &colors).to_string(),
             if out.converged { "yes" } else { "NO" }.to_string(),
         ]);
+        log.outcome_cell("user-level locking (Giraphx)", &out);
     }
 
     t.print();
+    match log.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH json: {e}"),
+    }
 }

@@ -6,7 +6,7 @@
 //!
 //! Usage: `cargo run -p sg-bench --release --bin table1 [-- --scale-div N]`
 
-use sg_bench::{Args, Table};
+use sg_bench::{Args, BenchLog, Table};
 use sg_core::sg_graph::gen::datasets;
 use sg_core::sg_graph::stats::GraphStats;
 
@@ -25,6 +25,7 @@ fn main() {
         "Max Degree",
         "deg skew",
     ]);
+    let mut log = BenchLog::new("table1");
     for (name, g) in datasets::all(scale_div) {
         let und = g.to_undirected();
         let stats = GraphStats::of(&g);
@@ -36,10 +37,23 @@ fn main() {
             format!("{}", g.max_degree()),
             format!("{:.0}x", stats.skew),
         ]);
+        log.raw_cell(
+            name,
+            &[
+                ("vertices", g.num_vertices().to_string()),
+                ("edges_directed", g.num_edges().to_string()),
+                ("edges_undirected", und.num_edges().to_string()),
+                ("max_degree", g.max_degree().to_string()),
+            ],
+        );
     }
     t.print();
     println!(
         "\nReal datasets for reference (paper): OR 3.0M/117M, AR 22.7M/639M, \
          TW 41.6M/1.46B, UK 105M/3.73B; |E|/|V| ratios are preserved."
     );
+    match log.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH json: {e}"),
+    }
 }

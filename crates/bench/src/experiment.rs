@@ -62,6 +62,9 @@ pub struct ExperimentResult {
     pub metrics: MetricsSnapshot,
     /// Host wall time.
     pub wall: Duration,
+    /// Observability report, when the run was instrumented (see
+    /// [`run_pregel_obs`]).
+    pub obs: Option<ObsReport>,
 }
 
 /// Run `algo` on the Pregel engine (`sg-engine`) under `technique`.
@@ -76,38 +79,52 @@ pub fn run_pregel(
     threads_per_worker: u32,
     max_supersteps: u64,
 ) -> ExperimentResult {
-    let runner = |g: Graph| {
-        Runner::new(g)
+    run_pregel_obs(
+        graph,
+        algo,
+        technique,
+        workers,
+        threads_per_worker,
+        max_supersteps,
+        ObsConfig::default(),
+    )
+}
+
+/// [`run_pregel`] with observability: tracing, per-superstep deltas,
+/// per-worker breakdowns, and the stall watchdog per `obs`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pregel_obs(
+    graph: &Arc<Graph>,
+    algo: Algo,
+    technique: Technique,
+    workers: u32,
+    threads_per_worker: u32,
+    max_supersteps: u64,
+    obs: ObsConfig,
+) -> ExperimentResult {
+    let runner = |g: Arc<Graph>| {
+        Runner::from_arc(g)
             .workers(workers)
             .threads_per_worker(threads_per_worker)
             .max_supersteps(max_supersteps)
             .technique(technique)
+            .observability(obs.clone())
     };
     match algo {
-        Algo::Coloring => wrap(runner(graph.to_undirected()).run_coloring().expect("config")),
+        Algo::Coloring => wrap(
+            runner(Arc::new(graph.to_undirected()))
+                .run_coloring()
+                .expect("config"),
+        ),
         Algo::PageRank(OrderedF64(t)) => {
-            wrap(Runner::from_arc(Arc::clone(graph))
-                .workers(workers)
-                .threads_per_worker(threads_per_worker)
-                .max_supersteps(max_supersteps)
-                .technique(technique)
-                .run_pagerank(t)
-                .expect("config"))
+            wrap(runner(Arc::clone(graph)).run_pagerank(t).expect("config"))
         }
-        Algo::Sssp => wrap(Runner::from_arc(Arc::clone(graph))
-            .workers(workers)
-            .threads_per_worker(threads_per_worker)
-            .max_supersteps(max_supersteps)
-            .technique(technique)
-            .run_sssp(VertexId::new(0))
-            .expect("config")),
-        Algo::Wcc => wrap(Runner::from_arc(Arc::clone(graph))
-            .workers(workers)
-            .threads_per_worker(threads_per_worker)
-            .max_supersteps(max_supersteps)
-            .technique(technique)
-            .run_wcc()
-            .expect("config")),
+        Algo::Sssp => wrap(
+            runner(Arc::clone(graph))
+                .run_sssp(VertexId::new(0))
+                .expect("config"),
+        ),
+        Algo::Wcc => wrap(runner(Arc::clone(graph)).run_wcc().expect("config")),
     }
 }
 
@@ -118,6 +135,7 @@ fn wrap<V>(out: Outcome<V>) -> ExperimentResult {
         converged: out.converged,
         metrics: out.metrics,
         wall: out.wall_time,
+        obs: out.obs,
     }
 }
 
@@ -144,21 +162,20 @@ pub fn run_gas_vertex_lock(
             converged: out.converged,
             metrics: out.metrics,
             wall: out.wall_time,
+            obs: out.obs,
         }
     }
     match algo {
         Algo::Coloring => wrap_gas(
             AsyncGasEngine::new(Arc::new(graph.to_undirected()), GasColoring, config).run(),
         ),
-        Algo::PageRank(OrderedF64(t)) => wrap_gas(
-            AsyncGasEngine::new(Arc::clone(graph), GasPageRank::new(t), config).run(),
-        ),
+        Algo::PageRank(OrderedF64(t)) => {
+            wrap_gas(AsyncGasEngine::new(Arc::clone(graph), GasPageRank::new(t), config).run())
+        }
         Algo::Sssp => wrap_gas(
             AsyncGasEngine::new(Arc::clone(graph), GasSssp::new(VertexId::new(0)), config).run(),
         ),
-        Algo::Wcc => {
-            wrap_gas(AsyncGasEngine::new(Arc::clone(graph), GasWcc, config).run())
-        }
+        Algo::Wcc => wrap_gas(AsyncGasEngine::new(Arc::clone(graph), GasWcc, config).run()),
     }
 }
 

@@ -19,8 +19,10 @@
 
 pub mod cli;
 pub mod experiment;
+pub mod report;
 pub mod table;
 
 pub use cli::Args;
-pub use experiment::{run_gas_vertex_lock, run_pregel, Algo, ExperimentResult};
+pub use experiment::{run_gas_vertex_lock, run_pregel, run_pregel_obs, Algo, ExperimentResult};
+pub use report::{emit_obs, BenchLog};
 pub use table::Table;

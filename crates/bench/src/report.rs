@@ -1,0 +1,194 @@
+//! Machine-readable and human-readable per-run artifacts under `results/`.
+//!
+//! Every bench binary records its headline numbers as
+//! `results/BENCH_<name>.json` (one JSON object per run of the binary, with
+//! one entry per experiment cell and per-superstep deltas when the cell was
+//! instrumented), so the perf trajectory across PRs is diffable by tooling.
+//! Instrumented runs additionally export a Chrome `trace_event` file
+//! (Perfetto / `chrome://tracing`) and a plain-text report via [`emit_obs`].
+
+use crate::experiment::ExperimentResult;
+use sg_core::sg_metrics::report::snapshot_json;
+use sg_core::sg_metrics::ObsReport;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Where bench artifacts live, relative to the invocation directory.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+/// Write `contents` to `results/<filename>`, creating the directory.
+pub fn write_results_file(filename: &str, contents: &str) -> io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(filename);
+    fs::write(&path, contents)?;
+    Ok(path)
+}
+
+/// Collects one bench binary's cells and writes `results/BENCH_<name>.json`.
+pub struct BenchLog {
+    name: String,
+    cells: Vec<String>,
+}
+
+impl BenchLog {
+    /// A log for the binary `name` (e.g. `"fig1_spectrum"`).
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Record one experiment cell under `label`. Counter totals always;
+    /// per-superstep deltas and per-worker breakdowns when the cell was
+    /// instrumented.
+    pub fn cell(&mut self, label: &str, r: &ExperimentResult) {
+        self.push_cell(
+            label,
+            r.makespan_ns,
+            r.iterations,
+            r.converged,
+            r.wall.as_micros() as u64,
+            &r.metrics,
+            r.obs.as_ref(),
+        );
+    }
+
+    /// Record a raw engine [`Outcome`](sg_core::sg_engine::Outcome) — for
+    /// binaries that drive the engine directly instead of going through
+    /// the [`crate::experiment`] helpers.
+    pub fn outcome_cell<V>(&mut self, label: &str, out: &sg_core::sg_engine::Outcome<V>) {
+        self.push_cell(
+            label,
+            out.makespan_ns,
+            out.supersteps,
+            out.converged,
+            out.wall_time.as_micros() as u64,
+            &out.metrics,
+            out.obs.as_ref(),
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_cell(
+        &mut self,
+        label: &str,
+        makespan_ns: u64,
+        iterations: u64,
+        converged: bool,
+        wall_us: u64,
+        metrics: &sg_core::sg_metrics::MetricsSnapshot,
+        obs: Option<&ObsReport>,
+    ) {
+        let mut c = String::from("{");
+        let _ = write!(c, "\"label\":\"{}\"", escape(label));
+        let _ = write!(c, ",\"makespan_ns\":{makespan_ns}");
+        let _ = write!(c, ",\"iterations\":{iterations}");
+        let _ = write!(c, ",\"converged\":{converged}");
+        let _ = write!(c, ",\"wall_us\":{wall_us}");
+        let _ = write!(c, ",\"totals\":{}", snapshot_json(metrics));
+        if let Some(obs) = obs {
+            let _ = write!(c, ",\"obs\":{}", obs.to_json());
+        }
+        c.push('}');
+        self.cells.push(c);
+    }
+
+    /// Record a cell that is just labelled key/value numbers (for binaries
+    /// whose rows aren't [`ExperimentResult`]s, e.g. dataset statistics).
+    pub fn raw_cell(&mut self, label: &str, fields: &[(&str, String)]) {
+        let mut c = String::from("{");
+        let _ = write!(c, "\"label\":\"{}\"", escape(label));
+        for (k, v) in fields {
+            let _ = write!(c, ",\"{}\":{}", escape(k), v);
+        }
+        c.push('}');
+        self.cells.push(c);
+    }
+
+    /// Write `results/BENCH_<name>.json` and return its path.
+    pub fn write(self) -> io::Result<PathBuf> {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"bench\":\"{}\"", escape(&self.name));
+        out.push_str(",\"cells\":[");
+        out.push_str(&self.cells.join(","));
+        out.push_str("]}");
+        write_results_file(&format!("BENCH_{}.json", self.name), &out)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Export an instrumented run's artifacts: the Chrome `trace_event` JSON
+/// (to `trace_path`, or `results/TRACE_<name>.json` when `None`) and the
+/// human-readable per-worker/per-superstep report
+/// (`results/REPORT_<name>.txt`). Prints where everything went.
+pub fn emit_obs(name: &str, trace_path: Option<&Path>, obs: &ObsReport) -> io::Result<()> {
+    if let Some(buf) = &obs.trace {
+        let path = match trace_path {
+            Some(p) => p.to_owned(),
+            None => results_dir().join(format!("TRACE_{name}.json")),
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let file = fs::File::create(&path)?;
+        buf.write_chrome_trace(io::BufWriter::new(file))?;
+        println!(
+            "wrote Chrome trace to {} (load in Perfetto or chrome://tracing)",
+            path.display()
+        );
+    }
+    let report = write_results_file(&format!("REPORT_{name}.txt"), &obs.render_text())?;
+    println!("wrote run report to {}", report.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_core::sg_metrics::{Counter, MetricsSnapshot};
+    use std::time::Duration;
+
+    fn result() -> ExperimentResult {
+        ExperimentResult {
+            makespan_ns: 123,
+            iterations: 4,
+            converged: true,
+            metrics: MetricsSnapshot::default(),
+            wall: Duration::from_micros(55),
+            obs: None,
+        }
+    }
+
+    #[test]
+    fn bench_log_shape_is_balanced_json_with_all_counters() {
+        let mut log = BenchLog::new("unit_test");
+        log.cell("row \"a\"", &result());
+        log.raw_cell(
+            "stats",
+            &[("vertices", "10".into()), ("edges", "20".into())],
+        );
+        // Assemble without touching the filesystem.
+        let mut out = String::from("{");
+        out.push_str("\"bench\":\"unit_test\",\"cells\":[");
+        out.push_str(&log.cells.join(","));
+        out.push_str("]}");
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+        assert_eq!(out.matches('[').count(), out.matches(']').count());
+        assert!(out.contains("\"label\":\"row \\\"a\\\"\""));
+        assert!(out.contains("\"vertices\":10"));
+        for &c in Counter::ALL {
+            assert!(out.contains(&format!("\"{}\":", c.name())), "{}", c.name());
+        }
+    }
+}

@@ -44,6 +44,6 @@ pub mod prelude {
     pub use sg_gas::{AsyncGasEngine, GasConfig, GasProgram, SyncGasEngine};
     pub use sg_graph;
     pub use sg_graph::{gen, ClusterLayout, Graph, GraphBuilder, PartitionId, VertexId, WorkerId};
-    pub use sg_metrics::{CostModel, MetricsSnapshot};
+    pub use sg_metrics::{CostModel, MetricsSnapshot, ObsConfig, ObsReport};
     pub use sg_serial::History;
 }

@@ -8,7 +8,7 @@ use sg_algos::{
 };
 use sg_engine::{Engine, EngineConfig, EngineError, Model, Outcome, TechniqueKind, VertexProgram};
 use sg_graph::{Graph, PartitionId, VertexId};
-use sg_metrics::CostModel;
+use sg_metrics::{CostModel, ObsConfig};
 use std::sync::Arc;
 
 /// User-facing synchronization technique selector — a re-badged
@@ -122,6 +122,36 @@ impl Runner {
         self
     }
 
+    /// Full observability configuration (escape hatch; see the focused
+    /// [`Runner::trace`], [`Runner::metrics_breakdown`], and
+    /// [`Runner::watchdog_ms`] toggles).
+    pub fn observability(mut self, obs: ObsConfig) -> Self {
+        self.config.obs = obs;
+        self
+    }
+
+    /// Collect structured trace events (exportable as Chrome
+    /// `trace_event` JSON via the outcome's `obs.trace`).
+    pub fn trace(mut self, yes: bool) -> Self {
+        self.config.obs.trace = yes;
+        self
+    }
+
+    /// Collect per-superstep counter deltas and per-worker
+    /// busy/blocked/idle virtual-time breakdowns.
+    pub fn metrics_breakdown(mut self, yes: bool) -> Self {
+        self.config.obs.breakdown = yes;
+        self
+    }
+
+    /// Arm the stall watchdog: if no counter or virtual clock moves for
+    /// this many wall-clock milliseconds, dump diagnostics to stderr and
+    /// flag the run as stalled instead of hanging silently.
+    pub fn watchdog_ms(mut self, ms: u64) -> Self {
+        self.config.obs.watchdog_stall_ms = Some(ms);
+        self
+    }
+
     /// The underlying engine configuration (escape hatch).
     pub fn config(&self) -> &EngineConfig {
         &self.config
@@ -133,7 +163,10 @@ impl Runner {
     }
 
     /// Run an arbitrary vertex program.
-    pub fn run_program<P: VertexProgram>(&self, program: P) -> Result<Outcome<P::Value>, EngineError> {
+    pub fn run_program<P: VertexProgram>(
+        &self,
+        program: P,
+    ) -> Result<Outcome<P::Value>, EngineError> {
         Ok(Engine::new(Arc::clone(&self.graph), program, self.config.clone())?.run())
     }
 
@@ -150,27 +183,33 @@ impl Runner {
 
     /// PageRank with the given residual threshold (paper: 0.01 / 0.1).
     pub fn run_pagerank(&self, threshold: f64) -> Result<Outcome<f64>, EngineError> {
-        Ok(
-            Engine::new(Arc::clone(&self.graph), DeltaPageRank::new(threshold), self.config.clone())?
-                .with_combiner(Box::new(DeltaPageRank::combiner()))
-                .run(),
-        )
+        Ok(Engine::new(
+            Arc::clone(&self.graph),
+            DeltaPageRank::new(threshold),
+            self.config.clone(),
+        )?
+        .with_combiner(Box::new(DeltaPageRank::combiner()))
+        .run())
     }
 
     /// SSSP from `source` with unit weights.
     pub fn run_sssp(&self, source: VertexId) -> Result<Outcome<u64>, EngineError> {
-        Ok(
-            Engine::new(Arc::clone(&self.graph), Sssp::new(source), self.config.clone())?
-                .with_combiner(Box::new(Sssp::combiner()))
-                .run(),
-        )
+        Ok(Engine::new(
+            Arc::clone(&self.graph),
+            Sssp::new(source),
+            self.config.clone(),
+        )?
+        .with_combiner(Box::new(Sssp::combiner()))
+        .run())
     }
 
     /// Weakly connected components (HCC).
     pub fn run_wcc(&self) -> Result<Outcome<u32>, EngineError> {
-        Ok(Engine::new(Arc::clone(&self.graph), Wcc, self.config.clone())?
-            .with_combiner(Box::new(Wcc::combiner()))
-            .run())
+        Ok(
+            Engine::new(Arc::clone(&self.graph), Wcc, self.config.clone())?
+                .with_combiner(Box::new(Wcc::combiner()))
+                .run(),
+        )
     }
 
     /// Greedy maximal independent set (requires a serializable technique
@@ -207,7 +246,10 @@ mod tests {
             .technique(Technique::DualToken)
             .max_supersteps(99)
             .buffer_cap(7)
-            .record_history(true);
+            .record_history(true)
+            .trace(true)
+            .metrics_breakdown(true)
+            .watchdog_ms(10_000);
         assert_eq!(r.config().workers, 4);
         assert_eq!(r.config().partitions_per_worker, Some(2));
         assert_eq!(r.config().threads_per_worker, 1);
@@ -215,6 +257,9 @@ mod tests {
         assert_eq!(r.config().max_supersteps, 99);
         assert_eq!(r.config().buffer_cap, 7);
         assert!(r.config().record_history);
+        assert!(r.config().obs.trace);
+        assert!(r.config().obs.breakdown);
+        assert_eq!(r.config().obs.watchdog_stall_ms, Some(10_000));
     }
 
     #[test]
@@ -225,14 +270,15 @@ mod tests {
             .run_coloring()
             .unwrap();
         assert!(out.converged);
-        assert_eq!(validate::coloring_conflicts(&gen::paper_c4(), &out.values), 0);
+        assert_eq!(
+            validate::coloring_conflicts(&gen::paper_c4(), &out.values),
+            0
+        );
     }
 
     #[test]
     fn pagerank_through_runner() {
-        let out = Runner::new(gen::ring(10))
-            .run_pagerank(1e-6)
-            .unwrap();
+        let out = Runner::new(gen::ring(10)).run_pagerank(1e-6).unwrap();
         assert!(out.converged);
         assert!(out.values.iter().all(|&p| (p - 1.0).abs() < 1e-3));
     }

@@ -2,8 +2,8 @@
 //! superstep and readable by every vertex (and the master hook) in the
 //! next one.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Reduction operator of an aggregator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -79,7 +79,7 @@ impl AggregatorSet {
             .slots
             .get(name)
             .unwrap_or_else(|| panic!("unknown aggregator {name:?}"));
-        let mut cur = slot.current.lock();
+        let mut cur = slot.current.lock().unwrap();
         *cur = slot.op.apply(*cur, value);
     }
 
@@ -89,15 +89,15 @@ impl AggregatorSet {
             .slots
             .get(name)
             .unwrap_or_else(|| panic!("unknown aggregator {name:?}"));
-        *slot.previous.lock()
+        *slot.previous.lock().unwrap()
     }
 
     /// Master-side: close the superstep — current values become previous,
     /// current resets to the identity.
     pub fn roll(&self) {
         for slot in self.slots.values() {
-            let mut cur = slot.current.lock();
-            *slot.previous.lock() = *cur;
+            let mut cur = slot.current.lock().unwrap();
+            *slot.previous.lock().unwrap() = *cur;
             *cur = slot.op.identity();
         }
     }
@@ -112,7 +112,13 @@ impl AggregatorSet {
         let mut out: Vec<(String, f64, f64)> = self
             .slots
             .iter()
-            .map(|(name, slot)| (name.clone(), *slot.previous.lock(), *slot.current.lock()))
+            .map(|(name, slot)| {
+                (
+                    name.clone(),
+                    *slot.previous.lock().unwrap(),
+                    *slot.current.lock().unwrap(),
+                )
+            })
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
@@ -125,8 +131,8 @@ impl AggregatorSet {
                 .slots
                 .get(name)
                 .unwrap_or_else(|| panic!("unknown aggregator {name:?} in checkpoint"));
-            *slot.previous.lock() = *previous;
-            *slot.current.lock() = *current;
+            *slot.previous.lock().unwrap() = *previous;
+            *slot.current.lock().unwrap() = *current;
         }
     }
 }

@@ -2,7 +2,7 @@
 //! technique, and cost model.
 
 use sg_graph::PartitionId;
-use sg_metrics::CostModel;
+use sg_metrics::{CostModel, ObsConfig};
 use std::fmt;
 
 /// Computation model (Section 2).
@@ -111,6 +111,11 @@ pub struct EngineConfig {
     /// globally coordinated supersteps), aggregators, the master-halt
     /// hook, and checkpointing (which is barrier-based).
     pub barrierless: bool,
+    /// Observability: event tracing, per-superstep/per-worker metric
+    /// breakdowns, and the stall watchdog. All off by default; when off,
+    /// the engine's behaviour and counters are unchanged and each
+    /// would-be trace event costs one branch.
+    pub obs: ObsConfig,
 }
 
 impl Default for EngineConfig {
@@ -130,6 +135,7 @@ impl Default for EngineConfig {
             checkpoint_every: None,
             fail_at_superstep: None,
             barrierless: false,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -170,7 +176,9 @@ impl EngineConfig {
             }
             if matches!(
                 self.technique,
-                TechniqueKind::SingleToken | TechniqueKind::DualToken | TechniqueKind::BspVertexLock
+                TechniqueKind::SingleToken
+                    | TechniqueKind::DualToken
+                    | TechniqueKind::BspVertexLock
             ) {
                 return Err(EngineError::InvalidConfig(
                     "token passing and Proposition 1 need globally coordinated supersteps; \

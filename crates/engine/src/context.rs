@@ -3,6 +3,7 @@
 use crate::aggregators::AggregatorSet;
 use crate::program::VertexProgram;
 use sg_graph::{Graph, VertexId};
+use sg_metrics::{Trace, TraceEventKind};
 
 /// What a vertex program sees while executing one vertex: its value, the
 /// superstep number, its out-edges, aggregator access, and the message
@@ -14,11 +15,14 @@ use sg_graph::{Graph, VertexId};
 pub struct Context<'a, P: VertexProgram + ?Sized> {
     pub(crate) vertex: VertexId,
     pub(crate) superstep: u64,
+    pub(crate) worker: u32,
     pub(crate) graph: &'a Graph,
     pub(crate) value: &'a mut P::Value,
     pub(crate) halt: bool,
     pub(crate) outgoing: &'a mut Vec<(VertexId, P::Message)>,
     pub(crate) aggregators: &'a AggregatorSet,
+    pub(crate) trace: &'a Trace,
+    pub(crate) clock_ns: u64,
 }
 
 impl<P: VertexProgram + ?Sized> Context<'_, P> {
@@ -32,6 +36,35 @@ impl<P: VertexProgram + ?Sized> Context<'_, P> {
     #[inline]
     pub fn superstep(&self) -> u64 {
         self.superstep
+    }
+
+    /// The simulated worker executing this vertex.
+    #[inline]
+    pub fn worker(&self) -> u32 {
+        self.worker
+    }
+
+    /// The executing thread's virtual clock, nanoseconds, as of entry to
+    /// this `compute()` call.
+    #[inline]
+    pub fn virtual_time_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Drop a `user_marker` annotation into the trace at the current
+    /// virtual time, tagged with `tag` (e.g. a phase number or a residual
+    /// bucket). One branch and gone when tracing is off; never perturbs
+    /// the computation.
+    #[inline]
+    pub fn trace_marker(&self, tag: u64) {
+        self.trace.record(
+            self.worker,
+            self.superstep,
+            TraceEventKind::UserMarker,
+            self.clock_ns,
+            0,
+            tag,
+        );
     }
 
     /// Number of vertices in the graph.
@@ -124,7 +157,10 @@ mod tests {
         fn compute(&self, _ctx: &mut Context<'_, Self>, _m: &[u64]) {}
     }
 
-    fn with_ctx<R>(f: impl FnOnce(&mut Context<'_, Dummy>) -> R) -> (R, Vec<(VertexId, u64)>, u64, bool) {
+    fn with_ctx_traced<R>(
+        trace: &Trace,
+        f: impl FnOnce(&mut Context<'_, Dummy>) -> R,
+    ) -> (R, Vec<(VertexId, u64)>, u64, bool) {
         let g = gen::ring(4);
         let mut value = 41u64;
         let mut outgoing = Vec::new();
@@ -135,15 +171,24 @@ mod tests {
         let mut ctx = Context::<Dummy> {
             vertex: VertexId::new(1),
             superstep: 3,
+            worker: 2,
             graph: &g,
             value: &mut value,
             halt: false,
             outgoing: &mut outgoing,
             aggregators: &aggs,
+            trace,
+            clock_ns: 777,
         };
         let r = f(&mut ctx);
         let halt = ctx.halt;
         (r, outgoing, value, halt)
+    }
+
+    fn with_ctx<R>(
+        f: impl FnOnce(&mut Context<'_, Dummy>) -> R,
+    ) -> (R, Vec<(VertexId, u64)>, u64, bool) {
+        with_ctx_traced(&Trace::disabled(), f)
     }
 
     #[test]
@@ -151,12 +196,30 @@ mod tests {
         let ((), _, _, _) = with_ctx(|ctx| {
             assert_eq!(ctx.vertex(), VertexId::new(1));
             assert_eq!(ctx.superstep(), 3);
+            assert_eq!(ctx.worker(), 2);
+            assert_eq!(ctx.virtual_time_ns(), 777);
             assert_eq!(ctx.num_vertices(), 4);
             assert_eq!(ctx.out_degree(), 2);
             assert_eq!(ctx.out_neighbors(), &[VertexId::new(0), VertexId::new(2)]);
             assert_eq!(*ctx.value(), 41);
             assert_eq!(ctx.aggregated("a"), 5.0);
         });
+    }
+
+    #[test]
+    fn trace_marker_records_with_context_stamps() {
+        // Disabled trace: a no-op, not a panic.
+        let ((), _, _, _) = with_ctx(|ctx| ctx.trace_marker(99));
+
+        let trace = Trace::enabled(4, 16);
+        let ((), _, _, _) = with_ctx_traced(&trace, |ctx| ctx.trace_marker(42));
+        let events = trace.buffer().expect("enabled").events(2);
+        assert_eq!(events.len(), 1);
+        let e = events[0];
+        assert_eq!(e.kind, TraceEventKind::UserMarker);
+        assert_eq!(e.superstep, 3);
+        assert_eq!(e.ts_ns, 777);
+        assert_eq!(e.arg, 42);
     }
 
     #[test]

@@ -7,10 +7,12 @@ use crate::context::Context;
 use crate::program::{Combiner, VertexProgram};
 use crate::state::PartitionData;
 use crate::store::{OutboundBuffers, PartitionStore};
-use parking_lot::Mutex;
 use sg_graph::partition::{ExplicitPartitioner, HashPartitioner};
 use sg_graph::{Graph, PartitionId, PartitionMap, VertexId, WorkerId};
-use sg_metrics::{CostModel, Metrics, MetricsSnapshot, SimClocks};
+use sg_metrics::{
+    CostModel, Counter, Metrics, MetricsSnapshot, ObsConfig, ObsReport, SimClocks, SuperstepRow,
+    Trace, TraceEventKind, Watchdog, WorkerTimers,
+};
 use sg_serial::{History, Recorder};
 use sg_sync::technique::LockGranularity;
 use sg_sync::{
@@ -18,6 +20,7 @@ use sg_sync::{
     SyncTransport, Synchronizer, VertexLock,
 };
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -41,6 +44,9 @@ pub struct Outcome<V> {
     pub wall_time: Duration,
     /// Recorded transaction history, when `record_history` was set.
     pub history: Option<History>,
+    /// Observability report (traces, per-superstep deltas, per-worker
+    /// breakdowns), when any of [`ObsConfig`] was enabled.
+    pub obs: Option<ObsReport>,
 }
 
 /// A configured, ready-to-run engine.
@@ -97,7 +103,9 @@ impl<P: VertexProgram> Engine<P> {
                 }
                 PartitionMap::build(&graph, layout, &ExplicitPartitioner(assignment.clone()))
             }
-            None => PartitionMap::build(&graph, layout, &HashPartitioner::new(config.partition_seed)),
+            None => {
+                PartitionMap::build(&graph, layout, &HashPartitioner::new(config.partition_seed))
+            }
         };
         Ok(Self {
             graph,
@@ -132,11 +140,9 @@ impl<P: VertexProgram> Engine<P> {
                 Arc::clone(&self.pm),
                 Arc::clone(&metrics),
             )),
-            TechniqueKind::VertexLock => Arc::new(VertexLock::new(
-                &self.graph,
-                &self.pm,
-                Arc::clone(&metrics),
-            )),
+            TechniqueKind::VertexLock => {
+                Arc::new(VertexLock::new(&self.graph, &self.pm, Arc::clone(&metrics)))
+            }
             TechniqueKind::PartitionLock => {
                 Arc::new(PartitionLock::new(&self.pm, Arc::clone(&metrics)))
             }
@@ -188,6 +194,7 @@ impl<P: VertexProgram> Engine<P> {
         let mut aggs = AggregatorSet::new();
         self.program.register_aggregators(&mut aggs);
 
+        let obs = self.config.obs.clone();
         let core = Arc::new(Core {
             graph: Arc::clone(&self.graph),
             program: self.program,
@@ -203,6 +210,12 @@ impl<P: VertexProgram> Engine<P> {
             metrics: Arc::clone(&metrics),
             clocks: SimClocks::new(workers),
             cost: self.config.cost,
+            trace: if obs.trace {
+                Trace::enabled(workers, obs.trace_capacity)
+            } else {
+                Trace::disabled()
+            },
+            timers: obs.breakdown.then(|| WorkerTimers::new(workers)),
             pending: AtomicU64::new(0),
             superstep: AtomicU64::new(0),
             sync,
@@ -212,14 +225,22 @@ impl<P: VertexProgram> Engine<P> {
             stop: AtomicBool::new(false),
             barrierless: self.config.barrierless,
             idle: Mutex::new(0),
-            idle_cv: parking_lot::Condvar::new(),
+            idle_cv: std::sync::Condvar::new(),
             total_threads: workers * threads_per_worker as usize,
             rounds: AtomicU64::new(0),
             round_capped: AtomicBool::new(false),
         });
 
+        let watchdog = spawn_watchdog(&obs, &core);
+
         if self.config.barrierless {
-            return run_barrierless(core, recorder, metrics, self.config.max_supersteps);
+            return run_barrierless(
+                core,
+                recorder,
+                metrics,
+                self.config.max_supersteps,
+                watchdog,
+            );
         }
 
         let total_threads = workers * threads_per_worker as usize;
@@ -243,6 +264,8 @@ impl<P: VertexProgram> Engine<P> {
         let mut executed = 0u64;
         let mut logical = 0u64;
         let max_supersteps = self.config.max_supersteps;
+        let mut rows: Vec<SuperstepRow> = Vec::new();
+        let mut prev_snap = obs.breakdown.then(|| metrics.snapshot());
         // Section 6.4: checkpoints are in-memory snapshots taken at
         // barriers (quiescent: no executing vertices, no in-flight
         // messages, forks and tokens at rest). A superstep-0 checkpoint is
@@ -271,9 +294,33 @@ impl<P: VertexProgram> Engine<P> {
                 core.bsp_swap();
             }
             core.aggs.roll();
-            core.metrics.inc(|m| &m.supersteps);
-            core.metrics.inc(|m| &m.barriers);
+            core.metrics.inc(Counter::Supersteps);
+            core.metrics.inc(Counter::Barriers);
+            // Pre-barrier clock spread = idle time absorbed by this barrier
+            // (and each worker's skew behind the superstep's straggler).
+            if core.timers.is_some() || core.trace.is_enabled() {
+                let frontier = core.clocks.makespan();
+                for w in 0..workers {
+                    let now = core.clocks.now(w);
+                    let gap = frontier - now;
+                    if let Some(t) = &core.timers {
+                        t.add_idle(w, gap);
+                        t.set_skew(w, gap);
+                    }
+                    core.trace
+                        .record(w as u32, s, TraceEventKind::BarrierWait, now, gap, 0);
+                }
+            }
             core.clocks.barrier(core.cost.barrier_ns);
+            if let Some(prev) = &mut prev_snap {
+                let snap = metrics.snapshot();
+                rows.push(SuperstepRow {
+                    superstep: s,
+                    delta: snap - *prev,
+                    makespan_ns: core.clocks.makespan(),
+                });
+                *prev = snap;
+            }
 
             executed += 1;
 
@@ -282,7 +329,7 @@ impl<P: VertexProgram> Engine<P> {
             // "failure recovery requires all machines to rollback").
             if fail_at == Some(s) {
                 fail_at = None;
-                core.metrics.inc(|m| &m.recoveries);
+                core.metrics.inc(Counter::Recoveries);
                 let ckpt = latest_ckpt.as_ref().expect("checkpointing enabled");
                 logical = core.restore_checkpoint(ckpt);
                 if executed >= max_supersteps {
@@ -295,12 +342,16 @@ impl<P: VertexProgram> Engine<P> {
             if let Some(every) = self.config.checkpoint_every {
                 if logical.is_multiple_of(every) {
                     latest_ckpt = Some(core.take_checkpoint(logical));
-                    core.metrics.inc(|m| &m.checkpoints);
+                    core.metrics.inc(Counter::Checkpoints);
                 }
             }
 
             let pending = core.pending.load(Ordering::SeqCst);
-            let active: usize = core.partitions.iter().map(|p| p.lock().active_count()).sum();
+            let active: usize = core
+                .partitions
+                .iter()
+                .map(|p| p.lock().unwrap().active_count())
+                .sum();
             if core.program.master_halt(s, &core.aggs.view()) || (active == 0 && pending == 0) {
                 converged = true;
                 break;
@@ -322,7 +373,7 @@ impl<P: VertexProgram> Engine<P> {
             let mut by_vertex: Vec<Option<P::Value>> =
                 vec![None; core.graph.num_vertices() as usize];
             for pdata in &core.partitions {
-                let d = pdata.lock();
+                let d = pdata.lock().unwrap();
                 for (i, &v) in d.vertices.iter().enumerate() {
                     by_vertex[v.index()] = Some(d.values[i].clone());
                 }
@@ -330,6 +381,7 @@ impl<P: VertexProgram> Engine<P> {
             values.extend(by_vertex.into_iter().map(|v| v.expect("vertex unassigned")));
         }
 
+        let stalled = watchdog.map(Watchdog::stop).unwrap_or(false);
         Outcome {
             values,
             supersteps: executed,
@@ -338,8 +390,39 @@ impl<P: VertexProgram> Engine<P> {
             makespan_ns: core.clocks.makespan(),
             wall_time: wall_start.elapsed(),
             history: recorder.map(|r| r.history()),
+            obs: core.obs_report(rows, stalled),
         }
     }
+}
+
+/// Start the stall watchdog when configured: progress = every counter plus
+/// every virtual clock (any vertex execution, message, transfer, or clock
+/// join moves it); a stall dumps the tail of the trace rings to stderr.
+fn spawn_watchdog<P: VertexProgram>(obs: &ObsConfig, core: &Arc<Core<P>>) -> Option<Watchdog> {
+    let stall_ms = obs.watchdog_stall_ms?;
+    let progress_core = Arc::clone(core);
+    let progress = move || {
+        let snap = progress_core.metrics.snapshot();
+        let counters: u64 = Counter::ALL.iter().map(|&c| snap.get(c)).sum();
+        let clocks: u64 = (0..progress_core.clocks.len())
+            .map(|w| progress_core.clocks.now(w))
+            .sum();
+        counters.wrapping_add(clocks)
+    };
+    let dump = core.trace.buffer().cloned();
+    let on_stall = move || {
+        eprintln!("serigraph watchdog: no progress for {stall_ms}ms — suspected stall/deadlock");
+        match &dump {
+            Some(buf) => eprintln!("{}", buf.dump_last(16)),
+            None => eprintln!("(enable tracing for a per-worker event dump)"),
+        }
+    };
+    Some(Watchdog::spawn(
+        Duration::from_millis((stall_ms / 4).clamp(1, 250)),
+        Duration::from_millis(stall_ms),
+        progress,
+        on_stall,
+    ))
 }
 
 /// Shared runtime state: everything worker threads and the master touch.
@@ -358,6 +441,10 @@ struct Core<P: VertexProgram> {
     metrics: Arc<Metrics>,
     clocks: SimClocks,
     cost: CostModel,
+    /// Event tracing handle (disabled = one branch per would-be event).
+    trace: Trace,
+    /// Per-worker busy/blocked/idle accumulators, when breakdown is on.
+    timers: Option<WorkerTimers>,
     /// Messages anywhere in the system (stores + buffers), for termination.
     pending: AtomicU64,
     superstep: AtomicU64,
@@ -372,7 +459,7 @@ struct Core<P: VertexProgram> {
     barrierless: bool,
     /// Parked threads (barrierless termination detection).
     idle: Mutex<usize>,
-    idle_cv: parking_lot::Condvar,
+    idle_cv: std::sync::Condvar,
     total_threads: usize,
     /// Max local rounds any thread has completed (barrierless reporting).
     rounds: AtomicU64,
@@ -390,14 +477,43 @@ struct Core<P: VertexProgram> {
 impl<P: VertexProgram> SyncTransport for Core<P> {
     fn on_fork_transfer(&self, from: WorkerId, to: WorkerId) {
         self.flush_outbound(from.index());
-        if self.sync.granularity() == LockGranularity::None {
+        let ring = self.sync.granularity() == LockGranularity::None;
+        if ring {
             // Token techniques: the token gates the whole worker.
             let ts = self.clocks.now(from.index()) + self.cost.network_latency_ns;
             self.clocks.observe(to.index(), ts);
         }
+        if self.trace.is_enabled() {
+            let s = self.superstep.load(Ordering::Relaxed);
+            let kind = if ring {
+                TraceEventKind::RingPass
+            } else {
+                TraceEventKind::ForkTransfer
+            };
+            self.trace.record(
+                from.index() as u32,
+                s,
+                kind,
+                self.clocks.now(from.index()),
+                self.cost.network_latency_ns,
+                to.index() as u64,
+            );
+        }
     }
 
-    fn on_control_message(&self, _from: WorkerId, _to: WorkerId) {}
+    fn on_control_message(&self, from: WorkerId, to: WorkerId) {
+        if self.trace.is_enabled() {
+            let s = self.superstep.load(Ordering::Relaxed);
+            self.trace.record(
+                from.index() as u32,
+                s,
+                TraceEventKind::RequestToken,
+                self.clocks.now(from.index()),
+                0,
+                to.index() as u64,
+            );
+        }
+    }
 
     fn network_latency_ns(&self) -> u64 {
         self.cost.network_latency_ns
@@ -417,6 +533,7 @@ fn run_barrierless<P: VertexProgram>(
     recorder: Option<Arc<Recorder>>,
     metrics: Arc<Metrics>,
     max_rounds: u64,
+    watchdog: Option<Watchdog>,
 ) -> Outcome<P::Value> {
     assert!(
         core.aggs.is_empty(),
@@ -441,12 +558,21 @@ fn run_barrierless<P: VertexProgram>(
     }
 
     let rounds = core.rounds.load(Ordering::SeqCst);
-    metrics.add(|m| &m.supersteps, rounds);
+    metrics.add(Counter::Supersteps, rounds);
     let mut by_vertex: Vec<Option<P::Value>> = vec![None; core.graph.num_vertices() as usize];
     for pdata in &core.partitions {
-        let d = pdata.lock();
+        let d = pdata.lock().unwrap();
         for (i, &v) in d.vertices.iter().enumerate() {
             by_vertex[v.index()] = Some(d.values[i].clone());
+        }
+    }
+    let stalled = watchdog.map(Watchdog::stop).unwrap_or(false);
+    if let Some(t) = &core.timers {
+        // No barriers ever leveled the clocks: the final spread is the
+        // workers' terminal skew (idle is derived from the makespan).
+        let frontier = core.clocks.makespan();
+        for w in 0..core.clocks.len() {
+            t.set_skew(w, frontier - core.clocks.now(w));
         }
     }
     Outcome {
@@ -460,6 +586,7 @@ fn run_barrierless<P: VertexProgram>(
         makespan_ns: core.clocks.makespan(),
         wall_time: wall_start.elapsed(),
         history: recorder.map(|r| r.history()),
+        obs: core.obs_report(Vec::new(), stalled),
     }
 }
 
@@ -517,7 +644,7 @@ impl<P: VertexProgram> Core<P> {
     /// global quiescence check (no other thread is executing then, so the
     /// pending counter is stable).
     fn park(&self, my_parts: &[PartitionId]) -> bool {
-        let mut idle = self.idle.lock();
+        let mut idle = self.idle.lock().unwrap();
         *idle += 1;
         loop {
             if self.stop.load(Ordering::SeqCst) {
@@ -528,7 +655,7 @@ impl<P: VertexProgram> Core<P> {
                 let active: usize = self
                     .partitions
                     .iter()
-                    .map(|p| p.lock().active_count())
+                    .map(|p| p.lock().unwrap().active_count())
                     .sum();
                 if active == 0 {
                     *idle -= 1;
@@ -542,8 +669,11 @@ impl<P: VertexProgram> Core<P> {
             }
             // Timed wait: deliveries notify, but a bounded recheck makes
             // the protocol robust to any missed wakeup.
-            self.idle_cv
-                .wait_for(&mut idle, std::time::Duration::from_millis(20));
+            idle = self
+                .idle_cv
+                .wait_timeout(idle, std::time::Duration::from_millis(20))
+                .unwrap()
+                .0;
         }
     }
 }
@@ -594,7 +724,7 @@ impl<P: VertexProgram> Core<P> {
     /// Any active vertex or queued message in partition `p`?
     fn partition_has_work(&self, p: usize) -> bool {
         self.current[p].total() > 0 || {
-            let d = self.partitions[p].lock();
+            let d = self.partitions[p].lock().unwrap();
             d.halted.iter().any(|h| !*h)
         }
     }
@@ -610,6 +740,20 @@ impl<P: VertexProgram> Core<P> {
                 let ready = self.sync.acquire_unit(p.raw(), self);
                 // The partition may start once this core is free AND its
                 // last fork has arrived.
+                let wait = ready.saturating_sub(*thread_clock);
+                if wait > 0 {
+                    if let Some(t) = &self.timers {
+                        t.add_blocked(worker, wait);
+                    }
+                    self.trace.record(
+                        worker as u32,
+                        s,
+                        TraceEventKind::LockWait,
+                        *thread_clock,
+                        wait,
+                        u64::from(p.raw()),
+                    );
+                }
                 *thread_clock = (*thread_clock).max(ready);
                 self.run_partition(worker, p_idx, s, false, thread_clock);
                 self.sync.release_unit(p.raw(), *thread_clock, self);
@@ -637,9 +781,10 @@ impl<P: VertexProgram> Core<P> {
         per_vertex_lock: bool,
         thread_clock: &mut u64,
     ) {
-        let mut data = self.partitions[p_idx].lock();
+        let mut data = self.partitions[p_idx].lock().unwrap();
         let store = &self.current[p_idx];
         let mut outgoing: Vec<(VertexId, P::Message)> = Vec::new();
+        let mut busy = 0u64;
 
         for i in 0..data.vertices.len() {
             let v = data.vertices[i];
@@ -651,6 +796,20 @@ impl<P: VertexProgram> Core<P> {
             }
             if per_vertex_lock {
                 let ready = self.sync.acquire_unit(v.raw(), self);
+                let wait = ready.saturating_sub(*thread_clock);
+                if wait > 0 {
+                    if let Some(t) = &self.timers {
+                        t.add_blocked(worker, wait);
+                    }
+                    self.trace.record(
+                        worker as u32,
+                        s,
+                        TraceEventKind::LockWait,
+                        *thread_clock,
+                        wait,
+                        u64::from(v.raw()),
+                    );
+                }
                 *thread_clock = (*thread_clock).max(ready);
             }
 
@@ -663,16 +822,20 @@ impl<P: VertexProgram> Core<P> {
             let mut ctx = Context::<P> {
                 vertex: v,
                 superstep: s,
+                worker: worker as u32,
                 graph: &self.graph,
                 value: &mut data.values[i],
                 halt: false,
                 outgoing: &mut outgoing,
                 aggregators: &self.aggs,
+                trace: &self.trace,
+                clock_ns: *thread_clock,
             };
             self.program.compute(&mut ctx, &messages);
             let halt = ctx.halt;
             data.halted[i] = halt;
 
+            let n_in = messages.len() as u64;
             let n_out = outgoing.len() as u64;
             for (to, m) in outgoing.drain(..) {
                 self.send(worker, v, to, m);
@@ -680,13 +843,38 @@ impl<P: VertexProgram> Core<P> {
             if let (Some(r), Some(g)) = (self.recorder.as_ref(), guard) {
                 r.end(g);
             }
-            *thread_clock += self.cost.vertex_cost(messages.len() as u64, n_out);
+            let cost = self.cost.vertex_cost(n_in, n_out);
+            self.trace.record(
+                worker as u32,
+                s,
+                TraceEventKind::VertexExecute,
+                *thread_clock,
+                cost,
+                n_in,
+            );
+            *thread_clock += cost;
+            busy += cost;
+            if n_out > 0 {
+                self.trace.record(
+                    worker as u32,
+                    s,
+                    TraceEventKind::MessageSend,
+                    *thread_clock,
+                    0,
+                    n_out,
+                );
+            }
             if per_vertex_lock {
                 self.sync.release_unit(v.raw(), *thread_clock, self);
             }
-            self.metrics.inc(|m| &m.vertex_executions);
+            self.metrics.inc(Counter::VertexExecutions);
         }
         drop(data);
+        if let Some(t) = &self.timers {
+            if busy > 0 {
+                t.add_busy(worker, busy);
+            }
+        }
     }
 
     /// Route one message. Local messages go straight to the recipient's
@@ -698,13 +886,15 @@ impl<P: VertexProgram> Core<P> {
         }
         let to_worker = self.pm.worker_of(to).index();
         if to_worker == from_worker {
-            self.metrics.inc(|m| &m.local_messages);
+            self.metrics.inc(Counter::LocalMessages);
             let to_next = self.model == Model::Bsp;
             self.deliver(sender, to, msg, to_next);
         } else {
-            self.metrics.inc(|m| &m.remote_messages);
+            self.metrics.inc(Counter::RemoteMessages);
             self.pending.fetch_add(1, Ordering::SeqCst);
-            let len = self.outbound.push(from_worker, to_worker, (to, sender, msg));
+            let len = self
+                .outbound
+                .push(from_worker, to_worker, (to, sender, msg));
             if len >= self.buffer_cap {
                 self.flush_buffer(from_worker, to_worker);
             }
@@ -741,12 +931,22 @@ impl<P: VertexProgram> Core<P> {
             return;
         }
         let n = routed.len() as u64;
-        self.metrics.inc(|m| &m.remote_batches);
+        self.metrics.inc(Counter::RemoteBatches);
         // The sender pays to assemble/dispatch the batch; the receiver
         // observes its arrival.
         self.clocks.advance(from, self.cost.batch_overhead_ns);
         let ts = self.clocks.now(from) + self.cost.batch_cost(n);
         self.clocks.observe(to, ts);
+        if self.trace.is_enabled() {
+            self.trace.record(
+                from as u32,
+                self.superstep.load(Ordering::Relaxed),
+                TraceEventKind::BatchFlush,
+                self.clocks.now(from),
+                self.cost.batch_cost(n),
+                n,
+            );
+        }
         self.pending.fetch_sub(n, Ordering::SeqCst);
         let to_next = self.model == Model::Bsp;
         for (to_v, sender, m) in routed {
@@ -763,15 +963,44 @@ impl<P: VertexProgram> Core<P> {
         }
     }
 
+    /// Assemble the run's observability report (or `None` when everything
+    /// was off). `rows` are the master loop's per-superstep deltas.
+    fn obs_report(&self, rows: Vec<SuperstepRow>, stalled: bool) -> Option<ObsReport> {
+        if self.timers.is_none() && !self.trace.is_enabled() {
+            return None;
+        }
+        let makespan = self.clocks.makespan();
+        Some(ObsReport {
+            per_superstep: rows,
+            per_worker: self
+                .timers
+                .as_ref()
+                .map(|t| t.breakdown(makespan))
+                .unwrap_or_default(),
+            trace: self.trace.buffer().cloned(),
+            totals: self.metrics.snapshot(),
+            makespan_ns: makespan,
+            stalled,
+        })
+    }
+
     /// Capture a Section 6.4 checkpoint at a quiescent barrier.
     fn take_checkpoint(&self, superstep: u64) -> EngineCheckpoint<P::Value, P::Message> {
+        self.trace.record(
+            0,
+            superstep,
+            TraceEventKind::Checkpoint,
+            self.clocks.makespan(),
+            0,
+            superstep,
+        );
         EngineCheckpoint {
             superstep,
             partitions: self
                 .partitions
                 .iter()
                 .map(|p| {
-                    let d = p.lock();
+                    let d = p.lock().unwrap();
                     (d.values.clone(), d.halted.clone())
                 })
                 .collect(),
@@ -787,8 +1016,16 @@ impl<P: VertexProgram> Core<P> {
     /// so only values, halt votes, current stores, aggregators, and the
     /// technique's fork placement need restoring.
     fn restore_checkpoint(&self, ckpt: &EngineCheckpoint<P::Value, P::Message>) -> u64 {
+        self.trace.record(
+            0,
+            ckpt.superstep,
+            TraceEventKind::Recovery,
+            self.clocks.makespan(),
+            0,
+            ckpt.superstep,
+        );
         for (p, (values, halted)) in self.partitions.iter().zip(&ckpt.partitions) {
-            let mut d = p.lock();
+            let mut d = p.lock().unwrap();
             d.values.clone_from(values);
             d.halted.clone_from(halted);
         }
@@ -808,7 +1045,7 @@ impl<P: VertexProgram> Core<P> {
         for p in 0..self.next.len() {
             let batches = self.next[p].drain_all();
             if let Some(r) = &self.recorder {
-                let d = self.partitions[p].lock();
+                let d = self.partitions[p].lock().unwrap();
                 for (i, batch) in batches.iter().enumerate() {
                     for (sender, _) in batch {
                         r.on_visible(*sender, d.vertices[i]);
@@ -991,7 +1228,9 @@ mod tests {
     #[test]
     fn empty_graph_converges_immediately() {
         let g = Arc::new(Graph::from_edges(0, &[]));
-        let out = Engine::new(g, MaxId, EngineConfig::default()).unwrap().run();
+        let out = Engine::new(g, MaxId, EngineConfig::default())
+            .unwrap()
+            .run();
         assert!(out.converged);
         assert!(out.values.is_empty());
     }

@@ -9,8 +9,8 @@
 //! flush before handing a fork or token to another worker (condition C1).
 
 use crate::program::Combiner;
-use parking_lot::Mutex;
 use sg_graph::VertexId;
+use std::sync::Mutex;
 
 /// A queued message: who sent it (needed by the serializability recorder
 /// and the BSP visibility swap) and its payload.
@@ -41,7 +41,7 @@ impl<M: Clone + Send + 'static> PartitionStore<M> {
         msg: M,
         combiner: Option<&dyn Combiner<M>>,
     ) -> usize {
-        let mut q = self.queues.lock();
+        let mut q = self.queues.lock().unwrap();
         let queue = &mut q[local];
         match combiner {
             Some(c) if !queue.is_empty() => {
@@ -58,41 +58,41 @@ impl<M: Clone + Send + 'static> PartitionStore<M> {
 
     /// Take all messages currently queued for `local`.
     pub fn drain(&self, local: usize) -> Vec<Envelope<M>> {
-        std::mem::take(&mut self.queues.lock()[local])
+        std::mem::take(&mut self.queues.lock().unwrap()[local])
     }
 
     /// Does `local` have queued messages?
     pub fn has_messages(&self, local: usize) -> bool {
-        !self.queues.lock()[local].is_empty()
+        !self.queues.lock().unwrap()[local].is_empty()
     }
 
     /// Total queued messages in this store.
     pub fn total(&self) -> usize {
-        self.queues.lock().iter().map(Vec::len).sum()
+        self.queues.lock().unwrap().iter().map(Vec::len).sum()
     }
 
     /// Take every queue (used by the BSP barrier swap).
     pub fn drain_all(&self) -> Vec<Vec<Envelope<M>>> {
-        let mut q = self.queues.lock();
+        let mut q = self.queues.lock().unwrap();
         let len = q.len();
         std::mem::replace(&mut *q, (0..len).map(|_| Vec::new()).collect())
     }
 
     /// Checkpoint support: clone every queue.
     pub fn export(&self) -> Vec<Vec<Envelope<M>>> {
-        self.queues.lock().clone()
+        self.queues.lock().unwrap().clone()
     }
 
     /// Checkpoint support: replace every queue with a snapshot.
     pub fn restore(&self, snapshot: Vec<Vec<Envelope<M>>>) {
-        let mut q = self.queues.lock();
+        let mut q = self.queues.lock().unwrap();
         assert_eq!(q.len(), snapshot.len());
         *q = snapshot;
     }
 
     /// Append previously drained queues (BSP swap target side).
     pub fn append_all(&self, batches: Vec<Vec<Envelope<M>>>) {
-        let mut q = self.queues.lock();
+        let mut q = self.queues.lock().unwrap();
         assert_eq!(q.len(), batches.len());
         for (queue, mut batch) in q.iter_mut().zip(batches) {
             queue.append(&mut batch);
@@ -123,19 +123,22 @@ impl<M: Send> OutboundBuffers<M> {
     /// Buffer a message from worker `from` to worker `to`; returns the new
     /// buffer length so the caller can decide to flush.
     pub fn push(&self, from: usize, to: usize, routed: Routed<M>) -> usize {
-        let mut b = self.bufs[from][to].lock();
+        let mut b = self.bufs[from][to].lock().unwrap();
         b.push(routed);
         b.len()
     }
 
     /// Take everything buffered from `from` to `to`.
     pub fn take(&self, from: usize, to: usize) -> Vec<Routed<M>> {
-        std::mem::take(&mut self.bufs[from][to].lock())
+        std::mem::take(&mut self.bufs[from][to].lock().unwrap())
     }
 
     /// Total buffered messages from worker `from` (all destinations).
     pub fn pending_from(&self, from: usize) -> usize {
-        self.bufs[from].iter().map(|b| b.lock().len()).sum()
+        self.bufs[from]
+            .iter()
+            .map(|b| b.lock().unwrap().len())
+            .sum()
     }
 }
 

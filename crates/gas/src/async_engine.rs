@@ -4,14 +4,17 @@
 //! locking over the full GAS (Sections 2.3, 4.3, 5.1).
 
 use crate::program::GasProgram;
-use parking_lot::{Condvar, Mutex, RwLock};
 use sg_graph::{Graph, VertexId, WorkerId};
-use sg_metrics::{CostModel, Metrics, MetricsSnapshot, SimClocks};
+use sg_metrics::{
+    CostModel, Counter, Metrics, MetricsSnapshot, ObsConfig, ObsReport, SimClocks, Trace,
+    TraceEventKind, Watchdog, WorkerTimers,
+};
 use sg_serial::{History, Recorder};
 use sg_sync::{ForkTable, SyncTransport};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::{Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Configuration of the async GAS engine.
@@ -40,6 +43,8 @@ pub struct GasConfig {
     pub interphase_yield: bool,
     /// Seed for the vertex -> machine hash.
     pub seed: u64,
+    /// Observability: tracing, per-machine breakdowns, stall watchdog.
+    pub obs: ObsConfig,
 }
 
 impl Default for GasConfig {
@@ -54,6 +59,7 @@ impl Default for GasConfig {
             record_history: false,
             interphase_yield: false,
             seed: 0x6A5,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -75,6 +81,9 @@ pub struct GasOutcome<V> {
     pub wall_time: Duration,
     /// Recorded history, when requested.
     pub history: Option<History>,
+    /// Observability report, when any of [`ObsConfig`] was enabled
+    /// (`per_superstep` is empty: async GAS has no supersteps).
+    pub obs: Option<ObsReport>,
 }
 
 #[inline]
@@ -121,6 +130,8 @@ struct Core<P: GasProgram> {
     metrics: Arc<Metrics>,
     clocks: SimClocks,
     recorder: Option<Arc<Recorder>>,
+    trace: Trace,
+    timers: Option<WorkerTimers>,
 }
 
 impl<P: GasProgram> SyncTransport for Core<P> {
@@ -130,19 +141,49 @@ impl<P: GasProgram> SyncTransport for Core<P> {
         // The fork's own network hop is charged onto its timestamp by the
         // fork table, not onto whole-machine clocks.
         let f = from.index();
-        let _ = to;
         for dest in 0..self.pending_updates[f].len() {
             let n = self.pending_updates[f][dest].swap(0, Ordering::SeqCst);
             if n > 0 {
-                self.metrics.inc(|m| &m.remote_batches);
+                self.metrics.inc(Counter::RemoteBatches);
                 self.clocks.advance(f, self.config.cost.batch_overhead_ns);
                 let ts = self.clocks.now(f) + self.config.cost.batch_cost(n);
                 self.clocks.observe(dest, ts);
+                if self.trace.is_enabled() {
+                    self.trace.record(
+                        f as u32,
+                        0,
+                        TraceEventKind::BatchFlush,
+                        self.clocks.now(f),
+                        self.config.cost.batch_cost(n),
+                        n,
+                    );
+                }
             }
+        }
+        if self.trace.is_enabled() {
+            self.trace.record(
+                f as u32,
+                0,
+                TraceEventKind::ForkTransfer,
+                self.clocks.now(f),
+                self.config.cost.network_latency_ns,
+                to.index() as u64,
+            );
         }
     }
 
-    fn on_control_message(&self, _from: WorkerId, _to: WorkerId) {}
+    fn on_control_message(&self, from: WorkerId, to: WorkerId) {
+        if self.trace.is_enabled() {
+            self.trace.record(
+                from.index() as u32,
+                0,
+                TraceEventKind::RequestToken,
+                self.clocks.now(from.index()),
+                0,
+                to.index() as u64,
+            );
+        }
+    }
 
     fn network_latency_ns(&self) -> u64 {
         self.config.cost.network_latency_ns
@@ -220,8 +261,12 @@ impl<P: GasProgram> AsyncGasEngine<P> {
                     cv: Condvar::new(),
                 })
                 .collect(),
-            queued: (0..g.num_vertices()).map(|_| AtomicBool::new(false)).collect(),
-            running: (0..g.num_vertices()).map(|_| AtomicBool::new(false)).collect(),
+            queued: (0..g.num_vertices())
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+            running: (0..g.num_vertices())
+                .map(|_| AtomicBool::new(false))
+                .collect(),
             outstanding: AtomicU64::new(0),
             executions: AtomicU64::new(0),
             stop: AtomicBool::new(false),
@@ -233,6 +278,16 @@ impl<P: GasProgram> AsyncGasEngine<P> {
             metrics: Arc::clone(&metrics),
             clocks: SimClocks::new(machines),
             recorder: recorder.clone(),
+            trace: if self.config.obs.trace {
+                Trace::enabled(machines, self.config.obs.trace_capacity)
+            } else {
+                Trace::disabled()
+            },
+            timers: self
+                .config
+                .obs
+                .breakdown
+                .then(|| WorkerTimers::new(machines)),
             config: self.config.clone(),
         });
 
@@ -242,6 +297,32 @@ impl<P: GasProgram> AsyncGasEngine<P> {
                 core.signal(v);
             }
         }
+
+        let watchdog = core.config.obs.watchdog_stall_ms.map(|stall_ms| {
+            let c = Arc::clone(&core);
+            let progress = move || {
+                let executions = c.executions.load(Ordering::SeqCst);
+                let clocks: u64 = (0..c.clocks.len()).map(|m| c.clocks.now(m)).sum();
+                executions.wrapping_add(clocks)
+            };
+            let dump = core.trace.buffer().cloned();
+            let on_stall = move || {
+                eprintln!(
+                    "serigraph watchdog: async GAS made no progress for {stall_ms}ms — \
+                     suspected stall/deadlock"
+                );
+                match &dump {
+                    Some(buf) => eprintln!("{}", buf.dump_last(16)),
+                    None => eprintln!("(enable tracing for a per-machine event dump)"),
+                }
+            };
+            Watchdog::spawn(
+                Duration::from_millis((stall_ms / 4).clamp(1, 250)),
+                Duration::from_millis(stall_ms),
+                progress,
+                on_stall,
+            )
+        });
 
         let wall_start = Instant::now();
         if core.outstanding.load(Ordering::SeqCst) > 0 {
@@ -257,15 +338,41 @@ impl<P: GasProgram> AsyncGasEngine<P> {
             }
         }
 
-        let values: Vec<P::Value> = core.values.iter().map(|v| v.read().clone()).collect();
+        let values: Vec<P::Value> = core
+            .values
+            .iter()
+            .map(|v| v.read().unwrap().clone())
+            .collect();
+        let stalled = watchdog.map(Watchdog::stop).unwrap_or(false);
+        let makespan = core.clocks.makespan();
+        let obs = (core.timers.is_some() || core.trace.is_enabled()).then(|| {
+            if let Some(t) = &core.timers {
+                for m in 0..core.clocks.len() {
+                    t.set_skew(m, makespan - core.clocks.now(m));
+                }
+            }
+            ObsReport {
+                per_superstep: Vec::new(),
+                per_worker: core
+                    .timers
+                    .as_ref()
+                    .map(|t| t.breakdown(makespan))
+                    .unwrap_or_default(),
+                trace: core.trace.buffer().cloned(),
+                totals: metrics.snapshot(),
+                makespan_ns: makespan,
+                stalled,
+            }
+        });
         GasOutcome {
             values,
             executions: core.executions.load(Ordering::SeqCst),
             converged: !core.live_failed.load(Ordering::SeqCst),
             metrics: metrics.snapshot(),
-            makespan_ns: core.clocks.makespan(),
+            makespan_ns: makespan,
             wall_time: wall_start.elapsed(),
             history: recorder.map(|r| r.history()),
+            obs,
         }
     }
 }
@@ -276,7 +383,7 @@ impl<P: GasProgram> Core<P> {
         if !self.queued[v.index()].swap(true, Ordering::SeqCst) {
             self.outstanding.fetch_add(1, Ordering::SeqCst);
             let m = self.machine_of[v.index()] as usize;
-            self.queues[m].queue.lock().push_back(v);
+            self.queues[m].queue.lock().unwrap().push_back(v);
             self.queues[m].cv.notify_one();
         }
     }
@@ -295,7 +402,7 @@ impl<P: GasProgram> Core<P> {
         let mut fiber_clock = 0u64;
         loop {
             let v = {
-                let mut q = self.queues[machine].queue.lock();
+                let mut q = self.queues[machine].queue.lock().unwrap();
                 loop {
                     if self.stop.load(Ordering::SeqCst) {
                         return;
@@ -303,7 +410,7 @@ impl<P: GasProgram> Core<P> {
                     if let Some(v) = q.pop_front() {
                         break v;
                     }
-                    self.queues[machine].cv.wait(&mut q);
+                    q = self.queues[machine].cv.wait(q).unwrap();
                 }
             };
             self.queued[v.index()].store(false, Ordering::SeqCst);
@@ -335,6 +442,20 @@ impl<P: GasProgram> Core<P> {
         let g = &self.graph;
         if let Some(forks) = &self.forks {
             let ready = forks.acquire(v.raw(), self);
+            let wait = ready.saturating_sub(*fiber_clock);
+            if wait > 0 {
+                if let Some(t) = &self.timers {
+                    t.add_blocked(machine, wait);
+                }
+                self.trace.record(
+                    machine as u32,
+                    0,
+                    TraceEventKind::LockWait,
+                    *fiber_clock,
+                    wait,
+                    u64::from(v.raw()),
+                );
+            }
             *fiber_clock = (*fiber_clock).max(ready);
         }
         let guard = self.recorder.as_ref().map(|r| r.begin(v));
@@ -344,7 +465,7 @@ impl<P: GasProgram> Core<P> {
         let mut acc = self.program.empty_accum();
         let mut gathered = 0u64;
         for &u in g.in_neighbors(v) {
-            let nv = self.values[u.index()].read();
+            let nv = self.values[u.index()].read().unwrap();
             acc = self.program.merge(acc, self.program.gather(g, v, u, &nv));
             gathered += 1;
         }
@@ -354,7 +475,7 @@ impl<P: GasProgram> Core<P> {
 
         // Apply: write lock on v.
         let changed = {
-            let mut val = self.values[v.index()].write();
+            let mut val = self.values[v.index()].write().unwrap();
             self.program.apply(g, v, &mut val, acc)
         };
 
@@ -368,17 +489,16 @@ impl<P: GasProgram> Core<P> {
                 }
             }
             for &dest in &self.mirrors[v.index()] {
-                self.metrics.inc(|m| &m.remote_messages);
+                self.metrics.inc(Counter::RemoteMessages);
                 sent += 1;
                 if self.forks.is_some() {
                     // Serializable mode batches updates until a fork hop.
-                    self.pending_updates[machine][dest as usize]
-                        .fetch_add(1, Ordering::SeqCst);
+                    self.pending_updates[machine][dest as usize].fetch_add(1, Ordering::SeqCst);
                 } else {
                     // GraphLab async pushes each update eagerly: a tiny
                     // batch of one — the sending fiber pays the per-batch
                     // overhead every time.
-                    self.metrics.inc(|m| &m.remote_batches);
+                    self.metrics.inc(Counter::RemoteBatches);
                     *fiber_clock += self.config.cost.batch_overhead_ns;
                     let ts = *fiber_clock + self.config.cost.batch_cost(1);
                     self.clocks.observe(dest as usize, ts);
@@ -390,8 +510,8 @@ impl<P: GasProgram> Core<P> {
             // Scatter: read locks on out-neighbors, activation signals.
             for &u in g.out_neighbors(v) {
                 let activate = {
-                    let nv = self.values[u.index()].read();
-                    let val = self.values[v.index()].read();
+                    let nv = self.values[u.index()].read().unwrap();
+                    let val = self.values[v.index()].read().unwrap();
                     self.program.scatter_activate(g, v, &val, u, &nv)
                 };
                 if activate {
@@ -403,15 +523,41 @@ impl<P: GasProgram> Core<P> {
         if let (Some(r), Some(guard)) = (self.recorder.as_ref(), guard) {
             r.end(guard);
         }
-        self.metrics.inc(|m| &m.vertex_executions);
-        let cost = self
-            .config
-            .cost
-            .vertex_cost(gathered, sent + if changed { u64::from(g.out_degree(v)) } else { 0 });
+        self.metrics.inc(Counter::VertexExecutions);
+        let cost = self.config.cost.vertex_cost(
+            gathered,
+            sent + if changed {
+                u64::from(g.out_degree(v))
+            } else {
+                0
+            },
+        );
         // F fibers share C cores: each fiber's compute is stretched by F/C.
         let fibers = u64::from(self.config.fibers_per_machine.max(1));
         let cores = u64::from(self.config.cores_per_machine.max(1));
-        *fiber_clock += cost.saturating_mul(fibers) / cores;
+        let charged = cost.saturating_mul(fibers) / cores;
+        self.trace.record(
+            machine as u32,
+            0,
+            TraceEventKind::VertexExecute,
+            *fiber_clock,
+            charged,
+            gathered,
+        );
+        *fiber_clock += charged;
+        if let Some(t) = &self.timers {
+            t.add_busy(machine, charged);
+        }
+        if sent > 0 {
+            self.trace.record(
+                machine as u32,
+                0,
+                TraceEventKind::MessageSend,
+                *fiber_clock,
+                0,
+                sent,
+            );
+        }
         if let Some(forks) = &self.forks {
             forks.release(v.raw(), *fiber_clock, self);
         }
@@ -455,12 +601,18 @@ mod tests {
     fn sssp_matches_bfs_both_modes() {
         let g = Arc::new(gen::grid(4, 5));
         for ser in [false, true] {
-            let out = AsyncGasEngine::new(Arc::clone(&g), GasSssp::new(VertexId::new(0)), config(ser)).run();
+            let out =
+                AsyncGasEngine::new(Arc::clone(&g), GasSssp::new(VertexId::new(0)), config(ser))
+                    .run();
             assert!(out.converged);
             // grid distances: manhattan distance from corner
             for r in 0..4u64 {
                 for c in 0..5u64 {
-                    assert_eq!(out.values[(r * 5 + c) as usize], r + c, "serializable={ser}");
+                    assert_eq!(
+                        out.values[(r * 5 + c) as usize],
+                        r + c,
+                        "serializable={ser}"
+                    );
                 }
             }
         }
@@ -474,7 +626,10 @@ mod tests {
                 AsyncGasEngine::new(Arc::clone(&g), GasPageRank::new(1e-6), config(ser)).run();
             assert!(out.converged, "serializable={ser}");
             for &pr in &out.values {
-                assert!((pr - 1.0).abs() < 1e-3, "ring PageRank should be 1.0, got {pr}");
+                assert!(
+                    (pr - 1.0).abs() < 1e-3,
+                    "ring PageRank should be 1.0, got {pr}"
+                );
             }
         }
     }

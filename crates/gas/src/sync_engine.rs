@@ -21,6 +21,10 @@ pub struct SyncGasOutcome<V> {
     pub converged: bool,
     /// Total vertex executions.
     pub executions: u64,
+    /// Vertex executions per round, when [`SyncGasEngine::record_rounds`]
+    /// was requested (empty otherwise). A non-converging oscillation shows
+    /// up here as a flat tail instead of a decaying one.
+    pub per_round: Vec<u64>,
 }
 
 /// The synchronous GAS engine (single-host reference implementation; the
@@ -30,6 +34,7 @@ pub struct SyncGasEngine<P: GasProgram> {
     graph: Arc<Graph>,
     program: P,
     max_rounds: u64,
+    record_rounds: bool,
 }
 
 impl<P: GasProgram> SyncGasEngine<P> {
@@ -39,7 +44,15 @@ impl<P: GasProgram> SyncGasEngine<P> {
             graph,
             program,
             max_rounds,
+            record_rounds: false,
         }
+    }
+
+    /// Collect per-round execution counts into
+    /// [`SyncGasOutcome::per_round`].
+    pub fn record_rounds(mut self, on: bool) -> Self {
+        self.record_rounds = on;
+        self
     }
 
     /// Run to quiescence or the round cap.
@@ -53,6 +66,7 @@ impl<P: GasProgram> SyncGasEngine<P> {
             .collect();
         let mut executions = 0u64;
         let mut rounds = 0u64;
+        let mut per_round = Vec::new();
 
         while rounds < self.max_rounds {
             if !active.iter().any(|&a| a) {
@@ -61,9 +75,11 @@ impl<P: GasProgram> SyncGasEngine<P> {
                     rounds,
                     converged: true,
                     executions,
+                    per_round,
                 };
             }
             rounds += 1;
+            let round_start = executions;
             let old = values.clone(); // gather reads the previous round
             let mut next_active = vec![false; n];
             for v in g.vertices() {
@@ -77,9 +93,7 @@ impl<P: GasProgram> SyncGasEngine<P> {
                         .program
                         .merge(acc, self.program.gather(g, v, u, &old[u.index()]));
                 }
-                let changed = self
-                    .program
-                    .apply(g, v, &mut values[v.index()], acc);
+                let changed = self.program.apply(g, v, &mut values[v.index()], acc);
                 if changed {
                     for &u in g.out_neighbors(v) {
                         if self.program.scatter_activate(
@@ -95,6 +109,9 @@ impl<P: GasProgram> SyncGasEngine<P> {
                 }
             }
             active = next_active;
+            if self.record_rounds {
+                per_round.push(executions - round_start);
+            }
         }
 
         let converged = !active.iter().any(|&a| a);
@@ -103,6 +120,7 @@ impl<P: GasProgram> SyncGasEngine<P> {
             rounds,
             converged,
             executions,
+            per_round,
         }
     }
 }
@@ -111,8 +129,8 @@ impl<P: GasProgram> SyncGasEngine<P> {
 mod tests {
     use super::*;
     use crate::programs::{GasColoring, GasWcc};
-    use sg_graph::VertexId;
     use sg_graph::gen;
+    use sg_graph::VertexId;
 
     #[test]
     fn wcc_converges_in_sync_mode() {
@@ -129,6 +147,23 @@ mod tests {
         let g = Arc::new(gen::paper_c4());
         let out = SyncGasEngine::new(g, GasColoring, 60).run();
         assert!(!out.converged, "sync GAS coloring must oscillate");
+    }
+
+    #[test]
+    fn per_round_counts_sum_to_executions_and_expose_oscillation() {
+        let g = Arc::new(gen::paper_c4());
+        let out = SyncGasEngine::new(g, GasColoring, 60)
+            .record_rounds(true)
+            .run();
+        assert_eq!(out.per_round.len(), out.rounds as usize);
+        assert_eq!(out.per_round.iter().sum::<u64>(), out.executions);
+        // The oscillation's signature: the work per round never decays.
+        assert_eq!(out.per_round.first(), out.per_round.last());
+
+        // Off by default: no allocation.
+        let g = Arc::new(gen::ring(10));
+        let out = SyncGasEngine::new(g, GasWcc, 100).run();
+        assert!(out.per_round.is_empty());
     }
 
     #[test]

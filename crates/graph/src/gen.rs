@@ -12,8 +12,7 @@
 //! graphs on every platform.
 
 use crate::graph::Graph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Undirected cycle `0-1-…-(n-1)-0`, stored symmetrically.
 ///
@@ -115,16 +114,24 @@ pub fn erdos_renyi(n: u32, m: u64, symmetric: bool, seed: u64) -> Graph {
     assert!(n >= 2);
     let max_edges = n as u64 * (n as u64 - 1) / if symmetric { 2 } else { 1 };
     assert!(m <= max_edges, "too many edges requested");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut seen = std::collections::HashSet::with_capacity(m as usize);
-    let mut edges = Vec::with_capacity(if symmetric { 2 * m as usize } else { m as usize });
+    let mut edges = Vec::with_capacity(if symmetric {
+        2 * m as usize
+    } else {
+        m as usize
+    });
     while (seen.len() as u64) < m {
-        let a = rng.gen_range(0..n);
-        let b = rng.gen_range(0..n);
+        let a = rng.gen_range(u64::from(n)) as u32;
+        let b = rng.gen_range(u64::from(n)) as u32;
         if a == b {
             continue;
         }
-        let key = if symmetric { (a.min(b), a.max(b)) } else { (a, b) };
+        let key = if symmetric {
+            (a.min(b), a.max(b))
+        } else {
+            (a, b)
+        };
         if seen.insert(key) {
             edges.push((key.0, key.1));
             if symmetric {
@@ -141,7 +148,7 @@ pub fn erdos_renyi(n: u32, m: u64, symmetric: bool, seed: u64) -> Graph {
 pub fn preferential_attachment(n: u32, m_per_vertex: u32, seed: u64) -> Graph {
     let m = m_per_vertex.max(1);
     assert!(n > m, "need more vertices than attachments per vertex");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     // `targets` holds one entry per edge endpoint, so sampling uniformly
     // from it is degree-proportional sampling.
     let mut endpoint_pool: Vec<u32> = Vec::with_capacity(2 * (n as usize) * (m as usize));
@@ -159,7 +166,7 @@ pub fn preferential_attachment(n: u32, m_per_vertex: u32, seed: u64) -> Graph {
     for v in (m + 1)..n {
         let mut chosen = std::collections::BTreeSet::new();
         while (chosen.len() as u32) < m {
-            let t = endpoint_pool[rng.gen_range(0..endpoint_pool.len())];
+            let t = endpoint_pool[rng.gen_index(endpoint_pool.len())];
             if t != v {
                 chosen.insert(t);
             }
@@ -186,15 +193,15 @@ pub fn watts_strogatz(n: u32, k: u32, beta: f64, seed: u64) -> Graph {
     assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2");
     assert!(n > k, "need n > k");
     assert!((0.0..=1.0).contains(&beta));
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut edges = std::collections::BTreeSet::new();
     for v in 0..n {
         for j in 1..=(k / 2) {
             let mut t = (v + j) % n;
-            if rng.gen::<f64>() < beta {
+            if rng.gen_bool(beta) {
                 // Rewire to a uniform non-self endpoint, avoiding duplicates.
                 for _ in 0..16 {
-                    let cand = rng.gen_range(0..n);
+                    let cand = rng.gen_range(u64::from(n)) as u32;
                     let key = (v.min(cand), v.max(cand));
                     if cand != v && !edges.contains(&key) {
                         t = cand;
@@ -232,14 +239,14 @@ pub fn rmat(scale: u32, num_edges: u64, probs: (f64, f64, f64, f64), seed: u64) 
         num_edges <= n * (n - 1) / 2,
         "too many edges for 2^{scale} vertices"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut seen = std::collections::HashSet::with_capacity(num_edges as usize);
     let mut edges = Vec::with_capacity(num_edges as usize);
     while (seen.len() as u64) < num_edges {
         let (mut x0, mut x1) = (0u64, n);
         let (mut y0, mut y1) = (0u64, n);
         while x1 - x0 > 1 {
-            let r: f64 = rng.gen();
+            let r = rng.next_f64();
             let (right, down) = if r < a {
                 (false, false)
             } else if r < a + b {

@@ -89,7 +89,10 @@ impl Graph {
 
     #[inline]
     fn out_range(&self, v: usize) -> (usize, usize) {
-        (self.out_offsets[v] as usize, self.out_offsets[v + 1] as usize)
+        (
+            self.out_offsets[v] as usize,
+            self.out_offsets[v + 1] as usize,
+        )
     }
 
     #[inline]

@@ -64,17 +64,15 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, ParseError> {
         }
         let mut parts = trimmed.split_whitespace();
         let (src, dst) = match (parts.next(), parts.next(), parts.next()) {
-            (Some(s), Some(t), None) => {
-                match (s.parse::<u32>(), t.parse::<u32>()) {
-                    (Ok(s), Ok(t)) => (s, t),
-                    _ => {
-                        return Err(ParseError::Malformed {
-                            line: idx + 1,
-                            content: line.clone(),
-                        })
-                    }
+            (Some(s), Some(t), None) => match (s.parse::<u32>(), t.parse::<u32>()) {
+                (Ok(s), Ok(t)) => (s, t),
+                _ => {
+                    return Err(ParseError::Malformed {
+                        line: idx + 1,
+                        content: line.clone(),
+                    })
                 }
-            }
+            },
             _ => {
                 return Err(ParseError::Malformed {
                     line: idx + 1,
@@ -97,7 +95,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Graph, ParseError>
 /// header comment carrying the vertex and edge counts.
 pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
     let mut out = BufWriter::new(writer);
-    writeln!(out, "# serigraph edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        out,
+        "# serigraph edge list: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for u in g.vertices() {
         for &v in g.out_neighbors(u) {
             writeln!(out, "{}\t{}", u.raw(), v.raw())?;

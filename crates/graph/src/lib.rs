@@ -28,9 +28,11 @@ pub mod graph;
 pub mod ids;
 pub mod io;
 pub mod partition;
+pub mod rng;
 pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use graph::Graph;
 pub use ids::{PartitionId, VertexId, WorkerId};
 pub use partition::{ClusterLayout, PartitionMap, VertexClass};
+pub use rng::SplitMix64;

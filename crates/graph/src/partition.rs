@@ -33,7 +33,10 @@ impl ClusterLayout {
     /// Panics if either argument is zero.
     pub fn new(num_workers: u32, partitions_per_worker: u32) -> Self {
         assert!(num_workers > 0, "need at least one worker");
-        assert!(partitions_per_worker > 0, "need at least one partition per worker");
+        assert!(
+            partitions_per_worker > 0,
+            "need at least one partition per worker"
+        );
         Self {
             num_workers,
             partitions_per_worker,
@@ -113,7 +116,10 @@ impl VertexClass {
     /// Definition 1: does some neighbor live on a different worker?
     #[inline]
     pub fn is_m_boundary(self) -> bool {
-        matches!(self, VertexClass::RemoteBoundary | VertexClass::MixedBoundary)
+        matches!(
+            self,
+            VertexClass::RemoteBoundary | VertexClass::MixedBoundary
+        )
     }
 
     /// Definition 4: does some neighbor live in a different partition?
@@ -126,7 +132,10 @@ impl VertexClass {
     /// (dual-layer token passing)?
     #[inline]
     pub fn needs_local_token(self) -> bool {
-        matches!(self, VertexClass::LocalBoundary | VertexClass::MixedBoundary)
+        matches!(
+            self,
+            VertexClass::LocalBoundary | VertexClass::MixedBoundary
+        )
     }
 
     /// Does executing this vertex require the global token
@@ -276,7 +285,10 @@ impl Partitioner for LdgPartitioner {
                 scores[p] = 0;
             }
         }
-        assignment.into_iter().map(|p| p.expect("assigned")).collect()
+        assignment
+            .into_iter()
+            .map(|p| p.expect("assigned"))
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -293,7 +305,10 @@ impl Partitioner for ExplicitPartitioner {
     fn assign(&self, g: &Graph, layout: &ClusterLayout) -> Vec<PartitionId> {
         assert_eq!(self.0.len(), g.num_vertices() as usize);
         for &p in &self.0 {
-            assert!(p.raw() < layout.num_partitions(), "partition id out of range");
+            assert!(
+                p.raw() < layout.num_partitions(),
+                "partition id out of range"
+            );
         }
         self.0.clone()
     }

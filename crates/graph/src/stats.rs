@@ -46,7 +46,11 @@ impl GraphStats {
             edges: g.num_edges(),
             mean_degree: mean,
             max_degree: max,
-            skew: if mean > 0.0 { f64::from(max) / mean } else { 0.0 },
+            skew: if mean > 0.0 {
+                f64::from(max) / mean
+            } else {
+                0.0
+            },
             above_mean_fraction: above as f64 / f64::from(n),
         }
     }
@@ -59,7 +63,11 @@ pub fn degree_histogram(g: &Graph) -> Vec<(u32, u32)> {
     let mut buckets: Vec<u32> = Vec::new();
     for v in g.vertices() {
         let d = g.degree(v);
-        let b = if d == 0 { 0 } else { (32 - d.leading_zeros()) as usize };
+        let b = if d == 0 {
+            0
+        } else {
+            (32 - d.leading_zeros()) as usize
+        };
         if buckets.len() <= b {
             buckets.resize(b + 1, 0);
         }

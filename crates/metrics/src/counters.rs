@@ -4,13 +4,18 @@
 //! Counters use relaxed atomics: the values are aggregated statistics, not
 //! synchronization points, and the engines' own barriers order them before
 //! any snapshot is taken.
+//!
+//! Hot paths address counters through the [`Counter`] enum —
+//! `m.inc(Counter::LocalMessages)` — which compiles to a direct field
+//! `fetch_add` (the `match` is resolved at monomorphization time for
+//! constant arguments), replacing the older closure-based accessor API.
 
 use std::fmt;
 use std::ops::Sub;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 macro_rules! metrics {
-    ($( $(#[$doc:meta])* $field:ident ),+ $(,)?) => {
+    ($( $(#[$doc:meta])* $field:ident => $variant:ident ),+ $(,)?) => {
         /// Shared atomic counters. One instance lives per engine run; every
         /// worker thread increments it concurrently.
         #[derive(Debug, Default)]
@@ -25,6 +30,25 @@ macro_rules! metrics {
             $( $(#[$doc])* pub $field: u64, )+
         }
 
+        /// Identifies one counter field; the argument type of the hot-path
+        /// [`Metrics::add`] / [`Metrics::inc`] methods.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        pub enum Counter {
+            $( $(#[$doc])* $variant, )+
+        }
+
+        impl Counter {
+            /// Every counter, in declaration (= display) order.
+            pub const ALL: &'static [Counter] = &[ $( Counter::$variant, )+ ];
+
+            /// The `snake_case` field name of this counter.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $( Counter::$variant => stringify!($field), )+
+                }
+            }
+        }
+
         impl Metrics {
             /// Copy the current counter values.
             pub fn snapshot(&self) -> MetricsSnapshot {
@@ -36,6 +60,24 @@ macro_rules! metrics {
             /// Reset every counter to zero.
             pub fn reset(&self) {
                 $( self.$field.store(0, Ordering::Relaxed); )+
+            }
+
+            /// The atomic cell behind counter `c`.
+            #[inline]
+            pub fn cell(&self, c: Counter) -> &AtomicU64 {
+                match c {
+                    $( Counter::$variant => &self.$field, )+
+                }
+            }
+        }
+
+        impl MetricsSnapshot {
+            /// Value of counter `c` in this snapshot.
+            #[inline]
+            pub fn get(&self, c: Counter) -> u64 {
+                match c {
+                    $( Counter::$variant => self.$field, )+
+                }
             }
         }
 
@@ -60,36 +102,36 @@ macro_rules! metrics {
 metrics! {
     /// Messages delivered between vertices on the same worker (skip the
     /// buffer cache in Giraph async, Section 6.1).
-    local_messages,
+    local_messages => LocalMessages,
     /// Messages destined for vertices on other workers (buffered, batched).
-    remote_messages,
+    remote_messages => RemoteMessages,
     /// Remote batch flushes: each is one network round of buffered messages.
-    remote_batches,
+    remote_batches => RemoteBatches,
     /// Fork transfers between philosophers (Chandy-Misra), any locality.
-    fork_transfers,
+    fork_transfers => ForkTransfers,
     /// Fork transfers that crossed a worker boundary (network forks).
-    fork_transfers_remote,
+    fork_transfers_remote => ForkTransfersRemote,
     /// Request-token sends (Chandy-Misra), any locality.
-    request_tokens,
+    request_tokens => RequestTokens,
     /// Request-token sends that crossed a worker boundary.
-    request_tokens_remote,
+    request_tokens_remote => RequestTokensRemote,
     /// Global-token ring passes (single- and dual-layer token passing).
-    global_token_passes,
+    global_token_passes => GlobalTokenPasses,
     /// Local-token passes between partitions of one worker (dual-layer).
-    local_token_passes,
+    local_token_passes => LocalTokenPasses,
     /// Global synchronization barriers executed.
-    barriers,
+    barriers => Barriers,
     /// Supersteps completed.
-    supersteps,
+    supersteps => Supersteps,
     /// Vertex compute-function invocations.
-    vertex_executions,
+    vertex_executions => VertexExecutions,
     /// Partition (or vertex) acquisitions skipped because the unit was
     /// halted with no pending messages (Section 5.4 optimization).
-    halted_skips,
+    halted_skips => HaltedSkips,
     /// Checkpoints written (Section 6.4 fault tolerance).
-    checkpoints,
+    checkpoints => Checkpoints,
     /// Checkpoint recoveries performed after an injected failure.
-    recoveries,
+    recoveries => Recoveries,
 }
 
 impl Metrics {
@@ -98,17 +140,16 @@ impl Metrics {
         Self::default()
     }
 
-    /// Add `n` to a counter identified by the field closure; convenience for
-    /// hot paths: `m.add(|m| &m.local_messages, 3)`.
+    /// Add `n` to counter `c`: `m.add(Counter::LocalMessages, 3)`.
     #[inline]
-    pub fn add(&self, field: impl Fn(&Self) -> &AtomicU64, n: u64) {
-        field(self).fetch_add(n, Ordering::Relaxed);
+    pub fn add(&self, c: Counter, n: u64) {
+        self.cell(c).fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Increment a counter by one.
+    /// Increment counter `c` by one.
     #[inline]
-    pub fn inc(&self, field: impl Fn(&Self) -> &AtomicU64) {
-        self.add(field, 1);
+    pub fn inc(&self, c: Counter) {
+        self.add(c, 1);
     }
 }
 
@@ -121,7 +162,10 @@ impl MetricsSnapshot {
     /// Total synchronization-protocol transfers (forks + request tokens +
     /// ring passes) — the "communication overhead" axis of Figure 1.
     pub fn sync_transfers(&self) -> u64 {
-        self.fork_transfers + self.request_tokens + self.global_token_passes + self.local_token_passes
+        self.fork_transfers
+            + self.request_tokens
+            + self.global_token_passes
+            + self.local_token_passes
     }
 
     /// Average remote batch size (messages per flush); 0 when no flushes.
@@ -142,8 +186,8 @@ mod tests {
     #[test]
     fn snapshot_reflects_increments() {
         let m = Metrics::new();
-        m.inc(|m| &m.local_messages);
-        m.add(|m| &m.remote_messages, 5);
+        m.inc(Counter::LocalMessages);
+        m.add(Counter::RemoteMessages, 5);
         let s = m.snapshot();
         assert_eq!(s.local_messages, 1);
         assert_eq!(s.remote_messages, 5);
@@ -153,7 +197,7 @@ mod tests {
     #[test]
     fn reset_zeroes_everything() {
         let m = Metrics::new();
-        m.add(|m| &m.fork_transfers, 10);
+        m.add(Counter::ForkTransfers, 10);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }
@@ -161,9 +205,9 @@ mod tests {
     #[test]
     fn snapshot_subtraction_gives_delta() {
         let m = Metrics::new();
-        m.add(|m| &m.barriers, 2);
+        m.add(Counter::Barriers, 2);
         let before = m.snapshot();
-        m.add(|m| &m.barriers, 3);
+        m.add(Counter::Barriers, 3);
         let delta = m.snapshot() - before;
         assert_eq!(delta.barriers, 3);
     }
@@ -210,7 +254,7 @@ mod tests {
                 let m = Arc::clone(&m);
                 std::thread::spawn(move || {
                     for _ in 0..1000 {
-                        m.inc(|m| &m.vertex_executions);
+                        m.inc(Counter::VertexExecutions);
                     }
                 })
             })
@@ -233,6 +277,22 @@ mod tests {
             "halted_skips",
         ] {
             assert!(text.contains(name), "missing {name} in display output");
+        }
+    }
+
+    #[test]
+    fn counter_enum_covers_every_field_in_order() {
+        assert_eq!(Counter::ALL.len(), 15);
+        assert_eq!(Counter::ALL[0].name(), "local_messages");
+        assert_eq!(Counter::ALL[14].name(), "recoveries");
+        // `get` agrees with the named field for every counter.
+        let m = Metrics::new();
+        for (i, &c) in Counter::ALL.iter().enumerate() {
+            m.add(c, i as u64 + 1);
+        }
+        let s = m.snapshot();
+        for (i, &c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(s.get(c), i as u64 + 1, "{}", c.name());
         }
     }
 }

@@ -20,9 +20,22 @@
 //!    computation time the benchmark harness reports — it exposes exactly
 //!    the serial chains (token rings) and per-transfer latencies (per-vertex
 //!    forks) that dominate the paper's results.
+//! 3. **Traces** ([`trace::TraceBuffer`]): when enabled, every interesting
+//!    transition (vertex execution, batch flush, fork/token transfer, lock
+//!    wait, barrier wait, checkpoint) is recorded as a typed event in a
+//!    lock-free per-worker ring, stamped with worker id, superstep, and
+//!    virtual-time nanoseconds. Rings export to Chrome `trace_event` JSON
+//!    (loadable in Perfetto / `chrome://tracing`) and feed the stall
+//!    watchdog's diagnostics ([`trace::Watchdog`]). Per-run summaries
+//!    (per-superstep counter deltas, per-worker busy/blocked/idle time)
+//!    live in [`report::ObsReport`].
 
 pub mod counters;
+pub mod report;
 pub mod simtime;
+pub mod trace;
 
-pub use counters::{Metrics, MetricsSnapshot};
+pub use counters::{Counter, Metrics, MetricsSnapshot};
+pub use report::{ObsConfig, ObsReport, SuperstepRow, WorkerBreakdown, WorkerTimers};
 pub use simtime::{CostModel, SimClocks};
+pub use trace::{Trace, TraceBuffer, TraceEvent, TraceEventKind, Watchdog};

@@ -1,0 +1,445 @@
+//! Per-run observability reports: per-worker virtual-time breakdowns,
+//! per-superstep counter deltas, and renderers (human text + JSON).
+//!
+//! The engines populate these when observability is enabled in
+//! [`ObsConfig`]; the bench harness prints/persists them under `results/`.
+//! Everything here is assembled *after* the run from data collected on the
+//! hot path by [`WorkerTimers`] (three relaxed atomic adds per partition
+//! execution, not per vertex) — the run itself never formats anything.
+
+use crate::counters::{Counter, MetricsSnapshot};
+use crate::simtime::fmt_sim_ns;
+use crate::trace::TraceBuffer;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What to collect during a run. Default: nothing (all observability off).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Collect typed trace events into a per-worker ring buffer.
+    pub trace: bool,
+    /// Ring capacity per worker when `trace` is on.
+    pub trace_capacity: usize,
+    /// Collect per-worker busy/blocked/idle breakdowns and per-superstep
+    /// counter deltas, surfaced in the run outcome.
+    pub breakdown: bool,
+    /// Spawn a stall watchdog: if no counter or clock moves for this many
+    /// wall-clock milliseconds, dump the last trace events per worker to
+    /// stderr instead of hanging silently.
+    pub watchdog_stall_ms: Option<u64>,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            trace: false,
+            trace_capacity: 65_536,
+            breakdown: false,
+            watchdog_stall_ms: None,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Everything on (watchdog at 30 s) — what `--trace` enables in the
+    /// bench harness.
+    pub fn full() -> Self {
+        Self {
+            trace: true,
+            breakdown: true,
+            watchdog_stall_ms: Some(30_000),
+            ..Self::default()
+        }
+    }
+
+    /// Is any collection (trace or breakdown) requested?
+    pub fn enabled(&self) -> bool {
+        self.trace || self.breakdown
+    }
+}
+
+/// Hot-path accumulator for per-worker virtual time. All adds are relaxed;
+/// the engines' barriers order them before any read.
+#[derive(Debug)]
+pub struct WorkerTimers {
+    busy: Vec<AtomicU64>,
+    blocked: Vec<AtomicU64>,
+    idle: Vec<AtomicU64>,
+    /// Clock skew observed at the most recent barrier (or run end), per
+    /// worker: `max(all clocks) - clock[w]` before the barrier leveled them.
+    skew: Vec<AtomicU64>,
+}
+
+impl WorkerTimers {
+    /// Timers for `workers` workers, all zero.
+    pub fn new(workers: usize) -> Self {
+        let mk = || (0..workers).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            busy: mk(),
+            blocked: mk(),
+            idle: mk(),
+            skew: mk(),
+        }
+    }
+
+    /// Number of workers tracked.
+    pub fn len(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// `true` when tracking zero workers.
+    pub fn is_empty(&self) -> bool {
+        self.busy.is_empty()
+    }
+
+    /// Charge `ns` of compute (vertex programs, message handling) to `w`.
+    #[inline]
+    pub fn add_busy(&self, w: usize, ns: u64) {
+        self.busy[w].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Charge `ns` spent blocked on locks/forks/tokens to `w`.
+    #[inline]
+    pub fn add_blocked(&self, w: usize, ns: u64) {
+        self.blocked[w].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Charge `ns` of idle (barrier wait) time to `w`.
+    #[inline]
+    pub fn add_idle(&self, w: usize, ns: u64) {
+        self.idle[w].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record the barrier-time clock skew of `w` (overwrites: the final
+    /// value is the skew at the last barrier / run end).
+    #[inline]
+    pub fn set_skew(&self, w: usize, ns: u64) {
+        self.skew[w].store(ns, Ordering::Relaxed);
+    }
+
+    /// Snapshot into display rows. `makespan_ns` caps the derived idle time
+    /// for engines that never pass explicit idle charges (barrierless/GAS):
+    /// when no idle was charged, idle = makespan − busy − blocked.
+    pub fn breakdown(&self, makespan_ns: u64) -> Vec<WorkerBreakdown> {
+        (0..self.len())
+            .map(|w| {
+                let busy = self.busy[w].load(Ordering::Relaxed);
+                let blocked = self.blocked[w].load(Ordering::Relaxed);
+                let mut idle = self.idle[w].load(Ordering::Relaxed);
+                if idle == 0 {
+                    idle = makespan_ns.saturating_sub(busy).saturating_sub(blocked);
+                }
+                WorkerBreakdown {
+                    worker: w as u32,
+                    busy_ns: busy,
+                    blocked_ns: blocked,
+                    idle_ns: idle,
+                    skew_ns: self.skew[w].load(Ordering::Relaxed),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One worker's virtual-time breakdown over a whole run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerBreakdown {
+    /// Worker id.
+    pub worker: u32,
+    /// Virtual time spent executing vertex programs and handling messages.
+    pub busy_ns: u64,
+    /// Virtual time spent waiting for forks, tokens, or locks.
+    pub blocked_ns: u64,
+    /// Virtual time spent idle at barriers (or otherwise unaccounted).
+    pub idle_ns: u64,
+    /// Clock skew at the final barrier (how far this worker's clock trailed
+    /// the slowest worker before the barrier leveled them).
+    pub skew_ns: u64,
+}
+
+/// Counter deltas and clock for one superstep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SuperstepRow {
+    /// Superstep number (0-based).
+    pub superstep: u64,
+    /// Counters incremented during this superstep alone.
+    pub delta: MetricsSnapshot,
+    /// Virtual makespan at the end of this superstep.
+    pub makespan_ns: u64,
+}
+
+/// Everything observability collected for one run. Surfaced in the engine
+/// outcomes when [`ObsConfig::enabled`]; rendered by the bench harness.
+#[derive(Clone, Debug, Default)]
+pub struct ObsReport {
+    /// Per-superstep counter deltas (empty for engines without supersteps
+    /// or when `breakdown` was off).
+    pub per_superstep: Vec<SuperstepRow>,
+    /// Per-worker busy/blocked/idle/skew (empty when `breakdown` was off).
+    pub per_worker: Vec<WorkerBreakdown>,
+    /// The trace buffer (present when `trace` was on).
+    pub trace: Option<Arc<TraceBuffer>>,
+    /// Whole-run counter totals.
+    pub totals: MetricsSnapshot,
+    /// Whole-run virtual makespan.
+    pub makespan_ns: u64,
+    /// Whether the stall watchdog fired during the run.
+    pub stalled: bool,
+}
+
+impl ObsReport {
+    /// Human-readable per-run report: worker breakdown table, superstep
+    /// delta table, counter totals.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run report: makespan {}{}",
+            fmt_sim_ns(self.makespan_ns),
+            if self.stalled {
+                "  [STALL DETECTED]"
+            } else {
+                ""
+            }
+        );
+        if !self.per_worker.is_empty() {
+            let _ = writeln!(out, "\nper-worker virtual time:");
+            let _ = writeln!(
+                out,
+                "{:>6} {:>12} {:>12} {:>12} {:>12} {:>7}",
+                "worker", "busy", "blocked", "idle", "final skew", "busy%"
+            );
+            for b in &self.per_worker {
+                let total = b.busy_ns + b.blocked_ns + b.idle_ns;
+                let pct = if total == 0 {
+                    0.0
+                } else {
+                    100.0 * b.busy_ns as f64 / total as f64
+                };
+                let _ = writeln!(
+                    out,
+                    "{:>6} {:>12} {:>12} {:>12} {:>12} {:>6.1}%",
+                    b.worker,
+                    fmt_sim_ns(b.busy_ns),
+                    fmt_sim_ns(b.blocked_ns),
+                    fmt_sim_ns(b.idle_ns),
+                    fmt_sim_ns(b.skew_ns),
+                    pct
+                );
+            }
+        }
+        if !self.per_superstep.is_empty() {
+            let _ = writeln!(out, "\nper-superstep deltas:");
+            let _ = writeln!(
+                out,
+                "{:>9} {:>12} {:>12} {:>12} {:>9} {:>14} {:>12}",
+                "superstep",
+                "vertex exec",
+                "local msgs",
+                "remote msgs",
+                "batches",
+                "sync transfers",
+                "makespan"
+            );
+            for row in &self.per_superstep {
+                let _ = writeln!(
+                    out,
+                    "{:>9} {:>12} {:>12} {:>12} {:>9} {:>14} {:>12}",
+                    row.superstep,
+                    row.delta.vertex_executions,
+                    row.delta.local_messages,
+                    row.delta.remote_messages,
+                    row.delta.remote_batches,
+                    row.delta.sync_transfers(),
+                    fmt_sim_ns(row.makespan_ns)
+                );
+            }
+        }
+        if let Some(trace) = &self.trace {
+            let recorded: u64 = (0..trace.num_workers())
+                .map(|w| trace.total_recorded(w))
+                .sum();
+            let retained: usize = (0..trace.num_workers())
+                .map(|w| trace.events(w).len())
+                .sum();
+            let _ = writeln!(
+                out,
+                "\ntrace: {recorded} events recorded, {retained} retained ({} workers x {} capacity)",
+                trace.num_workers(),
+                trace.capacity()
+            );
+        }
+        let _ = writeln!(out, "\ncounter totals:\n{}", self.totals);
+        out
+    }
+
+    /// Machine-readable JSON: totals, per-worker rows, per-superstep rows
+    /// (every counter by name). Hand-rolled (flat, numeric) — no external
+    /// serializer available offline.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"makespan_ns\":{}", self.makespan_ns);
+        let _ = write!(out, ",\"stalled\":{}", self.stalled);
+        out.push_str(",\"totals\":");
+        out.push_str(&snapshot_json(&self.totals));
+        out.push_str(",\"workers\":[");
+        for (i, b) in self.per_worker.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"worker\":{},\"busy_ns\":{},\"blocked_ns\":{},\"idle_ns\":{},\"skew_ns\":{}}}",
+                b.worker, b.busy_ns, b.blocked_ns, b.idle_ns, b.skew_ns
+            );
+        }
+        out.push_str("],\"supersteps\":[");
+        for (i, row) in self.per_superstep.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"superstep\":{},\"makespan_ns\":{},\"delta\":{}}}",
+                row.superstep,
+                row.makespan_ns,
+                snapshot_json(&row.delta)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// A [`MetricsSnapshot`] as a flat JSON object, one key per counter.
+pub fn snapshot_json(s: &MetricsSnapshot) -> String {
+    let mut out = String::from("{");
+    for (i, &c) in Counter::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", c.name(), s.get(c));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_obs_config_is_fully_off() {
+        let c = ObsConfig::default();
+        assert!(!c.enabled());
+        assert!(c.watchdog_stall_ms.is_none());
+        assert!(ObsConfig::full().enabled());
+    }
+
+    #[test]
+    fn timers_accumulate_and_break_down() {
+        let t = WorkerTimers::new(2);
+        t.add_busy(0, 100);
+        t.add_busy(0, 50);
+        t.add_blocked(0, 30);
+        t.add_idle(0, 20);
+        t.set_skew(0, 7);
+        t.set_skew(0, 9); // overwrites
+        let rows = t.breakdown(1_000);
+        assert_eq!(rows[0].busy_ns, 150);
+        assert_eq!(rows[0].blocked_ns, 30);
+        assert_eq!(rows[0].idle_ns, 20);
+        assert_eq!(rows[0].skew_ns, 9);
+        // Worker 1 charged nothing explicit: idle derived from makespan.
+        assert_eq!(rows[1].idle_ns, 1_000);
+    }
+
+    #[test]
+    fn derived_idle_saturates() {
+        let t = WorkerTimers::new(1);
+        t.add_busy(0, 500);
+        let rows = t.breakdown(100); // busy exceeds makespan: no underflow
+        assert_eq!(rows[0].idle_ns, 0);
+    }
+
+    #[test]
+    fn superstep_delta_arithmetic() {
+        // Deltas are computed by the engines as snapshot(n) - snapshot(n-1);
+        // verify the subtraction semantics the rows rely on.
+        let m = crate::Metrics::new();
+        m.add(Counter::VertexExecutions, 10);
+        m.add(Counter::LocalMessages, 4);
+        let s0 = m.snapshot();
+        m.add(Counter::VertexExecutions, 7);
+        m.add(Counter::RemoteMessages, 2);
+        let s1 = m.snapshot();
+        let delta = s1 - s0;
+        assert_eq!(delta.vertex_executions, 7);
+        assert_eq!(delta.local_messages, 0);
+        assert_eq!(delta.remote_messages, 2);
+        // Summing per-superstep deltas reconstructs the totals.
+        let rows = [
+            SuperstepRow {
+                superstep: 0,
+                delta: s0,
+                makespan_ns: 1,
+            },
+            SuperstepRow {
+                superstep: 1,
+                delta,
+                makespan_ns: 2,
+            },
+        ];
+        let total_ve: u64 = rows.iter().map(|r| r.delta.vertex_executions).sum();
+        assert_eq!(total_ve, s1.vertex_executions);
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let t = WorkerTimers::new(2);
+        t.add_busy(0, 1_000);
+        t.add_idle(1, 500);
+        let report = ObsReport {
+            per_worker: t.breakdown(2_000),
+            per_superstep: vec![SuperstepRow {
+                superstep: 0,
+                delta: MetricsSnapshot::default(),
+                makespan_ns: 2_000,
+            }],
+            trace: Some(Arc::new(crate::trace::TraceBuffer::new(2, 8))),
+            totals: MetricsSnapshot::default(),
+            makespan_ns: 2_000,
+            stalled: false,
+        };
+        let text = report.render_text();
+        assert!(text.contains("per-worker virtual time:"));
+        assert!(text.contains("per-superstep deltas:"));
+        assert!(text.contains("trace: 0 events recorded"));
+        assert!(text.contains("counter totals:"));
+        assert!(!text.contains("STALL"));
+    }
+
+    #[test]
+    fn json_has_every_counter_and_balances() {
+        let report = ObsReport {
+            per_worker: vec![WorkerBreakdown::default()],
+            per_superstep: vec![SuperstepRow {
+                superstep: 0,
+                delta: MetricsSnapshot::default(),
+                makespan_ns: 5,
+            }],
+            trace: None,
+            totals: MetricsSnapshot::default(),
+            makespan_ns: 5,
+            stalled: true,
+        };
+        let json = report.to_json();
+        for &c in Counter::ALL {
+            assert!(json.contains(&format!("\"{}\":", c.name())), "{}", c.name());
+        }
+        assert!(json.contains("\"stalled\":true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -80,9 +80,7 @@ impl CostModel {
     /// consumed `msgs_in` messages and produced `msgs_out`.
     #[inline]
     pub fn vertex_cost(&self, msgs_in: u64, msgs_out: u64) -> u64 {
-        self.vertex_compute_ns
-            + msgs_in * self.per_message_compute_ns
-            + msgs_out * self.per_send_ns
+        self.vertex_compute_ns + msgs_in * self.per_message_compute_ns + msgs_out * self.per_send_ns
     }
 
     /// Wire cost of a remote batch carrying `msgs` messages.

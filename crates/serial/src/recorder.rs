@@ -16,10 +16,10 @@
 //! is enabled only for validation runs, not benchmarks.
 
 use crate::history::{History, TxnRecord};
-use parking_lot::Mutex;
 use sg_graph::{Graph, VertexId};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Concurrent execution recorder. Cheap enough for test-scale graphs;
 /// attach via the engines' `with_recorder` options.
@@ -122,7 +122,7 @@ impl Recorder {
     pub fn end(&self, guard: TxnGuard) {
         self.executing[guard.vertex.index()].store(false, Ordering::SeqCst);
         let end = self.tick();
-        self.txns.lock().push(TxnRecord {
+        self.txns.lock().unwrap().push(TxnRecord {
             vertex: guard.vertex,
             start: guard.start,
             end,
@@ -133,7 +133,7 @@ impl Recorder {
 
     /// Snapshot the recorded transactions as a checkable [`History`].
     pub fn history(&self) -> History {
-        History::new(self.txns.lock().clone())
+        History::new(self.txns.lock().unwrap().clone())
     }
 
     /// The graph this recorder observes.

@@ -1,10 +1,10 @@
 //! Validation of the serializability checker itself: for small random
 //! histories, the serialization-graph test must agree with a brute-force
 //! oracle that enumerates every serial order and checks conflict
-//! equivalence directly.
+//! equivalence directly. Cases are drawn from the in-repo deterministic
+//! [`SplitMix64`] generator, so the suite is exactly reproducible offline.
 
-use proptest::prelude::*;
-use sg_graph::{Graph, VertexId};
+use sg_graph::{Graph, SplitMix64, VertexId};
 use sg_serial::{History, TxnRecord};
 
 /// All (item, op) pairs of a transaction under the paper's model:
@@ -17,7 +17,10 @@ enum Op {
 }
 
 fn ops_of(g: &Graph, t: &TxnRecord) -> Vec<(Op, u64)> {
-    let mut ops = vec![(Op::Read(t.vertex.raw()), t.start), (Op::Write(t.vertex.raw()), t.end)];
+    let mut ops = vec![
+        (Op::Read(t.vertex.raw()), t.start),
+        (Op::Write(t.vertex.raw()), t.end),
+    ];
     for &v in g.in_neighbors(t.vertex) {
         if v != t.vertex {
             ops.push((Op::Read(v.raw()), t.start));
@@ -28,9 +31,9 @@ fn ops_of(g: &Graph, t: &TxnRecord) -> Vec<(Op, u64)> {
 
 fn conflicting(a: Op, b: Op) -> bool {
     match (a, b) {
-        (Op::Read(x), Op::Write(y)) | (Op::Write(x), Op::Read(y)) | (Op::Write(x), Op::Write(y)) => {
-            x == y
-        }
+        (Op::Read(x), Op::Write(y))
+        | (Op::Write(x), Op::Read(y))
+        | (Op::Write(x), Op::Write(y)) => x == y,
         _ => false,
     }
 }
@@ -88,65 +91,72 @@ fn permute_exists(perm: &mut Vec<usize>, k: usize, must: &[Vec<bool>]) -> bool {
     false
 }
 
-fn arb_history(max_txns: usize) -> impl Strategy<Value = (Graph, Vec<TxnRecord>)> {
-    // Small random symmetric graph over 4 vertices + random transactions
-    // with random (possibly overlapping) intervals.
-    (
-        proptest::collection::vec((0u32..4, 0u32..4), 1..6),
-        proptest::collection::vec((0u32..4, 0u64..16), 1..=max_txns),
-    )
-        .prop_map(|(edges, txn_specs)| {
-            let mut b = sg_graph::GraphBuilder::new();
-            b.symmetric(true).reserve_vertices(4);
-            b.add_edges(edges.into_iter().filter(|(a, c)| a != c));
-            let g = b.build();
-            // Assign unique, strictly increasing timestamps derived from the
-            // random starts: start = 2*rank, end = start + odd offset so
-            // intervals can interleave.
-            let mut txns: Vec<TxnRecord> = txn_specs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (vertex, start))| TxnRecord {
-                    vertex: VertexId::new(vertex),
-                    start: start * 2 + (i as u64 % 2),
-                    end: start * 2 + 3 + (i as u64 * 2),
-                    stale_reads: vec![],
-                    concurrent_neighbors: vec![],
-                })
-                .collect();
-            // Make timestamps unique by perturbing duplicates.
-            txns.sort_by_key(|t| t.start);
-            let mut last = 0;
-            for t in &mut txns {
-                if t.start <= last {
-                    t.start = last + 1;
-                }
-                if t.end <= t.start {
-                    t.end = t.start + 1;
-                }
-                last = t.start;
+/// Small random symmetric graph over 4 vertices + random transactions with
+/// random (possibly overlapping) intervals — mirrors the proptest strategy
+/// the seed used, but driven by the deterministic PRNG.
+fn random_history(rng: &mut SplitMix64, max_txns: usize) -> (Graph, Vec<TxnRecord>) {
+    let num_edges = 1 + rng.gen_index(5);
+    let mut b = sg_graph::GraphBuilder::new();
+    b.symmetric(true).reserve_vertices(4);
+    b.add_edges(
+        (0..num_edges)
+            .map(|_| (rng.gen_range(4) as u32, rng.gen_range(4) as u32))
+            .filter(|(a, c)| a != c),
+    );
+    let g = b.build();
+    let num_txns = 1 + rng.gen_index(max_txns);
+    // Assign unique, strictly increasing timestamps derived from the
+    // random starts: start = 2*rank, end = start + odd offset so
+    // intervals can interleave.
+    let mut txns: Vec<TxnRecord> = (0..num_txns)
+        .map(|i| {
+            let vertex = rng.gen_range(4) as u32;
+            let start = rng.gen_range(16);
+            TxnRecord {
+                vertex: VertexId::new(vertex),
+                start: start * 2 + (i as u64 % 2),
+                end: start * 2 + 3 + (i as u64 * 2),
+                stale_reads: vec![],
+                concurrent_neighbors: vec![],
             }
-            (g, txns)
         })
+        .collect();
+    // Make timestamps unique by perturbing duplicates.
+    txns.sort_by_key(|t| t.start);
+    let mut last = 0;
+    for t in &mut txns {
+        if t.start <= last {
+            t.start = last + 1;
+        }
+        if t.end <= t.start {
+            t.end = t.start + 1;
+        }
+        last = t.start;
+    }
+    (g, txns)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(300))]
-
-    /// The serialization-graph cycle test agrees with the brute-force
-    /// permutation oracle on every small random history.
-    #[test]
-    fn sg_checker_matches_oracle((g, txns) in arb_history(5)) {
+/// The serialization-graph cycle test agrees with the brute-force
+/// permutation oracle on every small random history.
+#[test]
+fn sg_checker_matches_oracle() {
+    let mut rng = SplitMix64::new(0x0_5C);
+    for case in 0..300 {
+        let (g, txns) = random_history(&mut rng, 5);
         let h = History::new(txns.clone());
         let fast = h.serialization_graph_acyclic(&g);
         let slow = oracle_serializable(&g, &txns);
-        prop_assert_eq!(fast, slow, "graph={:?} txns={:?}", g, txns);
+        assert_eq!(fast, slow, "case {case}: graph={g:?} txns={txns:?}");
     }
+}
 
-    /// When the checker says acyclic, the topological order it returns is
-    /// a genuine equivalent serial order (conflict pairs respected).
-    #[test]
-    fn equivalent_serial_order_respects_conflicts((g, txns) in arb_history(5)) {
+/// When the checker says acyclic, the topological order it returns is a
+/// genuine equivalent serial order (conflict pairs respected).
+#[test]
+fn equivalent_serial_order_respects_conflicts() {
+    let mut rng = SplitMix64::new(0xE50);
+    for case in 0..300 {
+        let (g, txns) = random_history(&mut rng, 5);
         let h = History::new(txns.clone());
         if let Some(order) = h.equivalent_serial_order(&g) {
             for (pos_a, &a) in order.iter().enumerate() {
@@ -155,10 +165,9 @@ proptest! {
                     for &(op_b, tb) in &ops_of(&g, &txns[b]) {
                         for &(op_a, ta) in &ops_of(&g, &txns[a]) {
                             if conflicting(op_a, op_b) {
-                                prop_assert!(
+                                assert!(
                                     tb >= ta,
-                                    "order violates conflict {:?} -> {:?}",
-                                    b, a
+                                    "case {case}: order violates conflict {b:?} -> {a:?}"
                                 );
                             }
                         }

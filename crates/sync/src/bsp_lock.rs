@@ -31,11 +31,11 @@
 use crate::chandy_misra::ForkSnapshot;
 use crate::technique::{LockGranularity, Synchronizer};
 use crate::transport::SyncTransport;
-use parking_lot::Mutex;
 use sg_graph::{Graph, PartitionMap, VertexId, WorkerId};
-use sg_metrics::Metrics;
+use sg_metrics::{Counter, Metrics};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 #[derive(Clone, Copy, Debug)]
 struct PairState {
@@ -121,12 +121,14 @@ impl BspVertexLock {
 
     /// Number of forks (= undirected edges).
     pub fn num_forks(&self) -> usize {
-        self.pairs.lock().len()
+        self.pairs.lock().unwrap().len()
     }
 
     /// Does `v` currently hold every fork it shares?
     fn holds_all(&self, pairs: &[PairState], v: u32) -> bool {
-        self.adj[v as usize].iter().all(|&i| pairs[i as usize].fork_at(v))
+        self.adj[v as usize]
+            .iter()
+            .all(|&i| pairs[i as usize].fork_at(v))
     }
 
     /// Section 6.4 checkpoint: fork/token placement at a barrier.
@@ -134,6 +136,7 @@ impl BspVertexLock {
         ForkSnapshot::from_tuples(
             self.pairs
                 .lock()
+                .unwrap()
                 .iter()
                 .map(|p| (p.fork_at_a, p.dirty, p.token_at_a, 0))
                 .collect(),
@@ -141,7 +144,7 @@ impl BspVertexLock {
     }
 
     fn restore_snapshot(&self, snapshot: &ForkSnapshot) {
-        let mut pairs = self.pairs.lock();
+        let mut pairs = self.pairs.lock().unwrap();
         let tuples = snapshot.tuples();
         assert_eq!(pairs.len(), tuples.len(), "snapshot shape mismatch");
         for (pair, &(fork_at_a, dirty, token_at_a, _)) in pairs.iter_mut().zip(tuples) {
@@ -164,7 +167,7 @@ impl Synchronizer for BspVertexLock {
     }
 
     fn vertex_allowed(&self, _superstep: u64, v: VertexId) -> bool {
-        let pairs = self.pairs.lock();
+        let pairs = self.pairs.lock().unwrap();
         if self.holds_all(&pairs, v.raw()) {
             self.ate[v.index()].store(true, Ordering::SeqCst);
             true
@@ -175,7 +178,7 @@ impl Synchronizer for BspVertexLock {
     }
 
     fn end_superstep(&self, _superstep: u64, transport: &dyn SyncTransport) {
-        let mut pairs = self.pairs.lock();
+        let mut pairs = self.pairs.lock().unwrap();
         // (1) Eating dirties forks.
         for (v, ate) in self.ate.iter().enumerate() {
             if ate.swap(false, Ordering::SeqCst) {
@@ -194,10 +197,10 @@ impl Synchronizer for BspVertexLock {
                     if !pair.fork_at(v) && pair.token_at(v) {
                         let holder = pair.other(v);
                         pair.token_at_a = holder == pair.a;
-                        self.metrics.inc(|m| &m.request_tokens);
+                        self.metrics.inc(Counter::RequestTokens);
                         let (fw, tw) = (self.owner[v as usize], self.owner[holder as usize]);
                         if fw != tw {
-                            self.metrics.inc(|m| &m.request_tokens_remote);
+                            self.metrics.inc(Counter::RequestTokensRemote);
                             transport.on_control_message(fw, tw);
                         }
                     }
@@ -214,10 +217,10 @@ impl Synchronizer for BspVertexLock {
                 let to = pair.other(holder);
                 pair.fork_at_a = to == pair.a;
                 pair.dirty = false;
-                self.metrics.inc(|m| &m.fork_transfers);
+                self.metrics.inc(Counter::ForkTransfers);
                 let (fw, tw) = (self.owner[holder as usize], self.owner[to as usize]);
                 if fw != tw {
-                    self.metrics.inc(|m| &m.fork_transfers_remote);
+                    self.metrics.inc(Counter::ForkTransfersRemote);
                     // BSP flushes everything at the barrier anyway; the
                     // callback keeps the C1 write-all invariant explicit.
                     transport.on_fork_transfer(fw, tw);
@@ -325,11 +328,7 @@ mod tests {
     fn requests_and_transfers_are_counted() {
         let g = gen::paper_c4();
         let metrics = Arc::new(Metrics::new());
-        let pm = PartitionMap::build(
-            &g,
-            ClusterLayout::new(2, 2),
-            &HashPartitioner::default(),
-        );
+        let pm = PartitionMap::build(&g, ClusterLayout::new(2, 2), &HashPartitioner::default());
         let lock = BspVertexLock::new(&g, &pm, Arc::clone(&metrics));
         for s in 0..4u64 {
             for v in g.vertices() {

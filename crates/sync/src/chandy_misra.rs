@@ -30,10 +30,10 @@
 //! throughput of one host.
 
 use crate::transport::SyncTransport;
-use parking_lot::{Condvar, Mutex};
-use sg_metrics::Metrics;
 use sg_graph::WorkerId;
+use sg_metrics::{Counter, Metrics};
 use std::sync::Arc;
+use std::sync::{Condvar, Mutex};
 
 /// Philosopher identifier: a vertex id or a partition id, depending on the
 /// locking granularity.
@@ -171,10 +171,10 @@ impl ForkTable {
 
     #[inline]
     fn count_fork_transfer(&self, from: PhilId, to: PhilId, transport: &dyn SyncTransport) {
-        self.metrics.inc(|m| &m.fork_transfers);
+        self.metrics.inc(Counter::ForkTransfers);
         let (fw, tw) = (self.owner_of(from), self.owner_of(to));
         if fw != tw {
-            self.metrics.inc(|m| &m.fork_transfers_remote);
+            self.metrics.inc(Counter::ForkTransfersRemote);
             // Write-all before the fork crosses machines (C1), plus the
             // virtual-time join for the fork's network hop.
             transport.on_fork_transfer(fw, tw);
@@ -183,10 +183,10 @@ impl ForkTable {
 
     #[inline]
     fn count_request_token(&self, from: PhilId, to: PhilId, transport: &dyn SyncTransport) {
-        self.metrics.inc(|m| &m.request_tokens);
+        self.metrics.inc(Counter::RequestTokens);
         let (fw, tw) = (self.owner_of(from), self.owner_of(to));
         if fw != tw {
-            self.metrics.inc(|m| &m.request_tokens_remote);
+            self.metrics.inc(Counter::RequestTokensRemote);
             transport.on_control_message(fw, tw);
         }
     }
@@ -201,7 +201,7 @@ impl ForkTable {
     /// the latter indicates a protocol bug and is checked on every call.
     pub fn acquire(&self, p: PhilId, transport: &dyn SyncTransport) -> u64 {
         let pi = p as usize;
-        let mut s = self.state.lock();
+        let mut s = self.state.lock().unwrap();
         assert_eq!(
             s.status[pi],
             Status::Thinking,
@@ -242,7 +242,7 @@ impl ForkTable {
             if missing == 0 {
                 break;
             }
-            self.cv[pi].wait(&mut s);
+            s = self.cv[pi].wait(s).unwrap();
         }
 
         s.status[pi] = Status::Eating;
@@ -270,7 +270,7 @@ impl ForkTable {
     /// Panics if `p` is not currently eating.
     pub fn release(&self, p: PhilId, end_ts: u64, transport: &dyn SyncTransport) {
         let pi = p as usize;
-        let mut s = self.state.lock();
+        let mut s = self.state.lock().unwrap();
         assert_eq!(s.status[pi], Status::Eating, "release without acquire");
         s.status[pi] = Status::Thinking;
         for &(q, pair_idx) in &self.adj[pi] {
@@ -295,7 +295,7 @@ impl ForkTable {
 
     /// Is `p` currently eating? (test/diagnostic helper)
     pub fn is_eating(&self, p: PhilId) -> bool {
-        self.state.lock().status[p as usize] == Status::Eating
+        self.state.lock().unwrap().status[p as usize] == Status::Eating
     }
 
     /// Check structural invariants; intended for tests at quiescent points.
@@ -305,7 +305,7 @@ impl ForkTable {
     /// * when every philosopher is thinking, the precedence graph given by
     ///   dirty-fork directions is acyclic (no deadlock is latent).
     pub fn check_invariants(&self) {
-        let s = self.state.lock();
+        let s = self.state.lock().unwrap();
         for (pair_idx, pair) in s.pairs.iter().enumerate() {
             let _ = pair_idx;
             let (a, b) = (pair.a as usize, pair.b as usize);
@@ -361,7 +361,7 @@ impl ForkTable {
     /// Capture the fork/token placement. Must be called at quiescence
     /// (between supersteps); panics if any philosopher is eating.
     pub fn snapshot(&self) -> ForkSnapshot {
-        let s = self.state.lock();
+        let s = self.state.lock().unwrap();
         assert!(
             s.status.iter().all(|st| *st == Status::Thinking),
             "checkpoint requires quiescence"
@@ -377,14 +377,17 @@ impl ForkTable {
 
     /// Restore a previously captured placement (recovery, Section 6.4).
     pub fn restore(&self, snapshot: &ForkSnapshot) {
-        let mut s = self.state.lock();
+        let mut s = self.state.lock().unwrap();
         assert!(
             s.status.iter().all(|st| *st == Status::Thinking),
             "recovery requires quiescence"
         );
-        assert_eq!(s.pairs.len(), snapshot.pairs.len(), "snapshot shape mismatch");
-        for (pair, &(fork_at_a, dirty, token_at_a, ts)) in s.pairs.iter_mut().zip(&snapshot.pairs)
-        {
+        assert_eq!(
+            s.pairs.len(),
+            snapshot.pairs.len(),
+            "snapshot shape mismatch"
+        );
+        for (pair, &(fork_at_a, dirty, token_at_a, ts)) in s.pairs.iter_mut().zip(&snapshot.pairs) {
             pair.fork_at_a = fork_at_a;
             pair.dirty = dirty;
             pair.token_at_a = token_at_a;
@@ -558,8 +561,11 @@ mod tests {
     /// (asserted inside `acquire`).
     fn stress(owner: Vec<u32>, edges: &[(u32, u32)], rounds: usize) {
         let t = table(owner, edges);
-        let eaten: Arc<Vec<AtomicU64>> =
-            Arc::new((0..t.num_philosophers()).map(|_| AtomicU64::new(0)).collect());
+        let eaten: Arc<Vec<AtomicU64>> = Arc::new(
+            (0..t.num_philosophers())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        );
         let handles: Vec<_> = (0..t.num_philosophers() as u32)
             .map(|p| {
                 let t = Arc::clone(&t);
@@ -598,7 +604,11 @@ mod tests {
 
     #[test]
     fn stress_ring_of_five() {
-        stress(vec![0, 0, 1, 1, 1], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)], 100);
+        stress(
+            vec![0, 0, 1, 1, 1],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],
+            100,
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use crate::chandy_misra::{ForkSnapshot, ForkTable};
 use crate::transport::SyncTransport;
 use sg_graph::{Graph, PartitionMap, VertexId};
-use sg_metrics::Metrics;
+use sg_metrics::{Counter, Metrics};
 use std::sync::Arc;
 
 /// What a technique locks around: whole partitions or individual vertices.
@@ -181,7 +181,7 @@ impl Synchronizer for PartitionLock {
 
     fn unit_skippable(&self, _unit: u32, active: bool) -> bool {
         if !active && self.skip_halted {
-            self.metrics.inc(|m| &m.halted_skips);
+            self.metrics.inc(Counter::HaltedSkips);
             true
         } else {
             false
@@ -230,8 +230,7 @@ impl VertexLock {
         let mut is_philosopher = vec![false; g.num_vertices() as usize];
         for v in g.vertices() {
             for u in g.neighbors(v) {
-                if u.raw() > v.raw() && (all_vertices || pm.partition_of(u) != pm.partition_of(v))
-                {
+                if u.raw() > v.raw() && (all_vertices || pm.partition_of(u) != pm.partition_of(v)) {
                     edges.push((v.raw(), u.raw()));
                     is_philosopher[v.index()] = true;
                     is_philosopher[u.index()] = true;
@@ -293,7 +292,11 @@ mod tests {
     use sg_graph::{gen, ClusterLayout, PartitionId};
 
     fn pm_for(g: &Graph, workers: u32, ppw: u32) -> PartitionMap {
-        PartitionMap::build(g, ClusterLayout::new(workers, ppw), &HashPartitioner::default())
+        PartitionMap::build(
+            g,
+            ClusterLayout::new(workers, ppw),
+            &HashPartitioner::default(),
+        )
     }
 
     #[test]
@@ -334,7 +337,7 @@ mod tests {
         );
         let vl = VertexLock::new(&g, &pm, Arc::new(Metrics::new()));
         assert_eq!(vl.num_forks(), 1); // only the 1-2 edge
-        // Non-philosophers acquire without touching the table.
+                                       // Non-philosophers acquire without touching the table.
         vl.acquire_unit(0, &NoopTransport);
         vl.release_unit(0, 0, &NoopTransport);
     }

@@ -11,7 +11,7 @@
 use crate::technique::Synchronizer;
 use crate::transport::SyncTransport;
 use sg_graph::{ClusterLayout, PartitionId, PartitionMap, VertexId, WorkerId};
-use sg_metrics::Metrics;
+use sg_metrics::{Counter, Metrics};
 use std::sync::Arc;
 
 /// Single-layer token passing (Section 4.2, from Giraphx): one exclusive
@@ -60,7 +60,7 @@ impl Synchronizer for SingleLayerToken {
         if self.num_workers > 1 {
             let from = self.holder(superstep);
             let to = self.holder(superstep + 1);
-            self.metrics.inc(|m| &m.global_token_passes);
+            self.metrics.inc(Counter::GlobalTokenPasses);
             // The holder flushes its remote replica updates before passing
             // the token (C1, Section 4.2).
             transport.on_fork_transfer(from, to);
@@ -122,8 +122,8 @@ impl Synchronizer for DualLayerToken {
     fn vertex_allowed(&self, superstep: u64, v: VertexId) -> bool {
         let class = self.pm.class_of(v);
         let w = self.pm.worker_of(v);
-        let local_ok =
-            !class.needs_local_token() || self.pm.partition_of(v) == self.local_holder(superstep, w);
+        let local_ok = !class.needs_local_token()
+            || self.pm.partition_of(v) == self.local_holder(superstep, w);
         let global_ok = !class.needs_global_token() || w == self.global_holder(superstep);
         local_ok && global_ok
     }
@@ -134,7 +134,7 @@ impl Synchronizer for DualLayerToken {
         // machine-internal: no flush, but they are counted.
         if self.ppw > 1 {
             self.metrics
-                .add(|m| &m.local_token_passes, u64::from(self.num_workers));
+                .add(Counter::LocalTokenPasses, u64::from(self.num_workers));
         }
         // The global token moves only when the holder's partition cycle
         // completes.
@@ -142,7 +142,7 @@ impl Synchronizer for DualLayerToken {
             let from = self.global_holder(superstep);
             let to = self.global_holder(superstep + 1);
             if from != to {
-                self.metrics.inc(|m| &m.global_token_passes);
+                self.metrics.inc(Counter::GlobalTokenPasses);
                 transport.on_fork_transfer(from, to);
             }
         }

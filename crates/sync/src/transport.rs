@@ -47,7 +47,7 @@ impl SyncTransport for NoopTransport {
 /// A transport that records every callback, for protocol tests.
 #[derive(Debug, Default)]
 pub struct RecordingTransport {
-    inner: parking_lot::Mutex<Vec<TransportEvent>>,
+    inner: std::sync::Mutex<Vec<TransportEvent>>,
 }
 
 /// One recorded transport callback.
@@ -67,16 +67,22 @@ impl RecordingTransport {
 
     /// Drain the recorded events.
     pub fn take(&self) -> Vec<TransportEvent> {
-        std::mem::take(&mut self.inner.lock())
+        std::mem::take(&mut self.inner.lock().unwrap())
     }
 }
 
 impl SyncTransport for RecordingTransport {
     fn on_fork_transfer(&self, from: WorkerId, to: WorkerId) {
-        self.inner.lock().push(TransportEvent::Fork(from, to));
+        self.inner
+            .lock()
+            .unwrap()
+            .push(TransportEvent::Fork(from, to));
     }
     fn on_control_message(&self, from: WorkerId, to: WorkerId) {
-        self.inner.lock().push(TransportEvent::Control(from, to));
+        self.inner
+            .lock()
+            .unwrap()
+            .push(TransportEvent::Control(from, to));
     }
 }
 

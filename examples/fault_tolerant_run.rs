@@ -45,6 +45,8 @@ fn main() {
     assert_eq!(clean.values, failed.values, "recovery must be exact");
     assert_eq!(failed.values, validate::wcc_reference(&graph));
     assert!(failed.supersteps > clean.supersteps);
-    println!("\nidentical components after recovery; redone supersteps: {}",
-             failed.supersteps - clean.supersteps);
+    println!(
+        "\nidentical components after recovery; redone supersteps: {}",
+        failed.supersteps - clean.supersteps
+    );
 }

@@ -1,0 +1,30 @@
+//! Observability end-to-end: run PageRank fully instrumented, print the
+//! per-worker/per-superstep report, and export a Perfetto-loadable trace.
+//!
+//! Run: `cargo run --release --example observability_trace`
+
+use serigraph::prelude::*;
+use std::fs::File;
+use std::io::BufWriter;
+
+fn main() {
+    let outcome = Runner::new(sg_graph::gen::datasets::or_sim(64))
+        .workers(4)
+        .technique(Technique::PartitionLock)
+        .trace(true)
+        .metrics_breakdown(true)
+        .watchdog_ms(30_000)
+        .run_pagerank(0.01)
+        .expect("valid configuration");
+    assert!(outcome.converged);
+
+    let report = outcome.obs.expect("instrumented run carries a report");
+    println!("{}", report.render_text());
+
+    let buf = report.trace.as_ref().expect("tracing was enabled");
+    let path = "results/TRACE_observability_example.json";
+    std::fs::create_dir_all("results").expect("mkdir results");
+    buf.write_chrome_trace(BufWriter::new(File::create(path).expect("create")))
+        .expect("write trace");
+    println!("wrote {path} — open it at https://ui.perfetto.dev");
+}

@@ -30,8 +30,16 @@ fn main() {
     println!("Greedy coloring on K12 (3 workers, 2 threads each)\n");
     report("BSP, no synchronization", Model::Bsp, Technique::None);
     report("AP, no synchronization", Model::Async, Technique::None);
-    report("AP + dual-layer token passing", Model::Async, Technique::DualToken);
-    report("AP + vertex-based locking", Model::Async, Technique::VertexLock);
+    report(
+        "AP + dual-layer token passing",
+        Model::Async,
+        Technique::DualToken,
+    );
+    report(
+        "AP + vertex-based locking",
+        Model::Async,
+        Technique::VertexLock,
+    );
     report(
         "AP + partition-based locking (the paper's technique)",
         Model::Async,

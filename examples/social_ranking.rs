@@ -16,7 +16,10 @@ fn main() {
         graph.num_edges()
     );
 
-    println!("{:<18} {:>12} {:>8} {:>14} {:>10}", "technique", "sim time", "steps", "remote msgs", "batches");
+    println!(
+        "{:<18} {:>12} {:>8} {:>14} {:>10}",
+        "technique", "sim time", "steps", "remote msgs", "batches"
+    );
     let mut times = Vec::new();
     for technique in [
         Technique::None,

@@ -39,7 +39,9 @@ fn main() {
     println!("components: {}", comps.len());
 
     // Crawl distance (SSSP, unit weights) from page 0.
-    let sssp = runner.run_sssp(VertexId::new(0)).expect("valid configuration");
+    let sssp = runner
+        .run_sssp(VertexId::new(0))
+        .expect("valid configuration");
     assert!(sssp.converged);
     let bfs = validate::bfs_distances(&graph, VertexId::new(0));
     let reachable = bfs.iter().filter(|&&d| d != u64::MAX).count();
@@ -68,8 +70,7 @@ fn main() {
     let gas_wcc = AsyncGasEngine::new(Arc::clone(&shared), GasWcc, gas_cfg.clone()).run();
     assert!(gas_wcc.converged);
     assert_eq!(gas_wcc.values, reference, "GAS WCC must agree");
-    let gas_sssp =
-        AsyncGasEngine::new(shared, GasSssp::new(VertexId::new(0)), gas_cfg).run();
+    let gas_sssp = AsyncGasEngine::new(shared, GasSssp::new(VertexId::new(0)), gas_cfg).run();
     assert!(gas_sssp.converged);
     assert_eq!(gas_sssp.values, sssp.values, "GAS SSSP must agree");
     println!(

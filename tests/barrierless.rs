@@ -19,8 +19,14 @@ fn runner(g: &Graph, technique: Technique, workers: u32) -> Runner {
 #[test]
 fn sssp_exact_without_barriers() {
     let g = gen::preferential_attachment(200, 3, 44);
-    for technique in [Technique::None, Technique::VertexLock, Technique::PartitionLock] {
-        let out = runner(&g, technique, 3).run_sssp(VertexId::new(0)).expect("config");
+    for technique in [
+        Technique::None,
+        Technique::VertexLock,
+        Technique::PartitionLock,
+    ] {
+        let out = runner(&g, technique, 3)
+            .run_sssp(VertexId::new(0))
+            .expect("config");
         assert!(out.converged, "{technique:?}");
         let want = validate::bfs_distances(&g, VertexId::new(0));
         for (got, want) in out.values.iter().zip(&want) {
@@ -32,7 +38,9 @@ fn sssp_exact_without_barriers() {
 #[test]
 fn wcc_exact_without_barriers() {
     let g = gen::preferential_attachment(150, 2, 45);
-    let out = runner(&g, Technique::PartitionLock, 4).run_wcc().expect("config");
+    let out = runner(&g, Technique::PartitionLock, 4)
+        .run_wcc()
+        .expect("config");
     assert!(out.converged);
     assert_eq!(out.values, validate::wcc_reference(&g));
 }
@@ -61,8 +69,14 @@ fn barrierless_locked_history_is_serializable() {
         .expect("config");
     assert!(out.converged);
     let h = out.history.expect("recorded");
-    assert!(h.c1_violations().is_empty(), "C1 must hold without barriers");
-    assert!(h.c2_violations(&g).is_empty(), "C2 must hold without barriers");
+    assert!(
+        h.c1_violations().is_empty(),
+        "C1 must hold without barriers"
+    );
+    assert!(
+        h.c2_violations(&g).is_empty(),
+        "C2 must hold without barriers"
+    );
     assert!(h.is_one_copy_serializable(&g));
 }
 
@@ -96,7 +110,9 @@ fn barrierless_pays_no_barrier_cost() {
 #[test]
 fn mis_maximal_without_barriers() {
     let g = gen::preferential_attachment(150, 3, 48);
-    let out = runner(&g, Technique::PartitionLock, 3).run_mis().expect("config");
+    let out = runner(&g, Technique::PartitionLock, 3)
+        .run_mis()
+        .expect("config");
     assert!(out.converged);
     let members = serigraph::sg_algos::mis::membership(&out.values);
     assert!(validate::is_maximal_independent_set(&g, &members));

@@ -26,13 +26,15 @@ fn sssp_agrees_across_engines() {
         .technique(Technique::PartitionLock)
         .run_sssp(VertexId::new(0))
         .expect("config");
-    let gas = AsyncGasEngine::new(Arc::clone(&g), GasSssp::new(VertexId::new(0)), gas_config(true)).run();
+    let gas = AsyncGasEngine::new(
+        Arc::clone(&g),
+        GasSssp::new(VertexId::new(0)),
+        gas_config(true),
+    )
+    .run();
     assert!(pregel.converged && gas.converged);
     assert_eq!(pregel.values, gas.values);
-    assert_eq!(
-        pregel.values,
-        validate::bfs_distances(&g, VertexId::new(0))
-    );
+    assert_eq!(pregel.values, validate::bfs_distances(&g, VertexId::new(0)));
 }
 
 #[test]
@@ -76,10 +78,7 @@ fn pagerank_fixed_points_agree() {
     assert!(gas.converged);
 
     for (v, want) in reference.iter().enumerate() {
-        assert!(
-            (pregel.values[v] - want).abs() < 1e-3,
-            "pregel vertex {v}"
-        );
+        assert!((pregel.values[v] - want).abs() < 1e-3, "pregel vertex {v}");
         assert!((gas.values[v] - want).abs() < 1e-3, "gas vertex {v}");
     }
 }

@@ -56,7 +56,9 @@ fn recovery_under_partition_lock_keeps_serializability_guarantees() {
 
 #[test]
 fn failure_without_periodic_checkpoints_restarts_from_superstep_zero() {
-    let clean = base(Technique::None).run_sssp(VertexId::new(0)).expect("config");
+    let clean = base(Technique::None)
+        .run_sssp(VertexId::new(0))
+        .expect("config");
     let failed = base(Technique::None)
         .fail_at_superstep(2) // only the implicit superstep-0 checkpoint exists
         .run_sssp(VertexId::new(0))

@@ -27,10 +27,22 @@ fn run_capped(model: Model, technique: Technique, cap: u64) -> (Vec<u32>, bool) 
 #[test]
 fn figure2_bsp_state_sequence() {
     // State at the end of each paper superstep i = engine cap i.
-    assert_eq!(run_capped(Model::Bsp, Technique::None, 1).0, vec![0, 0, 0, 0]);
-    assert_eq!(run_capped(Model::Bsp, Technique::None, 2).0, vec![1, 1, 1, 1]);
-    assert_eq!(run_capped(Model::Bsp, Technique::None, 3).0, vec![0, 0, 0, 0]);
-    assert_eq!(run_capped(Model::Bsp, Technique::None, 4).0, vec![1, 1, 1, 1]);
+    assert_eq!(
+        run_capped(Model::Bsp, Technique::None, 1).0,
+        vec![0, 0, 0, 0]
+    );
+    assert_eq!(
+        run_capped(Model::Bsp, Technique::None, 2).0,
+        vec![1, 1, 1, 1]
+    );
+    assert_eq!(
+        run_capped(Model::Bsp, Technique::None, 3).0,
+        vec![0, 0, 0, 0]
+    );
+    assert_eq!(
+        run_capped(Model::Bsp, Technique::None, 4).0,
+        vec![1, 1, 1, 1]
+    );
     let (_, converged) = run_capped(Model::Bsp, Technique::None, 60);
     assert!(!converged, "Figure 2: BSP coloring never terminates");
 }
@@ -42,15 +54,30 @@ fn figure2_bsp_state_sequence() {
 fn figure3_ap_state_sequence() {
     // Superstep 1: v0, v1 pick 0; v2, v3 see their worker-local neighbor's
     // 0 and pick 1.
-    assert_eq!(run_capped(Model::Async, Technique::None, 1).0, vec![0, 0, 1, 1]);
+    assert_eq!(
+        run_capped(Model::Async, Technique::None, 1).0,
+        vec![0, 0, 1, 1]
+    );
     // Superstep 2: v0, v1 see each other's 0 and the local 1 -> 2;
     // v2, v3 -> 0.
-    assert_eq!(run_capped(Model::Async, Technique::None, 2).0, vec![2, 2, 0, 0]);
+    assert_eq!(
+        run_capped(Model::Async, Technique::None, 2).0,
+        vec![2, 2, 0, 0]
+    );
     // Superstep 3: -> 1, 1, 2, 2.
-    assert_eq!(run_capped(Model::Async, Technique::None, 3).0, vec![1, 1, 2, 2]);
+    assert_eq!(
+        run_capped(Model::Async, Technique::None, 3).0,
+        vec![1, 1, 2, 2]
+    );
     // Superstep 4 returns to the superstep-1 state: a cycle of three.
-    assert_eq!(run_capped(Model::Async, Technique::None, 4).0, vec![0, 0, 1, 1]);
-    assert_eq!(run_capped(Model::Async, Technique::None, 7).0, vec![0, 0, 1, 1]);
+    assert_eq!(
+        run_capped(Model::Async, Technique::None, 4).0,
+        vec![0, 0, 1, 1]
+    );
+    assert_eq!(
+        run_capped(Model::Async, Technique::None, 7).0,
+        vec![0, 0, 1, 1]
+    );
     let (_, converged) = run_capped(Model::Async, Technique::None, 60);
     assert!(!converged, "Figure 3: AP coloring cycles forever");
 }
@@ -73,7 +100,11 @@ fn serializable_c4_terminates_with_two_colors() {
             0,
             "{technique:?}"
         );
-        assert_eq!(validate::num_colors(&values), 2, "{technique:?}: C4 is 2-chromatic");
+        assert_eq!(
+            validate::num_colors(&values),
+            2,
+            "{technique:?}: C4 is 2-chromatic"
+        );
     }
 }
 
@@ -95,7 +126,10 @@ fn algorithm1_three_iterations_in_practice() {
         "expected ~3 supersteps, got {}",
         out.supersteps
     );
-    assert_eq!(validate::coloring_conflicts(&gen::paper_c4(), &out.values), 0);
+    assert_eq!(
+        validate::coloring_conflicts(&gen::paper_c4(), &out.values),
+        0
+    );
 }
 
 /// Table 1 invariants on the synthetic stand-ins: size ordering, |E|/|V|

@@ -1,112 +1,134 @@
-//! Property-based tests (proptest): core invariants over random graphs,
-//! cluster shapes, and seeds.
+//! Randomized property tests: core invariants over random graphs, cluster
+//! shapes, and seeds. Driven by the in-repo deterministic [`SplitMix64`]
+//! generator, so every run explores exactly the same case set (fully
+//! reproducible, no network-fetched test frameworks).
 
-use proptest::prelude::*;
 use serigraph::prelude::*;
 use serigraph::sg_algos::validate;
+use sg_graph::SplitMix64;
 use std::sync::Arc;
 
-/// Random undirected graph as an edge list over `n` vertices.
-fn arb_undirected(max_n: u32, max_edges: usize) -> impl Strategy<Value = Graph> {
-    (3..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n, 0..n), 0..max_edges).prop_map(move |edges| {
-            let mut b = GraphBuilder::new();
-            b.symmetric(true).reserve_vertices(n);
-            b.add_edges(edges);
-            b.build()
-        })
-    })
+/// Random undirected graph over `3..max_n` vertices with up to `max_edges`
+/// edge draws (self-loops allowed in the draw; the builder symmetrizes).
+fn random_undirected(rng: &mut SplitMix64, max_n: u32, max_edges: usize) -> Graph {
+    let n = 3 + rng.gen_range(u64::from(max_n - 3)) as u32;
+    let m = rng.gen_index(max_edges + 1);
+    let mut b = GraphBuilder::new();
+    b.symmetric(true).reserve_vertices(n);
+    b.add_edges((0..m).map(|_| {
+        (
+            rng.gen_range(u64::from(n)) as u32,
+            rng.gen_range(u64::from(n)) as u32,
+        )
+    }));
+    b.build()
 }
 
-/// Random directed graph.
-fn arb_directed(max_n: u32, max_edges: usize) -> impl Strategy<Value = Graph> {
-    (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n, 0..n), 0..max_edges).prop_map(move |edges| {
-            let mut b = GraphBuilder::new();
-            b.dedup(true).reserve_vertices(n);
-            b.add_edges(edges.into_iter().filter(|(a, b)| a != b));
-            b.build()
-        })
-    })
+/// Random directed graph over `2..max_n` vertices (no self-loops).
+fn random_directed(rng: &mut SplitMix64, max_n: u32, max_edges: usize) -> Graph {
+    let n = 2 + rng.gen_range(u64::from(max_n - 2)) as u32;
+    let m = rng.gen_index(max_edges + 1);
+    let mut b = GraphBuilder::new();
+    b.dedup(true).reserve_vertices(n);
+    b.add_edges(
+        (0..m)
+            .map(|_| {
+                (
+                    rng.gen_range(u64::from(n)) as u32,
+                    rng.gen_range(u64::from(n)) as u32,
+                )
+            })
+            .filter(|(a, b)| a != b),
+    );
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Serializable coloring is proper on any undirected graph, any
-    /// cluster shape, any technique.
-    #[test]
-    fn coloring_always_proper(
-        g in arb_undirected(40, 120),
-        workers in 1u32..5,
-        tech in prop_oneof![
-            Just(Technique::DualToken),
-            Just(Technique::VertexLock),
-            Just(Technique::PartitionLock),
-        ],
-    ) {
+/// Serializable coloring is proper on any undirected graph, any cluster
+/// shape, any technique.
+#[test]
+fn coloring_always_proper() {
+    let techniques = [
+        Technique::DualToken,
+        Technique::VertexLock,
+        Technique::PartitionLock,
+    ];
+    let mut rng = SplitMix64::new(0xC010);
+    for case in 0..24 {
+        let g = random_undirected(&mut rng, 40, 120);
+        let workers = 1 + rng.gen_range(4) as u32;
+        let tech = techniques[rng.gen_index(techniques.len())];
         let out = Runner::new(g.clone())
             .workers(workers)
             .technique(tech)
             .max_supersteps(2_000)
             .run_coloring()
             .expect("config");
-        prop_assert!(out.converged);
-        prop_assert!(validate::all_colored(&out.values));
-        prop_assert_eq!(validate::coloring_conflicts(&g, &out.values), 0);
+        assert!(out.converged, "case {case}: did not converge");
+        assert!(validate::all_colored(&out.values), "case {case}");
+        assert_eq!(
+            validate::coloring_conflicts(&g, &out.values),
+            0,
+            "case {case}: improper coloring ({tech:?}, {workers} workers)"
+        );
     }
+}
 
-    /// SSSP equals BFS on any directed graph under any technique.
-    #[test]
-    fn sssp_equals_bfs(
-        g in arb_directed(40, 150),
-        workers in 1u32..4,
-        tech in prop_oneof![
-            Just(Technique::None),
-            Just(Technique::SingleToken),
-            Just(Technique::PartitionLock),
-        ],
-    ) {
+/// SSSP equals BFS on any directed graph under any technique.
+#[test]
+fn sssp_equals_bfs() {
+    let techniques = [
+        Technique::None,
+        Technique::SingleToken,
+        Technique::PartitionLock,
+    ];
+    let mut rng = SplitMix64::new(0x55_5B);
+    for case in 0..24 {
+        let g = random_directed(&mut rng, 40, 150);
+        let workers = 1 + rng.gen_range(3) as u32;
+        let tech = techniques[rng.gen_index(techniques.len())];
         let out = Runner::new(g.clone())
             .workers(workers)
             .technique(tech)
             .max_supersteps(5_000)
             .run_sssp(VertexId::new(0))
             .expect("config");
-        prop_assert!(out.converged);
+        assert!(out.converged, "case {case}");
         let want = validate::bfs_distances(&g, VertexId::new(0));
-        for (got, want) in out.values.iter().zip(&want) {
-            prop_assert_eq!(*got, *want);
+        for (v, (got, want)) in out.values.iter().zip(&want).enumerate() {
+            assert_eq!(*got, *want, "case {case}: vertex {v} ({tech:?})");
         }
     }
+}
 
-    /// WCC equals union-find on any graph. HCC propagates along out-edges,
-    /// so (exactly like the paper's datasets) directed inputs are
-    /// symmetrized first; weak components are unchanged by that.
-    #[test]
-    fn wcc_equals_union_find(
-        directed in arb_directed(40, 120),
-        workers in 1u32..4,
-    ) {
-        let g = directed.to_undirected();
+/// WCC equals union-find on any graph. HCC propagates along out-edges, so
+/// (exactly like the paper's datasets) directed inputs are symmetrized
+/// first; weak components are unchanged by that.
+#[test]
+fn wcc_equals_union_find() {
+    let mut rng = SplitMix64::new(0x3CC);
+    for case in 0..24 {
+        let g = random_directed(&mut rng, 40, 120).to_undirected();
+        let workers = 1 + rng.gen_range(3) as u32;
         let out = Runner::new(g.clone())
             .workers(workers)
             .technique(Technique::PartitionLock)
             .max_supersteps(5_000)
             .run_wcc()
             .expect("config");
-        prop_assert!(out.converged);
-        prop_assert_eq!(out.values, validate::wcc_reference(&g));
+        assert!(out.converged, "case {case}");
+        assert_eq!(out.values, validate::wcc_reference(&g), "case {case}");
     }
+}
 
-    /// Histories recorded under partition-based locking always satisfy
-    /// Theorem 1's conditions — the headline property.
-    #[test]
-    fn partition_lock_history_always_1sr(
-        g in arb_undirected(24, 80),
-        workers in 2u32..5,
-        seed in 0u64..1000,
-    ) {
+/// Histories recorded under partition-based locking always satisfy
+/// Theorem 1's conditions — the headline property.
+#[test]
+fn partition_lock_history_always_1sr() {
+    let mut rng = SplitMix64::new(0x15_12);
+    for case in 0..24 {
+        let g = random_undirected(&mut rng, 24, 80);
+        let workers = 2 + rng.gen_range(3) as u32;
+        let seed = rng.gen_range(1000);
         let mut config = EngineConfig {
             workers,
             technique: Technique::PartitionLock,
@@ -124,19 +146,21 @@ proptest! {
         .expect("config")
         .run();
         let h = out.history.expect("recorded");
-        prop_assert!(h.c1_violations().is_empty());
-        prop_assert!(h.c2_violations(&g).is_empty());
-        prop_assert!(h.is_one_copy_serializable(&g));
+        assert!(h.c1_violations().is_empty(), "case {case}");
+        assert!(h.c2_violations(&g).is_empty(), "case {case}");
+        assert!(h.is_one_copy_serializable(&g), "case {case}");
     }
+}
 
-    /// The boundary classification is self-consistent on random graphs
-    /// and partition counts.
-    #[test]
-    fn boundary_classification_consistent(
-        g in arb_directed(60, 200),
-        workers in 1u32..5,
-        ppw in 1u32..5,
-    ) {
+/// The boundary classification is self-consistent on random graphs and
+/// partition counts.
+#[test]
+fn boundary_classification_consistent() {
+    let mut rng = SplitMix64::new(0xB0B0);
+    for case in 0..24 {
+        let g = random_directed(&mut rng, 60, 200);
+        let workers = 1 + rng.gen_range(4) as u32;
+        let ppw = 1 + rng.gen_range(4) as u32;
         let layout = ClusterLayout::new(workers, ppw);
         let pm = sg_graph::PartitionMap::build(
             &g,
@@ -156,9 +180,17 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(class.is_m_boundary(), remote);
-            prop_assert_eq!(class.is_p_boundary(), local_cross || remote);
-            prop_assert_eq!(class.needs_local_token(), local_cross);
+            assert_eq!(class.is_m_boundary(), remote, "case {case} vertex {v:?}");
+            assert_eq!(
+                class.is_p_boundary(),
+                local_cross || remote,
+                "case {case} vertex {v:?}"
+            );
+            assert_eq!(
+                class.needs_local_token(),
+                local_cross,
+                "case {case} vertex {v:?}"
+            );
         }
         // Virtual partition edges cover exactly the cross-partition
         // neighbor pairs.
@@ -168,36 +200,44 @@ proptest! {
                     .vertices_in(p)
                     .iter()
                     .any(|&v| g.neighbors(v).iter().any(|&u| pm.partition_of(u) == q));
-                prop_assert!(connected);
+                assert!(connected, "case {case}: {p:?} -> {q:?} not connected");
             }
         }
     }
+}
 
-    /// Edge-list I/O round-trips arbitrary graphs.
-    #[test]
-    fn io_roundtrip(g in arb_directed(50, 200)) {
+/// Edge-list I/O round-trips arbitrary graphs.
+#[test]
+fn io_roundtrip() {
+    let mut rng = SplitMix64::new(0x10);
+    for case in 0..24 {
+        let g = random_directed(&mut rng, 50, 200);
         let mut buf = Vec::new();
         sg_graph::io::write_edge_list(&g, &mut buf).unwrap();
         let g2 = sg_graph::io::read_edge_list(buf.as_slice()).unwrap();
-        prop_assert_eq!(g.num_edges(), g2.num_edges());
+        assert_eq!(g.num_edges(), g2.num_edges(), "case {case}");
         for v in g.vertices() {
             if g2.num_vertices() > v.raw() {
-                prop_assert_eq!(g.out_neighbors(v), g2.out_neighbors(v));
+                assert_eq!(g.out_neighbors(v), g2.out_neighbors(v), "case {case}");
             } else {
                 // Trailing isolated vertices are not representable in an
                 // edge list; they must have no edges.
-                prop_assert!(g.out_neighbors(v).is_empty());
+                assert!(g.out_neighbors(v).is_empty(), "case {case}");
             }
         }
     }
+}
 
-    /// `to_undirected` is idempotent and symmetric.
-    #[test]
-    fn symmetrization_idempotent(g in arb_directed(40, 150)) {
+/// `to_undirected` is idempotent and symmetric.
+#[test]
+fn symmetrization_idempotent() {
+    let mut rng = SplitMix64::new(0x51);
+    for case in 0..24 {
+        let g = random_directed(&mut rng, 40, 150);
         let u1 = g.to_undirected();
         let u2 = u1.to_undirected();
-        prop_assert!(u1.is_symmetric());
-        prop_assert_eq!(u1.num_edges(), u2.num_edges());
-        prop_assert_eq!(u1.num_undirected_edges() * 2, u1.num_edges());
+        assert!(u1.is_symmetric(), "case {case}");
+        assert_eq!(u1.num_edges(), u2.num_edges(), "case {case}");
+        assert_eq!(u1.num_undirected_edges() * 2, u1.num_edges(), "case {case}");
     }
 }

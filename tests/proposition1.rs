@@ -46,7 +46,10 @@ fn bsp_locked_history_is_one_copy_serializable() {
     assert!(out.converged);
     let h = out.history.expect("recorded");
     assert!(h.c1_violations().is_empty(), "stale reads under Prop. 1");
-    assert!(h.c2_violations(&g).is_empty(), "neighbor overlap under Prop. 1");
+    assert!(
+        h.c2_violations(&g).is_empty(),
+        "neighbor overlap under Prop. 1"
+    );
     assert!(h.is_one_copy_serializable(&g));
 }
 
@@ -66,7 +69,9 @@ fn bsp_mis_becomes_maximal_independent() {
 #[test]
 fn bsp_locked_sssp_and_wcc_still_exact() {
     let g = gen::preferential_attachment(120, 3, 79);
-    let sssp = bsp_locked(&g, 3).run_sssp(VertexId::new(0)).expect("config");
+    let sssp = bsp_locked(&g, 3)
+        .run_sssp(VertexId::new(0))
+        .expect("config");
     assert!(sssp.converged);
     let want = validate::bfs_distances(&g, VertexId::new(0));
     for (got, want) in sssp.values.iter().zip(&want) {

@@ -134,7 +134,13 @@ fn plain_ap_violates_c1_across_workers() {
 fn partition_lock_serializable_under_contention() {
     let g = gen::complete(24);
     for workers in [2u32, 4, 6] {
-        let h = record_run(&g, GreedyColoring, Model::Async, Technique::PartitionLock, workers);
+        let h = record_run(
+            &g,
+            GreedyColoring,
+            Model::Async,
+            Technique::PartitionLock,
+            workers,
+        );
         assert!(h.c2_violations(&g).is_empty(), "workers={workers}");
         assert!(h.is_one_copy_serializable(&g), "workers={workers}");
     }

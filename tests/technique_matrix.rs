@@ -77,7 +77,10 @@ fn pagerank_matrix() {
         }
         // Probability interpretation: total rank mass ≈ |V| (Section 7.2.2).
         let total: f64 = out.values.iter().sum();
-        assert!((total - f64::from(g.num_vertices())).abs() < 0.5, "{technique:?}");
+        assert!(
+            (total - f64::from(g.num_vertices())).abs() < 0.5,
+            "{technique:?}"
+        );
     }
 }
 
@@ -86,9 +89,14 @@ fn coloring_matrix_serializable_only() {
     let g = gen::preferential_attachment(150, 4, 41);
     for technique in &TECHNIQUES[1..] {
         for workers in [2u32, 4] {
-            let out = runner(&g, *technique, workers).run_coloring().expect("config");
+            let out = runner(&g, *technique, workers)
+                .run_coloring()
+                .expect("config");
             assert!(out.converged, "{technique:?}/{workers}");
-            assert!(validate::all_colored(&out.values), "{technique:?}/{workers}");
+            assert!(
+                validate::all_colored(&out.values),
+                "{technique:?}/{workers}"
+            );
             assert_eq!(
                 validate::coloring_conflicts(&g, &out.values),
                 0,
