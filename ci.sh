@@ -17,4 +17,7 @@ cargo test -q
 echo "== full workspace tests =="
 cargo test -q --workspace
 
+echo "== sg-trace smoke (tiny trace; analyze/diff/check + failure exits) =="
+./scripts/trace_smoke.sh
+
 echo "CI green."

@@ -24,7 +24,10 @@ fn main() {
     println!(
         "Batching ablation: PageRank(0.01) on OR-sim, {workers} workers, partition-based locking\n"
     );
-    let mut log = BenchLog::new("ablation_batching");
+    let mut log = BenchLog::new(
+        "ablation_batching",
+        &format!("pagerank/or_sim-div{scale_div}/w{workers}"),
+    );
     let mut t = Table::new([
         "buffer cap",
         "sim time",
@@ -52,7 +55,11 @@ fn main() {
             format!("{:.1}", out.metrics.avg_batch_size()),
             out.metrics.remote_messages.to_string(),
         ]);
-        log.outcome_cell(&format!("cap/{label}"), &out);
+        log.outcome_cell(
+            &format!("cap/{label}"),
+            Technique::PartitionLock.label(),
+            &out,
+        );
     }
     t.print();
     println!(

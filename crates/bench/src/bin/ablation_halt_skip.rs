@@ -23,7 +23,10 @@ fn main() {
     let graph = Arc::new(sg_core::sg_graph::gen::datasets::or_sim(scale_div));
 
     println!("Halted-partition skip ablation: SSSP on OR-sim, {workers} workers\n");
-    let mut log = BenchLog::new("ablation_halt_skip");
+    let mut log = BenchLog::new(
+        "ablation_halt_skip",
+        &format!("sssp/or_sim-div{scale_div}/w{workers}"),
+    );
     let mut t = Table::new([
         "variant",
         "sim time",
@@ -51,7 +54,7 @@ fn main() {
             out.metrics.request_tokens.to_string(),
             out.metrics.halted_skips.to_string(),
         ]);
-        log.outcome_cell(name, &out);
+        log.outcome_cell(name, technique.label(), &out);
     }
     t.print();
     println!("\nExpected: the skip variant trades fork traffic for `skips` and finishes sooner.");

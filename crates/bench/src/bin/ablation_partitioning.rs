@@ -31,7 +31,10 @@ fn main() {
         graph.num_edges()
     );
 
-    let mut log = BenchLog::new("ablation_partitioning");
+    let mut log = BenchLog::new(
+        "ablation_partitioning",
+        &format!("pagerank/or_sim-div{scale_div}/w{workers}"),
+    );
     let mut t = Table::new([
         "partitioner",
         "cut edges",
@@ -81,7 +84,7 @@ fn main() {
             out.metrics.remote_messages.to_string(),
             out.metrics.remote_batches.to_string(),
         ]);
-        log.outcome_cell(name, &out);
+        log.outcome_cell(name, TechniqueKind::PartitionLock.label(), &out);
         log.raw_cell(
             &format!("{name}/layout"),
             &[

@@ -44,9 +44,18 @@ fn main() {
         "barrierless + partition-lock",
         "BSP + Prop.1 vertex-lock",
     ];
+    let regime_technique = |regime: &str| match regime {
+        "AP + partition-lock" | "barrierless + partition-lock" => Technique::PartitionLock.label(),
+        "AP + vertex-lock" => Technique::VertexLock.label(),
+        "BSP + Prop.1 vertex-lock" => Technique::BspVertexLock.label(),
+        other => panic!("unknown regime {other}"),
+    };
 
     println!("== graph coloring ==");
-    let mut log = BenchLog::new("extensions");
+    let mut log = BenchLog::new(
+        "extensions",
+        &format!("coloring+sssp/or_sim-div{scale_div}/w{workers}"),
+    );
     let mut t = Table::new([
         "regime",
         "sim time",
@@ -72,7 +81,11 @@ fn main() {
             out.metrics.fork_transfers.to_string(),
             validate::coloring_conflicts(&graph, &out.values).to_string(),
         ]);
-        log.outcome_cell(&format!("coloring/{regime}"), &out);
+        log.outcome_cell(
+            &format!("coloring/{regime}"),
+            regime_technique(regime),
+            &out,
+        );
     }
     t.print();
 
@@ -109,7 +122,7 @@ fn main() {
             out.metrics.fork_transfers.to_string(),
             max_dist.to_string(),
         ]);
-        log.outcome_cell(&format!("sssp/{regime}"), &out);
+        log.outcome_cell(&format!("sssp/{regime}"), regime_technique(regime), &out);
     }
     t.print();
     println!(

@@ -8,12 +8,14 @@
 //! batches but little parallelism; many partitions = the reverse, with
 //! `|P| = |V|` degenerating into vertex-based locking.
 //!
-//! Headline numbers (with per-superstep counter deltas) land in
-//! `results/BENCH_fig1_spectrum.json`. With `--trace [path]` the
-//! partition-lock run is re-executed fully instrumented and exports a
-//! Chrome `trace_event` file (default `results/TRACE_fig1_spectrum.json`;
-//! open it in Perfetto or `chrome://tracing`) plus a human-readable
-//! per-worker report `results/REPORT_fig1_spectrum.txt`.
+//! Every technique's run is traced, so the critical-path profiler can say
+//! *where* each makespan went: the table and `results/BENCH_*.json` carry a
+//! per-technique attribution ("single-token spends N% of makespan in token
+//! waits"). With `--trace [path]` each technique additionally exports its
+//! Chrome `trace_event` file (`results/TRACE_fig1_spectrum_<tech>.json`,
+//! plus the paper's partition-lock run at the default
+//! `results/TRACE_fig1_spectrum.json`) for `sg-trace analyze`/`diff` and
+//! Perfetto.
 //!
 //! Usage: `cargo run -p sg-bench --release --bin fig1_spectrum --
 //!   [--scale-div N] [--workers 8] [--algo pagerank] [--trace [path]]`
@@ -21,6 +23,7 @@
 use sg_bench::experiment::{fmt_makespan, run_pregel_obs, Algo};
 use sg_bench::{emit_obs, Args, BenchLog, Table};
 use sg_core::prelude::*;
+use sg_core::sg_metrics::critical_path::{self, Category};
 use sg_core::Runner;
 use std::path::Path;
 use std::sync::Arc;
@@ -31,6 +34,7 @@ fn main() {
     let workers = args.get_or("workers", 8u32);
     let algo = Algo::from_name(args.get("algo").unwrap_or("pagerank"), 0.01).expect("algo");
     let trace_requested = args.get("trace").is_some() || args.has_flag("trace");
+    let workload = format!("{}/or_sim-div{scale_div}/w{workers}", algo.name());
 
     let graph = Arc::new(sg_core::sg_graph::gen::datasets::or_sim(scale_div));
     println!(
@@ -40,7 +44,7 @@ fn main() {
         algo.name(),
     );
 
-    let mut log = BenchLog::new("fig1_spectrum");
+    let mut log = BenchLog::new("fig1_spectrum", &workload);
     let mut t = Table::new([
         "technique",
         "sim time",
@@ -48,7 +52,7 @@ fn main() {
         "sync transfers",
         "remote msgs",
         "batches",
-        "avg batch",
+        "dominant cost",
     ]);
     for (name, technique) in [
         ("single-token", Technique::SingleToken),
@@ -56,13 +60,26 @@ fn main() {
         ("partition-lock", Technique::PartitionLock),
         ("vertex-lock (p-boundary)", Technique::VertexLock),
     ] {
-        // Breakdown collection feeds BENCH_*.json per-superstep deltas;
-        // it changes no counters and costs only relaxed atomic adds.
+        // Tracing + breakdown feed the BENCH json's per-superstep deltas
+        // and critical-path attribution; neither changes any counter.
         let obs = ObsConfig {
+            trace: true,
             breakdown: true,
             ..ObsConfig::default()
         };
         let r = run_pregel_obs(&graph, algo, technique, workers, 4, 50_000, obs);
+        let cp = r
+            .obs
+            .as_ref()
+            .and_then(|o| o.trace.as_ref().map(|b| (b, o.makespan_ns)))
+            .map(|(buf, makespan)| critical_path::analyze_buffer(buf, makespan));
+        let dominant = cp
+            .as_ref()
+            .map(|cp| {
+                let d = cp.attribution.dominant();
+                format!("{} {:.0}%", d.name(), cp.attribution.percent(d))
+            })
+            .unwrap_or_default();
         t.row([
             name.to_string(),
             fmt_makespan(r.makespan_ns),
@@ -70,15 +87,41 @@ fn main() {
             r.metrics.sync_transfers().to_string(),
             r.metrics.remote_messages.to_string(),
             r.metrics.remote_batches.to_string(),
-            format!("{:.1}", r.metrics.avg_batch_size()),
+            dominant,
         ]);
-        log.cell(name, &r);
+        if let Some(cp) = &cp {
+            println!(
+                "{name}: spends {:.1}% of makespan in token waits, {:.1}% in fork waits, \
+                 {:.1}% in comm, {:.1}% computing",
+                cp.attribution.percent(Category::TokenWait),
+                cp.attribution.percent(Category::ForkWait),
+                cp.attribution.percent(Category::Comm),
+                cp.attribution.percent(Category::Compute),
+            );
+        }
+        if trace_requested {
+            // One trace file per technique, so `sg-trace analyze`/`diff`
+            // can compare points of the spectrum causally.
+            let slug = technique.label().replace('/', "-");
+            let obs_report = r.obs.as_ref().expect("instrumented run carries a report");
+            emit_obs(
+                &format!("fig1_spectrum_{slug}"),
+                None,
+                obs_report,
+                technique.label(),
+                &workload,
+            )
+            .expect("write per-technique trace artifacts");
+        }
+        log.cell(name, technique.label(), &r);
     }
+    println!();
     t.print();
 
     if trace_requested {
         // Dedicated fully-instrumented run of the paper's technique:
-        // tracing + breakdown + a 30 s stall watchdog.
+        // tracing + breakdown + a 30 s stall watchdog. This is the default
+        // `results/TRACE_fig1_spectrum.json` artifact.
         println!("\nTracing an instrumented partition-lock run...");
         let r = run_pregel_obs(
             &graph,
@@ -89,10 +132,20 @@ fn main() {
             50_000,
             ObsConfig::full(),
         );
-        log.cell("partition-lock (traced)", &r);
+        log.cell(
+            "partition-lock (traced)",
+            Technique::PartitionLock.label(),
+            &r,
+        );
         let obs = r.obs.expect("instrumented run carries a report");
-        emit_obs("fig1_spectrum", args.get("trace").map(Path::new), &obs)
-            .expect("write trace artifacts");
+        emit_obs(
+            "fig1_spectrum",
+            args.get("trace").map(Path::new),
+            &obs,
+            Technique::PartitionLock.label(),
+            &workload,
+        )
+        .expect("write trace artifacts");
     }
 
     println!("\nPartition-count sweep (Section 7.1): partition-based locking, |P| per worker");

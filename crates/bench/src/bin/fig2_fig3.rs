@@ -90,7 +90,7 @@ fn print_run(log: &mut BenchLog, title: &str, model: Model, technique: Technique
 
 fn main() {
     println!("Graph: 4-cycle v0-v1-v3-v2-v0; W1 = {{v0, v2}}, W2 = {{v1, v3}}");
-    let mut log = BenchLog::new("fig2_fig3");
+    let mut log = BenchLog::new("fig2_fig3", "coloring/paper-c4/w2");
     print_run(
         &mut log,
         "Figure 2: BSP (oscillates 0/1 forever)",

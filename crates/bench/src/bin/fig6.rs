@@ -50,7 +50,7 @@ fn main() {
          clusters of {w_small} and {w_large} workers\n"
     );
 
-    let mut log = BenchLog::new("fig6");
+    let mut log = BenchLog::new("fig6", &format!("{algo_arg}/sim-div{scale_div}"));
     for algo_name in algos {
         println!("== Figure 6 ({algo_name}) ==");
         let mut t = Table::new([
@@ -78,7 +78,11 @@ fn main() {
                     max_supersteps,
                 );
                 push_row(&mut t, gname, workers, "token (dual)", &r);
-                log.cell(&format!("{algo_name}/{gname}/w{workers}/token-dual"), &r);
+                log.cell(
+                    &format!("{algo_name}/{gname}/w{workers}/token-dual"),
+                    Technique::DualToken.label(),
+                    &r,
+                );
                 // Partition-based distributed locking (the paper's).
                 let r = run_pregel(
                     &graph,
@@ -91,6 +95,7 @@ fn main() {
                 push_row(&mut t, gname, workers, "partition-lock", &r);
                 log.cell(
                     &format!("{algo_name}/{gname}/w{workers}/partition-lock"),
+                    Technique::PartitionLock.label(),
                     &r,
                 );
                 // Vertex-based distributed locking (GraphLab async).
@@ -98,6 +103,7 @@ fn main() {
                 push_row(&mut t, gname, workers, "vertex-lock (GAS)", &r);
                 log.cell(
                     &format!("{algo_name}/{gname}/w{workers}/vertex-lock-gas"),
+                    Technique::VertexLock.label(),
                     &r,
                 );
             }

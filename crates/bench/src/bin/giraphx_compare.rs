@@ -38,7 +38,10 @@ fn main() {
         graph.num_edges()
     );
 
-    let mut log = BenchLog::new("giraphx_compare");
+    let mut log = BenchLog::new(
+        "giraphx_compare",
+        &format!("coloring/or_sim-div{scale_div}/w{workers}"),
+    );
     let mut t = Table::new([
         "approach",
         "sim time",
@@ -73,7 +76,7 @@ fn main() {
             validate::coloring_conflicts(&graph, &out.values).to_string(),
             if out.converged { "yes" } else { "NO" }.to_string(),
         ]);
-        log.outcome_cell(name, &out);
+        log.outcome_cell(name, technique.label(), &out);
     }
 
     // User-level token passing: gating embedded in the algorithm.
@@ -100,7 +103,7 @@ fn main() {
             validate::coloring_conflicts(&graph, &colors).to_string(),
             if out.converged { "yes" } else { "NO" }.to_string(),
         ]);
-        log.outcome_cell("user-level token (Giraphx)", &out);
+        log.outcome_cell("user-level token (Giraphx)", "user-token", &out);
     }
 
     // User-level locking: priority negotiation over sub-supersteps on BSP.
@@ -124,7 +127,7 @@ fn main() {
             validate::coloring_conflicts(&graph, &colors).to_string(),
             if out.converged { "yes" } else { "NO" }.to_string(),
         ]);
-        log.outcome_cell("user-level locking (Giraphx)", &out);
+        log.outcome_cell("user-level locking (Giraphx)", "user-lock", &out);
     }
 
     t.print();

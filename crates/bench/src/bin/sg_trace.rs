@@ -1,0 +1,155 @@
+//! `sg-trace` — offline critical-path analysis of exported traces.
+//!
+//! ```text
+//! sg-trace analyze <trace.json> [--top-k N] [--json]
+//! sg-trace diff <a.json> <b.json>
+//! sg-trace check <trace.json> --against results/BENCH_<name>.json
+//!                [--cell <label>] [--tolerance <pct>]
+//! ```
+//!
+//! Traces come from any bench binary run with `--trace` (e.g.
+//! `fig1_spectrum`), or from [`sg_bench::emit_obs`]. Exit codes: 0 ok,
+//! 1 usage, 2 malformed/incompatible input, 3 tolerance failure.
+
+use sg_bench::sgtrace::{
+    self, analyze_text, check_text, diff_text, load_trace, CliError, EXIT_USAGE,
+};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "sg-trace — critical-path analysis of serigraph trace files
+
+USAGE:
+    sg-trace analyze <trace.json> [--top-k N] [--json]
+    sg-trace diff <a.json> <b.json>
+    sg-trace check <trace.json> --against <BENCH.json> [--cell <label>] [--tolerance <pct>]
+
+Exit codes: 0 ok, 1 usage, 2 malformed or incompatible input, 3 tolerance failure.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sg-trace: {}", e.message);
+            ExitCode::from(e.code as u8)
+        }
+    }
+}
+
+fn usage(message: &str) -> CliError {
+    CliError {
+        code: EXIT_USAGE,
+        message: format!("{message}\n\n{USAGE}"),
+    }
+}
+
+fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(cmd) = args.first() else {
+        return Err(usage("missing subcommand"));
+    };
+    match cmd.as_str() {
+        "analyze" => {
+            let (positional, flags) = split_args(&args[1..], &["top-k"])?;
+            let [trace] = positional.as_slice() else {
+                return Err(usage("analyze takes exactly one trace file"));
+            };
+            let mut top_k = 5usize;
+            let mut json = false;
+            for (flag, value) in &flags {
+                match (flag.as_str(), value) {
+                    ("top-k", Some(v)) => {
+                        top_k = v.parse().map_err(|_| usage("--top-k needs an integer"))?;
+                    }
+                    ("json", None) => json = true,
+                    _ => return Err(usage(&format!("unknown analyze flag --{flag}"))),
+                }
+            }
+            let parsed = load_trace(Path::new(trace))?;
+            Ok(analyze_text(&parsed, top_k, json))
+        }
+        "diff" => {
+            let (positional, flags) = split_args(&args[1..], &[])?;
+            if let Some((flag, _)) = flags.first() {
+                return Err(usage(&format!("unknown diff flag --{flag}")));
+            }
+            let [a, b] = positional.as_slice() else {
+                return Err(usage("diff takes exactly two trace files"));
+            };
+            let ta = load_trace(Path::new(a))?;
+            let tb = load_trace(Path::new(b))?;
+            diff_text(&ta, &tb)
+        }
+        "check" => {
+            let (positional, flags) = split_args(&args[1..], &["against", "cell", "tolerance"])?;
+            let [trace] = positional.as_slice() else {
+                return Err(usage("check takes exactly one trace file"));
+            };
+            let mut against = None;
+            let mut cell = None;
+            let mut tolerance = 5.0f64;
+            for (flag, value) in &flags {
+                match (flag.as_str(), value) {
+                    ("against", Some(v)) => against = Some(v.clone()),
+                    ("cell", Some(v)) => cell = Some(v.clone()),
+                    ("tolerance", Some(v)) => {
+                        tolerance = v
+                            .parse()
+                            .map_err(|_| usage("--tolerance needs a number (percent)"))?;
+                    }
+                    _ => return Err(usage(&format!("unknown check flag --{flag}"))),
+                }
+            }
+            let Some(against) = against else {
+                return Err(usage("check requires --against <BENCH.json>"));
+            };
+            let parsed = load_trace(Path::new(trace))?;
+            let bench_text = std::fs::read_to_string(&against).map_err(|e| CliError {
+                code: sgtrace::EXIT_MALFORMED,
+                message: format!("{against}: {e}"),
+            })?;
+            let (bench_meta, cells) = sgtrace::parse_bench(&bench_text)?;
+            check_text(&parsed, &bench_meta, &cells, cell.as_deref(), tolerance)
+        }
+        "--help" | "-h" | "help" => Ok(format!("{USAGE}\n")),
+        other => Err(usage(&format!("unknown subcommand {other:?}"))),
+    }
+}
+
+/// A parsed `--flag` with its value, when the flag takes one.
+type Flag = (String, Option<String>);
+
+/// Split argv into positionals and `--flag [value]` pairs. Only the flags
+/// named in `value_flags` consume the next token; everything else is
+/// boolean (`--json`) and keeps a `None` value.
+fn split_args(args: &[String], value_flags: &[&str]) -> Result<(Vec<String>, Vec<Flag>), CliError> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if name.is_empty() {
+                return Err(usage("stray --"));
+            }
+            let value = if value_flags.contains(&name) {
+                i += 1;
+                Some(
+                    args.get(i)
+                        .ok_or_else(|| usage(&format!("--{name} needs a value")))?
+                        .clone(),
+                )
+            } else {
+                None
+            };
+            flags.push((name.to_owned(), value));
+        } else {
+            positional.push(a.clone());
+        }
+        i += 1;
+    }
+    Ok((positional, flags))
+}

@@ -25,7 +25,7 @@ fn main() {
         "Max Degree",
         "deg skew",
     ]);
-    let mut log = BenchLog::new("table1");
+    let mut log = BenchLog::new("table1", &format!("datasets/div{scale_div}"));
     for (name, g) in datasets::all(scale_div) {
         let und = g.to_undirected();
         let stats = GraphStats::of(&g);

@@ -15,9 +15,14 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Where bench artifacts live, relative to the invocation directory.
+/// Where bench artifacts live: `$SG_RESULTS_DIR` when set, else `results/`
+/// relative to the invocation directory. The override exists so CI smoke
+/// runs (and any scripted experiment sweep) can emit artifacts into a
+/// scratch directory without touching the tracked `results/` files.
 pub fn results_dir() -> PathBuf {
-    PathBuf::from("results")
+    std::env::var_os("SG_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
 }
 
 /// Write `contents` to `results/<filename>`, creating the directory.
@@ -29,27 +34,38 @@ pub fn write_results_file(filename: &str, contents: &str) -> io::Result<PathBuf>
     Ok(path)
 }
 
+/// Version of the `results/BENCH_<name>.json` schema. Bumped whenever the
+/// shape changes incompatibly; `sg-trace diff`/`check` refuse to compare
+/// files whose versions differ.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
+
 /// Collects one bench binary's cells and writes `results/BENCH_<name>.json`.
 pub struct BenchLog {
     name: String,
+    workload: String,
     cells: Vec<String>,
 }
 
 impl BenchLog {
-    /// A log for the binary `name` (e.g. `"fig1_spectrum"`).
-    pub fn new(name: &str) -> Self {
+    /// A log for the binary `name` (e.g. `"fig1_spectrum"`) running
+    /// `workload` (e.g. `"pagerank/or_sim"`) — the identity fields tooling
+    /// uses to refuse cross-workload comparisons.
+    pub fn new(name: &str, workload: &str) -> Self {
         Self {
             name: name.to_owned(),
+            workload: workload.to_owned(),
             cells: Vec::new(),
         }
     }
 
-    /// Record one experiment cell under `label`. Counter totals always;
-    /// per-superstep deltas and per-worker breakdowns when the cell was
-    /// instrumented.
-    pub fn cell(&mut self, label: &str, r: &ExperimentResult) {
+    /// Record one experiment cell under `label`, run with `technique` (a
+    /// [`TechniqueKind::label`](sg_core::sg_engine::TechniqueKind::label)
+    /// string). Counter totals always; per-superstep deltas, per-worker
+    /// breakdowns, and critical-path attribution when instrumented.
+    pub fn cell(&mut self, label: &str, technique: &str, r: &ExperimentResult) {
         self.push_cell(
             label,
+            technique,
             r.makespan_ns,
             r.iterations,
             r.converged,
@@ -62,9 +78,15 @@ impl BenchLog {
     /// Record a raw engine [`Outcome`](sg_core::sg_engine::Outcome) — for
     /// binaries that drive the engine directly instead of going through
     /// the [`crate::experiment`] helpers.
-    pub fn outcome_cell<V>(&mut self, label: &str, out: &sg_core::sg_engine::Outcome<V>) {
+    pub fn outcome_cell<V>(
+        &mut self,
+        label: &str,
+        technique: &str,
+        out: &sg_core::sg_engine::Outcome<V>,
+    ) {
         self.push_cell(
             label,
+            technique,
             out.makespan_ns,
             out.supersteps,
             out.converged,
@@ -78,6 +100,7 @@ impl BenchLog {
     fn push_cell(
         &mut self,
         label: &str,
+        technique: &str,
         makespan_ns: u64,
         iterations: u64,
         converged: bool,
@@ -87,6 +110,7 @@ impl BenchLog {
     ) {
         let mut c = String::from("{");
         let _ = write!(c, "\"label\":\"{}\"", escape(label));
+        let _ = write!(c, ",\"technique\":\"{}\"", escape(technique));
         let _ = write!(c, ",\"makespan_ns\":{makespan_ns}");
         let _ = write!(c, ",\"iterations\":{iterations}");
         let _ = write!(c, ",\"converged\":{converged}");
@@ -114,7 +138,9 @@ impl BenchLog {
     /// Write `results/BENCH_<name>.json` and return its path.
     pub fn write(self) -> io::Result<PathBuf> {
         let mut out = String::from("{");
-        let _ = write!(out, "\"bench\":\"{}\"", escape(&self.name));
+        let _ = write!(out, "\"schema_version\":{BENCH_SCHEMA_VERSION}");
+        let _ = write!(out, ",\"bench\":\"{}\"", escape(&self.name));
+        let _ = write!(out, ",\"workload\":\"{}\"", escape(&self.workload));
         out.push_str(",\"cells\":[");
         out.push_str(&self.cells.join(","));
         out.push_str("]}");
@@ -129,8 +155,17 @@ fn escape(s: &str) -> String {
 /// Export an instrumented run's artifacts: the Chrome `trace_event` JSON
 /// (to `trace_path`, or `results/TRACE_<name>.json` when `None`) and the
 /// human-readable per-worker/per-superstep report
-/// (`results/REPORT_<name>.txt`). Prints where everything went.
-pub fn emit_obs(name: &str, trace_path: Option<&Path>, obs: &ObsReport) -> io::Result<()> {
+/// (`results/REPORT_<name>.txt`). The trace carries a `serigraph_run`
+/// metadata record (schema version, technique, workload, exact makespan) so
+/// `sg-trace` can analyze it standalone and refuse incompatible
+/// comparisons. Prints where everything went.
+pub fn emit_obs(
+    name: &str,
+    trace_path: Option<&Path>,
+    obs: &ObsReport,
+    technique: &str,
+    workload: &str,
+) -> io::Result<()> {
     if let Some(buf) = &obs.trace {
         let path = match trace_path {
             Some(p) => p.to_owned(),
@@ -141,8 +176,14 @@ pub fn emit_obs(name: &str, trace_path: Option<&Path>, obs: &ObsReport) -> io::R
                 fs::create_dir_all(parent)?;
             }
         }
+        let meta = [
+            ("schema_version", BENCH_SCHEMA_VERSION.to_string()),
+            ("technique", technique.to_owned()),
+            ("workload", workload.to_owned()),
+            ("makespan_ns", obs.makespan_ns.to_string()),
+        ];
         let file = fs::File::create(&path)?;
-        buf.write_chrome_trace(io::BufWriter::new(file))?;
+        buf.write_chrome_trace_with_meta(io::BufWriter::new(file), &meta)?;
         println!(
             "wrote Chrome trace to {} (load in Perfetto or chrome://tracing)",
             path.display()
@@ -172,20 +213,27 @@ mod tests {
 
     #[test]
     fn bench_log_shape_is_balanced_json_with_all_counters() {
-        let mut log = BenchLog::new("unit_test");
-        log.cell("row \"a\"", &result());
+        let mut log = BenchLog::new("unit_test", "pagerank/toy");
+        log.cell("row \"a\"", "partition-lock", &result());
         log.raw_cell(
             "stats",
             &[("vertices", "10".into()), ("edges", "20".into())],
         );
         // Assemble without touching the filesystem.
         let mut out = String::from("{");
-        out.push_str("\"bench\":\"unit_test\",\"cells\":[");
+        let _ = write!(
+            out,
+            "\"schema_version\":{BENCH_SCHEMA_VERSION},\"bench\":\"unit_test\",\
+             \"workload\":\"pagerank/toy\",\"cells\":["
+        );
         out.push_str(&log.cells.join(","));
         out.push_str("]}");
         assert_eq!(out.matches('{').count(), out.matches('}').count());
         assert_eq!(out.matches('[').count(), out.matches(']').count());
+        assert!(out.contains("\"schema_version\":2"));
+        assert!(out.contains("\"workload\":\"pagerank/toy\""));
         assert!(out.contains("\"label\":\"row \\\"a\\\"\""));
+        assert!(out.contains("\"technique\":\"partition-lock\""));
         assert!(out.contains("\"vertices\":10"));
         for &c in Counter::ALL {
             assert!(out.contains(&format!("\"{}\":", c.name())), "{}", c.name());

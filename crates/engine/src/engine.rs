@@ -476,41 +476,26 @@ struct Core<P: VertexProgram> {
 /// receiving worker — joins whole-worker clocks here.
 impl<P: VertexProgram> SyncTransport for Core<P> {
     fn on_fork_transfer(&self, from: WorkerId, to: WorkerId) {
-        self.flush_outbound(from.index());
-        let ring = self.sync.granularity() == LockGranularity::None;
-        if ring {
-            // Token techniques: the token gates the whole worker.
-            let ts = self.clocks.now(from.index()) + self.cost.network_latency_ns;
-            self.clocks.observe(to.index(), ts);
-        }
-        if self.trace.is_enabled() {
-            let s = self.superstep.load(Ordering::Relaxed);
-            let kind = if ring {
-                TraceEventKind::RingPass
-            } else {
-                TraceEventKind::ForkTransfer
-            };
-            self.trace.record(
-                from.index() as u32,
-                s,
-                kind,
-                self.clocks.now(from.index()),
-                self.cost.network_latency_ns,
-                to.index() as u64,
-            );
-        }
+        // Ring passes carry no protocol unit; forks pass theirs through
+        // `on_fork_transfer_detail` below.
+        self.fork_transfer_impl(from, to, 0);
+    }
+
+    fn on_fork_transfer_detail(&self, from: WorkerId, to: WorkerId, unit: u64) {
+        self.fork_transfer_impl(from, to, unit);
     }
 
     fn on_control_message(&self, from: WorkerId, to: WorkerId) {
         if self.trace.is_enabled() {
             let s = self.superstep.load(Ordering::Relaxed);
-            self.trace.record(
+            self.trace.record_peer(
                 from.index() as u32,
                 s,
                 TraceEventKind::RequestToken,
                 self.clocks.now(from.index()),
                 0,
-                to.index() as u64,
+                0,
+                to.index() as u32,
             );
         }
     }
@@ -938,13 +923,14 @@ impl<P: VertexProgram> Core<P> {
         let ts = self.clocks.now(from) + self.cost.batch_cost(n);
         self.clocks.observe(to, ts);
         if self.trace.is_enabled() {
-            self.trace.record(
+            self.trace.record_peer(
                 from as u32,
                 self.superstep.load(Ordering::Relaxed),
                 TraceEventKind::BatchFlush,
                 self.clocks.now(from),
                 self.cost.batch_cost(n),
                 n,
+                to as u32,
             );
         }
         self.pending.fetch_sub(n, Ordering::SeqCst);
@@ -960,6 +946,36 @@ impl<P: VertexProgram> Core<P> {
             if to != from {
                 self.flush_buffer(from, to);
             }
+        }
+    }
+
+    /// Shared body of the two fork-transfer transport hooks: C1 write-all
+    /// flush, ring-token clock join, and the cross-worker trace edge
+    /// (`peer` = receiving worker, `arg` = protocol unit for forks).
+    fn fork_transfer_impl(&self, from: WorkerId, to: WorkerId, unit: u64) {
+        self.flush_outbound(from.index());
+        let ring = self.sync.granularity() == LockGranularity::None;
+        if ring {
+            // Token techniques: the token gates the whole worker.
+            let ts = self.clocks.now(from.index()) + self.cost.network_latency_ns;
+            self.clocks.observe(to.index(), ts);
+        }
+        if self.trace.is_enabled() {
+            let s = self.superstep.load(Ordering::Relaxed);
+            let kind = if ring {
+                TraceEventKind::RingPass
+            } else {
+                TraceEventKind::ForkTransfer
+            };
+            self.trace.record_peer(
+                from.index() as u32,
+                s,
+                kind,
+                self.clocks.now(from.index()),
+                self.cost.network_latency_ns,
+                unit,
+                to.index() as u32,
+            );
         }
     }
 

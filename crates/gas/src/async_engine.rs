@@ -136,51 +136,23 @@ struct Core<P: GasProgram> {
 
 impl<P: GasProgram> SyncTransport for Core<P> {
     fn on_fork_transfer(&self, from: WorkerId, to: WorkerId) {
-        // Write-all: flush every buffered mirror update leaving `from`
-        // before the fork crosses machines (condition C1, Section 4.3).
-        // The fork's own network hop is charged onto its timestamp by the
-        // fork table, not onto whole-machine clocks.
-        let f = from.index();
-        for dest in 0..self.pending_updates[f].len() {
-            let n = self.pending_updates[f][dest].swap(0, Ordering::SeqCst);
-            if n > 0 {
-                self.metrics.inc(Counter::RemoteBatches);
-                self.clocks.advance(f, self.config.cost.batch_overhead_ns);
-                let ts = self.clocks.now(f) + self.config.cost.batch_cost(n);
-                self.clocks.observe(dest, ts);
-                if self.trace.is_enabled() {
-                    self.trace.record(
-                        f as u32,
-                        0,
-                        TraceEventKind::BatchFlush,
-                        self.clocks.now(f),
-                        self.config.cost.batch_cost(n),
-                        n,
-                    );
-                }
-            }
-        }
-        if self.trace.is_enabled() {
-            self.trace.record(
-                f as u32,
-                0,
-                TraceEventKind::ForkTransfer,
-                self.clocks.now(f),
-                self.config.cost.network_latency_ns,
-                to.index() as u64,
-            );
-        }
+        self.fork_transfer_impl(from, to, 0);
+    }
+
+    fn on_fork_transfer_detail(&self, from: WorkerId, to: WorkerId, unit: u64) {
+        self.fork_transfer_impl(from, to, unit);
     }
 
     fn on_control_message(&self, from: WorkerId, to: WorkerId) {
         if self.trace.is_enabled() {
-            self.trace.record(
+            self.trace.record_peer(
                 from.index() as u32,
                 0,
                 TraceEventKind::RequestToken,
                 self.clocks.now(from.index()),
                 0,
-                to.index() as u64,
+                0,
+                to.index() as u32,
             );
         }
     }
@@ -378,6 +350,47 @@ impl<P: GasProgram> AsyncGasEngine<P> {
 }
 
 impl<P: GasProgram> Core<P> {
+    /// Shared body of the fork-transfer transport hooks. Write-all: flush
+    /// every buffered mirror update leaving `from` before the fork crosses
+    /// machines (condition C1, Section 4.3). The fork's own network hop is
+    /// charged onto its timestamp by the fork table, not onto whole-machine
+    /// clocks. Trace events carry the receiving machine as `peer` and the
+    /// traveling fork's philosopher id as `arg`.
+    fn fork_transfer_impl(&self, from: WorkerId, to: WorkerId, unit: u64) {
+        let f = from.index();
+        for dest in 0..self.pending_updates[f].len() {
+            let n = self.pending_updates[f][dest].swap(0, Ordering::SeqCst);
+            if n > 0 {
+                self.metrics.inc(Counter::RemoteBatches);
+                self.clocks.advance(f, self.config.cost.batch_overhead_ns);
+                let ts = self.clocks.now(f) + self.config.cost.batch_cost(n);
+                self.clocks.observe(dest, ts);
+                if self.trace.is_enabled() {
+                    self.trace.record_peer(
+                        f as u32,
+                        0,
+                        TraceEventKind::BatchFlush,
+                        self.clocks.now(f),
+                        self.config.cost.batch_cost(n),
+                        n,
+                        dest as u32,
+                    );
+                }
+            }
+        }
+        if self.trace.is_enabled() {
+            self.trace.record_peer(
+                f as u32,
+                0,
+                TraceEventKind::ForkTransfer,
+                self.clocks.now(f),
+                self.config.cost.network_latency_ns,
+                unit,
+                to.index() as u32,
+            );
+        }
+    }
+
     /// GraphLab `signal`: schedule `v` unless already queued.
     fn signal(&self, v: VertexId) {
         if !self.queued[v.index()].swap(true, Ordering::SeqCst) {

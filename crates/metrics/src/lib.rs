@@ -31,11 +31,13 @@
 //!    live in [`report::ObsReport`].
 
 pub mod counters;
+pub mod critical_path;
 pub mod report;
 pub mod simtime;
 pub mod trace;
 
 pub use counters::{Counter, Metrics, MetricsSnapshot};
+pub use critical_path::{Attribution, BlockingEdge, Category, CriticalPathReport, SuperstepPath};
 pub use report::{ObsConfig, ObsReport, SuperstepRow, WorkerBreakdown, WorkerTimers};
 pub use simtime::{CostModel, SimClocks};
 pub use trace::{Trace, TraceBuffer, TraceEvent, TraceEventKind, Watchdog};

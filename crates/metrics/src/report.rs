@@ -121,6 +121,11 @@ impl WorkerTimers {
     /// Snapshot into display rows. `makespan_ns` caps the derived idle time
     /// for engines that never pass explicit idle charges (barrierless/GAS):
     /// when no idle was charged, idle = makespan − busy − blocked.
+    ///
+    /// When the charged time (busy + blocked + idle) exceeds the makespan —
+    /// double-charged overlap, or a cost-model bug — the excess is surfaced
+    /// as [`WorkerBreakdown::accounting_error_ns`] rather than silently
+    /// clamped away.
     pub fn breakdown(&self, makespan_ns: u64) -> Vec<WorkerBreakdown> {
         (0..self.len())
             .map(|w| {
@@ -130,12 +135,21 @@ impl WorkerTimers {
                 if idle == 0 {
                     idle = makespan_ns.saturating_sub(busy).saturating_sub(blocked);
                 }
+                let accounting_error_ns = (busy + blocked + idle).saturating_sub(makespan_ns);
+                if accounting_error_ns > 0 && cfg!(debug_assertions) {
+                    eprintln!(
+                        "obs: worker {w} virtual-time accounting overcharged by {} \
+                         (busy {busy} + blocked {blocked} + idle {idle} > makespan {makespan_ns})",
+                        accounting_error_ns
+                    );
+                }
                 WorkerBreakdown {
                     worker: w as u32,
                     busy_ns: busy,
                     blocked_ns: blocked,
                     idle_ns: idle,
                     skew_ns: self.skew[w].load(Ordering::Relaxed),
+                    accounting_error_ns,
                 }
             })
             .collect()
@@ -156,6 +170,11 @@ pub struct WorkerBreakdown {
     /// Clock skew at the final barrier (how far this worker's clock trailed
     /// the slowest worker before the barrier leveled them).
     pub skew_ns: u64,
+    /// How far busy + blocked + idle overshoots the makespan. Zero when the
+    /// books balance; nonzero means time was double-charged (e.g. an engine
+    /// charging overlapping intervals) and the breakdown should be read
+    /// with that much skepticism instead of the excess being hidden.
+    pub accounting_error_ns: u64,
 }
 
 /// Counter deltas and clock for one superstep.
@@ -219,13 +238,21 @@ impl ObsReport {
                 };
                 let _ = writeln!(
                     out,
-                    "{:>6} {:>12} {:>12} {:>12} {:>12} {:>6.1}%",
+                    "{:>6} {:>12} {:>12} {:>12} {:>12} {:>6.1}%{}",
                     b.worker,
                     fmt_sim_ns(b.busy_ns),
                     fmt_sim_ns(b.blocked_ns),
                     fmt_sim_ns(b.idle_ns),
                     fmt_sim_ns(b.skew_ns),
-                    pct
+                    pct,
+                    if b.accounting_error_ns > 0 {
+                        format!(
+                            "  [ACCOUNTING ERROR: overcharged {}]",
+                            fmt_sim_ns(b.accounting_error_ns)
+                        )
+                    } else {
+                        String::new()
+                    }
                 );
             }
         }
@@ -269,6 +296,8 @@ impl ObsReport {
                 trace.num_workers(),
                 trace.capacity()
             );
+            let cp = crate::critical_path::analyze_buffer(trace, self.makespan_ns);
+            let _ = writeln!(out, "\n{}", cp.render_text(5));
         }
         let _ = writeln!(out, "\ncounter totals:\n{}", self.totals);
         out
@@ -283,6 +312,11 @@ impl ObsReport {
         let _ = write!(out, ",\"stalled\":{}", self.stalled);
         out.push_str(",\"totals\":");
         out.push_str(&snapshot_json(&self.totals));
+        if let Some(trace) = &self.trace {
+            let cp = crate::critical_path::analyze_buffer(trace, self.makespan_ns);
+            out.push_str(",\"critical_path\":");
+            out.push_str(&cp.to_json());
+        }
         out.push_str(",\"workers\":[");
         for (i, b) in self.per_worker.iter().enumerate() {
             if i > 0 {
@@ -290,8 +324,9 @@ impl ObsReport {
             }
             let _ = write!(
                 out,
-                "{{\"worker\":{},\"busy_ns\":{},\"blocked_ns\":{},\"idle_ns\":{},\"skew_ns\":{}}}",
-                b.worker, b.busy_ns, b.blocked_ns, b.idle_ns, b.skew_ns
+                "{{\"worker\":{},\"busy_ns\":{},\"blocked_ns\":{},\"idle_ns\":{},\"skew_ns\":{},\
+                 \"accounting_error_ns\":{}}}",
+                b.worker, b.busy_ns, b.blocked_ns, b.idle_ns, b.skew_ns, b.accounting_error_ns
             );
         }
         out.push_str("],\"supersteps\":[");
@@ -351,16 +386,37 @@ mod tests {
         assert_eq!(rows[0].blocked_ns, 30);
         assert_eq!(rows[0].idle_ns, 20);
         assert_eq!(rows[0].skew_ns, 9);
+        assert_eq!(rows[0].accounting_error_ns, 0);
         // Worker 1 charged nothing explicit: idle derived from makespan.
         assert_eq!(rows[1].idle_ns, 1_000);
+        assert_eq!(rows[1].accounting_error_ns, 0);
     }
 
     #[test]
-    fn derived_idle_saturates() {
+    fn derived_idle_saturates_and_surfaces_accounting_error() {
         let t = WorkerTimers::new(1);
         t.add_busy(0, 500);
         let rows = t.breakdown(100); // busy exceeds makespan: no underflow
         assert_eq!(rows[0].idle_ns, 0);
+        // The 400 ns overcharge is surfaced, not hidden.
+        assert_eq!(rows[0].accounting_error_ns, 400);
+    }
+
+    #[test]
+    fn explicit_overcharge_surfaces_accounting_error() {
+        let t = WorkerTimers::new(1);
+        t.add_busy(0, 60);
+        t.add_blocked(0, 30);
+        t.add_idle(0, 30);
+        let rows = t.breakdown(100);
+        assert_eq!(rows[0].accounting_error_ns, 20);
+        let report = ObsReport {
+            per_worker: rows,
+            makespan_ns: 100,
+            ..ObsReport::default()
+        };
+        assert!(report.render_text().contains("ACCOUNTING ERROR"));
+        assert!(report.to_json().contains("\"accounting_error_ns\":20"));
     }
 
     #[test]

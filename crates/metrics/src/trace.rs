@@ -34,6 +34,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// What happened. The discriminant is packed into one byte in the ring.
+///
+/// Cross-worker kinds (`BatchFlush`, `ForkTransfer`, `RequestToken`,
+/// `RingPass`) additionally carry the destination worker in
+/// [`TraceEvent::peer`], so a recorded run forms a happens-before DAG over
+/// virtual time: the event's interval is the edge from the recording worker
+/// to the peer, and `ts + dur` is the arrival instant at the peer. The
+/// [`crate::critical_path`] module reconstructs that DAG.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum TraceEventKind {
@@ -64,7 +71,74 @@ pub enum TraceEventKind {
     UserMarker = 10,
 }
 
+/// A byte that is not the discriminant of any [`TraceEventKind`] — what
+/// [`TraceEventKind::try_from`] returns for corrupt or foreign trace data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnknownTraceKind(pub u8);
+
+impl fmt::Display for UnknownTraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown trace event kind byte {}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownTraceKind {}
+
+impl TryFrom<u8> for TraceEventKind {
+    type Error = UnknownTraceKind;
+
+    /// The explicit inverse of `kind as u8`. Every discriminant is matched;
+    /// anything else is an error, never a silent `UserMarker`.
+    fn try_from(b: u8) -> Result<TraceEventKind, UnknownTraceKind> {
+        Ok(match b {
+            0 => TraceEventKind::VertexExecute,
+            1 => TraceEventKind::MessageSend,
+            2 => TraceEventKind::BatchFlush,
+            3 => TraceEventKind::ForkTransfer,
+            4 => TraceEventKind::RequestToken,
+            5 => TraceEventKind::RingPass,
+            6 => TraceEventKind::LockWait,
+            7 => TraceEventKind::BarrierWait,
+            8 => TraceEventKind::Checkpoint,
+            9 => TraceEventKind::Recovery,
+            10 => TraceEventKind::UserMarker,
+            other => return Err(UnknownTraceKind(other)),
+        })
+    }
+}
+
+// `ALL` and `try_from` must cover the same contiguous discriminant range;
+// adding a variant without extending both fails here at compile time.
+const _: () = assert!(TraceEventKind::ALL.len() == TraceEventKind::COUNT);
+
 impl TraceEventKind {
+    /// Number of event kinds (discriminants are `0..COUNT`).
+    pub const COUNT: usize = 11;
+
+    /// Every kind, in discriminant order.
+    pub const ALL: [TraceEventKind; TraceEventKind::COUNT] = [
+        TraceEventKind::VertexExecute,
+        TraceEventKind::MessageSend,
+        TraceEventKind::BatchFlush,
+        TraceEventKind::ForkTransfer,
+        TraceEventKind::RequestToken,
+        TraceEventKind::RingPass,
+        TraceEventKind::LockWait,
+        TraceEventKind::BarrierWait,
+        TraceEventKind::Checkpoint,
+        TraceEventKind::Recovery,
+        TraceEventKind::UserMarker,
+    ];
+
+    /// Inverse of [`TraceEventKind::name`] — used when parsing exported
+    /// traces back in.
+    pub fn from_name(name: &str) -> Option<TraceEventKind> {
+        TraceEventKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name() == name)
+    }
+
     /// Stable display name (used as the Chrome trace event name).
     pub fn name(self) -> &'static str {
         match self {
@@ -79,22 +153,6 @@ impl TraceEventKind {
             TraceEventKind::Checkpoint => "checkpoint",
             TraceEventKind::Recovery => "recovery",
             TraceEventKind::UserMarker => "user_marker",
-        }
-    }
-
-    fn from_u8(b: u8) -> TraceEventKind {
-        match b {
-            0 => TraceEventKind::VertexExecute,
-            1 => TraceEventKind::MessageSend,
-            2 => TraceEventKind::BatchFlush,
-            3 => TraceEventKind::ForkTransfer,
-            4 => TraceEventKind::RequestToken,
-            5 => TraceEventKind::RingPass,
-            6 => TraceEventKind::LockWait,
-            7 => TraceEventKind::BarrierWait,
-            8 => TraceEventKind::Checkpoint,
-            9 => TraceEventKind::Recovery,
-            _ => TraceEventKind::UserMarker,
         }
     }
 }
@@ -112,12 +170,37 @@ pub struct TraceEvent {
     pub ts_ns: u64,
     /// Virtual duration, nanoseconds (0 for instant events).
     pub dur_ns: u64,
-    /// Kind-specific payload (message count, destination worker, …).
+    /// Kind-specific payload (message count, lock unit, fork pair id, …).
     pub arg: u64,
+    /// Destination worker of a cross-worker event (`BatchFlush`,
+    /// `ForkTransfer`, `RequestToken`, `RingPass`): the happens-before
+    /// edge target. `None` for worker-local events.
+    pub peer: Option<u32>,
+}
+
+impl TraceEvent {
+    /// Virtual end/arrival instant: for cross-worker events, the time the
+    /// payload lands at [`TraceEvent::peer`].
+    #[inline]
+    pub fn end_ns(&self) -> u64 {
+        self.ts_ns + self.dur_ns
+    }
+}
+
+/// Encoding of `peer` inside the meta word: 0 = none, otherwise worker+1,
+/// in 16 bits (so up to 65535 workers — far beyond any simulated cluster).
+const PEER_NONE: u64 = 0;
+
+#[inline]
+fn pack_peer(peer: Option<u32>) -> u64 {
+    match peer {
+        None => PEER_NONE,
+        Some(w) => u64::from(w) + 1,
+    }
 }
 
 /// One worker's bounded event ring. Four relaxed words per slot:
-/// `meta = kind | superstep << 8`, then `ts`, `dur`, `arg`.
+/// `meta = kind | (peer+1) << 8 | superstep << 24`, then `ts`, `dur`, `arg`.
 struct Shard {
     cursor: AtomicU64,
     slots: Vec<[AtomicU64; 4]>,
@@ -134,10 +217,19 @@ impl Shard {
     }
 
     #[inline]
-    fn record(&self, superstep: u64, kind: TraceEventKind, ts: u64, dur: u64, arg: u64) {
+    fn record(
+        &self,
+        superstep: u64,
+        kind: TraceEventKind,
+        ts: u64,
+        dur: u64,
+        arg: u64,
+        peer: Option<u32>,
+    ) {
         let i = self.cursor.fetch_add(1, Ordering::Relaxed) as usize % self.slots.len();
         let slot = &self.slots[i];
-        slot[0].store((kind as u64) | (superstep << 8), Ordering::Relaxed);
+        let meta = (kind as u64) | (pack_peer(peer) << 8) | (superstep << 24);
+        slot[0].store(meta, Ordering::Relaxed);
         slot[1].store(ts, Ordering::Relaxed);
         slot[2].store(dur, Ordering::Relaxed);
         slot[3].store(arg, Ordering::Relaxed);
@@ -146,13 +238,23 @@ impl Shard {
     fn decode(&self, worker: u32, slot: usize) -> TraceEvent {
         let s = &self.slots[slot];
         let meta = s[0].load(Ordering::Relaxed);
+        let peer_bits = (meta >> 8) & 0xFFFF;
         TraceEvent {
             worker,
-            superstep: meta >> 8,
-            kind: TraceEventKind::from_u8((meta & 0xFF) as u8),
+            superstep: meta >> 24,
+            // The meta word is written by a single atomic store, so the
+            // kind byte is always one `record` produced — decode may trust
+            // it.
+            kind: TraceEventKind::try_from((meta & 0xFF) as u8)
+                .expect("trace ring slot holds a kind `record` never wrote"),
             ts_ns: s[1].load(Ordering::Relaxed),
             dur_ns: s[2].load(Ordering::Relaxed),
             arg: s[3].load(Ordering::Relaxed),
+            peer: if peer_bits == PEER_NONE {
+                None
+            } else {
+                Some((peer_bits - 1) as u32)
+            },
         }
     }
 }
@@ -181,7 +283,7 @@ impl TraceBuffer {
         self.shards.first().map_or(0, |s| s.slots.len())
     }
 
-    /// Record one event into `worker`'s shard.
+    /// Record one worker-local event into `worker`'s shard.
     #[inline]
     pub fn record(
         &self,
@@ -192,7 +294,25 @@ impl TraceBuffer {
         dur_ns: u64,
         arg: u64,
     ) {
-        self.shards[worker as usize].record(superstep, kind, ts_ns, dur_ns, arg);
+        self.shards[worker as usize].record(superstep, kind, ts_ns, dur_ns, arg, None);
+    }
+
+    /// Record one cross-worker event: `peer` is the destination worker the
+    /// payload (batch, fork, token) is headed to, making the event a
+    /// happens-before edge `worker → peer` arriving at `ts_ns + dur_ns`.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_peer(
+        &self,
+        worker: u32,
+        superstep: u64,
+        kind: TraceEventKind,
+        ts_ns: u64,
+        dur_ns: u64,
+        arg: u64,
+        peer: u32,
+    ) {
+        self.shards[worker as usize].record(superstep, kind, ts_ns, dur_ns, arg, Some(peer));
     }
 
     /// Total events ever recorded by `worker` (including any the ring has
@@ -243,9 +363,10 @@ impl TraceBuffer {
                 events.len()
             );
             for e in events {
+                let peer = e.peer.map(|p| format!(" -> w{p}")).unwrap_or_default();
                 let _ = writeln!(
                     out,
-                    "  [ss {:>4}] {:<15} ts={} dur={} arg={}",
+                    "  [ss {:>4}] {:<15} ts={} dur={} arg={}{peer}",
                     e.superstep,
                     e.kind.name(),
                     crate::simtime::fmt_sim_ns(e.ts_ns),
@@ -261,7 +382,19 @@ impl TraceBuffer {
     /// `traceEvents` array format), loadable in Perfetto or
     /// `chrome://tracing`. Virtual time maps to the trace clock (µs);
     /// workers map to threads of one process.
-    pub fn write_chrome_trace<W: Write>(&self, mut w: W) -> io::Result<()> {
+    pub fn write_chrome_trace<W: Write>(&self, w: W) -> io::Result<()> {
+        self.write_chrome_trace_with_meta(w, &[])
+    }
+
+    /// [`TraceBuffer::write_chrome_trace`] plus a `serigraph_run` metadata
+    /// record carrying run-identity key/value pairs (technique, workload,
+    /// exact makespan, schema version) — what `sg-trace diff`/`check` use
+    /// to refuse incompatible comparisons.
+    pub fn write_chrome_trace_with_meta<W: Write>(
+        &self,
+        mut w: W,
+        meta: &[(&str, String)],
+    ) -> io::Result<()> {
         w.write_all(b"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
         // The process-name metadata record always comes first, so every
         // subsequent record is unconditionally comma-prefixed.
@@ -270,6 +403,18 @@ impl TraceBuffer {
             "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
              \"args\":{{\"name\":\"serigraph virtual cluster\"}}}}"
         )?;
+        if !meta.is_empty() {
+            w.write_all(
+                b",{\"name\":\"serigraph_run\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{",
+            )?;
+            for (i, (k, v)) in meta.iter().enumerate() {
+                if i > 0 {
+                    w.write_all(b",")?;
+                }
+                write!(w, "\"{}\":\"{}\"", escape_json(k), escape_json(v))?;
+            }
+            w.write_all(b"}}")?;
+        }
         for worker in 0..self.num_workers() {
             w.write_all(b",")?;
             write!(
@@ -282,32 +427,38 @@ impl TraceBuffer {
             for e in self.events(worker) {
                 w.write_all(b",")?;
                 let ts_us = e.ts_ns as f64 / 1_000.0;
+                let mut args = format!("\"superstep\":{},\"arg\":{}", e.superstep, e.arg);
+                if let Some(p) = e.peer {
+                    let _ = std::fmt::Write::write_fmt(&mut args, format_args!(",\"peer\":{p}"));
+                }
                 if e.dur_ns > 0 {
                     let dur_us = e.dur_ns as f64 / 1_000.0;
                     write!(
                         w,
                         "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{ts_us:.3},\"dur\":{dur_us:.3},\
-                         \"pid\":0,\"tid\":{},\"args\":{{\"superstep\":{},\"arg\":{}}}}}",
+                         \"pid\":0,\"tid\":{},\"args\":{{{args}}}}}",
                         e.kind.name(),
                         e.worker,
-                        e.superstep,
-                        e.arg
                     )?;
                 } else {
                     write!(
                         w,
                         "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts_us:.3},\
-                         \"pid\":0,\"tid\":{},\"args\":{{\"superstep\":{},\"arg\":{}}}}}",
+                         \"pid\":0,\"tid\":{},\"args\":{{{args}}}}}",
                         e.kind.name(),
                         e.worker,
-                        e.superstep,
-                        e.arg
                     )?;
                 }
             }
         }
         w.write_all(b"]}")
     }
+}
+
+/// Minimal JSON string escape for metadata keys/values (they are plain
+/// technique/workload names; control characters never appear).
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 impl fmt::Debug for TraceBuffer {
@@ -353,7 +504,7 @@ impl Trace {
         self.0.as_ref()
     }
 
-    /// Record one event (no-op when disabled or compiled out).
+    /// Record one worker-local event (no-op when disabled or compiled out).
     #[inline]
     pub fn record(
         &self,
@@ -371,6 +522,30 @@ impl Trace {
         #[cfg(not(feature = "trace_off"))]
         if let Some(b) = &self.0 {
             b.record(worker, superstep, kind, ts_ns, dur_ns, arg);
+        }
+    }
+
+    /// Record one cross-worker event whose payload lands on worker `peer`
+    /// at `ts_ns + dur_ns` (no-op when disabled or compiled out).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_peer(
+        &self,
+        worker: u32,
+        superstep: u64,
+        kind: TraceEventKind,
+        ts_ns: u64,
+        dur_ns: u64,
+        arg: u64,
+        peer: u32,
+    ) {
+        #[cfg(feature = "trace_off")]
+        {
+            let _ = (worker, superstep, kind, ts_ns, dur_ns, arg, peer);
+        }
+        #[cfg(not(feature = "trace_off"))]
+        if let Some(b) = &self.0 {
+            b.record_peer(worker, superstep, kind, ts_ns, dur_ns, arg, peer);
         }
     }
 }
@@ -504,27 +679,47 @@ mod tests {
 
     #[test]
     fn kind_roundtrips_through_packing() {
-        let kinds = [
-            TraceEventKind::VertexExecute,
-            TraceEventKind::MessageSend,
-            TraceEventKind::BatchFlush,
-            TraceEventKind::ForkTransfer,
-            TraceEventKind::RequestToken,
-            TraceEventKind::RingPass,
-            TraceEventKind::LockWait,
-            TraceEventKind::BarrierWait,
-            TraceEventKind::Checkpoint,
-            TraceEventKind::Recovery,
-        ];
+        // Every discriminant — ALL is const-asserted to cover them all.
         let b = TraceBuffer::new(1, 16);
-        for (i, &k) in kinds.iter().enumerate() {
+        for (i, &k) in TraceEventKind::ALL.iter().enumerate() {
             b.record(0, i as u64, k, 0, 0, 0);
         }
         let events = b.events(0);
-        for (i, &k) in kinds.iter().enumerate() {
+        for (i, &k) in TraceEventKind::ALL.iter().enumerate() {
             assert_eq!(events[i].kind, k);
             assert_eq!(events[i].superstep, i as u64);
+            assert_eq!(events[i].peer, None);
         }
+    }
+
+    #[test]
+    fn kind_byte_roundtrip_is_explicit_over_all_discriminants() {
+        for &k in &TraceEventKind::ALL {
+            assert_eq!(TraceEventKind::try_from(k as u8), Ok(k));
+            assert_eq!(TraceEventKind::from_name(k.name()), Some(k));
+        }
+        // Bytes beyond the last discriminant are rejected, never silently
+        // mapped to UserMarker.
+        for b in TraceEventKind::COUNT as u8..=u8::MAX {
+            assert_eq!(TraceEventKind::try_from(b), Err(UnknownTraceKind(b)));
+        }
+        assert_eq!(TraceEventKind::from_name("not_a_kind"), None);
+    }
+
+    #[test]
+    fn peer_roundtrips_through_packing() {
+        let b = TraceBuffer::new(3, 16);
+        b.record_peer(0, 9, TraceEventKind::BatchFlush, 100, 50, 7, 2);
+        b.record_peer(1, 9, TraceEventKind::RingPass, 10, 20, 0, 0);
+        b.record(2, 9, TraceEventKind::LockWait, 5, 5, 3);
+        let e = b.events(0)[0];
+        assert_eq!(e.peer, Some(2));
+        assert_eq!(e.superstep, 9);
+        assert_eq!(e.arg, 7);
+        assert_eq!(e.end_ns(), 150);
+        // Worker 0 as a peer is distinguishable from "no peer".
+        assert_eq!(b.events(1)[0].peer, Some(0));
+        assert_eq!(b.events(2)[0].peer, None);
     }
 
     #[test]

@@ -223,7 +223,7 @@ impl Synchronizer for BspVertexLock {
                     self.metrics.inc(Counter::ForkTransfersRemote);
                     // BSP flushes everything at the barrier anyway; the
                     // callback keeps the C1 write-all invariant explicit.
-                    transport.on_fork_transfer(fw, tw);
+                    transport.on_fork_transfer_detail(fw, tw, u64::from(to));
                 }
             }
         }

@@ -176,8 +176,9 @@ impl ForkTable {
         if fw != tw {
             self.metrics.inc(Counter::ForkTransfersRemote);
             // Write-all before the fork crosses machines (C1), plus the
-            // virtual-time join for the fork's network hop.
-            transport.on_fork_transfer(fw, tw);
+            // virtual-time join for the fork's network hop. The receiving
+            // philosopher identifies the traveling fork in traces.
+            transport.on_fork_transfer_detail(fw, tw, u64::from(to));
         }
     }
 

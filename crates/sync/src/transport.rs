@@ -20,6 +20,16 @@ pub trait SyncTransport: Send + Sync {
     /// C1) before the transfer is considered complete, then join clocks.
     fn on_fork_transfer(&self, from: WorkerId, to: WorkerId);
 
+    /// [`SyncTransport::on_fork_transfer`] with the protocol unit (the
+    /// philosopher / lock id) whose fork is moving, so a tracing engine can
+    /// stamp its trace events with *which* resource traveled. Techniques
+    /// that know the unit call this; the default forwards to the plain hook
+    /// (unit-less ring passes keep calling `on_fork_transfer` directly).
+    fn on_fork_transfer_detail(&self, from: WorkerId, to: WorkerId, unit: u64) {
+        let _ = unit;
+        self.on_fork_transfer(from, to);
+    }
+
     /// A lightweight control message (request token) moves from `from` to
     /// `to`. No flush is required — request tokens do not guard data — but
     /// clocks join.
