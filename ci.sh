@@ -17,7 +17,13 @@ cargo test -q
 echo "== full workspace tests =="
 cargo test -q --workspace
 
+echo "== sg-sync with runtime invariant assertions enabled =="
+cargo test -q -p sg-sync --features sg-invariants
+
 echo "== sg-trace smoke (tiny trace; analyze/diff/check + failure exits) =="
 ./scripts/trace_smoke.sh
+
+echo "== sg-check smoke (bounded exploration; seeded bug; failure exits) =="
+./scripts/check_smoke.sh
 
 echo "CI green."

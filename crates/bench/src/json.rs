@@ -25,6 +25,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -97,9 +98,16 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Deepest container nesting [`Json::parse`] accepts. The parser recurses
+/// per nesting level, so without a ceiling a tiny hostile document
+/// (`[[[[…`) overflows the stack; every file this repo writes nests a
+/// handful of levels, leaving ample margin.
+pub const MAX_NESTING_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -129,6 +137,14 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ParseError> {
+        if self.depth >= MAX_NESTING_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
     fn value(&mut self) -> Result<Json, ParseError> {
         match self.peek() {
             Some(b'{') => self.object(),
@@ -153,11 +169,13 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, ParseError> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(members));
         }
         loop {
@@ -173,6 +191,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(members));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -181,11 +200,13 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, ParseError> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -196,6 +217,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -338,6 +360,23 @@ mod tests {
     fn surrogate_pairs_decode() {
         let v = Json::parse(r#""\ud83d\ude00""#).unwrap();
         assert_eq!(v.as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Far past the limit: must come back as a parse error, not a
+        // stack overflow.
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let doc = format!("{}null{}", open.repeat(4000), close.repeat(4000));
+            let err = Json::parse(&doc).unwrap_err();
+            assert!(err.message.contains("nesting too deep"), "{err}");
+        }
+        // At the limit: fine.
+        let depth = MAX_NESTING_DEPTH;
+        let ok = format!("{}0{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(Json::parse(&ok).is_ok());
+        let too_deep = format!("{}0{}", "[".repeat(depth + 1), "]".repeat(depth + 1));
+        assert!(Json::parse(&too_deep).is_err());
     }
 
     #[test]

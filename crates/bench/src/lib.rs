@@ -21,6 +21,7 @@ pub mod cli;
 pub mod experiment;
 pub mod json;
 pub mod report;
+pub mod sgcheck;
 pub mod sgtrace;
 pub mod table;
 

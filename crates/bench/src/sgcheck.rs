@@ -1,0 +1,388 @@
+//! Implementation of the `sg-check` CLI: schedule exploration and
+//! counterexample replay over `sg_check`'s model.
+//!
+//! ```text
+//! sg-check explore --technique <t> [--strategy <s>] [--seed <n>] ...
+//! sg-check replay <counterexample.json> [--trace <file>]
+//! ```
+//!
+//! Exit codes follow `sg-trace`: 0 clean, 1 usage, 2 malformed input,
+//! 3 violation found (exploration) or reproduced (replay).
+
+use crate::json::Json;
+use crate::report::{write_results_file, BENCH_SCHEMA_VERSION};
+use crate::sgtrace::{CliError, EXIT_MALFORMED};
+use sg_core::sg_check::{
+    explore, CheckTechnique, Counterexample, ExploreConfig, FaultPlan, GraphSpec, StrategyKind,
+    COUNTEREXAMPLE_SCHEMA_VERSION,
+};
+use sg_core::sg_metrics::TraceBuffer;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::BufWriter;
+use std::sync::Arc;
+
+/// Exit code when exploration finds (or replay reproduces) a violation.
+pub const EXIT_VIOLATION: i32 = 3;
+
+/// Outcome of one CLI command: what to print, and the process exit code
+/// (0 or [`EXIT_VIOLATION`]; errors travel as `CliError`).
+#[derive(Debug)]
+pub struct CmdOutput {
+    /// Human-readable report for stdout.
+    pub text: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+/// Run an exploration, write a counterexample file when a violation is
+/// found, and optionally export a Chrome trace of the decisive episode.
+pub fn run_explore(
+    cfg: &ExploreConfig,
+    out: Option<&str>,
+    trace: Option<&str>,
+) -> Result<CmdOutput, CliError> {
+    let report = explore(cfg);
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "sg-check explore: technique={} strategy={} seed={}",
+        cfg.technique, cfg.strategy, cfg.seed
+    );
+    let _ = writeln!(
+        text,
+        "workload: graph={} workers={} ppw={} supersteps={} fault={}",
+        cfg.graph, cfg.workers, cfg.ppw, cfg.supersteps, cfg.fault
+    );
+    let _ = writeln!(
+        text,
+        "explored: {} episodes, {} events",
+        report.episodes, report.total_events
+    );
+    match &report.violation {
+        None => {
+            let _ = writeln!(text, "verdict: clean (no violation found within budget)");
+            if let Some(summary) = &report.clean_summary {
+                let _ = writeln!(text, "{summary}");
+            }
+            if let Some(path) = trace {
+                // Trace the canonical first-choice schedule as the
+                // representative clean episode.
+                write_trace(cfg, &[], path)?;
+                let _ = writeln!(text, "trace: {path}");
+            }
+            Ok(CmdOutput { text, code: 0 })
+        }
+        Some(found) => {
+            let ce = Counterexample::from_report(cfg, found);
+            let _ = writeln!(
+                text,
+                "verdict: VIOLATION {} (episode {}, {} scheduling decisions)",
+                found.violation.code(),
+                found.episode,
+                found.decisions.len()
+            );
+            let _ = writeln!(text, "  {}", found.violation);
+            let path = match out {
+                Some(p) => {
+                    std::fs::write(p, ce.to_json()).map_err(|e| CliError {
+                        code: EXIT_MALFORMED,
+                        message: format!("{p}: {e}"),
+                    })?;
+                    p.to_string()
+                }
+                None => {
+                    let filename =
+                        format!("CHECK_{}_{}_{}.json", cfg.technique, cfg.strategy, cfg.seed);
+                    let p = write_results_file(&filename, &ce.to_json()).map_err(|e| CliError {
+                        code: EXIT_MALFORMED,
+                        message: format!("writing counterexample: {e}"),
+                    })?;
+                    p.display().to_string()
+                }
+            };
+            let _ = writeln!(text, "counterexample: {path}");
+            let _ = writeln!(text, "replay with: sg-check replay {path}");
+            if let Some(tp) = trace {
+                write_trace(&ce.config, &ce.decisions, tp)?;
+                let _ = writeln!(text, "trace: {tp}");
+            }
+            Ok(CmdOutput {
+                text,
+                code: EXIT_VIOLATION,
+            })
+        }
+    }
+}
+
+/// Replay a counterexample file. Reproducing its declared violation exits
+/// [`EXIT_VIOLATION`]; a counterexample that *fails* to reproduce is
+/// treated as malformed (exit 2) — a decision log that no longer reaches
+/// its violation proves nothing.
+pub fn run_replay(text: &str, trace: Option<&str>) -> Result<CmdOutput, CliError> {
+    let ce = parse_counterexample(text)?;
+    let trace_buf =
+        trace.map(|_| Arc::new(TraceBuffer::new(ce.config.workers as usize, TRACE_CAPACITY)));
+    let outcome = ce.replay(trace_buf.clone());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sg-check replay: technique={} graph={} workers={} ppw={} supersteps={} fault={}",
+        ce.config.technique,
+        ce.config.graph,
+        ce.config.workers,
+        ce.config.ppw,
+        ce.config.supersteps,
+        ce.config.fault
+    );
+    let _ = writeln!(
+        out,
+        "replayed {} events over {} scheduling decisions",
+        outcome.events,
+        outcome.decisions.len()
+    );
+    if let (Some(path), Some(buf)) = (trace, &trace_buf) {
+        write_buffer(buf, &ce.config, path)?;
+        let _ = writeln!(out, "trace: {path}");
+    }
+    match &outcome.violation {
+        Some(v) if v.code() == ce.violation => {
+            let _ = writeln!(out, "violation reproduced: {v}");
+            let _ = writeln!(out, "{}", outcome.summary);
+            Ok(CmdOutput {
+                text: out,
+                code: EXIT_VIOLATION,
+            })
+        }
+        Some(v) => Err(CliError {
+            code: EXIT_MALFORMED,
+            message: format!(
+                "counterexample declares {:?} but replay reached {:?} — stale or corrupt file",
+                ce.violation,
+                v.code()
+            ),
+        }),
+        None => Err(CliError {
+            code: EXIT_MALFORMED,
+            message: format!(
+                "counterexample declares {:?} but replay ran clean — stale or corrupt file",
+                ce.violation
+            ),
+        }),
+    }
+}
+
+const TRACE_CAPACITY: usize = 65_536;
+
+/// Re-run a decision log with tracing enabled and export the Chrome trace.
+fn write_trace(cfg: &ExploreConfig, decisions: &[u32], path: &str) -> Result<(), CliError> {
+    let buf = Arc::new(TraceBuffer::new(cfg.workers as usize, TRACE_CAPACITY));
+    let ce = Counterexample {
+        schema_version: COUNTEREXAMPLE_SCHEMA_VERSION,
+        config: cfg.clone(),
+        decisions: decisions.to_vec(),
+        violation: String::new(),
+    };
+    ce.replay(Some(Arc::clone(&buf)));
+    write_buffer(&buf, cfg, path)
+}
+
+fn write_buffer(buf: &TraceBuffer, cfg: &ExploreConfig, path: &str) -> Result<(), CliError> {
+    let makespan = buf
+        .all_events()
+        .iter()
+        .map(|e| e.ts_ns + e.dur_ns)
+        .max()
+        .unwrap_or(0);
+    let meta = [
+        ("schema_version", BENCH_SCHEMA_VERSION.to_string()),
+        ("technique", cfg.technique.to_string()),
+        (
+            "workload",
+            format!("check/{}/w{}x{}", cfg.graph, cfg.workers, cfg.ppw),
+        ),
+        ("makespan_ns", makespan.to_string()),
+    ];
+    let file = File::create(path).map_err(|e| CliError {
+        code: EXIT_MALFORMED,
+        message: format!("{path}: {e}"),
+    })?;
+    buf.write_chrome_trace_with_meta(BufWriter::new(file), &meta)
+        .map_err(|e| CliError {
+            code: EXIT_MALFORMED,
+            message: format!("{path}: {e}"),
+        })
+}
+
+fn malformed(message: impl Into<String>) -> CliError {
+    CliError {
+        code: EXIT_MALFORMED,
+        message: message.into(),
+    }
+}
+
+/// Parse a counterexample JSON document back into a replayable
+/// [`Counterexample`]. Every field is validated; unknown techniques,
+/// graphs, strategies, faults, or schema versions are rejected rather
+/// than guessed at.
+pub fn parse_counterexample(text: &str) -> Result<Counterexample, CliError> {
+    let doc = Json::parse(text).map_err(|e| malformed(format!("counterexample: {e}")))?;
+    let str_field = |key: &str| -> Result<&str, CliError> {
+        doc.get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| malformed(format!("counterexample: missing string field {key:?}")))
+    };
+    let num_field = |key: &str| -> Result<u64, CliError> {
+        doc.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| malformed(format!("counterexample: missing numeric field {key:?}")))
+    };
+    let schema_version = num_field("schema_version")?;
+    if schema_version != COUNTEREXAMPLE_SCHEMA_VERSION {
+        return Err(malformed(format!(
+            "counterexample: unsupported schema_version {schema_version} (this build reads {COUNTEREXAMPLE_SCHEMA_VERSION})"
+        )));
+    }
+    let technique = CheckTechnique::parse(str_field("technique")?)
+        .ok_or_else(|| malformed("counterexample: unknown technique"))?;
+    let graph = GraphSpec::parse(str_field("graph")?)
+        .ok_or_else(|| malformed("counterexample: unknown graph spec"))?;
+    let strategy = StrategyKind::parse(str_field("strategy")?)
+        .ok_or_else(|| malformed("counterexample: unknown strategy"))?;
+    let fault = FaultPlan::parse(str_field("fault")?)
+        .ok_or_else(|| malformed("counterexample: unknown fault"))?;
+    let decisions = doc
+        .get("decisions")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| malformed("counterexample: missing \"decisions\" array"))?
+        .iter()
+        .map(|d| {
+            d.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| malformed("counterexample: non-integer decision"))
+        })
+        .collect::<Result<Vec<u32>, CliError>>()?;
+    let workers = num_field("workers")? as u32;
+    let ppw = num_field("ppw")? as u32;
+    if workers == 0 || ppw == 0 {
+        return Err(malformed(
+            "counterexample: workers and ppw must be positive",
+        ));
+    }
+    Ok(Counterexample {
+        schema_version,
+        config: ExploreConfig {
+            technique,
+            graph,
+            workers,
+            ppw,
+            supersteps: num_field("supersteps")?,
+            strategy,
+            seed: num_field("seed")?,
+            episodes: 1,
+            max_depth: usize::MAX,
+            max_events: num_field("max_events")? as usize,
+            fault,
+        },
+        decisions,
+        violation: str_field("violation")?.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_bug_config() -> ExploreConfig {
+        ExploreConfig {
+            strategy: StrategyKind::Dfs,
+            supersteps: 2,
+            fault: FaultPlan::DropDelayedTokenPass { superstep: 0 },
+            ..ExploreConfig::smoke(CheckTechnique::SingleToken)
+        }
+    }
+
+    #[test]
+    fn counterexample_json_round_trips_through_the_parser() {
+        let cfg = seeded_bug_config();
+        let report = explore(&cfg);
+        let found = report.violation.expect("seeded bug found");
+        let ce = Counterexample::from_report(&cfg, &found);
+        let parsed = parse_counterexample(&ce.to_json()).expect("parses");
+        assert_eq!(parsed.decisions, ce.decisions);
+        assert_eq!(parsed.violation, ce.violation);
+        assert_eq!(parsed.config.technique, cfg.technique);
+        assert_eq!(parsed.config.graph, cfg.graph);
+        assert_eq!(parsed.config.fault, cfg.fault);
+        // And the parsed copy still reproduces the violation.
+        let outcome = parsed.replay(None);
+        assert_eq!(
+            outcome.violation.map(|v| v.code().to_string()),
+            Some(ce.violation)
+        );
+    }
+
+    #[test]
+    fn malformed_counterexamples_are_rejected_not_crashed() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            "{\"schema_version\":99}",
+            // Deep nesting: the parser's depth guard must catch this.
+            &format!("{}{}", "[".repeat(5000), "]".repeat(5000)),
+            // Valid JSON, wrong shape.
+            "{\"schema_version\":1,\"technique\":\"warp-drive\"}",
+            "{\"schema_version\":1,\"technique\":\"single-token\",\"graph\":\"ring:8\",\
+             \"workers\":0,\"ppw\":1,\"supersteps\":2,\"strategy\":\"dfs\",\"seed\":1,\
+             \"max_events\":10,\"fault\":\"none\",\"violation\":\"token-lost\",\"decisions\":[]}",
+        ] {
+            let err = parse_counterexample(bad).expect_err(bad);
+            assert_eq!(err.code, EXIT_MALFORMED, "{bad}");
+        }
+    }
+
+    #[test]
+    fn explore_reports_violation_with_exit_code_3() {
+        let cfg = seeded_bug_config();
+        let dir = std::env::temp_dir().join("sgcheck_test_out");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("ce.json");
+        let out = run_explore(&cfg, Some(out_path.to_str().unwrap()), None).unwrap();
+        assert_eq!(out.code, EXIT_VIOLATION);
+        assert!(out.text.contains("token-lost"), "{}", out.text);
+        // The written counterexample replays to exit 3.
+        let text = std::fs::read_to_string(&out_path).unwrap();
+        let replayed = run_replay(&text, None).unwrap();
+        assert_eq!(replayed.code, EXIT_VIOLATION);
+        assert!(
+            replayed.text.contains("violation reproduced"),
+            "{}",
+            replayed.text
+        );
+    }
+
+    #[test]
+    fn clean_explore_exits_zero() {
+        let mut cfg = ExploreConfig::smoke(CheckTechnique::PartitionLock);
+        cfg.episodes = 4;
+        let out = run_explore(&cfg, None, None).unwrap();
+        assert_eq!(out.code, 0);
+        assert!(out.text.contains("verdict: clean"), "{}", out.text);
+    }
+
+    #[test]
+    fn stale_counterexample_is_flagged_as_malformed() {
+        // A clean config with a declared violation cannot reproduce.
+        let cfg = ExploreConfig::smoke(CheckTechnique::SingleToken);
+        let ce = Counterexample {
+            schema_version: COUNTEREXAMPLE_SCHEMA_VERSION,
+            config: cfg,
+            decisions: vec![0, 0, 0],
+            violation: "token-lost".to_string(),
+        };
+        let err = run_replay(&ce.to_json(), None).unwrap_err();
+        assert_eq!(err.code, EXIT_MALFORMED);
+        assert!(err.message.contains("ran clean"), "{}", err.message);
+    }
+}

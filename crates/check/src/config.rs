@@ -1,0 +1,316 @@
+//! Exploration configuration: which technique and workload to model, which
+//! strategy drives the scheduler, and which fault (if any) to inject.
+//!
+//! Every enum here round-trips through a compact spec string so that a
+//! counterexample file fully describes how to rebuild the model it was
+//! found in.
+
+use sg_graph::{gen, Graph};
+use std::fmt;
+
+/// The synchronization technique under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckTechnique {
+    /// Plain unsynchronized execution — the negative control the checkers
+    /// must catch.
+    NoSync,
+    /// Single-layer token ring (Section 4.2).
+    SingleToken,
+    /// Dual-layer token ring (Section 5.3).
+    DualToken,
+    /// Vertex-grain distributed locking (Section 4.3).
+    VertexLock,
+    /// Partition-grain distributed locking (Section 5.4).
+    PartitionLock,
+}
+
+impl CheckTechnique {
+    /// The four serializable techniques (excludes the negative control).
+    pub const SERIALIZABLE: [CheckTechnique; 4] = [
+        CheckTechnique::SingleToken,
+        CheckTechnique::DualToken,
+        CheckTechnique::VertexLock,
+        CheckTechnique::PartitionLock,
+    ];
+
+    /// Stable spec-string / report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CheckTechnique::NoSync => "none",
+            CheckTechnique::SingleToken => "single-token",
+            CheckTechnique::DualToken => "dual-token",
+            CheckTechnique::VertexLock => "vertex-lock",
+            CheckTechnique::PartitionLock => "partition-lock",
+        }
+    }
+
+    /// Inverse of [`CheckTechnique::label`].
+    pub fn parse(s: &str) -> Option<CheckTechnique> {
+        Some(match s {
+            "none" => CheckTechnique::NoSync,
+            "single-token" => CheckTechnique::SingleToken,
+            "dual-token" => CheckTechnique::DualToken,
+            "vertex-lock" => CheckTechnique::VertexLock,
+            "partition-lock" => CheckTechnique::PartitionLock,
+            _ => return None,
+        })
+    }
+
+    /// Does this technique move an exclusive global token between workers?
+    pub fn uses_global_token(self) -> bool {
+        matches!(
+            self,
+            CheckTechnique::SingleToken | CheckTechnique::DualToken
+        )
+    }
+}
+
+impl fmt::Display for CheckTechnique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Workload graph, parseable from a compact spec string such as `ring:8`,
+/// `complete:6`, `grid:3x4`, or `paper-c4`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphSpec {
+    /// Undirected cycle of `n` vertices.
+    Ring(u32),
+    /// Clique on `n` vertices — maximal conflict density.
+    Complete(u32),
+    /// `rows x cols` grid.
+    Grid(u32, u32),
+    /// The paper's running four-vertex example.
+    PaperC4,
+}
+
+impl GraphSpec {
+    /// Parse a spec string.
+    pub fn parse(s: &str) -> Option<GraphSpec> {
+        if s == "paper-c4" {
+            return Some(GraphSpec::PaperC4);
+        }
+        let (kind, arg) = s.split_once(':')?;
+        match kind {
+            "ring" => arg.parse().ok().map(GraphSpec::Ring),
+            "complete" => arg.parse().ok().map(GraphSpec::Complete),
+            "grid" => {
+                let (r, c) = arg.split_once('x')?;
+                Some(GraphSpec::Grid(r.parse().ok()?, c.parse().ok()?))
+            }
+            _ => None,
+        }
+    }
+
+    /// Materialize the graph.
+    pub fn build(self) -> Graph {
+        match self {
+            GraphSpec::Ring(n) => gen::ring(n),
+            GraphSpec::Complete(n) => gen::complete(n),
+            GraphSpec::Grid(r, c) => gen::grid(r, c),
+            GraphSpec::PaperC4 => gen::paper_c4(),
+        }
+    }
+}
+
+impl fmt::Display for GraphSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphSpec::Ring(n) => write!(f, "ring:{n}"),
+            GraphSpec::Complete(n) => write!(f, "complete:{n}"),
+            GraphSpec::Grid(r, c) => write!(f, "grid:{r}x{c}"),
+            GraphSpec::PaperC4 => f.write_str("paper-c4"),
+        }
+    }
+}
+
+/// How the explorer picks among enabled events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Seeded random walks; each episode uses seed `base + episode`.
+    Random,
+    /// Bounded exhaustive DFS over scheduling decisions (stateless
+    /// replay-based enumeration, deepest-deviation first).
+    Dfs,
+    /// Delay-injection adversary: defers token deliveries and the most
+    /// contended acquisitions, maximizing overlap windows.
+    Adversary,
+}
+
+impl StrategyKind {
+    /// All strategies, for "try everything" harnesses.
+    pub const ALL: [StrategyKind; 3] = [
+        StrategyKind::Random,
+        StrategyKind::Dfs,
+        StrategyKind::Adversary,
+    ];
+
+    /// Stable spec-string / report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            StrategyKind::Random => "random",
+            StrategyKind::Dfs => "dfs",
+            StrategyKind::Adversary => "adversary",
+        }
+    }
+
+    /// Inverse of [`StrategyKind::label`].
+    pub fn parse(s: &str) -> Option<StrategyKind> {
+        Some(match s {
+            "random" => StrategyKind::Random,
+            "dfs" => StrategyKind::Dfs,
+            "adversary" => StrategyKind::Adversary,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An injected protocol fault, for regression-testing the checker itself
+/// (a model checker that never finds a seeded bug proves nothing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// No fault: the protocols run as implemented.
+    None,
+    /// The global token pass leaving `superstep` is lost whenever any other
+    /// event is scheduled between its send and its delivery. Only schedules
+    /// that deliver the token immediately keep it — a classic lost-token
+    /// race that is invisible to straight-line execution and visible only
+    /// under reordering.
+    DropDelayedTokenPass {
+        /// Superstep whose outgoing pass is vulnerable.
+        superstep: u64,
+    },
+}
+
+impl FaultPlan {
+    /// Parse a fault spec (`none` or `drop-delayed-token-pass:<superstep>`).
+    pub fn parse(s: &str) -> Option<FaultPlan> {
+        if s == "none" {
+            return Some(FaultPlan::None);
+        }
+        let rest = s.strip_prefix("drop-delayed-token-pass:")?;
+        rest.parse()
+            .ok()
+            .map(|superstep| FaultPlan::DropDelayedTokenPass { superstep })
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlan::None => f.write_str("none"),
+            FaultPlan::DropDelayedTokenPass { superstep } => {
+                write!(f, "drop-delayed-token-pass:{superstep}")
+            }
+        }
+    }
+}
+
+/// Full configuration of one exploration run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExploreConfig {
+    /// Technique under test.
+    pub technique: CheckTechnique,
+    /// Workload graph.
+    pub graph: GraphSpec,
+    /// Simulated workers.
+    pub workers: u32,
+    /// Partitions per worker.
+    pub ppw: u32,
+    /// Supersteps each episode runs.
+    pub supersteps: u64,
+    /// Scheduling strategy.
+    pub strategy: StrategyKind,
+    /// Base seed (random/adversary tie-breaks).
+    pub seed: u64,
+    /// Episode budget (random/adversary: walks; DFS: prefixes explored).
+    pub episodes: usize,
+    /// DFS only: deepest scheduling decision it may deviate at.
+    pub max_depth: usize,
+    /// Hard per-episode event budget (runaway guard).
+    pub max_events: usize,
+    /// Injected fault.
+    pub fault: FaultPlan,
+}
+
+impl ExploreConfig {
+    /// A small default workload: `ring:8` on 2 workers x 2 partitions for
+    /// 4 supersteps — one full single-layer rotation plus slack, finishing
+    /// in well under a second per strategy.
+    pub fn smoke(technique: CheckTechnique) -> Self {
+        Self {
+            technique,
+            graph: GraphSpec::Ring(8),
+            workers: 2,
+            ppw: 2,
+            supersteps: 4,
+            strategy: StrategyKind::Random,
+            seed: 1,
+            episodes: 64,
+            max_depth: 64,
+            max_events: 100_000,
+            fault: FaultPlan::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn technique_labels_round_trip() {
+        for t in CheckTechnique::SERIALIZABLE
+            .iter()
+            .chain([CheckTechnique::NoSync].iter())
+        {
+            assert_eq!(CheckTechnique::parse(t.label()), Some(*t));
+        }
+        assert_eq!(CheckTechnique::parse("token"), None);
+    }
+
+    #[test]
+    fn graph_specs_round_trip_and_build() {
+        for spec in [
+            GraphSpec::Ring(8),
+            GraphSpec::Complete(5),
+            GraphSpec::Grid(3, 4),
+            GraphSpec::PaperC4,
+        ] {
+            assert_eq!(GraphSpec::parse(&spec.to_string()), Some(spec));
+        }
+        assert_eq!(
+            GraphSpec::parse("grid:3x4").unwrap().build().num_vertices(),
+            12
+        );
+        assert_eq!(
+            GraphSpec::parse("paper-c4").unwrap().build().num_vertices(),
+            4
+        );
+        assert_eq!(GraphSpec::parse("torus:9"), None);
+        assert_eq!(GraphSpec::parse("grid:3"), None);
+        assert_eq!(GraphSpec::parse("ring:x"), None);
+    }
+
+    #[test]
+    fn strategy_and_fault_round_trip() {
+        for s in StrategyKind::ALL {
+            assert_eq!(StrategyKind::parse(s.label()), Some(s));
+        }
+        assert_eq!(StrategyKind::parse("bfs"), None);
+        for f in [
+            FaultPlan::None,
+            FaultPlan::DropDelayedTokenPass { superstep: 2 },
+        ] {
+            assert_eq!(FaultPlan::parse(&f.to_string()), Some(f));
+        }
+        assert_eq!(FaultPlan::parse("drop-delayed-token-pass:x"), None);
+    }
+}

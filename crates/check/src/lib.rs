@@ -1,0 +1,43 @@
+//! # sg-check — deterministic schedule exploration and model checking
+//!
+//! The serializability claims of the paper rest on protocol reasoning:
+//! token rings and hygienic fork passing are argued, not tested, to uphold
+//! C1 and C2 under *every* interleaving. The engines' stress tests sample
+//! whatever schedules the OS scheduler happens to produce; this crate
+//! explores schedules on purpose.
+//!
+//! Three pieces:
+//!
+//! * [`model::Model`] — the four production techniques from `sg-sync`,
+//!   driven single-threaded through a virtual transport
+//!   ([`net::VirtualNet`]) so that every protocol step (token pass, fork
+//!   transfer, lock grant, message flush, barrier, vertex execution)
+//!   becomes an explicit, reorderable event. Every explored state is
+//!   checked: C1/C2 and serialization-graph acyclicity via
+//!   `sg-serial`'s incremental checker, token liveness and routing,
+//!   deadlock freedom.
+//! * [`explore`] — pluggable strategies over the schedule tree: seeded
+//!   random walks, bounded exhaustive DFS (stateless prefix enumeration),
+//!   and a delay-injection adversary that defers token deliveries and
+//!   contended acquisitions.
+//! * [`explore::Counterexample`] — a violating schedule packaged as a
+//!   decision log plus the full model configuration: replayable, byte-for-
+//!   byte deterministic, and serializable to JSON for the `sg-check` CLI.
+//!
+//! Fault injection ([`config::FaultPlan`]) seeds known protocol bugs (a
+//! lost-token race) so the checker's own sensitivity is regression-tested:
+//! a model checker that finds nothing is only trustworthy if it provably
+//! finds *planted* bugs.
+
+pub mod config;
+pub mod explore;
+pub mod model;
+pub mod net;
+
+pub use config::{CheckTechnique, ExploreConfig, FaultPlan, GraphSpec, StrategyKind};
+pub use explore::{
+    explore, run_episode, Counterexample, EpisodeOutcome, ExploreReport, ViolationReport,
+    COUNTEREXAMPLE_SCHEMA_VERSION,
+};
+pub use model::{Event, Model, Violation};
+pub use net::{NetAction, VirtualNet};

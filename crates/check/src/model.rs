@@ -1,0 +1,874 @@
+//! The schedule-explorable model of one serializable execution.
+//!
+//! A real run of the engines interleaves protocol steps nondeterministically
+//! across threads. This module re-expresses the same control flow — vertex
+//! execution, fork/token acquisition, superstep barriers, token delivery —
+//! as a set of *atomic events* over the **production protocol state
+//! machines** from `sg-sync` (not reimplementations: the very same
+//! [`ForkTable`](sg_sync::ForkTable) and token rings the engines run are
+//! driven here through their non-blocking hooks). At every state the model
+//! reports which events are enabled; the explorer picks one; the model
+//! executes it and re-checks every invariant:
+//!
+//! * **C1 / C2 / serialization-graph acyclicity** — via
+//!   [`sg_serial::IncrementalChecker`], on every event;
+//! * **token liveness** — the exclusive global token is always either held
+//!   or in flight, never lost or duplicated;
+//! * **token routing** — only the holder passes, always to the ring
+//!   successor (checked in the virtual transport);
+//! * **deadlock freedom** — some event is enabled until the run finishes.
+//!
+//! The execution-unit structure mirrors the engines: techniques that demand
+//! a single compute thread per worker (single-layer token) get one
+//! sequential *container* per worker; all others get one per partition
+//! (maximal modeled concurrency).
+
+use crate::config::{CheckTechnique, ExploreConfig, FaultPlan};
+use crate::net::{NetAction, VirtualNet};
+use sg_graph::partition::HashPartitioner;
+use sg_graph::{ClusterLayout, Graph, PartitionId, PartitionMap, VertexId, WorkerId};
+use sg_metrics::{Metrics, TraceBuffer, TraceEventKind};
+use sg_serial::{HistorySummary, IncrementalChecker};
+use sg_sync::{
+    DualLayerToken, LockGranularity, NoSync, PartitionLock, SingleLayerToken, Synchronizer,
+    VertexLock,
+};
+use std::fmt;
+use std::sync::Arc;
+
+/// One atomic, reorderable step of the modeled execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Container runs one non-blocking pass of its unit acquisition
+    /// (request missing forks, collect yielded ones).
+    TryAcquire(u32),
+    /// Container begins its current vertex's transaction (the read step).
+    Begin(u32),
+    /// Container ends its current vertex (sends + write step).
+    End(u32),
+    /// Container releases its held unit (forks hand over here).
+    Release(u32),
+    /// Worker reaches the superstep barrier.
+    Barrier(u32),
+    /// The master ends the superstep: technique rotation (the token pass
+    /// is *sent* here) plus the BSP write-all flush.
+    MasterStep,
+    /// The in-flight global token lands at its destination.
+    DeliverToken,
+    /// All barriers passed and the token landed: the next superstep opens.
+    NextSuperstep,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::TryAcquire(c) => write!(f, "try-acquire(c{c})"),
+            Event::Begin(c) => write!(f, "begin(c{c})"),
+            Event::End(c) => write!(f, "end(c{c})"),
+            Event::Release(c) => write!(f, "release(c{c})"),
+            Event::Barrier(w) => write!(f, "barrier(w{w})"),
+            Event::MasterStep => f.write_str("master-step"),
+            Event::DeliverToken => f.write_str("deliver-token"),
+            Event::NextSuperstep => f.write_str("next-superstep"),
+        }
+    }
+}
+
+/// A serializability or protocol violation found in an explored state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// C1 broken: a transaction began while an in-neighbor replica was
+    /// stale (a sent update was not yet visible).
+    StaleRead {
+        /// Superstep of the offending begin.
+        superstep: u64,
+    },
+    /// C2 broken: neighbor transactions overlapped in time.
+    NeighborOverlap {
+        /// Superstep of the offending begin.
+        superstep: u64,
+    },
+    /// The serialization graph acquired a cycle (no 1SR order exists).
+    SerializationCycle {
+        /// Superstep the cycle closed in.
+        superstep: u64,
+    },
+    /// The exclusive global token vanished: neither held nor in flight.
+    TokenLost {
+        /// Superstep the token was lost in.
+        superstep: u64,
+    },
+    /// A worker passed a token it did not hold, or passed twice.
+    TokenMisrouted {
+        /// Superstep of the bogus pass.
+        superstep: u64,
+        /// Transport-level description.
+        detail: String,
+    },
+    /// No event is enabled but the run has not finished.
+    Deadlock {
+        /// Superstep the model wedged in.
+        superstep: u64,
+        /// Per stuck unit: the units whose forks it is missing.
+        waiting: Vec<(u32, Vec<u32>)>,
+    },
+}
+
+impl Violation {
+    /// Stable machine-readable code (counterexample files key on this).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Violation::StaleRead { .. } => "c1-stale-read",
+            Violation::NeighborOverlap { .. } => "c2-neighbor-overlap",
+            Violation::SerializationCycle { .. } => "serialization-cycle",
+            Violation::TokenLost { .. } => "token-lost",
+            Violation::TokenMisrouted { .. } => "token-misrouted",
+            Violation::Deadlock { .. } => "deadlock",
+        }
+    }
+
+    /// Superstep the violation was detected in.
+    pub fn superstep(&self) -> u64 {
+        match self {
+            Violation::StaleRead { superstep }
+            | Violation::NeighborOverlap { superstep }
+            | Violation::SerializationCycle { superstep }
+            | Violation::TokenLost { superstep }
+            | Violation::TokenMisrouted { superstep, .. }
+            | Violation::Deadlock { superstep, .. } => *superstep,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::StaleRead { superstep } => {
+                write!(
+                    f,
+                    "C1 violated in superstep {superstep}: stale replica read"
+                )
+            }
+            Violation::NeighborOverlap { superstep } => write!(
+                f,
+                "C2 violated in superstep {superstep}: neighbor transactions overlapped"
+            ),
+            Violation::SerializationCycle { superstep } => {
+                write!(f, "serialization graph cyclic as of superstep {superstep}")
+            }
+            Violation::TokenLost { superstep } => write!(
+                f,
+                "global token lost in superstep {superstep}: neither held nor in flight"
+            ),
+            Violation::TokenMisrouted { superstep, detail } => {
+                write!(f, "token misrouted in superstep {superstep}: {detail}")
+            }
+            Violation::Deadlock { superstep, waiting } => {
+                write!(f, "deadlock in superstep {superstep}:")?;
+                for (unit, on) in waiting {
+                    write!(f, " unit {unit} waits on {on:?};")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One sequential execution lane: the queue of vertices a worker thread
+/// would run this superstep, plus its position in the acquire/execute/
+/// release cycle.
+#[derive(Debug)]
+struct Container {
+    worker: WorkerId,
+    /// `Some` when the container maps to one partition, `None` when it is
+    /// a whole single-threaded worker.
+    partition: Option<PartitionId>,
+    queue: Vec<VertexId>,
+    idx: usize,
+    /// Unit currently held (granularity Partition/Vertex only).
+    held: Option<u32>,
+    /// Current vertex's transaction is open.
+    open: bool,
+    /// `now` when the open transaction began (trace timestamps).
+    open_since: u64,
+    /// Under vertex granularity: the held unit's vertex already executed
+    /// (next step is the release).
+    ran: bool,
+    /// Blocked in acquisition; re-polled after the next release.
+    parked: bool,
+}
+
+impl Container {
+    fn done(&self) -> bool {
+        self.idx >= self.queue.len() && self.held.is_none() && !self.open
+    }
+}
+
+/// The explorable state machine. Drive it with
+/// [`enabled`](Model::enabled) / [`execute`](Model::execute) until
+/// [`finished`](Model::finished) or [`violation`](Model::violation).
+pub struct Model {
+    technique: CheckTechnique,
+    fault: FaultPlan,
+    graph: Arc<Graph>,
+    pm: Arc<PartitionMap>,
+    tech: Box<dyn Synchronizer>,
+    granularity: LockGranularity,
+    net: VirtualNet,
+    checker: IncrementalChecker,
+    containers: Vec<Container>,
+    superstep: u64,
+    max_supersteps: u64,
+    barrier: Vec<bool>,
+    master_done: bool,
+    finished: bool,
+    violation: Option<Violation>,
+    /// Executed-event counter, doubling as virtual time.
+    now: u64,
+    /// `now` at the moment the current in-flight token was sent.
+    sent_at: Option<u64>,
+    trace: Option<Arc<TraceBuffer>>,
+}
+
+impl Model {
+    /// Build the initial state (superstep 0, fresh protocol state, empty
+    /// history). `trace` optionally records the protocol timeline.
+    pub fn new(cfg: &ExploreConfig, trace: Option<Arc<TraceBuffer>>) -> Self {
+        let graph = Arc::new(cfg.graph.build());
+        let layout = ClusterLayout::new(cfg.workers, cfg.ppw);
+        let pm = Arc::new(PartitionMap::build(
+            &graph,
+            layout,
+            &HashPartitioner::default(),
+        ));
+        let metrics = Arc::new(Metrics::new());
+        let tech: Box<dyn Synchronizer> = match cfg.technique {
+            CheckTechnique::NoSync => Box::new(NoSync),
+            CheckTechnique::SingleToken => {
+                Box::new(SingleLayerToken::new(Arc::clone(&pm), metrics))
+            }
+            CheckTechnique::DualToken => Box::new(DualLayerToken::new(Arc::clone(&pm), metrics)),
+            CheckTechnique::VertexLock => Box::new(VertexLock::new(&graph, &pm, metrics)),
+            CheckTechnique::PartitionLock => Box::new(PartitionLock::new(&pm, metrics)),
+        };
+        let track_token = cfg.technique.uses_global_token() && cfg.workers > 1;
+        let net = VirtualNet::new(
+            cfg.workers,
+            track_token.then(|| WorkerId::new(0)), // both rings start at worker 0
+        );
+        let checker = IncrementalChecker::new(Arc::clone(&graph));
+        let granularity = tech.granularity();
+        let mut model = Self {
+            technique: cfg.technique,
+            fault: cfg.fault,
+            graph,
+            pm,
+            tech,
+            granularity,
+            net,
+            checker,
+            containers: Vec::new(),
+            superstep: 0,
+            max_supersteps: cfg.supersteps,
+            barrier: vec![false; cfg.workers as usize],
+            master_done: false,
+            finished: cfg.supersteps == 0,
+            violation: None,
+            now: 0,
+            sent_at: None,
+            trace,
+        };
+        model.build_containers();
+        model
+    }
+
+    /// Rebuild the per-superstep containers from the technique's
+    /// `vertex_allowed` gate.
+    fn build_containers(&mut self) {
+        self.containers.clear();
+        let layout = *self.pm.layout();
+        let single_threaded = self.tech.max_threads_per_worker() == Some(1);
+        if single_threaded {
+            for w in layout.workers() {
+                let queue: Vec<VertexId> = layout
+                    .partitions_of_worker(w)
+                    .flat_map(|p| self.pm.vertices_in(p).iter().copied())
+                    .filter(|&v| self.tech.vertex_allowed(self.superstep, v))
+                    .collect();
+                self.containers.push(Container {
+                    worker: w,
+                    partition: None,
+                    queue,
+                    idx: 0,
+                    held: None,
+                    open: false,
+                    open_since: 0,
+                    ran: false,
+                    parked: false,
+                });
+            }
+        } else {
+            for p in layout.partitions() {
+                let queue: Vec<VertexId> = self
+                    .pm
+                    .vertices_in(p)
+                    .iter()
+                    .copied()
+                    .filter(|&v| self.tech.vertex_allowed(self.superstep, v))
+                    .collect();
+                self.containers.push(Container {
+                    worker: layout.worker_of_partition(p),
+                    partition: Some(p),
+                    queue,
+                    idx: 0,
+                    held: None,
+                    open: false,
+                    open_since: 0,
+                    ran: false,
+                    parked: false,
+                });
+            }
+        }
+    }
+
+    /// The lockable unit a container currently fronts.
+    fn unit_of(&self, ci: usize) -> u32 {
+        let c = &self.containers[ci];
+        match self.granularity {
+            LockGranularity::Partition => c.partition.expect("partition container").raw(),
+            LockGranularity::Vertex => c.queue[c.idx].raw(),
+            LockGranularity::None => unreachable!("no unit under LockGranularity::None"),
+        }
+    }
+
+    /// The container's next event, by its stage machine.
+    fn container_event(&self, ci: usize) -> Option<Event> {
+        let c = &self.containers[ci];
+        let i = ci as u32;
+        if c.open {
+            return Some(Event::End(i));
+        }
+        match self.granularity {
+            LockGranularity::None => (c.idx < c.queue.len()).then_some(Event::Begin(i)),
+            LockGranularity::Partition => match (c.held, c.idx < c.queue.len()) {
+                (Some(_), true) => Some(Event::Begin(i)),
+                (Some(_), false) => Some(Event::Release(i)),
+                (None, true) => (!c.parked).then_some(Event::TryAcquire(i)),
+                (None, false) => None,
+            },
+            LockGranularity::Vertex => match (c.held, c.idx < c.queue.len()) {
+                (Some(_), _) if !c.ran => Some(Event::Begin(i)),
+                (Some(_), _) => Some(Event::Release(i)),
+                (None, true) => (!c.parked).then_some(Event::TryAcquire(i)),
+                (None, false) => None,
+            },
+        }
+    }
+
+    /// Every event enabled in the current state, in a deterministic order.
+    /// Empty iff the run [`finished`](Model::finished), a violation was
+    /// found, or (a violation in itself) the model deadlocked.
+    pub fn enabled(&self) -> Vec<Event> {
+        if self.finished || self.violation.is_some() {
+            return Vec::new();
+        }
+        let mut events: Vec<Event> = (0..self.containers.len())
+            .filter_map(|ci| self.container_event(ci))
+            .collect();
+        let all_done = self.containers.iter().all(Container::done);
+        for (w, passed) in self.barrier.iter().enumerate() {
+            if !passed
+                && self
+                    .containers
+                    .iter()
+                    .filter(|c| c.worker.raw() as usize == w)
+                    .all(|c| c.done())
+            {
+                events.push(Event::Barrier(w as u32));
+            }
+        }
+        if all_done && !self.master_done {
+            events.push(Event::MasterStep);
+        }
+        if self.net.in_flight().is_some() {
+            events.push(Event::DeliverToken);
+        }
+        if self.master_done && self.barrier.iter().all(|&b| b) && self.net.in_flight().is_none() {
+            events.push(Event::NextSuperstep);
+        }
+        events
+    }
+
+    /// Execute one enabled event, then drain the transport and re-check
+    /// every invariant.
+    ///
+    /// # Panics
+    /// Panics if `e` is not currently enabled (explorer bug).
+    pub fn execute(&mut self, e: Event) {
+        debug_assert!(self.enabled().contains(&e), "executing disabled {e}");
+        self.now += 1;
+        match e {
+            Event::TryAcquire(ci) => {
+                let unit = self.unit_of(ci as usize);
+                match self.tech.try_acquire_unit(unit, &self.net) {
+                    Some(_) => {
+                        let c = &mut self.containers[ci as usize];
+                        c.held = Some(unit);
+                        c.ran = false;
+                    }
+                    None => {
+                        self.containers[ci as usize].parked = true;
+                        self.record(
+                            self.containers[ci as usize].worker.raw(),
+                            TraceEventKind::LockWait,
+                            0,
+                            u64::from(unit),
+                        );
+                    }
+                }
+            }
+            Event::Begin(ci) => {
+                let c = &mut self.containers[ci as usize];
+                let v = c.queue[c.idx];
+                c.open = true;
+                c.open_since = self.now;
+                self.checker.begin(v);
+            }
+            Event::End(ci) => {
+                let (v, worker, since) = {
+                    let c = &self.containers[ci as usize];
+                    (c.queue[c.idx], c.worker, c.open_since)
+                };
+                // The write step: the update to every out-neighbor replica
+                // is sent; same-worker replicas see it immediately, remote
+                // ones wait for a C1 flush point.
+                for &t in self.graph.out_neighbors(v) {
+                    self.checker.on_send(v, t);
+                    if self.pm.worker_of(t) == worker {
+                        self.checker.on_visible(v, t);
+                    } else {
+                        self.net.buffer_remote(worker, v, t);
+                    }
+                }
+                self.checker.end(v);
+                let c = &mut self.containers[ci as usize];
+                c.open = false;
+                c.ran = true;
+                if self.granularity != LockGranularity::Vertex {
+                    c.idx += 1;
+                }
+                let dur = self.now - since;
+                self.record_full(
+                    worker.raw(),
+                    TraceEventKind::VertexExecute,
+                    since,
+                    dur,
+                    u64::from(v.raw()),
+                );
+            }
+            Event::Release(ci) => {
+                let unit = self.containers[ci as usize]
+                    .held
+                    .expect("release without hold");
+                self.tech.release_unit(unit, self.now, &self.net);
+                let c = &mut self.containers[ci as usize];
+                c.held = None;
+                if self.granularity == LockGranularity::Vertex {
+                    c.idx += 1;
+                    c.ran = false;
+                }
+                // A release may hand forks over: every parked container is
+                // worth re-polling.
+                for c in &mut self.containers {
+                    c.parked = false;
+                }
+            }
+            Event::Barrier(w) => {
+                self.barrier[w as usize] = true;
+                self.record(w, TraceEventKind::BarrierWait, 0, 0);
+            }
+            Event::MasterStep => {
+                // Technique rotation first (the token pass and its C1 flush
+                // of the sender), then the BSP write-all for everyone.
+                self.tech.end_superstep(self.superstep, &self.net);
+                if self.net.in_flight().is_some() {
+                    self.sent_at = Some(self.now);
+                }
+                self.net.flush_all();
+                self.master_done = true;
+            }
+            Event::DeliverToken => {
+                let sent_at = self.sent_at.take().unwrap_or(self.now);
+                let delayed = self.now > sent_at + 1;
+                let dropped = matches!(
+                    self.fault,
+                    FaultPlan::DropDelayedTokenPass { superstep } if superstep == self.superstep
+                ) && delayed;
+                if dropped {
+                    self.net.drop_in_flight();
+                } else if let Some((from, to)) = self.net.deliver_token() {
+                    if let Some(t) = &self.trace {
+                        t.record_peer(
+                            from.raw(),
+                            self.superstep,
+                            TraceEventKind::RingPass,
+                            sent_at * 1000,
+                            (self.now - sent_at) * 1000,
+                            0,
+                            to.raw(),
+                        );
+                    }
+                }
+            }
+            Event::NextSuperstep => {
+                self.superstep += 1;
+                if self.superstep >= self.max_supersteps {
+                    self.finished = true;
+                } else {
+                    self.barrier.iter_mut().for_each(|b| *b = false);
+                    self.master_done = false;
+                    self.build_containers();
+                }
+            }
+        }
+        self.post_event();
+    }
+
+    /// Drain the transport into the checker/trace, then re-check the
+    /// per-state invariants.
+    fn post_event(&mut self) {
+        for (from, to) in self.net.drain_visible() {
+            self.checker.on_visible(from, to);
+        }
+        for action in self.net.drain_actions() {
+            if let Some(t) = &self.trace {
+                match action {
+                    // Ring passes are traced at delivery (they span time).
+                    NetAction::RingPass { .. } => {}
+                    NetAction::ForkMove { from, to, unit } => t.record_peer(
+                        from.raw(),
+                        self.superstep,
+                        TraceEventKind::ForkTransfer,
+                        self.now * 1000,
+                        1000,
+                        unit,
+                        to.raw(),
+                    ),
+                    NetAction::Request { from, to } => t.record_peer(
+                        from.raw(),
+                        self.superstep,
+                        TraceEventKind::RequestToken,
+                        self.now * 1000,
+                        1000,
+                        0,
+                        to.raw(),
+                    ),
+                }
+            }
+        }
+        if self.violation.is_some() {
+            return;
+        }
+        let violation = self.check_invariants();
+        if let Some(v) = violation {
+            self.record(0, TraceEventKind::InvariantCheck, 0, 1);
+            self.violation = Some(v);
+        }
+    }
+
+    fn check_invariants(&mut self) -> Option<Violation> {
+        if let Some(detail) = self.net.take_misroute() {
+            return Some(Violation::TokenMisrouted {
+                superstep: self.superstep,
+                detail,
+            });
+        }
+        if self.technique.uses_global_token()
+            && self.pm.layout().num_workers() > 1
+            && !self.finished
+            && self.net.token_at().is_none()
+            && self.net.in_flight().is_none()
+        {
+            return Some(Violation::TokenLost {
+                superstep: self.superstep,
+            });
+        }
+        let status = self.checker.status();
+        if status.c1_violations > 0 {
+            return Some(Violation::StaleRead {
+                superstep: self.superstep,
+            });
+        }
+        if status.c2_violations > 0 {
+            return Some(Violation::NeighborOverlap {
+                superstep: self.superstep,
+            });
+        }
+        if !status.serialization_graph_acyclic {
+            return Some(Violation::SerializationCycle {
+                superstep: self.superstep,
+            });
+        }
+        None
+    }
+
+    /// Called by the explorer when [`enabled`](Model::enabled) comes back
+    /// empty with work remaining: records a deadlock violation with the
+    /// wait-for edges of every stuck unit.
+    pub fn flag_deadlock(&mut self) {
+        if self.finished || self.violation.is_some() {
+            return;
+        }
+        let mut waiting = Vec::new();
+        if self.granularity != LockGranularity::None {
+            for ci in 0..self.containers.len() {
+                let c = &self.containers[ci];
+                if c.held.is_none() && !c.open && c.idx < c.queue.len() {
+                    let unit = self.unit_of(ci);
+                    waiting.push((unit, self.tech.unit_waiting_on(unit)));
+                }
+            }
+        }
+        self.record(0, TraceEventKind::InvariantCheck, 0, 1);
+        self.violation = Some(Violation::Deadlock {
+            superstep: self.superstep,
+            waiting,
+        });
+    }
+
+    /// Scheduling priority hint for the delay adversary: higher means
+    /// "more valuable to defer". Token deliveries score highest, then
+    /// acquisitions of contended units (scaled by conflict degree), then
+    /// barriers and transaction ends (deferring ends widens overlap
+    /// windows); begins and bookkeeping score zero.
+    pub fn delay_score(&self, e: Event) -> u64 {
+        match e {
+            Event::DeliverToken => 1000,
+            Event::TryAcquire(ci) => {
+                let c = &self.containers[ci as usize];
+                let contention = match self.granularity {
+                    LockGranularity::Partition => c
+                        .partition
+                        .map(|p| self.pm.partition_neighbors(p).len())
+                        .unwrap_or(0),
+                    LockGranularity::Vertex => self.graph.degree(c.queue[c.idx]) as usize,
+                    LockGranularity::None => 0,
+                };
+                100 + (contention as u64).min(800)
+            }
+            Event::Barrier(_) => 50,
+            Event::Release(_) => 30,
+            Event::End(_) => 20,
+            Event::Begin(_) => 1,
+            Event::MasterStep | Event::NextSuperstep => 0,
+        }
+    }
+
+    /// Has the run completed all its supersteps?
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The first violation found, if any (exploration stops there).
+    pub fn violation(&self) -> Option<&Violation> {
+        self.violation.as_ref()
+    }
+
+    /// Current superstep.
+    pub fn superstep(&self) -> u64 {
+        self.superstep
+    }
+
+    /// Executed-event counter (the model's virtual clock).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Run the batch Theorem 1 checkers over everything recorded so far.
+    pub fn history_summary(&self) -> HistorySummary {
+        self.checker.history().summarize(self.checker.graph())
+    }
+
+    fn record(&self, worker: u32, kind: TraceEventKind, dur: u64, arg: u64) {
+        if let Some(t) = &self.trace {
+            t.record(
+                worker,
+                self.superstep,
+                kind,
+                self.now * 1000,
+                dur * 1000,
+                arg,
+            );
+        }
+    }
+
+    fn record_full(&self, worker: u32, kind: TraceEventKind, ts: u64, dur: u64, arg: u64) {
+        if let Some(t) = &self.trace {
+            t.record(worker, self.superstep, kind, ts * 1000, dur * 1000, arg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GraphSpec, StrategyKind};
+
+    fn cfg(technique: CheckTechnique) -> ExploreConfig {
+        ExploreConfig {
+            technique,
+            graph: GraphSpec::Ring(8),
+            workers: 2,
+            ppw: 2,
+            supersteps: 4,
+            strategy: StrategyKind::Random,
+            seed: 1,
+            episodes: 1,
+            max_depth: 64,
+            max_events: 100_000,
+            fault: FaultPlan::None,
+        }
+    }
+
+    /// Always pick the first enabled event (the canonical straight-line
+    /// schedule) until the model stops.
+    fn run_first_choice(model: &mut Model) -> usize {
+        let mut steps = 0;
+        loop {
+            if model.finished() || model.violation().is_some() {
+                return steps;
+            }
+            let enabled = model.enabled();
+            if enabled.is_empty() {
+                model.flag_deadlock();
+                return steps;
+            }
+            model.execute(enabled[0]);
+            steps += 1;
+            assert!(steps < 100_000, "runaway model");
+        }
+    }
+
+    #[test]
+    fn straight_line_schedules_are_clean_for_every_technique() {
+        for technique in CheckTechnique::SERIALIZABLE {
+            let mut model = Model::new(&cfg(technique), None);
+            run_first_choice(&mut model);
+            assert!(
+                model.violation().is_none(),
+                "{technique}: {:?}",
+                model.violation()
+            );
+            assert!(model.finished(), "{technique} did not finish");
+            let summary = model.history_summary();
+            assert!(summary.one_copy_serializable, "{technique}: {summary}");
+            assert!(summary.transactions > 0, "{technique} executed nothing");
+        }
+    }
+
+    #[test]
+    fn token_techniques_execute_every_vertex_across_a_rotation() {
+        // 4 supersteps = one full single-layer rotation on 2 workers plus
+        // slack: every vertex must have run at least once.
+        let mut model = Model::new(&cfg(CheckTechnique::SingleToken), None);
+        run_first_choice(&mut model);
+        let summary = model.history_summary();
+        assert!(
+            summary.transactions >= 8,
+            "expected all 8 vertices to run, got {}",
+            summary.transactions
+        );
+    }
+
+    #[test]
+    fn dropped_token_fault_is_invisible_to_the_straight_line_schedule() {
+        // The seeded bug only fires when delivery is delayed; the
+        // first-choice schedule takes barriers before the master step and
+        // then delivers immediately, so it stays clean. This is exactly
+        // why schedule *exploration* is needed to find it.
+        let mut c = cfg(CheckTechnique::SingleToken);
+        c.fault = FaultPlan::DropDelayedTokenPass { superstep: 0 };
+        let mut model = Model::new(&c, None);
+        run_first_choice(&mut model);
+        assert!(model.violation().is_none(), "{:?}", model.violation());
+        assert!(model.finished());
+    }
+
+    #[test]
+    fn delaying_the_delivery_triggers_the_seeded_token_loss() {
+        let mut c = cfg(CheckTechnique::SingleToken);
+        c.fault = FaultPlan::DropDelayedTokenPass { superstep: 0 };
+        let mut model = Model::new(&c, None);
+        // Drive to completion, ending the superstep as soon as possible
+        // (before the barriers) and then deferring DeliverToken while
+        // anything else is enabled — the racy window the fault needs.
+        let mut steps = 0;
+        loop {
+            if model.finished() || model.violation().is_some() {
+                break;
+            }
+            let enabled = model.enabled();
+            if enabled.is_empty() {
+                model.flag_deadlock();
+                break;
+            }
+            let pick = enabled
+                .iter()
+                .position(|e| *e == Event::MasterStep)
+                .or_else(|| enabled.iter().position(|e| *e != Event::DeliverToken))
+                .unwrap_or(0);
+            model.execute(enabled[pick]);
+            steps += 1;
+            assert!(steps < 100_000, "runaway model");
+        }
+        assert_eq!(
+            model.violation().map(Violation::code),
+            Some("token-lost"),
+            "got {:?}",
+            model.violation()
+        );
+    }
+
+    #[test]
+    fn nosync_has_a_schedule_with_overlapping_neighbors() {
+        // Open two neighboring transactions at once: C2 must fire.
+        let mut c = cfg(CheckTechnique::NoSync);
+        c.graph = GraphSpec::Complete(6);
+        c.workers = 2;
+        c.ppw = 1;
+        let mut model = Model::new(&c, None);
+        let mut steps = 0;
+        // Prefer Begins over everything else to maximize open overlap.
+        loop {
+            if model.finished() || model.violation().is_some() {
+                break;
+            }
+            let enabled = model.enabled();
+            if enabled.is_empty() {
+                model.flag_deadlock();
+                break;
+            }
+            let pick = enabled
+                .iter()
+                .position(|e| matches!(e, Event::Begin(_)))
+                .unwrap_or(0);
+            model.execute(enabled[pick]);
+            steps += 1;
+            assert!(steps < 100_000, "runaway model");
+        }
+        assert_eq!(
+            model.violation().map(Violation::code),
+            Some("c2-neighbor-overlap"),
+            "got {:?}",
+            model.violation()
+        );
+    }
+
+    #[test]
+    fn enabled_order_is_deterministic() {
+        let c = cfg(CheckTechnique::PartitionLock);
+        let m1 = Model::new(&c, None);
+        let m2 = Model::new(&c, None);
+        assert_eq!(m1.enabled(), m2.enabled());
+    }
+}

@@ -1,0 +1,277 @@
+//! The virtual transport: protocol traffic as inspectable state.
+//!
+//! The engines hand their techniques a [`sg_sync::SyncTransport`] whose
+//! callbacks flush message buffers and join virtual clocks. `VirtualNet`
+//! implements the same trait for the model checker, turning each callback
+//! into explicit shared state the [`Model`](crate::model::Model) can
+//! inspect, reorder, and corrupt:
+//!
+//! * replica updates are buffered per sending worker and become *visible*
+//!   only when a C1 flush point fires (a fork/token leaving the worker, or
+//!   the superstep's write-all);
+//! * the exclusive global token is tracked end-to-end — held, in flight,
+//!   or (after an injected fault) lost — so token liveness and routing are
+//!   checkable invariants rather than assumptions.
+
+use sg_graph::{VertexId, WorkerId};
+use sg_sync::SyncTransport;
+use std::sync::Mutex;
+
+/// One protocol action a technique performed through the transport; the
+/// model drains these after every executed event to stamp its trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetAction {
+    /// `on_fork_transfer`: a global-token ring pass `from -> to`.
+    RingPass {
+        /// Sending worker.
+        from: WorkerId,
+        /// Receiving worker.
+        to: WorkerId,
+    },
+    /// `on_fork_transfer_detail`: fork guarding `unit` moved `from -> to`.
+    ForkMove {
+        /// Sending worker.
+        from: WorkerId,
+        /// Receiving worker.
+        to: WorkerId,
+        /// Protocol unit (philosopher id) whose fork traveled.
+        unit: u64,
+    },
+    /// `on_control_message`: a request token `from -> to`.
+    Request {
+        /// Sending worker.
+        from: WorkerId,
+        /// Receiving worker.
+        to: WorkerId,
+    },
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Buffered remote replica updates, per sending worker.
+    outbox: Vec<Vec<(VertexId, VertexId)>>,
+    /// Updates flushed since the model last drained (now visible).
+    visible: Vec<(VertexId, VertexId)>,
+    /// Worker currently holding the global token, if tracked and landed.
+    token_at: Option<WorkerId>,
+    /// A token pass in transit: `(from, to)`.
+    in_flight: Option<(WorkerId, WorkerId)>,
+    /// A routing violation observed inside a callback (wrong sender or a
+    /// duplicate pass), reported on the next drain.
+    misroute: Option<String>,
+    /// Protocol actions since the last drain.
+    actions: Vec<NetAction>,
+}
+
+/// The model checker's in-memory transport. All methods take `&self`
+/// (interior mutability) because [`SyncTransport`] is a shared-reference
+/// trait.
+#[derive(Debug)]
+pub struct VirtualNet {
+    inner: Mutex<Inner>,
+    track_token: bool,
+}
+
+impl VirtualNet {
+    /// New transport for `num_workers` workers. `initial_token` seeds the
+    /// global-token tracker (`None` for techniques without one — liveness
+    /// checks are then skipped).
+    pub fn new(num_workers: u32, initial_token: Option<WorkerId>) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                outbox: vec![Vec::new(); num_workers as usize],
+                visible: Vec::new(),
+                token_at: initial_token,
+                in_flight: None,
+                misroute: None,
+                actions: Vec::new(),
+            }),
+            track_token: initial_token.is_some(),
+        }
+    }
+
+    /// Buffer a remote replica update `from -> to` on `from_worker`'s
+    /// outbox; it becomes visible at the next flush of that worker.
+    pub fn buffer_remote(&self, from_worker: WorkerId, from: VertexId, to: VertexId) {
+        let mut i = self.inner.lock().unwrap();
+        i.outbox[from_worker.raw() as usize].push((from, to));
+    }
+
+    /// The superstep write-all: flush every worker's outbox.
+    pub fn flush_all(&self) {
+        let mut i = self.inner.lock().unwrap();
+        for w in 0..i.outbox.len() {
+            let drained = std::mem::take(&mut i.outbox[w]);
+            i.visible.extend(drained);
+        }
+    }
+
+    /// Updates made visible since the last drain.
+    pub fn drain_visible(&self) -> Vec<(VertexId, VertexId)> {
+        std::mem::take(&mut self.inner.lock().unwrap().visible)
+    }
+
+    /// Protocol actions since the last drain.
+    pub fn drain_actions(&self) -> Vec<NetAction> {
+        std::mem::take(&mut self.inner.lock().unwrap().actions)
+    }
+
+    /// A routing violation observed inside a callback, if any.
+    pub fn take_misroute(&self) -> Option<String> {
+        self.inner.lock().unwrap().misroute.take()
+    }
+
+    /// Worker currently holding the global token.
+    pub fn token_at(&self) -> Option<WorkerId> {
+        self.inner.lock().unwrap().token_at
+    }
+
+    /// The in-flight token pass, if one is in transit.
+    pub fn in_flight(&self) -> Option<(WorkerId, WorkerId)> {
+        self.inner.lock().unwrap().in_flight
+    }
+
+    /// Land the in-flight pass: the destination now holds the token.
+    pub fn deliver_token(&self) -> Option<(WorkerId, WorkerId)> {
+        let mut i = self.inner.lock().unwrap();
+        let pass = i.in_flight.take();
+        if let Some((_, to)) = pass {
+            i.token_at = Some(to);
+        }
+        pass
+    }
+
+    /// Fault injection: the in-flight pass vanishes — the token is now
+    /// neither held nor in transit.
+    pub fn drop_in_flight(&self) -> Option<(WorkerId, WorkerId)> {
+        self.inner.lock().unwrap().in_flight.take()
+    }
+
+    fn flush_worker(i: &mut Inner, w: WorkerId) {
+        let drained = std::mem::take(&mut i.outbox[w.raw() as usize]);
+        i.visible.extend(drained);
+    }
+}
+
+impl SyncTransport for VirtualNet {
+    /// A global-token ring pass. The write-all flush of the sender happens
+    /// here, synchronously (the C1 contract: flush completes before the
+    /// token is considered sent); the *delivery* becomes a separate,
+    /// reorderable [`deliver_token`](VirtualNet::deliver_token) step.
+    fn on_fork_transfer(&self, from: WorkerId, to: WorkerId) {
+        let mut i = self.inner.lock().unwrap();
+        if self.track_token {
+            if i.token_at != Some(from) || i.in_flight.is_some() {
+                i.misroute = Some(format!(
+                    "worker {} passed the global token to {} but the token is {} (in flight: {})",
+                    from.raw(),
+                    to.raw(),
+                    match i.token_at {
+                        Some(w) => format!("held by worker {}", w.raw()),
+                        None => "not held".to_string(),
+                    },
+                    match i.in_flight {
+                        Some((f, t)) => format!("{}->{}", f.raw(), t.raw()),
+                        None => "no".to_string(),
+                    },
+                ));
+            }
+            i.token_at = None;
+            i.in_flight = Some((from, to));
+        }
+        Self::flush_worker(&mut i, from);
+        i.actions.push(NetAction::RingPass { from, to });
+    }
+
+    /// A fork move between workers. Flush-then-transfer, modeled as one
+    /// synchronous step: the hygienic protocol only hands a fork over
+    /// after the sender's write-all completes, so there is no reorderable
+    /// window here (making one up would manufacture false C1 violations).
+    fn on_fork_transfer_detail(&self, from: WorkerId, to: WorkerId, unit: u64) {
+        let mut i = self.inner.lock().unwrap();
+        Self::flush_worker(&mut i, from);
+        i.actions.push(NetAction::ForkMove { from, to, unit });
+    }
+
+    fn on_control_message(&self, from: WorkerId, to: WorkerId) {
+        let mut i = self.inner.lock().unwrap();
+        i.actions.push(NetAction::Request { from, to });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(i: u32) -> WorkerId {
+        WorkerId::new(i)
+    }
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn buffered_updates_become_visible_on_ring_pass_flush() {
+        let net = VirtualNet::new(2, Some(w(0)));
+        net.buffer_remote(w(0), v(1), v(5));
+        net.buffer_remote(w(1), v(6), v(2));
+        assert!(net.drain_visible().is_empty());
+        net.on_fork_transfer(w(0), w(1)); // flushes worker 0 only
+        assert_eq!(net.drain_visible(), vec![(v(1), v(5))]);
+        net.flush_all();
+        assert_eq!(net.drain_visible(), vec![(v(6), v(2))]);
+    }
+
+    #[test]
+    fn token_pass_tracks_flight_and_delivery() {
+        let net = VirtualNet::new(2, Some(w(0)));
+        net.on_fork_transfer(w(0), w(1));
+        assert_eq!(net.token_at(), None);
+        assert_eq!(net.in_flight(), Some((w(0), w(1))));
+        assert!(net.take_misroute().is_none());
+        assert_eq!(net.deliver_token(), Some((w(0), w(1))));
+        assert_eq!(net.token_at(), Some(w(1)));
+        assert_eq!(net.in_flight(), None);
+    }
+
+    #[test]
+    fn pass_from_non_holder_is_a_misroute() {
+        let net = VirtualNet::new(2, Some(w(0)));
+        net.on_fork_transfer(w(1), w(0));
+        let m = net.take_misroute().expect("misroute detected");
+        assert!(m.contains("worker 1"), "{m}");
+    }
+
+    #[test]
+    fn dropped_flight_loses_the_token() {
+        let net = VirtualNet::new(2, Some(w(0)));
+        net.on_fork_transfer(w(0), w(1));
+        assert_eq!(net.drop_in_flight(), Some((w(0), w(1))));
+        assert_eq!(net.token_at(), None);
+        assert_eq!(net.in_flight(), None);
+        assert_eq!(net.deliver_token(), None);
+    }
+
+    #[test]
+    fn fork_moves_flush_without_touching_the_token() {
+        let net = VirtualNet::new(2, None);
+        net.buffer_remote(w(0), v(0), v(3));
+        net.on_fork_transfer_detail(w(0), w(1), 7);
+        assert_eq!(net.drain_visible(), vec![(v(0), v(3))]);
+        net.on_control_message(w(1), w(0));
+        assert_eq!(
+            net.drain_actions(),
+            vec![
+                NetAction::ForkMove {
+                    from: w(0),
+                    to: w(1),
+                    unit: 7
+                },
+                NetAction::Request {
+                    from: w(1),
+                    to: w(0)
+                }
+            ]
+        );
+    }
+}

@@ -25,6 +25,7 @@ pub use runner::{Runner, Technique};
 // Re-export the subsystem crates under their crate names so downstream
 // users need only one dependency.
 pub use sg_algos;
+pub use sg_check;
 pub use sg_engine;
 pub use sg_gas;
 pub use sg_graph;
@@ -32,12 +33,29 @@ pub use sg_metrics;
 pub use sg_serial;
 pub use sg_sync;
 
+/// Map an engine-facing [`Technique`] onto the model checker's technique
+/// space, so callers can hand a `Runner` configuration straight to
+/// `sg_check::explore`. `None` for techniques the model does not cover
+/// (the no-skip ablation variant and the BSP-constrained protocol, whose
+/// sub-superstep fork exchange is a different state machine).
+pub fn check_technique(technique: Technique) -> Option<sg_check::CheckTechnique> {
+    match technique {
+        Technique::None => Some(sg_check::CheckTechnique::NoSync),
+        Technique::SingleToken => Some(sg_check::CheckTechnique::SingleToken),
+        Technique::DualToken => Some(sg_check::CheckTechnique::DualToken),
+        Technique::VertexLock => Some(sg_check::CheckTechnique::VertexLock),
+        Technique::PartitionLock => Some(sg_check::CheckTechnique::PartitionLock),
+        Technique::PartitionLockNoSkip | Technique::BspVertexLock => None,
+    }
+}
+
 /// Everything most applications need.
 pub mod prelude {
     pub use crate::runner::{Runner, Technique};
     pub use sg_algos::{
         ConflictFixColoring, DeltaPageRank, GreedyColoring, GreedyMis, Sssp, Wcc, NO_COLOR,
     };
+    pub use sg_check::{CheckTechnique, ExploreConfig, StrategyKind};
     pub use sg_engine::{
         Context, Engine, EngineConfig, EngineError, Model, Outcome, TechniqueKind, VertexProgram,
     };

@@ -69,6 +69,12 @@ pub enum TraceEventKind {
     /// A vertex program's own annotation (`Context::trace_marker`);
     /// `arg` = the program's tag.
     UserMarker = 10,
+    /// One scheduling decision of the `sg-check` explorer: `arg` = the
+    /// chosen index into the enabled-event set, `dur` = set size.
+    ScheduleDecision = 11,
+    /// One per-state invariant check of the `sg-check` explorer;
+    /// `arg` = 0 when the state passed, 1 when a violation was found.
+    InvariantCheck = 12,
 }
 
 /// A byte that is not the discriminant of any [`TraceEventKind`] — what
@@ -102,6 +108,8 @@ impl TryFrom<u8> for TraceEventKind {
             8 => TraceEventKind::Checkpoint,
             9 => TraceEventKind::Recovery,
             10 => TraceEventKind::UserMarker,
+            11 => TraceEventKind::ScheduleDecision,
+            12 => TraceEventKind::InvariantCheck,
             other => return Err(UnknownTraceKind(other)),
         })
     }
@@ -113,7 +121,7 @@ const _: () = assert!(TraceEventKind::ALL.len() == TraceEventKind::COUNT);
 
 impl TraceEventKind {
     /// Number of event kinds (discriminants are `0..COUNT`).
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 13;
 
     /// Every kind, in discriminant order.
     pub const ALL: [TraceEventKind; TraceEventKind::COUNT] = [
@@ -128,6 +136,8 @@ impl TraceEventKind {
         TraceEventKind::Checkpoint,
         TraceEventKind::Recovery,
         TraceEventKind::UserMarker,
+        TraceEventKind::ScheduleDecision,
+        TraceEventKind::InvariantCheck,
     ];
 
     /// Inverse of [`TraceEventKind::name`] — used when parsing exported
@@ -153,6 +163,8 @@ impl TraceEventKind {
             TraceEventKind::Checkpoint => "checkpoint",
             TraceEventKind::Recovery => "recovery",
             TraceEventKind::UserMarker => "user_marker",
+            TraceEventKind::ScheduleDecision => "schedule_decision",
+            TraceEventKind::InvariantCheck => "invariant_check",
         }
     }
 }

@@ -1,0 +1,414 @@
+//! Incremental per-state serializability checking.
+//!
+//! [`History`] checks a *complete* run post hoc; a model checker needs the
+//! Theorem 1 verdict after **every explored event** so a violation is
+//! reported at the exact state that introduced it (and the decision prefix
+//! up to that state becomes the counterexample). Re-running the batch
+//! checkers per event would be quadratic in history length, so this module
+//! maintains the same three verdicts incrementally:
+//!
+//! * **C1** — per-directed-pair `sent`/`visible` counters, tested when a
+//!   transaction begins (exactly [`crate::Recorder`]'s freshness test);
+//! * **C2** — eager overlap detection: an interval overlap exists iff the
+//!   later transaction begins while the earlier is still open, so checking
+//!   open neighbors at `begin` finds every violating pair exactly once;
+//! * **serialization graph** — per-item `last_write` / `reads_since_write`
+//!   state; because the driver is single-threaded, operations arrive in
+//!   global timestamp order and fold into exactly the edges
+//!   [`History::serialization_graph`] computes, with a reachability probe
+//!   per added edge for cycle detection.
+//!
+//! The checker also accumulates full [`TxnRecord`]s, so the final
+//! [`IncrementalChecker::history`] is byte-for-byte comparable with a
+//! recorded run (the replay-determinism tests rely on this).
+
+use crate::history::{History, TxnId, TxnRecord};
+use sg_graph::{Graph, VertexId};
+use std::sync::Arc;
+
+/// The three Theorem 1 verdicts, valid after every applied operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckStatus {
+    /// Transactions so far that began with at least one stale replica.
+    pub c1_violations: usize,
+    /// Overlapping neighbor-transaction pairs so far.
+    pub c2_violations: usize,
+    /// Is the serialization graph (so far) acyclic?
+    pub serialization_graph_acyclic: bool,
+}
+
+impl CheckStatus {
+    /// No violation of any kind yet.
+    pub fn clean(&self) -> bool {
+        self.c1_violations == 0 && self.c2_violations == 0 && self.serialization_graph_acyclic
+    }
+}
+
+/// An open (begun, not yet ended) transaction.
+struct OpenTxn {
+    txn: TxnId,
+    start: u64,
+    stale_reads: Vec<VertexId>,
+    concurrent_neighbors: Vec<VertexId>,
+}
+
+/// Incremental Theorem 1 checker driven by a single-threaded explorer.
+///
+/// Call order per transaction mirrors [`crate::Recorder`]:
+/// [`IncrementalChecker::begin`] → sends/visibility → final
+/// [`IncrementalChecker::end`]. Timestamps come from an internal monotone
+/// clock, so the operation stream is totally ordered by construction.
+pub struct IncrementalChecker {
+    graph: Arc<Graph>,
+    clock: u64,
+    /// vertex -> its currently open transaction, if any.
+    open: Vec<Option<OpenTxn>>,
+    /// Messages handed to the system per directed pair (in-CSR indexed).
+    sent: Vec<u64>,
+    /// Messages readable by the recipient per directed pair.
+    visible: Vec<u64>,
+    /// Serialization-graph adjacency, grown per committed operation.
+    adj: Vec<Vec<TxnId>>,
+    /// Per item (vertex): the transaction that last wrote it.
+    last_write: Vec<Option<TxnId>>,
+    /// Per item: transactions that read it since the last write.
+    reads_since_write: Vec<Vec<TxnId>>,
+    txns: Vec<TxnRecord>,
+    c1: usize,
+    c2: usize,
+    cyclic: bool,
+}
+
+impl IncrementalChecker {
+    /// New checker over `graph`.
+    pub fn new(graph: Arc<Graph>) -> Self {
+        let n = graph.num_vertices() as usize;
+        let e = graph.num_edges() as usize;
+        Self {
+            graph,
+            clock: 0,
+            open: (0..n).map(|_| None).collect(),
+            sent: vec![0; e],
+            visible: vec![0; e],
+            adj: Vec::new(),
+            last_write: vec![None; n],
+            reads_since_write: vec![Vec::new(); n],
+            txns: Vec::new(),
+            c1: 0,
+            c2: 0,
+            cyclic: false,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        let t = self.clock;
+        self.clock += 1;
+        t
+    }
+
+    fn pair_index(&self, from: VertexId, to: VertexId) -> Option<usize> {
+        self.graph.in_edge_index(to, from).map(|i| i as usize)
+    }
+
+    /// Vertex `from` handed a message for `to` to the system.
+    pub fn on_send(&mut self, from: VertexId, to: VertexId) {
+        if let Some(i) = self.pair_index(from, to) {
+            self.sent[i] += 1;
+        }
+    }
+
+    /// A message from `from` became readable by `to`.
+    pub fn on_visible(&mut self, from: VertexId, to: VertexId) {
+        if let Some(i) = self.pair_index(from, to) {
+            self.visible[i] += 1;
+        }
+    }
+
+    /// Record a read operation of `txn` on item `v` at the current instant,
+    /// folding the serialization-graph edges the batch algorithm would
+    /// produce (reads order after the item's last write).
+    fn read_op(&mut self, txn: TxnId, v: VertexId) {
+        if let Some(w) = self.last_write[v.index()] {
+            if w != txn {
+                self.add_edge(w, txn);
+            }
+        }
+        self.reads_since_write[v.index()].push(txn);
+    }
+
+    /// Vertex `u` begins executing: C1 freshness test, eager C2 probe, and
+    /// the read operations on `u` and its in-edge neighborhood.
+    ///
+    /// # Panics
+    /// Panics if `u` already has an open transaction (the explorer drives
+    /// each vertex sequentially).
+    pub fn begin(&mut self, u: VertexId) -> TxnId {
+        assert!(
+            self.open[u.index()].is_none(),
+            "vertex {u:?} began twice without ending"
+        );
+        let txn = self.txns.len() + self.open.iter().flatten().count();
+        let start = self.tick();
+
+        let mut stale_reads = Vec::new();
+        for &v in self.graph.in_neighbors(u) {
+            if v == u {
+                continue;
+            }
+            if let Some(i) = self.pair_index(v, u) {
+                if self.sent[i] != self.visible[i] && stale_reads.last() != Some(&v) {
+                    stale_reads.push(v);
+                }
+            }
+        }
+        if !stale_reads.is_empty() {
+            self.c1 += 1;
+        }
+
+        let concurrent_neighbors: Vec<VertexId> = self
+            .graph
+            .neighbors(u)
+            .into_iter()
+            .filter(|v| self.open[v.index()].is_some())
+            .collect();
+        self.c2 += concurrent_neighbors.len();
+
+        // Read set: u itself plus in-edge neighbors (the batch algorithm's
+        // operation model).
+        self.read_op(txn, u);
+        let in_neighbors: Vec<VertexId> = self.graph.in_neighbors(u).to_vec();
+        for v in in_neighbors {
+            if v != u {
+                self.read_op(txn, v);
+            }
+        }
+
+        self.open[u.index()] = Some(OpenTxn {
+            txn,
+            start,
+            stale_reads,
+            concurrent_neighbors,
+        });
+        txn
+    }
+
+    /// Vertex `u`'s execution commits its write.
+    ///
+    /// # Panics
+    /// Panics if `u` has no open transaction.
+    pub fn end(&mut self, u: VertexId) {
+        let open = self.open[u.index()]
+            .take()
+            .unwrap_or_else(|| panic!("vertex {u:?} ended without beginning"));
+        let end = self.tick();
+        let txn = open.txn;
+
+        // Write op on item u: edges from the previous write and from every
+        // read since it, then the item's state resets to this writer.
+        if let Some(w) = self.last_write[u.index()] {
+            if w != txn {
+                self.add_edge(w, txn);
+            }
+        }
+        let readers = std::mem::take(&mut self.reads_since_write[u.index()]);
+        for r in readers {
+            if r != txn {
+                self.add_edge(r, txn);
+            }
+        }
+        self.last_write[u.index()] = Some(txn);
+
+        self.txns.push(TxnRecord {
+            vertex: u,
+            start: open.start,
+            end,
+            stale_reads: open.stale_reads,
+            concurrent_neighbors: open.concurrent_neighbors,
+        });
+    }
+
+    /// Add serialization-graph edge `from -> to`, probing for a new cycle
+    /// (is `from` reachable from `to`?) unless one was already found.
+    fn add_edge(&mut self, from: TxnId, to: TxnId) {
+        let needed = from.max(to) + 1;
+        if self.adj.len() < needed {
+            self.adj.resize(needed, Vec::new());
+        }
+        if self.adj[from].contains(&to) {
+            return;
+        }
+        self.adj[from].push(to);
+        if !self.cyclic && self.reaches(to, from) {
+            self.cyclic = true;
+        }
+    }
+
+    /// DFS reachability `from -> target` over the current adjacency.
+    fn reaches(&self, from: TxnId, target: TxnId) -> bool {
+        if from == target {
+            return true;
+        }
+        let mut seen = vec![false; self.adj.len()];
+        let mut stack = vec![from];
+        while let Some(t) = stack.pop() {
+            if t == target {
+                return true;
+            }
+            if t >= self.adj.len() || std::mem::replace(&mut seen[t], true) {
+                continue;
+            }
+            stack.extend(self.adj[t].iter().copied());
+        }
+        false
+    }
+
+    /// The verdicts as of the last applied operation.
+    pub fn status(&self) -> CheckStatus {
+        CheckStatus {
+            c1_violations: self.c1,
+            c2_violations: self.c2,
+            serialization_graph_acyclic: !self.cyclic,
+        }
+    }
+
+    /// Committed transactions so far as a batch-checkable [`History`]
+    /// (open transactions are not included).
+    pub fn history(&self) -> History {
+        History::new(self.txns.clone())
+    }
+
+    /// The graph this checker observes.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graph::{gen, SplitMix64};
+
+    fn v(raw: u32) -> VertexId {
+        VertexId::new(raw)
+    }
+
+    #[test]
+    fn serial_fresh_execution_stays_clean() {
+        let g = Arc::new(gen::paper_c4());
+        let mut c = IncrementalChecker::new(Arc::clone(&g));
+        for _ in 0..3 {
+            for u in g.vertices() {
+                c.begin(u);
+                for &t in g.out_neighbors(u) {
+                    c.on_send(u, t);
+                    c.on_visible(u, t);
+                }
+                c.end(u);
+                assert!(c.status().clean());
+            }
+        }
+        assert!(c.history().is_one_copy_serializable(&g));
+    }
+
+    #[test]
+    fn stale_read_flags_c1_at_begin() {
+        let g = Arc::new(gen::paper_c4());
+        let mut c = IncrementalChecker::new(Arc::clone(&g));
+        c.begin(v(0));
+        c.on_send(v(0), v(1));
+        c.end(v(0));
+        assert!(c.status().clean());
+        c.begin(v(1)); // undelivered message: stale replica of v0
+        assert_eq!(c.status().c1_violations, 1);
+        c.end(v(1));
+        assert_eq!(c.history().c1_violations(), vec![1]);
+    }
+
+    #[test]
+    fn overlapping_neighbors_flag_c2_and_cycle() {
+        let g = Arc::new(gen::paper_c4());
+        let mut c = IncrementalChecker::new(Arc::clone(&g));
+        c.begin(v(0));
+        c.begin(v(1)); // neighbor of v0, concurrent
+        let st = c.status();
+        assert_eq!(st.c2_violations, 1);
+        // Both read each other before either writes: the cycle appears once
+        // both writes commit.
+        c.end(v(0));
+        c.end(v(1));
+        assert!(!c.status().serialization_graph_acyclic);
+    }
+
+    #[test]
+    fn concurrent_non_neighbors_stay_clean() {
+        let g = Arc::new(gen::paper_c4());
+        let mut c = IncrementalChecker::new(Arc::clone(&g));
+        // v0 and v3 are not adjacent in the paper's C4.
+        c.begin(v(0));
+        c.begin(v(3));
+        c.end(v(0));
+        c.end(v(3));
+        assert!(c.status().clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "began twice")]
+    fn double_begin_panics() {
+        let g = Arc::new(gen::ring(4));
+        let mut c = IncrementalChecker::new(g);
+        c.begin(v(0));
+        c.begin(v(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "ended without beginning")]
+    fn end_without_begin_panics() {
+        let g = Arc::new(gen::ring(4));
+        let mut c = IncrementalChecker::new(g);
+        c.end(v(0));
+    }
+
+    /// Property: against randomized schedules (possibly violating ones),
+    /// the incremental verdicts and the final history must agree with the
+    /// batch [`History`] checkers.
+    #[test]
+    fn prop_matches_batch_checkers() {
+        let g = Arc::new(gen::complete(5));
+        for seed in 0..25u64 {
+            let mut rng = SplitMix64::new(seed);
+            let mut c = IncrementalChecker::new(Arc::clone(&g));
+            let mut open: Vec<VertexId> = Vec::new();
+            for _ in 0..60 {
+                let u = v(rng.gen_range(5) as u32);
+                if let Some(pos) = open.iter().position(|&x| x == u) {
+                    // Close it, sometimes sending (half delivered).
+                    if rng.gen_bool(0.6) {
+                        for &t in g.out_neighbors(u) {
+                            c.on_send(u, t);
+                            if rng.gen_bool(0.5) {
+                                c.on_visible(u, t);
+                            }
+                        }
+                    }
+                    c.end(u);
+                    open.swap_remove(pos);
+                } else if open.len() < 3 {
+                    c.begin(u);
+                    open.push(u);
+                }
+            }
+            for &u in &open {
+                c.end(u);
+            }
+            let h = c.history();
+            let st = c.status();
+            assert_eq!(st.c1_violations, h.c1_violations().len(), "seed {seed}");
+            assert_eq!(st.c2_violations, h.c2_violations(&g).len(), "seed {seed}");
+            assert_eq!(
+                st.serialization_graph_acyclic,
+                h.serialization_graph_acyclic(&g),
+                "seed {seed}"
+            );
+        }
+    }
+}

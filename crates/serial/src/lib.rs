@@ -29,7 +29,9 @@
 //! violations and serialization-graph cycles).
 
 pub mod history;
+pub mod incremental;
 pub mod recorder;
 
 pub use history::{History, HistorySummary, TxnId, TxnRecord};
+pub use incremental::{CheckStatus, IncrementalChecker};
 pub use recorder::Recorder;

@@ -192,6 +192,79 @@ impl ForkTable {
         }
     }
 
+    /// One pass of the hungry-philosopher protocol for `p`: request missing
+    /// forks (when `p` holds the pair's request token) and collect any
+    /// immediately yielded dirty forks. Returns the number of forks `p` is
+    /// still missing.
+    fn scan_locked(&self, s: &mut State, p: PhilId, transport: &dyn SyncTransport) -> usize {
+        let mut missing = 0usize;
+        for &(q, pair_idx) in &self.adj[p as usize] {
+            let pair = s.pairs[pair_idx as usize];
+            if pair.fork_at(p) {
+                continue;
+            }
+            missing += 1;
+            if pair.token_at(p) {
+                // Send the request token to the fork holder.
+                s.pairs[pair_idx as usize].move_token_to(q);
+                self.count_request_token(p, q, transport);
+                // The holder yields immediately iff it is not eating
+                // and the fork is dirty (hygiene rule).
+                if s.status[q as usize] != Status::Eating && pair.dirty {
+                    let ps = &mut s.pairs[pair_idx as usize];
+                    ps.move_fork_to(p);
+                    ps.dirty = false;
+                    if self.owner_of(q) != self.owner_of(p) {
+                        ps.ts += transport.network_latency_ns();
+                    }
+                    missing -= 1;
+                    self.count_fork_transfer(q, p, transport);
+                    self.assert_precedence_acyclic(s);
+                    // If the holder was hungry and waiting, it does not
+                    // need a wakeup — it lost a fork, gained nothing.
+                }
+            }
+            // Otherwise the token is already with the holder: our
+            // request is pending and will be satisfied on its release.
+        }
+        missing
+    }
+
+    /// Transition `p` (which holds all its forks) to eating; dirties its
+    /// forks, asserts mutual exclusion, and returns the virtual time the
+    /// last fork became available.
+    fn start_eating_locked(&self, s: &mut State, p: PhilId) -> u64 {
+        s.status[p as usize] = Status::Eating;
+        let mut ready_at = 0u64;
+        for &(q, pair_idx) in &self.adj[p as usize] {
+            // Eating dirties every fork of the eater.
+            let pair = &mut s.pairs[pair_idx as usize];
+            pair.dirty = true;
+            ready_at = ready_at.max(pair.ts);
+            assert_ne!(
+                s.status[q as usize],
+                Status::Eating,
+                "mutual exclusion violated: {p} and {q} eating together"
+            );
+        }
+        self.assert_precedence_acyclic(s);
+        ready_at
+    }
+
+    /// The Chandy–Misra invariant H: the precedence graph stays acyclic at
+    /// *every* protocol step, not just at quiescence. Compiled in only under
+    /// the `sg-invariants` feature (O(philosophers + forks) per transfer).
+    #[inline]
+    fn assert_precedence_acyclic(&self, s: &State) {
+        #[cfg(feature = "sg-invariants")]
+        assert!(
+            precedence_acyclic(&s.pairs, self.owner.len()),
+            "sg-invariants: precedence graph cyclic after a fork transfer"
+        );
+        #[cfg(not(feature = "sg-invariants"))]
+        let _ = s;
+    }
+
     /// Block until philosopher `p` holds all its forks, then mark it
     /// eating. Returns the virtual time at which the last fork becomes
     /// available — the earliest simulated instant the execution may start.
@@ -210,56 +283,48 @@ impl ForkTable {
         );
         s.status[pi] = Status::Hungry;
 
-        loop {
-            let mut missing = 0usize;
-            for &(q, pair_idx) in &self.adj[pi] {
-                let pair = s.pairs[pair_idx as usize];
-                if pair.fork_at(p) {
-                    continue;
-                }
-                missing += 1;
-                if pair.token_at(p) {
-                    // Send the request token to the fork holder.
-                    s.pairs[pair_idx as usize].move_token_to(q);
-                    self.count_request_token(p, q, transport);
-                    // The holder yields immediately iff it is not eating
-                    // and the fork is dirty (hygiene rule).
-                    if s.status[q as usize] != Status::Eating && pair.dirty {
-                        let ps = &mut s.pairs[pair_idx as usize];
-                        ps.move_fork_to(p);
-                        ps.dirty = false;
-                        if self.owner_of(q) != self.owner_of(p) {
-                            ps.ts += transport.network_latency_ns();
-                        }
-                        missing -= 1;
-                        self.count_fork_transfer(q, p, transport);
-                        // If the holder was hungry and waiting, it does not
-                        // need a wakeup — it lost a fork, gained nothing.
-                    }
-                }
-                // Otherwise the token is already with the holder: our
-                // request is pending and will be satisfied on its release.
-            }
-            if missing == 0 {
-                break;
-            }
+        while self.scan_locked(&mut s, p, transport) > 0 {
             s = self.cv[pi].wait(s).unwrap();
         }
+        self.start_eating_locked(&mut s, p)
+    }
 
-        s.status[pi] = Status::Eating;
-        let mut ready_at = 0u64;
-        for &(q, pair_idx) in &self.adj[pi] {
-            // Eating dirties every fork of the eater.
-            let pair = &mut s.pairs[pair_idx as usize];
-            pair.dirty = true;
-            ready_at = ready_at.max(pair.ts);
-            assert_ne!(
-                s.status[q as usize],
-                Status::Eating,
-                "mutual exclusion violated: {p} and {q} eating together"
-            );
+    /// Non-blocking step of the acquire protocol, for single-threaded
+    /// drivers (the `sg-check` model checker): marks `p` hungry on first
+    /// call, runs one request/collect pass, and either transitions to
+    /// eating (returning the ready time, as [`ForkTable::acquire`]) or
+    /// leaves `p` hungry and returns `None`. A hungry philosopher becomes
+    /// worth re-polling whenever any neighbor releases.
+    ///
+    /// # Panics
+    /// Panics if `p` is already eating.
+    pub fn try_acquire(&self, p: PhilId, transport: &dyn SyncTransport) -> Option<u64> {
+        let pi = p as usize;
+        let mut s = self.state.lock().unwrap();
+        match s.status[pi] {
+            Status::Thinking => s.status[pi] = Status::Hungry,
+            Status::Hungry => {}
+            Status::Eating => panic!("philosopher {p} acquired twice"),
         }
-        ready_at
+        if self.scan_locked(&mut s, p, transport) == 0 {
+            Some(self.start_eating_locked(&mut s, p))
+        } else {
+            None
+        }
+    }
+
+    /// Neighbors whose fork `p` is currently missing — the wait-for edges a
+    /// deadlock report prints. Empty unless `p` is hungry.
+    pub fn waiting_on(&self, p: PhilId) -> Vec<PhilId> {
+        let s = self.state.lock().unwrap();
+        if s.status[p as usize] != Status::Hungry {
+            return Vec::new();
+        }
+        self.adj[p as usize]
+            .iter()
+            .filter(|&&(_, pair_idx)| !s.pairs[pair_idx as usize].fork_at(p))
+            .map(|&(q, _)| q)
+            .collect()
     }
 
     /// Mark `p` thinking and hand its requested forks to the requesters.
@@ -289,6 +354,7 @@ impl ForkTable {
                     ps.ts += transport.network_latency_ns();
                 }
                 self.count_fork_transfer(p, q, transport);
+                self.assert_precedence_acyclic(&s);
                 self.cv[q as usize].notify_one();
             }
         }
@@ -624,6 +690,58 @@ mod tests {
     fn stress_star() {
         let edges: Vec<(u32, u32)> = (1..8).map(|i| (0, i)).collect();
         stress((0..8).map(|i| i % 3).collect(), &edges, 60);
+    }
+
+    #[test]
+    fn try_acquire_steps_the_protocol_without_blocking() {
+        // Initially the dirty fork sits at 1 (larger id), token at 0.
+        let t = table(vec![0, 0], &[(0, 1)]);
+        // 0 requests and immediately receives the dirty fork.
+        assert_eq!(t.try_acquire(0, &NoopTransport), Some(0));
+        assert!(t.is_eating(0));
+        // 1 lodges a request against the eating 0: stays hungry.
+        assert_eq!(t.try_acquire(1, &NoopTransport), None);
+        assert_eq!(t.waiting_on(1), vec![0]);
+        assert!(!t.is_eating(1));
+        // Re-polling while still blocked is a no-op, not a panic.
+        assert_eq!(t.try_acquire(1, &NoopTransport), None);
+        // 0 releases: the deferred transfer hands the fork to 1.
+        t.release(0, 7, &NoopTransport);
+        assert_eq!(t.try_acquire(1, &NoopTransport), Some(7));
+        assert!(t.is_eating(1));
+        assert!(t.waiting_on(1).is_empty());
+        t.release(1, 9, &NoopTransport);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn try_acquire_matches_blocking_acquire_results() {
+        // A lone philosopher and a chain: the stepped API must agree with
+        // the blocking one on ready times in the uncontended case.
+        let t = table(vec![0, 0, 0], &[(0, 1), (1, 2)]);
+        let via_try = t.try_acquire(0, &NoopTransport).unwrap();
+        t.release(0, 3, &NoopTransport);
+        let t2 = table(vec![0, 0, 0], &[(0, 1), (1, 2)]);
+        let via_block = t2.acquire(0, &NoopTransport);
+        t2.release(0, 3, &NoopTransport);
+        assert_eq!(via_try, via_block);
+    }
+
+    #[test]
+    #[should_panic(expected = "acquired twice")]
+    fn try_acquire_while_eating_panics() {
+        let t = table(vec![0, 0], &[]);
+        t.try_acquire(0, &NoopTransport);
+        t.try_acquire(0, &NoopTransport);
+    }
+
+    #[test]
+    fn waiting_on_empty_for_thinking_and_eating() {
+        let t = table(vec![0, 0], &[(0, 1)]);
+        assert!(t.waiting_on(0).is_empty());
+        t.acquire(0, &NoopTransport);
+        assert!(t.waiting_on(0).is_empty());
+        t.release(0, 0, &NoopTransport);
     }
 
     #[test]

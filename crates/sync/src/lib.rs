@@ -39,6 +39,6 @@ pub mod transport;
 
 pub use bsp_lock::BspVertexLock;
 pub use chandy_misra::{ForkSnapshot, ForkTable};
-pub use technique::{NoSync, PartitionLock, Synchronizer, VertexLock};
+pub use technique::{LockGranularity, NoSync, PartitionLock, Synchronizer, VertexLock};
 pub use token::{DualLayerToken, SingleLayerToken};
 pub use transport::{NoopTransport, SyncTransport};

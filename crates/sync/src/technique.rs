@@ -71,6 +71,24 @@ pub trait Synchronizer: Send + Sync {
         0
     }
 
+    /// Non-blocking variant of [`Synchronizer::acquire_unit`] for
+    /// single-threaded drivers (the `sg-check` model checker): runs one
+    /// protocol step and returns `Some(ready_ts)` once the unit is held, or
+    /// `None` when it must keep waiting (worth re-polling after any
+    /// release). The default — correct for techniques whose `acquire_unit`
+    /// never blocks — simply acquires.
+    fn try_acquire_unit(&self, unit: u32, transport: &dyn SyncTransport) -> Option<u64> {
+        Some(self.acquire_unit(unit, transport))
+    }
+
+    /// The wait-for edges of a unit stuck in
+    /// [`Synchronizer::try_acquire_unit`]: the peer units whose forks it is
+    /// missing. Empty for techniques that never block; deadlock reports
+    /// print these.
+    fn unit_waiting_on(&self, _unit: u32) -> Vec<u32> {
+        Vec::new()
+    }
+
     /// Release a unit previously acquired; `end_ts` is the virtual time
     /// its execution finished (stamped onto the released forks).
     fn release_unit(&self, _unit: u32, _end_ts: u64, _transport: &dyn SyncTransport) {}
@@ -175,6 +193,14 @@ impl Synchronizer for PartitionLock {
         self.table.acquire(unit, transport)
     }
 
+    fn try_acquire_unit(&self, unit: u32, transport: &dyn SyncTransport) -> Option<u64> {
+        self.table.try_acquire(unit, transport)
+    }
+
+    fn unit_waiting_on(&self, unit: u32) -> Vec<u32> {
+        self.table.waiting_on(unit)
+    }
+
     fn release_unit(&self, unit: u32, end_ts: u64, transport: &dyn SyncTransport) {
         self.table.release(unit, end_ts, transport);
     }
@@ -263,6 +289,22 @@ impl Synchronizer for VertexLock {
             self.table.acquire(unit, transport)
         } else {
             0
+        }
+    }
+
+    fn try_acquire_unit(&self, unit: u32, transport: &dyn SyncTransport) -> Option<u64> {
+        if self.is_philosopher[unit as usize] {
+            self.table.try_acquire(unit, transport)
+        } else {
+            Some(0)
+        }
+    }
+
+    fn unit_waiting_on(&self, unit: u32) -> Vec<u32> {
+        if self.is_philosopher[unit as usize] {
+            self.table.waiting_on(unit)
+        } else {
+            Vec::new()
         }
     }
 
@@ -360,6 +402,46 @@ mod tests {
         let metrics = Arc::new(Metrics::new());
         let pl = PartitionLock::with_options(&pm, metrics, false);
         assert!(!pl.unit_skippable(0, false));
+    }
+
+    #[test]
+    fn try_acquire_unit_steps_partition_lock_without_blocking() {
+        let g = gen::complete(8);
+        let pm = pm_for(&g, 2, 2);
+        let pl = PartitionLock::new(&pm, Arc::new(Metrics::new()));
+        // Neighboring partitions: whoever wins first blocks the other.
+        let first = pl.try_acquire_unit(0, &NoopTransport);
+        assert!(first.is_some());
+        let contender = pl.try_acquire_unit(1, &NoopTransport);
+        assert!(contender.is_none(), "neighbor acquired while 0 eats");
+        assert!(pl.unit_waiting_on(1).contains(&0));
+        pl.release_unit(0, 7, &NoopTransport);
+        assert!(pl.try_acquire_unit(1, &NoopTransport).is_some());
+        assert!(pl.unit_waiting_on(1).is_empty());
+        pl.release_unit(1, 9, &NoopTransport);
+    }
+
+    #[test]
+    fn try_acquire_unit_is_trivial_for_non_philosophers() {
+        // Vertex 0 is p-internal in the explicit split below: no forks.
+        let g = sg_graph::Graph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]);
+        let layout = ClusterLayout::new(2, 1);
+        let pm = PartitionMap::build(
+            &g,
+            layout,
+            &ExplicitPartitioner(vec![
+                PartitionId::new(0),
+                PartitionId::new(0),
+                PartitionId::new(1),
+                PartitionId::new(1),
+            ]),
+        );
+        let vl = VertexLock::new(&g, &pm, Arc::new(Metrics::new()));
+        assert_eq!(vl.try_acquire_unit(0, &NoopTransport), Some(0));
+        assert!(vl.unit_waiting_on(0).is_empty());
+        // NoSync's default never blocks either.
+        assert_eq!(NoSync.try_acquire_unit(3, &NoopTransport), Some(0));
+        assert!(NoSync.unit_waiting_on(3).is_empty());
     }
 
     #[test]

@@ -60,6 +60,18 @@ impl Synchronizer for SingleLayerToken {
         if self.num_workers > 1 {
             let from = self.holder(superstep);
             let to = self.holder(superstep + 1);
+            // Token uniqueness on the fixed ring: exactly one pass per
+            // superstep, always to the successor worker. A violation here
+            // means the exclusive global token was duplicated or misrouted.
+            #[cfg(feature = "sg-invariants")]
+            {
+                assert_ne!(from, to, "sg-invariants: token passed to its holder");
+                assert_eq!(
+                    to.raw(),
+                    (from.raw() + 1) % self.num_workers,
+                    "sg-invariants: single-layer token left the fixed ring"
+                );
+            }
             self.metrics.inc(Counter::GlobalTokenPasses);
             // The holder flushes its remote replica updates before passing
             // the token (C1, Section 4.2).
@@ -142,6 +154,21 @@ impl Synchronizer for DualLayerToken {
             let from = self.global_holder(superstep);
             let to = self.global_holder(superstep + 1);
             if from != to {
+                // The global token moves only at tenure boundaries, and
+                // always to the ring successor.
+                #[cfg(feature = "sg-invariants")]
+                {
+                    assert_eq!(
+                        (superstep + 1) % u64::from(self.ppw),
+                        0,
+                        "sg-invariants: dual-layer global pass off the tenure boundary"
+                    );
+                    assert_eq!(
+                        to.raw(),
+                        (from.raw() + 1) % self.num_workers,
+                        "sg-invariants: dual-layer global token left the fixed ring"
+                    );
+                }
                 self.metrics.inc(Counter::GlobalTokenPasses);
                 transport.on_fork_transfer(from, to);
             }

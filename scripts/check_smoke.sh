@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# sg-check end-to-end smoke: bounded exploration on every serializable
+# technique must come back clean, the seeded broken-ring bug must be found
+# by every strategy and reproduced by replay, and the failure exits must
+# stay failures. Offline-safe; writes only under target/.
+#
+# Called by ci.sh and .github/workflows/ci.yml after the release build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=target/ci-check-smoke
+SG_CHECK=target/release/sg-check
+SG_TRACE=target/release/sg-trace
+rm -rf "$SMOKE"
+mkdir -p "$SMOKE"
+
+echo "-- clean exploration: four techniques x bounded budget must exit 0"
+for technique in single-token dual-token vertex-lock partition-lock; do
+    "$SG_CHECK" explore --technique "$technique" --strategy adversary \
+        --episodes 8 >/dev/null
+    "$SG_CHECK" explore --technique "$technique" --strategy random \
+        --episodes 8 >/dev/null
+done
+"$SG_CHECK" explore --technique partition-lock --strategy dfs \
+    --episodes 32 >/dev/null
+
+echo "-- seeded broken ring: every strategy must find it (exit 3)"
+for strategy in random dfs adversary; do
+    rc=0
+    "$SG_CHECK" explore --technique single-token --strategy "$strategy" \
+        --broken-ring 0 --supersteps 2 \
+        --out "$SMOKE/ce-$strategy.json" >/dev/null || rc=$?
+    [ "$rc" -eq 3 ] || { echo "FAIL: $strategy exited $rc, want 3"; exit 1; }
+done
+
+echo "-- replay must reproduce the violation (exit 3) and trace for sg-trace"
+rc=0
+"$SG_CHECK" replay "$SMOKE/ce-dfs.json" \
+    --trace "$SMOKE/replay.trace.json" >/dev/null || rc=$?
+[ "$rc" -eq 3 ] || { echo "FAIL: replay exited $rc, want 3"; exit 1; }
+"$SG_TRACE" analyze "$SMOKE/replay.trace.json" >/dev/null
+
+echo "-- negative: malformed counterexample must exit 2, not crash"
+printf '{"schema_version":99}' >"$SMOKE/bad.json"
+rc=0
+"$SG_CHECK" replay "$SMOKE/bad.json" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "FAIL: malformed counterexample exited $rc, want 2"; exit 1; }
+{ printf '[%.0s' $(seq 1 5000); printf ']%.0s' $(seq 1 5000); } >"$SMOKE/deep.json"
+rc=0
+"$SG_CHECK" replay "$SMOKE/deep.json" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "FAIL: deeply nested json exited $rc, want 2"; exit 1; }
+
+echo "-- negative: usage errors must exit 1"
+rc=0
+"$SG_CHECK" explore >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 1 ] || { echo "FAIL: missing --technique exited $rc, want 1"; exit 1; }
+rc=0
+"$SG_CHECK" frobnicate >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 1 ] || { echo "FAIL: bad subcommand exited $rc, want 1"; exit 1; }
+
+echo "sg-check smoke green."

@@ -109,6 +109,43 @@ fn seeded_inputs_are_stable() {
     }
 }
 
+/// The model checker's decision logs are proof objects: re-running one
+/// against a fresh model reproduces the identical decision sequence and a
+/// byte-identical serializability verdict, run after run.
+#[test]
+fn model_checker_replay_is_deterministic() {
+    use serigraph::sg_check::{
+        CheckTechnique, Counterexample, ExploreConfig, COUNTEREXAMPLE_SCHEMA_VERSION,
+    };
+    use serigraph::sg_graph::SplitMix64;
+
+    for technique in CheckTechnique::SERIALIZABLE {
+        // Record one random episode's decision log...
+        let cfg = ExploreConfig::smoke(technique);
+        let mut rng = SplitMix64::new(cfg.seed);
+        let recorded =
+            serigraph::sg_check::run_episode(&cfg, |enabled, _| rng.gen_index(enabled.len()), None);
+        assert!(recorded.violation.is_none(), "{technique}");
+        // ...and replay it twice through the counterexample machinery.
+        let ce = Counterexample {
+            schema_version: COUNTEREXAMPLE_SCHEMA_VERSION,
+            config: cfg,
+            decisions: recorded.decisions.clone(),
+            violation: String::new(),
+        };
+        let a = ce.replay(None);
+        let b = ce.replay(None);
+        assert_eq!(a.decisions, recorded.decisions, "{technique}");
+        assert_eq!(a.events, recorded.events, "{technique}");
+        assert_eq!(
+            a.summary.to_string(),
+            recorded.summary.to_string(),
+            "{technique}: replay diverged from the recorded episode"
+        );
+        assert_eq!(a.summary.to_string(), b.summary.to_string(), "{technique}");
+    }
+}
+
 /// Simulated makespan for a deterministic configuration is reproducible
 /// (barriers level clocks, BSP has no racing flush decisions).
 #[test]
