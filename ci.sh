@@ -26,4 +26,7 @@ echo "== sg-trace smoke (tiny trace; analyze/diff/check + failure exits) =="
 echo "== sg-check smoke (bounded exploration; seeded bug; failure exits) =="
 ./scripts/check_smoke.sh
 
+echo "== sg-msgbench smoke (tiny datapath bench; artifact schema check) =="
+./scripts/msgbench_smoke.sh
+
 echo "CI green."

@@ -12,6 +12,7 @@
 //! | `giraphx_compare` | Section 7.3 (system- vs user-level techniques) |
 //! | `ablation_batching` | batching ablation (DESIGN.md §4) |
 //! | `ablation_halt_skip` | halted-partition-skip ablation (DESIGN.md §4) |
+//! | `sg-msgbench` | message-datapath throughput lane (`BENCH_msgpath.json`) |
 //!
 //! Every binary prints plain-text tables (and accepts `--scale-div N` to
 //! shrink the synthetic datasets; the EXPERIMENTS.md runs use the

@@ -1,9 +1,55 @@
 //! Pregel-style aggregators: global `f64` reductions computed during a
 //! superstep and readable by every vertex (and the master hook) in the
 //! next one.
+//!
+//! Slots are lock-free: each holds its `f64` bit-cast into an `AtomicU64`,
+//! and contributions fold in with a compare-exchange loop. Aggregator ops
+//! are commutative reductions, so any interleaving of successful CASes
+//! yields the same value — no mutex needed. Orderings are relaxed: the
+//! engines' barriers separate the aggregation phase from `roll()` and every
+//! read of the rolled value.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An `f64` stored bit-cast in an `AtomicU64`.
+#[derive(Debug)]
+struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    fn new(v: f64) -> Self {
+        Self(AtomicU64::new(v.to_bits()))
+    }
+
+    fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn store(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    fn swap(&self, v: f64) -> f64 {
+        f64::from_bits(self.0.swap(v.to_bits(), Ordering::Relaxed))
+    }
+
+    /// Fold `value` in with `op` via a CAS loop. Terminates: a failed
+    /// compare-exchange means another thread's fold landed, and we retry
+    /// against the fresh bits.
+    fn fold(&self, op: AggOp, value: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = op.apply(f64::from_bits(cur), value).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+}
 
 /// Reduction operator of an aggregator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,8 +82,8 @@ impl AggOp {
 
 struct Slot {
     op: AggOp,
-    current: Mutex<f64>,
-    previous: Mutex<f64>,
+    current: AtomicF64,
+    previous: AtomicF64,
 }
 
 /// The registered aggregators of one engine run.
@@ -63,8 +109,8 @@ impl AggregatorSet {
             name.to_owned(),
             Slot {
                 op,
-                current: Mutex::new(op.identity()),
-                previous: Mutex::new(op.identity()),
+                current: AtomicF64::new(op.identity()),
+                previous: AtomicF64::new(op.identity()),
             },
         );
         self
@@ -79,8 +125,7 @@ impl AggregatorSet {
             .slots
             .get(name)
             .unwrap_or_else(|| panic!("unknown aggregator {name:?}"));
-        let mut cur = slot.current.lock().unwrap();
-        *cur = slot.op.apply(*cur, value);
+        slot.current.fold(slot.op, value);
     }
 
     /// The value reduced during the *previous* superstep.
@@ -89,16 +134,15 @@ impl AggregatorSet {
             .slots
             .get(name)
             .unwrap_or_else(|| panic!("unknown aggregator {name:?}"));
-        *slot.previous.lock().unwrap()
+        slot.previous.load()
     }
 
     /// Master-side: close the superstep — current values become previous,
     /// current resets to the identity.
     pub fn roll(&self) {
         for slot in self.slots.values() {
-            let mut cur = slot.current.lock().unwrap();
-            *slot.previous.lock().unwrap() = *cur;
-            *cur = slot.op.identity();
+            let cur = slot.current.swap(slot.op.identity());
+            slot.previous.store(cur);
         }
     }
 
@@ -112,13 +156,7 @@ impl AggregatorSet {
         let mut out: Vec<(String, f64, f64)> = self
             .slots
             .iter()
-            .map(|(name, slot)| {
-                (
-                    name.clone(),
-                    *slot.previous.lock().unwrap(),
-                    *slot.current.lock().unwrap(),
-                )
-            })
+            .map(|(name, slot)| (name.clone(), slot.previous.load(), slot.current.load()))
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
@@ -131,8 +169,8 @@ impl AggregatorSet {
                 .slots
                 .get(name)
                 .unwrap_or_else(|| panic!("unknown aggregator {name:?} in checkpoint"));
-            *slot.previous.lock().unwrap() = *previous;
-            *slot.current.lock().unwrap() = *current;
+            slot.previous.store(*previous);
+            slot.current.store(*current);
         }
     }
 }

@@ -117,6 +117,7 @@ impl<P: VertexProgram + ?Sized> Context<'_, P> {
         // Borrow the adjacency slice directly from the graph (not through
         // `self`) so the mutable push below is allowed.
         let neighbors = self.graph.out_neighbors(self.vertex);
+        self.outgoing.reserve(neighbors.len());
         for &to in neighbors {
             self.outgoing.push((to, msg.clone()));
         }

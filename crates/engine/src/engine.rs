@@ -6,7 +6,7 @@ use crate::config::{EngineConfig, EngineError, Model, TechniqueKind};
 use crate::context::Context;
 use crate::program::{Combiner, VertexProgram};
 use crate::state::PartitionData;
-use crate::store::{OutboundBuffers, PartitionStore};
+use crate::store::{Envelope, OutboundBuffers, PartitionStore, Routed, StagingBuffers};
 use sg_graph::partition::{ExplicitPartitioner, HashPartitioner};
 use sg_graph::{Graph, PartitionId, PartitionMap, VertexId, WorkerId};
 use sg_metrics::{
@@ -195,6 +195,8 @@ impl<P: VertexProgram> Engine<P> {
         self.program.register_aggregators(&mut aggs);
 
         let obs = self.config.obs.clone();
+        let tpw = threads_per_worker as usize;
+        let has_combiner = self.combiner.is_some();
         let core = Arc::new(Core {
             graph: Arc::clone(&self.graph),
             program: self.program,
@@ -205,6 +207,10 @@ impl<P: VertexProgram> Engine<P> {
             current,
             next,
             outbound: OutboundBuffers::new(workers),
+            staging: (0..workers * tpw)
+                .map(|_| Mutex::new(StagingBuffers::new(workers, has_combiner)))
+                .collect(),
+            threads_per_worker: tpw,
             combiner: self.combiner,
             aggs,
             metrics: Arc::clone(&metrics),
@@ -217,6 +223,7 @@ impl<P: VertexProgram> Engine<P> {
             },
             timers: obs.breakdown.then(|| WorkerTimers::new(workers)),
             pending: AtomicU64::new(0),
+            in_flight: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             superstep: AtomicU64::new(0),
             sync,
             recorder: recorder.clone(),
@@ -250,12 +257,12 @@ impl<P: VertexProgram> Engine<P> {
         let wall_start = Instant::now();
         let mut handles = Vec::with_capacity(total_threads);
         for w in 0..workers {
-            for _slot in 0..threads_per_worker {
+            for slot in 0..tpw {
                 let core = Arc::clone(&core);
                 let start_barrier = Arc::clone(&start_barrier);
                 let end_barrier = Arc::clone(&end_barrier);
                 handles.push(std::thread::spawn(move || {
-                    worker_loop(&core, w, &start_barrier, &end_barrier);
+                    worker_loop(&core, w, slot, &start_barrier, &end_barrier);
                 }));
             }
         }
@@ -436,6 +443,13 @@ struct Core<P: VertexProgram> {
     current: Vec<PartitionStore<P::Message>>,
     next: Vec<PartitionStore<P::Message>>,
     outbound: OutboundBuffers<P::Message>,
+    /// Per-compute-thread outbound staging (sender-side combining), indexed
+    /// `worker * threads_per_worker + slot`. Behind mutexes (not true
+    /// thread-locals) because a C1 write-all flush can arrive on another
+    /// thread — a fork request must drain the holder's staged messages
+    /// before the fork moves; the lock is uncontended on the hot path.
+    staging: Vec<Mutex<StagingBuffers<P::Message>>>,
+    threads_per_worker: usize,
     combiner: Option<Box<dyn Combiner<P::Message>>>,
     aggs: AggregatorSet,
     metrics: Arc<Metrics>,
@@ -447,6 +461,14 @@ struct Core<P: VertexProgram> {
     timers: Option<WorkerTimers>,
     /// Messages anywhere in the system (stores + buffers), for termination.
     pending: AtomicU64,
+    /// Per-worker count of shipments in progress: messages taken out of a
+    /// staging run or outbound buffer but not yet inserted into their
+    /// destination stores. The C1 write-all flush must wait for these —
+    /// a fork transfer that only drains the (empty) containers while a
+    /// round flush is mid-ship would hand the fork over before the
+    /// holder's writes are visible, and a greedy-coloring neighbor would
+    /// pick against a stale store.
+    in_flight: Vec<AtomicU64>,
     superstep: AtomicU64,
     sync: Arc<dyn Synchronizer>,
     recorder: Option<Arc<Recorder>>,
@@ -589,6 +611,7 @@ fn barrierless_loop<P: VertexProgram>(
         .filter(|k| *k as usize % tpw == slot)
         .map(|k| PartitionId::new(worker as u32 * ppw + k))
         .collect();
+    let staging = &core.staging[worker * tpw + slot];
     let mut thread_clock = 0u64;
     let mut round = 0u64;
     loop {
@@ -599,10 +622,13 @@ fn barrierless_loop<P: VertexProgram>(
         for &p in &my_parts {
             if core.partition_has_work(p.index()) {
                 did_work = true;
-                core.execute_partition(worker, p, round, &mut thread_clock);
+                core.execute_partition(worker, p, round, staging, &mut thread_clock);
             }
         }
-        core.flush_outbound(worker);
+        // Per-round flush of this thread's own staging plus the worker's
+        // shared buffers; the C1 write-all (`flush_outbound`) still drains
+        // every sibling thread's staging when a fork moves.
+        core.flush_thread_outbound(worker, staging);
         core.clocks.observe(worker, thread_clock);
         if did_work {
             round += 1;
@@ -677,11 +703,13 @@ struct EngineCheckpoint<V, M> {
 fn worker_loop<P: VertexProgram>(
     core: &Core<P>,
     worker: usize,
+    slot: usize,
     start_barrier: &Barrier,
     end_barrier: &Barrier,
 ) {
     let layout = *core.pm.layout();
     let ppw = layout.partitions_per_worker();
+    let staging = &core.staging[worker * core.threads_per_worker + slot];
     loop {
         start_barrier.wait();
         if core.stop.load(Ordering::SeqCst) {
@@ -698,7 +726,7 @@ fn worker_loop<P: VertexProgram>(
                 break;
             }
             let p = PartitionId::new(worker as u32 * ppw + k);
-            core.execute_partition(worker, p, s, &mut thread_clock);
+            core.execute_partition(worker, p, s, staging, &mut thread_clock);
         }
         core.clocks.observe(worker, thread_clock);
         end_barrier.wait();
@@ -714,7 +742,14 @@ impl<P: VertexProgram> Core<P> {
         }
     }
 
-    fn execute_partition(&self, worker: usize, p: PartitionId, s: u64, thread_clock: &mut u64) {
+    fn execute_partition(
+        &self,
+        worker: usize,
+        p: PartitionId,
+        s: u64,
+        staging: &Mutex<StagingBuffers<P::Message>>,
+        thread_clock: &mut u64,
+    ) {
         let p_idx = p.index();
         let has_work = self.partition_has_work(p_idx);
         match self.sync.granularity() {
@@ -740,20 +775,20 @@ impl<P: VertexProgram> Core<P> {
                     );
                 }
                 *thread_clock = (*thread_clock).max(ready);
-                self.run_partition(worker, p_idx, s, false, thread_clock);
+                self.run_partition(worker, p_idx, s, false, staging, thread_clock);
                 self.sync.release_unit(p.raw(), *thread_clock, self);
             }
             LockGranularity::Vertex => {
                 if !has_work {
                     return;
                 }
-                self.run_partition(worker, p_idx, s, true, thread_clock);
+                self.run_partition(worker, p_idx, s, true, staging, thread_clock);
             }
             LockGranularity::None => {
                 if !has_work {
                     return;
                 }
-                self.run_partition(worker, p_idx, s, false, thread_clock);
+                self.run_partition(worker, p_idx, s, false, staging, thread_clock);
             }
         }
     }
@@ -764,11 +799,16 @@ impl<P: VertexProgram> Core<P> {
         p_idx: usize,
         s: u64,
         per_vertex_lock: bool,
+        staging: &Mutex<StagingBuffers<P::Message>>,
         thread_clock: &mut u64,
     ) {
         let mut data = self.partitions[p_idx].lock().unwrap();
         let store = &self.current[p_idx];
         let mut outgoing: Vec<(VertexId, P::Message)> = Vec::new();
+        // Scratch buffers reused across vertices: the drain path allocates
+        // nothing in steady state.
+        let mut envelopes: Vec<Envelope<P::Message>> = Vec::new();
+        let mut messages: Vec<P::Message> = Vec::new();
         let mut busy = 0u64;
 
         for i in 0..data.vertices.len() {
@@ -798,11 +838,14 @@ impl<P: VertexProgram> Core<P> {
                 *thread_clock = (*thread_clock).max(ready);
             }
 
-            let envelopes = store.drain(i);
-            self.pending
-                .fetch_sub(envelopes.len() as u64, Ordering::SeqCst);
+            envelopes.clear();
+            let drained = store.drain_into(i, &mut envelopes);
+            if drained > 0 {
+                self.pending.fetch_sub(drained as u64, Ordering::SeqCst);
+            }
             let guard = self.recorder.as_ref().map(|r| r.begin(v));
-            let messages: Vec<P::Message> = envelopes.into_iter().map(|(_, m)| m).collect();
+            messages.clear();
+            messages.extend(envelopes.drain(..).map(|(_, m)| m));
 
             let mut ctx = Context::<P> {
                 vertex: v,
@@ -822,8 +865,8 @@ impl<P: VertexProgram> Core<P> {
 
             let n_in = messages.len() as u64;
             let n_out = outgoing.len() as u64;
-            for (to, m) in outgoing.drain(..) {
-                self.send(worker, v, to, m);
+            if n_out > 0 {
+                self.send_all(worker, staging, v, &mut outgoing);
             }
             if let (Some(r), Some(g)) = (self.recorder.as_ref(), guard) {
                 r.end(g);
@@ -862,26 +905,42 @@ impl<P: VertexProgram> Core<P> {
         }
     }
 
-    /// Route one message. Local messages go straight to the recipient's
-    /// store (eagerly visible under AP, next-superstep under BSP); remote
-    /// messages enter the buffer cache and may trigger a batch flush.
-    fn send(&self, from_worker: usize, sender: VertexId, to: VertexId, msg: P::Message) {
-        if let Some(r) = &self.recorder {
-            r.on_send(sender, to);
-        }
-        let to_worker = self.pm.worker_of(to).index();
-        if to_worker == from_worker {
-            self.metrics.inc(Counter::LocalMessages);
-            let to_next = self.model == Model::Bsp;
-            self.deliver(sender, to, msg, to_next);
-        } else {
-            self.metrics.inc(Counter::RemoteMessages);
-            self.pending.fetch_add(1, Ordering::SeqCst);
-            let len = self
-                .outbound
-                .push(from_worker, to_worker, (to, sender, msg));
-            if len >= self.buffer_cap {
-                self.flush_buffer(from_worker, to_worker);
+    /// Route one vertex's outgoing messages. Local messages go straight to
+    /// the recipient's store (eagerly visible under AP, next-superstep
+    /// under BSP); remote messages land in the executing thread's staging
+    /// buffer — where the combiner merges them sender-side — and batch into
+    /// the shared buffer caches when a destination's staged run reaches the
+    /// buffer cap. The staging lock is taken once per vertex, not once per
+    /// message, and is never held across a synchronizer call.
+    fn send_all(
+        &self,
+        from_worker: usize,
+        staging: &Mutex<StagingBuffers<P::Message>>,
+        sender: VertexId,
+        outgoing: &mut Vec<(VertexId, P::Message)>,
+    ) {
+        let to_next = self.model == Model::Bsp;
+        let mut st = staging.lock().unwrap();
+        for (to, msg) in outgoing.drain(..) {
+            if let Some(r) = &self.recorder {
+                r.on_send(sender, to);
+            }
+            let to_worker = self.pm.worker_of(to).index();
+            if to_worker == from_worker {
+                self.metrics.inc(Counter::LocalMessages);
+                self.deliver(sender, to, msg, to_next);
+            } else {
+                self.metrics.inc(Counter::RemoteMessages);
+                let (grew, staged) =
+                    st.stage(to_worker, (to, sender, msg), self.combiner.as_deref());
+                if grew {
+                    self.pending.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    self.metrics.inc(Counter::SenderCombines);
+                }
+                if staged >= self.buffer_cap {
+                    self.flush_staged(from_worker, to_worker, &mut st);
+                }
             }
         }
     }
@@ -908,10 +967,37 @@ impl<P: VertexProgram> Core<P> {
         }
     }
 
-    /// Ship one (from, to) buffer as a batch: count it, charge the wire,
-    /// deliver into the destination stores.
+    /// Drain one destination's staged run into the shared outbound buffer
+    /// (a single lock acquisition for the whole run) and ship any batches
+    /// that reached the cap on the way in.
+    fn flush_staged(&self, from: usize, to: usize, st: &mut StagingBuffers<P::Message>) {
+        // Raise the in-flight fence before the run leaves the staging
+        // buffer: from `take_run` until the shipped batches land in their
+        // destination stores the messages are in neither container, and a
+        // concurrent C1 flush must not conclude the worker is drained.
+        self.in_flight[from].fetch_add(1, Ordering::SeqCst);
+        let run = st.take_run(to);
+        if run.is_empty() {
+            self.in_flight[from].fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        self.metrics.inc(Counter::StagingFlushes);
+        for batch in self.outbound.push_batch(from, to, run, self.buffer_cap) {
+            self.ship_batch(from, to, batch);
+        }
+        self.in_flight[from].fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Ship whatever the (from, to) buffer currently holds as one batch.
     fn flush_buffer(&self, from: usize, to: usize) {
-        let routed = self.outbound.take(from, to);
+        self.in_flight[from].fetch_add(1, Ordering::SeqCst);
+        self.ship_batch(from, to, self.outbound.take(from, to));
+        self.in_flight[from].fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Ship one batch: count it, charge the wire, deliver into the
+    /// destination stores.
+    fn ship_batch(&self, from: usize, to: usize, routed: Vec<Routed<P::Message>>) {
         if routed.is_empty() {
             return;
         }
@@ -940,9 +1026,59 @@ impl<P: VertexProgram> Core<P> {
         }
     }
 
-    /// Write-all flush of every buffer leaving worker `from` (the C1 step).
+    /// Write-all flush of everything leaving worker `from` (the C1 step):
+    /// every compute thread's staging buffers drain into the shared
+    /// outbound caches, then every (from, to) buffer ships. Runs on
+    /// whatever thread the technique triggers it from — a fork request
+    /// arriving cross-thread must still see the holder's staged messages
+    /// flushed before the fork moves.
     fn flush_outbound(&self, from: usize) {
-        for to in 0..self.clocks.len() {
+        let workers = self.clocks.len();
+        loop {
+            for slot in 0..self.threads_per_worker {
+                let mut st = self.staging[from * self.threads_per_worker + slot]
+                    .lock()
+                    .unwrap();
+                for to in 0..workers {
+                    if to != from {
+                        self.flush_staged(from, to, &mut st);
+                    }
+                }
+            }
+            for to in 0..workers {
+                if to != from {
+                    self.flush_buffer(from, to);
+                }
+            }
+            // Draining the containers is not enough: a sibling thread's
+            // round flush may have taken messages out before we looked and
+            // not yet delivered them (and its partial batches re-land in
+            // the buffer we just emptied). Wait out every concurrent
+            // shipment and re-drain, so the fork handoff really is
+            // write-all. Our own flush calls above balanced their fence
+            // increments before returning, so a non-zero count here is
+            // always another thread mid-ship.
+            if self.in_flight[from].load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Round flush for one barrierless compute thread: its own staging plus
+    /// the worker's shared buffers. Siblings flush their own each round, so
+    /// the hot loop never contends on another thread's staging lock.
+    fn flush_thread_outbound(&self, from: usize, staging: &Mutex<StagingBuffers<P::Message>>) {
+        let workers = self.clocks.len();
+        {
+            let mut st = staging.lock().unwrap();
+            for to in 0..workers {
+                if to != from {
+                    self.flush_staged(from, to, &mut st);
+                }
+            }
+        }
+        for to in 0..workers {
             if to != from {
                 self.flush_buffer(from, to);
             }
@@ -1028,8 +1164,9 @@ impl<P: VertexProgram> Core<P> {
     }
 
     /// Roll every worker back to `ckpt`; returns the superstep to resume
-    /// from. Outbound buffers and BSP next-stores are empty at any barrier,
-    /// so only values, halt votes, current stores, aggregators, and the
+    /// from. Staging buffers, outbound buffers, and BSP next-stores are all
+    /// empty at any barrier (the master's write-all flush drains them), so
+    /// only values, halt votes, current stores, aggregators, and the
     /// technique's fork placement need restoring.
     fn restore_checkpoint(&self, ckpt: &EngineCheckpoint<P::Value, P::Message>) -> u64 {
         self.trace.record(
@@ -1056,19 +1193,19 @@ impl<P: VertexProgram> Core<P> {
         ckpt.superstep
     }
 
-    /// BSP barrier: messages sent this superstep become visible.
+    /// BSP barrier: messages sent this superstep become visible. The
+    /// next-store's slab nodes move straight into the current store — no
+    /// intermediate queue-of-queues is materialized.
     fn bsp_swap(&self) {
         for p in 0..self.next.len() {
-            let batches = self.next[p].drain_all();
             if let Some(r) = &self.recorder {
                 let d = self.partitions[p].lock().unwrap();
-                for (i, batch) in batches.iter().enumerate() {
-                    for (sender, _) in batch {
-                        r.on_visible(*sender, d.vertices[i]);
-                    }
-                }
+                self.next[p].transfer_all(&self.current[p], |local, sender| {
+                    r.on_visible(sender, d.vertices[local]);
+                });
+            } else {
+                self.next[p].transfer_all(&self.current[p], |_, _| {});
             }
-            self.current[p].append_all(batches);
         }
     }
 }

@@ -1,4 +1,5 @@
-//! Message stores and outbound buffer caches — the engine's "network".
+//! Message stores, staging buffers, and outbound buffer caches — the
+//! engine's "network".
 //!
 //! Mirrors the Giraph machinery of Section 6.1: each worker holds a message
 //! store for incoming messages (here, one sub-store per partition so that
@@ -7,27 +8,182 @@
 //! destination buffer caches that are flushed when full, at superstep
 //! boundaries, and whenever a synchronization technique needs a write-all
 //! flush before handing a fork or token to another worker (condition C1).
+//!
+//! The datapath is lock-minimized in three layers:
+//!
+//! 1. [`PartitionStore`] stripes its per-vertex slots across up to
+//!    [`MAX_STRIPES`] shards keyed on the local vertex index, so concurrent
+//!    inserts to *different* vertices of the same partition no longer
+//!    contend on one mutex — the intra-store parallelism Section 7.1
+//!    attributes to partition count now also exists *within* a partition.
+//!    Each shard keeps its messages in a flat slab (an intrusive free-list
+//!    of nodes chained per slot) instead of a queue-of-queues, so the
+//!    insert/drain cycle allocates nothing in steady state.
+//! 2. [`StagingBuffers`] are per-compute-thread outbound staging areas.
+//!    Sends to remote workers land here first, where the message combiner
+//!    is applied *sender-side* (Giraph's classic optimization): messages to
+//!    the same destination vertex merge before they ever touch a shared
+//!    lock or the simulated wire. Staged runs batch-flush into the shared
+//!    [`OutboundBuffers`] on a size threshold, at superstep boundaries, and
+//!    on every C1 write-all flush.
+//! 3. [`OutboundBuffers`] keep one mutex per (source, destination) worker
+//!    pair, now fed in batches rather than per message, with the
+//!    per-source pending count maintained by a relaxed atomic instead of a
+//!    lock-and-sum scan.
 
 use crate::program::Combiner;
 use sg_graph::VertexId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// A queued message: who sent it (needed by the serializability recorder
 /// and the BSP visibility swap) and its payload.
 pub type Envelope<M> = (VertexId, M);
 
-/// Incoming-message store of one partition: one queue per local vertex.
+/// Upper bound on the lock stripes of one [`PartitionStore`]. 64 shards is
+/// past the point where stripe collisions matter for the thread counts the
+/// simulation runs (≤ 16 threads per worker), while keeping the per-store
+/// footprint small for many-partition layouts.
+pub const MAX_STRIPES: usize = 64;
+
+/// Sentinel for "no node" in the slab chains.
+const NIL: u32 = u32::MAX;
+
+/// One slab node: an envelope plus the intrusive chain/free-list link.
+#[derive(Debug)]
+struct Node<M> {
+    sender: VertexId,
+    msg: M,
+    next: u32,
+}
+
+/// One lock stripe of a [`PartitionStore`]: the slots `local` with
+/// `local % stripes == shard_index`, their FIFO chains, and the shard's
+/// node slab with its free list. Freed nodes keep their payload until
+/// reused (messages are small values; nothing observes a freed node).
+#[derive(Debug)]
+struct Shard<M> {
+    /// Chain head per within-shard slot (`NIL` = empty).
+    head: Vec<u32>,
+    /// Chain tail per within-shard slot, for O(1) FIFO append.
+    tail: Vec<u32>,
+    /// Flat node slab; indices are stable until the node is freed.
+    slab: Vec<Node<M>>,
+    /// Head of the free list threaded through `slab[i].next`.
+    free: u32,
+}
+
+impl<M> Shard<M> {
+    fn new(slots: usize) -> Self {
+        Self {
+            head: vec![NIL; slots],
+            tail: vec![NIL; slots],
+            slab: Vec::new(),
+            free: NIL,
+        }
+    }
+
+    /// Allocate a node from the free list (or grow the slab) and append it
+    /// to `slot`'s chain.
+    fn append(&mut self, slot: usize, sender: VertexId, msg: M) {
+        let idx = if self.free != NIL {
+            let idx = self.free;
+            let node = &mut self.slab[idx as usize];
+            self.free = node.next;
+            node.sender = sender;
+            node.msg = msg;
+            node.next = NIL;
+            idx
+        } else {
+            let idx = self.slab.len() as u32;
+            assert!(idx < NIL, "partition store shard overflow");
+            self.slab.push(Node {
+                sender,
+                msg,
+                next: NIL,
+            });
+            idx
+        };
+        if self.head[slot] == NIL {
+            self.head[slot] = idx;
+        } else {
+            self.slab[self.tail[slot] as usize].next = idx;
+        }
+        self.tail[slot] = idx;
+    }
+
+    /// Detach `slot`'s chain, returning its head (caller walks and frees).
+    fn detach(&mut self, slot: usize) -> u32 {
+        let h = self.head[slot];
+        self.head[slot] = NIL;
+        self.tail[slot] = NIL;
+        h
+    }
+
+    /// Return one node to the free list.
+    fn release(&mut self, idx: u32) {
+        self.slab[idx as usize].next = self.free;
+        self.free = idx;
+    }
+}
+
+/// Incoming-message store of one partition: one FIFO slot per local vertex,
+/// lock-striped across shards keyed on the local vertex index (interleaved,
+/// so that adjacent locals — the common hot neighborhood — land on
+/// different stripes). The total queued count is a relaxed atomic: exact,
+/// because every insert/drain adjusts it under the shard lock, but not a
+/// synchronization point — the engines' barriers order it before any
+/// decision that needs cross-thread agreement.
 #[derive(Debug)]
 pub struct PartitionStore<M> {
-    queues: Mutex<Vec<Vec<Envelope<M>>>>,
+    shards: Vec<Mutex<Shard<M>>>,
+    /// `stripes - 1`; `shard_of(local) = local & mask`.
+    mask: usize,
+    /// `log2(stripes)`; `slot_of(local) = local >> shift`.
+    shift: u32,
+    len: usize,
+    count: AtomicU64,
 }
 
 impl<M: Clone + Send + 'static> PartitionStore<M> {
     /// Store for a partition with `len` vertices.
     pub fn new(len: usize) -> Self {
+        let stripes = len.max(1).next_power_of_two().min(MAX_STRIPES);
+        let shards = (0..stripes)
+            .map(|s| {
+                // Locals assigned to stripe s: s, s + stripes, s + 2·stripes, …
+                let slots = if s < len {
+                    (len - s).div_ceil(stripes)
+                } else {
+                    0
+                };
+                Mutex::new(Shard::new(slots))
+            })
+            .collect();
         Self {
-            queues: Mutex::new((0..len).map(|_| Vec::new()).collect()),
+            shards,
+            mask: stripes - 1,
+            shift: stripes.trailing_zeros(),
+            len,
+            count: AtomicU64::new(0),
         }
+    }
+
+    /// Number of vertex slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the store has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn locate(&self, local: usize) -> (&Mutex<Shard<M>>, usize) {
+        debug_assert!(local < self.len, "local {local} out of range {}", self.len);
+        (&self.shards[local & self.mask], local >> self.shift)
     }
 
     /// Queue a message for local vertex `local`, applying the combiner if
@@ -41,62 +197,145 @@ impl<M: Clone + Send + 'static> PartitionStore<M> {
         msg: M,
         combiner: Option<&dyn Combiner<M>>,
     ) -> usize {
-        let mut q = self.queues.lock().unwrap();
-        let queue = &mut q[local];
+        let (shard, slot) = self.locate(local);
+        let mut s = shard.lock().unwrap();
         match combiner {
-            Some(c) if !queue.is_empty() => {
-                let (_, old) = queue.pop().expect("non-empty");
-                queue.push((sender, c.combine(old, msg)));
+            Some(c) if s.head[slot] != NIL => {
+                // With a combiner each slot holds at most one envelope;
+                // merge into it, adopting the latest sender (matching the
+                // pre-striping pop-and-push semantics).
+                let tail = s.tail[slot] as usize;
+                let old = s.slab[tail].msg.clone();
+                s.slab[tail].msg = c.combine(old, msg);
+                s.slab[tail].sender = sender;
                 0
             }
             _ => {
-                queue.push((sender, msg));
+                s.append(slot, sender, msg);
+                self.count.fetch_add(1, Ordering::Relaxed);
                 1
             }
         }
     }
 
+    /// Append all messages currently queued for `local` onto `out` (FIFO
+    /// order), returning how many were drained. The caller owns `out` and
+    /// typically reuses it across vertices — the drain path allocates
+    /// nothing beyond `out`'s own growth.
+    pub fn drain_into(&self, local: usize, out: &mut Vec<Envelope<M>>) -> usize {
+        let (shard, slot) = self.locate(local);
+        let mut s = shard.lock().unwrap();
+        let mut idx = s.detach(slot);
+        let mut n = 0usize;
+        while idx != NIL {
+            let node = &mut s.slab[idx as usize];
+            let next = node.next;
+            out.push((node.sender, node.msg.clone()));
+            s.release(idx);
+            idx = next;
+            n += 1;
+        }
+        if n > 0 {
+            self.count.fetch_sub(n as u64, Ordering::Relaxed);
+        }
+        n
+    }
+
     /// Take all messages currently queued for `local`.
     pub fn drain(&self, local: usize) -> Vec<Envelope<M>> {
-        std::mem::take(&mut self.queues.lock().unwrap()[local])
+        let mut out = Vec::new();
+        self.drain_into(local, &mut out);
+        out
     }
 
     /// Does `local` have queued messages?
     pub fn has_messages(&self, local: usize) -> bool {
-        !self.queues.lock().unwrap()[local].is_empty()
+        let (shard, slot) = self.locate(local);
+        shard.lock().unwrap().head[slot] != NIL
     }
 
-    /// Total queued messages in this store.
+    /// Total queued messages in this store (relaxed atomic read — exact at
+    /// any quiescent point, no lock acquisitions).
     pub fn total(&self) -> usize {
-        self.queues.lock().unwrap().iter().map(Vec::len).sum()
+        self.count.load(Ordering::Relaxed) as usize
     }
 
-    /// Take every queue (used by the BSP barrier swap).
-    pub fn drain_all(&self) -> Vec<Vec<Envelope<M>>> {
-        let mut q = self.queues.lock().unwrap();
-        let len = q.len();
-        std::mem::replace(&mut *q, (0..len).map(|_| Vec::new()).collect())
+    /// Move every queued message into `dst` (same slot layout), calling
+    /// `on_move(local, sender)` per envelope — the BSP barrier swap. Both
+    /// stores keep their slab allocations: the source's nodes return to its
+    /// free list, the target allocates from its own. No intermediate
+    /// queue-of-queues is materialized.
+    ///
+    /// # Panics
+    /// Panics if the stores have different slot counts.
+    pub fn transfer_all(&self, dst: &Self, mut on_move: impl FnMut(usize, VertexId)) {
+        assert_eq!(self.len, dst.len, "transfer between mismatched stores");
+        let stripes = self.mask + 1;
+        let mut moved = 0u64;
+        for sh in 0..self.shards.len() {
+            let mut src = self.shards[sh].lock().unwrap();
+            let mut d = dst.shards[sh].lock().unwrap();
+            for slot in 0..src.head.len() {
+                let mut idx = src.detach(slot);
+                while idx != NIL {
+                    let node = &mut src.slab[idx as usize];
+                    let next = node.next;
+                    let (sender, msg) = (node.sender, node.msg.clone());
+                    src.release(idx);
+                    d.append(slot, sender, msg);
+                    on_move(slot * stripes + sh, sender);
+                    moved += 1;
+                    idx = next;
+                }
+            }
+        }
+        if moved > 0 {
+            self.count.fetch_sub(moved, Ordering::Relaxed);
+            dst.count.fetch_add(moved, Ordering::Relaxed);
+        }
     }
 
-    /// Checkpoint support: clone every queue.
+    /// Checkpoint support: clone every queue (slot-indexed, FIFO order).
     pub fn export(&self) -> Vec<Vec<Envelope<M>>> {
-        self.queues.lock().unwrap().clone()
+        let mut out: Vec<Vec<Envelope<M>>> = (0..self.len).map(|_| Vec::new()).collect();
+        for (local, queue) in out.iter_mut().enumerate() {
+            let (shard, slot) = self.locate(local);
+            let s = shard.lock().unwrap();
+            let mut idx = s.head[slot];
+            while idx != NIL {
+                let node = &s.slab[idx as usize];
+                queue.push((node.sender, node.msg.clone()));
+                idx = node.next;
+            }
+        }
+        out
     }
 
     /// Checkpoint support: replace every queue with a snapshot.
     pub fn restore(&self, snapshot: Vec<Vec<Envelope<M>>>) {
-        let mut q = self.queues.lock().unwrap();
-        assert_eq!(q.len(), snapshot.len());
-        *q = snapshot;
-    }
-
-    /// Append previously drained queues (BSP swap target side).
-    pub fn append_all(&self, batches: Vec<Vec<Envelope<M>>>) {
-        let mut q = self.queues.lock().unwrap();
-        assert_eq!(q.len(), batches.len());
-        for (queue, mut batch) in q.iter_mut().zip(batches) {
-            queue.append(&mut batch);
+        assert_eq!(self.len, snapshot.len());
+        let mut total = 0u64;
+        for shard in &self.shards {
+            let mut s = shard.lock().unwrap();
+            let slots = s.head.len();
+            for slot in 0..slots {
+                let mut idx = s.detach(slot);
+                while idx != NIL {
+                    let next = s.slab[idx as usize].next;
+                    s.release(idx);
+                    idx = next;
+                }
+            }
         }
+        for (local, queue) in snapshot.into_iter().enumerate() {
+            let (shard, slot) = self.locate(local);
+            let mut s = shard.lock().unwrap();
+            for (sender, msg) in queue {
+                s.append(slot, sender, msg);
+                total += 1;
+            }
+        }
+        self.count.store(total, Ordering::Relaxed);
     }
 }
 
@@ -104,10 +343,14 @@ impl<M: Clone + Send + 'static> PartitionStore<M> {
 /// cache: destination vertex, original sender, payload.
 pub type Routed<M> = (VertexId, VertexId, M);
 
-/// Per-(source worker, destination worker) buffer caches.
+/// Per-(source worker, destination worker) buffer caches, fed in batches by
+/// the per-thread [`StagingBuffers`]. The per-source pending count is a
+/// relaxed atomic maintained on push/take — [`OutboundBuffers::pending_from`]
+/// is O(1) with zero lock acquisitions.
 #[derive(Debug)]
 pub struct OutboundBuffers<M> {
     bufs: Vec<Vec<Mutex<Vec<Routed<M>>>>>,
+    pending: Vec<AtomicU64>,
 }
 
 impl<M: Send> OutboundBuffers<M> {
@@ -117,6 +360,7 @@ impl<M: Send> OutboundBuffers<M> {
             bufs: (0..workers)
                 .map(|_| (0..workers).map(|_| Mutex::new(Vec::new())).collect())
                 .collect(),
+            pending: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -125,20 +369,148 @@ impl<M: Send> OutboundBuffers<M> {
     pub fn push(&self, from: usize, to: usize, routed: Routed<M>) -> usize {
         let mut b = self.bufs[from][to].lock().unwrap();
         b.push(routed);
+        self.pending[from].fetch_add(1, Ordering::Relaxed);
         b.len()
+    }
+
+    /// Drain `staged` into the (from, to) buffer under a single lock
+    /// acquisition. Every time the buffer reaches `cap` it is swapped out
+    /// and returned as a ready-to-ship batch — the caller delivers those
+    /// batches after the lock is released, exactly as the per-message
+    /// threshold flush used to.
+    pub fn push_batch(
+        &self,
+        from: usize,
+        to: usize,
+        staged: &mut Vec<Routed<M>>,
+        cap: usize,
+    ) -> Vec<Vec<Routed<M>>> {
+        if staged.is_empty() {
+            return Vec::new();
+        }
+        self.pending[from].fetch_add(staged.len() as u64, Ordering::Relaxed);
+        let mut full = Vec::new();
+        let mut b = self.bufs[from][to].lock().unwrap();
+        for r in staged.drain(..) {
+            b.push(r);
+            if b.len() >= cap {
+                let batch = std::mem::take(&mut *b);
+                self.pending[from].fetch_sub(batch.len() as u64, Ordering::Relaxed);
+                full.push(batch);
+            }
+        }
+        full
     }
 
     /// Take everything buffered from `from` to `to`.
     pub fn take(&self, from: usize, to: usize) -> Vec<Routed<M>> {
-        std::mem::take(&mut self.bufs[from][to].lock().unwrap())
+        let taken = std::mem::take(&mut *self.bufs[from][to].lock().unwrap());
+        if !taken.is_empty() {
+            self.pending[from].fetch_sub(taken.len() as u64, Ordering::Relaxed);
+        }
+        taken
     }
 
-    /// Total buffered messages from worker `from` (all destinations).
+    /// Total buffered messages from worker `from` (all destinations) — a
+    /// relaxed atomic read, no lock acquisitions.
     pub fn pending_from(&self, from: usize) -> usize {
-        self.bufs[from]
-            .iter()
-            .map(|b| b.lock().unwrap().len())
-            .sum()
+        self.pending[from].load(Ordering::Relaxed) as usize
+    }
+}
+
+/// Per-compute-thread outbound staging: remote sends land here before they
+/// touch any shared state. When the run has a combiner it is applied here,
+/// **sender-side** — messages to the same destination vertex merge in place
+/// (first-insertion order is preserved, so flush order stays deterministic
+/// for a given send order) — and only the survivors are pushed, in batches,
+/// into the shared [`OutboundBuffers`].
+///
+/// Each engine compute thread owns one staging buffer for the whole run.
+/// The engine keeps them behind per-thread mutexes rather than true
+/// thread-locals because a C1 write-all flush can be triggered *by another
+/// thread* (a fork request arriving through the synchronization technique
+/// must flush the holder's pending messages before the fork moves); the
+/// mutex is uncontended on the hot path.
+#[derive(Debug)]
+pub struct StagingBuffers<M> {
+    dests: Vec<StagedDest<M>>,
+    combine: bool,
+}
+
+#[derive(Debug, Default)]
+struct StagedDest<M> {
+    /// Staged messages in first-staged order (the flush order).
+    run: Vec<Routed<M>>,
+    /// Destination vertex -> index into `run`, for sender-side combining.
+    /// Unused (empty) when the run has no combiner.
+    index: HashMap<VertexId, usize>,
+}
+
+impl<M: Clone + Send + 'static> StagingBuffers<M> {
+    /// Staging for sends into a `workers`-machine cluster; `combine` turns
+    /// on sender-side combining (pass `true` iff the run has a combiner).
+    pub fn new(workers: usize, combine: bool) -> Self {
+        Self {
+            dests: (0..workers)
+                .map(|_| StagedDest {
+                    run: Vec::new(),
+                    index: HashMap::new(),
+                })
+                .collect(),
+            combine,
+        }
+    }
+
+    /// Stage one routed message for `to_worker`. Returns `(grew, staged)`:
+    /// whether a new staged envelope was created (`false` = merged into an
+    /// existing one by the sender-side combiner) and how many envelopes are
+    /// now staged for that destination (the caller's threshold check).
+    pub fn stage(
+        &mut self,
+        to_worker: usize,
+        routed: Routed<M>,
+        combiner: Option<&dyn Combiner<M>>,
+    ) -> (bool, usize) {
+        let dest = &mut self.dests[to_worker];
+        if self.combine {
+            if let Some(c) = combiner {
+                let (to, sender, msg) = routed;
+                return match dest.index.entry(to) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let staged = &mut dest.run[*e.get()];
+                        staged.1 = sender;
+                        staged.2 = c.combine(staged.2.clone(), msg);
+                        (false, dest.run.len())
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(dest.run.len());
+                        dest.run.push((to, sender, msg));
+                        (true, dest.run.len())
+                    }
+                };
+            }
+        }
+        dest.run.push(routed);
+        (true, dest.run.len())
+    }
+
+    /// Envelopes currently staged for `to_worker`.
+    pub fn staged_for(&self, to_worker: usize) -> usize {
+        self.dests[to_worker].run.len()
+    }
+
+    /// Envelopes staged across all destinations.
+    pub fn total_staged(&self) -> usize {
+        self.dests.iter().map(|d| d.run.len()).sum()
+    }
+
+    /// Hand the staged run for `to_worker` to the caller for draining
+    /// (e.g. via [`OutboundBuffers::push_batch`]), resetting the combining
+    /// index. The caller must leave the returned `Vec` empty.
+    pub fn take_run(&mut self, to_worker: usize) -> &mut Vec<Routed<M>> {
+        let dest = &mut self.dests[to_worker];
+        dest.index.clear();
+        &mut dest.run
     }
 }
 
@@ -177,16 +549,108 @@ mod tests {
     }
 
     #[test]
-    fn drain_all_and_append_all_roundtrip() {
+    fn slab_reuses_nodes_across_insert_drain_cycles() {
+        let s = PartitionStore::new(3);
+        let mut scratch = Vec::new();
+        for round in 0..50u64 {
+            for local in 0..3 {
+                s.insert(local, v(round as u32), round, None);
+                s.insert(local, v(round as u32), round + 1, None);
+            }
+            for local in 0..3 {
+                scratch.clear();
+                assert_eq!(s.drain_into(local, &mut scratch), 2);
+                assert_eq!(scratch[0].1, round);
+                assert_eq!(scratch[1].1, round + 1);
+            }
+        }
+        assert_eq!(s.total(), 0);
+        // Every shard's slab stabilized at the high-water mark (2 nodes),
+        // not 100 — the free list recycles.
+        for shard in &s.shards {
+            assert!(shard.lock().unwrap().slab.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn striping_spreads_adjacent_locals() {
+        let s = PartitionStore::<u64>::new(128);
+        let stripes = s.mask + 1;
+        assert!(stripes > 1);
+        // Adjacent locals land on different stripes (interleaved keying):
+        // the mask keeps the low bit, so locals 0 and 1 map to shards 0 and 1.
+        assert_ne!(1 & s.mask, 0);
+        // Every local maps to a valid in-range slot.
+        for local in 0..128 {
+            let (_, slot) = s.locate(local);
+            let shard = s.shards[local & s.mask].lock().unwrap();
+            assert!(slot < shard.head.len(), "local {local}");
+        }
+    }
+
+    #[test]
+    fn transfer_all_moves_and_counts() {
         let a = PartitionStore::new(2);
         let b = PartitionStore::new(2);
         a.insert(0, v(0), 1u64, None);
         a.insert(1, v(0), 2, None);
-        let batches = a.drain_all();
+        b.insert(1, v(9), 7, None); // pre-existing target message stays first
+        let mut moved = Vec::new();
+        a.transfer_all(&b, |local, sender| moved.push((local, sender)));
         assert_eq!(a.total(), 0);
-        b.append_all(batches);
-        assert_eq!(b.total(), 2);
-        assert_eq!(b.drain(1), vec![(v(0), 2)]);
+        assert_eq!(b.total(), 3);
+        let mut moved_sorted = moved.clone();
+        moved_sorted.sort();
+        assert_eq!(moved_sorted, vec![(0, v(0)), (1, v(0))]);
+        assert_eq!(b.drain(0), vec![(v(0), 1)]);
+        assert_eq!(b.drain(1), vec![(v(9), 7), (v(0), 2)]);
+    }
+
+    #[test]
+    fn export_restore_roundtrip() {
+        let s = PartitionStore::new(5);
+        s.insert(0, v(1), 10u64, None);
+        s.insert(0, v(2), 20, None);
+        s.insert(4, v(3), 30, None);
+        let snapshot = s.export();
+        assert_eq!(snapshot[0], vec![(v(1), 10), (v(2), 20)]);
+        assert_eq!(snapshot[4], vec![(v(3), 30)]);
+        s.insert(2, v(9), 99, None); // diverge, then roll back
+        let t = PartitionStore::new(5);
+        t.insert(3, v(7), 70, None); // stale content must vanish
+        t.restore(snapshot);
+        assert_eq!(t.total(), 3);
+        assert!(!t.has_messages(3));
+        assert_eq!(t.drain(0), vec![(v(1), 10), (v(2), 20)]);
+        assert_eq!(t.drain(4), vec![(v(3), 30)]);
+    }
+
+    #[test]
+    fn concurrent_striped_inserts_keep_exact_counts() {
+        use std::sync::Arc;
+        let s = Arc::new(PartitionStore::new(64));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        s.insert(((t * 17 + i) % 64) as usize, v(t as u32), i, None);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(s.total(), 4000);
+        let mut drained = 0;
+        let mut scratch = Vec::new();
+        for local in 0..64 {
+            scratch.clear();
+            drained += s.drain_into(local, &mut scratch);
+        }
+        assert_eq!(drained, 4000);
+        assert_eq!(s.total(), 0);
     }
 
     #[test]
@@ -199,5 +663,78 @@ mod tests {
         assert_eq!(taken.len(), 2);
         assert_eq!(o.pending_from(0), 0);
         assert!(o.take(0, 1).is_empty());
+    }
+
+    #[test]
+    fn push_batch_ships_full_batches_at_cap() {
+        let o = OutboundBuffers::new(2);
+        let mut staged: Vec<Routed<u64>> = (0..7).map(|i| (v(i), v(0), u64::from(i))).collect();
+        let full = o.push_batch(0, 1, &mut staged, 3);
+        assert!(staged.is_empty());
+        // 7 staged at cap 3: two full batches ship, one message remains.
+        assert_eq!(full.iter().map(Vec::len).collect::<Vec<_>>(), vec![3, 3]);
+        assert_eq!(o.pending_from(0), 1);
+        assert_eq!(o.take(0, 1).len(), 1);
+        assert_eq!(o.pending_from(0), 0);
+    }
+
+    #[test]
+    fn push_batch_below_cap_only_buffers() {
+        let o = OutboundBuffers::new(2);
+        let mut staged: Vec<Routed<u64>> = vec![(v(1), v(0), 1)];
+        assert!(o.push_batch(0, 1, &mut staged, usize::MAX).is_empty());
+        assert_eq!(o.pending_from(0), 1);
+    }
+
+    #[test]
+    fn staging_combines_sender_side() {
+        let c = MinCombiner;
+        let mut st = StagingBuffers::new(2, true);
+        let (grew, n) = st.stage(1, (v(7), v(0), 10u64), Some(&c));
+        assert!(grew);
+        assert_eq!(n, 1);
+        let (grew, n) = st.stage(1, (v(7), v(1), 3), Some(&c));
+        assert!(!grew, "second message to v7 must merge");
+        assert_eq!(n, 1);
+        let (grew, _) = st.stage(1, (v(8), v(2), 5), Some(&c));
+        assert!(grew);
+        assert_eq!(st.staged_for(1), 2);
+        assert_eq!(st.total_staged(), 2);
+        let run = st.take_run(1);
+        assert_eq!(run.as_slice(), &[(v(7), v(1), 3), (v(8), v(2), 5)]);
+        run.clear();
+        // After a flush the index is reset: the same vertex stages afresh.
+        let (grew, _) = st.stage(1, (v(7), v(3), 9), Some(&c));
+        assert!(grew);
+        assert_eq!(st.staged_for(1), 1);
+    }
+
+    #[test]
+    fn staging_without_combiner_keeps_every_message() {
+        let mut st = StagingBuffers::new(2, false);
+        st.stage(0, (v(1), v(0), 1u64), None);
+        st.stage(0, (v(1), v(0), 2), None);
+        assert_eq!(st.staged_for(0), 2);
+        assert_eq!(st.take_run(0).len(), 2);
+    }
+
+    #[test]
+    fn staging_flush_through_outbound_preserves_multiset() {
+        // stage -> push_batch -> take: nothing lost, nothing duplicated.
+        let mut st = StagingBuffers::new(2, false);
+        let o = OutboundBuffers::new(2);
+        for i in 0..10u64 {
+            st.stage(1, (v((i % 3) as u32), v(0), i), None);
+        }
+        let mut shipped: Vec<Routed<u64>> = Vec::new();
+        for batch in o.push_batch(0, 1, st.take_run(1), 4) {
+            shipped.extend(batch);
+        }
+        shipped.extend(o.take(0, 1));
+        assert_eq!(st.total_staged(), 0);
+        assert_eq!(o.pending_from(0), 0);
+        let mut payloads: Vec<u64> = shipped.iter().map(|r| r.2).collect();
+        payloads.sort_unstable();
+        assert_eq!(payloads, (0..10).collect::<Vec<_>>());
     }
 }

@@ -521,10 +521,13 @@ impl<P: GasProgram> Core<P> {
                 std::thread::yield_now();
             }
             // Scatter: read locks on out-neighbors, activation signals.
+            // v's own value is snapshotted once — one lock acquisition
+            // instead of one per out-neighbor; scatter sees the value this
+            // apply just committed either way.
+            let val = self.values[v.index()].read().unwrap().clone();
             for &u in g.out_neighbors(v) {
                 let activate = {
                     let nv = self.values[u.index()].read().unwrap();
-                    let val = self.values[v.index()].read().unwrap();
                     self.program.scatter_activate(g, v, &val, u, &nv)
                 };
                 if activate {

@@ -67,6 +67,11 @@ impl<P: GasProgram> SyncGasEngine<P> {
         let mut executions = 0u64;
         let mut rounds = 0u64;
         let mut per_round = Vec::new();
+        // Double buffers reused across rounds: `old` keeps the previous
+        // round's snapshot, `next_active` the activation frontier being
+        // built. Neither reallocates after the first round.
+        let mut old: Vec<P::Value> = Vec::new();
+        let mut next_active: Vec<bool> = vec![false; n];
 
         while rounds < self.max_rounds {
             if !active.iter().any(|&a| a) {
@@ -80,8 +85,8 @@ impl<P: GasProgram> SyncGasEngine<P> {
             }
             rounds += 1;
             let round_start = executions;
-            let old = values.clone(); // gather reads the previous round
-            let mut next_active = vec![false; n];
+            old.clone_from(&values); // gather reads the previous round
+            next_active.fill(false);
             for v in g.vertices() {
                 if !active[v.index()] {
                     continue;
@@ -108,7 +113,7 @@ impl<P: GasProgram> SyncGasEngine<P> {
                     }
                 }
             }
-            active = next_active;
+            std::mem::swap(&mut active, &mut next_active);
             if self.record_rounds {
                 per_round.push(executions - round_start);
             }

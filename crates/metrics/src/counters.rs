@@ -132,6 +132,15 @@ metrics! {
     checkpoints => Checkpoints,
     /// Checkpoint recoveries performed after an injected failure.
     recoveries => Recoveries,
+    /// Remote messages merged into an already-staged message by the
+    /// sender-side combiner before reaching the shared outbound buffers
+    /// (Giraph's classic optimization; each one is a message that never
+    /// paid for a lock or the simulated wire).
+    sender_combines => SenderCombines,
+    /// Per-thread staging buffers drained into the shared outbound buffer
+    /// caches — on the size threshold, at superstep boundaries, or by a C1
+    /// write-all flush.
+    staging_flushes => StagingFlushes,
 }
 
 impl Metrics {
@@ -282,9 +291,11 @@ mod tests {
 
     #[test]
     fn counter_enum_covers_every_field_in_order() {
-        assert_eq!(Counter::ALL.len(), 15);
+        assert_eq!(Counter::ALL.len(), 17);
         assert_eq!(Counter::ALL[0].name(), "local_messages");
         assert_eq!(Counter::ALL[14].name(), "recoveries");
+        assert_eq!(Counter::ALL[15].name(), "sender_combines");
+        assert_eq!(Counter::ALL[16].name(), "staging_flushes");
         // `get` agrees with the named field for every counter.
         let m = Metrics::new();
         for (i, &c) in Counter::ALL.iter().enumerate() {

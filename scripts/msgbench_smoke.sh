@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# sg-msgbench smoke: run the message-datapath bench lane at tiny sizes and
+# verify it emits a well-formed schema_version-2 BENCH_msgpath.json.
+# Offline-safe; writes only under target/ (SG_RESULTS_DIR redirects the
+# artifact away from the tracked results/ directory).
+#
+# Called by ci.sh and .github/workflows/ci.yml after the release build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=target/ci-msgbench-smoke
+rm -rf "$SMOKE"
+mkdir -p "$SMOKE"
+
+echo "-- sg-msgbench (tiny: 4k ops, 1-2 threads, 1 rep)"
+SG_RESULTS_DIR="$SMOKE" cargo run -q -p sg-bench --release --bin sg-msgbench -- \
+    --ops 4000 --slots 128 --threads 1,2 --reps 1 >"$SMOKE/msgbench.log"
+
+ART="$SMOKE/BENCH_msgpath.json"
+[ -f "$ART" ] || { echo "FAIL: $ART not written"; exit 1; }
+
+echo "-- artifact sanity (schema_version 2, expected cells present)"
+grep -q '"schema_version": *2' "$ART" || { echo "FAIL: schema_version 2 missing"; exit 1; }
+for cell in 'insert/striped/t2' 'drain/striped' 'flush/staged/t2' \
+    'hotpath/new/t2/combine' 'speedup/hotpath/t2/combine'; do
+    grep -q "\"$cell\"" "$ART" || { echo "FAIL: cell $cell missing"; exit 1; }
+done
+
+echo "-- headline present in the log"
+grep -q 'headline: hot-partition delivery' "$SMOKE/msgbench.log" \
+    || { echo "FAIL: no headline line"; exit 1; }
+
+echo "sg-msgbench smoke green."
