@@ -29,4 +29,7 @@ echo "== sg-check smoke (bounded exploration; seeded bug; failure exits) =="
 echo "== sg-msgbench smoke (tiny datapath bench; artifact schema check) =="
 ./scripts/msgbench_smoke.sh
 
+echo "== sg-net smoke (loopback multi-process cluster; fault recovery) =="
+./scripts/net_smoke.sh
+
 echo "CI green."

@@ -1,0 +1,489 @@
+//! `sg-cluster` — run the paper's synchronization techniques over real
+//! sockets and processes.
+//!
+//! ```text
+//! sg-cluster run [--workers N] [--ppw N] [--technique LABEL]
+//!                [--workload coloring|wcc|sssp] [--source V]
+//!                [--graph ring:N|grid:R:C|paper-c4|complete:N|er:N:M:SEED]
+//!                [--threads] [--bind ADDR] [--max-supersteps N]
+//!                [--buffer-cap N] [--fault RANK:SPEC]... [--no-history]
+//!                [--trace]
+//! sg-cluster bench [--workers N] [--threads]
+//! sg-cluster worker --coord ADDR --rank R        (internal)
+//! ```
+//!
+//! `run` launches one coordinator (in this process) plus `--workers` real
+//! OS processes — each a re-exec of this binary in the hidden `worker`
+//! mode — over loopback TCP, executes the workload under the chosen
+//! technique, and reports convergence, conflict counts, the merged-history
+//! 1SR verdict, and counter totals. `--threads` swaps processes for
+//! threads (same wire protocol, same sockets; what CI smoke uses for
+//! speed). `--fault 1:drop=3,kill=12` injects deterministic data-plane
+//! faults at worker 1's 3rd/12th frames.
+//!
+//! `bench` is the netbench lane: greedy coloring across all four
+//! techniques (plus the unsynchronized baseline), emitting
+//! `results/BENCH_net.json` and a merged Chrome trace
+//! `results/TRACE_net.json` consumable by `sg-trace analyze`.
+
+use sg_bench::{emit_obs, BenchLog};
+use sg_core::sg_algos::validate;
+use sg_core::sg_graph::{gen, Graph, VertexId};
+use sg_core::sg_net::{self, parse_fault_plan, FaultPlan, SpawnMode, Workload};
+use sg_core::{NetworkOptions, Runner, Technique};
+use std::process::ExitCode;
+
+const USAGE: &str = "sg-cluster — multi-process cluster runs of the synchronization techniques
+
+USAGE:
+    sg-cluster run [--workers N] [--ppw N] [--technique LABEL] [--workload W]
+                   [--source V] [--graph SPEC] [--threads] [--bind ADDR]
+                   [--max-supersteps N] [--buffer-cap N] [--fault RANK:SPEC]...
+                   [--no-history] [--trace]
+    sg-cluster bench [--workers N] [--threads]
+
+    techniques: none single-token dual-token vertex-lock partition-lock
+    workloads:  coloring (default) | wcc | sssp (--source picks the root)
+    graphs:     ring:N | grid:R:C | paper-c4 | complete:N | er:N:M:SEED
+                (default grid:8:8)
+    faults:     RANK:drop=F,dup=F,delay=F:MS,kill=F — data-plane frame
+                indices of worker RANK";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("worker") => worker(&args[1..]),
+        Some("run") => run(&args[1..]),
+        Some("bench") => bench(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!(
+                "sg-cluster: {}\n\n{USAGE}",
+                other.map_or("missing subcommand".into(), |o| format!(
+                    "unknown subcommand {o:?}"
+                ))
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Hidden worker mode: what `run`'s process spawner re-execs.
+fn worker(args: &[String]) -> ExitCode {
+    let mut coord = None;
+    let mut rank = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--coord" => {
+                i += 1;
+                coord = args.get(i).cloned();
+            }
+            "--rank" => {
+                i += 1;
+                rank = args.get(i).and_then(|r| r.parse::<u32>().ok());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let (Some(coord), Some(rank)) = (coord, rank) else {
+        eprintln!("sg-cluster worker: needs --coord <addr> --rank <r>");
+        return ExitCode::FAILURE;
+    };
+    match sg_net::worker_main(&coord, rank) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sg-cluster worker {rank}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct RunArgs {
+    workers: u32,
+    ppw: Option<u32>,
+    technique: Technique,
+    workload: Workload,
+    graph_spec: String,
+    threads: bool,
+    bind: String,
+    max_supersteps: u64,
+    buffer_cap: usize,
+    faults: Vec<(u32, FaultPlan)>,
+    history: bool,
+    trace: bool,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            ppw: None,
+            technique: Technique::PartitionLock,
+            workload: Workload::Coloring,
+            graph_spec: "grid:8:8".into(),
+            threads: false,
+            bind: "127.0.0.1:0".into(),
+            max_supersteps: 200,
+            buffer_cap: 64,
+            faults: Vec::new(),
+            history: true,
+            trace: false,
+        }
+    }
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut out = RunArgs::default();
+    let mut source = 0u32;
+    let mut want_sssp = false;
+    let mut i = 0;
+    let next = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                out.workers = next(args, &mut i, "--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?;
+            }
+            "--ppw" => {
+                out.ppw = Some(
+                    next(args, &mut i, "--ppw")?
+                        .parse()
+                        .map_err(|_| "--ppw needs an integer".to_string())?,
+                );
+            }
+            "--technique" => {
+                let label = next(args, &mut i, "--technique")?;
+                out.technique = technique_by_label(&label)
+                    .ok_or_else(|| format!("unknown technique {label:?}"))?;
+            }
+            "--workload" => {
+                let w = next(args, &mut i, "--workload")?;
+                match w.as_str() {
+                    "coloring" => out.workload = Workload::Coloring,
+                    "wcc" => out.workload = Workload::Wcc,
+                    "sssp" => want_sssp = true,
+                    other => return Err(format!("unknown workload {other:?}")),
+                }
+            }
+            "--source" => {
+                source = next(args, &mut i, "--source")?
+                    .parse()
+                    .map_err(|_| "--source needs a vertex id".to_string())?;
+            }
+            "--graph" => out.graph_spec = next(args, &mut i, "--graph")?,
+            "--threads" => out.threads = true,
+            "--bind" => out.bind = next(args, &mut i, "--bind")?,
+            "--max-supersteps" => {
+                out.max_supersteps = next(args, &mut i, "--max-supersteps")?
+                    .parse()
+                    .map_err(|_| "--max-supersteps needs an integer".to_string())?;
+            }
+            "--buffer-cap" => {
+                out.buffer_cap = next(args, &mut i, "--buffer-cap")?
+                    .parse()
+                    .map_err(|_| "--buffer-cap needs an integer".to_string())?;
+            }
+            "--fault" => {
+                let spec = next(args, &mut i, "--fault")?;
+                let (rank, plan) = spec
+                    .split_once(':')
+                    .ok_or_else(|| "--fault wants RANK:SPEC".to_string())?;
+                let rank = rank
+                    .parse::<u32>()
+                    .map_err(|_| format!("fault rank {rank:?} is not an integer"))?;
+                out.faults.push((rank, parse_fault_plan(plan)?));
+            }
+            "--no-history" => out.history = false,
+            "--trace" => out.trace = true,
+            other => return Err(format!("unknown run flag {other:?}")),
+        }
+        i += 1;
+    }
+    if want_sssp {
+        out.workload = Workload::Sssp(source);
+    }
+    Ok(out)
+}
+
+fn technique_by_label(label: &str) -> Option<Technique> {
+    [
+        Technique::None,
+        Technique::SingleToken,
+        Technique::DualToken,
+        Technique::VertexLock,
+        Technique::PartitionLock,
+        Technique::PartitionLockNoSkip,
+    ]
+    .into_iter()
+    .find(|t| t.label() == label)
+}
+
+fn parse_graph(spec: &str) -> Result<Graph, String> {
+    let mut parts = spec.split(':');
+    let kind = parts.next().unwrap_or("");
+    let nums: Vec<u64> = parts
+        .map(|p| {
+            p.parse::<u64>()
+                .map_err(|_| format!("graph spec {spec:?}: {p:?} is not a number"))
+        })
+        .collect::<Result<_, _>>()?;
+    match (kind, nums.as_slice()) {
+        ("ring", [n]) => Ok(gen::ring(*n as u32)),
+        ("grid", [r, c]) => Ok(gen::grid(*r as u32, *c as u32)),
+        ("paper-c4", []) => Ok(gen::paper_c4()),
+        ("complete", [n]) => Ok(gen::complete(*n as u32)),
+        ("er", [n, m, seed]) => Ok(gen::erdos_renyi(*n as u32, *m, true, *seed)),
+        _ => Err(format!(
+            "unknown graph spec {spec:?} (ring:N grid:R:C paper-c4 complete:N er:N:M:SEED)"
+        )),
+    }
+}
+
+fn spawn_mode(threads: bool) -> Result<SpawnMode, String> {
+    if threads {
+        return Ok(SpawnMode::Threads);
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    Ok(SpawnMode::Processes {
+        exe,
+        args: vec!["worker".into()],
+    })
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let parsed = match parse_run_args(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("sg-cluster run: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match execute(&parsed) {
+        Ok(ok) => {
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(3)
+            }
+        }
+        Err(e) => {
+            eprintln!("sg-cluster run: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Run one cluster configuration; `Ok(false)` means the run finished but
+/// failed validation (conflicts, non-convergence, or a 1SR violation).
+fn execute(a: &RunArgs) -> Result<bool, String> {
+    let graph = parse_graph(&a.graph_spec)?;
+    let spawn = spawn_mode(a.threads)?;
+    let mut runner = Runner::new(graph.clone())
+        .workers(a.workers)
+        .technique(a.technique)
+        .max_supersteps(a.max_supersteps)
+        .buffer_cap(a.buffer_cap)
+        .record_history(a.history)
+        .trace(a.trace)
+        .networked(NetworkOptions {
+            bind_addr: a.bind.clone(),
+            spawn,
+            faults: a.faults.clone(),
+        });
+    if let Some(ppw) = a.ppw {
+        runner = runner.partitions_per_worker(ppw);
+    }
+    let mode = if a.threads { "threads" } else { "processes" };
+    println!(
+        "running {} / {} on {} ({} vertices) with {} workers as {mode}",
+        a.technique.label(),
+        a.workload.name(),
+        a.graph_spec,
+        graph.num_vertices(),
+        a.workers,
+    );
+
+    let ok;
+    let report = |out: &sg_core::sg_engine::Outcome<u32>| -> (bool, String) {
+        let mut healthy = out.converged;
+        let mut extra = String::new();
+        if a.workload == Workload::Coloring {
+            let conflicts = validate::coloring_conflicts(&graph, &out.values);
+            extra = format!(", {conflicts} coloring conflicts");
+            healthy &= conflicts == 0 || a.technique == Technique::None;
+        }
+        if let Some(h) = &out.history {
+            let serializable = h.is_one_copy_serializable(&graph);
+            extra.push_str(&format!(", 1SR={serializable}"));
+            healthy &= serializable || a.technique == Technique::None;
+        }
+        (healthy, extra)
+    };
+    match a.workload {
+        Workload::Coloring | Workload::Wcc => {
+            let out = if a.workload == Workload::Coloring {
+                runner.run_coloring()
+            } else {
+                runner.run_wcc()
+            }
+            .map_err(|e| e.to_string())?;
+            let (healthy, extra) = report(&out);
+            ok = healthy;
+            println!(
+                "converged={} supersteps={} wall={:?}{extra}",
+                out.converged, out.supersteps, out.wall_time
+            );
+            print_counters(&out.metrics);
+        }
+        Workload::Sssp(source) => {
+            let out = runner
+                .run_sssp(VertexId::new(source))
+                .map_err(|e| e.to_string())?;
+            ok = out.converged;
+            println!(
+                "converged={} supersteps={} wall={:?} reached={}",
+                out.converged,
+                out.supersteps,
+                out.wall_time,
+                out.values.iter().filter(|&&d| d != u64::MAX).count()
+            );
+            print_counters(&out.metrics);
+        }
+    }
+    Ok(ok)
+}
+
+fn print_counters(m: &sg_core::sg_metrics::MetricsSnapshot) {
+    use sg_core::sg_metrics::Counter;
+    for c in [
+        Counter::VertexExecutions,
+        Counter::LocalMessages,
+        Counter::RemoteMessages,
+        Counter::RemoteBatches,
+        Counter::GlobalTokenPasses,
+        Counter::LocalTokenPasses,
+        Counter::ForkTransfers,
+        Counter::HaltedSkips,
+    ] {
+        let v = m.get(c);
+        if v > 0 {
+            println!("  {c:?}: {v}");
+        }
+    }
+}
+
+/// The netbench lane: coloring under every technique over loopback,
+/// `results/BENCH_net.json` + a merged Chrome trace from the last run.
+fn bench(args: &[String]) -> ExitCode {
+    let mut workers = 2u32;
+    let mut threads = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                i += 1;
+                workers = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(w) => w,
+                    None => {
+                        eprintln!("sg-cluster bench: --workers needs an integer");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--threads" => threads = true,
+            other => {
+                eprintln!("sg-cluster bench: unknown flag {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let spawn = match spawn_mode(threads) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sg-cluster bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let graph = gen::grid(8, 8);
+    let mut log = BenchLog::new("net", "coloring/grid-8x8");
+    let mut last_traced = None;
+    for technique in [
+        Technique::None,
+        Technique::SingleToken,
+        Technique::DualToken,
+        Technique::VertexLock,
+        Technique::PartitionLock,
+    ] {
+        let out = Runner::new(graph.clone())
+            .workers(workers)
+            .technique(technique)
+            .record_history(true)
+            .trace(true)
+            .networked(NetworkOptions {
+                bind_addr: "127.0.0.1:0".into(),
+                spawn: spawn.clone(),
+                faults: Vec::new(),
+            })
+            .run_coloring();
+        let out = match out {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("sg-cluster bench: {} failed: {e}", technique.label());
+                return ExitCode::from(2);
+            }
+        };
+        let conflicts = validate::coloring_conflicts(&graph, &out.values);
+        let serializable = out
+            .history
+            .as_ref()
+            .is_some_and(|h| h.is_one_copy_serializable(&graph));
+        println!(
+            "{:>16}: converged={} supersteps={} conflicts={conflicts} 1SR={serializable} wall={:?}",
+            technique.label(),
+            out.converged,
+            out.supersteps,
+            out.wall_time
+        );
+        if technique != Technique::None && (!out.converged || conflicts > 0 || !serializable) {
+            eprintln!(
+                "sg-cluster bench: {} produced an invalid run",
+                technique.label()
+            );
+            return ExitCode::from(3);
+        }
+        log.outcome_cell(technique.label(), technique.label(), &out);
+        if out.obs.is_some() {
+            last_traced = Some((technique.label(), out));
+        }
+    }
+    if let Some((label, out)) = &last_traced {
+        if let Some(obs) = &out.obs {
+            if let Err(e) = emit_obs("net", None, obs, label, "coloring/grid-8x8") {
+                eprintln!("sg-cluster bench: writing trace: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match log.write() {
+        Ok(path) => {
+            println!("wrote {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sg-cluster bench: writing BENCH_net.json: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! sg-trace analyze <trace.json> [--top-k N] [--json]
 //! sg-trace diff <a.json> <b.json>
+//! sg-trace merge <a.json> <b.json> [more...] --out <merged.json>
 //! sg-trace check <trace.json> --against results/BENCH_<name>.json
 //!                [--cell <label>] [--tolerance <pct>]
 //! ```
@@ -22,6 +23,7 @@ const USAGE: &str = "sg-trace — critical-path analysis of serigraph trace file
 USAGE:
     sg-trace analyze <trace.json> [--top-k N] [--json]
     sg-trace diff <a.json> <b.json>
+    sg-trace merge <a.json> <b.json> [more...] --out <merged.json>
     sg-trace check <trace.json> --against <BENCH.json> [--cell <label>] [--tolerance <pct>]
 
 Exit codes: 0 ok, 1 usage, 2 malformed or incompatible input, 3 tolerance failure.";
@@ -82,6 +84,32 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let ta = load_trace(Path::new(a))?;
             let tb = load_trace(Path::new(b))?;
             diff_text(&ta, &tb)
+        }
+        "merge" => {
+            let (positional, flags) = split_args(&args[1..], &["out"])?;
+            let mut out_path = None;
+            for (flag, value) in &flags {
+                match (flag.as_str(), value) {
+                    ("out", Some(v)) => out_path = Some(v.clone()),
+                    _ => return Err(usage(&format!("unknown merge flag --{flag}"))),
+                }
+            }
+            let Some(out_path) = out_path else {
+                return Err(usage("merge requires --out <merged.json>"));
+            };
+            if positional.len() < 2 {
+                return Err(usage("merge takes two or more trace files"));
+            }
+            let inputs = positional
+                .iter()
+                .map(|p| load_trace(Path::new(p)))
+                .collect::<Result<Vec<_>, _>>()?;
+            let merged = sgtrace::merge_traces(&inputs)?;
+            std::fs::write(&out_path, &merged.document).map_err(|e| CliError {
+                code: sgtrace::EXIT_MALFORMED,
+                message: format!("{out_path}: {e}"),
+            })?;
+            Ok(format!("{}wrote {out_path}\n", merged.summary))
         }
         "check" => {
             let (positional, flags) = split_args(&args[1..], &["against", "cell", "tolerance"])?;

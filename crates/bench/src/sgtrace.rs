@@ -225,6 +225,65 @@ fn require_comparable(a: &RunMeta, b: &RunMeta) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The product of `sg-trace merge`: one Chrome trace document spanning
+/// every input process, plus a human summary of the rank mapping.
+#[derive(Debug, Clone)]
+pub struct MergedTrace {
+    /// The merged Chrome `trace_event` JSON (with a `serigraph_run`
+    /// metadata record, so the output analyzes/diffs like any other).
+    pub document: String,
+    /// One line per input: its worker-rank offset in the merged space.
+    pub summary: String,
+}
+
+/// `sg-trace merge`: combine per-process trace files (e.g. the per-worker
+/// exports of an `sg-cluster` run) into one document. Worker ranks are
+/// namespaced per process — process *i*'s workers are shifted past all of
+/// process *i-1*'s — so the merged timeline shows every process's workers
+/// side by side and still feeds `analyze`/`diff`/`check`.
+pub fn merge_traces(inputs: &[ParsedTrace]) -> Result<MergedTrace, CliError> {
+    if inputs.len() < 2 {
+        return Err(CliError::malformed("merge needs at least two traces"));
+    }
+    for t in &inputs[1..] {
+        require_comparable(&inputs[0].meta, &t.meta)?;
+    }
+    let sources: Vec<Vec<TraceEvent>> = inputs.iter().map(|t| t.events.clone()).collect();
+    let (merged, offsets) = sg_core::sg_metrics::trace::merge_process_events(&sources);
+    let makespan = inputs.iter().map(|t| t.makespan_ns).max().unwrap_or(0);
+    let first = &inputs[0].meta;
+    let mut meta: Vec<(&str, String)> = Vec::new();
+    if let Some(v) = first.schema_version {
+        meta.push(("schema_version", v.to_string()));
+    }
+    if let Some(t) = &first.technique {
+        meta.push(("technique", t.clone()));
+    }
+    if let Some(w) = &first.workload {
+        meta.push(("workload", w.clone()));
+    }
+    meta.push(("makespan_ns", makespan.to_string()));
+    let buf = sg_core::sg_metrics::trace::TraceBuffer::from_events(&merged);
+    let mut out = Vec::new();
+    buf.write_chrome_trace_with_meta(&mut out, &meta)
+        .map_err(|e| CliError::malformed(format!("serializing merged trace: {e}")))?;
+    let document =
+        String::from_utf8(out).map_err(|e| CliError::malformed(format!("merged trace: {e}")))?;
+    let mut summary = String::new();
+    for (i, (t, off)) in inputs.iter().zip(&offsets).enumerate() {
+        summary.push_str(&format!(
+            "process {i}: {} events, workers start at rank {off}\n",
+            t.events.len()
+        ));
+    }
+    summary.push_str(&format!(
+        "merged: {} events, makespan {}\n",
+        merged.len(),
+        fmt_sim_ns(makespan)
+    ));
+    Ok(MergedTrace { document, summary })
+}
+
 fn signed_fmt(ns_a: u64, ns_b: u64) -> String {
     if ns_b >= ns_a {
         format!("+{}", fmt_sim_ns(ns_b - ns_a))
@@ -525,6 +584,35 @@ mod tests {
         assert!(json.contains("\"technique\":\"single-token\""));
         assert!(json.contains("\"critical_path\":{"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn merged_traces_namespace_ranks_and_still_analyze_and_diff() {
+        let meta = meta_v2("partition-lock", "coloring/toy", 1000);
+        let a = parse_trace(&sample_trace_json(&meta)).unwrap();
+        let b = parse_trace(&sample_trace_json(&meta)).unwrap();
+        let merged = merge_traces(&[a.clone(), b]).unwrap();
+        assert!(merged.summary.contains("workers start at rank 2"));
+        let parsed = parse_trace(&merged.document).unwrap();
+        assert_eq!(parsed.events.len(), 2 * a.events.len());
+        // Process 1's workers are shifted past process 0's two workers.
+        assert!(parsed.events.iter().any(|e| e.worker >= 2));
+        assert_eq!(parsed.meta.technique.as_deref(), Some("partition-lock"));
+        let out = analyze_text(&parsed, 5, false);
+        assert!(out.contains("makespan attribution:"));
+        let diff = diff_text(&parsed, &parsed).unwrap();
+        assert!(diff.contains("makespan"));
+    }
+
+    #[test]
+    fn merge_refuses_singletons_and_mismatched_runs() {
+        let a = parse_trace(&sample_trace_json(&meta_v2("a", "coloring/toy", 1000))).unwrap();
+        assert_eq!(
+            merge_traces(std::slice::from_ref(&a)).unwrap_err().code,
+            EXIT_MALFORMED
+        );
+        let b = parse_trace(&sample_trace_json(&meta_v2("a", "sssp/other", 1000))).unwrap();
+        assert_eq!(merge_traces(&[a, b]).unwrap_err().code, EXIT_MALFORMED);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 pub mod runner;
 
-pub use runner::{Runner, Technique};
+pub use runner::{NetworkOptions, Runner, Technique};
 
 // Re-export the subsystem crates under their crate names so downstream
 // users need only one dependency.
@@ -30,6 +30,7 @@ pub use sg_engine;
 pub use sg_gas;
 pub use sg_graph;
 pub use sg_metrics;
+pub use sg_net;
 pub use sg_serial;
 pub use sg_sync;
 
@@ -51,7 +52,7 @@ pub fn check_technique(technique: Technique) -> Option<sg_check::CheckTechnique>
 
 /// Everything most applications need.
 pub mod prelude {
-    pub use crate::runner::{Runner, Technique};
+    pub use crate::runner::{NetworkOptions, Runner, Technique};
     pub use sg_algos::{
         ConflictFixColoring, DeltaPageRank, GreedyColoring, GreedyMis, Sssp, Wcc, NO_COLOR,
     };

@@ -6,14 +6,42 @@ use sg_algos::{
     ConflictFixColoring, DeltaPageRank, GreedyColoring, GreedyMis, KCore, MisState, Sssp,
     TriangleCount, Wcc,
 };
-use sg_engine::{Engine, EngineConfig, EngineError, Model, Outcome, TechniqueKind, VertexProgram};
+use sg_engine::{
+    Engine, EngineConfig, EngineError, Model, Outcome, TechniqueKind, TransportKind, VertexProgram,
+};
 use sg_graph::{Graph, PartitionId, VertexId};
-use sg_metrics::{CostModel, ObsConfig};
+use sg_metrics::{CostModel, ObsConfig, ObsReport, TraceBuffer};
+use sg_net::{ClusterConfig, ClusterOutcome, FaultPlan, SpawnMode, WireValue, Workload};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// User-facing synchronization technique selector — a re-badged
 /// [`TechniqueKind`] so applications don't need to import `sg-engine`.
 pub type Technique = TechniqueKind;
+
+/// How a networked run brings up its cluster — handed to
+/// [`Runner::networked`]. The default is a loopback thread-per-rank
+/// cluster (real TCP sockets, no fork/exec); `spawn` switches to real OS
+/// processes and `bind_addr` moves the coordinator off loopback.
+#[derive(Clone, Debug)]
+pub struct NetworkOptions {
+    /// Coordinator listen address (`host:port`; port 0 picks a free one).
+    pub bind_addr: String,
+    /// Worker threads (default) or real OS processes.
+    pub spawn: SpawnMode,
+    /// Deterministic per-rank data-plane fault plans.
+    pub faults: Vec<(u32, FaultPlan)>,
+}
+
+impl Default for NetworkOptions {
+    fn default() -> Self {
+        Self {
+            bind_addr: "127.0.0.1:0".into(),
+            spawn: SpawnMode::Threads,
+            faults: Vec::new(),
+        }
+    }
+}
 
 /// Fluent builder for engine runs.
 ///
@@ -24,6 +52,7 @@ pub type Technique = TechniqueKind;
 pub struct Runner {
     graph: Arc<Graph>,
     config: EngineConfig,
+    net: Option<NetworkOptions>,
 }
 
 impl Runner {
@@ -37,6 +66,7 @@ impl Runner {
         Self {
             graph,
             config: EngineConfig::default(),
+            net: None,
         }
     }
 
@@ -152,6 +182,19 @@ impl Runner {
         self
     }
 
+    /// Execute over the `sg-net` cluster runtime instead of the
+    /// in-process engine: workers become threads or real OS processes
+    /// exchanging framed messages over TCP sockets, the coordinator hosts
+    /// the synchronization technique, and the run's transaction history
+    /// is merged across processes for the 1SR check. Only the wire-routed
+    /// workloads ([`Runner::run_coloring`], [`Runner::run_wcc`],
+    /// [`Runner::run_sssp`]) are available networked.
+    pub fn networked(mut self, opts: NetworkOptions) -> Self {
+        self.config.transport = TransportKind::Tcp;
+        self.net = Some(opts);
+        self
+    }
+
     /// The underlying engine configuration (escape hatch).
     pub fn config(&self) -> &EngineConfig {
         &self.config
@@ -167,12 +210,84 @@ impl Runner {
         &self,
         program: P,
     ) -> Result<Outcome<P::Value>, EngineError> {
+        if self.net.is_some() {
+            return Err(EngineError::InvalidConfig(
+                "arbitrary vertex programs cannot ship over the wire; networked runs \
+                 support run_coloring, run_wcc, and run_sssp"
+                    .into(),
+            ));
+        }
         Ok(Engine::new(Arc::clone(&self.graph), program, self.config.clone())?.run())
+    }
+
+    /// Route one of the wire-supported workloads through the `sg-net`
+    /// cluster runtime and translate the [`ClusterOutcome`] back into the
+    /// engine's [`Outcome`] shape.
+    fn run_networked<V: WireValue>(
+        &self,
+        opts: &NetworkOptions,
+        workload: Workload,
+    ) -> Result<Outcome<V>, EngineError> {
+        if self.config.model != Model::Async {
+            return Err(EngineError::InvalidConfig(
+                "networked runs use the asynchronous model".into(),
+            ));
+        }
+        let cfg = ClusterConfig {
+            workers: self.config.workers,
+            partitions_per_worker: self
+                .config
+                .partitions_per_worker
+                .unwrap_or(self.config.workers),
+            technique: self.config.technique,
+            workload,
+            max_supersteps: self.config.max_supersteps,
+            buffer_cap: self.config.buffer_cap as u64,
+            partition_seed: 0xC0FFEE,
+            explicit_partitions: self
+                .config
+                .explicit_partitions
+                .as_ref()
+                .map(|ps| ps.iter().map(|p| p.raw()).collect()),
+            record_history: self.config.record_history,
+            trace_capacity: if self.config.obs.trace {
+                self.config.obs.trace_capacity as u64
+            } else {
+                0
+            },
+            bind_addr: opts.bind_addr.clone(),
+            spawn: opts.spawn.clone(),
+            faults: opts.faults.clone(),
+        };
+        let started = Instant::now();
+        let out: ClusterOutcome = sg_net::run_cluster(&self.graph, &cfg)
+            .map_err(|e| EngineError::InvalidConfig(format!("cluster run failed: {e}")))?;
+        let obs = (!out.trace_events.is_empty()).then(|| ObsReport {
+            per_superstep: Vec::new(),
+            per_worker: Vec::new(),
+            trace: Some(Arc::new(TraceBuffer::from_events(&out.trace_events))),
+            totals: out.metrics,
+            makespan_ns: out.makespan_ns,
+            stalled: false,
+        });
+        Ok(Outcome {
+            values: out.typed_values(),
+            supersteps: out.supersteps,
+            converged: out.converged,
+            metrics: out.metrics,
+            makespan_ns: out.makespan_ns,
+            wall_time: started.elapsed(),
+            history: out.history,
+            obs,
+        })
     }
 
     /// Greedy graph coloring (Algorithm 1). Requires a symmetric graph;
     /// proper colorings require a serializable technique.
     pub fn run_coloring(&self) -> Result<Outcome<u32>, EngineError> {
+        if let Some(opts) = &self.net {
+            return self.run_networked(opts, Workload::Coloring);
+        }
         self.run_program(GreedyColoring)
     }
 
@@ -194,6 +309,9 @@ impl Runner {
 
     /// SSSP from `source` with unit weights.
     pub fn run_sssp(&self, source: VertexId) -> Result<Outcome<u64>, EngineError> {
+        if let Some(opts) = &self.net {
+            return self.run_networked(opts, Workload::Sssp(source.raw()));
+        }
         Ok(Engine::new(
             Arc::clone(&self.graph),
             Sssp::new(source),
@@ -205,6 +323,9 @@ impl Runner {
 
     /// Weakly connected components (HCC).
     pub fn run_wcc(&self) -> Result<Outcome<u32>, EngineError> {
+        if let Some(opts) = &self.net {
+            return self.run_networked(opts, Workload::Wcc);
+        }
         Ok(
             Engine::new(Arc::clone(&self.graph), Wcc, self.config.clone())?
                 .with_combiner(Box::new(Wcc::combiner()))

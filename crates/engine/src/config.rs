@@ -62,6 +62,22 @@ impl TechniqueKind {
     }
 }
 
+/// Which transport carries cross-worker protocol traffic (token passes,
+/// fork transfers, C1 write-all flushes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Workers are threads in one address space; the engine's own buffer
+    /// and store machinery is the network (the default, and the only kind
+    /// [`crate::Engine`] hosts directly).
+    #[default]
+    InProcess,
+    /// Workers are separate OS processes connected by TCP sockets. Runs
+    /// through the `sg-net` cluster runtime (`Runner::networked` in
+    /// `sg-core`), which replaces the engine's in-process datapath with a
+    /// framed wire protocol; [`crate::Engine::new`] rejects it.
+    Tcp,
+}
+
 /// Everything that shapes an engine run.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -116,6 +132,10 @@ pub struct EngineConfig {
     /// the engine's behaviour and counters are unchanged and each
     /// would-be trace event costs one branch.
     pub obs: ObsConfig,
+    /// Transport carrying cross-worker traffic. [`TransportKind::Tcp`]
+    /// selects the `sg-net` socket runtime and is only honoured by
+    /// `Runner::networked`; the in-process engine rejects it.
+    pub transport: TransportKind,
 }
 
 impl Default for EngineConfig {
@@ -136,6 +156,7 @@ impl Default for EngineConfig {
             fail_at_superstep: None,
             barrierless: false,
             obs: ObsConfig::default(),
+            transport: TransportKind::InProcess,
         }
     }
 }

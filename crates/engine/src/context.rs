@@ -25,6 +25,46 @@ pub struct Context<'a, P: VertexProgram + ?Sized> {
     pub(crate) clock_ns: u64,
 }
 
+impl<'a, P: VertexProgram + ?Sized> Context<'a, P> {
+    /// Build a context for a runtime *outside* this crate's engine — the
+    /// `sg-net` cluster worker executes vertex programs over TCP and needs
+    /// the same Pregel verbs without access to the private engine state.
+    /// Sends accumulate in `outgoing`; the caller dispatches them after
+    /// `compute()` returns and reads the halt vote via
+    /// [`Context::halted`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn external(
+        vertex: VertexId,
+        superstep: u64,
+        worker: u32,
+        graph: &'a Graph,
+        value: &'a mut P::Value,
+        outgoing: &'a mut Vec<(VertexId, P::Message)>,
+        aggregators: &'a AggregatorSet,
+        trace: &'a Trace,
+        clock_ns: u64,
+    ) -> Self {
+        Self {
+            vertex,
+            superstep,
+            worker,
+            graph,
+            value,
+            halt: false,
+            outgoing,
+            aggregators,
+            trace,
+            clock_ns,
+        }
+    }
+
+    /// Did the program vote to halt during this `compute()` call?
+    #[inline]
+    pub fn halted(&self) -> bool {
+        self.halt
+    }
+}
+
 impl<P: VertexProgram + ?Sized> Context<'_, P> {
     /// The vertex being executed.
     #[inline]

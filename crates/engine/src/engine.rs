@@ -91,6 +91,14 @@ impl<P: VertexProgram> Engine<P> {
     /// Section 7.1) and validates the configuration.
     pub fn new(graph: Arc<Graph>, program: P, config: EngineConfig) -> Result<Self, EngineError> {
         config.validate()?;
+        if config.transport != crate::config::TransportKind::InProcess {
+            return Err(EngineError::InvalidConfig(
+                "the in-process engine only hosts TransportKind::InProcess; \
+                 socket transports run through the sg-net cluster runtime \
+                 (Runner::networked)"
+                    .into(),
+            ));
+        }
         let layout = sg_graph::ClusterLayout::new(config.workers, config.effective_ppw());
         let pm = match &config.explicit_partitions {
             Some(assignment) => {

@@ -40,4 +40,7 @@ pub use counters::{Counter, Metrics, MetricsSnapshot};
 pub use critical_path::{Attribution, BlockingEdge, Category, CriticalPathReport, SuperstepPath};
 pub use report::{ObsConfig, ObsReport, SuperstepRow, WorkerBreakdown, WorkerTimers};
 pub use simtime::{CostModel, SimClocks};
-pub use trace::{Trace, TraceBuffer, TraceEvent, TraceEventKind, Watchdog};
+pub use trace::{
+    merge_process_events, merge_ranked_events, Trace, TraceBuffer, TraceEvent, TraceEventKind,
+    Watchdog,
+};

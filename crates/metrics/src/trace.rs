@@ -646,6 +646,72 @@ impl Drop for Watchdog {
     }
 }
 
+impl TraceBuffer {
+    /// Rebuild a buffer from decoded events, sharding by each event's
+    /// `worker` id — the inverse of [`TraceBuffer::all_events`] (up to ring
+    /// eviction). Used to re-materialize merged cross-process traces for
+    /// Chrome export.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let workers = events.iter().map(|e| e.worker + 1).max().unwrap_or(1) as usize;
+        let mut per_worker = vec![0usize; workers];
+        for e in events {
+            per_worker[e.worker as usize] += 1;
+        }
+        let capacity = per_worker.iter().copied().max().unwrap_or(0).max(1);
+        let buf = TraceBuffer::new(workers, capacity);
+        for e in events {
+            buf.shards[e.worker as usize].record(
+                e.superstep,
+                e.kind,
+                e.ts_ns,
+                e.dur_ns,
+                e.arg,
+                e.peer,
+            );
+        }
+        buf
+    }
+}
+
+/// Merge traces recorded by several *processes*, each with its own private
+/// worker-id space starting at 0, into one trace with a global id space.
+///
+/// Process `i`'s workers are namespaced by the running offset
+/// `offsets[i] = Σ_{j<i} worker_count(j)` (a process's worker count is its
+/// highest recorded worker id + 1), so ids from different processes never
+/// collide; `peer` references are remapped with the same offset because
+/// they point into the recording process's own id space. Returns the merged
+/// events and the per-process offsets for callers that need to translate
+/// other per-process data (breakdowns, histories) into the same space.
+pub fn merge_process_events(sources: &[Vec<TraceEvent>]) -> (Vec<TraceEvent>, Vec<u32>) {
+    let mut offsets = Vec::with_capacity(sources.len());
+    let mut merged = Vec::with_capacity(sources.iter().map(Vec::len).sum());
+    let mut next = 0u32;
+    for events in sources {
+        offsets.push(next);
+        let span = events.iter().map(|e| e.worker + 1).max().unwrap_or(0);
+        for e in events {
+            let mut e = *e;
+            e.worker += next;
+            e.peer = e.peer.map(|p| p + next);
+            merged.push(e);
+        }
+        next += span;
+    }
+    (merged, offsets)
+}
+
+/// Merge traces from processes that each recorded with a *pre-assigned*
+/// global worker rank: events keep their recorded `worker`/`peer` ids
+/// (already global, e.g. the `sg-cluster` runtime where process `i` *is*
+/// worker `i`), and the result is ordered by worker then chronology, the
+/// same order [`TraceBuffer::all_events`] produces.
+pub fn merge_ranked_events(sources: &[Vec<TraceEvent>]) -> Vec<TraceEvent> {
+    let mut merged: Vec<TraceEvent> = sources.iter().flatten().copied().collect();
+    merged.sort_by_key(|a| (a.worker, a.ts_ns, a.superstep));
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -716,6 +782,53 @@ mod tests {
             assert_eq!(TraceEventKind::try_from(b), Err(UnknownTraceKind(b)));
         }
         assert_eq!(TraceEventKind::from_name("not_a_kind"), None);
+    }
+
+    #[test]
+    fn merge_namespaces_worker_ids_per_process() {
+        // Two processes, each recording workers {0, 1} with peer edges
+        // inside their own id space: merged ids must not collide.
+        let mk = |arg| {
+            let b = TraceBuffer::new(2, 8);
+            b.record_peer(0, 1, TraceEventKind::BatchFlush, 10, 5, arg, 1);
+            b.record(1, 1, TraceEventKind::VertexExecute, 20, 5, arg);
+            [b.events(0), b.events(1)].concat()
+        };
+        let (merged, offsets) = merge_process_events(&[mk(1), mk(2)]);
+        assert_eq!(offsets, vec![0, 2]);
+        assert_eq!(merged.len(), 4);
+        let workers: Vec<u32> = merged.iter().map(|e| e.worker).collect();
+        assert_eq!(workers, vec![0, 1, 2, 3]);
+        // Peer edges stay inside their process's namespaced range.
+        assert_eq!(merged[0].peer, Some(1));
+        assert_eq!(merged[2].peer, Some(3));
+        // Round-trips through a buffer for Chrome export.
+        let buf = TraceBuffer::from_events(&merged);
+        assert_eq!(buf.num_workers(), 4);
+        assert_eq!(buf.all_events(), merged);
+    }
+
+    #[test]
+    fn merge_namespaced_skips_empty_sources() {
+        let b = TraceBuffer::new(1, 8);
+        b.record(0, 0, TraceEventKind::BarrierWait, 1, 0, 0);
+        let (merged, offsets) = merge_process_events(&[vec![], b.events(0)]);
+        assert_eq!(offsets, vec![0, 0]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].worker, 0);
+    }
+
+    #[test]
+    fn merge_ranked_keeps_global_ids_and_sorts() {
+        let a = TraceBuffer::new(2, 8); // process 0 = worker 0
+        a.record_peer(0, 0, TraceEventKind::BatchFlush, 30, 5, 0, 1);
+        let b = TraceBuffer::new(2, 8); // process 1 = worker 1
+        b.record(1, 0, TraceEventKind::VertexExecute, 10, 5, 0);
+        let merged = merge_ranked_events(&[a.events(0), b.events(1)]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].worker, 0);
+        assert_eq!(merged[0].peer, Some(1));
+        assert_eq!(merged[1].worker, 1);
     }
 
     #[test]

@@ -1,0 +1,959 @@
+//! The coordinator: cluster configuration, process/thread launch, the
+//! superstep driver, and the [`SyncTransport`] that carries the
+//! synchronization techniques over TCP.
+//!
+//! The coordinator hosts the *unmodified* [`Synchronizer`] — the same
+//! token rings and Chandy-Misra fork tables the in-process engine builds
+//! — and drives it from worker RPCs: `AcquireUnit`/`ReleaseUnit` frames
+//! feed a per-worker executor thread that blocks inside
+//! `Synchronizer::acquire_unit` exactly like an engine thread would, and
+//! the technique's transport callbacks (`on_fork_transfer*`,
+//! `flush_acknowledged`, `on_control_message`) become real network
+//! round-trips: a `FlushForks` request to the surrendering worker, a
+//! batched write-all over the mesh, an application receipt, and only
+//! then does the fork or token move.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use sg_engine::TechniqueKind;
+use sg_graph::{ClusterLayout, Graph, PartitionId, PartitionMap, VertexId, WorkerId};
+use sg_metrics::{
+    merge_ranked_events, Counter, Metrics, MetricsSnapshot, TraceEvent, TraceEventKind,
+};
+use sg_serial::{History, TxnRecord};
+use sg_sync::{
+    BspVertexLock, DualLayerToken, NoSync, PartitionLock, SingleLayerToken, SyncTransport,
+    Synchronizer, VertexLock,
+};
+
+use crate::link::{CtrlConn, FrameReader};
+use crate::wire::{
+    read_frame, FaultPlan, Message, RunSpec, WireTraceEvent, WireTxn, PROTOCOL_VERSION,
+};
+use crate::{Clock, NetError};
+
+/// `ComputeDone.superstep` sentinel a worker sends after its uploads: the
+/// upload stream is complete and the control connection may close.
+pub(crate) const GOODBYE_SUPERSTEP: u64 = u64::MAX;
+
+const SETUP_TIMEOUT: Duration = Duration::from_secs(30);
+const BARRIER_TIMEOUT: Duration = Duration::from_secs(120);
+const UPLOAD_TIMEOUT: Duration = Duration::from_secs(60);
+const FLUSH_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The workload a cluster run executes (the program dispatch happens on
+/// the workers; the coordinator only routes the name).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Greedy graph coloring (the paper's running example).
+    Coloring,
+    /// Weakly connected components by min-label propagation.
+    Wcc,
+    /// Single-source shortest paths; the argument is the source vertex.
+    Sssp(u32),
+}
+
+impl Workload {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Coloring => "coloring",
+            Workload::Wcc => "wcc",
+            Workload::Sssp(_) => "sssp",
+        }
+    }
+
+    /// Wire argument (SSSP source; 0 otherwise).
+    pub fn arg(self) -> u64 {
+        match self {
+            Workload::Sssp(s) => u64::from(s),
+            _ => 0,
+        }
+    }
+
+    /// Inverse of [`Workload::name`]/[`Workload::arg`].
+    pub fn parse(name: &str, arg: u64) -> Option<Workload> {
+        match name {
+            "coloring" => Some(Workload::Coloring),
+            "wcc" => Some(Workload::Wcc),
+            "sssp" => Some(Workload::Sssp(arg as u32)),
+            _ => None,
+        }
+    }
+}
+
+/// How worker ranks are brought up.
+#[derive(Clone, Debug)]
+pub enum SpawnMode {
+    /// Workers are threads of this process calling [`crate::worker_main`]
+    /// — same wire protocol, same real loopback sockets, no fork/exec.
+    /// The default; what the integration tests use.
+    Threads,
+    /// Workers are real OS processes: `exe args... --coord <addr> --rank
+    /// <r>`. The `sg-cluster` binary points `exe` at itself.
+    Processes {
+        /// Binary to launch.
+        exe: PathBuf,
+        /// Arguments placed before `--coord`/`--rank` (e.g. a worker
+        /// subcommand name).
+        args: Vec<String>,
+    },
+}
+
+/// Configuration for one cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Worker count (one process/thread each). Must be 1..=255 — history
+    /// stamps reserve one byte for the rank.
+    pub workers: u32,
+    /// Partitions per worker.
+    pub partitions_per_worker: u32,
+    /// Synchronization technique. `BspVertexLock` is not supported (its
+    /// sub-superstep schedule is an engine-internal construct).
+    pub technique: TechniqueKind,
+    /// What to compute.
+    pub workload: Workload,
+    /// Superstep cap.
+    pub max_supersteps: u64,
+    /// Remote staging capacity before an eager batch flush.
+    pub buffer_cap: u64,
+    /// Seed for the default hash partitioner.
+    pub partition_seed: u64,
+    /// Explicit vertex -> partition assignment (overrides the seed).
+    pub explicit_partitions: Option<Vec<u32>>,
+    /// Record per-vertex transaction intervals and run the merged 1SR
+    /// check at the coordinator.
+    pub record_history: bool,
+    /// Trace ring capacity per worker; 0 disables tracing.
+    pub trace_capacity: u64,
+    /// Coordinator listen address (`127.0.0.1:0` = loopback, any port).
+    pub bind_addr: String,
+    /// Threads or real processes.
+    pub spawn: SpawnMode,
+    /// Per-rank fault plans for the data plane.
+    pub faults: Vec<(u32, FaultPlan)>,
+}
+
+impl ClusterConfig {
+    /// A loopback thread-mode config with the defaults the in-process
+    /// engine uses.
+    pub fn new(workers: u32, technique: TechniqueKind, workload: Workload) -> Self {
+        Self {
+            workers,
+            partitions_per_worker: 2,
+            technique,
+            workload,
+            max_supersteps: 200,
+            buffer_cap: 64,
+            partition_seed: 0xC0FFEE,
+            explicit_partitions: None,
+            record_history: true,
+            trace_capacity: 0,
+            bind_addr: "127.0.0.1:0".into(),
+            spawn: SpawnMode::Threads,
+            faults: Vec::new(),
+        }
+    }
+}
+
+/// Everything a finished cluster run reports.
+#[derive(Debug)]
+pub struct ClusterOutcome {
+    /// Final vertex values in wire encoding, indexed by vertex id.
+    pub values: Vec<u64>,
+    /// Supersteps executed.
+    pub supersteps: u64,
+    /// Converged (vs. hitting the superstep cap)?
+    pub converged: bool,
+    /// Cluster-wide counter totals (workers' counters summed into the
+    /// coordinator technique's).
+    pub metrics: MetricsSnapshot,
+    /// Merged transaction history, when `record_history` was on.
+    pub history: Option<History>,
+    /// Merged trace events (already in global worker-rank space), when
+    /// `trace_capacity` was nonzero.
+    pub trace_events: Vec<TraceEvent>,
+    /// Coordinator wall-clock from first `StartSuperstep` to `Halt`.
+    pub makespan_ns: u64,
+}
+
+impl ClusterOutcome {
+    /// Decode the value vector into a program's value type.
+    pub fn typed_values<V: crate::wire::WireValue>(&self) -> Vec<V> {
+        self.values.iter().map(|&w| V::from_wire(w)).collect()
+    }
+}
+
+/// Map a wire label back to a [`TechniqueKind`].
+pub(crate) fn technique_from_label(label: &str) -> Option<TechniqueKind> {
+    [
+        TechniqueKind::None,
+        TechniqueKind::SingleToken,
+        TechniqueKind::DualToken,
+        TechniqueKind::VertexLock,
+        TechniqueKind::PartitionLock,
+        TechniqueKind::PartitionLockNoSkip,
+        TechniqueKind::BspVertexLock,
+    ]
+    .into_iter()
+    .find(|t| t.label() == label)
+}
+
+/// The engine's technique factory, shared by the coordinator (the real,
+/// state-holding instance) and the workers (stateless replicas used for
+/// `vertex_allowed` gating, granularity, and the skip decision — token
+/// holders are pure functions of the superstep).
+pub(crate) fn build_technique(
+    kind: TechniqueKind,
+    graph: &Graph,
+    pm: &Arc<PartitionMap>,
+    metrics: Arc<Metrics>,
+) -> Arc<dyn Synchronizer> {
+    match kind {
+        TechniqueKind::None => Arc::new(NoSync),
+        TechniqueKind::SingleToken => Arc::new(SingleLayerToken::new(Arc::clone(pm), metrics)),
+        TechniqueKind::DualToken => Arc::new(DualLayerToken::new(Arc::clone(pm), metrics)),
+        TechniqueKind::VertexLock => Arc::new(VertexLock::new(graph, pm, metrics)),
+        TechniqueKind::PartitionLock => Arc::new(PartitionLock::new(pm, metrics)),
+        TechniqueKind::PartitionLockNoSkip => {
+            Arc::new(PartitionLock::with_options(pm, metrics, false))
+        }
+        TechniqueKind::BspVertexLock => Arc::new(BspVertexLock::new(graph, pm, metrics)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator state
+// ---------------------------------------------------------------------------
+
+/// Everything the per-worker reader threads and the superstep driver
+/// share, under one mutex (the coordination rates are superstep-scale, so
+/// one lock keeps the ordering trivially sound).
+struct CoordState {
+    compute_done: u32,
+    votes: u32,
+    active_total: u64,
+    pending_total: u64,
+    goodbyes: u32,
+    values: Vec<Option<u64>>,
+    txns: Vec<WireTxn>,
+    events: Vec<TraceEvent>,
+    next_flush: u64,
+    flush_pending: HashMap<(u32, u32), u64>,
+    flush_done: HashSet<u64>,
+    failed: Option<String>,
+}
+
+struct Coord {
+    state: Mutex<CoordState>,
+    cv: Condvar,
+    conns: Vec<Arc<CtrlConn>>,
+    clock: Arc<Clock>,
+    metrics: Arc<Metrics>,
+    halting: AtomicBool,
+}
+
+impl Coord {
+    fn fail(&self, why: String) {
+        let mut st = self.state.lock().unwrap();
+        if st.failed.is_none() {
+            st.failed = Some(why);
+        }
+        self.cv.notify_all();
+    }
+
+    fn send(&self, rank: u32, msg: &Message) {
+        if self.conns[rank as usize].send(msg).is_err() {
+            self.fail(format!("control connection to worker {rank} is dead"));
+        }
+    }
+
+    /// Wait until `pred` yields `Some(T)` or the run fails / times out.
+    fn wait_for<T>(
+        &self,
+        what: &str,
+        timeout: Duration,
+        mut pred: impl FnMut(&mut CoordState) -> Option<T>,
+    ) -> Result<T, NetError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(err) = &st.failed {
+                return Err(NetError::Protocol(err.clone()));
+            }
+            if let Some(v) = pred(&mut st) {
+                return Ok(v);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::Protocol(format!("timed out waiting for {what}")));
+            }
+            st = self
+                .cv
+                .wait_timeout(st, (deadline - now).min(Duration::from_millis(200)))
+                .unwrap()
+                .0;
+        }
+    }
+}
+
+/// Lock acquire/release requests, executed in arrival order per worker.
+enum ExecReq {
+    Acquire(u32),
+    Release(u32),
+    Stop,
+}
+
+struct ExecQueue {
+    q: Mutex<VecDeque<ExecReq>>,
+    cv: Condvar,
+}
+
+impl ExecQueue {
+    fn new() -> Self {
+        Self {
+            q: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, req: ExecReq) {
+        self.q.lock().unwrap().push_back(req);
+        self.cv.notify_one();
+    }
+
+    fn pop(&self) -> ExecReq {
+        let mut q = self.q.lock().unwrap();
+        loop {
+            if let Some(req) = q.pop_front() {
+                return req;
+            }
+            q = self.cv.wait(q).unwrap();
+        }
+    }
+}
+
+/// The socket-backed [`SyncTransport`]. Fork/token movement initiates a
+/// `FlushForks` request to the surrendering worker; `flush_acknowledged`
+/// blocks until that worker reports the receiver applied everything —
+/// the C1 write-all receipt, stretched over TCP.
+struct CoordTransport {
+    coord: Arc<Coord>,
+}
+
+impl CoordTransport {
+    fn initiate(&self, from: u32, to: u32, unit: u64, token: bool) {
+        let flush_seq = {
+            let mut st = self.coord.state.lock().unwrap();
+            st.next_flush += 1;
+            let seq = st.next_flush;
+            st.flush_pending.insert((from, to), seq);
+            seq
+        };
+        self.coord.send(
+            from,
+            &Message::FlushForks {
+                target: to,
+                unit,
+                token,
+                flush_seq,
+            },
+        );
+    }
+}
+
+impl SyncTransport for CoordTransport {
+    fn on_fork_transfer(&self, from: WorkerId, to: WorkerId) {
+        self.initiate(from.raw(), to.raw(), 0, true);
+    }
+
+    fn on_fork_transfer_detail(&self, from: WorkerId, to: WorkerId, unit: u64) {
+        self.initiate(from.raw(), to.raw(), unit, false);
+    }
+
+    fn flush_acknowledged(&self, from: WorkerId, to: WorkerId) {
+        let key = (from.raw(), to.raw());
+        let seq = {
+            let mut st = self.coord.state.lock().unwrap();
+            st.flush_pending.remove(&key)
+        };
+        let Some(seq) = seq else { return };
+        // A failed wait poisons the run via `fail`; the techniques' ()
+        // return type means the driver loop surfaces the error instead.
+        let result = self.coord.wait_for("flush receipt", FLUSH_TIMEOUT, |st| {
+            st.flush_done.remove(&seq).then_some(())
+        });
+        if result.is_err() {
+            self.coord.fail(format!(
+                "write-all flush {} -> {} never acknowledged",
+                from.raw(),
+                to.raw()
+            ));
+        }
+    }
+
+    fn on_control_message(&self, from: WorkerId, to: WorkerId) {
+        self.coord
+            .send(from.raw(), &Message::RequestTokenRelay { target: to.raw() });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// run_cluster
+// ---------------------------------------------------------------------------
+
+/// Launch the cluster, drive the run to completion, and merge results.
+pub fn run_cluster(graph: &Graph, cfg: &ClusterConfig) -> Result<ClusterOutcome, NetError> {
+    validate(cfg)?;
+    let layout = ClusterLayout::new(cfg.workers, cfg.partitions_per_worker);
+    let assignment: Vec<u32> = match &cfg.explicit_partitions {
+        Some(parts) => {
+            if parts.len() != graph.num_vertices() as usize {
+                return Err(NetError::Config(format!(
+                    "explicit partition vector has {} entries for {} vertices",
+                    parts.len(),
+                    graph.num_vertices()
+                )));
+            }
+            parts.clone()
+        }
+        None => {
+            let pm = PartitionMap::build(
+                graph,
+                layout,
+                &sg_graph::partition::HashPartitioner::new(cfg.partition_seed),
+            );
+            graph.vertices().map(|v| pm.partition_of(v).raw()).collect()
+        }
+    };
+    let pm = Arc::new(PartitionMap::from_assignment(
+        graph,
+        layout,
+        assignment.iter().map(|&p| PartitionId::new(p)).collect(),
+    ));
+
+    let listener = TcpListener::bind(&cfg.bind_addr)?;
+    let coord_addr = listener.local_addr()?.to_string();
+
+    // Bring the ranks up before accepting: processes exec, threads call
+    // worker_main directly over the same sockets.
+    let mut children = Vec::new();
+    let mut threads = Vec::new();
+    match &cfg.spawn {
+        SpawnMode::Threads => {
+            for rank in 0..cfg.workers {
+                let addr = coord_addr.clone();
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("sg-net-worker-{rank}"))
+                        .spawn(move || crate::worker::worker_main(&addr, rank))
+                        .expect("spawn worker thread"),
+                );
+            }
+        }
+        SpawnMode::Processes { exe, args } => {
+            for rank in 0..cfg.workers {
+                let child = std::process::Command::new(exe)
+                    .args(args)
+                    .arg("--coord")
+                    .arg(&coord_addr)
+                    .arg("--rank")
+                    .arg(rank.to_string())
+                    .spawn()
+                    .map_err(|e| {
+                        NetError::Config(format!("spawning worker process {rank}: {e}"))
+                    })?;
+                children.push(child);
+            }
+        }
+    }
+
+    let run = drive(graph, cfg, &pm, &assignment, listener);
+
+    // Reap whatever we launched, success or not.
+    for child in &mut children {
+        if run.is_err() {
+            let _ = child.kill();
+        }
+        let _ = child.wait();
+    }
+    for handle in threads {
+        match handle.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                if run.is_ok() {
+                    return Err(NetError::Protocol(format!("worker thread failed: {e}")));
+                }
+            }
+            Err(_) => {
+                if run.is_ok() {
+                    return Err(NetError::Protocol("worker thread panicked".into()));
+                }
+            }
+        }
+    }
+    run
+}
+
+fn validate(cfg: &ClusterConfig) -> Result<(), NetError> {
+    if cfg.workers == 0 || cfg.workers > 255 {
+        return Err(NetError::Config(format!(
+            "workers must be 1..=255 (got {}): history stamps carry the rank in one byte",
+            cfg.workers
+        )));
+    }
+    if cfg.partitions_per_worker == 0 {
+        return Err(NetError::Config(
+            "partitions_per_worker must be >= 1".into(),
+        ));
+    }
+    if cfg.technique == TechniqueKind::BspVertexLock {
+        return Err(NetError::Config(
+            "bsp-vertex-lock schedules sub-supersteps inside the engine and has no \
+             cluster-runtime equivalent"
+                .into(),
+        ));
+    }
+    if cfg.max_supersteps == 0 {
+        return Err(NetError::Config("max_supersteps must be >= 1".into()));
+    }
+    Ok(())
+}
+
+/// Accept the workers, run setup + the superstep loop, merge results.
+fn drive(
+    graph: &Graph,
+    cfg: &ClusterConfig,
+    pm: &Arc<PartitionMap>,
+    assignment: &[u32],
+    listener: TcpListener,
+) -> Result<ClusterOutcome, NetError> {
+    let clock = Arc::new(Clock::new());
+
+    // Phase 1: collect one Hello per rank. Raw frame reads are safe here:
+    // a worker sends nothing after Hello until it sees Setup.
+    listener.set_nonblocking(true)?;
+    let deadline = Instant::now() + SETUP_TIMEOUT;
+    let mut pending: Vec<Option<(TcpStream, String)>> = (0..cfg.workers).map(|_| None).collect();
+    let mut joined = 0;
+    while joined < cfg.workers {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                let mut raw = &stream;
+                let hello = match read_frame(&mut raw)? {
+                    Some(Ok(frame)) => frame,
+                    _ => return Err(NetError::Protocol("bad Hello frame".into())),
+                };
+                clock.join(hello.clock);
+                match hello.msg {
+                    Message::Hello {
+                        version,
+                        rank,
+                        data_addr,
+                    } if version == PROTOCOL_VERSION => {
+                        let slot = pending.get_mut(rank as usize).ok_or_else(|| {
+                            NetError::Protocol(format!("rank {rank} out of range"))
+                        })?;
+                        if slot.is_some() {
+                            return Err(NetError::Protocol(format!("duplicate rank {rank}")));
+                        }
+                        *slot = Some((stream, data_addr));
+                        joined += 1;
+                    }
+                    Message::Hello { version, .. } => {
+                        return Err(NetError::Protocol(format!(
+                            "worker protocol version {version} != {PROTOCOL_VERSION}"
+                        )))
+                    }
+                    other => {
+                        return Err(NetError::Protocol(format!(
+                            "expected Hello, got kind {}",
+                            other.kind()
+                        )))
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(NetError::Protocol(format!(
+                        "only {joined}/{} workers joined within {SETUP_TIMEOUT:?}",
+                        cfg.workers
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+
+    // Phase 2: wrap control connections, ship Setup + PeerMap.
+    let epoch_ns = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut conns = Vec::with_capacity(cfg.workers as usize);
+    let mut readers = Vec::with_capacity(cfg.workers as usize);
+    let mut peer_addrs = Vec::with_capacity(cfg.workers as usize);
+    for (rank, slot) in pending.into_iter().enumerate() {
+        let (stream, data_addr) = slot.expect("all ranks joined");
+        let (ctrl, read_half) = CtrlConn::new(stream, Arc::clone(&clock))?;
+        conns.push(Arc::new(ctrl));
+        readers.push(read_half);
+        peer_addrs.push((rank as u32, data_addr));
+    }
+
+    let edges: Vec<(u32, u32)> = graph
+        .vertices()
+        .flat_map(|v| {
+            graph
+                .out_neighbors(v)
+                .iter()
+                .map(move |t| (v.raw(), t.raw()))
+        })
+        .collect();
+    for rank in 0..cfg.workers {
+        let fault = cfg
+            .faults
+            .iter()
+            .find(|(r, _)| *r == rank)
+            .map(|(_, f)| f.clone())
+            .unwrap_or_default();
+        let spec = RunSpec {
+            num_vertices: graph.num_vertices(),
+            edges: edges.clone(),
+            assignment: assignment.to_vec(),
+            workers: cfg.workers,
+            partitions_per_worker: cfg.partitions_per_worker,
+            technique: cfg.technique.label().to_string(),
+            workload: cfg.workload.name().to_string(),
+            workload_arg: cfg.workload.arg(),
+            max_supersteps: cfg.max_supersteps,
+            buffer_cap: cfg.buffer_cap,
+            record_history: cfg.record_history,
+            trace_capacity: cfg.trace_capacity,
+            epoch_ns,
+            fault,
+        };
+        conns[rank as usize].send(&Message::Setup {
+            spec: Box::new(spec),
+        })?;
+        conns[rank as usize].send(&Message::PeerMap {
+            peers: peer_addrs.clone(),
+        })?;
+    }
+
+    // Phase 3: shared state, reader + executor threads, the technique.
+    let metrics = Arc::new(Metrics::new());
+    let coord = Arc::new(Coord {
+        state: Mutex::new(CoordState {
+            compute_done: 0,
+            votes: 0,
+            active_total: 0,
+            pending_total: 0,
+            goodbyes: 0,
+            values: vec![None; graph.num_vertices() as usize],
+            txns: Vec::new(),
+            events: Vec::new(),
+            next_flush: 0,
+            flush_pending: HashMap::new(),
+            flush_done: HashSet::new(),
+            failed: None,
+        }),
+        cv: Condvar::new(),
+        conns,
+        clock: Arc::clone(&clock),
+        metrics: Arc::clone(&metrics),
+        halting: AtomicBool::new(false),
+    });
+    let sync = build_technique(cfg.technique, graph, pm, Arc::clone(&metrics));
+    let transport = CoordTransport {
+        coord: Arc::clone(&coord),
+    };
+    let queues: Arc<Vec<ExecQueue>> =
+        Arc::new((0..cfg.workers).map(|_| ExecQueue::new()).collect());
+
+    let mut service_threads = Vec::new();
+    for (rank, read_half) in readers.into_iter().enumerate() {
+        let coord2 = Arc::clone(&coord);
+        let queues2 = Arc::clone(&queues);
+        let clock2 = Arc::clone(&clock);
+        service_threads.push(
+            std::thread::Builder::new()
+                .name(format!("sg-net-coord-read-{rank}"))
+                .spawn(move || reader_thread(rank as u32, read_half, clock2, coord2, queues2))
+                .expect("spawn coordinator reader"),
+        );
+    }
+    for rank in 0..cfg.workers {
+        let coord2 = Arc::clone(&coord);
+        let queues2 = Arc::clone(&queues);
+        let sync2 = Arc::clone(&sync);
+        service_threads.push(
+            std::thread::Builder::new()
+                .name(format!("sg-net-coord-exec-{rank}"))
+                .spawn(move || executor_thread(rank, coord2, queues2, sync2))
+                .expect("spawn coordinator executor"),
+        );
+    }
+
+    // Phase 4: the superstep driver (two-phase barrier per superstep).
+    let start = Instant::now();
+    let mut superstep = 0u64;
+    let converged;
+    loop {
+        for rank in 0..cfg.workers {
+            coord.send(rank, &Message::StartSuperstep { superstep });
+        }
+        coord.wait_for("compute-done barrier", BARRIER_TIMEOUT, |st| {
+            (st.compute_done >= cfg.workers).then(|| st.compute_done = 0)
+        })?;
+        for rank in 0..cfg.workers {
+            coord.send(rank, &Message::ReportRequest { superstep });
+        }
+        let (active, _pending) = coord.wait_for("barrier votes", BARRIER_TIMEOUT, |st| {
+            (st.votes >= cfg.workers).then(|| {
+                st.votes = 0;
+                let out = (st.active_total, st.pending_total);
+                st.active_total = 0;
+                st.pending_total = 0;
+                out
+            })
+        })?;
+        sync.end_superstep(superstep, &transport);
+        // end_superstep may have initiated flushes that failed; surface it.
+        coord.wait_for("post-superstep health", Duration::from_millis(1), |_| {
+            Some(())
+        })?;
+        metrics.inc(Counter::Barriers);
+        metrics.inc(Counter::Supersteps);
+        superstep += 1;
+        if active == 0 {
+            converged = true;
+            break;
+        }
+        if superstep >= cfg.max_supersteps {
+            converged = false;
+            break;
+        }
+    }
+    let makespan_ns = start.elapsed().as_nanos() as u64;
+
+    // Phase 5: halt, collect uploads, tear down.
+    coord.halting.store(true, Ordering::SeqCst);
+    for rank in 0..cfg.workers {
+        coord.send(
+            rank,
+            &Message::Halt {
+                converged,
+                supersteps: superstep,
+            },
+        );
+    }
+    coord.wait_for("worker uploads", UPLOAD_TIMEOUT, |st| {
+        (st.goodbyes >= cfg.workers).then_some(())
+    })?;
+    for q in queues.iter() {
+        q.push(ExecReq::Stop);
+    }
+    for conn in &coord.conns {
+        conn.close();
+    }
+    for handle in service_threads {
+        let _ = handle.join();
+    }
+
+    let mut st = coord.state.lock().unwrap();
+    if let Some(err) = st.failed.take() {
+        return Err(NetError::Protocol(err));
+    }
+    let mut values = Vec::with_capacity(st.values.len());
+    for (i, v) in st.values.iter().enumerate() {
+        values.push(v.ok_or_else(|| {
+            NetError::Protocol(format!("vertex {i} missing from uploaded values"))
+        })?);
+    }
+    let history = if cfg.record_history {
+        let mut txns: Vec<TxnRecord> = st
+            .txns
+            .drain(..)
+            .map(|t| TxnRecord {
+                vertex: VertexId::new(t.vertex),
+                start: t.start,
+                end: t.end,
+                stale_reads: t.stale.into_iter().map(VertexId::new).collect(),
+                concurrent_neighbors: Vec::new(),
+            })
+            .collect();
+        txns.sort_by_key(|t| t.start);
+        Some(History::new(txns))
+    } else {
+        None
+    };
+    let trace_events = merge_ranked_events(&[std::mem::take(&mut st.events)]);
+
+    Ok(ClusterOutcome {
+        values,
+        supersteps: superstep,
+        converged,
+        metrics: metrics.snapshot(),
+        history,
+        trace_events,
+        makespan_ns,
+    })
+}
+
+/// Per-worker control-plane reader: dispatches barrier state, lock RPCs,
+/// flush receipts, and result uploads into the shared state.
+fn reader_thread(
+    rank: u32,
+    read_half: TcpStream,
+    clock: Arc<Clock>,
+    coord: Arc<Coord>,
+    queues: Arc<Vec<ExecQueue>>,
+) {
+    let mut reader = FrameReader::new(read_half, clock);
+    let mut clean_exit = false;
+    loop {
+        let msg = match reader.recv() {
+            Ok(Some(msg)) => msg,
+            Ok(None) => break,
+            Err(_) => break,
+        };
+        match msg {
+            Message::ComputeDone { superstep } if superstep == GOODBYE_SUPERSTEP => {
+                let mut st = coord.state.lock().unwrap();
+                st.goodbyes += 1;
+                coord.cv.notify_all();
+                clean_exit = true;
+            }
+            Message::ComputeDone { .. } => {
+                let mut st = coord.state.lock().unwrap();
+                st.compute_done += 1;
+                coord.cv.notify_all();
+            }
+            Message::BarrierVote {
+                active, pending, ..
+            } => {
+                let mut st = coord.state.lock().unwrap();
+                st.votes += 1;
+                st.active_total += active;
+                st.pending_total += pending;
+                coord.cv.notify_all();
+            }
+            Message::AcquireUnit { unit } => queues[rank as usize].push(ExecReq::Acquire(unit)),
+            Message::ReleaseUnit { unit } => queues[rank as usize].push(ExecReq::Release(unit)),
+            Message::FlushDone { flush_seq } => {
+                let mut st = coord.state.lock().unwrap();
+                st.flush_done.insert(flush_seq);
+                coord.cv.notify_all();
+            }
+            Message::ValuesUpload { values } => {
+                let mut st = coord.state.lock().unwrap();
+                for (v, w) in values {
+                    if let Some(slot) = st.values.get_mut(v as usize) {
+                        *slot = Some(w);
+                    }
+                }
+            }
+            Message::HistoryUpload { txns } => {
+                coord.state.lock().unwrap().txns.extend(txns);
+            }
+            Message::MetricsUpload { counters } => {
+                // Worker counters sum straight into the cluster totals
+                // (`Counter::ALL` order is the wire order).
+                for (c, v) in Counter::ALL.iter().zip(counters) {
+                    if v > 0 {
+                        coord.metrics.add(*c, v);
+                    }
+                }
+            }
+            Message::TraceUpload { events } => {
+                let mut st = coord.state.lock().unwrap();
+                st.events
+                    .extend(events.iter().filter_map(decode_trace_event));
+            }
+            _ => {}
+        }
+    }
+    if !clean_exit && !coord.halting.load(Ordering::SeqCst) {
+        coord.fail(format!("worker {rank} disconnected mid-run"));
+    }
+}
+
+fn decode_trace_event(e: &WireTraceEvent) -> Option<TraceEvent> {
+    Some(TraceEvent {
+        worker: e.worker,
+        superstep: e.superstep,
+        kind: TraceEventKind::try_from(e.kind).ok()?,
+        ts_ns: e.ts_ns,
+        dur_ns: e.dur_ns,
+        arg: e.arg,
+        peer: (e.peer != u32::MAX).then_some(e.peer),
+    })
+}
+
+/// Per-worker lock executor: runs blocking `acquire_unit` calls on the
+/// coordinator's technique (exactly like an engine worker thread would)
+/// and sends the grant when the unit is held.
+fn executor_thread(
+    rank: u32,
+    coord: Arc<Coord>,
+    queues: Arc<Vec<ExecQueue>>,
+    sync: Arc<dyn Synchronizer>,
+) {
+    let transport = CoordTransport {
+        coord: Arc::clone(&coord),
+    };
+    loop {
+        match queues[rank as usize].pop() {
+            ExecReq::Acquire(unit) => {
+                let _ready = sync.acquire_unit(unit, &transport);
+                coord.send(rank, &Message::UnitGranted { unit });
+            }
+            ExecReq::Release(unit) => {
+                let end_ts = coord.clock.tick();
+                sync.release_unit(unit, end_ts, &transport);
+            }
+            ExecReq::Stop => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graph::gen;
+
+    fn outcome(technique: TechniqueKind, workload: Workload) -> ClusterOutcome {
+        let g = gen::paper_c4();
+        let cfg = ClusterConfig::new(2, technique, workload);
+        run_cluster(&g, &cfg).expect("cluster run")
+    }
+
+    #[test]
+    fn thread_mode_coloring_single_token_is_proper_and_1sr() {
+        let out = outcome(TechniqueKind::SingleToken, Workload::Coloring);
+        assert!(out.converged);
+        let colors: Vec<u32> = out.typed_values();
+        assert_eq!(
+            sg_algos::validate::coloring_conflicts(&gen::paper_c4(), &colors),
+            0
+        );
+        let h = out.history.expect("history recorded");
+        assert!(h.is_one_copy_serializable(&gen::paper_c4()));
+    }
+
+    #[test]
+    fn thread_mode_wcc_partition_lock_converges() {
+        let out = outcome(TechniqueKind::PartitionLock, Workload::Wcc);
+        assert!(out.converged);
+        let labels: Vec<u32> = out.typed_values();
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+}

@@ -1,0 +1,150 @@
+//! Deterministic fault injection for the data plane.
+//!
+//! Every worker counts the data-plane frames it sends (one shared counter
+//! across all of its peer links, so the schedule is a pure function of
+//! the worker's send sequence) and consults its [`FaultPlan`] for each:
+//! the frame can be dropped (never written — recovered by fence-driven
+//! retransmit), duplicated (written twice — absorbed by receiver seq
+//! dedup), delayed (sender sleeps before the write), or the connection
+//! can be hard-killed just before the write (both directions shut down —
+//! recovered by redial with backoff and resume handshake).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+pub use crate::wire::FaultPlan;
+
+/// What to do with one outbound data-plane frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Write the frame normally.
+    Deliver,
+    /// Pretend to write the frame; keep it buffered for retransmit.
+    Drop,
+    /// Write the frame twice back to back.
+    Duplicate,
+    /// Sleep, then write the frame.
+    Delay(Duration),
+    /// Shut down the connection, then leave the frame buffered.
+    Kill,
+}
+
+/// Applies a [`FaultPlan`] to a monotone stream of send events.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    next_frame: AtomicU64,
+}
+
+impl FaultInjector {
+    /// An injector that never interferes.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            next_frame: AtomicU64::new(0),
+        }
+    }
+
+    /// True if any fault is scheduled (lets hot paths skip the counter).
+    pub fn is_active(&self) -> bool {
+        self.plan.is_active()
+    }
+
+    /// Claim the next frame index and decide its fate. Kill wins over
+    /// drop wins over duplicate wins over delay when a plan lists the
+    /// same index more than once.
+    pub fn next(&self) -> (u64, FaultAction) {
+        let idx = self.next_frame.fetch_add(1, Ordering::SeqCst);
+        (idx, self.action_for(idx))
+    }
+
+    fn action_for(&self, idx: u64) -> FaultAction {
+        if self.plan.kill_at_frame == Some(idx) {
+            FaultAction::Kill
+        } else if self.plan.drop_frames.contains(&idx) {
+            FaultAction::Drop
+        } else if self.plan.duplicate_frames.contains(&idx) {
+            FaultAction::Duplicate
+        } else if let Some(&(_, ms)) = self.plan.delay_frames.iter().find(|(i, _)| *i == idx) {
+            FaultAction::Delay(Duration::from_millis(ms))
+        } else {
+            FaultAction::Deliver
+        }
+    }
+}
+
+/// Parse a compact CLI fault spec: comma-separated clauses
+/// `drop=N`, `dup=N`, `delay=N:MS`, `kill=N`, each repeatable
+/// (`kill` last-one-wins). Example: `drop=3,dup=5,delay=7:50,kill=12`.
+pub fn parse_fault_plan(spec: &str) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::default();
+    for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+        let (key, val) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("fault clause `{clause}` missing `=`"))?;
+        let parse = |s: &str| {
+            s.parse::<u64>()
+                .map_err(|_| format!("fault clause `{clause}`: `{s}` is not a number"))
+        };
+        match key {
+            "drop" => plan.drop_frames.push(parse(val)?),
+            "dup" => plan.duplicate_frames.push(parse(val)?),
+            "delay" => {
+                let (idx, ms) = val
+                    .split_once(':')
+                    .ok_or_else(|| format!("delay clause `{clause}` wants `delay=FRAME:MS`"))?;
+                plan.delay_frames.push((parse(idx)?, parse(ms)?));
+            }
+            "kill" => plan.kill_at_frame = Some(parse(val)?),
+            other => return Err(format!("unknown fault kind `{other}` in `{clause}`")),
+        }
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_injector_always_delivers() {
+        let inj = FaultInjector::none();
+        assert!(!inj.is_active());
+        for i in 0..8 {
+            assert_eq!(inj.next(), (i, FaultAction::Deliver));
+        }
+    }
+
+    #[test]
+    fn schedule_follows_frame_indices() {
+        let plan = parse_fault_plan("drop=1,dup=2,delay=3:25,kill=4").unwrap();
+        let inj = FaultInjector::new(plan);
+        assert!(inj.is_active());
+        assert_eq!(inj.next().1, FaultAction::Deliver);
+        assert_eq!(inj.next().1, FaultAction::Drop);
+        assert_eq!(inj.next().1, FaultAction::Duplicate);
+        assert_eq!(inj.next().1, FaultAction::Delay(Duration::from_millis(25)));
+        assert_eq!(inj.next().1, FaultAction::Kill);
+        assert_eq!(inj.next().1, FaultAction::Deliver);
+    }
+
+    #[test]
+    fn kill_outranks_other_clauses_on_same_index() {
+        let plan = parse_fault_plan("drop=0,kill=0").unwrap();
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.next().1, FaultAction::Kill);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(parse_fault_plan("drop").is_err());
+        assert!(parse_fault_plan("drop=x").is_err());
+        assert!(parse_fault_plan("delay=3").is_err());
+        assert!(parse_fault_plan("explode=1").is_err());
+        assert!(parse_fault_plan("").unwrap().drop_frames.is_empty());
+    }
+}

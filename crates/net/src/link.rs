@@ -1,0 +1,755 @@
+//! Connection management: framed control-plane connections and the
+//! resilient peer-to-peer data links.
+//!
+//! Control-plane connections (worker ↔ coordinator) ride plain TCP and
+//! are assumed reliable — a lost coordinator is a lost run.
+//!
+//! Data-plane links (worker ↔ worker) survive injected faults. Every
+//! *sequenced* frame (vertex batches, flush fences, relayed request
+//! tokens) carries a per-direction sequence number starting at 1 and is
+//! buffered until acknowledged; the receiver applies frames strictly in
+//! sequence (duplicates and gaps are dropped) and reports its applied
+//! watermark in `FlushAck.ack_through`. Unsequenced frames (seq 0 —
+//! handshakes, acks, heartbeats) are idempotent and fire-and-forget.
+//! A C1 write-all fence is a sequenced `FlushPing`: once its seq is
+//! acknowledged, everything staged before it has been *applied* by the
+//! peer, which is exactly the receipt the write-all barrier needs.
+//! Lost connections are re-dialed by the lower-ranked side with
+//! exponential backoff (10ms doubling to 500ms); the resume handshake
+//! exchanges each side's next expected seq and the unacked tail is
+//! retransmitted.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::fault::{FaultAction, FaultInjector};
+use crate::wire::{read_frame, Frame, Message, PROTOCOL_VERSION};
+use crate::{Clock, NetError};
+
+/// How long a fence waits between retransmit attempts.
+const FENCE_RETRY: Duration = Duration::from_millis(100);
+/// Initial redial backoff; doubles per failure up to [`DIAL_BACKOFF_MAX`].
+const DIAL_BACKOFF_MIN: Duration = Duration::from_millis(10);
+/// Redial backoff cap.
+const DIAL_BACKOFF_MAX: Duration = Duration::from_millis(500);
+/// Handshake read timeout (a dead acceptor must not hang the dialer).
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(2);
+/// Idle threshold after which the maintenance tick sends a heartbeat.
+const HEARTBEAT_IDLE: Duration = Duration::from_millis(300);
+
+// ---------------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------------
+
+/// Shared write half of a framed control-plane connection. Reads happen
+/// on a dedicated thread via [`FrameReader`].
+pub struct CtrlConn {
+    writer: Mutex<TcpStream>,
+    seq: AtomicU64,
+    clock: Arc<Clock>,
+}
+
+impl CtrlConn {
+    /// Wrap a connected stream; returns the writer plus a cloned read
+    /// half for the caller's reader thread.
+    pub fn new(stream: TcpStream, clock: Arc<Clock>) -> std::io::Result<(Self, TcpStream)> {
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok((
+            Self {
+                writer: Mutex::new(stream),
+                seq: AtomicU64::new(1),
+                clock,
+            },
+            read_half,
+        ))
+    }
+
+    /// Frame and send one message.
+    pub fn send(&self, msg: &Message) -> std::io::Result<()> {
+        let frame = Frame {
+            seq: self.seq.fetch_add(1, Ordering::SeqCst),
+            clock: self.clock.tick(),
+            msg: msg.clone(),
+        };
+        let bytes = frame.encode();
+        let mut w = self.writer.lock().unwrap();
+        w.write_all(&bytes)
+    }
+
+    /// Shut the connection down (unblocks the reader thread too).
+    pub fn close(&self) {
+        let w = self.writer.lock().unwrap();
+        let _ = w.shutdown(Shutdown::Both);
+    }
+}
+
+/// Blocking framed reader over one stream; joins the Lamport clock on
+/// every received frame before handing the message to the caller.
+pub struct FrameReader {
+    reader: BufReader<TcpStream>,
+    clock: Arc<Clock>,
+}
+
+impl FrameReader {
+    pub fn new(stream: TcpStream, clock: Arc<Clock>) -> Self {
+        Self {
+            reader: BufReader::new(stream),
+            clock,
+        }
+    }
+
+    /// Next message, `Ok(None)` on clean EOF.
+    pub fn recv(&mut self) -> Result<Option<Message>, NetError> {
+        match read_frame(&mut self.reader)? {
+            None => Ok(None),
+            Some(Err(e)) => Err(NetError::Wire(e)),
+            Some(Ok(frame)) => {
+                self.clock.join(frame.clock);
+                Ok(Some(frame.msg))
+            }
+        }
+    }
+}
+
+/// Read one frame with a deadline — used only during handshakes. Reads
+/// the raw stream unbuffered (`read_frame` is `read_exact`-only) so no
+/// bytes belonging to post-handshake frames are swallowed.
+fn read_frame_timeout(stream: &TcpStream, timeout: Duration) -> Result<Frame, NetError> {
+    stream.set_read_timeout(Some(timeout))?;
+    let mut raw = stream;
+    let result = match read_frame(&mut raw)? {
+        None => Err(NetError::Protocol("peer closed during handshake".into())),
+        Some(Err(e)) => Err(NetError::Wire(e)),
+        Some(Ok(frame)) => Ok(frame),
+    };
+    stream.set_read_timeout(None)?;
+    result
+}
+
+fn write_handshake(
+    stream: &TcpStream,
+    clock: &Clock,
+    rank: u32,
+    resume_from: u64,
+) -> std::io::Result<()> {
+    let frame = Frame {
+        seq: 0,
+        clock: clock.tick(),
+        msg: Message::PeerHello {
+            version: PROTOCOL_VERSION,
+            rank,
+            resume_from,
+        },
+    };
+    (&mut (&*stream)).write_all(&frame.encode())
+}
+
+// ---------------------------------------------------------------------------
+// Data plane
+// ---------------------------------------------------------------------------
+
+/// Receiver-side callbacks a [`PeerLink`] delivers applied frames to.
+/// Invoked on the link's reader thread, strictly in frame-seq order.
+pub trait PeerHandler: Send + Sync + 'static {
+    /// A batch of `(to_vertex, from_vertex, payload)` vertex messages.
+    fn on_batch(&self, from: u32, msgs: &[(u32, u32, u64)]);
+    /// A relayed Chandy-Misra request token arrived.
+    fn on_request_token(&self, from: u32);
+}
+
+struct SendHalf {
+    stream: Option<TcpStream>,
+    /// Bumped on every (re)attach so stale reader threads stand down.
+    generation: u64,
+    /// Seq assigned to the next sequenced frame (starts at 1).
+    next_seq: u64,
+    /// Highest seq the peer has acknowledged *applying*.
+    acked: u64,
+    /// Unacked sequenced frames, oldest first.
+    buffer: VecDeque<(u64, Message)>,
+    backoff: Duration,
+    next_dial: Instant,
+    last_write: Instant,
+}
+
+struct LinkInner {
+    my_rank: u32,
+    peer_rank: u32,
+    peer_addr: String,
+    /// Lower rank dials; the other side accepts (and re-accepts).
+    dialer: bool,
+    clock: Arc<Clock>,
+    fault: Arc<FaultInjector>,
+    handler: Arc<dyn PeerHandler>,
+    send: Mutex<SendHalf>,
+    cv: Condvar,
+    /// Next sequenced incoming frame we will apply.
+    recv_next: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// One resilient full-duplex link to a peer worker.
+#[derive(Clone)]
+pub struct PeerLink {
+    inner: Arc<LinkInner>,
+}
+
+impl PeerLink {
+    pub fn new(
+        my_rank: u32,
+        peer_rank: u32,
+        peer_addr: String,
+        clock: Arc<Clock>,
+        fault: Arc<FaultInjector>,
+        handler: Arc<dyn PeerHandler>,
+    ) -> Self {
+        let now = Instant::now();
+        Self {
+            inner: Arc::new(LinkInner {
+                my_rank,
+                peer_rank,
+                peer_addr,
+                dialer: my_rank < peer_rank,
+                clock,
+                fault,
+                handler,
+                send: Mutex::new(SendHalf {
+                    stream: None,
+                    generation: 0,
+                    next_seq: 1,
+                    acked: 0,
+                    buffer: VecDeque::new(),
+                    backoff: DIAL_BACKOFF_MIN,
+                    next_dial: now,
+                    last_write: now,
+                }),
+                cv: Condvar::new(),
+                recv_next: AtomicU64::new(1),
+                shutdown: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    pub fn peer_rank(&self) -> u32 {
+        self.inner.peer_rank
+    }
+
+    pub fn is_dialer(&self) -> bool {
+        self.inner.dialer
+    }
+
+    pub fn is_connected(&self) -> bool {
+        self.inner.send.lock().unwrap().stream.is_some()
+    }
+
+    /// Next incoming sequenced frame this side will apply — the
+    /// `resume_from` value the accept-side handshake reports.
+    pub fn recv_next(&self) -> u64 {
+        self.inner.recv_next.load(Ordering::SeqCst)
+    }
+
+    /// Dial the peer and run the resume handshake. Dialer side only.
+    pub fn dial(&self) -> Result<(), NetError> {
+        debug_assert!(self.inner.dialer);
+        let stream = TcpStream::connect(&self.inner.peer_addr)?;
+        stream.set_nodelay(true)?;
+        write_handshake(
+            &stream,
+            &self.inner.clock,
+            self.inner.my_rank,
+            self.inner.recv_next.load(Ordering::SeqCst),
+        )?;
+        let reply = read_frame_timeout(&stream, HANDSHAKE_TIMEOUT)?;
+        self.inner.clock.join(reply.clock);
+        match reply.msg {
+            Message::PeerHello {
+                version,
+                rank,
+                resume_from,
+            } if version == PROTOCOL_VERSION && rank == self.inner.peer_rank => {
+                self.attach(stream, resume_from);
+                Ok(())
+            }
+            other => Err(NetError::Protocol(format!(
+                "bad handshake reply from rank {}: kind {}",
+                self.inner.peer_rank,
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Adopt an accepted replacement connection (acceptor side; the
+    /// listener already consumed the peer's `PeerHello` and replied).
+    pub fn accept(&self, stream: TcpStream, peer_resume_from: u64) {
+        let _ = stream.set_nodelay(true);
+        self.attach(stream, peer_resume_from);
+    }
+
+    /// Install a live stream: prune what the peer already applied,
+    /// retransmit the rest, and start a reader thread for this
+    /// connection generation.
+    fn attach(&self, stream: TcpStream, peer_resume_from: u64) {
+        let reader_stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let generation;
+        {
+            let mut s = self.inner.send.lock().unwrap();
+            if let Some(old) = s.stream.take() {
+                let _ = old.shutdown(Shutdown::Both);
+            }
+            s.generation += 1;
+            generation = s.generation;
+            s.backoff = DIAL_BACKOFF_MIN;
+            if peer_resume_from > 0 {
+                s.acked = s.acked.max(peer_resume_from - 1);
+            }
+            while s.buffer.front().is_some_and(|(seq, _)| *seq <= s.acked) {
+                s.buffer.pop_front();
+            }
+            s.stream = Some(stream);
+            retransmit_locked(&self.inner, &mut s);
+            self.inner.cv.notify_all();
+        }
+        let inner = Arc::clone(&self.inner);
+        std::thread::Builder::new()
+            .name(format!(
+                "sg-net-link-{}-{}",
+                self.inner.my_rank, self.inner.peer_rank
+            ))
+            .spawn(move || reader_loop(inner, reader_stream, generation))
+            .expect("spawn link reader");
+    }
+
+    /// Send a sequenced frame; returns its seq. The frame is buffered
+    /// until acknowledged, so a dead connection only delays it. Fault
+    /// injection applies here (and only here): deterministic plans count
+    /// sequenced data frames.
+    pub fn send(&self, msg: Message) -> u64 {
+        let mut s = self.inner.send.lock().unwrap();
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.buffer.push_back((seq, msg.clone()));
+        let action = if self.inner.fault.is_active() {
+            self.inner.fault.next().1
+        } else {
+            FaultAction::Deliver
+        };
+        match action {
+            FaultAction::Drop => {}
+            FaultAction::Kill => {
+                if let Some(stream) = s.stream.take() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            }
+            FaultAction::Deliver | FaultAction::Duplicate | FaultAction::Delay(_) => {
+                if let FaultAction::Delay(d) = action {
+                    std::thread::sleep(d);
+                }
+                let writes = if action == FaultAction::Duplicate {
+                    2
+                } else {
+                    1
+                };
+                for _ in 0..writes {
+                    write_one_locked(&self.inner, &mut s, seq, &msg);
+                }
+            }
+        }
+        seq
+    }
+
+    /// Fire-and-forget unsequenced frame (acks, heartbeats): never
+    /// buffered, never faulted, errors ignored (the sequenced machinery
+    /// recovers state).
+    fn send_unsequenced(&self, msg: Message) {
+        let mut s = self.inner.send.lock().unwrap();
+        write_one_locked(&self.inner, &mut s, 0, &msg);
+    }
+
+    /// C1 write-all fence: send a sequenced `FlushPing` and block until
+    /// the peer acknowledges applying it (and therefore everything
+    /// staged before it). Retransmits on an interval; re-dials if this
+    /// side owns dialing. Errs only after `timeout`.
+    pub fn flush_fence(&self, flush_seq: u64, timeout: Duration) -> Result<(), NetError> {
+        let ping_seq = self.send(Message::FlushPing { flush_seq });
+        let deadline = Instant::now() + timeout;
+        let mut s = self.inner.send.lock().unwrap();
+        loop {
+            if s.acked >= ping_seq {
+                return Ok(());
+            }
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                return Err(NetError::Protocol("link shut down during fence".into()));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::Protocol(format!(
+                    "flush fence to rank {} timed out (acked {}, fence {})",
+                    self.inner.peer_rank, s.acked, ping_seq
+                )));
+            }
+            let (guard, wait) = self
+                .inner
+                .cv
+                .wait_timeout(s, FENCE_RETRY.min(deadline - now))
+                .unwrap();
+            s = guard;
+            if wait.timed_out() && s.acked < ping_seq {
+                if s.stream.is_none() && self.inner.dialer {
+                    drop(s);
+                    let _ = self.dial();
+                    s = self.inner.send.lock().unwrap();
+                } else {
+                    retransmit_locked(&self.inner, &mut s);
+                }
+            }
+        }
+    }
+
+    /// Periodic upkeep, driven by the mesh maintenance thread: re-dial a
+    /// dead connection (dialer side, with backoff) and heartbeat idle
+    /// live ones so half-dead sockets are detected and retransmit
+    /// buffers stay pruned.
+    pub fn maintain(&self) {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = Instant::now();
+        let needs_dial = {
+            let mut s = self.inner.send.lock().unwrap();
+            if s.stream.is_none() {
+                self.inner.dialer && now >= s.next_dial
+            } else {
+                if now.duration_since(s.last_write) >= HEARTBEAT_IDLE {
+                    write_one_locked(&self.inner, &mut s, 0, &Message::Heartbeat);
+                }
+                false
+            }
+        };
+        if needs_dial && self.dial().is_err() {
+            let mut s = self.inner.send.lock().unwrap();
+            s.next_dial = now + s.backoff;
+            s.backoff = (s.backoff * 2).min(DIAL_BACKOFF_MAX);
+        }
+    }
+
+    /// Graceful shutdown: close the socket, wake fences, stop upkeep.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        let mut s = self.inner.send.lock().unwrap();
+        if let Some(stream) = s.stream.take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        self.inner.cv.notify_all();
+    }
+}
+
+/// Write one frame on the live stream, if any; on failure the stream is
+/// declared dead (the frame stays in the retransmit buffer if sequenced).
+fn write_one_locked(inner: &LinkInner, s: &mut SendHalf, seq: u64, msg: &Message) {
+    let frame = Frame {
+        seq,
+        clock: inner.clock.tick(),
+        msg: msg.clone(),
+    };
+    let bytes = frame.encode();
+    let dead = match &mut s.stream {
+        Some(stream) => stream.write_all(&bytes).is_err(),
+        None => return,
+    };
+    if dead {
+        if let Some(stream) = s.stream.take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    } else {
+        s.last_write = Instant::now();
+    }
+}
+
+/// Rewrite every unacked sequenced frame (fence retry / post-reconnect).
+/// Bypasses fault injection: retransmits model the recovery path, not new
+/// sends.
+fn retransmit_locked(inner: &LinkInner, s: &mut SendHalf) {
+    if s.stream.is_none() {
+        return;
+    }
+    let pending: Vec<(u64, Message)> = s.buffer.iter().cloned().collect();
+    for (seq, msg) in &pending {
+        if s.stream.is_none() {
+            break;
+        }
+        write_one_locked(inner, s, *seq, msg);
+    }
+}
+
+fn reader_loop(inner: Arc<LinkInner>, stream: TcpStream, generation: u64) {
+    let link = PeerLink {
+        inner: Arc::clone(&inner),
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(Ok(frame))) => frame,
+            // EOF, socket error, or a malformed frame all mean the same
+            // thing for this connection: it is done. Sequenced state
+            // survives in the buffers; a reconnect resumes it.
+            Ok(Some(Err(_))) | Ok(None) | Err(_) => break,
+        };
+        inner.clock.join(frame.clock);
+        if frame.seq == 0 {
+            match frame.msg {
+                Message::FlushAck { ack_through, .. } => {
+                    let mut s = inner.send.lock().unwrap();
+                    if ack_through > s.acked {
+                        s.acked = ack_through;
+                        while s.buffer.front().is_some_and(|(q, _)| *q <= ack_through) {
+                            s.buffer.pop_front();
+                        }
+                        inner.cv.notify_all();
+                    }
+                }
+                Message::Heartbeat => {
+                    let applied = inner.recv_next.load(Ordering::SeqCst) - 1;
+                    link.send_unsequenced(Message::FlushAck {
+                        flush_seq: 0,
+                        ack_through: applied,
+                    });
+                }
+                // Stray handshake or anything else unsequenced: ignore.
+                _ => {}
+            }
+            continue;
+        }
+        let expected = inner.recv_next.load(Ordering::SeqCst);
+        if frame.seq < expected {
+            // Duplicate (dup fault or retransmit overlap). Already
+            // applied — but a fence must still get its receipt.
+            if let Message::FlushPing { flush_seq } = frame.msg {
+                link.send_unsequenced(Message::FlushAck {
+                    flush_seq,
+                    ack_through: expected - 1,
+                });
+            }
+            continue;
+        }
+        if frame.seq > expected {
+            // Gap (a dropped frame): ignore; the sender's fence logic
+            // retransmits everything unacked, in order.
+            continue;
+        }
+        inner.recv_next.store(expected + 1, Ordering::SeqCst);
+        match frame.msg {
+            Message::BatchFlush { msgs } => inner.handler.on_batch(inner.peer_rank, &msgs),
+            Message::RequestToken => inner.handler.on_request_token(inner.peer_rank),
+            Message::FlushPing { flush_seq } => {
+                // The sequential read loop guarantees every earlier frame
+                // was applied before this receipt is produced.
+                link.send_unsequenced(Message::FlushAck {
+                    flush_seq,
+                    ack_through: expected,
+                });
+            }
+            _ => {}
+        }
+    }
+    // Declare the connection dead only if it is still the live one.
+    let mut s = inner.send.lock().unwrap();
+    if s.generation == generation {
+        if let Some(stream) = s.stream.take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        inner.cv.notify_all();
+    }
+}
+
+/// Accept-side handshake: read the dialer's `PeerHello`, reply with ours.
+/// Returns `(rank, peer_resume_from)` so the mesh can route the stream to
+/// its link (via [`PeerLink::accept`]).
+pub fn accept_handshake(
+    stream: &TcpStream,
+    clock: &Clock,
+    my_rank: u32,
+    my_resume_from: impl Fn(u32) -> u64,
+) -> Result<(u32, u64), NetError> {
+    let hello = read_frame_timeout(stream, HANDSHAKE_TIMEOUT)?;
+    clock.join(hello.clock);
+    match hello.msg {
+        Message::PeerHello {
+            version,
+            rank,
+            resume_from,
+        } if version == PROTOCOL_VERSION => {
+            write_handshake(stream, clock, my_rank, my_resume_from(rank))?;
+            Ok((rank, resume_from))
+        }
+        Message::PeerHello { version, .. } => Err(NetError::Protocol(format!(
+            "peer protocol version {version} != {PROTOCOL_VERSION}"
+        ))),
+        other => Err(NetError::Protocol(format!(
+            "expected PeerHello, got kind {}",
+            other.kind()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::atomic::AtomicUsize;
+
+    type RecordedBatch = (u32, Vec<(u32, u32, u64)>);
+
+    struct CountingHandler {
+        batches: Mutex<Vec<RecordedBatch>>,
+        tokens: AtomicUsize,
+    }
+
+    impl CountingHandler {
+        fn new() -> Arc<Self> {
+            Arc::new(Self {
+                batches: Mutex::new(Vec::new()),
+                tokens: AtomicUsize::new(0),
+            })
+        }
+    }
+
+    impl PeerHandler for CountingHandler {
+        fn on_batch(&self, from: u32, msgs: &[(u32, u32, u64)]) {
+            self.batches.lock().unwrap().push((from, msgs.to_vec()));
+        }
+        fn on_request_token(&self, _from: u32) {
+            self.tokens.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Build a connected pair of links over real loopback sockets, with
+    /// a fault plan on side A.
+    fn linked_pair(
+        fault_a: FaultInjector,
+    ) -> (
+        PeerLink,
+        PeerLink,
+        Arc<CountingHandler>,
+        Arc<CountingHandler>,
+    ) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let clock_a = Arc::new(Clock::new());
+        let clock_b = Arc::new(Clock::new());
+        let ha = CountingHandler::new();
+        let hb = CountingHandler::new();
+        let a = PeerLink::new(
+            0,
+            1,
+            addr,
+            Arc::clone(&clock_a),
+            Arc::new(fault_a),
+            ha.clone() as Arc<dyn PeerHandler>,
+        );
+        let b = PeerLink::new(
+            1,
+            0,
+            String::new(),
+            Arc::clone(&clock_b),
+            Arc::new(FaultInjector::none()),
+            hb.clone() as Arc<dyn PeerHandler>,
+        );
+        // Acceptor loop for side B: keep accepting replacement
+        // connections like the worker mesh listener does.
+        {
+            let b = b.clone();
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(stream) = stream else { break };
+                    let b2 = b.clone();
+                    let Ok((_rank, resume)) = accept_handshake(&stream, &clock_b, 1, |_| {
+                        b2.inner.recv_next.load(Ordering::SeqCst)
+                    }) else {
+                        continue;
+                    };
+                    b.accept(stream, resume);
+                }
+            });
+        }
+        a.dial().expect("initial dial");
+        (a, b, ha, hb)
+    }
+
+    #[test]
+    fn batches_flow_and_fence_acknowledges_application() {
+        let (a, _b, _ha, hb) = linked_pair(FaultInjector::none());
+        a.send(Message::BatchFlush {
+            msgs: vec![(7, 3, 42)],
+        });
+        a.flush_fence(1, Duration::from_secs(5)).unwrap();
+        let batches = hb.batches.lock().unwrap();
+        assert_eq!(batches.as_slice(), &[(0, vec![(7, 3, 42)])]);
+    }
+
+    #[test]
+    fn dropped_frame_recovered_by_fence_retransmit() {
+        // Frame index 0 (the first batch) is dropped on the wire.
+        let plan = crate::fault::parse_fault_plan("drop=0").unwrap();
+        let (a, _b, _ha, hb) = linked_pair(FaultInjector::new(plan));
+        a.send(Message::BatchFlush {
+            msgs: vec![(1, 0, 9)],
+        });
+        a.send(Message::BatchFlush {
+            msgs: vec![(2, 0, 11)],
+        });
+        a.flush_fence(1, Duration::from_secs(10)).unwrap();
+        let batches = hb.batches.lock().unwrap();
+        assert_eq!(
+            batches.as_slice(),
+            &[(0, vec![(1, 0, 9)]), (0, vec![(2, 0, 11)])],
+            "both batches applied exactly once, in order, despite the drop"
+        );
+    }
+
+    #[test]
+    fn duplicated_frame_applied_once() {
+        let plan = crate::fault::parse_fault_plan("dup=0").unwrap();
+        let (a, _b, _ha, hb) = linked_pair(FaultInjector::new(plan));
+        a.send(Message::BatchFlush {
+            msgs: vec![(4, 2, 5)],
+        });
+        a.flush_fence(1, Duration::from_secs(10)).unwrap();
+        assert_eq!(hb.batches.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn killed_connection_redials_and_resumes() {
+        let plan = crate::fault::parse_fault_plan("kill=1").unwrap();
+        let (a, _b, _ha, hb) = linked_pair(FaultInjector::new(plan));
+        a.send(Message::BatchFlush {
+            msgs: vec![(1, 0, 1)],
+        });
+        // This send hard-kills the socket; the frame stays buffered.
+        a.send(Message::BatchFlush {
+            msgs: vec![(2, 0, 2)],
+        });
+        a.flush_fence(1, Duration::from_secs(10)).unwrap();
+        let batches = hb.batches.lock().unwrap();
+        assert_eq!(batches.len(), 2, "both batches survive the kill");
+        assert!(a.is_connected(), "link re-established");
+    }
+
+    #[test]
+    fn request_token_relays() {
+        let (a, _b, _ha, hb) = linked_pair(FaultInjector::none());
+        a.send(Message::RequestToken);
+        a.flush_fence(1, Duration::from_secs(5)).unwrap();
+        assert_eq!(hb.tokens.load(Ordering::SeqCst), 1);
+    }
+}

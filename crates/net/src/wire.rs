@@ -1,0 +1,931 @@
+//! Length-prefixed frame codec for the sg-net wire protocol.
+//!
+//! Every frame on a socket is `[u32 LE payload length][payload]`; the
+//! payload is `[kind: u8][seq: u64 LE][clock: u64 LE][body]`. `seq` is the
+//! per-connection frame sequence number (receivers deduplicate on it, so
+//! retransmitted and fault-injected duplicate frames are idempotent);
+//! `clock` is the sender's Lamport clock, joined by the receiver on every
+//! frame so transaction timestamps from different processes are comparable.
+//!
+//! Decoding never panics and never trusts a length field: a malformed,
+//! truncated, or oversized frame yields a [`WireError`]. Every collection
+//! length is validated against the bytes actually remaining before any
+//! allocation happens.
+
+use std::fmt;
+
+/// Hard cap on a single frame payload. Far above anything the runtime
+/// emits (the largest frames are graph setup and batch flushes, both far
+/// smaller); primarily a guard against hostile or corrupt length prefixes.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Protocol version byte carried in `Hello`/`PeerHello`; bumped on any
+/// incompatible codec change.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Codec failure. All variants are recoverable at the connection level
+/// (the connection is dropped and re-established; the process never
+/// panics).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the message was fully decoded.
+    Truncated,
+    /// Unknown message kind byte.
+    BadKind(u8),
+    /// A length prefix exceeded [`MAX_FRAME_LEN`] or the bytes remaining.
+    BadLength(u64),
+    /// Bytes remained after a complete message was decoded.
+    TrailingBytes(usize),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::BadLength(n) => write!(f, "implausible length field {n}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Byte-level reader/writer
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A collection length, validated against the bytes left assuming each
+    /// element occupies at least `min_elem` bytes — so a corrupt length
+    /// can never trigger a huge allocation.
+    fn len(&mut self, min_elem: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem.max(1)) > self.remaining() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol payload structures
+
+/// Deterministic fault-injection plan for one worker's *data-plane* sends.
+/// Frame indices count every frame this worker sends to peers over the
+/// whole run (starting at 0), making injections exactly reproducible.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Swallow these sends (the frame stays in the retransmit buffer, so
+    /// recovery must come from the timeout/retry path).
+    pub drop_frames: Vec<u64>,
+    /// Send these frames twice (receiver-side seq dedup must absorb it).
+    pub duplicate_frames: Vec<u64>,
+    /// Delay these sends by the paired number of milliseconds.
+    pub delay_frames: Vec<(u64, u64)>,
+    /// Hard-close the underlying socket immediately before this send —
+    /// the mid-superstep connection-drop experiment.
+    pub kill_at_frame: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Does this plan inject anything at all?
+    pub fn is_active(&self) -> bool {
+        !self.drop_frames.is_empty()
+            || !self.duplicate_frames.is_empty()
+            || !self.delay_frames.is_empty()
+            || self.kill_at_frame.is_some()
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u32(buf, self.drop_frames.len() as u32);
+        for &f in &self.drop_frames {
+            put_u64(buf, f);
+        }
+        put_u32(buf, self.duplicate_frames.len() as u32);
+        for &f in &self.duplicate_frames {
+            put_u64(buf, f);
+        }
+        put_u32(buf, self.delay_frames.len() as u32);
+        for &(f, ms) in &self.delay_frames {
+            put_u64(buf, f);
+            put_u64(buf, ms);
+        }
+        match self.kill_at_frame {
+            None => put_u8(buf, 0),
+            Some(f) => {
+                put_u8(buf, 1);
+                put_u64(buf, f);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.len(8)?;
+        let drop_frames = (0..n).map(|_| r.u64()).collect::<Result<_, _>>()?;
+        let n = r.len(8)?;
+        let duplicate_frames = (0..n).map(|_| r.u64()).collect::<Result<_, _>>()?;
+        let n = r.len(16)?;
+        let delay_frames = (0..n)
+            .map(|_| Ok((r.u64()?, r.u64()?)))
+            .collect::<Result<_, WireError>>()?;
+        let kill_at_frame = match r.u8()? {
+            0 => None,
+            _ => Some(r.u64()?),
+        };
+        Ok(Self {
+            drop_frames,
+            duplicate_frames,
+            delay_frames,
+            kill_at_frame,
+        })
+    }
+}
+
+/// Everything a worker process needs to run its share of the computation,
+/// shipped by the coordinator in the `Setup` frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Vertex count of the (directed) graph.
+    pub num_vertices: u32,
+    /// Directed edge list.
+    pub edges: Vec<(u32, u32)>,
+    /// Vertex -> partition assignment (global partition ids; worker of a
+    /// partition is `partition / partitions_per_worker`).
+    pub assignment: Vec<u32>,
+    /// Cluster shape.
+    pub workers: u32,
+    /// Partitions per worker.
+    pub partitions_per_worker: u32,
+    /// `TechniqueKind` label (decoded by the runtime, not the codec).
+    pub technique: String,
+    /// Workload name ("coloring", "wcc", "sssp").
+    pub workload: String,
+    /// Workload argument (SSSP source; unused otherwise).
+    pub workload_arg: u64,
+    /// Superstep cap.
+    pub max_supersteps: u64,
+    /// Remote staging buffer capacity before an eager batch flush.
+    pub buffer_cap: u64,
+    /// Record per-vertex transaction intervals for the 1SR check.
+    pub record_history: bool,
+    /// Trace ring capacity per worker; 0 disables tracing.
+    pub trace_capacity: u64,
+    /// Coordinator's wall-clock epoch (ns since `UNIX_EPOCH`); workers
+    /// stamp trace events relative to it so one merged timeline emerges.
+    pub epoch_ns: u64,
+    /// Fault plan for *this* worker's data-plane connections.
+    pub fault: FaultPlan,
+}
+
+/// One recorded transaction interval, uploaded for the merged 1SR check.
+/// Timestamps are composite Lamport stamps (`lamport << 8 | rank`), giving
+/// a process-unique total order consistent with happens-before.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireTxn {
+    /// Executed vertex.
+    pub vertex: u32,
+    /// Transaction start stamp.
+    pub start: u64,
+    /// Transaction end stamp (half-open interval).
+    pub end: u64,
+    /// In-neighbors whose updates were received but not yet applied at
+    /// start — observable C1 staleness.
+    pub stale: Vec<u32>,
+}
+
+/// One trace event, uploaded for the merged Chrome trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireTraceEvent {
+    /// Recording worker (global rank).
+    pub worker: u32,
+    /// Superstep.
+    pub superstep: u64,
+    /// `TraceEventKind` byte.
+    pub kind: u8,
+    /// Start, ns since the run epoch.
+    pub ts_ns: u64,
+    /// Duration, ns.
+    pub dur_ns: u64,
+    /// Kind-specific payload.
+    pub arg: u64,
+    /// Destination worker for cross-worker events (`u32::MAX` = none).
+    pub peer: u32,
+}
+
+/// A typed protocol message. Control-plane messages travel on the
+/// coordinator link; data-plane messages on the worker-to-worker mesh.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    // -- control plane: worker -> coordinator -------------------------------
+    /// Worker `rank` joined; `data_addr` is its peer-mesh listener.
+    Hello {
+        /// Codec version; mismatches abort the handshake.
+        version: u8,
+        /// Global worker rank.
+        rank: u32,
+        /// `host:port` of this worker's data-plane listener.
+        data_addr: String,
+    },
+    /// Compute for `superstep` finished and all staged batches flushed.
+    ComputeDone {
+        /// The completed superstep.
+        superstep: u64,
+    },
+    /// Quiescent state report (phase two of the barrier).
+    BarrierVote {
+        /// The completed superstep.
+        superstep: u64,
+        /// Vertices still active (unhalted or with undelivered input).
+        active: u64,
+        /// Messages applied but not yet consumed by their target vertex.
+        pending: u64,
+    },
+    /// Blocking lock-acquire request for a partition or vertex unit.
+    AcquireUnit {
+        /// Unit id in the technique's unit space.
+        unit: u32,
+    },
+    /// Unit released after the unit's vertices committed.
+    ReleaseUnit {
+        /// Unit id.
+        unit: u32,
+    },
+    /// The C1 write-all flush requested by `FlushForks` completed: the
+    /// receiving worker acknowledged applying every staged update.
+    FlushDone {
+        /// Echo of the coordinator's flush request id.
+        flush_seq: u64,
+    },
+    /// Final vertex values for this worker's vertices.
+    ValuesUpload {
+        /// `(vertex, value)` pairs, value in its wire encoding.
+        values: Vec<(u32, u64)>,
+    },
+    /// Recorded transaction history for the merged 1SR check.
+    HistoryUpload {
+        /// All transactions this worker executed.
+        txns: Vec<WireTxn>,
+    },
+    /// Final counter values, summed into the cluster totals.
+    MetricsUpload {
+        /// Counter values in `Counter::ALL` order.
+        counters: Vec<u64>,
+    },
+    /// Retained trace events for the merged Chrome trace.
+    TraceUpload {
+        /// Decoded events from this worker's ring.
+        events: Vec<WireTraceEvent>,
+    },
+
+    // -- control plane: coordinator -> worker -------------------------------
+    /// Full run description (graph, partitioning, technique, faults).
+    Setup {
+        /// The run spec.
+        spec: Box<RunSpec>,
+    },
+    /// Data-plane addresses of every worker.
+    PeerMap {
+        /// `(rank, host:port)` for each worker.
+        peers: Vec<(u32, String)>,
+    },
+    /// Begin computing `superstep`.
+    StartSuperstep {
+        /// The superstep to run.
+        superstep: u64,
+    },
+    /// All workers reached quiescence; report your barrier vote.
+    ReportRequest {
+        /// The superstep being voted on.
+        superstep: u64,
+    },
+    /// The blocking acquire for `unit` succeeded; compute may proceed.
+    UnitGranted {
+        /// Unit id.
+        unit: u32,
+    },
+    /// Perform a C1 write-all flush to `target` (a fork or token is about
+    /// to hand over); reply `FlushDone { flush_seq }` once `target`
+    /// acknowledged applying everything.
+    FlushForks {
+        /// Receiving worker of the fork/token.
+        target: u32,
+        /// Protocol unit traveling (philosopher id; superstep for tokens).
+        unit: u64,
+        /// True for a token ring pass, false for a Chandy-Misra fork.
+        token: bool,
+        /// Coordinator-chosen id echoed in `FlushDone`.
+        flush_seq: u64,
+    },
+    /// Forward a request-token control message to `target` over the mesh
+    /// (no flush: request tokens do not guard data).
+    RequestTokenRelay {
+        /// Receiving worker.
+        target: u32,
+    },
+    /// The run is over; upload results and shut down.
+    Halt {
+        /// Did the computation converge (vs. hitting the superstep cap)?
+        converged: bool,
+        /// Supersteps executed.
+        supersteps: u64,
+    },
+
+    // -- data plane: worker <-> worker --------------------------------------
+    /// Mesh handshake: identifies the dialing worker and, on reconnect,
+    /// the next frame seq it expects from the peer.
+    PeerHello {
+        /// Codec version.
+        version: u8,
+        /// Dialing worker's rank.
+        rank: u32,
+        /// Next frame seq expected from the peer (0 on first connect).
+        resume_from: u64,
+    },
+    /// A batch of remote vertex messages.
+    BatchFlush {
+        /// `(to_vertex, from_vertex, payload)` triples.
+        msgs: Vec<(u32, u32, u64)>,
+    },
+    /// Flush fence: the receiver replies `FlushAck` only after applying
+    /// every earlier frame on this connection (the write-all receipt).
+    FlushPing {
+        /// Sender-chosen fence id.
+        flush_seq: u64,
+    },
+    /// All frames up to and including `ack_through` were applied.
+    FlushAck {
+        /// Echo of the fence id.
+        flush_seq: u64,
+        /// Highest contiguous frame seq applied (retransmit-buffer prune
+        /// point).
+        ack_through: u64,
+    },
+    /// A relayed Chandy-Misra request token (clock join only).
+    RequestToken,
+    /// Keepalive; also carries the receiver's prune point on reply.
+    Heartbeat,
+}
+
+const K_HELLO: u8 = 1;
+const K_COMPUTE_DONE: u8 = 2;
+const K_BARRIER_VOTE: u8 = 3;
+const K_ACQUIRE_UNIT: u8 = 4;
+const K_RELEASE_UNIT: u8 = 5;
+const K_FLUSH_DONE: u8 = 6;
+const K_VALUES_UPLOAD: u8 = 7;
+const K_HISTORY_UPLOAD: u8 = 8;
+const K_METRICS_UPLOAD: u8 = 9;
+const K_TRACE_UPLOAD: u8 = 10;
+const K_SETUP: u8 = 11;
+const K_PEER_MAP: u8 = 12;
+const K_START_SUPERSTEP: u8 = 13;
+const K_REPORT_REQUEST: u8 = 14;
+const K_UNIT_GRANTED: u8 = 15;
+const K_FLUSH_FORKS: u8 = 16;
+const K_REQUEST_TOKEN_RELAY: u8 = 17;
+const K_HALT: u8 = 18;
+const K_PEER_HELLO: u8 = 19;
+const K_BATCH_FLUSH: u8 = 20;
+const K_FLUSH_PING: u8 = 21;
+const K_FLUSH_ACK: u8 = 22;
+const K_REQUEST_TOKEN: u8 = 23;
+const K_HEARTBEAT: u8 = 24;
+
+impl Message {
+    /// The message's kind byte (stable wire identity).
+    pub fn kind(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => K_HELLO,
+            Message::ComputeDone { .. } => K_COMPUTE_DONE,
+            Message::BarrierVote { .. } => K_BARRIER_VOTE,
+            Message::AcquireUnit { .. } => K_ACQUIRE_UNIT,
+            Message::ReleaseUnit { .. } => K_RELEASE_UNIT,
+            Message::FlushDone { .. } => K_FLUSH_DONE,
+            Message::ValuesUpload { .. } => K_VALUES_UPLOAD,
+            Message::HistoryUpload { .. } => K_HISTORY_UPLOAD,
+            Message::MetricsUpload { .. } => K_METRICS_UPLOAD,
+            Message::TraceUpload { .. } => K_TRACE_UPLOAD,
+            Message::Setup { .. } => K_SETUP,
+            Message::PeerMap { .. } => K_PEER_MAP,
+            Message::StartSuperstep { .. } => K_START_SUPERSTEP,
+            Message::ReportRequest { .. } => K_REPORT_REQUEST,
+            Message::UnitGranted { .. } => K_UNIT_GRANTED,
+            Message::FlushForks { .. } => K_FLUSH_FORKS,
+            Message::RequestTokenRelay { .. } => K_REQUEST_TOKEN_RELAY,
+            Message::Halt { .. } => K_HALT,
+            Message::PeerHello { .. } => K_PEER_HELLO,
+            Message::BatchFlush { .. } => K_BATCH_FLUSH,
+            Message::FlushPing { .. } => K_FLUSH_PING,
+            Message::FlushAck { .. } => K_FLUSH_ACK,
+            Message::RequestToken => K_REQUEST_TOKEN,
+            Message::Heartbeat => K_HEARTBEAT,
+        }
+    }
+
+    fn encode_body(&self, buf: &mut Vec<u8>) {
+        match self {
+            Message::Hello {
+                version,
+                rank,
+                data_addr,
+            } => {
+                put_u8(buf, *version);
+                put_u32(buf, *rank);
+                put_str(buf, data_addr);
+            }
+            Message::ComputeDone { superstep }
+            | Message::StartSuperstep { superstep }
+            | Message::ReportRequest { superstep } => put_u64(buf, *superstep),
+            Message::BarrierVote {
+                superstep,
+                active,
+                pending,
+            } => {
+                put_u64(buf, *superstep);
+                put_u64(buf, *active);
+                put_u64(buf, *pending);
+            }
+            Message::AcquireUnit { unit }
+            | Message::ReleaseUnit { unit }
+            | Message::UnitGranted { unit } => put_u32(buf, *unit),
+            Message::FlushDone { flush_seq } | Message::FlushPing { flush_seq } => {
+                put_u64(buf, *flush_seq)
+            }
+            Message::ValuesUpload { values } => {
+                put_u32(buf, values.len() as u32);
+                for &(v, x) in values {
+                    put_u32(buf, v);
+                    put_u64(buf, x);
+                }
+            }
+            Message::HistoryUpload { txns } => {
+                put_u32(buf, txns.len() as u32);
+                for t in txns {
+                    put_u32(buf, t.vertex);
+                    put_u64(buf, t.start);
+                    put_u64(buf, t.end);
+                    put_u32(buf, t.stale.len() as u32);
+                    for &s in &t.stale {
+                        put_u32(buf, s);
+                    }
+                }
+            }
+            Message::MetricsUpload { counters } => {
+                put_u32(buf, counters.len() as u32);
+                for &c in counters {
+                    put_u64(buf, c);
+                }
+            }
+            Message::TraceUpload { events } => {
+                put_u32(buf, events.len() as u32);
+                for e in events {
+                    put_u32(buf, e.worker);
+                    put_u64(buf, e.superstep);
+                    put_u8(buf, e.kind);
+                    put_u64(buf, e.ts_ns);
+                    put_u64(buf, e.dur_ns);
+                    put_u64(buf, e.arg);
+                    put_u32(buf, e.peer);
+                }
+            }
+            Message::Setup { spec } => {
+                put_u32(buf, spec.num_vertices);
+                put_u32(buf, spec.edges.len() as u32);
+                for &(a, b) in &spec.edges {
+                    put_u32(buf, a);
+                    put_u32(buf, b);
+                }
+                put_u32(buf, spec.assignment.len() as u32);
+                for &p in &spec.assignment {
+                    put_u32(buf, p);
+                }
+                put_u32(buf, spec.workers);
+                put_u32(buf, spec.partitions_per_worker);
+                put_str(buf, &spec.technique);
+                put_str(buf, &spec.workload);
+                put_u64(buf, spec.workload_arg);
+                put_u64(buf, spec.max_supersteps);
+                put_u64(buf, spec.buffer_cap);
+                put_u8(buf, u8::from(spec.record_history));
+                put_u64(buf, spec.trace_capacity);
+                put_u64(buf, spec.epoch_ns);
+                spec.fault.encode(buf);
+            }
+            Message::PeerMap { peers } => {
+                put_u32(buf, peers.len() as u32);
+                for (rank, addr) in peers {
+                    put_u32(buf, *rank);
+                    put_str(buf, addr);
+                }
+            }
+            Message::FlushForks {
+                target,
+                unit,
+                token,
+                flush_seq,
+            } => {
+                put_u32(buf, *target);
+                put_u64(buf, *unit);
+                put_u8(buf, u8::from(*token));
+                put_u64(buf, *flush_seq);
+            }
+            Message::RequestTokenRelay { target } => put_u32(buf, *target),
+            Message::Halt {
+                converged,
+                supersteps,
+            } => {
+                put_u8(buf, u8::from(*converged));
+                put_u64(buf, *supersteps);
+            }
+            Message::PeerHello {
+                version,
+                rank,
+                resume_from,
+            } => {
+                put_u8(buf, *version);
+                put_u32(buf, *rank);
+                put_u64(buf, *resume_from);
+            }
+            Message::BatchFlush { msgs } => {
+                put_u32(buf, msgs.len() as u32);
+                for &(to, from, payload) in msgs {
+                    put_u32(buf, to);
+                    put_u32(buf, from);
+                    put_u64(buf, payload);
+                }
+            }
+            Message::FlushAck {
+                flush_seq,
+                ack_through,
+            } => {
+                put_u64(buf, *flush_seq);
+                put_u64(buf, *ack_through);
+            }
+            Message::RequestToken | Message::Heartbeat => {}
+        }
+    }
+
+    fn decode_body(kind: u8, r: &mut Reader<'_>) -> Result<Message, WireError> {
+        let msg = match kind {
+            K_HELLO => Message::Hello {
+                version: r.u8()?,
+                rank: r.u32()?,
+                data_addr: r.str()?,
+            },
+            K_COMPUTE_DONE => Message::ComputeDone {
+                superstep: r.u64()?,
+            },
+            K_START_SUPERSTEP => Message::StartSuperstep {
+                superstep: r.u64()?,
+            },
+            K_REPORT_REQUEST => Message::ReportRequest {
+                superstep: r.u64()?,
+            },
+            K_BARRIER_VOTE => Message::BarrierVote {
+                superstep: r.u64()?,
+                active: r.u64()?,
+                pending: r.u64()?,
+            },
+            K_ACQUIRE_UNIT => Message::AcquireUnit { unit: r.u32()? },
+            K_RELEASE_UNIT => Message::ReleaseUnit { unit: r.u32()? },
+            K_UNIT_GRANTED => Message::UnitGranted { unit: r.u32()? },
+            K_FLUSH_DONE => Message::FlushDone {
+                flush_seq: r.u64()?,
+            },
+            K_FLUSH_PING => Message::FlushPing {
+                flush_seq: r.u64()?,
+            },
+            K_VALUES_UPLOAD => {
+                let n = r.len(12)?;
+                let values = (0..n)
+                    .map(|_| Ok((r.u32()?, r.u64()?)))
+                    .collect::<Result<_, WireError>>()?;
+                Message::ValuesUpload { values }
+            }
+            K_HISTORY_UPLOAD => {
+                let n = r.len(24)?;
+                let txns = (0..n)
+                    .map(|_| {
+                        let vertex = r.u32()?;
+                        let start = r.u64()?;
+                        let end = r.u64()?;
+                        let m = r.len(4)?;
+                        let stale = (0..m).map(|_| r.u32()).collect::<Result<_, _>>()?;
+                        Ok(WireTxn {
+                            vertex,
+                            start,
+                            end,
+                            stale,
+                        })
+                    })
+                    .collect::<Result<_, WireError>>()?;
+                Message::HistoryUpload { txns }
+            }
+            K_METRICS_UPLOAD => {
+                let n = r.len(8)?;
+                let counters = (0..n).map(|_| r.u64()).collect::<Result<_, _>>()?;
+                Message::MetricsUpload { counters }
+            }
+            K_TRACE_UPLOAD => {
+                let n = r.len(37)?;
+                let events = (0..n)
+                    .map(|_| {
+                        Ok(WireTraceEvent {
+                            worker: r.u32()?,
+                            superstep: r.u64()?,
+                            kind: r.u8()?,
+                            ts_ns: r.u64()?,
+                            dur_ns: r.u64()?,
+                            arg: r.u64()?,
+                            peer: r.u32()?,
+                        })
+                    })
+                    .collect::<Result<_, WireError>>()?;
+                Message::TraceUpload { events }
+            }
+            K_SETUP => {
+                let num_vertices = r.u32()?;
+                let n = r.len(8)?;
+                let edges = (0..n)
+                    .map(|_| Ok((r.u32()?, r.u32()?)))
+                    .collect::<Result<_, WireError>>()?;
+                let n = r.len(4)?;
+                let assignment = (0..n).map(|_| r.u32()).collect::<Result<_, _>>()?;
+                Message::Setup {
+                    spec: Box::new(RunSpec {
+                        num_vertices,
+                        edges,
+                        assignment,
+                        workers: r.u32()?,
+                        partitions_per_worker: r.u32()?,
+                        technique: r.str()?,
+                        workload: r.str()?,
+                        workload_arg: r.u64()?,
+                        max_supersteps: r.u64()?,
+                        buffer_cap: r.u64()?,
+                        record_history: r.u8()? != 0,
+                        trace_capacity: r.u64()?,
+                        epoch_ns: r.u64()?,
+                        fault: FaultPlan::decode(r)?,
+                    }),
+                }
+            }
+            K_PEER_MAP => {
+                let n = r.len(8)?;
+                let peers = (0..n)
+                    .map(|_| Ok((r.u32()?, r.str()?)))
+                    .collect::<Result<_, WireError>>()?;
+                Message::PeerMap { peers }
+            }
+            K_FLUSH_FORKS => Message::FlushForks {
+                target: r.u32()?,
+                unit: r.u64()?,
+                token: r.u8()? != 0,
+                flush_seq: r.u64()?,
+            },
+            K_REQUEST_TOKEN_RELAY => Message::RequestTokenRelay { target: r.u32()? },
+            K_HALT => Message::Halt {
+                converged: r.u8()? != 0,
+                supersteps: r.u64()?,
+            },
+            K_PEER_HELLO => Message::PeerHello {
+                version: r.u8()?,
+                rank: r.u32()?,
+                resume_from: r.u64()?,
+            },
+            K_BATCH_FLUSH => {
+                let n = r.len(16)?;
+                let msgs = (0..n)
+                    .map(|_| Ok((r.u32()?, r.u32()?, r.u64()?)))
+                    .collect::<Result<_, WireError>>()?;
+                Message::BatchFlush { msgs }
+            }
+            K_FLUSH_ACK => Message::FlushAck {
+                flush_seq: r.u64()?,
+                ack_through: r.u64()?,
+            },
+            K_REQUEST_TOKEN => Message::RequestToken,
+            K_HEARTBEAT => Message::Heartbeat,
+            other => return Err(WireError::BadKind(other)),
+        };
+        Ok(msg)
+    }
+}
+
+/// One frame as it travels on a connection: the link sequence number, the
+/// sender's Lamport clock, and the typed message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Per-connection sequence number (dedup + retransmit identity).
+    pub seq: u64,
+    /// Sender's Lamport clock at send time.
+    pub clock: u64,
+    /// The payload.
+    pub msg: Message,
+}
+
+impl Frame {
+    /// Encode including the 4-byte length prefix — exactly the bytes
+    /// written to the socket.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(32);
+        put_u8(&mut payload, self.msg.kind());
+        put_u64(&mut payload, self.seq);
+        put_u64(&mut payload, self.clock);
+        self.msg.encode_body(&mut payload);
+        let mut out = Vec::with_capacity(payload.len() + 4);
+        put_u32(&mut out, payload.len() as u32);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decode a payload (the bytes *after* the length prefix). Rejects
+    /// unknown kinds, truncation, bad lengths, and trailing garbage.
+    pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(WireError::BadLength(payload.len() as u64));
+        }
+        let mut r = Reader::new(payload);
+        let kind = r.u8()?;
+        let seq = r.u64()?;
+        let clock = r.u64()?;
+        let msg = Message::decode_body(kind, &mut r)?;
+        r.finish()?;
+        Ok(Frame { seq, clock, msg })
+    }
+}
+
+/// Read one length-prefixed frame from `r`. `Ok(None)` on clean EOF at a
+/// frame boundary; io errors and codec errors are distinct failures so the
+/// caller can decide between reconnect and protocol abort.
+pub fn read_frame<R: std::io::Read>(
+    r: &mut R,
+) -> std::io::Result<Option<Result<Frame, WireError>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let n = u32::from_le_bytes(len) as usize;
+    if n > MAX_FRAME_LEN {
+        return Ok(Some(Err(WireError::BadLength(n as u64))));
+    }
+    let mut payload = vec![0u8; n];
+    r.read_exact(&mut payload)?;
+    Ok(Some(Frame::decode(&payload)))
+}
+
+/// Encoding for vertex values and messages crossing the wire. Everything
+/// the built-in workloads ship is representable in a `u64` word; programs
+/// with richer state would add their own impls.
+pub trait WireValue: Copy {
+    /// To the wire word.
+    fn to_wire(self) -> u64;
+    /// From the wire word.
+    fn from_wire(w: u64) -> Self;
+}
+
+impl WireValue for u32 {
+    fn to_wire(self) -> u64 {
+        u64::from(self)
+    }
+    fn from_wire(w: u64) -> Self {
+        w as u32
+    }
+}
+
+impl WireValue for u64 {
+    fn to_wire(self) -> u64 {
+        self
+    }
+    fn from_wire(w: u64) -> Self {
+        w
+    }
+}
+
+impl WireValue for f64 {
+    fn to_wire(self) -> u64 {
+        self.to_bits()
+    }
+    fn from_wire(w: u64) -> Self {
+        f64::from_bits(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_payload_is_truncated_not_panic() {
+        assert_eq!(Frame::decode(&[]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut payload = vec![200u8];
+        payload.extend_from_slice(&[0u8; 16]);
+        assert_eq!(Frame::decode(&payload), Err(WireError::BadKind(200)));
+    }
+
+    #[test]
+    fn length_prefix_capped() {
+        let mut buf: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0];
+        let got = read_frame(&mut buf).unwrap().unwrap();
+        assert!(matches!(got, Err(WireError::BadLength(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let f = Frame {
+            seq: 1,
+            clock: 2,
+            msg: Message::Heartbeat,
+        };
+        let mut bytes = f.encode();
+        bytes.push(0xAB);
+        // Fix up the length prefix to cover the trailing byte.
+        let n = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&n.to_le_bytes());
+        assert_eq!(Frame::decode(&bytes[4..]), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn collection_length_validated_before_allocation() {
+        // A BatchFlush claiming 2^32-1 entries with a 4-byte body must be
+        // rejected as BadLength, not attempt a 64 GiB allocation.
+        let mut payload = vec![K_BATCH_FLUSH];
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            Frame::decode(&payload),
+            Err(WireError::BadLength(u64::from(u32::MAX)))
+        );
+    }
+}

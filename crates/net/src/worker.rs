@@ -1,0 +1,910 @@
+//! The worker runtime: one process (or thread) per rank, executing vertex
+//! programs over its partitions and exchanging messages with its peers
+//! over the TCP mesh.
+//!
+//! A worker runs four threads:
+//!
+//! * the **compute** thread (the one `worker_main` occupies) — executes
+//!   supersteps on `StartSuperstep`, answers `ReportRequest` barrier
+//!   votes, blocks on `UnitGranted` during lock RPCs, and performs the
+//!   result uploads at `Halt`;
+//! * the **dispatcher** thread — reads the control connection; barrier
+//!   and grant frames forward to the compute thread, while `FlushForks`
+//!   (the C1 write-all on fork/token surrender) is serviced *inline*:
+//!   drain the staging buffer for the target, ship the batch, fence
+//!   until the peer acknowledges application, then report `FlushDone` —
+//!   this must run while the compute thread is busy or blocked;
+//! * the **mesh accept** thread — adopts incoming (and replacement)
+//!   data-plane connections;
+//! * the **maintenance** thread — heartbeats idle links and re-dials
+//!   dead ones with backoff.
+//!
+//! Vertex execution mirrors the in-process engine's loop exactly: skip
+//! halted vertices without pending input, honor `vertex_allowed` gating
+//! (denied vertices keep their messages and stay active), acquire/release
+//! lock units around partitions or p-boundary vertices, and stage
+//! remote messages *before* the unit release so the release-triggered
+//! write-all finds them. Workers run one compute thread each — rank is
+//! worker is thread, which is the paper's single-threaded-worker setting.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use sg_algos::{GreedyColoring, Sssp, Wcc};
+use sg_engine::{AggregatorSet, Context, VertexProgram};
+use sg_graph::{ClusterLayout, Graph, PartitionId, PartitionMap, VertexId, WorkerId};
+use sg_metrics::{Counter, Metrics, Trace, TraceEventKind};
+use sg_sync::{LockGranularity, Synchronizer};
+
+use crate::cluster::{build_technique, technique_from_label, GOODBYE_SUPERSTEP};
+use crate::fault::FaultInjector;
+use crate::link::{accept_handshake, CtrlConn, FrameReader, PeerHandler, PeerLink};
+use crate::wire::{Message, RunSpec, WireTraceEvent, WireTxn, WireValue, PROTOCOL_VERSION};
+use crate::{stamp, Clock, NetError};
+
+const CONNECT_RETRIES: u32 = 100;
+const CONNECT_RETRY_DELAY: Duration = Duration::from_millis(50);
+const FENCE_TIMEOUT: Duration = Duration::from_secs(20);
+const UPLOAD_CHUNK: usize = 1 << 16;
+
+/// Entry point for one worker rank. Connects to the coordinator at
+/// `coord_addr`, receives the run spec, executes, uploads, returns.
+/// Runs identically as a thread (SpawnMode::Threads) or as a process
+/// main (the `sg-cluster` binary's hidden worker mode).
+pub fn worker_main(coord_addr: &str, rank: u32) -> Result<(), NetError> {
+    let clock = Arc::new(Clock::new());
+    let stream = connect_retry(coord_addr)?;
+    let (ctrl, read_half) = CtrlConn::new(stream, Arc::clone(&clock))?;
+    let ctrl = Arc::new(ctrl);
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let data_addr = listener.local_addr()?.to_string();
+    ctrl.send(&Message::Hello {
+        version: PROTOCOL_VERSION,
+        rank,
+        data_addr,
+    })?;
+    let mut reader = FrameReader::new(read_half, Arc::clone(&clock));
+    let spec = match reader.recv()? {
+        Some(Message::Setup { spec }) => *spec,
+        other => {
+            return Err(NetError::Protocol(format!(
+                "expected Setup, got {:?}",
+                other.map(|m| m.kind())
+            )))
+        }
+    };
+    let peers = match reader.recv()? {
+        Some(Message::PeerMap { peers }) => peers,
+        other => {
+            return Err(NetError::Protocol(format!(
+                "expected PeerMap, got {:?}",
+                other.map(|m| m.kind())
+            )))
+        }
+    };
+    match spec.workload.as_str() {
+        "coloring" => run_worker(
+            GreedyColoring,
+            rank,
+            spec,
+            peers,
+            listener,
+            clock,
+            ctrl,
+            reader,
+        ),
+        "wcc" => run_worker(Wcc, rank, spec, peers, listener, clock, ctrl, reader),
+        "sssp" => {
+            let source = VertexId::new(spec.workload_arg as u32);
+            run_worker(
+                Sssp::new(source),
+                rank,
+                spec,
+                peers,
+                listener,
+                clock,
+                ctrl,
+                reader,
+            )
+        }
+        other => Err(NetError::Protocol(format!("unknown workload `{other}`"))),
+    }
+}
+
+fn connect_retry(addr: &str) -> Result<TcpStream, NetError> {
+    let mut last = None;
+    for _ in 0..CONNECT_RETRIES {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(CONNECT_RETRY_DELAY);
+            }
+        }
+    }
+    Err(NetError::Protocol(format!(
+        "coordinator {addr} unreachable: {}",
+        last.map(|e| e.to_string()).unwrap_or_default()
+    )))
+}
+
+/// Wall clock relative to the coordinator's epoch (same host for the
+/// loopback clusters; remote hosts get whatever NTP gives them).
+fn wall_ns(epoch_ns: u64) -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+        .saturating_sub(epoch_ns)
+}
+
+/// Remote staging buffers plus the per-peer "sent since last fence" flag
+/// that decides which peers the end-of-superstep write-all must fence.
+struct Outbound {
+    staged: Vec<Vec<(u32, u32, u64)>>,
+    dirty: Vec<bool>,
+}
+
+/// State shared between the compute thread, the dispatcher, and the
+/// link reader threads.
+struct Shared {
+    rank: u32,
+    ctrl: Arc<CtrlConn>,
+    clock: Arc<Clock>,
+    inbox: Mutex<Vec<Vec<u64>>>,
+    outbound: Mutex<Outbound>,
+    metrics: Arc<Metrics>,
+    trace: Trace,
+    epoch_ns: u64,
+    superstep: AtomicU64,
+    fence_seq: AtomicU64,
+    buffer_cap: usize,
+}
+
+impl Shared {
+    fn next_fence(&self) -> u64 {
+        self.fence_seq.fetch_add(1, Ordering::SeqCst) + 1
+    }
+}
+
+/// Applies incoming batches straight into the inbox (AP-model arrival
+/// visibility, like the engine's store application).
+struct InboxHandler {
+    shared: Arc<Shared>,
+}
+
+impl PeerHandler for InboxHandler {
+    fn on_batch(&self, _from: u32, msgs: &[(u32, u32, u64)]) {
+        let mut inbox = self.shared.inbox.lock().unwrap();
+        for &(to, _from_v, payload) in msgs {
+            if let Some(q) = inbox.get_mut(to as usize) {
+                q.push(payload);
+            }
+        }
+    }
+
+    fn on_request_token(&self, _from: u32) {
+        // The Lamport join already happened in the link reader; the
+        // actual request-token state lives in the coordinator's fork
+        // table. The frame exists to carry the happens-before edge.
+    }
+}
+
+/// Frames the dispatcher forwards to the compute thread.
+enum Cmd {
+    Start(u64),
+    Report(u64),
+    Granted(u32),
+    Halt,
+    Disconnected,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_worker<P>(
+    program: P,
+    rank: u32,
+    spec: RunSpec,
+    peers: Vec<(u32, String)>,
+    listener: TcpListener,
+    clock: Arc<Clock>,
+    ctrl: Arc<CtrlConn>,
+    reader: FrameReader,
+) -> Result<(), NetError>
+where
+    P: VertexProgram,
+    P::Value: WireValue,
+    P::Message: WireValue,
+{
+    let technique = technique_from_label(&spec.technique)
+        .ok_or_else(|| NetError::Protocol(format!("unknown technique `{}`", spec.technique)))?;
+    let graph = Graph::from_edges(spec.num_vertices, &spec.edges);
+    let layout = ClusterLayout::new(spec.workers, spec.partitions_per_worker);
+    let pm = Arc::new(PartitionMap::from_assignment(
+        &graph,
+        layout,
+        spec.assignment
+            .iter()
+            .map(|&p| PartitionId::new(p))
+            .collect(),
+    ));
+    let metrics = Arc::new(Metrics::new());
+    // Stateless replica: token holders are pure functions of the
+    // superstep, so gating/granularity/skip queries answer locally; lock
+    // acquisition state lives only at the coordinator.
+    let replica = build_technique(technique, &graph, &pm, Arc::clone(&metrics));
+    let n = graph.num_vertices() as usize;
+    let trace = if spec.trace_capacity > 0 {
+        Trace::enabled(spec.workers as usize, spec.trace_capacity as usize)
+    } else {
+        Trace::disabled()
+    };
+
+    let shared = Arc::new(Shared {
+        rank,
+        ctrl: Arc::clone(&ctrl),
+        clock: Arc::clone(&clock),
+        inbox: Mutex::new(vec![Vec::new(); n]),
+        outbound: Mutex::new(Outbound {
+            staged: vec![Vec::new(); spec.workers as usize],
+            dirty: vec![false; spec.workers as usize],
+        }),
+        metrics: Arc::clone(&metrics),
+        trace,
+        epoch_ns: spec.epoch_ns,
+        superstep: AtomicU64::new(0),
+        fence_seq: AtomicU64::new(0),
+        buffer_cap: spec.buffer_cap.max(1) as usize,
+    });
+
+    // The mesh: one resilient link per peer; one fault injector shared by
+    // all of them so the fault plan's frame indices count every
+    // data-plane frame this worker sends, in order.
+    let fault = Arc::new(FaultInjector::new(spec.fault.clone()));
+    let handler: Arc<dyn PeerHandler> = Arc::new(InboxHandler {
+        shared: Arc::clone(&shared),
+    });
+    let mut link_vec: Vec<Option<PeerLink>> = vec![None; spec.workers as usize];
+    for &(peer, ref addr) in &peers {
+        if peer == rank {
+            continue;
+        }
+        link_vec[peer as usize] = Some(PeerLink::new(
+            rank,
+            peer,
+            addr.clone(),
+            Arc::clone(&clock),
+            Arc::clone(&fault),
+            Arc::clone(&handler),
+        ));
+    }
+    let links: Arc<Vec<Option<PeerLink>>> = Arc::new(link_vec);
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    // Accept thread: adopts initial and replacement connections.
+    let accept_handle = {
+        let links = Arc::clone(&links);
+        let clock = Arc::clone(&clock);
+        let shutdown = Arc::clone(&shutdown);
+        listener.set_nonblocking(true)?;
+        std::thread::Builder::new()
+            .name(format!("sg-net-accept-{rank}"))
+            .spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = stream.set_nonblocking(false);
+                            let links2 = Arc::clone(&links);
+                            let handshake = accept_handshake(&stream, &clock, rank, |peer| {
+                                links2
+                                    .get(peer as usize)
+                                    .and_then(|l| l.as_ref())
+                                    .map_or(1, |l| l.recv_next())
+                            });
+                            if let Ok((peer, resume)) = handshake {
+                                if let Some(Some(link)) = links.get(peer as usize) {
+                                    link.accept(stream, resume);
+                                }
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn accept thread")
+    };
+
+    // Dial the peers this rank is responsible for (lower rank dials).
+    for link in links.iter().flatten() {
+        if link.is_dialer() {
+            let _ = link.dial(); // maintenance retries failures
+        }
+    }
+
+    // Maintenance thread: heartbeats + redial with backoff.
+    let maintenance_handle = {
+        let links = Arc::clone(&links);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name(format!("sg-net-maint-{rank}"))
+            .spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    for link in links.iter().flatten() {
+                        link.maintain();
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            })
+            .expect("spawn maintenance thread")
+    };
+
+    // Dispatcher thread: owns the control-plane reader.
+    let (tx, rx) = mpsc::channel::<Cmd>();
+    let dispatcher_handle = {
+        let shared = Arc::clone(&shared);
+        let links = Arc::clone(&links);
+        std::thread::Builder::new()
+            .name(format!("sg-net-dispatch-{rank}"))
+            .spawn(move || dispatcher(shared, links, reader, tx))
+            .expect("spawn dispatcher thread")
+    };
+
+    let result = compute_loop(
+        &program, rank, &spec, &graph, &pm, &replica, &shared, &links, &rx,
+    );
+
+    shutdown.store(true, Ordering::SeqCst);
+    for link in links.iter().flatten() {
+        link.shutdown();
+    }
+    ctrl.close();
+    let _ = dispatcher_handle.join();
+    let _ = accept_handle.join();
+    let _ = maintenance_handle.join();
+    result
+}
+
+/// Control-plane reader loop. `FlushForks` and `RequestTokenRelay` are
+/// serviced here — while the compute thread is mid-superstep or blocked
+/// inside an acquire — everything else forwards to the compute thread.
+fn dispatcher(
+    shared: Arc<Shared>,
+    links: Arc<Vec<Option<PeerLink>>>,
+    mut reader: FrameReader,
+    tx: mpsc::Sender<Cmd>,
+) {
+    loop {
+        let msg = match reader.recv() {
+            Ok(Some(msg)) => msg,
+            Ok(None) | Err(_) => {
+                let _ = tx.send(Cmd::Disconnected);
+                return;
+            }
+        };
+        let cmd = match msg {
+            Message::StartSuperstep { superstep } => {
+                shared.superstep.store(superstep, Ordering::SeqCst);
+                Some(Cmd::Start(superstep))
+            }
+            Message::ReportRequest { superstep } => Some(Cmd::Report(superstep)),
+            Message::UnitGranted { unit } => Some(Cmd::Granted(unit)),
+            Message::Halt { .. } => Some(Cmd::Halt),
+            Message::FlushForks {
+                target,
+                unit,
+                token,
+                flush_seq,
+            } => {
+                handle_flush(&shared, &links, target, unit, token, flush_seq);
+                None
+            }
+            Message::RequestTokenRelay { target } => {
+                if let Some(Some(link)) = links.get(target as usize) {
+                    link.send(Message::RequestToken);
+                }
+                None
+            }
+            _ => None,
+        };
+        if let Some(cmd) = cmd {
+            if tx.send(cmd).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// The C1 write-all, serviced on the dispatcher thread: drain staging for
+/// `target`, ship it, fence until applied, then report `FlushDone` so the
+/// coordinator's `flush_acknowledged` unblocks and the fork/token moves.
+fn handle_flush(
+    shared: &Shared,
+    links: &[Option<PeerLink>],
+    target: u32,
+    unit: u64,
+    token: bool,
+    flush_seq: u64,
+) {
+    let t0 = wall_ns(shared.epoch_ns);
+    let staged = {
+        let mut ob = shared.outbound.lock().unwrap();
+        ob.dirty[target as usize] = false;
+        std::mem::take(&mut ob.staged[target as usize])
+    };
+    let Some(Some(link)) = links.get(target as usize) else {
+        return;
+    };
+    if !staged.is_empty() {
+        shared.metrics.inc(Counter::RemoteBatches);
+        link.send(Message::BatchFlush { msgs: staged });
+    }
+    let fence = shared.next_fence();
+    match link.flush_fence(fence, FENCE_TIMEOUT) {
+        Ok(()) => {
+            let s = shared.superstep.load(Ordering::SeqCst);
+            let dur = wall_ns(shared.epoch_ns).saturating_sub(t0);
+            let kind = if token {
+                TraceEventKind::RingPass
+            } else {
+                TraceEventKind::ForkTransfer
+            };
+            shared
+                .trace
+                .record_peer(shared.rank, s, kind, t0, dur, unit, target);
+            let _ = shared.ctrl.send(&Message::FlushDone { flush_seq });
+        }
+        Err(e) => {
+            // Withhold FlushDone: the coordinator's flush wait times out
+            // and fails the run with a diagnostic naming both ends.
+            eprintln!(
+                "sg-net worker {}: write-all to {} failed: {e}",
+                shared.rank, target
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compute_loop<P>(
+    program: &P,
+    rank: u32,
+    spec: &RunSpec,
+    graph: &Graph,
+    pm: &Arc<PartitionMap>,
+    replica: &Arc<dyn Synchronizer>,
+    shared: &Arc<Shared>,
+    links: &Arc<Vec<Option<PeerLink>>>,
+    rx: &mpsc::Receiver<Cmd>,
+) -> Result<(), NetError>
+where
+    P: VertexProgram,
+    P::Value: WireValue,
+    P::Message: WireValue,
+{
+    let n = graph.num_vertices() as usize;
+    let mut values: Vec<P::Value> = graph.vertices().map(|v| program.init(v, graph)).collect();
+    let mut halted = vec![false; n];
+    let mut txns: Vec<WireTxn> = Vec::new();
+    let mut aggs = AggregatorSet::new();
+    program.register_aggregators(&mut aggs);
+    let my_partitions: Vec<PartitionId> = pm
+        .layout()
+        .partitions_of_worker(WorkerId::new(rank))
+        .collect();
+    let granularity = replica.granularity();
+
+    loop {
+        match rx.recv() {
+            Ok(Cmd::Start(s)) => {
+                run_superstep(
+                    program,
+                    s,
+                    granularity,
+                    graph,
+                    pm,
+                    replica,
+                    shared,
+                    links,
+                    rx,
+                    &my_partitions,
+                    &mut values,
+                    &mut halted,
+                    &mut txns,
+                    spec.record_history,
+                )?;
+                flush_all(shared, links)?;
+                shared.ctrl.send(&Message::ComputeDone { superstep: s })?;
+            }
+            Ok(Cmd::Report(s)) => {
+                let (active, pending) = barrier_vote(shared, pm, &my_partitions, &halted);
+                shared.ctrl.send(&Message::BarrierVote {
+                    superstep: s,
+                    active,
+                    pending,
+                })?;
+            }
+            Ok(Cmd::Halt) => {
+                upload(shared, spec, pm, &my_partitions, &values, &txns)?;
+                return Ok(());
+            }
+            Ok(Cmd::Granted(unit)) => {
+                return Err(NetError::Protocol(format!(
+                    "unsolicited UnitGranted({unit}) outside an acquire"
+                )));
+            }
+            Ok(Cmd::Disconnected) | Err(_) => {
+                return Err(NetError::Protocol("coordinator connection lost".into()));
+            }
+        }
+    }
+}
+
+/// Quiescent-state vote: a vertex is active if it has undelivered input
+/// or has not voted to halt; `pending` counts undelivered messages.
+fn barrier_vote(
+    shared: &Shared,
+    pm: &PartitionMap,
+    my_partitions: &[PartitionId],
+    halted: &[bool],
+) -> (u64, u64) {
+    let inbox = shared.inbox.lock().unwrap();
+    let mut active = 0u64;
+    let mut pending = 0u64;
+    for &p in my_partitions {
+        for &v in pm.vertices_in(p) {
+            let queued = inbox[v.index()].len() as u64;
+            pending += queued;
+            if queued > 0 || !halted[v.index()] {
+                active += 1;
+            }
+        }
+    }
+    (active, pending)
+}
+
+/// Blocking lock RPC: request the unit, wait for the grant.
+fn acquire_unit_rpc(
+    shared: &Shared,
+    rx: &mpsc::Receiver<Cmd>,
+    superstep: u64,
+    unit: u32,
+) -> Result<(), NetError> {
+    let t0 = wall_ns(shared.epoch_ns);
+    shared.ctrl.send(&Message::AcquireUnit { unit })?;
+    match rx.recv() {
+        Ok(Cmd::Granted(u)) if u == unit => {}
+        Ok(Cmd::Granted(u)) => {
+            return Err(NetError::Protocol(format!(
+                "grant for unit {u} while waiting on {unit}"
+            )))
+        }
+        Ok(Cmd::Disconnected) | Err(_) => {
+            return Err(NetError::Protocol(
+                "coordinator connection lost during acquire".into(),
+            ))
+        }
+        Ok(_) => {
+            return Err(NetError::Protocol(
+                "barrier frame while waiting on a grant".into(),
+            ))
+        }
+    }
+    let dur = wall_ns(shared.epoch_ns).saturating_sub(t0);
+    shared.trace.record(
+        shared.rank,
+        superstep,
+        TraceEventKind::LockWait,
+        t0,
+        dur,
+        u64::from(unit),
+    );
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_superstep<P>(
+    program: &P,
+    s: u64,
+    granularity: LockGranularity,
+    graph: &Graph,
+    pm: &Arc<PartitionMap>,
+    replica: &Arc<dyn Synchronizer>,
+    shared: &Arc<Shared>,
+    links: &Arc<Vec<Option<PeerLink>>>,
+    rx: &mpsc::Receiver<Cmd>,
+    my_partitions: &[PartitionId],
+    values: &mut [P::Value],
+    halted: &mut [bool],
+    txns: &mut Vec<WireTxn>,
+    record_history: bool,
+) -> Result<(), NetError>
+where
+    P: VertexProgram,
+    P::Value: WireValue,
+    P::Message: WireValue,
+{
+    let is_active = |shared: &Shared, halted: &[bool], v: VertexId| {
+        !halted[v.index()] || !shared.inbox.lock().unwrap()[v.index()].is_empty()
+    };
+    for &p in my_partitions {
+        let vertices = pm.vertices_in(p).to_vec();
+        let has_work = vertices.iter().any(|&v| is_active(shared, halted, v));
+        match granularity {
+            LockGranularity::Partition => {
+                if replica.unit_skippable(p.raw(), has_work) {
+                    continue;
+                }
+                acquire_unit_rpc(shared, rx, s, p.raw())?;
+                for &v in &vertices {
+                    if !is_active(shared, halted, v) || !replica.vertex_allowed(s, v) {
+                        continue;
+                    }
+                    run_vertex(
+                        program,
+                        s,
+                        v,
+                        graph,
+                        pm,
+                        shared,
+                        links,
+                        values,
+                        halted,
+                        txns,
+                        record_history,
+                    );
+                }
+                // Messages are staged before the release: the
+                // release-triggered write-all must see them.
+                shared.ctrl.send(&Message::ReleaseUnit { unit: p.raw() })?;
+            }
+            LockGranularity::Vertex => {
+                if !has_work {
+                    continue;
+                }
+                for &v in &vertices {
+                    if !is_active(shared, halted, v) || !replica.vertex_allowed(s, v) {
+                        continue;
+                    }
+                    // Only p-boundary vertices are philosophers; the
+                    // technique's acquire is a no-op for the rest, so the
+                    // RPC is skipped entirely (engine parity: it calls
+                    // acquire unconditionally but in-process that no-op
+                    // is free).
+                    let philosopher = pm.is_p_boundary(v);
+                    if philosopher {
+                        acquire_unit_rpc(shared, rx, s, v.raw())?;
+                    }
+                    run_vertex(
+                        program,
+                        s,
+                        v,
+                        graph,
+                        pm,
+                        shared,
+                        links,
+                        values,
+                        halted,
+                        txns,
+                        record_history,
+                    );
+                    if philosopher {
+                        shared.ctrl.send(&Message::ReleaseUnit { unit: v.raw() })?;
+                    }
+                }
+            }
+            LockGranularity::None => {
+                if !has_work {
+                    continue;
+                }
+                for &v in &vertices {
+                    if !is_active(shared, halted, v) || !replica.vertex_allowed(s, v) {
+                        continue;
+                    }
+                    run_vertex(
+                        program,
+                        s,
+                        v,
+                        graph,
+                        pm,
+                        shared,
+                        links,
+                        values,
+                        halted,
+                        txns,
+                        record_history,
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One vertex transaction: drain the inbox, run `compute`, dispatch the
+/// outgoing messages (local apply / remote stage with eager batch
+/// overflow), stamp the Lamport interval.
+#[allow(clippy::too_many_arguments)]
+fn run_vertex<P>(
+    program: &P,
+    s: u64,
+    v: VertexId,
+    graph: &Graph,
+    pm: &PartitionMap,
+    shared: &Shared,
+    links: &[Option<PeerLink>],
+    values: &mut [P::Value],
+    halted: &mut [bool],
+    txns: &mut Vec<WireTxn>,
+    record_history: bool,
+) where
+    P: VertexProgram,
+    P::Value: WireValue,
+    P::Message: WireValue,
+{
+    // Messages in the inbox arrived on link readers that joined the
+    // sender's clock first, so this tick orders after every sender write.
+    let start = shared.clock.tick();
+    let wire_msgs = {
+        let mut inbox = shared.inbox.lock().unwrap();
+        std::mem::take(&mut inbox[v.index()])
+    };
+    let messages: Vec<P::Message> = wire_msgs
+        .iter()
+        .map(|&w| P::Message::from_wire(w))
+        .collect();
+    let t0 = wall_ns(shared.epoch_ns);
+    let mut outgoing: Vec<(VertexId, P::Message)> = Vec::new();
+    let aggs = AggregatorSet::new();
+    let trace_handle = Trace::disabled();
+    let mut ctx = Context::<P>::external(
+        v,
+        s,
+        shared.rank,
+        graph,
+        &mut values[v.index()],
+        &mut outgoing,
+        &aggs,
+        &trace_handle,
+        t0,
+    );
+    program.compute(&mut ctx, &messages);
+    halted[v.index()] = ctx.halted();
+
+    let n_in = messages.len() as u64;
+    for (to, m) in outgoing.drain(..) {
+        let w = pm.worker_of(to).raw();
+        let wire = m.to_wire();
+        if w == shared.rank {
+            shared.inbox.lock().unwrap()[to.index()].push(wire);
+            shared.metrics.inc(Counter::LocalMessages);
+        } else {
+            shared.metrics.inc(Counter::RemoteMessages);
+            let batch = {
+                let mut ob = shared.outbound.lock().unwrap();
+                ob.staged[w as usize].push((to.raw(), v.raw(), wire));
+                ob.dirty[w as usize] = true;
+                (ob.staged[w as usize].len() >= shared.buffer_cap)
+                    .then(|| std::mem::take(&mut ob.staged[w as usize]))
+            };
+            if let Some(batch) = batch {
+                if let Some(Some(link)) = links.get(w as usize) {
+                    shared.metrics.inc(Counter::RemoteBatches);
+                    let len = batch.len() as u64;
+                    link.send(Message::BatchFlush { msgs: batch });
+                    shared.trace.record_peer(
+                        shared.rank,
+                        s,
+                        TraceEventKind::BatchFlush,
+                        wall_ns(shared.epoch_ns),
+                        0,
+                        len,
+                        w,
+                    );
+                }
+            }
+        }
+    }
+    shared.metrics.inc(Counter::VertexExecutions);
+    let end = shared.clock.tick();
+    if record_history {
+        txns.push(WireTxn {
+            vertex: v.raw(),
+            start: stamp(start, shared.rank),
+            end: stamp(end, shared.rank),
+            stale: Vec::new(),
+        });
+    }
+    let dur = wall_ns(shared.epoch_ns).saturating_sub(t0);
+    shared
+        .trace
+        .record(shared.rank, s, TraceEventKind::VertexExecute, t0, dur, n_in);
+}
+
+/// End-of-superstep write-all: every peer that received traffic since its
+/// last fence gets the residual batch plus a fence, so `ComputeDone`
+/// means "all my messages are applied" — the invariant both the barrier
+/// votes and the BSP-style message visibility rely on.
+fn flush_all(shared: &Shared, links: &[Option<PeerLink>]) -> Result<(), NetError> {
+    for (peer, slot) in links.iter().enumerate() {
+        let Some(link) = slot.as_ref() else {
+            continue;
+        };
+        let (staged, was_dirty) = {
+            let mut ob = shared.outbound.lock().unwrap();
+            let was_dirty = ob.dirty[peer];
+            ob.dirty[peer] = false;
+            (std::mem::take(&mut ob.staged[peer]), was_dirty)
+        };
+        if staged.is_empty() && !was_dirty {
+            continue;
+        }
+        if !staged.is_empty() {
+            shared.metrics.inc(Counter::RemoteBatches);
+            link.send(Message::BatchFlush { msgs: staged });
+        }
+        link.flush_fence(shared.next_fence(), FENCE_TIMEOUT)?;
+    }
+    Ok(())
+}
+
+/// Result uploads, chunked to stay far under the frame cap, terminated by
+/// the goodbye marker.
+fn upload<V: WireValue>(
+    shared: &Shared,
+    spec: &RunSpec,
+    pm: &PartitionMap,
+    my_partitions: &[PartitionId],
+    values: &[V],
+    txns: &[WireTxn],
+) -> Result<(), NetError> {
+    let mut pairs = Vec::new();
+    for &p in my_partitions {
+        for &v in pm.vertices_in(p) {
+            pairs.push((v.raw(), values[v.index()].to_wire()));
+        }
+    }
+    for chunk in pairs.chunks(UPLOAD_CHUNK) {
+        shared.ctrl.send(&Message::ValuesUpload {
+            values: chunk.to_vec(),
+        })?;
+    }
+    if spec.record_history {
+        for chunk in txns.chunks(UPLOAD_CHUNK) {
+            shared.ctrl.send(&Message::HistoryUpload {
+                txns: chunk.to_vec(),
+            })?;
+        }
+    }
+    let snapshot = shared.metrics.snapshot();
+    shared.ctrl.send(&Message::MetricsUpload {
+        counters: Counter::ALL.iter().map(|&c| snapshot.get(c)).collect(),
+    })?;
+    if let Some(buffer) = shared.trace.buffer() {
+        let events: Vec<WireTraceEvent> = buffer
+            .events(shared.rank as usize)
+            .into_iter()
+            .map(|e| WireTraceEvent {
+                worker: e.worker,
+                superstep: e.superstep,
+                kind: e.kind as u8,
+                ts_ns: e.ts_ns,
+                dur_ns: e.dur_ns,
+                arg: e.arg,
+                peer: e.peer.unwrap_or(u32::MAX),
+            })
+            .collect();
+        for chunk in events.chunks(UPLOAD_CHUNK) {
+            shared.ctrl.send(&Message::TraceUpload {
+                events: chunk.to_vec(),
+            })?;
+        }
+    }
+    shared.ctrl.send(&Message::ComputeDone {
+        superstep: GOODBYE_SUPERSTEP,
+    })?;
+    Ok(())
+}

@@ -224,6 +224,7 @@ impl Synchronizer for BspVertexLock {
                     // BSP flushes everything at the barrier anyway; the
                     // callback keeps the C1 write-all invariant explicit.
                     transport.on_fork_transfer_detail(fw, tw, u64::from(to));
+                    transport.flush_acknowledged(fw, tw);
                 }
             }
         }

@@ -177,8 +177,11 @@ impl ForkTable {
             self.metrics.inc(Counter::ForkTransfersRemote);
             // Write-all before the fork crosses machines (C1), plus the
             // virtual-time join for the fork's network hop. The receiving
-            // philosopher identifies the traveling fork in traces.
+            // philosopher identifies the traveling fork in traces. The fork
+            // hands over only once the receiver acknowledged applying the
+            // flush — asynchronous transports block in `flush_acknowledged`.
             transport.on_fork_transfer_detail(fw, tw, u64::from(to));
+            transport.flush_acknowledged(fw, tw);
         }
     }
 
@@ -577,6 +580,42 @@ mod tests {
         assert!(events.contains(&TransportEvent::Control(WorkerId::new(0), WorkerId::new(1))));
         assert!(events.contains(&TransportEvent::Fork(WorkerId::new(1), WorkerId::new(0))));
         t.release(0, 0, &rec);
+    }
+
+    #[test]
+    fn cross_worker_transfer_waits_for_flush_ack() {
+        // Regression for asynchronous transports: every cross-worker fork
+        // movement must be followed by `flush_acknowledged` for the same
+        // (from, to) pair *before* the fork handover returns — otherwise
+        // the receiver could start reading before the C1 write-all landed.
+        let t = table(vec![0, 1], &[(0, 1)]);
+        let rec = RecordingTransport::new();
+        t.acquire(0, &rec);
+        t.release(0, 0, &rec);
+        t.acquire(1, &rec);
+        t.release(1, 0, &rec);
+        let events = rec.take();
+        let mut pending: Vec<(WorkerId, WorkerId)> = Vec::new();
+        for e in &events {
+            match *e {
+                TransportEvent::Fork(f, to) => pending.push((f, to)),
+                TransportEvent::FlushAck(f, to) => {
+                    assert_eq!(
+                        pending.pop(),
+                        Some((f, to)),
+                        "flush ack must match the immediately preceding fork transfer"
+                    );
+                }
+                TransportEvent::Control(..) => {}
+            }
+        }
+        assert!(
+            pending.is_empty(),
+            "every cross-worker fork transfer must be acknowledged: {events:?}"
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TransportEvent::FlushAck(..))));
     }
 
     #[test]

@@ -74,8 +74,11 @@ impl Synchronizer for SingleLayerToken {
             }
             self.metrics.inc(Counter::GlobalTokenPasses);
             // The holder flushes its remote replica updates before passing
-            // the token (C1, Section 4.2).
+            // the token (C1, Section 4.2). The token is only considered
+            // passed once the receiver acknowledged applying the flush —
+            // asynchronous transports block in `flush_acknowledged`.
             transport.on_fork_transfer(from, to);
+            transport.flush_acknowledged(from, to);
         }
     }
 }
@@ -171,6 +174,7 @@ impl Synchronizer for DualLayerToken {
                 }
                 self.metrics.inc(Counter::GlobalTokenPasses);
                 transport.on_fork_transfer(from, to);
+                transport.flush_acknowledged(from, to);
             }
         }
     }
@@ -252,7 +256,10 @@ mod tests {
         t.end_superstep(0, &rec);
         assert_eq!(
             rec.take(),
-            vec![TransportEvent::Fork(WorkerId::new(0), WorkerId::new(1))]
+            vec![
+                TransportEvent::Fork(WorkerId::new(0), WorkerId::new(1)),
+                TransportEvent::FlushAck(WorkerId::new(0), WorkerId::new(1)),
+            ]
         );
         assert_eq!(m.snapshot().global_token_passes, 1);
     }
@@ -324,7 +331,10 @@ mod tests {
         t.end_superstep(1, &rec); // tenure ends: 0 -> 1
         assert_eq!(
             rec.take(),
-            vec![TransportEvent::Fork(WorkerId::new(0), WorkerId::new(1))]
+            vec![
+                TransportEvent::Fork(WorkerId::new(0), WorkerId::new(1)),
+                TransportEvent::FlushAck(WorkerId::new(0), WorkerId::new(1)),
+            ]
         );
         let s = m.snapshot();
         assert_eq!(s.global_token_passes, 1);

@@ -30,6 +30,23 @@ pub trait SyncTransport: Send + Sync {
         self.on_fork_transfer(from, to);
     }
 
+    /// The write-all flush initiated by a preceding
+    /// [`SyncTransport::on_fork_transfer`] for the same `(from, to)` pair
+    /// has been *applied at the receiver*. Techniques call this immediately
+    /// after the fork-transfer hook, before the handover becomes observable
+    /// to any other worker.
+    ///
+    /// For a same-address-space transport the flush completes inside
+    /// `on_fork_transfer` itself, so the default is a no-op. An
+    /// asynchronous transport (sockets) initiates the flush in
+    /// `on_fork_transfer` and must block here until the receiving machine
+    /// acknowledges application — otherwise the C1 write-all barrier is
+    /// violated: the fork (or token) would arrive before the writes it
+    /// guards.
+    fn flush_acknowledged(&self, from: WorkerId, to: WorkerId) {
+        let _ = (from, to);
+    }
+
     /// A lightweight control message (request token) moves from `from` to
     /// `to`. No flush is required — request tokens do not guard data — but
     /// clocks join.
@@ -65,6 +82,8 @@ pub struct RecordingTransport {
 pub enum TransportEvent {
     /// `on_fork_transfer(from, to)`.
     Fork(WorkerId, WorkerId),
+    /// `flush_acknowledged(from, to)`.
+    FlushAck(WorkerId, WorkerId),
     /// `on_control_message(from, to)`.
     Control(WorkerId, WorkerId),
 }
@@ -88,6 +107,12 @@ impl SyncTransport for RecordingTransport {
             .unwrap()
             .push(TransportEvent::Fork(from, to));
     }
+    fn flush_acknowledged(&self, from: WorkerId, to: WorkerId) {
+        self.inner
+            .lock()
+            .unwrap()
+            .push(TransportEvent::FlushAck(from, to));
+    }
     fn on_control_message(&self, from: WorkerId, to: WorkerId) {
         self.inner
             .lock()
@@ -104,15 +129,27 @@ mod tests {
     fn recording_transport_captures_in_order() {
         let t = RecordingTransport::new();
         t.on_fork_transfer(WorkerId::new(0), WorkerId::new(1));
+        t.flush_acknowledged(WorkerId::new(0), WorkerId::new(1));
         t.on_control_message(WorkerId::new(1), WorkerId::new(0));
         assert_eq!(
             t.take(),
             vec![
                 TransportEvent::Fork(WorkerId::new(0), WorkerId::new(1)),
+                TransportEvent::FlushAck(WorkerId::new(0), WorkerId::new(1)),
                 TransportEvent::Control(WorkerId::new(1), WorkerId::new(0)),
             ]
         );
         assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn flush_acknowledged_defaults_to_noop() {
+        struct Bare;
+        impl SyncTransport for Bare {
+            fn on_fork_transfer(&self, _from: WorkerId, _to: WorkerId) {}
+            fn on_control_message(&self, _from: WorkerId, _to: WorkerId) {}
+        }
+        Bare.flush_acknowledged(WorkerId::new(0), WorkerId::new(1));
     }
 
     #[test]
