@@ -32,4 +32,7 @@ echo "== sg-msgbench smoke (tiny datapath bench; artifact schema check) =="
 echo "== sg-net smoke (loopback multi-process cluster; fault recovery) =="
 ./scripts/net_smoke.sh
 
+echo "== sg-obs smoke (live telemetry scrape; sg-top; overhead guard) =="
+./scripts/obs_smoke.sh
+
 echo "CI green."

@@ -7,8 +7,9 @@
 //!                [--graph ring:N|grid:R:C|paper-c4|complete:N|er:N:M:SEED]
 //!                [--threads] [--bind ADDR] [--max-supersteps N]
 //!                [--buffer-cap N] [--fault RANK:SPEC]... [--no-history]
-//!                [--trace]
-//! sg-cluster bench [--workers N] [--threads]
+//!                [--trace] [--telemetry-addr ADDR] [--telemetry-interval-ms N]
+//! sg-cluster bench [--workers N] [--threads] [--telemetry-addr ADDR]
+//! sg-cluster top --addr ADDR [--once] [--interval-ms N] [--raw]
 //! sg-cluster worker --coord ADDR --rank R        (internal)
 //! ```
 //!
@@ -24,14 +25,26 @@
 //! `bench` is the netbench lane: greedy coloring across all four
 //! techniques (plus the unsynchronized baseline), emitting
 //! `results/BENCH_net.json` and a merged Chrome trace
-//! `results/TRACE_net.json` consumable by `sg-trace analyze`.
+//! `results/TRACE_net.json` consumable by `sg-trace analyze`. Each cell
+//! embeds the run's final telemetry snapshot, so the artifact and the
+//! live scrape endpoint report the same totals.
+//!
+//! `--telemetry-addr 127.0.0.1:9464` serves the live telemetry plane
+//! during a run (Prometheus text at `/metrics`, JSON at `/json`), and
+//! `top` is the matching dashboard: it polls `/json` and renders a
+//! per-worker / per-link view (superstep, busy/blocked %, lock waits,
+//! retransmits, RTT p50/p99) until interrupted (`--once` for one frame,
+//! `--raw` to dump the Prometheus text instead).
 
+use sg_bench::json::Json;
 use sg_bench::{emit_obs, BenchLog};
 use sg_core::sg_algos::validate;
 use sg_core::sg_graph::{gen, Graph, VertexId};
-use sg_core::sg_net::{self, parse_fault_plan, FaultPlan, SpawnMode, Workload};
+use sg_core::sg_net::{self, http_get, parse_fault_plan, FaultPlan, SpawnMode, Workload};
 use sg_core::{NetworkOptions, Runner, Technique};
+use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "sg-cluster — multi-process cluster runs of the synchronization techniques
 
@@ -39,15 +52,22 @@ USAGE:
     sg-cluster run [--workers N] [--ppw N] [--technique LABEL] [--workload W]
                    [--source V] [--graph SPEC] [--threads] [--bind ADDR]
                    [--max-supersteps N] [--buffer-cap N] [--fault RANK:SPEC]...
-                   [--no-history] [--trace]
-    sg-cluster bench [--workers N] [--threads]
+                   [--no-history] [--trace] [--telemetry-addr ADDR]
+                   [--telemetry-interval-ms N]
+    sg-cluster bench [--workers N] [--threads] [--telemetry-addr ADDR]
+    sg-cluster top --addr ADDR [--once] [--interval-ms N] [--raw]
 
     techniques: none single-token dual-token vertex-lock partition-lock
     workloads:  coloring (default) | wcc | sssp (--source picks the root)
     graphs:     ring:N | grid:R:C | paper-c4 | complete:N | er:N:M:SEED
                 (default grid:8:8)
     faults:     RANK:drop=F,dup=F,delay=F:MS,kill=F — data-plane frame
-                indices of worker RANK";
+                indices of worker RANK
+    telemetry:  --telemetry-addr serves live metrics over HTTP during the
+                run (GET /metrics = Prometheus text, GET /json = JSON);
+                workers ship snapshots every --telemetry-interval-ms
+                (default 500 when serving). `top` polls such an endpoint
+                and renders a live per-worker/per-link dashboard.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +75,7 @@ fn main() -> ExitCode {
         Some("worker") => worker(&args[1..]),
         Some("run") => run(&args[1..]),
         Some("bench") => bench(&args[1..]),
+        Some("top") => top(&args[1..]),
         Some("--help") | Some("-h") | Some("help") => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -116,6 +137,8 @@ struct RunArgs {
     faults: Vec<(u32, FaultPlan)>,
     history: bool,
     trace: bool,
+    telemetry_addr: Option<String>,
+    telemetry_interval_ms: Option<u64>,
 }
 
 impl Default for RunArgs {
@@ -133,6 +156,8 @@ impl Default for RunArgs {
             faults: Vec::new(),
             history: true,
             trace: false,
+            telemetry_addr: None,
+            telemetry_interval_ms: None,
         }
     }
 }
@@ -206,6 +231,16 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             }
             "--no-history" => out.history = false,
             "--trace" => out.trace = true,
+            "--telemetry-addr" => {
+                out.telemetry_addr = Some(next(args, &mut i, "--telemetry-addr")?);
+            }
+            "--telemetry-interval-ms" => {
+                out.telemetry_interval_ms = Some(
+                    next(args, &mut i, "--telemetry-interval-ms")?
+                        .parse()
+                        .map_err(|_| "--telemetry-interval-ms needs an integer".to_string())?,
+                );
+            }
             other => return Err(format!("unknown run flag {other:?}")),
         }
         i += 1;
@@ -300,6 +335,12 @@ fn execute(a: &RunArgs) -> Result<bool, String> {
             bind_addr: a.bind.clone(),
             spawn,
             faults: a.faults.clone(),
+            telemetry_addr: a.telemetry_addr.clone(),
+            // Periodic snapshot frames only make sense with a listener up;
+            // the final snapshot ships regardless.
+            telemetry_interval_ms: a
+                .telemetry_interval_ms
+                .unwrap_or(if a.telemetry_addr.is_some() { 500 } else { 0 }),
         });
     if let Some(ppw) = a.ppw {
         runner = runner.partitions_per_worker(ppw);
@@ -388,6 +429,7 @@ fn print_counters(m: &sg_core::sg_metrics::MetricsSnapshot) {
 fn bench(args: &[String]) -> ExitCode {
     let mut workers = 2u32;
     let mut threads = false;
+    let mut telemetry_addr = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -402,6 +444,16 @@ fn bench(args: &[String]) -> ExitCode {
                 };
             }
             "--threads" => threads = true,
+            "--telemetry-addr" => {
+                i += 1;
+                telemetry_addr = match args.get(i) {
+                    Some(a) => Some(a.clone()),
+                    None => {
+                        eprintln!("sg-cluster bench: --telemetry-addr needs an address");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             other => {
                 eprintln!("sg-cluster bench: unknown flag {other:?}");
                 return ExitCode::FAILURE;
@@ -435,6 +487,8 @@ fn bench(args: &[String]) -> ExitCode {
                 bind_addr: "127.0.0.1:0".into(),
                 spawn: spawn.clone(),
                 faults: Vec::new(),
+                telemetry_addr: telemetry_addr.clone(),
+                telemetry_interval_ms: if telemetry_addr.is_some() { 500 } else { 0 },
             })
             .run_coloring();
         let out = match out {
@@ -485,5 +539,296 @@ fn bench(args: &[String]) -> ExitCode {
             eprintln!("sg-cluster bench: writing BENCH_net.json: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sg-cluster top — the live dashboard over a telemetry scrape endpoint
+// ---------------------------------------------------------------------------
+
+struct TopArgs {
+    addr: String,
+    once: bool,
+    interval_ms: u64,
+    raw: bool,
+}
+
+fn parse_top_args(args: &[String]) -> Result<TopArgs, String> {
+    let mut addr = None;
+    let mut once = false;
+    let mut interval_ms = 1000u64;
+    let mut raw = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| "--addr needs host:port".to_string())?,
+                );
+            }
+            "--once" => once = true,
+            "--interval-ms" => {
+                i += 1;
+                interval_ms = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| "--interval-ms needs an integer".to_string())?;
+            }
+            "--raw" => raw = true,
+            other => return Err(format!("unknown top flag {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(TopArgs {
+        addr: addr.ok_or_else(|| "top needs --addr <host:port>".to_string())?,
+        once,
+        interval_ms: interval_ms.max(100),
+        raw,
+    })
+}
+
+/// One flattened metric row from `GET /json`: counters and gauges carry
+/// `value`; histograms put their observation count in `value` and fill
+/// `sum`/`p50`/`p99`.
+struct ScrapeRow {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: u64,
+    p50: u64,
+    p99: u64,
+}
+
+impl ScrapeRow {
+    fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn parse_scrape(body: &str) -> Result<Vec<ScrapeRow>, String> {
+    let doc = Json::parse(body).map_err(|e| e.to_string())?;
+    let arr = doc
+        .as_arr()
+        .ok_or_else(|| "telemetry JSON is not an array".to_string())?;
+    let mut rows = Vec::with_capacity(arr.len());
+    for item in arr {
+        let name = item
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "metric row without a name".to_string())?
+            .to_string();
+        let mut labels = Vec::new();
+        if let Some(Json::Obj(members)) = item.get("labels") {
+            for (k, v) in members {
+                labels.push((k.clone(), v.as_str().unwrap_or_default().to_string()));
+            }
+        }
+        let num = |key: &str| item.get(key).and_then(Json::as_u64).unwrap_or(0);
+        let value = if item.get("value").is_some() {
+            num("value")
+        } else {
+            num("count")
+        };
+        rows.push(ScrapeRow {
+            name,
+            labels,
+            value,
+            p50: num("p50"),
+            p99: num("p99"),
+        });
+    }
+    Ok(rows)
+}
+
+fn lookup<'a>(rows: &'a [ScrapeRow], name: &str, worker: &str) -> Option<&'a ScrapeRow> {
+    rows.iter()
+        .find(|r| r.name == name && r.label("worker") == Some(worker))
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Render one dashboard frame. `prev` holds the last frame's
+/// (uptime, compute, lock-wait) nanosecond totals per worker so busy% /
+/// blocked% reflect the *interval* since the previous poll, not the
+/// whole run.
+fn render_dashboard(rows: &[ScrapeRow], prev: &mut BTreeMap<String, (u64, u64, u64)>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+
+    let mut workers: Vec<String> = rows
+        .iter()
+        .filter(|r| r.name == "sg_worker_superstep")
+        .filter_map(|r| r.label("worker").map(str::to_string))
+        .collect();
+    workers.sort_by_key(|w| w.parse::<u64>().unwrap_or(u64::MAX));
+    workers.dedup();
+
+    let gauge = |name: &str, worker: &str| lookup(rows, name, worker).map_or(0, |r| r.value);
+    let step = workers
+        .iter()
+        .map(|w| gauge("sg_worker_superstep", w))
+        .max()
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "sg-top — cluster superstep {step}, {} worker(s)",
+        workers.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<7} {:>6} {:>8} {:>9} {:>7} {:>7} {:>9}",
+        "WORKER", "STEP", "ACTIVE", "PENDING", "STAGED", "BUSY%", "BLOCKED%"
+    );
+    for w in &workers {
+        let uptime = gauge("sg_worker_uptime_ns", w);
+        let compute = gauge("sg_worker_compute_ns_total", w);
+        let lock_wait = gauge("sg_worker_lock_wait_ns_total", w);
+        let (pu, pc, pl) = prev
+            .insert(w.clone(), (uptime, compute, lock_wait))
+            .unwrap_or((0, 0, 0));
+        let du = uptime.saturating_sub(pu);
+        let pct = |d: u64| {
+            if du == 0 {
+                0.0
+            } else {
+                100.0 * d as f64 / du as f64
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<7} {:>6} {:>8} {:>9} {:>7} {:>7.1} {:>9.1}",
+            w,
+            gauge("sg_worker_superstep", w),
+            gauge("sg_worker_active_vertices", w),
+            gauge("sg_worker_pending_messages", w),
+            gauge("sg_worker_staged_messages", w),
+            pct(compute.saturating_sub(pc)),
+            pct(lock_wait.saturating_sub(pl)),
+        );
+    }
+
+    let mut sync_rows: Vec<&ScrapeRow> = rows
+        .iter()
+        .filter(|r| r.name.starts_with("sg_sync_") && r.label("worker") == Some("coord"))
+        .collect();
+    sync_rows.sort_by(|a, b| (a.label("technique"), &a.name).cmp(&(b.label("technique"), &b.name)));
+    if !sync_rows.is_empty() {
+        let _ = writeln!(out, "\nSYNC (coordinator-hosted technique)");
+        for r in sync_rows {
+            let _ = writeln!(
+                out,
+                "  {:<26} technique={:<16} n={:<8} p50={:<9} p99={}",
+                r.name,
+                r.label("technique").unwrap_or("?"),
+                r.value,
+                fmt_ns(r.p50),
+                fmt_ns(r.p99),
+            );
+        }
+    }
+
+    let mut links: Vec<(String, String)> = rows
+        .iter()
+        .filter(|r| r.name == "sg_link_frames_out_total")
+        .filter_map(|r| Some((r.label("worker")?.to_string(), r.label("peer")?.to_string())))
+        .collect();
+    links.sort();
+    if !links.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<9} {:>10} {:>10} {:>6} {:>8} {:>7} {:>7}  RTT p50/p99",
+            "LINK", "FRAMES>", "FRAMES<", "RETX", "DUP-ACK", "REDIAL", "QDEPTH"
+        );
+        for (w, p) in links {
+            let m = |name: &str| {
+                rows.iter().find(|r| {
+                    r.name == name
+                        && r.label("worker") == Some(w.as_str())
+                        && r.label("peer") == Some(p.as_str())
+                })
+            };
+            let v = |name: &str| m(name).map_or(0, |r| r.value);
+            let rtt = m("sg_link_rtt_ns");
+            let _ = writeln!(
+                out,
+                "{:<9} {:>10} {:>10} {:>6} {:>8} {:>7} {:>7}  {}/{}",
+                format!("{w}->{p}"),
+                v("sg_link_frames_out_total"),
+                v("sg_link_frames_in_total"),
+                v("sg_link_retransmits_total"),
+                v("sg_link_dup_reacks_total"),
+                v("sg_link_redials_total"),
+                v("sg_link_send_queue_depth"),
+                fmt_ns(rtt.map_or(0, |r| r.p50)),
+                fmt_ns(rtt.map_or(0, |r| r.p99)),
+            );
+        }
+    }
+    out
+}
+
+fn top(args: &[String]) -> ExitCode {
+    let a = match parse_top_args(args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sg-cluster top: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let timeout = Duration::from_secs(2);
+    let mut prev = BTreeMap::new();
+    let mut had_frame = false;
+    loop {
+        let path = if a.raw { "/metrics" } else { "/json" };
+        let body = match http_get(&a.addr, path, timeout) {
+            Ok(b) => b,
+            Err(e) if had_frame && !a.once => {
+                // The run finished and took the endpoint with it: a clean
+                // end for a live watch, not an error.
+                println!("sg-top: endpoint {} gone ({e}); exiting", a.addr);
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("sg-cluster top: scrape http://{}{path}: {e}", a.addr);
+                return ExitCode::from(2);
+            }
+        };
+        had_frame = true;
+        if a.raw {
+            print!("{body}");
+        } else {
+            let rows = match parse_scrape(&body) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("sg-cluster top: bad telemetry JSON: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let frame = render_dashboard(&rows, &mut prev);
+            if !a.once {
+                // Clear + home, like top(1).
+                print!("\x1b[2J\x1b[H");
+            }
+            println!("{frame}");
+        }
+        if a.once {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(Duration::from_millis(a.interval_ms));
     }
 }

@@ -32,6 +32,7 @@ use sg_bench::{Args, BenchLog};
 use sg_core::sg_engine::store::{OutboundBuffers, PartitionStore, StagingBuffers};
 use sg_core::sg_engine::{Combiner, MinCombiner};
 use sg_core::sg_graph::VertexId;
+use sg_core::sg_metrics::Telemetry;
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
@@ -381,6 +382,75 @@ fn bench_hotpath(
     }
 }
 
+/// The observability lane: simulated vertex turns on the worker hot path,
+/// with and without a live [`Telemetry`] registry fed alongside.
+///
+/// One "op" is a vertex turn: drain the vertex's inbox slot, stage a
+/// `FANOUT`-message scatter (uncombined, so every message travels), and
+/// ship full batches into the striped destination store. Both variants
+/// time each turn with the same `Instant` pair the worker already burns
+/// for traces; the *on* variant additionally records at the exact density
+/// the real planes do — one relaxed counter add per turn (the
+/// `sg_worker_compute_ns_total` analog) and one histogram record per
+/// shipped batch (the per-frame link-stats analog). The on/off wall-clock
+/// delta is the telemetry plane's hot-path intrusion cost;
+/// `scripts/obs_smoke.sh` asserts it stays under 5%.
+fn bench_telemetry(on: bool, ops: u64, verts: usize, cap: usize, seed: u64) -> RunStats {
+    const FANOUT: u64 = 12;
+    let store = PartitionStore::<u64>::new(verts);
+    let outbound = OutboundBuffers::<u64>::new(2);
+    let comb = MinCombiner;
+    let telemetry = on.then(Telemetry::new);
+    let handles = telemetry.as_ref().map(|t| {
+        (
+            t.counter("sg_bench_compute_ns_total", &[]),
+            t.histogram("sg_bench_batch_ns", &[]),
+        )
+    });
+    let mut st = StagingBuffers::<u64>::new(2, false);
+    let mut x = seed;
+    let mut scratch = Vec::new();
+    let start = Instant::now();
+    let mut batch_start = Instant::now();
+    let mut ship = |batches: Vec<Vec<(VertexId, VertexId, u64)>>| {
+        for batch in batches {
+            for (to, sender, msg) in batch {
+                store.insert(to.index(), sender, msg, Some(&comb as _));
+            }
+            if let Some((_, h)) = &handles {
+                h.record(batch_start.elapsed().as_nanos() as u64);
+                batch_start = Instant::now();
+            }
+        }
+    };
+    for i in 0..ops {
+        let turn_start = Instant::now();
+        let slot = (lcg(&mut x) % verts as u64) as usize;
+        scratch.clear();
+        store.drain_into(slot, &mut scratch);
+        for k in 0..FANOUT {
+            let to = (lcg(&mut x) % verts as u64) as usize;
+            let routed = (VertexId::new(to as u32), VertexId::new(slot as u32), i + k);
+            let (_, staged) = st.stage(1, routed, None);
+            if staged >= cap {
+                ship(outbound.push_batch(0, 1, st.take_run(1), cap));
+            }
+        }
+        let dur = turn_start.elapsed().as_nanos() as u64;
+        if let Some((c, _)) = &handles {
+            c.add(dur);
+        }
+    }
+    ship(outbound.push_batch(0, 1, st.take_run(1), cap));
+    ship(vec![outbound.take(0, 1)]);
+    let wall_us = start.elapsed().as_micros() as u64;
+    assert!(store.total() <= verts);
+    if let Some((c, _)) = &handles {
+        assert!(c.get() > 0);
+    }
+    RunStats { ops, wall_us }
+}
+
 fn fields(threads: usize, s: &RunStats) -> Vec<(&'static str, String)> {
     vec![
         ("threads", threads.to_string()),
@@ -535,7 +605,21 @@ fn main() {
         }
     }
 
+    // --- telemetry: live-registry recording overhead, on vs off ---
+    let tel_off = best_of(reps, || bench_telemetry(false, ops, verts, cap, seed));
+    let tel_on = best_of(reps, || bench_telemetry(true, ops, verts, cap, seed));
+    let overhead_pct = (tel_on.wall_us.max(1) as f64 / tel_off.wall_us.max(1) as f64 - 1.0) * 100.0;
+    row("telemetry/off", 1, &tel_off);
+    row("telemetry/on", 1, &tel_on);
+    log.raw_cell("telemetry/off", &fields(1, &tel_off));
+    log.raw_cell("telemetry/on", &fields(1, &tel_on));
+    log.raw_cell(
+        "overhead/telemetry",
+        &[("overhead_pct", format!("{overhead_pct:.3}"))],
+    );
+
     println!();
+    println!("telemetry overhead: {overhead_pct:.2}% (live registry on vs off)");
     for (t, s) in &headline {
         println!(
             "headline: hot-partition delivery at {t} sender threads (combiner on) — \

@@ -26,7 +26,11 @@ USAGE:
     sg-trace merge <a.json> <b.json> [more...] --out <merged.json>
     sg-trace check <trace.json> --against <BENCH.json> [--cell <label>] [--tolerance <pct>]
 
-Exit codes: 0 ok, 1 usage, 2 malformed or incompatible input, 3 tolerance failure.";
+Exit codes:
+    0   success
+    1   usage error (bad flags or arguments)
+    2   malformed or incompatible input (bad JSON, schema or workload mismatch)
+    3   tolerance failure (`check` found a regression beyond --tolerance)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

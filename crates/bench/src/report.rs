@@ -72,12 +72,15 @@ impl BenchLog {
             r.wall.as_micros() as u64,
             &r.metrics,
             r.obs.as_ref(),
+            None,
         );
     }
 
     /// Record a raw engine [`Outcome`](sg_core::sg_engine::Outcome) — for
     /// binaries that drive the engine directly instead of going through
-    /// the [`crate::experiment`] helpers.
+    /// the [`crate::experiment`] helpers. When the run carried a live
+    /// telemetry registry, its final snapshot is embedded in the cell so
+    /// the live scrape endpoint and the post-hoc artifact cross-check.
     pub fn outcome_cell<V>(
         &mut self,
         label: &str,
@@ -93,6 +96,7 @@ impl BenchLog {
             out.wall_time.as_micros() as u64,
             &out.metrics,
             out.obs.as_ref(),
+            out.telemetry.as_ref(),
         );
     }
 
@@ -107,6 +111,7 @@ impl BenchLog {
         wall_us: u64,
         metrics: &sg_core::sg_metrics::MetricsSnapshot,
         obs: Option<&ObsReport>,
+        telemetry: Option<&sg_core::sg_metrics::TelemetrySnapshot>,
     ) {
         let mut c = String::from("{");
         let _ = write!(c, "\"label\":\"{}\"", escape(label));
@@ -118,6 +123,9 @@ impl BenchLog {
         let _ = write!(c, ",\"totals\":{}", snapshot_json(metrics));
         if let Some(obs) = obs {
             let _ = write!(c, ",\"obs\":{}", obs.to_json());
+        }
+        if let Some(t) = telemetry {
+            let _ = write!(c, ",\"telemetry\":{}", t.to_json());
         }
         c.push('}');
         self.cells.push(c);

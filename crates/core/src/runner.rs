@@ -31,6 +31,13 @@ pub struct NetworkOptions {
     pub spawn: SpawnMode,
     /// Deterministic per-rank data-plane fault plans.
     pub faults: Vec<(u32, FaultPlan)>,
+    /// Serve the live telemetry plane over HTTP at this address during
+    /// the run (`host:port`; port 0 picks a free one). `None` disables
+    /// the listener.
+    pub telemetry_addr: Option<String>,
+    /// How often workers ship telemetry snapshot frames, in milliseconds
+    /// (0 = final snapshot only).
+    pub telemetry_interval_ms: u64,
 }
 
 impl Default for NetworkOptions {
@@ -39,6 +46,8 @@ impl Default for NetworkOptions {
             bind_addr: "127.0.0.1:0".into(),
             spawn: SpawnMode::Threads,
             faults: Vec::new(),
+            telemetry_addr: None,
+            telemetry_interval_ms: 0,
         }
     }
 }
@@ -258,6 +267,8 @@ impl Runner {
             bind_addr: opts.bind_addr.clone(),
             spawn: opts.spawn.clone(),
             faults: opts.faults.clone(),
+            telemetry_addr: opts.telemetry_addr.clone(),
+            telemetry_interval_ms: opts.telemetry_interval_ms,
         };
         let started = Instant::now();
         let out: ClusterOutcome = sg_net::run_cluster(&self.graph, &cfg)
@@ -279,6 +290,7 @@ impl Runner {
             wall_time: started.elapsed(),
             history: out.history,
             obs,
+            telemetry: out.telemetry,
         })
     }
 

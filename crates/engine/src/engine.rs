@@ -10,8 +10,8 @@ use crate::store::{Envelope, OutboundBuffers, PartitionStore, Routed, StagingBuf
 use sg_graph::partition::{ExplicitPartitioner, HashPartitioner};
 use sg_graph::{Graph, PartitionId, PartitionMap, VertexId, WorkerId};
 use sg_metrics::{
-    CostModel, Counter, Metrics, MetricsSnapshot, ObsConfig, ObsReport, SimClocks, SuperstepRow,
-    Trace, TraceEventKind, Watchdog, WorkerTimers,
+    CostModel, Counter, GaugeHandle, Metrics, MetricsSnapshot, ObsConfig, ObsReport, SimClocks,
+    SuperstepRow, Telemetry, TelemetrySnapshot, Trace, TraceEventKind, Watchdog, WorkerTimers,
 };
 use sg_serial::{History, Recorder};
 use sg_sync::technique::LockGranularity;
@@ -47,6 +47,10 @@ pub struct Outcome<V> {
     /// Observability report (traces, per-superstep deltas, per-worker
     /// breakdowns), when any of [`ObsConfig`] was enabled.
     pub obs: Option<ObsReport>,
+    /// Final snapshot of the live telemetry registry, when
+    /// `ObsConfig::telemetry` was set (technique wait/hold/pass histograms
+    /// plus the engine's progress gauges).
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 /// A configured, ready-to-run engine.
@@ -138,6 +142,11 @@ impl<P: VertexProgram> Engine<P> {
     /// Execute to completion.
     pub fn run(self) -> Outcome<P::Value> {
         let metrics = Arc::new(Metrics::new());
+        // The registry must be attached before the technique is built: the
+        // techniques grab their histogram handles at construction.
+        if self.config.obs.telemetry {
+            metrics.attach_telemetry(Arc::new(Telemetry::new()));
+        }
         let sync: Arc<dyn Synchronizer> = match self.config.technique {
             TechniqueKind::None => Arc::new(NoSync),
             TechniqueKind::SingleToken => Arc::new(SingleLayerToken::new(
@@ -289,6 +298,7 @@ impl<P: VertexProgram> Engine<P> {
             self.config.checkpoint_every.is_some() || self.config.fail_at_superstep.is_some();
         let mut latest_ckpt = ckpt_enabled.then(|| core.take_checkpoint(0));
         let mut fail_at = self.config.fail_at_superstep;
+        let gauges = EngineGauges::from(&metrics);
         loop {
             let s = logical;
             core.superstep.store(s, Ordering::SeqCst);
@@ -298,6 +308,18 @@ impl<P: VertexProgram> Engine<P> {
             start_barrier.wait();
             // ... workers execute superstep s ...
             end_barrier.wait();
+
+            // Sample staging depth before the master flush drains it: this
+            // is how much each superstep left sitting in sender-side
+            // staging for the barrier to move.
+            if let Some(g) = &gauges {
+                let staged: usize = core
+                    .staging
+                    .iter()
+                    .map(|st| st.lock().unwrap().total_staged())
+                    .sum();
+                g.staging.set(staged as u64);
+            }
 
             // Master phase: deliver stragglers, rotate tokens, swap BSP
             // stores, roll aggregators, level virtual clocks, decide halt.
@@ -367,6 +389,11 @@ impl<P: VertexProgram> Engine<P> {
                 .iter()
                 .map(|p| p.lock().unwrap().active_count())
                 .sum();
+            if let Some(g) = &gauges {
+                g.superstep.set(s);
+                g.active.set(active as u64);
+                g.pending.set(pending);
+            }
             if core.program.master_halt(s, &core.aggs.view()) || (active == 0 && pending == 0) {
                 converged = true;
                 break;
@@ -406,7 +433,29 @@ impl<P: VertexProgram> Engine<P> {
             wall_time: wall_start.elapsed(),
             history: recorder.map(|r| r.history()),
             obs: core.obs_report(rows, stalled),
+            telemetry: metrics.telemetry().map(|t| t.snapshot()),
         }
+    }
+}
+
+/// The master loop's live progress gauges, present when
+/// `ObsConfig::telemetry` attached a registry. All are set once per
+/// superstep at the barrier — never on the compute hot path.
+struct EngineGauges {
+    superstep: GaugeHandle,
+    active: GaugeHandle,
+    pending: GaugeHandle,
+    staging: GaugeHandle,
+}
+
+impl EngineGauges {
+    fn from(metrics: &Metrics) -> Option<Self> {
+        metrics.telemetry().map(|t| EngineGauges {
+            superstep: t.gauge("sg_engine_superstep", &[]),
+            active: t.gauge("sg_engine_active_vertices", &[]),
+            pending: t.gauge("sg_engine_pending_messages", &[]),
+            staging: t.gauge("sg_engine_staging_depth", &[]),
+        })
     }
 }
 
@@ -602,6 +651,7 @@ fn run_barrierless<P: VertexProgram>(
         wall_time: wall_start.elapsed(),
         history: recorder.map(|r| r.history()),
         obs: core.obs_report(Vec::new(), stalled),
+        telemetry: metrics.telemetry().map(|t| t.snapshot()),
     }
 }
 
@@ -1362,6 +1412,40 @@ mod tests {
         let out = Engine::new(g, Forever, config).unwrap().run();
         assert!(!out.converged);
         assert_eq!(out.supersteps, 5);
+    }
+
+    #[test]
+    fn telemetry_snapshot_present_when_enabled() {
+        use sg_metrics::MetricValue;
+        let g = Arc::new(gen::ring(24));
+        let config = EngineConfig {
+            workers: 2,
+            model: Model::Async,
+            technique: TechniqueKind::PartitionLock,
+            obs: ObsConfig {
+                telemetry: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let out = Engine::new(g, MaxId, config).unwrap().run();
+        assert!(out.converged);
+        let snap = out.telemetry.expect("telemetry requested");
+        assert!(snap.get("sg_engine_superstep", &[]).is_some());
+        assert!(snap.get("sg_engine_pending_messages", &[]).is_some());
+        match snap.get(
+            "sg_sync_acquire_wait_ns",
+            &[("technique", "partition-lock")],
+        ) {
+            Some(MetricValue::Histogram(h)) => assert!(h.count > 0),
+            other => panic!("technique wait histogram missing: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_absent_by_default() {
+        let out = run_maxid(Model::Async, TechniqueKind::PartitionLock, 2);
+        assert!(out.telemetry.is_none());
     }
 
     #[test]

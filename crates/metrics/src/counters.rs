@@ -21,6 +21,11 @@ macro_rules! metrics {
         #[derive(Debug, Default)]
         pub struct Metrics {
             $( $(#[$doc])* pub $field: AtomicU64, )+
+            /// Optional live-telemetry registry attached to this run.
+            /// Riding on `Metrics` lets every layer that already holds an
+            /// `Arc<Metrics>` (engines, techniques, fork tables, links)
+            /// reach the registry without new constructor plumbing.
+            telemetry: std::sync::OnceLock<std::sync::Arc<crate::telemetry::Telemetry>>,
         }
 
         /// A point-in-time copy of [`Metrics`], with arithmetic for
@@ -159,6 +164,19 @@ impl Metrics {
     #[inline]
     pub fn inc(&self, c: Counter) {
         self.add(c, 1);
+    }
+
+    /// Attach a live-telemetry registry to this run. First attach wins;
+    /// returns `false` (leaving the original) if one is already attached.
+    pub fn attach_telemetry(&self, t: std::sync::Arc<crate::telemetry::Telemetry>) -> bool {
+        self.telemetry.set(t).is_ok()
+    }
+
+    /// The attached telemetry registry, if any. One atomic load — cheap
+    /// enough to consult from instrumentation sites.
+    #[inline]
+    pub fn telemetry(&self) -> Option<&std::sync::Arc<crate::telemetry::Telemetry>> {
+        self.telemetry.get()
     }
 }
 

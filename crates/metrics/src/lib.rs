@@ -34,12 +34,17 @@ pub mod counters;
 pub mod critical_path;
 pub mod report;
 pub mod simtime;
+pub mod telemetry;
 pub mod trace;
 
 pub use counters::{Counter, Metrics, MetricsSnapshot};
 pub use critical_path::{Attribution, BlockingEdge, Category, CriticalPathReport, SuperstepPath};
 pub use report::{ObsConfig, ObsReport, SuperstepRow, WorkerBreakdown, WorkerTimers};
 pub use simtime::{CostModel, SimClocks};
+pub use telemetry::{
+    CounterHandle, GaugeHandle, HistogramHandle, HistogramSnapshot, MetricKind, MetricRow,
+    MetricValue, Telemetry, TelemetrySnapshot,
+};
 pub use trace::{
     merge_process_events, merge_ranked_events, Trace, TraceBuffer, TraceEvent, TraceEventKind,
     Watchdog,

@@ -28,6 +28,11 @@ pub struct ObsConfig {
     /// wall-clock milliseconds, dump the last trace events per worker to
     /// stderr instead of hanging silently.
     pub watchdog_stall_ms: Option<u64>,
+    /// Attach a live [`Telemetry`](crate::Telemetry) registry to the run's
+    /// [`Metrics`](crate::Metrics): the techniques record wait/hold/pass
+    /// histograms, the engine sets per-superstep progress gauges, and the
+    /// outcome carries a final registry snapshot.
+    pub telemetry: bool,
 }
 
 impl Default for ObsConfig {
@@ -37,6 +42,7 @@ impl Default for ObsConfig {
             trace_capacity: 65_536,
             breakdown: false,
             watchdog_stall_ms: None,
+            telemetry: false,
         }
     }
 }
@@ -49,6 +55,7 @@ impl ObsConfig {
             trace: true,
             breakdown: true,
             watchdog_stall_ms: Some(30_000),
+            telemetry: true,
             ..Self::default()
         }
     }

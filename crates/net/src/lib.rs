@@ -49,12 +49,16 @@
 pub mod cluster;
 pub mod fault;
 pub mod link;
+pub mod telemetry;
 pub mod wire;
 pub mod worker;
 
 pub use cluster::{run_cluster, ClusterConfig, ClusterOutcome, SpawnMode, Workload};
 pub use fault::{parse_fault_plan, FaultAction, FaultInjector};
-pub use wire::{FaultPlan, Frame, Message, RunSpec, WireError, WireValue, PROTOCOL_VERSION};
+pub use telemetry::{http_get, TelemetryHub, TelemetryServer};
+pub use wire::{
+    FaultPlan, Frame, Message, RunSpec, WireError, WireMetricRow, WireValue, PROTOCOL_VERSION,
+};
 pub use worker::worker_main;
 
 use std::fmt;

@@ -27,8 +27,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::fault::{FaultAction, FaultInjector};
-use crate::wire::{read_frame, Frame, Message, PROTOCOL_VERSION};
+use crate::wire::{read_frame, read_frame_sized, Frame, Message, WireError, PROTOCOL_VERSION};
 use crate::{Clock, NetError};
+use sg_metrics::{CounterHandle, GaugeHandle, HistogramHandle, Telemetry};
 
 /// How long a fence waits between retransmit attempts.
 const FENCE_RETRY: Duration = Duration::from_millis(100);
@@ -153,6 +154,47 @@ fn write_handshake(
 // Data plane
 // ---------------------------------------------------------------------------
 
+/// A process-local monotonic nanosecond clock. Heartbeats carry this value
+/// as an opaque echo; the peer reflects it back and only the original
+/// sender interprets it, so no cross-host clock agreement is needed.
+pub(crate) fn mono_ns() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Per-link wire telemetry: registered once per peer at link construction,
+/// recorded from the send/recv paths with lock-free handles.
+struct LinkStats {
+    frames_out: CounterHandle,
+    bytes_out: CounterHandle,
+    frames_in: CounterHandle,
+    bytes_in: CounterHandle,
+    retransmits: CounterHandle,
+    dup_reacks: CounterHandle,
+    redials: CounterHandle,
+    queue_depth: GaugeHandle,
+    rtt: HistogramHandle,
+}
+
+impl LinkStats {
+    fn new(t: &Telemetry, peer_rank: u32) -> Self {
+        let peer = peer_rank.to_string();
+        let labels: &[(&str, &str)] = &[("peer", &peer)];
+        LinkStats {
+            frames_out: t.counter("sg_link_frames_out_total", labels),
+            bytes_out: t.counter("sg_link_bytes_out_total", labels),
+            frames_in: t.counter("sg_link_frames_in_total", labels),
+            bytes_in: t.counter("sg_link_bytes_in_total", labels),
+            retransmits: t.counter("sg_link_retransmits_total", labels),
+            dup_reacks: t.counter("sg_link_dup_reacks_total", labels),
+            redials: t.counter("sg_link_redials_total", labels),
+            queue_depth: t.gauge("sg_link_send_queue_depth", labels),
+            rtt: t.histogram("sg_link_rtt_ns", labels),
+        }
+    }
+}
+
 /// Receiver-side callbacks a [`PeerLink`] delivers applied frames to.
 /// Invoked on the link's reader thread, strictly in frame-seq order.
 pub trait PeerHandler: Send + Sync + 'static {
@@ -191,6 +233,8 @@ struct LinkInner {
     /// Next sequenced incoming frame we will apply.
     recv_next: AtomicU64,
     shutdown: AtomicBool,
+    /// Wire stats, when a telemetry registry was attached.
+    stats: Option<LinkStats>,
 }
 
 /// One resilient full-duplex link to a peer worker.
@@ -207,6 +251,7 @@ impl PeerLink {
         clock: Arc<Clock>,
         fault: Arc<FaultInjector>,
         handler: Arc<dyn PeerHandler>,
+        telemetry: Option<&Telemetry>,
     ) -> Self {
         let now = Instant::now();
         Self {
@@ -231,6 +276,7 @@ impl PeerLink {
                 cv: Condvar::new(),
                 recv_next: AtomicU64::new(1),
                 shutdown: AtomicBool::new(false),
+                stats: telemetry.map(|t| LinkStats::new(t, peer_rank)),
             }),
         }
     }
@@ -256,6 +302,7 @@ impl PeerLink {
     /// Dial the peer and run the resume handshake. Dialer side only.
     pub fn dial(&self) -> Result<(), NetError> {
         debug_assert!(self.inner.dialer);
+        let redial = self.inner.send.lock().unwrap().generation > 0;
         let stream = TcpStream::connect(&self.inner.peer_addr)?;
         stream.set_nodelay(true)?;
         write_handshake(
@@ -267,11 +314,20 @@ impl PeerLink {
         let reply = read_frame_timeout(&stream, HANDSHAKE_TIMEOUT)?;
         self.inner.clock.join(reply.clock);
         match reply.msg {
+            Message::PeerHello { version, .. } if version != PROTOCOL_VERSION => {
+                Err(NetError::Wire(WireError::VersionMismatch {
+                    ours: PROTOCOL_VERSION,
+                    theirs: version,
+                }))
+            }
             Message::PeerHello {
-                version,
-                rank,
-                resume_from,
-            } if version == PROTOCOL_VERSION && rank == self.inner.peer_rank => {
+                rank, resume_from, ..
+            } if rank == self.inner.peer_rank => {
+                if redial {
+                    if let Some(st) = &self.inner.stats {
+                        st.redials.inc();
+                    }
+                }
                 self.attach(stream, resume_from);
                 Ok(())
             }
@@ -336,6 +392,9 @@ impl PeerLink {
         let seq = s.next_seq;
         s.next_seq += 1;
         s.buffer.push_back((seq, msg.clone()));
+        if let Some(st) = &self.inner.stats {
+            st.queue_depth.set(s.buffer.len() as u64);
+        }
         let action = if self.inner.fault.is_active() {
             self.inner.fault.next().1
         } else {
@@ -428,7 +487,8 @@ impl PeerLink {
                 self.inner.dialer && now >= s.next_dial
             } else {
                 if now.duration_since(s.last_write) >= HEARTBEAT_IDLE {
-                    write_one_locked(&self.inner, &mut s, 0, &Message::Heartbeat);
+                    let hb = Message::Heartbeat { echo_ns: mono_ns() };
+                    write_one_locked(&self.inner, &mut s, 0, &hb);
                 }
                 false
             }
@@ -470,6 +530,10 @@ fn write_one_locked(inner: &LinkInner, s: &mut SendHalf, seq: u64, msg: &Message
         }
     } else {
         s.last_write = Instant::now();
+        if let Some(st) = &inner.stats {
+            st.frames_out.inc();
+            st.bytes_out.add(bytes.len() as u64);
+        }
     }
 }
 
@@ -486,6 +550,9 @@ fn retransmit_locked(inner: &LinkInner, s: &mut SendHalf) {
             break;
         }
         write_one_locked(inner, s, *seq, msg);
+        if let Some(st) = &inner.stats {
+            st.retransmits.inc();
+        }
     }
 }
 
@@ -498,30 +565,36 @@ fn reader_loop(inner: Arc<LinkInner>, stream: TcpStream, generation: u64) {
         if inner.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let frame = match read_frame(&mut reader) {
-            Ok(Some(Ok(frame))) => frame,
+        let (frame, wire_len) = match read_frame_sized(&mut reader) {
+            Ok(Some(Ok(got))) => got,
             // EOF, socket error, or a malformed frame all mean the same
             // thing for this connection: it is done. Sequenced state
             // survives in the buffers; a reconnect resumes it.
             Ok(Some(Err(_))) | Ok(None) | Err(_) => break,
         };
         inner.clock.join(frame.clock);
+        if let Some(st) = &inner.stats {
+            st.frames_in.inc();
+            st.bytes_in.add(wire_len as u64);
+        }
         if frame.seq == 0 {
             match frame.msg {
                 Message::FlushAck { ack_through, .. } => {
-                    let mut s = inner.send.lock().unwrap();
-                    if ack_through > s.acked {
-                        s.acked = ack_through;
-                        while s.buffer.front().is_some_and(|(q, _)| *q <= ack_through) {
-                            s.buffer.pop_front();
-                        }
-                        inner.cv.notify_all();
-                    }
+                    prune_acked(&inner, ack_through);
                 }
-                Message::Heartbeat => {
+                Message::HeartbeatAck {
+                    echo_ns,
+                    ack_through,
+                } => {
+                    if let Some(st) = &inner.stats {
+                        st.rtt.record(mono_ns().saturating_sub(echo_ns));
+                    }
+                    prune_acked(&inner, ack_through);
+                }
+                Message::Heartbeat { echo_ns } => {
                     let applied = inner.recv_next.load(Ordering::SeqCst) - 1;
-                    link.send_unsequenced(Message::FlushAck {
-                        flush_seq: 0,
+                    link.send_unsequenced(Message::HeartbeatAck {
+                        echo_ns,
                         ack_through: applied,
                     });
                 }
@@ -534,6 +607,9 @@ fn reader_loop(inner: Arc<LinkInner>, stream: TcpStream, generation: u64) {
         if frame.seq < expected {
             // Duplicate (dup fault or retransmit overlap). Already
             // applied — but a fence must still get its receipt.
+            if let Some(st) = &inner.stats {
+                st.dup_reacks.inc();
+            }
             if let Message::FlushPing { flush_seq } = frame.msg {
                 link.send_unsequenced(Message::FlushAck {
                     flush_seq,
@@ -572,6 +648,22 @@ fn reader_loop(inner: Arc<LinkInner>, stream: TcpStream, generation: u64) {
     }
 }
 
+/// Advance the acked watermark and prune the retransmit buffer. Shared by
+/// `FlushAck` and `HeartbeatAck` handling.
+fn prune_acked(inner: &LinkInner, ack_through: u64) {
+    let mut s = inner.send.lock().unwrap();
+    if ack_through > s.acked {
+        s.acked = ack_through;
+        while s.buffer.front().is_some_and(|(q, _)| *q <= ack_through) {
+            s.buffer.pop_front();
+        }
+        if let Some(st) = &inner.stats {
+            st.queue_depth.set(s.buffer.len() as u64);
+        }
+        inner.cv.notify_all();
+    }
+}
+
 /// Accept-side handshake: read the dialer's `PeerHello`, reply with ours.
 /// Returns `(rank, peer_resume_from)` so the mesh can route the stream to
 /// its link (via [`PeerLink::accept`]).
@@ -592,9 +684,10 @@ pub fn accept_handshake(
             write_handshake(stream, clock, my_rank, my_resume_from(rank))?;
             Ok((rank, resume_from))
         }
-        Message::PeerHello { version, .. } => Err(NetError::Protocol(format!(
-            "peer protocol version {version} != {PROTOCOL_VERSION}"
-        ))),
+        Message::PeerHello { version, .. } => Err(NetError::Wire(WireError::VersionMismatch {
+            ours: PROTOCOL_VERSION,
+            theirs: version,
+        })),
         other => Err(NetError::Protocol(format!(
             "expected PeerHello, got kind {}",
             other.kind()
@@ -634,7 +727,7 @@ mod tests {
     }
 
     /// Build a connected pair of links over real loopback sockets, with
-    /// a fault plan on side A.
+    /// a fault plan on side A. Side A records telemetry.
     fn linked_pair(
         fault_a: FaultInjector,
     ) -> (
@@ -642,6 +735,7 @@ mod tests {
         PeerLink,
         Arc<CountingHandler>,
         Arc<CountingHandler>,
+        Arc<Telemetry>,
     ) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap().to_string();
@@ -649,6 +743,7 @@ mod tests {
         let clock_b = Arc::new(Clock::new());
         let ha = CountingHandler::new();
         let hb = CountingHandler::new();
+        let telemetry_a = Arc::new(Telemetry::new());
         let a = PeerLink::new(
             0,
             1,
@@ -656,6 +751,7 @@ mod tests {
             Arc::clone(&clock_a),
             Arc::new(fault_a),
             ha.clone() as Arc<dyn PeerHandler>,
+            Some(&telemetry_a),
         );
         let b = PeerLink::new(
             1,
@@ -664,6 +760,7 @@ mod tests {
             Arc::clone(&clock_b),
             Arc::new(FaultInjector::none()),
             hb.clone() as Arc<dyn PeerHandler>,
+            None,
         );
         // Acceptor loop for side B: keep accepting replacement
         // connections like the worker mesh listener does.
@@ -683,12 +780,12 @@ mod tests {
             });
         }
         a.dial().expect("initial dial");
-        (a, b, ha, hb)
+        (a, b, ha, hb, telemetry_a)
     }
 
     #[test]
     fn batches_flow_and_fence_acknowledges_application() {
-        let (a, _b, _ha, hb) = linked_pair(FaultInjector::none());
+        let (a, _b, _ha, hb, _ta) = linked_pair(FaultInjector::none());
         a.send(Message::BatchFlush {
             msgs: vec![(7, 3, 42)],
         });
@@ -701,7 +798,7 @@ mod tests {
     fn dropped_frame_recovered_by_fence_retransmit() {
         // Frame index 0 (the first batch) is dropped on the wire.
         let plan = crate::fault::parse_fault_plan("drop=0").unwrap();
-        let (a, _b, _ha, hb) = linked_pair(FaultInjector::new(plan));
+        let (a, _b, _ha, hb, _ta) = linked_pair(FaultInjector::new(plan));
         a.send(Message::BatchFlush {
             msgs: vec![(1, 0, 9)],
         });
@@ -720,7 +817,7 @@ mod tests {
     #[test]
     fn duplicated_frame_applied_once() {
         let plan = crate::fault::parse_fault_plan("dup=0").unwrap();
-        let (a, _b, _ha, hb) = linked_pair(FaultInjector::new(plan));
+        let (a, _b, _ha, hb, _ta) = linked_pair(FaultInjector::new(plan));
         a.send(Message::BatchFlush {
             msgs: vec![(4, 2, 5)],
         });
@@ -731,7 +828,7 @@ mod tests {
     #[test]
     fn killed_connection_redials_and_resumes() {
         let plan = crate::fault::parse_fault_plan("kill=1").unwrap();
-        let (a, _b, _ha, hb) = linked_pair(FaultInjector::new(plan));
+        let (a, _b, _ha, hb, _ta) = linked_pair(FaultInjector::new(plan));
         a.send(Message::BatchFlush {
             msgs: vec![(1, 0, 1)],
         });
@@ -747,7 +844,7 @@ mod tests {
 
     #[test]
     fn request_token_relays() {
-        let (a, _b, _ha, hb) = linked_pair(FaultInjector::none());
+        let (a, _b, _ha, hb, _ta) = linked_pair(FaultInjector::none());
         a.send(Message::RequestToken);
         a.flush_fence(1, Duration::from_secs(5)).unwrap();
         assert_eq!(hb.tokens.load(Ordering::SeqCst), 1);

@@ -1,0 +1,261 @@
+//! The coordinator's side of the live telemetry plane: per-worker snapshot
+//! aggregation and the tiny handwritten HTTP scrape endpoint.
+//!
+//! Workers ship `TelemetryUpload` frames (flattened registry snapshots)
+//! over their existing control-plane connections — periodically during the
+//! run and once more at halt. The [`TelemetryHub`] keeps the latest
+//! snapshot per worker plus the coordinator's own registry, and folds them
+//! into one cluster-wide [`TelemetrySnapshot`] on demand: every worker row
+//! gets a `worker="r"` label, coordinator rows a `worker="coord"` label,
+//! and the fold is plain snapshot merging (associative, so arrival order
+//! never matters).
+//!
+//! The scrape endpoint is deliberately primitive — an HTTP/1.0-style
+//! listener with exactly two routes, no keep-alive, no dependencies:
+//!
+//! * `GET /metrics` — Prometheus text exposition of the aggregate;
+//! * `GET /json`   — the same aggregate as JSON (what `sg-top` polls).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use sg_metrics::{Telemetry, TelemetrySnapshot};
+
+/// Aggregates the coordinator registry and the latest snapshot from each
+/// worker into one cluster-wide view.
+pub struct TelemetryHub {
+    /// The coordinator's own registry (sync-technique histograms live
+    /// here: the `Synchronizer` runs coordinator-side).
+    registry: Arc<Telemetry>,
+    /// Latest snapshot per worker rank.
+    workers: Mutex<Vec<Option<TelemetrySnapshot>>>,
+}
+
+impl TelemetryHub {
+    /// A hub for `workers` ranks plus the given coordinator registry.
+    pub fn new(workers: usize, registry: Arc<Telemetry>) -> Self {
+        TelemetryHub {
+            registry,
+            workers: Mutex::new(vec![None; workers]),
+        }
+    }
+
+    /// The coordinator-side registry.
+    pub fn registry(&self) -> &Arc<Telemetry> {
+        &self.registry
+    }
+
+    /// Install the latest snapshot from worker `rank`.
+    pub fn store(&self, rank: usize, snapshot: TelemetrySnapshot) {
+        let mut w = self.workers.lock().unwrap();
+        if rank < w.len() {
+            w[rank] = Some(snapshot);
+        }
+    }
+
+    /// Fold everything into one cluster-wide snapshot: coordinator rows
+    /// labeled `worker="coord"`, each worker's rows `worker="<rank>"`.
+    pub fn aggregate(&self) -> TelemetrySnapshot {
+        let mut agg = self.registry.snapshot().with_label("worker", "coord");
+        let workers = self.workers.lock().unwrap();
+        for (rank, snap) in workers.iter().enumerate() {
+            if let Some(s) = snap {
+                agg.merge(&s.with_label("worker", &rank.to_string()));
+            }
+        }
+        agg
+    }
+}
+
+/// Handle to a running scrape server; stops (and joins) the accept
+/// thread on [`TelemetryServer::stop`] or drop.
+pub struct TelemetryServer {
+    /// The address actually bound (resolves `:0` requests).
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Bind `addr` and serve scrapes of `hub` until stopped.
+    pub fn start(addr: &str, hub: Arc<TelemetryHub>) -> std::io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("sg-net-telemetry".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Serve inline: scrapes are small and rare, and
+                            // a slow client cannot block the cluster (only
+                            // this loop, briefly, behind a read timeout).
+                            let _ = serve_one(stream, &hub);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(25));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn telemetry server");
+        Ok(TelemetryServer {
+            addr: bound,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// Stop accepting and join the server thread.
+    pub fn stop(self) {}
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Read one request, answer it, close. Anything malformed gets a 400.
+fn serve_one(mut stream: TcpStream, hub: &TelemetryHub) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(1)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    // Read until the end of the request head (or a sane cap).
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                hub.aggregate().render_prometheus(),
+            ),
+            "/json" => ("200 OK", "application/json", hub.aggregate().to_json()),
+            "/" => (
+                "200 OK",
+                "text/plain",
+                "sg-obs scrape endpoint: GET /metrics (Prometheus text) or /json\n".to_string(),
+            ),
+            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+/// One HTTP GET against a scrape endpoint, dependency-free — shared by
+/// `sg-top` and tests. Returns the response body.
+pub fn http_get(addr: &str, path: &str, timeout: Duration) -> std::io::Result<String> {
+    let sock_addr: SocketAddr = addr
+        .parse()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{e}")))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let Some(split) = raw.find("\r\n\r\n") else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "no header/body split in response",
+        ));
+    };
+    if !raw.starts_with("HTTP/1.1 200") && !raw.starts_with("HTTP/1.0 200") {
+        let status = raw.lines().next().unwrap_or("").to_string();
+        return Err(std::io::Error::other(format!("scrape failed: {status}")));
+    }
+    Ok(raw[split + 4..].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_metrics::MetricValue;
+
+    #[test]
+    fn hub_aggregates_with_worker_labels() {
+        let coord = Arc::new(Telemetry::new());
+        coord.counter("sg_coord_flushes_total", &[]).add(3);
+        let hub = TelemetryHub::new(2, coord);
+
+        let w0 = Telemetry::new();
+        w0.counter("sg_link_frames_out_total", &[("peer", "1")])
+            .add(10);
+        hub.store(0, w0.snapshot());
+
+        let agg = hub.aggregate();
+        assert_eq!(
+            agg.get("sg_coord_flushes_total", &[("worker", "coord")]),
+            Some(&MetricValue::Counter(3))
+        );
+        assert_eq!(
+            agg.get(
+                "sg_link_frames_out_total",
+                &[("worker", "0"), ("peer", "1")]
+            ),
+            Some(&MetricValue::Counter(10))
+        );
+    }
+
+    #[test]
+    fn server_serves_prometheus_and_json() {
+        let coord = Arc::new(Telemetry::new());
+        coord.counter("sg_test_total", &[]).add(7);
+        coord.histogram("sg_test_ns", &[]).record(100);
+        let hub = Arc::new(TelemetryHub::new(0, coord));
+        let server = TelemetryServer::start("127.0.0.1:0", Arc::clone(&hub)).unwrap();
+        let addr = server.addr.to_string();
+
+        let text = http_get(&addr, "/metrics", Duration::from_secs(2)).unwrap();
+        assert!(text.contains("# TYPE sg_test_total counter"), "{text}");
+        assert!(text.contains("sg_test_total{worker=\"coord\"} 7"), "{text}");
+        assert!(
+            text.contains("sg_test_ns_count{worker=\"coord\"} 1"),
+            "{text}"
+        );
+
+        let json = http_get(&addr, "/json", Duration::from_secs(2)).unwrap();
+        assert!(json.contains("\"name\":\"sg_test_total\""), "{json}");
+
+        let err = http_get(&addr, "/nope", Duration::from_secs(2));
+        assert!(err.is_err());
+        server.stop();
+    }
+}

@@ -21,7 +21,12 @@ pub const MAX_FRAME_LEN: usize = 64 << 20;
 
 /// Protocol version byte carried in `Hello`/`PeerHello`; bumped on any
 /// incompatible codec change.
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// History: v1 was the original PR-5 codec. v2 added the heartbeat echo
+/// timestamp (`Heartbeat`/`HeartbeatAck`, making link RTT measurable), the
+/// `TelemetryUpload` control frame, and the `telemetry_interval_ms` field
+/// of [`RunSpec`].
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Codec failure. All variants are recoverable at the connection level
 /// (the connection is dropped and re-established; the process never
@@ -38,6 +43,14 @@ pub enum WireError {
     TrailingBytes(usize),
     /// A string field was not valid UTF-8.
     BadUtf8,
+    /// Handshake peer speaks a different protocol version. Not recoverable
+    /// by reconnecting: the peer is rejected outright.
+    VersionMismatch {
+        /// Our [`PROTOCOL_VERSION`].
+        ours: u8,
+        /// The version byte the peer presented.
+        theirs: u8,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -48,6 +61,9 @@ impl fmt::Display for WireError {
             WireError::BadLength(n) => write!(f, "implausible length field {n}"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
             WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::VersionMismatch { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours {ours}, peer {theirs}")
+            }
         }
     }
 }
@@ -239,6 +255,10 @@ pub struct RunSpec {
     pub epoch_ns: u64,
     /// Fault plan for *this* worker's data-plane connections.
     pub fault: FaultPlan,
+    /// How often (ms) this worker ships a `TelemetryUpload` snapshot frame
+    /// to the coordinator; 0 disables periodic shipping (a final snapshot
+    /// is always uploaded at halt).
+    pub telemetry_interval_ms: u64,
 }
 
 /// One recorded transaction interval, uploaded for the merged 1SR check.
@@ -274,6 +294,56 @@ pub struct WireTraceEvent {
     pub arg: u64,
     /// Destination worker for cross-worker events (`u32::MAX` = none).
     pub peer: u32,
+}
+
+/// One flattened telemetry metric row, shipped in `TelemetryUpload` frames.
+/// `kind` is a [`sg_metrics::MetricKind`] tag; `values` is the kind's flat
+/// encoding (`[v]` for counters/gauges, `[count, sum, b0..]` for
+/// histograms) as produced by `MetricValue::to_values`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireMetricRow {
+    /// Metric family name.
+    pub name: String,
+    /// Label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Metric kind tag.
+    pub kind: u8,
+    /// Flattened values.
+    pub values: Vec<u64>,
+}
+
+impl WireMetricRow {
+    /// Flatten a registry snapshot into wire rows.
+    pub fn from_snapshot(snap: &sg_metrics::TelemetrySnapshot) -> Vec<WireMetricRow> {
+        snap.rows
+            .iter()
+            .map(|r| WireMetricRow {
+                name: r.name.clone(),
+                labels: r.labels.clone(),
+                kind: r.value.kind().as_u8(),
+                values: r.value.to_values(),
+            })
+            .collect()
+    }
+
+    /// Rebuild a snapshot from wire rows; rows with an unknown kind tag or
+    /// malformed value vector are dropped (forward compatibility).
+    pub fn to_snapshot(rows: &[WireMetricRow]) -> sg_metrics::TelemetrySnapshot {
+        sg_metrics::TelemetrySnapshot {
+            rows: rows
+                .iter()
+                .filter_map(|r| {
+                    let kind = sg_metrics::MetricKind::from_u8(r.kind)?;
+                    let value = sg_metrics::MetricValue::from_values(kind, &r.values)?;
+                    Some(sg_metrics::MetricRow {
+                        name: r.name.clone(),
+                        labels: r.labels.clone(),
+                        value,
+                    })
+                })
+                .collect(),
+        }
+    }
 }
 
 /// A typed protocol message. Control-plane messages travel on the
@@ -339,6 +409,11 @@ pub enum Message {
     TraceUpload {
         /// Decoded events from this worker's ring.
         events: Vec<WireTraceEvent>,
+    },
+    /// Live telemetry snapshot (periodic during the run, final at halt).
+    TelemetryUpload {
+        /// Flattened registry rows.
+        rows: Vec<WireMetricRow>,
     },
 
     // -- control plane: coordinator -> worker -------------------------------
@@ -426,8 +501,21 @@ pub enum Message {
     },
     /// A relayed Chandy-Misra request token (clock join only).
     RequestToken,
-    /// Keepalive; also carries the receiver's prune point on reply.
-    Heartbeat,
+    /// Keepalive. `echo_ns` is an opaque sender-local monotonic timestamp;
+    /// the receiver reflects it verbatim in `HeartbeatAck` so the sender
+    /// can measure the link round-trip time.
+    Heartbeat {
+        /// Sender's monotonic clock at send time (opaque to the receiver).
+        echo_ns: u64,
+    },
+    /// Heartbeat reply: reflects the echo and carries the receiver's
+    /// retransmit-buffer prune point (like `FlushAck`, without a fence).
+    HeartbeatAck {
+        /// Verbatim echo of the heartbeat's `echo_ns`.
+        echo_ns: u64,
+        /// Highest contiguous frame seq the receiver has applied.
+        ack_through: u64,
+    },
 }
 
 const K_HELLO: u8 = 1;
@@ -454,6 +542,8 @@ const K_FLUSH_PING: u8 = 21;
 const K_FLUSH_ACK: u8 = 22;
 const K_REQUEST_TOKEN: u8 = 23;
 const K_HEARTBEAT: u8 = 24;
+const K_TELEMETRY_UPLOAD: u8 = 25;
+const K_HEARTBEAT_ACK: u8 = 26;
 
 impl Message {
     /// The message's kind byte (stable wire identity).
@@ -482,7 +572,9 @@ impl Message {
             Message::FlushPing { .. } => K_FLUSH_PING,
             Message::FlushAck { .. } => K_FLUSH_ACK,
             Message::RequestToken => K_REQUEST_TOKEN,
-            Message::Heartbeat => K_HEARTBEAT,
+            Message::Heartbeat { .. } => K_HEARTBEAT,
+            Message::HeartbeatAck { .. } => K_HEARTBEAT_ACK,
+            Message::TelemetryUpload { .. } => K_TELEMETRY_UPLOAD,
         }
     }
 
@@ -574,6 +666,7 @@ impl Message {
                 put_u64(buf, spec.trace_capacity);
                 put_u64(buf, spec.epoch_ns);
                 spec.fault.encode(buf);
+                put_u64(buf, spec.telemetry_interval_ms);
             }
             Message::PeerMap { peers } => {
                 put_u32(buf, peers.len() as u32);
@@ -625,7 +718,31 @@ impl Message {
                 put_u64(buf, *flush_seq);
                 put_u64(buf, *ack_through);
             }
-            Message::RequestToken | Message::Heartbeat => {}
+            Message::TelemetryUpload { rows } => {
+                put_u32(buf, rows.len() as u32);
+                for row in rows {
+                    put_str(buf, &row.name);
+                    put_u32(buf, row.labels.len() as u32);
+                    for (k, v) in &row.labels {
+                        put_str(buf, k);
+                        put_str(buf, v);
+                    }
+                    put_u8(buf, row.kind);
+                    put_u32(buf, row.values.len() as u32);
+                    for &v in &row.values {
+                        put_u64(buf, v);
+                    }
+                }
+            }
+            Message::Heartbeat { echo_ns } => put_u64(buf, *echo_ns),
+            Message::HeartbeatAck {
+                echo_ns,
+                ack_through,
+            } => {
+                put_u64(buf, *echo_ns);
+                put_u64(buf, *ack_through);
+            }
+            Message::RequestToken => {}
         }
     }
 
@@ -731,6 +848,7 @@ impl Message {
                         trace_capacity: r.u64()?,
                         epoch_ns: r.u64()?,
                         fault: FaultPlan::decode(r)?,
+                        telemetry_interval_ms: r.u64()?,
                     }),
                 }
             }
@@ -769,7 +887,35 @@ impl Message {
                 ack_through: r.u64()?,
             },
             K_REQUEST_TOKEN => Message::RequestToken,
-            K_HEARTBEAT => Message::Heartbeat,
+            K_HEARTBEAT => Message::Heartbeat { echo_ns: r.u64()? },
+            K_HEARTBEAT_ACK => Message::HeartbeatAck {
+                echo_ns: r.u64()?,
+                ack_through: r.u64()?,
+            },
+            K_TELEMETRY_UPLOAD => {
+                // name len + labels len + kind + values len.
+                let n = r.len(13)?;
+                let rows = (0..n)
+                    .map(|_| {
+                        let name = r.str()?;
+                        let m = r.len(8)?;
+                        let labels =
+                            (0..m)
+                                .map(|_| Ok((r.str()?, r.str()?)))
+                                .collect::<Result<_, WireError>>()?;
+                        let kind = r.u8()?;
+                        let m = r.len(8)?;
+                        let values = (0..m).map(|_| r.u64()).collect::<Result<_, _>>()?;
+                        Ok(WireMetricRow {
+                            name,
+                            labels,
+                            kind,
+                            values,
+                        })
+                    })
+                    .collect::<Result<_, WireError>>()?;
+                Message::TelemetryUpload { rows }
+            }
             other => return Err(WireError::BadKind(other)),
         };
         Ok(msg)
@@ -825,6 +971,14 @@ impl Frame {
 pub fn read_frame<R: std::io::Read>(
     r: &mut R,
 ) -> std::io::Result<Option<Result<Frame, WireError>>> {
+    Ok(read_frame_sized(r)?.map(|res| res.map(|(frame, _)| frame)))
+}
+
+/// Like [`read_frame`], but also reports the total wire size of the frame
+/// (length prefix + payload) so link telemetry can count bytes in.
+pub fn read_frame_sized<R: std::io::Read>(
+    r: &mut R,
+) -> std::io::Result<Option<Result<(Frame, usize), WireError>>> {
     let mut len = [0u8; 4];
     match r.read_exact(&mut len) {
         Ok(()) => {}
@@ -837,7 +991,7 @@ pub fn read_frame<R: std::io::Read>(
     }
     let mut payload = vec![0u8; n];
     r.read_exact(&mut payload)?;
-    Ok(Some(Frame::decode(&payload)))
+    Ok(Some(Frame::decode(&payload).map(|f| (f, n + 4))))
 }
 
 /// Encoding for vertex values and messages crossing the wire. Everything
@@ -905,7 +1059,7 @@ mod tests {
         let f = Frame {
             seq: 1,
             clock: 2,
-            msg: Message::Heartbeat,
+            msg: Message::Heartbeat { echo_ns: 7 },
         };
         let mut bytes = f.encode();
         bytes.push(0xAB);
@@ -913,6 +1067,52 @@ mod tests {
         let n = (bytes.len() - 4) as u32;
         bytes[..4].copy_from_slice(&n.to_le_bytes());
         assert_eq!(Frame::decode(&bytes[4..]), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn heartbeat_and_telemetry_round_trip() {
+        for msg in [
+            Message::Heartbeat { echo_ns: 123456789 },
+            Message::HeartbeatAck {
+                echo_ns: 123456789,
+                ack_through: 42,
+            },
+            Message::TelemetryUpload {
+                rows: vec![
+                    WireMetricRow {
+                        name: "sg_link_frames_out_total".into(),
+                        labels: vec![("peer".into(), "2".into())],
+                        kind: 0,
+                        values: vec![99],
+                    },
+                    WireMetricRow {
+                        name: "sg_link_rtt_ns".into(),
+                        labels: vec![],
+                        kind: 2,
+                        values: vec![3, 21, 0, 1, 2],
+                    },
+                ],
+            },
+        ] {
+            let f = Frame {
+                seq: 9,
+                clock: 10,
+                msg,
+            };
+            let bytes = f.encode();
+            assert_eq!(Frame::decode(&bytes[4..]).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn telemetry_rows_round_trip_through_snapshot() {
+        let t = sg_metrics::Telemetry::new();
+        t.counter("frames", &[("peer", "1")]).add(4);
+        t.gauge("depth", &[]).set(2);
+        t.histogram("rtt", &[("peer", "1")]).record(1000);
+        let snap = t.snapshot();
+        let rows = WireMetricRow::from_snapshot(&snap);
+        assert_eq!(WireMetricRow::to_snapshot(&rows), snap);
     }
 
     #[test]

@@ -35,13 +35,15 @@ use std::time::{Duration, SystemTime, UNIX_EPOCH};
 use sg_algos::{GreedyColoring, Sssp, Wcc};
 use sg_engine::{AggregatorSet, Context, VertexProgram};
 use sg_graph::{ClusterLayout, Graph, PartitionId, PartitionMap, VertexId, WorkerId};
-use sg_metrics::{Counter, Metrics, Trace, TraceEventKind};
+use sg_metrics::{Counter, CounterHandle, GaugeHandle, Metrics, Telemetry, Trace, TraceEventKind};
 use sg_sync::{LockGranularity, Synchronizer};
 
 use crate::cluster::{build_technique, technique_from_label, GOODBYE_SUPERSTEP};
 use crate::fault::FaultInjector;
 use crate::link::{accept_handshake, CtrlConn, FrameReader, PeerHandler, PeerLink};
-use crate::wire::{Message, RunSpec, WireTraceEvent, WireTxn, WireValue, PROTOCOL_VERSION};
+use crate::wire::{
+    Message, RunSpec, WireMetricRow, WireTraceEvent, WireTxn, WireValue, PROTOCOL_VERSION,
+};
 use crate::{stamp, Clock, NetError};
 
 const CONNECT_RETRIES: u32 = 100;
@@ -147,6 +149,38 @@ struct Outbound {
     dirty: Vec<bool>,
 }
 
+/// This worker's live-telemetry handles (the registry itself rides on
+/// [`Metrics`]): progress gauges set at barrier votes, plus two counters
+/// accumulated on the hot path from durations the worker already measures
+/// — `sg-top` derives busy/blocked percentages from their deltas against
+/// the uptime gauge.
+struct WorkerTelemetry {
+    registry: Arc<Telemetry>,
+    superstep: GaugeHandle,
+    active: GaugeHandle,
+    pending: GaugeHandle,
+    staged: GaugeHandle,
+    uptime_ns: GaugeHandle,
+    compute_ns: CounterHandle,
+    lock_wait_ns: CounterHandle,
+}
+
+impl WorkerTelemetry {
+    fn new(registry: Arc<Telemetry>) -> Self {
+        let t = &registry;
+        WorkerTelemetry {
+            superstep: t.gauge("sg_worker_superstep", &[]),
+            active: t.gauge("sg_worker_active_vertices", &[]),
+            pending: t.gauge("sg_worker_pending_messages", &[]),
+            staged: t.gauge("sg_worker_staged_messages", &[]),
+            uptime_ns: t.gauge("sg_worker_uptime_ns", &[]),
+            compute_ns: t.counter("sg_worker_compute_ns_total", &[]),
+            lock_wait_ns: t.counter("sg_worker_lock_wait_ns_total", &[]),
+            registry,
+        }
+    }
+}
+
 /// State shared between the compute thread, the dispatcher, and the
 /// link reader threads.
 struct Shared {
@@ -161,11 +195,21 @@ struct Shared {
     superstep: AtomicU64,
     fence_seq: AtomicU64,
     buffer_cap: usize,
+    wtel: WorkerTelemetry,
 }
 
 impl Shared {
     fn next_fence(&self) -> u64 {
         self.fence_seq.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Stamp the uptime gauge and ship a registry snapshot to the
+    /// coordinator over the control plane. Called from the maintenance
+    /// thread (periodic frames) and once more at halt.
+    fn send_telemetry(&self) {
+        self.wtel.uptime_ns.set(wall_ns(self.epoch_ns));
+        let rows = WireMetricRow::from_snapshot(&self.wtel.registry.snapshot());
+        let _ = self.ctrl.send(&Message::TelemetryUpload { rows });
     }
 }
 
@@ -230,6 +274,10 @@ where
             .collect(),
     ));
     let metrics = Arc::new(Metrics::new());
+    // Per-worker live-telemetry registry, attached before the technique
+    // replica is built (techniques grab their handles at construction).
+    let telemetry = Arc::new(Telemetry::new());
+    metrics.attach_telemetry(Arc::clone(&telemetry));
     // Stateless replica: token holders are pure functions of the
     // superstep, so gating/granularity/skip queries answer locally; lock
     // acquisition state lives only at the coordinator.
@@ -256,6 +304,7 @@ where
         superstep: AtomicU64::new(0),
         fence_seq: AtomicU64::new(0),
         buffer_cap: spec.buffer_cap.max(1) as usize,
+        wtel: WorkerTelemetry::new(Arc::clone(&telemetry)),
     });
 
     // The mesh: one resilient link per peer; one fault injector shared by
@@ -277,6 +326,7 @@ where
             Arc::clone(&clock),
             Arc::clone(&fault),
             Arc::clone(&handler),
+            Some(&telemetry),
         ));
     }
     let links: Arc<Vec<Option<PeerLink>>> = Arc::new(link_vec);
@@ -325,16 +375,24 @@ where
         }
     }
 
-    // Maintenance thread: heartbeats + redial with backoff.
+    // Maintenance thread: heartbeats + redial with backoff, plus the
+    // periodic telemetry frames when the coordinator asked for them.
     let maintenance_handle = {
         let links = Arc::clone(&links);
         let shutdown = Arc::clone(&shutdown);
+        let shared = Arc::clone(&shared);
+        let interval_ms = spec.telemetry_interval_ms;
         std::thread::Builder::new()
             .name(format!("sg-net-maint-{rank}"))
             .spawn(move || {
+                let mut last_upload = std::time::Instant::now();
                 while !shutdown.load(Ordering::SeqCst) {
                     for link in links.iter().flatten() {
                         link.maintain();
+                    }
+                    if interval_ms > 0 && last_upload.elapsed().as_millis() as u64 >= interval_ms {
+                        last_upload = std::time::Instant::now();
+                        shared.send_telemetry();
                     }
                     std::thread::sleep(Duration::from_millis(100));
                 }
@@ -388,6 +446,7 @@ fn dispatcher(
         let cmd = match msg {
             Message::StartSuperstep { superstep } => {
                 shared.superstep.store(superstep, Ordering::SeqCst);
+                shared.wtel.superstep.set(superstep);
                 Some(Cmd::Start(superstep))
             }
             Message::ReportRequest { superstep } => Some(Cmd::Report(superstep)),
@@ -563,6 +622,15 @@ fn barrier_vote(
             }
         }
     }
+    drop(inbox);
+    shared.wtel.active.set(active);
+    shared.wtel.pending.set(pending);
+    let staged: usize = {
+        let ob = shared.outbound.lock().unwrap();
+        ob.staged.iter().map(Vec::len).sum()
+    };
+    shared.wtel.staged.set(staged as u64);
+    shared.wtel.uptime_ns.set(wall_ns(shared.epoch_ns));
     (active, pending)
 }
 
@@ -594,6 +662,7 @@ fn acquire_unit_rpc(
         }
     }
     let dur = wall_ns(shared.epoch_ns).saturating_sub(t0);
+    shared.wtel.lock_wait_ns.add(dur);
     shared.trace.record(
         shared.rank,
         superstep,
@@ -819,6 +888,7 @@ fn run_vertex<P>(
         });
     }
     let dur = wall_ns(shared.epoch_ns).saturating_sub(t0);
+    shared.wtel.compute_ns.add(dur);
     shared
         .trace
         .record(shared.rank, s, TraceEventKind::VertexExecute, t0, dur, n_in);
@@ -883,6 +953,9 @@ fn upload<V: WireValue>(
     shared.ctrl.send(&Message::MetricsUpload {
         counters: Counter::ALL.iter().map(|&c| snapshot.get(c)).collect(),
     })?;
+    // Final telemetry frame: the coordinator's post-run aggregate (and the
+    // BENCH_net.json snapshot) must include everything up to halt.
+    shared.send_telemetry();
     if let Some(buffer) = shared.trace.buffer() {
         let events: Vec<WireTraceEvent> = buffer
             .events(shared.rank as usize)

@@ -31,9 +31,26 @@
 
 use crate::transport::SyncTransport;
 use sg_graph::WorkerId;
-use sg_metrics::{Counter, Metrics};
+use sg_metrics::{Counter, HistogramHandle, Metrics};
 use std::sync::Arc;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Nanoseconds on a process-local monotonic clock (anchored at first use).
+/// Only meaningful as a difference between two calls in the same process.
+pub(crate) fn mono_ns() -> u64 {
+    static ANCHOR: OnceLock<std::time::Instant> = OnceLock::new();
+    ANCHOR
+        .get_or_init(std::time::Instant::now)
+        .elapsed()
+        .as_nanos() as u64
+}
+
+/// Telemetry handles for one fork table: wall-clock acquisition wait and
+/// hold (eating) time, labeled by the owning technique.
+struct SyncHists {
+    wait: HistogramHandle,
+    hold: HistogramHandle,
+}
 
 /// Philosopher identifier: a vertex id or a partition id, depending on the
 /// locking granularity.
@@ -90,6 +107,9 @@ impl PairState {
 struct State {
     status: Vec<Status>,
     pairs: Vec<PairState>,
+    /// Wall-clock ([`mono_ns`]) eat-start per philosopher; only written
+    /// when telemetry is enabled. Indexed like `status`.
+    eat_started: Vec<u64>,
 }
 
 /// A shared fork table over `n` philosophers.
@@ -107,6 +127,10 @@ pub struct ForkTable {
     /// philosopher -> owning (simulated) worker machine
     owner: Vec<WorkerId>,
     metrics: Arc<Metrics>,
+    /// Wait/hold histograms; set once by [`ForkTable::enable_telemetry`]
+    /// when the owning technique knows its label and the [`Metrics`] has a
+    /// registry attached. Absent => zero recording overhead.
+    hists: OnceLock<SyncHists>,
 }
 
 impl ForkTable {
@@ -145,11 +169,29 @@ impl ForkTable {
             state: Mutex::new(State {
                 status: vec![Status::Thinking; n],
                 pairs,
+                eat_started: vec![0; n],
             }),
             cv: (0..n).map(|_| Condvar::new()).collect(),
             adj,
             owner,
             metrics,
+            hists: OnceLock::new(),
+        }
+    }
+
+    /// Start recording acquisition-wait and hold-time histograms
+    /// (`sg_sync_acquire_wait_ns` / `sg_sync_hold_ns`, labeled
+    /// `technique="<technique>"`) into the registry attached to this
+    /// table's [`Metrics`]. No-op when no registry is attached — the
+    /// techniques call this unconditionally at construction, and whoever
+    /// wants telemetry attaches the registry *before* building them.
+    pub fn enable_telemetry(&self, technique: &'static str) {
+        if let Some(t) = self.metrics.telemetry() {
+            let labels = [("technique", technique)];
+            let _ = self.hists.set(SyncHists {
+                wait: t.histogram("sg_sync_acquire_wait_ns", &labels),
+                hold: t.histogram("sg_sync_hold_ns", &labels),
+            });
         }
     }
 
@@ -238,6 +280,9 @@ impl ForkTable {
     /// last fork became available.
     fn start_eating_locked(&self, s: &mut State, p: PhilId) -> u64 {
         s.status[p as usize] = Status::Eating;
+        if self.hists.get().is_some() {
+            s.eat_started[p as usize] = mono_ns();
+        }
         let mut ready_at = 0u64;
         for &(q, pair_idx) in &self.adj[p as usize] {
             // Eating dirties every fork of the eater.
@@ -278,6 +323,7 @@ impl ForkTable {
     /// the latter indicates a protocol bug and is checked on every call.
     pub fn acquire(&self, p: PhilId, transport: &dyn SyncTransport) -> u64 {
         let pi = p as usize;
+        let wait_start = self.hists.get().map(|_| mono_ns());
         let mut s = self.state.lock().unwrap();
         assert_eq!(
             s.status[pi],
@@ -289,7 +335,11 @@ impl ForkTable {
         while self.scan_locked(&mut s, p, transport) > 0 {
             s = self.cv[pi].wait(s).unwrap();
         }
-        self.start_eating_locked(&mut s, p)
+        let ready = self.start_eating_locked(&mut s, p);
+        if let (Some(h), Some(t0)) = (self.hists.get(), wait_start) {
+            h.wait.record(mono_ns().saturating_sub(t0));
+        }
+        ready
     }
 
     /// Non-blocking step of the acquire protocol, for single-threaded
@@ -342,6 +392,9 @@ impl ForkTable {
         let mut s = self.state.lock().unwrap();
         assert_eq!(s.status[pi], Status::Eating, "release without acquire");
         s.status[pi] = Status::Thinking;
+        if let Some(h) = self.hists.get() {
+            h.hold.record(mono_ns().saturating_sub(s.eat_started[pi]));
+        }
         for &(q, pair_idx) in &self.adj[pi] {
             {
                 let ps = &mut s.pairs[pair_idx as usize];
@@ -772,6 +825,40 @@ mod tests {
         let t = table(vec![0, 0], &[]);
         t.try_acquire(0, &NoopTransport);
         t.try_acquire(0, &NoopTransport);
+    }
+
+    #[test]
+    fn telemetry_records_wait_and_hold() {
+        use sg_metrics::{MetricValue, Telemetry};
+        let m = Arc::new(Metrics::new());
+        let tel = Arc::new(Telemetry::new());
+        assert!(m.attach_telemetry(Arc::clone(&tel)));
+        let t = ForkTable::new(
+            vec![WorkerId::new(0), WorkerId::new(0)],
+            &[(0, 1)],
+            Arc::clone(&m),
+        );
+        t.enable_telemetry("partition-lock");
+        for _ in 0..3 {
+            t.acquire(0, &NoopTransport);
+            t.release(0, 0, &NoopTransport);
+        }
+        let snap = tel.snapshot();
+        let labels = [("technique", "partition-lock")];
+        for name in ["sg_sync_acquire_wait_ns", "sg_sync_hold_ns"] {
+            match snap.get(name, &labels) {
+                Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 3, "{name}"),
+                other => panic!("{name} missing or wrong kind: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_disabled_without_registry() {
+        let t = table(vec![0, 0], &[(0, 1)]);
+        t.enable_telemetry("vertex-lock"); // no registry attached: no-op
+        t.acquire(0, &NoopTransport);
+        t.release(0, 0, &NoopTransport);
     }
 
     #[test]

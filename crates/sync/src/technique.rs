@@ -166,8 +166,10 @@ impl PartitionLock {
                 }
             }
         }
+        let table = ForkTable::new(owner, &edges, Arc::clone(&metrics));
+        table.enable_telemetry("partition-lock");
         Self {
-            table: ForkTable::new(owner, &edges, Arc::clone(&metrics)),
+            table,
             skip_halted,
             metrics,
         }
@@ -263,8 +265,10 @@ impl VertexLock {
                 }
             }
         }
+        let table = ForkTable::new(owner, &edges, metrics);
+        table.enable_telemetry("vertex-lock");
         Self {
-            table: ForkTable::new(owner, &edges, metrics),
+            table,
             is_philosopher,
         }
     }

@@ -8,11 +8,23 @@
 //! the token", Section 5.2, which is exactly the weakness the partition
 //! techniques remove).
 
+use crate::chandy_misra::mono_ns;
 use crate::technique::Synchronizer;
 use crate::transport::SyncTransport;
 use sg_graph::{ClusterLayout, PartitionId, PartitionMap, VertexId, WorkerId};
-use sg_metrics::{Counter, Metrics};
+use sg_metrics::{Counter, HistogramHandle, Metrics};
 use std::sync::Arc;
+
+/// The `sg_sync_token_pass_ns{technique=...}` histogram, if the metrics
+/// sink has a telemetry registry attached at technique construction.
+/// Measures the wall-clock cost of one global token handover: the C1
+/// flush round-trip (`on_fork_transfer` + `flush_acknowledged`), which on
+/// the networked transport is a real flush-and-ack exchange.
+fn pass_histogram(metrics: &Metrics, technique: &'static str) -> Option<HistogramHandle> {
+    metrics
+        .telemetry()
+        .map(|t| t.histogram("sg_sync_token_pass_ns", &[("technique", technique)]))
+}
 
 /// Single-layer token passing (Section 4.2, from Giraphx): one exclusive
 /// global token rotates round-robin over the workers; each worker runs a
@@ -23,16 +35,19 @@ pub struct SingleLayerToken {
     pm: Arc<PartitionMap>,
     num_workers: u32,
     metrics: Arc<Metrics>,
+    pass_hist: Option<HistogramHandle>,
 }
 
 impl SingleLayerToken {
     /// Build over the given partition map.
     pub fn new(pm: Arc<PartitionMap>, metrics: Arc<Metrics>) -> Self {
         let num_workers = pm.layout().num_workers();
+        let pass_hist = pass_histogram(&metrics, "single-token");
         Self {
             pm,
             num_workers,
             metrics,
+            pass_hist,
         }
     }
 
@@ -77,8 +92,12 @@ impl Synchronizer for SingleLayerToken {
             // the token (C1, Section 4.2). The token is only considered
             // passed once the receiver acknowledged applying the flush —
             // asynchronous transports block in `flush_acknowledged`.
+            let t0 = self.pass_hist.as_ref().map(|_| mono_ns());
             transport.on_fork_transfer(from, to);
             transport.flush_acknowledged(from, to);
+            if let (Some(h), Some(t0)) = (&self.pass_hist, t0) {
+                h.record(mono_ns().saturating_sub(t0));
+            }
         }
     }
 }
@@ -100,17 +119,20 @@ pub struct DualLayerToken {
     num_workers: u32,
     ppw: u32,
     metrics: Arc<Metrics>,
+    pass_hist: Option<HistogramHandle>,
 }
 
 impl DualLayerToken {
     /// Build over the given partition map.
     pub fn new(pm: Arc<PartitionMap>, metrics: Arc<Metrics>) -> Self {
         let layout = *pm.layout();
+        let pass_hist = pass_histogram(&metrics, "dual-token");
         Self {
             pm,
             num_workers: layout.num_workers(),
             ppw: layout.partitions_per_worker(),
             metrics,
+            pass_hist,
         }
     }
 
@@ -173,8 +195,12 @@ impl Synchronizer for DualLayerToken {
                     );
                 }
                 self.metrics.inc(Counter::GlobalTokenPasses);
+                let t0 = self.pass_hist.as_ref().map(|_| mono_ns());
                 transport.on_fork_transfer(from, to);
                 transport.flush_acknowledged(from, to);
+                if let (Some(h), Some(t0)) = (&self.pass_hist, t0) {
+                    h.record(mono_ns().saturating_sub(t0));
+                }
             }
         }
     }
@@ -346,6 +372,25 @@ mod tests {
         let (_, pm) = setup(2, 2);
         let t = DualLayerToken::new(pm, Arc::new(Metrics::new()));
         assert_eq!(t.max_threads_per_worker(), None);
+    }
+
+    #[test]
+    fn token_pass_latency_recorded_when_registry_attached() {
+        use sg_metrics::{MetricValue, Telemetry};
+        let (_, pm) = setup(3, 1);
+        let m = Arc::new(Metrics::new());
+        let tel = Arc::new(Telemetry::new());
+        assert!(m.attach_telemetry(Arc::clone(&tel)));
+        let t = SingleLayerToken::new(pm, m);
+        t.end_superstep(0, &NoopTransport);
+        t.end_superstep(1, &NoopTransport);
+        match tel
+            .snapshot()
+            .get("sg_sync_token_pass_ns", &[("technique", "single-token")])
+        {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 2),
+            other => panic!("token pass histogram missing: {other:?}"),
+        }
     }
 
     /// No two *neighboring* vertices may be allowed in the same superstep

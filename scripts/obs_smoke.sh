@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# sg-obs smoke: start a thread-mode 4-worker cluster with a live telemetry
+# endpoint, scrape it WHILE the run executes, assert the counter families
+# are present and nonzero, render one sg-top frame against the live
+# endpoint, and hold the msgbench telemetry-overhead lane under its 5%
+# budget. Offline-safe (loopback only); writes only under target/.
+#
+# Called by ci.sh and .github/workflows/ci.yml after the release build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=target/ci-obs-smoke
+rm -rf "$SMOKE"
+mkdir -p "$SMOKE"
+
+# Build up front so the background run starts serving immediately instead
+# of sitting in a cargo build.
+cargo build -q --release -p sg-bench
+CLUSTER=target/release/sg-cluster
+MSGBENCH=target/release/sg-msgbench
+
+# Fetch a URL with curl when available, else sg-top --raw (dependency-free
+# HTTP client shipped with the workspace).
+scrape() { # scrape URL OUTFILE
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS --max-time 2 "$1" -o "$2" 2>/dev/null
+    else
+        local hostport=${1#http://}
+        hostport=${hostport%%/*}
+        "$CLUSTER" top --addr "$hostport" --once --raw >"$2" 2>/dev/null
+    fi
+}
+
+echo "-- 4-worker thread-mode run with --telemetry-addr (vertex-lock, grid 120x120)"
+"$CLUSTER" run --workers 4 --threads --technique vertex-lock \
+    --workload coloring --graph grid:120:120 \
+    --telemetry-addr 127.0.0.1:0 --telemetry-interval-ms 50 \
+    >"$SMOKE/run.log" 2>&1 &
+RUN_PID=$!
+
+# The coordinator prints the bound address (port 0 → kernel-assigned).
+ADDR=
+for _ in $(seq 1 200); do
+    ADDR=$(sed -n 's#^telemetry: serving http://\([^/]*\)/metrics$#\1#p' "$SMOKE/run.log")
+    [ -n "$ADDR" ] && break
+    kill -0 "$RUN_PID" 2>/dev/null || { cat "$SMOKE/run.log"; echo "FAIL: run exited before serving telemetry"; exit 1; }
+    sleep 0.05
+done
+[ -n "$ADDR" ] || { echo "FAIL: telemetry address never printed"; exit 1; }
+
+echo "-- scraping http://$ADDR/metrics during the run"
+LIVE=0
+for _ in $(seq 1 400); do
+    if scrape "http://$ADDR/metrics" "$SMOKE/scrape.txt"; then
+        if grep -q '^sg_worker_superstep{worker="3"}' "$SMOKE/scrape.txt" \
+            && grep -q '^sg_worker_superstep{worker="0"}' "$SMOKE/scrape.txt"; then
+            LIVE=1
+            break
+        fi
+    fi
+    kill -0 "$RUN_PID" 2>/dev/null || break
+    sleep 0.02
+done
+[ "$LIVE" = 1 ] || { echo "FAIL: never saw all worker gauges in a live scrape"; exit 1; }
+
+echo "-- sg-top --once against the live endpoint"
+"$CLUSTER" top --addr "$ADDR" --once >"$SMOKE/top.log" 2>&1 \
+    || { cat "$SMOKE/top.log"; echo "FAIL: sg-top --once against live endpoint"; exit 1; }
+grep -q 'sg-top — cluster superstep' "$SMOKE/top.log" \
+    || { cat "$SMOKE/top.log"; echo "FAIL: sg-top frame missing header"; exit 1; }
+
+scrape "http://$ADDR/json" "$SMOKE/scrape.json" || true
+
+wait "$RUN_PID" || { cat "$SMOKE/run.log"; echo "FAIL: cluster run failed"; exit 1; }
+grep -q 'converged=true' "$SMOKE/run.log" || { echo "FAIL: run did not converge"; exit 1; }
+
+echo "-- counter families present and nonzero in the live scrape"
+# Worker plane: every rank reported in, and compute time accumulated.
+for w in 0 1 2 3; do
+    grep -q "^sg_worker_superstep{worker=\"$w\"}" "$SMOKE/scrape.txt" \
+        || { echo "FAIL: sg_worker_superstep missing worker $w"; exit 1; }
+done
+grep -Eq '^sg_worker_compute_ns_total\{worker="[0-9]+"\} [1-9]' "$SMOKE/scrape.txt" \
+    || { echo "FAIL: sg_worker_compute_ns_total not nonzero"; exit 1; }
+# Link plane: frames and bytes flowed on some coordinator/worker link.
+grep -Eq '^sg_link_frames_out_total\{[^}]*\} [1-9]' "$SMOKE/scrape.txt" \
+    || { echo "FAIL: sg_link_frames_out_total not nonzero"; exit 1; }
+grep -Eq '^sg_link_bytes_out_total\{[^}]*\} [1-9]' "$SMOKE/scrape.txt" \
+    || { echo "FAIL: sg_link_bytes_out_total not nonzero"; exit 1; }
+# Sync plane: vertex-lock acquire waits were recorded coordinator-side.
+grep -Eq '^sg_sync_acquire_wait_ns_count\{[^}]*technique="vertex-lock"[^}]*\} [1-9]' "$SMOKE/scrape.txt" \
+    || { echo "FAIL: sg_sync_acquire_wait_ns histogram empty"; exit 1; }
+# TYPE metadata renders.
+grep -q '^# TYPE sg_worker_superstep gauge' "$SMOKE/scrape.txt" \
+    || { echo "FAIL: # TYPE line missing"; exit 1; }
+
+if [ -s "$SMOKE/scrape.json" ]; then
+    grep -q '"name":"sg_worker_superstep"' "$SMOKE/scrape.json" \
+        || { echo "FAIL: /json endpoint missing worker gauges"; exit 1; }
+fi
+
+echo "-- registry overhead guard (msgbench telemetry lane, <5% budget)"
+# The lane takes the best-of-reps wall time with the live registry on vs
+# off; counters are plain relaxed atomics so the delta is small. Shared CI
+# hosts still see occasional noise spikes, and noise only ever inflates
+# the ratio — so try up to 3 attempts and pass on the first one under
+# budget.
+OK=
+for attempt in 1 2 3; do
+    SG_RESULTS_DIR="$SMOKE" "$MSGBENCH" --ops 150000 --threads 1 --reps 5 \
+        >"$SMOKE/msgbench-$attempt.log"
+    PCT=$(sed -n 's/^telemetry overhead: \(-\{0,1\}[0-9.]*\)%.*/\1/p' "$SMOKE/msgbench-$attempt.log")
+    [ -n "$PCT" ] || { echo "FAIL: overhead line missing from msgbench output"; exit 1; }
+    echo "   attempt $attempt: ${PCT}%"
+    if awk -v p="$PCT" 'BEGIN { exit !(p < 5.0) }'; then
+        OK=1
+        break
+    fi
+done
+[ "$OK" = 1 ] || { echo "FAIL: telemetry overhead >= 5% on all 3 attempts"; exit 1; }
+
+echo "sg-obs smoke green."

@@ -7,7 +7,7 @@
 
 use serigraph::prelude::*;
 use serigraph::sg_algos::validate;
-use serigraph::sg_net::wire::{read_frame, FaultPlan, WireTraceEvent, WireTxn};
+use serigraph::sg_net::wire::{read_frame, FaultPlan, WireMetricRow, WireTraceEvent, WireTxn};
 use serigraph::sg_net::{
     parse_fault_plan, run_cluster, ClusterConfig, ClusterOutcome, Frame, Message, RunSpec,
     SpawnMode, WireError, Workload, PROTOCOL_VERSION,
@@ -88,6 +88,7 @@ fn every_message() -> Vec<Message> {
                     delay_frames: vec![(3, 10)],
                     kill_at_frame: Some(4),
                 },
+                telemetry_interval_ms: 250,
             }),
         },
         Message::PeerMap {
@@ -121,18 +122,30 @@ fn every_message() -> Vec<Message> {
             ack_through: 14,
         },
         Message::RequestToken,
-        Message::Heartbeat,
+        Message::TelemetryUpload {
+            rows: vec![WireMetricRow {
+                name: "sg_worker_superstep".into(),
+                labels: vec![("worker".into(), "1".into())],
+                kind: 1,
+                values: vec![5],
+            }],
+        },
+        Message::Heartbeat { echo_ns: 123_456 },
+        Message::HeartbeatAck {
+            echo_ns: 123_456,
+            ack_through: 88,
+        },
     ]
 }
 
 #[test]
 fn every_message_kind_round_trips_through_the_codec() {
     let msgs = every_message();
-    // All 24 kinds, no duplicates: the list genuinely covers the protocol.
+    // All 26 kinds, no duplicates: the list genuinely covers the protocol.
     let mut kinds: Vec<u8> = msgs.iter().map(Message::kind).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 24, "message list must cover every wire kind");
+    assert_eq!(kinds.len(), 26, "message list must cover every wire kind");
 
     for (i, msg) in msgs.into_iter().enumerate() {
         let frame = Frame {
@@ -209,7 +222,7 @@ fn malformed_frames_error_cleanly() {
     let mut bytes = Frame {
         seq: 1,
         clock: 1,
-        msg: Message::Heartbeat,
+        msg: Message::Heartbeat { echo_ns: 0 },
     }
     .encode();
     bytes[4] = 0xEE;
