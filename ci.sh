@@ -35,4 +35,7 @@ echo "== sg-net smoke (loopback multi-process cluster; fault recovery) =="
 echo "== sg-obs smoke (live telemetry scrape; sg-top; overhead guard) =="
 ./scripts/obs_smoke.sh
 
+echo "== sg-audit smoke (live 1SR verdicts; violation sentinels; overhead guard) =="
+./scripts/audit_smoke.sh
+
 echo "CI green."

@@ -8,8 +8,10 @@
 //!                [--threads] [--bind ADDR] [--max-supersteps N]
 //!                [--buffer-cap N] [--fault RANK:SPEC]... [--no-history]
 //!                [--trace] [--telemetry-addr ADDR] [--telemetry-interval-ms N]
+//!                [--audit-interval-ms N] [--audit-log PATH]
 //! sg-cluster bench [--workers N] [--threads] [--telemetry-addr ADDR]
-//! sg-cluster top --addr ADDR [--once] [--interval-ms N] [--raw]
+//! sg-cluster top --addr ADDR [--once] [--interval-ms N] [--raw] [--json]
+//! sg-cluster audit --addr ADDR [--once] [--interval-ms N]
 //! sg-cluster worker --coord ADDR --rank R        (internal)
 //! ```
 //!
@@ -34,7 +36,17 @@
 //! `top` is the matching dashboard: it polls `/json` and renders a
 //! per-worker / per-link view (superstep, busy/blocked %, lock waits,
 //! retransmits, RTT p50/p99) until interrupted (`--once` for one frame,
-//! `--raw` to dump the Prometheus text instead).
+//! `--raw` to dump the Prometheus text, `--json` to dump the machine-
+//! readable scrape instead).
+//!
+//! `--audit-interval-ms 25` turns on the live serializability audit plane:
+//! workers stream their transactions to the coordinator as they commit,
+//! the coordinator maintains watermark-merged Theorem 1 verdicts during
+//! the run, and (with `--telemetry-addr`) serves them at `GET /audit`.
+//! `--audit-log violations.jsonl` appends one JSONL sentinel per violation
+//! the moment it is proven. `audit` is the matching live view: it polls
+//! `/audit` and renders the verdict, conflict heatmap, and audit lag until
+//! the endpoint goes away.
 
 use sg_bench::json::Json;
 use sg_bench::{emit_obs, BenchLog};
@@ -53,9 +65,11 @@ USAGE:
                    [--source V] [--graph SPEC] [--threads] [--bind ADDR]
                    [--max-supersteps N] [--buffer-cap N] [--fault RANK:SPEC]...
                    [--no-history] [--trace] [--telemetry-addr ADDR]
-                   [--telemetry-interval-ms N]
+                   [--telemetry-interval-ms N] [--audit-interval-ms N]
+                   [--audit-log PATH]
     sg-cluster bench [--workers N] [--threads] [--telemetry-addr ADDR]
-    sg-cluster top --addr ADDR [--once] [--interval-ms N] [--raw]
+    sg-cluster top --addr ADDR [--once] [--interval-ms N] [--raw] [--json]
+    sg-cluster audit --addr ADDR [--once] [--interval-ms N]
 
     techniques: none single-token dual-token vertex-lock partition-lock
     workloads:  coloring (default) | wcc | sssp (--source picks the root)
@@ -67,7 +81,12 @@ USAGE:
                 run (GET /metrics = Prometheus text, GET /json = JSON);
                 workers ship snapshots every --telemetry-interval-ms
                 (default 500 when serving). `top` polls such an endpoint
-                and renders a live per-worker/per-link dashboard.";
+                and renders a live per-worker/per-link dashboard.
+    audit:      --audit-interval-ms streams transactions to the
+                coordinator during the run for live Theorem 1 verdicts
+                (served at GET /audit when --telemetry-addr is up;
+                --audit-log appends JSONL violation sentinels). `audit`
+                polls such an endpoint and renders the live verdict.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,6 +95,7 @@ fn main() -> ExitCode {
         Some("run") => run(&args[1..]),
         Some("bench") => bench(&args[1..]),
         Some("top") => top(&args[1..]),
+        Some("audit") => audit(&args[1..]),
         Some("--help") | Some("-h") | Some("help") => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -139,6 +159,8 @@ struct RunArgs {
     trace: bool,
     telemetry_addr: Option<String>,
     telemetry_interval_ms: Option<u64>,
+    audit_interval_ms: u64,
+    audit_log: Option<String>,
 }
 
 impl Default for RunArgs {
@@ -158,6 +180,8 @@ impl Default for RunArgs {
             trace: false,
             telemetry_addr: None,
             telemetry_interval_ms: None,
+            audit_interval_ms: 0,
+            audit_log: None,
         }
     }
 }
@@ -240,6 +264,14 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                         .parse()
                         .map_err(|_| "--telemetry-interval-ms needs an integer".to_string())?,
                 );
+            }
+            "--audit-interval-ms" => {
+                out.audit_interval_ms = next(args, &mut i, "--audit-interval-ms")?
+                    .parse()
+                    .map_err(|_| "--audit-interval-ms needs an integer".to_string())?;
+            }
+            "--audit-log" => {
+                out.audit_log = Some(next(args, &mut i, "--audit-log")?);
             }
             other => return Err(format!("unknown run flag {other:?}")),
         }
@@ -341,6 +373,8 @@ fn execute(a: &RunArgs) -> Result<bool, String> {
             telemetry_interval_ms: a
                 .telemetry_interval_ms
                 .unwrap_or(if a.telemetry_addr.is_some() { 500 } else { 0 }),
+            audit_interval_ms: a.audit_interval_ms,
+            audit_log: a.audit_log.clone(),
         });
     if let Some(ppw) = a.ppw {
         runner = runner.partitions_per_worker(ppw);
@@ -368,6 +402,13 @@ fn execute(a: &RunArgs) -> Result<bool, String> {
             let serializable = h.is_one_copy_serializable(&graph);
             extra.push_str(&format!(", 1SR={serializable}"));
             healthy &= serializable || a.technique == Technique::None;
+            if let Some(live) = &out.audit {
+                // The streaming plane's final verdict must agree with the
+                // post-hoc check over the merged history — exact agreement
+                // is part of the audit plane's contract.
+                extra.push_str(&format!(", live-1SR={}", live.one_copy_serializable));
+                healthy &= live.one_copy_serializable == serializable;
+            }
         }
         (healthy, extra)
     };
@@ -489,6 +530,8 @@ fn bench(args: &[String]) -> ExitCode {
                 faults: Vec::new(),
                 telemetry_addr: telemetry_addr.clone(),
                 telemetry_interval_ms: if telemetry_addr.is_some() { 500 } else { 0 },
+                audit_interval_ms: 0,
+                audit_log: None,
             })
             .run_coloring();
         let out = match out {
@@ -551,6 +594,7 @@ struct TopArgs {
     once: bool,
     interval_ms: u64,
     raw: bool,
+    json: bool,
 }
 
 fn parse_top_args(args: &[String]) -> Result<TopArgs, String> {
@@ -558,6 +602,7 @@ fn parse_top_args(args: &[String]) -> Result<TopArgs, String> {
     let mut once = false;
     let mut interval_ms = 1000u64;
     let mut raw = false;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -578,6 +623,7 @@ fn parse_top_args(args: &[String]) -> Result<TopArgs, String> {
                     .ok_or_else(|| "--interval-ms needs an integer".to_string())?;
             }
             "--raw" => raw = true,
+            "--json" => json = true,
             other => return Err(format!("unknown top flag {other:?}")),
         }
         i += 1;
@@ -587,6 +633,7 @@ fn parse_top_args(args: &[String]) -> Result<TopArgs, String> {
         once,
         interval_ms: interval_ms.max(100),
         raw,
+        json,
     })
 }
 
@@ -795,6 +842,7 @@ fn top(args: &[String]) -> ExitCode {
     let mut had_frame = false;
     loop {
         let path = if a.raw { "/metrics" } else { "/json" };
+        let passthrough = a.raw || a.json;
         let body = match http_get(&a.addr, path, timeout) {
             Ok(b) => b,
             Err(e) if had_frame && !a.once => {
@@ -809,7 +857,7 @@ fn top(args: &[String]) -> ExitCode {
             }
         };
         had_frame = true;
-        if a.raw {
+        if passthrough {
             print!("{body}");
         } else {
             let rows = match parse_scrape(&body) {
@@ -822,6 +870,126 @@ fn top(args: &[String]) -> ExitCode {
             let frame = render_dashboard(&rows, &mut prev);
             if !a.once {
                 // Clear + home, like top(1).
+                print!("\x1b[2J\x1b[H");
+            }
+            println!("{frame}");
+        }
+        if a.once {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(Duration::from_millis(a.interval_ms));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sg-cluster audit — the live serializability view over GET /audit
+// ---------------------------------------------------------------------------
+
+/// Render one frame of the live audit view from the `/audit` JSON document.
+fn render_audit(doc: &Json) -> String {
+    use std::fmt::Write as _;
+    let b = |key: &str| doc.get(key).and_then(Json::as_bool).unwrap_or(false);
+    let n = |key: &str| doc.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let mut out = String::new();
+    let verdict = if b("serializable") {
+        "SERIALIZABLE"
+    } else {
+        "VIOLATED"
+    };
+    let _ = writeln!(
+        out,
+        "sg-audit — live Theorem 1 verdict: {verdict} (SG acyclic: {})",
+        b("sg_acyclic"),
+    );
+    let _ = writeln!(
+        out,
+        "  checked {} txns ({} buffered), frontier {}, audit lag {}ms",
+        n("txns_checked"),
+        n("pending_txns"),
+        n("frontier"),
+        n("audit_lag_ms"),
+    );
+    let _ = writeln!(
+        out,
+        "  C1 violations: {}   C2 violations: {}   conflicts total: {} ({:.1}/s)",
+        n("c1_violations"),
+        n("c2_violations"),
+        n("conflicts_total"),
+        doc.get("conflict_rate_per_s")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+    );
+    if let Some(first) = doc.get("first_violation_at_txn").and_then(Json::as_u64) {
+        let _ = writeln!(
+            out,
+            "  first violation proven after {first} applied txns; {} sentinel(s) written",
+            n("sentinels"),
+        );
+    }
+    if let Some(hot) = doc.get("hot_vertices").and_then(Json::as_arr) {
+        if !hot.is_empty() {
+            let _ = writeln!(out, "\n  {:<10} {:>10}", "VERTEX", "CONFLICTS");
+            for row in hot {
+                let _ = writeln!(
+                    out,
+                    "  {:<10} {:>10}",
+                    row.get("vertex").and_then(Json::as_u64).unwrap_or(0),
+                    row.get("conflicts").and_then(Json::as_u64).unwrap_or(0),
+                );
+            }
+        }
+    }
+    if let Some(parts) = doc.get("partition_conflicts").and_then(Json::as_arr) {
+        if !parts.is_empty() {
+            let _ = writeln!(out, "\n  {:<10} {:>10}", "PARTITION", "CONFLICTS");
+            for row in parts {
+                let _ = writeln!(
+                    out,
+                    "  {:<10} {:>10}",
+                    row.get("partition").and_then(Json::as_u64).unwrap_or(0),
+                    row.get("conflicts").and_then(Json::as_u64).unwrap_or(0),
+                );
+            }
+        }
+    }
+    out
+}
+
+fn audit(args: &[String]) -> ExitCode {
+    let a = match parse_top_args(args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sg-cluster audit: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let timeout = Duration::from_secs(2);
+    let mut had_frame = false;
+    loop {
+        let body = match http_get(&a.addr, "/audit", timeout) {
+            Ok(b) => b,
+            Err(e) if had_frame && !a.once => {
+                println!("sg-audit: endpoint {} gone ({e}); exiting", a.addr);
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("sg-cluster audit: scrape http://{}/audit: {e}", a.addr);
+                return ExitCode::from(2);
+            }
+        };
+        had_frame = true;
+        if a.json || a.raw {
+            print!("{body}");
+        } else {
+            let doc = match Json::parse(&body) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("sg-cluster audit: bad audit JSON: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let frame = render_audit(&doc);
+            if !a.once {
                 print!("\x1b[2J\x1b[H");
             }
             println!("{frame}");

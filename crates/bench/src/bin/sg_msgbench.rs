@@ -451,6 +451,96 @@ fn bench_telemetry(on: bool, ops: u64, verts: usize, cap: usize, seed: u64) -> R
     RunStats { ops, wall_us }
 }
 
+/// The audit lane: a recorder-instrumented execution sweep over a ring,
+/// with and without the worker half of the streaming audit plane attached
+/// — a sidecar thread polling [`Recorder::safe_watermark`] and
+/// [`Recorder::txns_since`] on the plane's default 20ms cadence and
+/// staging the batches for upload, exactly what `AuditShip` does in a
+/// cluster worker. The
+/// measured wall time is the execution path's, so what this gates is the
+/// cost live auditing imposes on the recording hot path (watermark reads
+/// plus lock sharing on the transaction log). Checking itself is
+/// architecturally off-path — the coordinator's `AuditHub` or an engine
+/// sidecar own it — so it runs *after* the measured window here, over the
+/// staged batches, and its Theorem 1 verdict is asserted for correctness.
+fn bench_audit(on: bool, ops: u64, verts: usize) -> RunStats {
+    use sg_core::sg_graph::gen;
+    use sg_core::sg_serial::{IncrementalChecker, Recorder, StampedTxn};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let g = Arc::new(gen::ring((verts.max(3)) as u32));
+    let r = Arc::new(Recorder::new(Arc::clone(&g)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let shipper = on.then(|| {
+        let r = Arc::clone(&r);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            // (watermark, batch) pairs in ship order — the wire frames an
+            // `AuditShip` would put on the link.
+            let mut staged = Vec::new();
+            let mut cursor = 0usize;
+            loop {
+                let done = stop.load(Ordering::SeqCst);
+                let watermark = r.safe_watermark();
+                let batch = r.txns_since(cursor);
+                cursor += batch.len();
+                if !batch.is_empty() {
+                    staged.push((watermark, batch));
+                }
+                if done {
+                    return staged;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        })
+    });
+    let n = g.num_vertices() as u64;
+    let start = Instant::now();
+    let mut executed = 0u64;
+    while executed < ops {
+        for u in g.vertices() {
+            let guard = r.begin(u);
+            for &t in g.out_neighbors(u) {
+                r.on_send(u, t);
+                r.on_visible(u, t);
+            }
+            r.end(guard);
+        }
+        executed += n;
+    }
+    let wall_us = start.elapsed().as_micros() as u64;
+    stop.store(true, Ordering::SeqCst);
+    if let Some(h) = shipper {
+        // Replay the staged stream through a checker, the coordinator's
+        // half: every transaction must arrive exactly once and the merged
+        // verdict must be the serial sweep's.
+        let staged = h.join().expect("audit shipper panicked");
+        let mut checker = IncrementalChecker::new(Arc::clone(&g));
+        let mut last = 0u64;
+        for (watermark, batch) in staged {
+            for t in batch {
+                checker.observe(StampedTxn {
+                    vertex: t.vertex,
+                    start: t.start,
+                    end: t.end,
+                    stale_reads: t.stale_reads,
+                });
+            }
+            assert!(watermark >= last, "watermarks regressed");
+            last = watermark;
+            checker.advance(watermark);
+        }
+        checker.finish();
+        let summary = checker.summary();
+        assert!(summary.one_copy_serializable);
+        assert_eq!(summary.transactions as u64, executed);
+    }
+    RunStats {
+        ops: executed,
+        wall_us,
+    }
+}
+
 fn fields(threads: usize, s: &RunStats) -> Vec<(&'static str, String)> {
     vec![
         ("threads", threads.to_string()),
@@ -618,8 +708,24 @@ fn main() {
         &[("overhead_pct", format!("{overhead_pct:.3}"))],
     );
 
+    // --- audit: streaming Theorem 1 verdicts on top of history recording ---
+    let audit_verts = slots.clamp(16, 512);
+    let audit_off = best_of(reps, || bench_audit(false, ops / 4, audit_verts));
+    let audit_on = best_of(reps, || bench_audit(true, ops / 4, audit_verts));
+    let audit_pct =
+        (audit_on.wall_us.max(1) as f64 / audit_off.wall_us.max(1) as f64 - 1.0) * 100.0;
+    row("audit/off", 1, &audit_off);
+    row("audit/on", 1, &audit_on);
+    log.raw_cell("audit/off", &fields(1, &audit_off));
+    log.raw_cell("audit/on", &fields(1, &audit_on));
+    log.raw_cell(
+        "overhead/audit",
+        &[("overhead_pct", format!("{audit_pct:.3}"))],
+    );
+
     println!();
     println!("telemetry overhead: {overhead_pct:.2}% (live registry on vs off)");
+    println!("audit overhead: {audit_pct:.2}% (worker-side audit shipping on vs recorder only)");
     for (t, s) in &headline {
         println!(
             "headline: hot-partition delivery at {t} sender threads (combiner on) — \

@@ -38,6 +38,12 @@ pub struct NetworkOptions {
     /// How often workers ship telemetry snapshot frames, in milliseconds
     /// (0 = final snapshot only).
     pub telemetry_interval_ms: u64,
+    /// How often workers stream transactions to the coordinator's live
+    /// serializability audit plane, in milliseconds (0 disables; nonzero
+    /// requires `record_history`).
+    pub audit_interval_ms: u64,
+    /// Append JSONL violation sentinels to this file during an audited run.
+    pub audit_log: Option<String>,
 }
 
 impl Default for NetworkOptions {
@@ -48,6 +54,8 @@ impl Default for NetworkOptions {
             faults: Vec::new(),
             telemetry_addr: None,
             telemetry_interval_ms: 0,
+            audit_interval_ms: 0,
+            audit_log: None,
         }
     }
 }
@@ -137,6 +145,16 @@ impl Runner {
     /// Record a transaction history for serializability checking.
     pub fn record_history(mut self, yes: bool) -> Self {
         self.config.record_history = yes;
+        self
+    }
+
+    /// Run the in-process streaming auditor alongside the recorder for a
+    /// live Theorem 1 verdict (implies [`Runner::record_history`]).
+    pub fn audit(mut self, yes: bool) -> Self {
+        self.config.obs.audit = yes;
+        if yes {
+            self.config.record_history = true;
+        }
         self
     }
 
@@ -269,6 +287,8 @@ impl Runner {
             faults: opts.faults.clone(),
             telemetry_addr: opts.telemetry_addr.clone(),
             telemetry_interval_ms: opts.telemetry_interval_ms,
+            audit_interval_ms: opts.audit_interval_ms,
+            audit_log: opts.audit_log.clone(),
         };
         let started = Instant::now();
         let out: ClusterOutcome = sg_net::run_cluster(&self.graph, &cfg)
@@ -289,6 +309,7 @@ impl Runner {
             makespan_ns: out.makespan_ns,
             wall_time: started.elapsed(),
             history: out.history,
+            audit: out.audit,
             obs,
             telemetry: out.telemetry,
         })

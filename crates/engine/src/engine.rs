@@ -13,7 +13,7 @@ use sg_metrics::{
     CostModel, Counter, GaugeHandle, Metrics, MetricsSnapshot, ObsConfig, ObsReport, SimClocks,
     SuperstepRow, Telemetry, TelemetrySnapshot, Trace, TraceEventKind, Watchdog, WorkerTimers,
 };
-use sg_serial::{History, Recorder};
+use sg_serial::{History, HistorySummary, Recorder, StreamingAuditor};
 use sg_sync::technique::LockGranularity;
 use sg_sync::{
     BspVertexLock, DualLayerToken, ForkSnapshot, NoSync, PartitionLock, SingleLayerToken,
@@ -44,6 +44,10 @@ pub struct Outcome<V> {
     pub wall_time: Duration,
     /// Recorded transaction history, when `record_history` was set.
     pub history: Option<History>,
+    /// Final verdict of the in-process streaming auditor, when
+    /// `ObsConfig::audit` ran one alongside the recorder. By construction
+    /// equal to the post-hoc Theorem 1 check over `history`.
+    pub audit: Option<HistorySummary>,
     /// Observability report (traces, per-superstep deltas, per-worker
     /// breakdowns), when any of [`ObsConfig`] was enabled.
     pub obs: Option<ObsReport>,
@@ -257,10 +261,28 @@ impl<P: VertexProgram> Engine<P> {
 
         let watchdog = spawn_watchdog(&obs, &core);
 
+        // The in-process audit plane: a streaming checker over the live
+        // recorder, drained on a sidecar thread so live Theorem 1 verdicts
+        // cost compute threads interference only, never critical-path time
+        // (the same off-path placement as the cluster's coordinator-side
+        // checker). The thread hands the auditor back for the tail drain.
+        let audit_handle = (obs.audit && recorder.is_some()).then(|| {
+            let mut a = StreamingAuditor::new(Arc::clone(recorder.as_ref().unwrap()));
+            let stop = Arc::clone(&core);
+            std::thread::spawn(move || {
+                while !stop.stop.load(Ordering::SeqCst) {
+                    a.drain();
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                a
+            })
+        });
+
         if self.config.barrierless {
             return run_barrierless(
                 core,
                 recorder,
+                audit_handle,
                 metrics,
                 self.config.max_supersteps,
                 watchdog,
@@ -408,6 +430,7 @@ impl<P: VertexProgram> Engine<P> {
         for h in handles {
             h.join().expect("worker thread panicked");
         }
+        let audit = audit_handle.map(|h| h.join().expect("audit thread panicked").finish());
 
         // Collect values by vertex id.
         let mut values: Vec<P::Value> = Vec::with_capacity(core.graph.num_vertices() as usize);
@@ -432,6 +455,7 @@ impl<P: VertexProgram> Engine<P> {
             makespan_ns: core.clocks.makespan(),
             wall_time: wall_start.elapsed(),
             history: recorder.map(|r| r.history()),
+            audit,
             obs: core.obs_report(rows, stalled),
             telemetry: metrics.telemetry().map(|t| t.snapshot()),
         }
@@ -595,6 +619,7 @@ impl<P: VertexProgram> SyncTransport for Core<P> {
 fn run_barrierless<P: VertexProgram>(
     core: Arc<Core<P>>,
     recorder: Option<Arc<Recorder>>,
+    audit_handle: Option<std::thread::JoinHandle<StreamingAuditor>>,
     metrics: Arc<Metrics>,
     max_rounds: u64,
     watchdog: Option<Watchdog>,
@@ -620,6 +645,7 @@ fn run_barrierless<P: VertexProgram>(
     for h in handles {
         h.join().expect("worker thread panicked");
     }
+    let audit = audit_handle.map(|h| h.join().expect("audit thread panicked").finish());
 
     let rounds = core.rounds.load(Ordering::SeqCst);
     metrics.add(Counter::Supersteps, rounds);
@@ -650,6 +676,7 @@ fn run_barrierless<P: VertexProgram>(
         makespan_ns: core.clocks.makespan(),
         wall_time: wall_start.elapsed(),
         history: recorder.map(|r| r.history()),
+        audit,
         obs: core.obs_report(Vec::new(), stalled),
         telemetry: metrics.telemetry().map(|t| t.snapshot()),
     }
@@ -1468,6 +1495,48 @@ mod tests {
         let h = out.history.expect("history requested");
         assert!(h.len() as u64 >= out.metrics.vertex_executions);
         assert!(h.is_one_copy_serializable(&gref));
+    }
+
+    #[test]
+    fn live_audit_agrees_with_post_hoc_check() {
+        for barrierless in [false, true] {
+            let g = Arc::new(gen::ring(8));
+            let config = EngineConfig {
+                workers: 2,
+                model: Model::Async,
+                technique: TechniqueKind::PartitionLock,
+                record_history: true,
+                barrierless,
+                obs: ObsConfig {
+                    audit: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let gref = Arc::clone(&g);
+            let out = Engine::new(g, MaxId, config).unwrap().run();
+            assert!(out.converged);
+            let live = out.audit.expect("audit requested");
+            let post = out.history.expect("history requested").summarize(&gref);
+            assert_eq!(live, post, "barrierless={barrierless}");
+            assert!(live.one_copy_serializable, "barrierless={barrierless}");
+        }
+    }
+
+    #[test]
+    fn audit_without_history_is_silently_absent() {
+        let g = Arc::new(gen::ring(8));
+        let config = EngineConfig {
+            workers: 2,
+            obs: ObsConfig {
+                audit: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let out = Engine::new(g, MaxId, config).unwrap().run();
+        assert!(out.audit.is_none());
+        assert!(out.history.is_none());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use sg_metrics::{
     CostModel, Counter, Metrics, MetricsSnapshot, ObsConfig, ObsReport, SimClocks, Trace,
     TraceEventKind, Watchdog, WorkerTimers,
 };
-use sg_serial::{History, Recorder};
+use sg_serial::{History, HistorySummary, Recorder, StreamingAuditor};
 use sg_sync::{ForkTable, SyncTransport};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -81,6 +81,10 @@ pub struct GasOutcome<V> {
     pub wall_time: Duration,
     /// Recorded history, when requested.
     pub history: Option<History>,
+    /// Final verdict of the in-process streaming auditor, when
+    /// `ObsConfig::audit` ran one alongside the recorder. By construction
+    /// equal to the post-hoc Theorem 1 check over `history`.
+    pub audit: Option<HistorySummary>,
     /// Observability report, when any of [`ObsConfig`] was enabled
     /// (`per_superstep` is empty: async GAS has no supersteps).
     pub obs: Option<ObsReport>,
@@ -296,6 +300,22 @@ impl<P: GasProgram> AsyncGasEngine<P> {
             )
         });
 
+        // In-process audit plane: async GAS has no barriers, so a sidecar
+        // thread polls the recorder for live Theorem 1 verdicts until the
+        // fibers finish, then hands the auditor back for the tail drain.
+        let audit_stop = Arc::new(AtomicBool::new(false));
+        let audit_handle = (core.config.obs.audit && recorder.is_some()).then(|| {
+            let mut a = StreamingAuditor::new(Arc::clone(recorder.as_ref().unwrap()));
+            let stop = Arc::clone(&audit_stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    a.drain();
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                a
+            })
+        });
+
         let wall_start = Instant::now();
         if core.outstanding.load(Ordering::SeqCst) > 0 {
             let mut handles = Vec::new();
@@ -309,6 +329,8 @@ impl<P: GasProgram> AsyncGasEngine<P> {
                 h.join().expect("gas fiber panicked");
             }
         }
+        audit_stop.store(true, Ordering::SeqCst);
+        let audit = audit_handle.map(|h| h.join().expect("audit thread panicked").finish());
 
         let values: Vec<P::Value> = core
             .values
@@ -344,6 +366,7 @@ impl<P: GasProgram> AsyncGasEngine<P> {
             makespan_ns: makespan,
             wall_time: wall_start.elapsed(),
             history: recorder.map(|r| r.history()),
+            audit,
             obs,
         }
     }
@@ -683,6 +706,25 @@ mod tests {
         let h = out.history.unwrap();
         assert!(h.c2_violations(&g).is_empty());
         assert!(h.is_one_copy_serializable(&g));
+    }
+
+    #[test]
+    fn live_audit_agrees_with_post_hoc_check() {
+        let g = Arc::new(gen::ring(10));
+        let cfg = GasConfig {
+            record_history: true,
+            obs: ObsConfig {
+                audit: true,
+                ..Default::default()
+            },
+            ..config(true)
+        };
+        let out = AsyncGasEngine::new(Arc::clone(&g), GasColoring, cfg).run();
+        assert!(out.converged);
+        let live = out.audit.expect("audit requested");
+        let post = out.history.expect("history requested").summarize(&g);
+        assert_eq!(live, post);
+        assert!(live.one_copy_serializable);
     }
 
     #[test]

@@ -33,6 +33,11 @@ pub struct ObsConfig {
     /// histograms, the engine sets per-superstep progress gauges, and the
     /// outcome carries a final registry snapshot.
     pub telemetry: bool,
+    /// Run the streaming serializability auditor in-process: the engine
+    /// drains its history recorder between supersteps into an
+    /// incremental Theorem 1 checker and the outcome carries the live
+    /// final verdict (no sockets involved). Requires history recording.
+    pub audit: bool,
 }
 
 impl Default for ObsConfig {
@@ -43,6 +48,7 @@ impl Default for ObsConfig {
             breakdown: false,
             watchdog_stall_ms: None,
             telemetry: false,
+            audit: false,
         }
     }
 }
@@ -56,6 +62,7 @@ impl ObsConfig {
             breakdown: true,
             watchdog_stall_ms: Some(30_000),
             telemetry: true,
+            audit: true,
             ..Self::default()
         }
     }

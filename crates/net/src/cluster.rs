@@ -25,12 +25,13 @@ use sg_graph::{ClusterLayout, Graph, PartitionId, PartitionMap, VertexId, Worker
 use sg_metrics::{
     merge_ranked_events, Counter, Metrics, MetricsSnapshot, TraceEvent, TraceEventKind,
 };
-use sg_serial::{History, TxnRecord};
+use sg_serial::{History, HistorySummary, TxnRecord};
 use sg_sync::{
     BspVertexLock, DualLayerToken, NoSync, PartitionLock, SingleLayerToken, SyncTransport,
     Synchronizer, VertexLock,
 };
 
+use crate::audit::{AuditConfig, AuditHub};
 use crate::link::{CtrlConn, FrameReader};
 use crate::telemetry::{TelemetryHub, TelemetryServer};
 use crate::wire::{
@@ -146,6 +147,14 @@ pub struct ClusterConfig {
     /// How often workers ship telemetry snapshot frames, in milliseconds.
     /// 0 = final snapshot only (the default when no listener is up).
     pub telemetry_interval_ms: u64,
+    /// How often workers stream `AuditUpload` transaction batches to the
+    /// coordinator's [`AuditHub`], in milliseconds. 0 disables the
+    /// streaming audit plane (the post-hoc check still runs when
+    /// `record_history` is on); nonzero requires `record_history`.
+    pub audit_interval_ms: u64,
+    /// JSONL file receiving audit violation sentinels and threshold
+    /// alerts. Only consulted when the audit plane is on.
+    pub audit_log: Option<String>,
 }
 
 impl ClusterConfig {
@@ -168,6 +177,8 @@ impl ClusterConfig {
             faults: Vec::new(),
             telemetry_addr: None,
             telemetry_interval_ms: 0,
+            audit_interval_ms: 0,
+            audit_log: None,
         }
     }
 }
@@ -195,6 +206,10 @@ pub struct ClusterOutcome {
     /// merged with every worker's last uploaded snapshot, each row tagged
     /// with a `worker` label.
     pub telemetry: Option<sg_metrics::TelemetrySnapshot>,
+    /// The streaming auditor's final verdict, when `audit_interval_ms`
+    /// was nonzero. By construction equal to the post-hoc check over
+    /// [`ClusterOutcome::history`].
+    pub audit: Option<HistorySummary>,
 }
 
 impl ClusterOutcome {
@@ -271,6 +286,7 @@ struct Coord {
     clock: Arc<Clock>,
     metrics: Arc<Metrics>,
     hub: Arc<TelemetryHub>,
+    audit: Option<Arc<AuditHub>>,
     halting: AtomicBool,
 }
 
@@ -538,6 +554,13 @@ fn validate(cfg: &ClusterConfig) -> Result<(), NetError> {
     if cfg.max_supersteps == 0 {
         return Err(NetError::Config("max_supersteps must be >= 1".into()));
     }
+    if cfg.audit_interval_ms > 0 && !cfg.record_history {
+        return Err(NetError::Config(
+            "the streaming audit plane needs record_history: workers have no \
+             transactions to stream otherwise"
+                .into(),
+        ));
+    }
     Ok(())
 }
 
@@ -656,6 +679,7 @@ fn drive(
             trace_capacity: cfg.trace_capacity,
             epoch_ns,
             telemetry_interval_ms: cfg.telemetry_interval_ms,
+            audit_interval_ms: cfg.audit_interval_ms,
             fault,
         };
         conns[rank as usize].send(&Message::Setup {
@@ -676,10 +700,31 @@ fn drive(
         Arc::new(sg_metrics::Telemetry::new()),
     ));
     metrics.attach_telemetry(Arc::clone(hub.registry()));
+    // The audit hub merges streamed transaction batches by watermark and
+    // keeps the live Theorem 1 verdict; its gauges live on the same
+    // registry the scrape endpoint already serves.
+    let audit = if cfg.audit_interval_ms > 0 {
+        let acfg = AuditConfig {
+            sentinel_path: cfg.audit_log.clone(),
+            ..AuditConfig::default()
+        };
+        Some(Arc::new(AuditHub::new(
+            Arc::new(graph.clone()),
+            assignment.to_vec(),
+            cfg.workers as usize,
+            hub.registry(),
+            acfg,
+        )?))
+    } else {
+        None
+    };
     let server = match &cfg.telemetry_addr {
         Some(addr) => {
-            let srv = TelemetryServer::start(addr, Arc::clone(&hub))?;
+            let srv = TelemetryServer::start_with_audit(addr, Arc::clone(&hub), audit.clone())?;
             eprintln!("telemetry: serving http://{}/metrics", srv.addr);
+            if audit.is_some() {
+                eprintln!("audit: serving http://{}/audit", srv.addr);
+            }
             Some(srv)
         }
         None => None,
@@ -704,6 +749,7 @@ fn drive(
         clock: Arc::clone(&clock),
         metrics: Arc::clone(&metrics),
         hub: Arc::clone(&hub),
+        audit: audit.clone(),
         halting: AtomicBool::new(false),
     });
     let sync = build_technique(cfg.technique, graph, pm, Arc::clone(&metrics));
@@ -833,9 +879,26 @@ fn drive(
     let trace_events = merge_ranked_events(&[std::mem::take(&mut st.events)]);
     drop(st);
 
-    // Every worker's goodbye was preceded by a final TelemetryUpload, so
-    // the aggregate here is the complete end-of-run view — the same data
-    // the last live scrape would have served.
+    // Every worker's goodbye was preceded by a final AuditUpload drain
+    // (watermark = MAX) and a final TelemetryUpload, so finalize here
+    // releases everything and the aggregate is the complete end-of-run
+    // view — the same data the last live scrape would have served.
+    let audit_summary = audit.as_ref().map(|a| {
+        let s = a.finalize();
+        eprintln!(
+            "audit: final live verdict 1SR={} ({} txns, {} C1, {} C2, SG {})",
+            if s.one_copy_serializable { "yes" } else { "NO" },
+            s.transactions,
+            s.c1_violations,
+            s.c2_violations,
+            if s.serialization_graph_acyclic {
+                "acyclic"
+            } else {
+                "CYCLIC"
+            }
+        );
+        s
+    });
     let telemetry = hub.aggregate();
     if let Some(server) = server {
         server.stop();
@@ -850,6 +913,7 @@ fn drive(
         trace_events,
         makespan_ns,
         telemetry: Some(telemetry),
+        audit: audit_summary,
     })
 }
 
@@ -872,6 +936,11 @@ fn reader_thread(
         };
         match msg {
             Message::ComputeDone { superstep } if superstep == GOODBYE_SUPERSTEP => {
+                // The rank's audit stream is complete: it no longer
+                // holds the merge frontier back.
+                if let Some(a) = &coord.audit {
+                    a.finish_rank(rank as usize);
+                }
                 let mut st = coord.state.lock().unwrap();
                 st.goodbyes += 1;
                 coord.cv.notify_all();
@@ -908,6 +977,11 @@ fn reader_thread(
             }
             Message::HistoryUpload { txns } => {
                 coord.state.lock().unwrap().txns.extend(txns);
+            }
+            Message::AuditUpload { txns, watermark } => {
+                if let Some(a) = &coord.audit {
+                    a.ingest(rank as usize, txns, watermark);
+                }
             }
             Message::MetricsUpload { counters } => {
                 // Worker counters sum straight into the cluster totals

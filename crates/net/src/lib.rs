@@ -46,6 +46,7 @@
 //! [`ForkTable`]: sg_sync::ForkTable
 //! [`SyncTransport`]: sg_sync::SyncTransport
 
+pub mod audit;
 pub mod cluster;
 pub mod fault;
 pub mod link;
@@ -53,6 +54,7 @@ pub mod telemetry;
 pub mod wire;
 pub mod worker;
 
+pub use audit::{AuditConfig, AuditHub};
 pub use cluster::{run_cluster, ClusterConfig, ClusterOutcome, SpawnMode, Workload};
 pub use fault::{parse_fault_plan, FaultAction, FaultInjector};
 pub use telemetry::{http_get, TelemetryHub, TelemetryServer};

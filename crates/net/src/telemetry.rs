@@ -11,10 +11,15 @@
 //! never matters).
 //!
 //! The scrape endpoint is deliberately primitive — an HTTP/1.0-style
-//! listener with exactly two routes, no keep-alive, no dependencies:
+//! listener with a handful of routes, no keep-alive, no dependencies:
 //!
 //! * `GET /metrics` — Prometheus text exposition of the aggregate;
-//! * `GET /json`   — the same aggregate as JSON (what `sg-top` polls).
+//! * `GET /json`   — the same aggregate as JSON (what `sg-top` polls);
+//! * `GET /audit`  — the live serializability audit document (verdicts,
+//!   heatmaps, lag), when the run has an [`AuditHub`] attached.
+//!
+//! Every response carries a real status line (`200 OK`, `404 Not
+//! Found`, `405 Method Not Allowed`) and an exact `Content-Length`.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -23,6 +28,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use sg_metrics::{Telemetry, TelemetrySnapshot};
+
+use crate::audit::AuditHub;
 
 /// Aggregates the coordinator registry and the latest snapshot from each
 /// worker into one cluster-wide view.
@@ -82,6 +89,16 @@ pub struct TelemetryServer {
 impl TelemetryServer {
     /// Bind `addr` and serve scrapes of `hub` until stopped.
     pub fn start(addr: &str, hub: Arc<TelemetryHub>) -> std::io::Result<TelemetryServer> {
+        Self::start_with_audit(addr, hub, None)
+    }
+
+    /// Like [`TelemetryServer::start`], additionally wiring the live
+    /// audit plane under `GET /audit`.
+    pub fn start_with_audit(
+        addr: &str,
+        hub: Arc<TelemetryHub>,
+        audit: Option<Arc<AuditHub>>,
+    ) -> std::io::Result<TelemetryServer> {
         let listener = TcpListener::bind(addr)?;
         let bound = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -96,7 +113,7 @@ impl TelemetryServer {
                             // Serve inline: scrapes are small and rare, and
                             // a slow client cannot block the cluster (only
                             // this loop, briefly, behind a read timeout).
-                            let _ = serve_one(stream, &hub);
+                            let _ = serve_one(stream, &hub, audit.as_deref());
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(25));
@@ -127,7 +144,11 @@ impl Drop for TelemetryServer {
 }
 
 /// Read one request, answer it, close. Anything malformed gets a 400.
-fn serve_one(mut stream: TcpStream, hub: &TelemetryHub) -> std::io::Result<()> {
+fn serve_one(
+    mut stream: TcpStream,
+    hub: &TelemetryHub,
+    audit: Option<&AuditHub>,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(1)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
     let mut buf = Vec::with_capacity(512);
@@ -161,10 +182,19 @@ fn serve_one(mut stream: TcpStream, hub: &TelemetryHub) -> std::io::Result<()> {
                 hub.aggregate().render_prometheus(),
             ),
             "/json" => ("200 OK", "application/json", hub.aggregate().to_json()),
+            "/audit" => match audit {
+                Some(a) => ("200 OK", "application/json", a.render_json()),
+                None => (
+                    "404 Not Found",
+                    "text/plain",
+                    "no audit plane on this run (enable --audit-interval-ms)\n".to_string(),
+                ),
+            },
             "/" => (
                 "200 OK",
                 "text/plain",
-                "sg-obs scrape endpoint: GET /metrics (Prometheus text) or /json\n".to_string(),
+                "sg-obs scrape endpoint: GET /metrics (Prometheus text), /json, /audit\n"
+                    .to_string(),
             ),
             _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
         }
@@ -256,6 +286,82 @@ mod tests {
 
         let err = http_get(&addr, "/nope", Duration::from_secs(2));
         assert!(err.is_err());
+        server.stop();
+    }
+
+    /// Raw-socket request returning (status line, headers, body).
+    fn raw_get(addr: &str, path: &str) -> (String, Vec<String>, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let split = raw.find("\r\n\r\n").expect("header/body split");
+        let head = &raw[..split];
+        let body = raw[split + 4..].to_string();
+        let mut lines = head.lines();
+        let status = lines.next().unwrap_or("").to_string();
+        (status, lines.map(str::to_string).collect(), body)
+    }
+
+    fn content_length(headers: &[String]) -> usize {
+        headers
+            .iter()
+            .find_map(|h| h.strip_prefix("Content-Length: "))
+            .expect("Content-Length header present")
+            .parse()
+            .expect("numeric Content-Length")
+    }
+
+    #[test]
+    fn responses_carry_status_line_and_exact_content_length() {
+        let hub = Arc::new(TelemetryHub::new(0, Arc::new(Telemetry::new())));
+        let server = TelemetryServer::start("127.0.0.1:0", Arc::clone(&hub)).unwrap();
+        let addr = server.addr.to_string();
+
+        let (status, headers, body) = raw_get(&addr, "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(content_length(&headers), body.len());
+
+        let (status, headers, body) = raw_get(&addr, "/definitely/not/here");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+        assert_eq!(content_length(&headers), body.len());
+        assert!(!body.is_empty(), "404 body should say what happened");
+
+        // /audit without an attached hub is also a real 404.
+        let (status, headers, body) = raw_get(&addr, "/audit");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+        assert_eq!(content_length(&headers), body.len());
+        server.stop();
+    }
+
+    #[test]
+    fn audit_route_serves_the_live_document() {
+        use crate::audit::{AuditConfig, AuditHub};
+        use sg_graph::gen;
+        let hub = Arc::new(TelemetryHub::new(0, Arc::new(Telemetry::new())));
+        let audit = Arc::new(
+            AuditHub::new(
+                Arc::new(gen::paper_c4()),
+                vec![0, 0, 1, 1],
+                1,
+                &Telemetry::new(),
+                AuditConfig::default(),
+            )
+            .unwrap(),
+        );
+        let server =
+            TelemetryServer::start_with_audit("127.0.0.1:0", Arc::clone(&hub), Some(audit))
+                .unwrap();
+        let addr = server.addr.to_string();
+        let (status, headers, body) = raw_get(&addr, "/audit");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(content_length(&headers), body.len());
+        assert!(body.contains("\"serializable\":true"), "{body}");
+        assert!(body.contains("\"txns_checked\":0"), "{body}");
         server.stop();
     }
 }

@@ -25,8 +25,10 @@ pub const MAX_FRAME_LEN: usize = 64 << 20;
 /// History: v1 was the original PR-5 codec. v2 added the heartbeat echo
 /// timestamp (`Heartbeat`/`HeartbeatAck`, making link RTT measurable), the
 /// `TelemetryUpload` control frame, and the `telemetry_interval_ms` field
-/// of [`RunSpec`].
-pub const PROTOCOL_VERSION: u8 = 2;
+/// of [`RunSpec`]. v3 added the streaming audit plane: the `AuditUpload`
+/// control frame (incremental Lamport-watermarked transaction batches) and
+/// the `audit_interval_ms` field of [`RunSpec`].
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Codec failure. All variants are recoverable at the connection level
 /// (the connection is dropped and re-established; the process never
@@ -259,6 +261,11 @@ pub struct RunSpec {
     /// to the coordinator; 0 disables periodic shipping (a final snapshot
     /// is always uploaded at halt).
     pub telemetry_interval_ms: u64,
+    /// How often (ms) this worker ships an `AuditUpload` frame carrying
+    /// the transactions recorded since the last one plus its Lamport
+    /// watermark; 0 disables streaming (history still uploads at halt).
+    /// Requires `record_history`.
+    pub audit_interval_ms: u64,
 }
 
 /// One recorded transaction interval, uploaded for the merged 1SR check.
@@ -415,6 +422,17 @@ pub enum Message {
         /// Flattened registry rows.
         rows: Vec<WireMetricRow>,
     },
+    /// Streaming audit batch: every transaction recorded since the last
+    /// upload, plus this worker's Lamport watermark — a composite stamp
+    /// strictly below every stamp any *future* transaction from this
+    /// worker can carry. The coordinator's audit hub merges these streams
+    /// by advancing a frontier = min watermark across live workers.
+    AuditUpload {
+        /// Transactions recorded since the previous `AuditUpload`.
+        txns: Vec<WireTxn>,
+        /// Composite Lamport watermark (`lamport << 8 | rank`).
+        watermark: u64,
+    },
 
     // -- control plane: coordinator -> worker -------------------------------
     /// Full run description (graph, partitioning, technique, faults).
@@ -544,6 +562,39 @@ const K_REQUEST_TOKEN: u8 = 23;
 const K_HEARTBEAT: u8 = 24;
 const K_TELEMETRY_UPLOAD: u8 = 25;
 const K_HEARTBEAT_ACK: u8 = 26;
+const K_AUDIT_UPLOAD: u8 = 27;
+
+fn put_txns(buf: &mut Vec<u8>, txns: &[WireTxn]) {
+    put_u32(buf, txns.len() as u32);
+    for t in txns {
+        put_u32(buf, t.vertex);
+        put_u64(buf, t.start);
+        put_u64(buf, t.end);
+        put_u32(buf, t.stale.len() as u32);
+        for &s in &t.stale {
+            put_u32(buf, s);
+        }
+    }
+}
+
+fn read_txns(r: &mut Reader<'_>) -> Result<Vec<WireTxn>, WireError> {
+    let n = r.len(24)?;
+    (0..n)
+        .map(|_| {
+            let vertex = r.u32()?;
+            let start = r.u64()?;
+            let end = r.u64()?;
+            let m = r.len(4)?;
+            let stale = (0..m).map(|_| r.u32()).collect::<Result<_, _>>()?;
+            Ok(WireTxn {
+                vertex,
+                start,
+                end,
+                stale,
+            })
+        })
+        .collect()
+}
 
 impl Message {
     /// The message's kind byte (stable wire identity).
@@ -575,6 +626,7 @@ impl Message {
             Message::Heartbeat { .. } => K_HEARTBEAT,
             Message::HeartbeatAck { .. } => K_HEARTBEAT_ACK,
             Message::TelemetryUpload { .. } => K_TELEMETRY_UPLOAD,
+            Message::AuditUpload { .. } => K_AUDIT_UPLOAD,
         }
     }
 
@@ -614,17 +666,10 @@ impl Message {
                     put_u64(buf, x);
                 }
             }
-            Message::HistoryUpload { txns } => {
-                put_u32(buf, txns.len() as u32);
-                for t in txns {
-                    put_u32(buf, t.vertex);
-                    put_u64(buf, t.start);
-                    put_u64(buf, t.end);
-                    put_u32(buf, t.stale.len() as u32);
-                    for &s in &t.stale {
-                        put_u32(buf, s);
-                    }
-                }
+            Message::HistoryUpload { txns } => put_txns(buf, txns),
+            Message::AuditUpload { txns, watermark } => {
+                put_txns(buf, txns);
+                put_u64(buf, *watermark);
             }
             Message::MetricsUpload { counters } => {
                 put_u32(buf, counters.len() as u32);
@@ -667,6 +712,7 @@ impl Message {
                 put_u64(buf, spec.epoch_ns);
                 spec.fault.encode(buf);
                 put_u64(buf, spec.telemetry_interval_ms);
+                put_u64(buf, spec.audit_interval_ms);
             }
             Message::PeerMap { peers } => {
                 put_u32(buf, peers.len() as u32);
@@ -783,25 +829,13 @@ impl Message {
                     .collect::<Result<_, WireError>>()?;
                 Message::ValuesUpload { values }
             }
-            K_HISTORY_UPLOAD => {
-                let n = r.len(24)?;
-                let txns = (0..n)
-                    .map(|_| {
-                        let vertex = r.u32()?;
-                        let start = r.u64()?;
-                        let end = r.u64()?;
-                        let m = r.len(4)?;
-                        let stale = (0..m).map(|_| r.u32()).collect::<Result<_, _>>()?;
-                        Ok(WireTxn {
-                            vertex,
-                            start,
-                            end,
-                            stale,
-                        })
-                    })
-                    .collect::<Result<_, WireError>>()?;
-                Message::HistoryUpload { txns }
-            }
+            K_HISTORY_UPLOAD => Message::HistoryUpload {
+                txns: read_txns(r)?,
+            },
+            K_AUDIT_UPLOAD => Message::AuditUpload {
+                txns: read_txns(r)?,
+                watermark: r.u64()?,
+            },
             K_METRICS_UPLOAD => {
                 let n = r.len(8)?;
                 let counters = (0..n).map(|_| r.u64()).collect::<Result<_, _>>()?;
@@ -849,6 +883,7 @@ impl Message {
                         epoch_ns: r.u64()?,
                         fault: FaultPlan::decode(r)?,
                         telemetry_interval_ms: r.u64()?,
+                        audit_interval_ms: r.u64()?,
                     }),
                 }
             }
@@ -1113,6 +1148,76 @@ mod tests {
         let snap = t.snapshot();
         let rows = WireMetricRow::from_snapshot(&snap);
         assert_eq!(WireMetricRow::to_snapshot(&rows), snap);
+    }
+
+    #[test]
+    fn audit_upload_round_trips() {
+        let f = Frame {
+            seq: 3,
+            clock: 99,
+            msg: Message::AuditUpload {
+                txns: vec![
+                    WireTxn {
+                        vertex: 7,
+                        start: (5 << 8) | 1,
+                        end: (6 << 8) | 1,
+                        stale: vec![2, 4],
+                    },
+                    WireTxn {
+                        vertex: 8,
+                        start: (7 << 8) | 1,
+                        end: (9 << 8) | 1,
+                        stale: vec![],
+                    },
+                ],
+                watermark: (10 << 8) | 1,
+            },
+        };
+        let bytes = f.encode();
+        assert_eq!(Frame::decode(&bytes[4..]).unwrap(), f);
+        // Empty batch (pure watermark bump) round-trips too.
+        let f = Frame {
+            seq: 4,
+            clock: 100,
+            msg: Message::AuditUpload {
+                txns: vec![],
+                watermark: u64::MAX,
+            },
+        };
+        let bytes = f.encode();
+        assert_eq!(Frame::decode(&bytes[4..]).unwrap(), f);
+    }
+
+    #[test]
+    fn truncated_audit_upload_rejected() {
+        let f = Frame {
+            seq: 1,
+            clock: 1,
+            msg: Message::AuditUpload {
+                txns: vec![WireTxn {
+                    vertex: 1,
+                    start: 2,
+                    end: 3,
+                    stale: vec![],
+                }],
+                watermark: 9,
+            },
+        };
+        let bytes = f.encode();
+        // Drop the trailing watermark bytes: must be Truncated, not panic.
+        assert_eq!(
+            Frame::decode(&bytes[4..bytes.len() - 8]),
+            Err(WireError::Truncated)
+        );
+        // An implausible txn count must be BadLength before allocation.
+        let mut payload = vec![K_AUDIT_UPLOAD];
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            Frame::decode(&payload),
+            Err(WireError::BadLength(u64::from(u32::MAX)))
+        );
     }
 
     #[test]

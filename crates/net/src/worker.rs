@@ -181,6 +181,19 @@ impl WorkerTelemetry {
     }
 }
 
+/// The worker's half of the streaming audit plane: completed
+/// transactions stage here until the maintenance thread ships them, and
+/// `inflight` pins the watermark below any execution still open.
+struct AuditShip {
+    buf: Mutex<Vec<WireTxn>>,
+    /// Pre-start Lamport snapshot of the transaction the compute thread
+    /// is currently inside; `u64::MAX` when idle. Stored *before* the
+    /// start tick, cleared *after* the record is staged, so a shipped
+    /// watermark never exceeds the start of a transaction that ships
+    /// later.
+    inflight: AtomicU64,
+}
+
 /// State shared between the compute thread, the dispatcher, and the
 /// link reader threads.
 struct Shared {
@@ -196,11 +209,25 @@ struct Shared {
     fence_seq: AtomicU64,
     buffer_cap: usize,
     wtel: WorkerTelemetry,
+    audit: Option<AuditShip>,
 }
 
 impl Shared {
     fn next_fence(&self) -> u64 {
         self.fence_seq.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Ship one incremental audit batch. Watermark promise: every
+    /// transaction this rank ships *later* starts at or above it. Read
+    /// order matters — clock before inflight before the buffer take —
+    /// see the safety argument on [`AuditShip::inflight`].
+    fn ship_audit(&self) {
+        let Some(a) = &self.audit else { return };
+        let clock_now = self.clock.now();
+        let inflight = a.inflight.load(Ordering::SeqCst);
+        let watermark = stamp(clock_now.min(inflight), self.rank);
+        let txns = std::mem::take(&mut *a.buf.lock().unwrap());
+        let _ = self.ctrl.send(&Message::AuditUpload { txns, watermark });
     }
 
     /// Stamp the uptime gauge and ship a registry snapshot to the
@@ -305,6 +332,10 @@ where
         fence_seq: AtomicU64::new(0),
         buffer_cap: spec.buffer_cap.max(1) as usize,
         wtel: WorkerTelemetry::new(Arc::clone(&telemetry)),
+        audit: (spec.audit_interval_ms > 0 && spec.record_history).then(|| AuditShip {
+            buf: Mutex::new(Vec::new()),
+            inflight: AtomicU64::new(u64::MAX),
+        }),
     });
 
     // The mesh: one resilient link per peer; one fault injector shared by
@@ -382,10 +413,19 @@ where
         let shutdown = Arc::clone(&shutdown);
         let shared = Arc::clone(&shared);
         let interval_ms = spec.telemetry_interval_ms;
+        let audit_ms = spec.audit_interval_ms;
         std::thread::Builder::new()
             .name(format!("sg-net-maint-{rank}"))
             .spawn(move || {
                 let mut last_upload = std::time::Instant::now();
+                let mut last_audit = std::time::Instant::now();
+                // Audit batches ride the maintenance loop too, so the
+                // effective cadence is max(audit_ms, the loop's sleep).
+                let tick = if audit_ms > 0 {
+                    Duration::from_millis(audit_ms.min(100))
+                } else {
+                    Duration::from_millis(100)
+                };
                 while !shutdown.load(Ordering::SeqCst) {
                     for link in links.iter().flatten() {
                         link.maintain();
@@ -394,7 +434,11 @@ where
                         last_upload = std::time::Instant::now();
                         shared.send_telemetry();
                     }
-                    std::thread::sleep(Duration::from_millis(100));
+                    if audit_ms > 0 && last_audit.elapsed().as_millis() as u64 >= audit_ms {
+                        last_audit = std::time::Instant::now();
+                        shared.ship_audit();
+                    }
+                    std::thread::sleep(tick);
                 }
             })
             .expect("spawn maintenance thread")
@@ -816,6 +860,9 @@ fn run_vertex<P>(
 {
     // Messages in the inbox arrived on link readers that joined the
     // sender's clock first, so this tick orders after every sender write.
+    if let Some(a) = &shared.audit {
+        a.inflight.store(shared.clock.now(), Ordering::SeqCst);
+    }
     let start = shared.clock.tick();
     let wire_msgs = {
         let mut inbox = shared.inbox.lock().unwrap();
@@ -880,12 +927,20 @@ fn run_vertex<P>(
     shared.metrics.inc(Counter::VertexExecutions);
     let end = shared.clock.tick();
     if record_history {
-        txns.push(WireTxn {
+        let rec = WireTxn {
             vertex: v.raw(),
             start: stamp(start, shared.rank),
             end: stamp(end, shared.rank),
             stale: Vec::new(),
-        });
+        };
+        if let Some(a) = &shared.audit {
+            // Stage before clearing inflight: a watermark computed in
+            // between still sees either the open interval or the staged
+            // record, never neither.
+            a.buf.lock().unwrap().push(rec.clone());
+            a.inflight.store(u64::MAX, Ordering::SeqCst);
+        }
+        txns.push(rec);
     }
     let dur = wall_ns(shared.epoch_ns).saturating_sub(t0);
     shared.wtel.compute_ns.add(dur);
@@ -948,6 +1003,16 @@ fn upload<V: WireValue>(
                 txns: chunk.to_vec(),
             })?;
         }
+    }
+    // Final audit drain: compute is quiescent, so everything staged ships
+    // with a closing watermark — the coordinator's frontier stops waiting
+    // on this rank even before the goodbye lands.
+    if let Some(a) = &shared.audit {
+        let staged = std::mem::take(&mut *a.buf.lock().unwrap());
+        shared.ctrl.send(&Message::AuditUpload {
+            txns: staged,
+            watermark: u64::MAX,
+        })?;
     }
     let snapshot = shared.metrics.snapshot();
     shared.ctrl.send(&Message::MetricsUpload {

@@ -21,9 +21,25 @@
 //! The checker also accumulates full [`TxnRecord`]s, so the final
 //! [`IncrementalChecker::history`] is byte-for-byte comparable with a
 //! recorded run (the replay-determinism tests rely on this).
+//!
+//! # Watermark-ordered ingestion (the streaming audit plane)
+//!
+//! A distributed run cannot drive `begin`/`end` in global timestamp order:
+//! each worker ships complete, Lamport-stamped transactions in batches, and
+//! batches from different workers interleave arbitrarily. The streaming
+//! entry points tolerate that: [`IncrementalChecker::observe`] buffers a
+//! whole stamped transaction, and [`IncrementalChecker::advance`] applies
+//! every buffered begin/commit event with `time < frontier` in global
+//! timestamp order — the caller (an `AuditHub`) guarantees, via per-worker
+//! watermarks, that no future event can be stamped below the frontier.
+//! Because events are *replayed* in timestamp order, the verdicts and the
+//! accumulated history are identical to what a perfectly in-order feed
+//! would produce, no matter how arrivals were interleaved.
 
-use crate::history::{History, TxnId, TxnRecord};
+use crate::history::{History, HistorySummary, TxnId, TxnRecord};
 use sg_graph::{Graph, VertexId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// The three Theorem 1 verdicts, valid after every applied operation.
@@ -42,6 +58,50 @@ impl CheckStatus {
     pub fn clean(&self) -> bool {
         self.c1_violations == 0 && self.c2_violations == 0 && self.serialization_graph_acyclic
     }
+}
+
+/// A complete, externally-stamped transaction for watermark-ordered
+/// ingestion via [`IncrementalChecker::observe`]. Stamps must be globally
+/// unique (the cluster's composite Lamport stamps are); `stale_reads` are
+/// the C1 witnesses the *producer* observed — the checker cannot recompute
+/// them without the producer's message-visibility counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StampedTxn {
+    /// The vertex this transaction executed.
+    pub vertex: VertexId,
+    /// Stamp of the execution's read set.
+    pub start: u64,
+    /// Stamp of the committed write. Must exceed `start`.
+    pub end: u64,
+    /// In-edge neighbors whose replica the producer saw stale at `start`.
+    pub stale_reads: Vec<VertexId>,
+}
+
+/// One observability event surfaced by [`IncrementalChecker::advance`] —
+/// what the audit plane turns into sentinels and heatmap increments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuditEvent {
+    /// A transaction began with stale in-neighbor replicas (condition C1).
+    C1 {
+        /// The vertex whose execution read stale replicas.
+        vertex: VertexId,
+        /// The in-edge neighbors that were stale.
+        stale: Vec<VertexId>,
+    },
+    /// A transaction began while neighbor transactions were still open
+    /// (condition C2); one event per violating transaction, carrying every
+    /// neighbor it overlapped.
+    C2 {
+        /// The later-starting vertex of the overlapping pair(s).
+        vertex: VertexId,
+        /// The neighbors whose transactions were open at its begin.
+        neighbors: Vec<VertexId>,
+    },
+    /// The serialization graph acquired its first cycle (emitted once).
+    Cycle {
+        /// The vertex whose committed write closed the cycle.
+        vertex: VertexId,
+    },
 }
 
 /// An open (begun, not yet ended) transaction.
@@ -73,10 +133,23 @@ pub struct IncrementalChecker {
     last_write: Vec<Option<TxnId>>,
     /// Per item: transactions that read it since the last write.
     reads_since_write: Vec<Vec<TxnId>>,
+    /// Number of `open` slots currently occupied (txn id assignment).
+    open_count: usize,
+    /// Cycle-probe scratch: `seen[t] == epoch` marks `t` visited in the
+    /// current probe, so probes allocate nothing in steady state.
+    seen: Vec<u64>,
+    epoch: u64,
+    stack: Vec<TxnId>,
     txns: Vec<TxnRecord>,
     c1: usize,
     c2: usize,
     cyclic: bool,
+    /// Buffered stamped transactions awaiting release (streaming mode).
+    slab: Vec<Option<StampedTxn>>,
+    /// Min-heap of buffered events: `(time, slab index, is_commit)`.
+    events: BinaryHeap<Reverse<(u64, usize, bool)>>,
+    /// Largest event stamp applied so far (streaming mode).
+    applied: u64,
 }
 
 impl IncrementalChecker {
@@ -93,10 +166,17 @@ impl IncrementalChecker {
             adj: Vec::new(),
             last_write: vec![None; n],
             reads_since_write: vec![Vec::new(); n],
+            open_count: 0,
+            seen: Vec::new(),
+            epoch: 0,
+            stack: Vec::new(),
             txns: Vec::new(),
             c1: 0,
             c2: 0,
             cyclic: false,
+            slab: Vec::new(),
+            events: BinaryHeap::new(),
+            applied: 0,
         }
     }
 
@@ -136,31 +216,14 @@ impl IncrementalChecker {
         self.reads_since_write[v.index()].push(txn);
     }
 
-    /// Vertex `u` begins executing: C1 freshness test, eager C2 probe, and
-    /// the read operations on `u` and its in-edge neighborhood.
-    ///
-    /// # Panics
-    /// Panics if `u` already has an open transaction (the explorer drives
-    /// each vertex sequentially).
-    pub fn begin(&mut self, u: VertexId) -> TxnId {
+    /// Core of a transaction begin at `start` with producer-supplied C1
+    /// witnesses: assign an id, count violations, fold the read operations.
+    fn apply_begin(&mut self, u: VertexId, start: u64, stale_reads: Vec<VertexId>) -> TxnId {
         assert!(
             self.open[u.index()].is_none(),
             "vertex {u:?} began twice without ending"
         );
-        let txn = self.txns.len() + self.open.iter().flatten().count();
-        let start = self.tick();
-
-        let mut stale_reads = Vec::new();
-        for &v in self.graph.in_neighbors(u) {
-            if v == u {
-                continue;
-            }
-            if let Some(i) = self.pair_index(v, u) {
-                if self.sent[i] != self.visible[i] && stale_reads.last() != Some(&v) {
-                    stale_reads.push(v);
-                }
-            }
-        }
+        let txn = self.txns.len() + self.open_count;
         if !stale_reads.is_empty() {
             self.c1 += 1;
         }
@@ -189,18 +252,17 @@ impl IncrementalChecker {
             stale_reads,
             concurrent_neighbors,
         });
+        self.open_count += 1;
         txn
     }
 
-    /// Vertex `u`'s execution commits its write.
-    ///
-    /// # Panics
-    /// Panics if `u` has no open transaction.
-    pub fn end(&mut self, u: VertexId) {
+    /// Core of a transaction commit at `end`: fold the write operation and
+    /// record the completed [`TxnRecord`].
+    fn apply_end(&mut self, u: VertexId, end: u64) {
         let open = self.open[u.index()]
             .take()
             .unwrap_or_else(|| panic!("vertex {u:?} ended without beginning"));
-        let end = self.tick();
+        self.open_count -= 1;
         let txn = open.txn;
 
         // Write op on item u: edges from the previous write and from every
@@ -227,6 +289,151 @@ impl IncrementalChecker {
         });
     }
 
+    /// Vertex `u` begins executing: C1 freshness test, eager C2 probe, and
+    /// the read operations on `u` and its in-edge neighborhood.
+    ///
+    /// # Panics
+    /// Panics if `u` already has an open transaction (the explorer drives
+    /// each vertex sequentially).
+    pub fn begin(&mut self, u: VertexId) -> TxnId {
+        let start = self.tick();
+
+        let mut stale_reads = Vec::new();
+        for &v in self.graph.in_neighbors(u) {
+            if v == u {
+                continue;
+            }
+            if let Some(i) = self.pair_index(v, u) {
+                if self.sent[i] != self.visible[i] && stale_reads.last() != Some(&v) {
+                    stale_reads.push(v);
+                }
+            }
+        }
+        self.apply_begin(u, start, stale_reads)
+    }
+
+    /// Vertex `u`'s execution commits its write.
+    ///
+    /// # Panics
+    /// Panics if `u` has no open transaction.
+    pub fn end(&mut self, u: VertexId) {
+        let end = self.tick();
+        self.apply_end(u, end);
+    }
+
+    /// Buffer a complete, externally-stamped transaction for
+    /// watermark-ordered release (streaming mode). Nothing is checked until
+    /// [`IncrementalChecker::advance`] passes the transaction's stamps.
+    ///
+    /// # Panics
+    /// Panics if `txn.start >= txn.end`, or if `txn.start` lies below an
+    /// already-applied frontier — the caller's watermark protocol promised
+    /// no event would ever be stamped there.
+    pub fn observe(&mut self, txn: StampedTxn) {
+        assert!(
+            txn.start < txn.end,
+            "stamped txn on {:?} has start {} >= end {}",
+            txn.vertex,
+            txn.start,
+            txn.end
+        );
+        assert!(
+            txn.start >= self.applied,
+            "stamped txn on {:?} starts at {} below the applied frontier {}",
+            txn.vertex,
+            txn.start,
+            self.applied
+        );
+        let idx = self.slab.len();
+        self.events.push(Reverse((txn.start, idx, false)));
+        self.events.push(Reverse((txn.end, idx, true)));
+        self.slab.push(Some(txn));
+    }
+
+    /// Apply every buffered event with `time < frontier`, in global
+    /// timestamp order, and report the violations that surfaced. Safe to
+    /// call with a frontier at or below a previous one (no-op); the caller
+    /// guarantees no *future* [`IncrementalChecker::observe`] carries a
+    /// stamp below the largest frontier passed so far.
+    pub fn advance(&mut self, frontier: u64) -> Vec<AuditEvent> {
+        self.drain(Some(frontier))
+    }
+
+    /// Drain every buffered event regardless of frontier — the run is over
+    /// and no further transactions can arrive.
+    pub fn finish(&mut self) -> Vec<AuditEvent> {
+        self.drain(None)
+    }
+
+    fn drain(&mut self, frontier: Option<u64>) -> Vec<AuditEvent> {
+        let mut out = Vec::new();
+        while let Some(&Reverse((time, idx, is_commit))) = self.events.peek() {
+            if frontier.is_some_and(|f| time >= f) {
+                break;
+            }
+            self.events.pop();
+            self.applied = time;
+            if is_commit {
+                let txn = self.slab[idx].take().expect("commit without buffered txn");
+                let was_cyclic = self.cyclic;
+                self.apply_end(txn.vertex, time);
+                if self.cyclic && !was_cyclic {
+                    out.push(AuditEvent::Cycle { vertex: txn.vertex });
+                }
+            } else {
+                let (vertex, stale) = {
+                    let txn = self.slab[idx].as_mut().expect("begin without buffered txn");
+                    (txn.vertex, std::mem::take(&mut txn.stale_reads))
+                };
+                if !stale.is_empty() {
+                    out.push(AuditEvent::C1 {
+                        vertex,
+                        stale: stale.clone(),
+                    });
+                }
+                self.apply_begin(vertex, time, stale);
+                let open = self.open[vertex.index()]
+                    .as_ref()
+                    .expect("begin left no open txn");
+                if !open.concurrent_neighbors.is_empty() {
+                    out.push(AuditEvent::C2 {
+                        vertex,
+                        neighbors: open.concurrent_neighbors.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of buffered transactions not yet fully applied.
+    pub fn pending(&self) -> usize {
+        self.slab.iter().flatten().count()
+    }
+
+    /// Largest event stamp applied so far (streaming mode).
+    pub fn applied_frontier(&self) -> u64 {
+        self.applied
+    }
+
+    /// Committed transactions applied so far.
+    pub fn transactions(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// The verdicts plus volume, in [`History::summarize`]'s shape — what
+    /// the audit plane publishes as the live summary.
+    pub fn summary(&self) -> HistorySummary {
+        let st = self.status();
+        HistorySummary {
+            transactions: self.txns.len(),
+            c1_violations: st.c1_violations,
+            c2_violations: st.c2_violations,
+            serialization_graph_acyclic: st.serialization_graph_acyclic,
+            one_copy_serializable: st.clean(),
+        }
+    }
+
     /// Add serialization-graph edge `from -> to`, probing for a new cycle
     /// (is `from` reachable from `to`?) unless one was already found.
     fn add_edge(&mut self, from: TxnId, to: TxnId) {
@@ -244,20 +451,33 @@ impl IncrementalChecker {
     }
 
     /// DFS reachability `from -> target` over the current adjacency.
-    fn reaches(&self, from: TxnId, target: TxnId) -> bool {
+    /// Epoch-stamped scratch instead of a fresh visited set: in the common
+    /// case (the new edge's head is the newest transaction, with no
+    /// outgoing edges yet) the probe is O(1), and probes that do walk
+    /// allocate nothing in steady state.
+    fn reaches(&mut self, from: TxnId, target: TxnId) -> bool {
         if from == target {
             return true;
         }
-        let mut seen = vec![false; self.adj.len()];
-        let mut stack = vec![from];
-        while let Some(t) = stack.pop() {
+        if self.adj.get(from).is_none_or(Vec::is_empty) {
+            return false;
+        }
+        if self.seen.len() < self.adj.len() {
+            self.seen.resize(self.adj.len(), 0);
+        }
+        self.epoch += 1;
+        self.stack.clear();
+        self.stack.push(from);
+        while let Some(t) = self.stack.pop() {
             if t == target {
                 return true;
             }
-            if t >= self.adj.len() || std::mem::replace(&mut seen[t], true) {
+            if t >= self.adj.len() || std::mem::replace(&mut self.seen[t], self.epoch) == self.epoch
+            {
                 continue;
             }
-            stack.extend(self.adj[t].iter().copied());
+            let (stack, adj) = (&mut self.stack, &self.adj);
+            stack.extend(adj[t].iter().copied());
         }
         false
     }
@@ -366,6 +586,222 @@ mod tests {
         let g = Arc::new(gen::ring(4));
         let mut c = IncrementalChecker::new(g);
         c.end(v(0));
+    }
+
+    /// Feed one stamped txn per vertex, serially spaced: clean verdicts.
+    #[test]
+    fn streaming_serial_feed_stays_clean() {
+        let g = Arc::new(gen::paper_c4());
+        let mut c = IncrementalChecker::new(Arc::clone(&g));
+        let mut t = 0u64;
+        for u in g.vertices() {
+            c.observe(StampedTxn {
+                vertex: u,
+                start: t,
+                end: t + 1,
+                stale_reads: Vec::new(),
+            });
+            t += 2;
+        }
+        let events = c.finish();
+        assert!(events.is_empty());
+        assert!(c.status().clean());
+        assert_eq!(c.transactions(), 4);
+        assert_eq!(c.pending(), 0);
+        assert!(c.summary().one_copy_serializable);
+    }
+
+    /// Overlapping stamped neighbor txns surface C2 (and the cycle) as
+    /// events, no matter the arrival order.
+    #[test]
+    fn streaming_overlap_surfaces_c2_and_cycle_events() {
+        let g = Arc::new(gen::paper_c4());
+        let mut c = IncrementalChecker::new(Arc::clone(&g));
+        // v1's interval nests inside v0's — arrival order reversed.
+        c.observe(StampedTxn {
+            vertex: v(1),
+            start: 5,
+            end: 6,
+            stale_reads: Vec::new(),
+        });
+        c.observe(StampedTxn {
+            vertex: v(0),
+            start: 4,
+            end: 9,
+            stale_reads: Vec::new(),
+        });
+        let events = c.finish();
+        assert!(events.contains(&AuditEvent::C2 {
+            vertex: v(1),
+            neighbors: vec![v(0)],
+        }));
+        assert_eq!(c.status().c2_violations, 1);
+    }
+
+    /// Stale reads supplied by the producer surface as C1 events and count.
+    #[test]
+    fn streaming_stale_reads_surface_c1() {
+        let g = Arc::new(gen::paper_c4());
+        let mut c = IncrementalChecker::new(Arc::clone(&g));
+        c.observe(StampedTxn {
+            vertex: v(1),
+            start: 0,
+            end: 1,
+            stale_reads: vec![v(0)],
+        });
+        let events = c.finish();
+        assert_eq!(
+            events,
+            vec![AuditEvent::C1 {
+                vertex: v(1),
+                stale: vec![v(0)],
+            }]
+        );
+        assert_eq!(c.status().c1_violations, 1);
+        assert_eq!(c.history().c1_violations(), vec![0]);
+    }
+
+    /// `advance` releases strictly below the frontier and buffers the rest.
+    #[test]
+    fn advance_respects_the_frontier() {
+        let g = Arc::new(gen::ring(4));
+        let mut c = IncrementalChecker::new(Arc::clone(&g));
+        c.observe(StampedTxn {
+            vertex: v(0),
+            start: 0,
+            end: 1,
+            stale_reads: Vec::new(),
+        });
+        c.observe(StampedTxn {
+            vertex: v(1),
+            start: 10,
+            end: 11,
+            stale_reads: Vec::new(),
+        });
+        c.advance(5);
+        assert_eq!(c.transactions(), 1);
+        assert_eq!(c.pending(), 1);
+        assert_eq!(c.applied_frontier(), 1);
+        c.advance(11); // end stamp 11 is NOT below the frontier yet
+        assert_eq!(c.transactions(), 1);
+        c.advance(12);
+        assert_eq!(c.transactions(), 2);
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the applied frontier")]
+    fn observe_below_applied_frontier_panics() {
+        let g = Arc::new(gen::ring(4));
+        let mut c = IncrementalChecker::new(g);
+        c.observe(StampedTxn {
+            vertex: v(0),
+            start: 10,
+            end: 11,
+            stale_reads: Vec::new(),
+        });
+        c.finish();
+        c.observe(StampedTxn {
+            vertex: v(1),
+            start: 3,
+            end: 4,
+            stale_reads: Vec::new(),
+        });
+    }
+
+    /// Property: a watermark-buffered, shuffled feed produces byte-for-byte
+    /// the same history and identical verdicts as the in-order feed.
+    #[test]
+    fn prop_out_of_order_feed_matches_in_order() {
+        let g = Arc::new(gen::complete(5));
+        for seed in 0..25u64 {
+            let mut rng = SplitMix64::new(seed);
+            // Generate a random stamped schedule (possibly overlapping) by
+            // running the self-clocked checker and harvesting its history.
+            let mut gen_c = IncrementalChecker::new(Arc::clone(&g));
+            let mut open: Vec<VertexId> = Vec::new();
+            for _ in 0..60 {
+                let u = v(rng.gen_range(5) as u32);
+                if let Some(pos) = open.iter().position(|&x| x == u) {
+                    if rng.gen_bool(0.5) {
+                        for &t in g.out_neighbors(u) {
+                            gen_c.on_send(u, t);
+                            if rng.gen_bool(0.5) {
+                                gen_c.on_visible(u, t);
+                            }
+                        }
+                    }
+                    gen_c.end(u);
+                    open.swap_remove(pos);
+                } else if open.len() < 3 {
+                    gen_c.begin(u);
+                    open.push(u);
+                }
+            }
+            for &u in &open {
+                gen_c.end(u);
+            }
+            let stamped: Vec<StampedTxn> = gen_c
+                .history()
+                .txns()
+                .iter()
+                .map(|t| StampedTxn {
+                    vertex: t.vertex,
+                    start: t.start,
+                    end: t.end,
+                    stale_reads: t.stale_reads.clone(),
+                })
+                .collect();
+
+            // In-order feed: sorted by start, finish at the end.
+            let mut in_order = IncrementalChecker::new(Arc::clone(&g));
+            let mut sorted = stamped.clone();
+            sorted.sort_by_key(|t| t.start);
+            for t in sorted {
+                in_order.observe(t);
+            }
+            in_order.finish();
+
+            // Out-of-order feed: shuffled arrivals, watermark-batched
+            // advances after every few observes.
+            let mut shuffled = stamped.clone();
+            for i in (1..shuffled.len()).rev() {
+                let j = rng.gen_range(i as u64 + 1) as usize;
+                shuffled.swap(i, j);
+            }
+            let mut ooo = IncrementalChecker::new(Arc::clone(&g));
+            // The safe frontier after each arrival is the smallest stamp of
+            // any not-yet-observed transaction — exactly the guarantee a
+            // per-producer watermark merge provides.
+            let mut unseen: std::collections::BTreeSet<u64> =
+                shuffled.iter().flat_map(|t| [t.start, t.end]).collect();
+            for (i, t) in shuffled.into_iter().enumerate() {
+                unseen.remove(&t.start);
+                unseen.remove(&t.end);
+                ooo.observe(t);
+                if i % 3 == 0 {
+                    let frontier = unseen.iter().next().copied().unwrap_or(u64::MAX);
+                    ooo.advance(frontier);
+                }
+            }
+            ooo.finish();
+
+            assert_eq!(
+                in_order.history().txns(),
+                ooo.history().txns(),
+                "seed {seed}: histories diverged"
+            );
+            assert_eq!(in_order.status(), ooo.status(), "seed {seed}");
+            let h = ooo.history();
+            let st = ooo.status();
+            assert_eq!(st.c1_violations, h.c1_violations().len(), "seed {seed}");
+            assert_eq!(st.c2_violations, h.c2_violations(&g).len(), "seed {seed}");
+            assert_eq!(
+                st.serialization_graph_acyclic,
+                h.serialization_graph_acyclic(&g),
+                "seed {seed}"
+            );
+        }
     }
 
     /// Property: against randomized schedules (possibly violating ones),

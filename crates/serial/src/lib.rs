@@ -31,7 +31,9 @@
 pub mod history;
 pub mod incremental;
 pub mod recorder;
+pub mod streaming;
 
 pub use history::{History, HistorySummary, TxnId, TxnRecord};
-pub use incremental::{CheckStatus, IncrementalChecker};
+pub use incremental::{AuditEvent, CheckStatus, IncrementalChecker, StampedTxn};
 pub use recorder::Recorder;
+pub use streaming::StreamingAuditor;

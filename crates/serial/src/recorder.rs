@@ -27,6 +27,11 @@ pub struct Recorder {
     graph: Arc<Graph>,
     clock: AtomicU64,
     executing: Vec<AtomicBool>,
+    /// Pre-start clock snapshot per vertex mid-execution, `u64::MAX` when
+    /// idle. Stored *before* the start tick and cleared only *after* the
+    /// finished record lands in `txns`, so [`Recorder::safe_watermark`]
+    /// never overtakes a transaction it has not yet handed out.
+    executing_since: Vec<AtomicU64>,
     /// Messages handed to the system per directed pair (in-CSR indexed).
     sent: Vec<AtomicU64>,
     /// Messages readable by the recipient per directed pair.
@@ -53,6 +58,7 @@ impl Recorder {
             graph,
             clock: AtomicU64::new(0),
             executing: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            executing_since: (0..n).map(|_| AtomicU64::new(u64::MAX)).collect(),
             sent: (0..e).map(|_| AtomicU64::new(0)).collect(),
             visible: (0..e).map(|_| AtomicU64::new(0)).collect(),
             txns: Mutex::new(Vec::new()),
@@ -87,6 +93,7 @@ impl Recorder {
     /// eager C2 concurrency probe.
     pub fn begin(&self, u: VertexId) -> TxnGuard {
         self.executing[u.index()].store(true, Ordering::SeqCst);
+        self.executing_since[u.index()].store(self.clock.load(Ordering::SeqCst), Ordering::SeqCst);
         let start = self.tick();
 
         let mut stale_reads = Vec::new();
@@ -122,18 +129,48 @@ impl Recorder {
     pub fn end(&self, guard: TxnGuard) {
         self.executing[guard.vertex.index()].store(false, Ordering::SeqCst);
         let end = self.tick();
+        let vertex = guard.vertex;
         self.txns.lock().unwrap().push(TxnRecord {
-            vertex: guard.vertex,
+            vertex,
             start: guard.start,
             end,
             stale_reads: guard.stale_reads,
             concurrent_neighbors: guard.concurrent_neighbors,
         });
+        // Only after the push: see `executing_since`.
+        self.executing_since[vertex.index()].store(u64::MAX, Ordering::SeqCst);
     }
 
     /// Snapshot the recorded transactions as a checkable [`History`].
     pub fn history(&self) -> History {
         History::new(self.txns.lock().unwrap().clone())
+    }
+
+    /// Completed transactions recorded after the first `from` — the
+    /// streaming auditor's read-only cursor. Records arrive in *end*
+    /// order, so a consumer holding `from = previous total` sees every
+    /// record exactly once.
+    pub fn txns_since(&self, from: usize) -> Vec<TxnRecord> {
+        let txns = self.txns.lock().unwrap();
+        txns[from.min(txns.len())..].to_vec()
+    }
+
+    /// A timestamp every future (and still-open) transaction's interval
+    /// lies entirely at or above: `min` of the clock and the pre-start
+    /// snapshot of every open execution. Read order (clock, then the
+    /// snapshots) plus the store order in [`Recorder::begin`] /
+    /// [`Recorder::end`] make this safe against in-flight races — feed it
+    /// as the `advance` frontier of an incremental checker ingesting
+    /// [`Recorder::txns_since`] batches.
+    pub fn safe_watermark(&self) -> u64 {
+        let clock = self.clock.load(Ordering::SeqCst);
+        let open = self
+            .executing_since
+            .iter()
+            .map(|a| a.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(u64::MAX);
+        clock.min(open)
     }
 
     /// The graph this recorder observes.

@@ -1,0 +1,146 @@
+//! The in-process streaming auditor: a [`Recorder`] feeding a
+//! watermark-ordered [`IncrementalChecker`], no sockets involved.
+//!
+//! Both engines attach one when `ObsConfig::audit` is on: a drain —
+//! between supersteps (barriered) or from a small polling thread
+//! (barrierless / GAS) — pulls every transaction recorded since the
+//! last drain through [`Recorder::txns_since`], buffers it in the
+//! checker, and releases everything below [`Recorder::safe_watermark`].
+//! The live [`CheckStatus`] after each drain is the same Theorem 1
+//! verdict the cluster's audit plane maintains over TCP, and
+//! [`StreamingAuditor::finish`] is by construction equal to the
+//! post-hoc check over the recorder's full history.
+
+use crate::history::HistorySummary;
+use crate::incremental::{CheckStatus, IncrementalChecker, StampedTxn};
+use crate::recorder::Recorder;
+use std::sync::Arc;
+
+/// Incremental Theorem 1 verdicts over a live [`Recorder`].
+pub struct StreamingAuditor {
+    recorder: Arc<Recorder>,
+    checker: IncrementalChecker,
+    cursor: usize,
+}
+
+impl StreamingAuditor {
+    /// Audit the executions `recorder` observes.
+    pub fn new(recorder: Arc<Recorder>) -> Self {
+        let checker = IncrementalChecker::new(Arc::clone(recorder.graph()));
+        Self {
+            recorder,
+            checker,
+            cursor: 0,
+        }
+    }
+
+    /// Pull everything recorded since the last drain and release all
+    /// operations the watermark proves complete. Safe to call while
+    /// executions are in flight — the watermark never overtakes an open
+    /// transaction. Returns the live verdict.
+    pub fn drain(&mut self) -> CheckStatus {
+        // Watermark strictly before the cursor read: a transaction that
+        // lands in between ships now with a stamp at or above the
+        // watermark, never later with a stamp below it.
+        let watermark = self.recorder.safe_watermark();
+        let fresh = self.recorder.txns_since(self.cursor);
+        self.cursor += fresh.len();
+        for t in fresh {
+            self.checker.observe(StampedTxn {
+                vertex: t.vertex,
+                start: t.start,
+                end: t.end,
+                stale_reads: t.stale_reads,
+            });
+        }
+        self.checker.advance(watermark);
+        self.checker.status()
+    }
+
+    /// Transactions whose operations have been fully applied so far.
+    pub fn transactions(&self) -> usize {
+        self.checker.transactions()
+    }
+
+    /// Drain the tail (the run is over, nothing is in flight) and return
+    /// the final verdict.
+    pub fn finish(mut self) -> HistorySummary {
+        let fresh = self.recorder.txns_since(self.cursor);
+        self.cursor += fresh.len();
+        for t in fresh {
+            self.checker.observe(StampedTxn {
+                vertex: t.vertex,
+                start: t.start,
+                end: t.end,
+                stale_reads: t.stale_reads,
+            });
+        }
+        self.checker.finish();
+        self.checker.summary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graph::{gen, VertexId};
+
+    #[test]
+    fn live_drains_match_the_post_hoc_history() {
+        let g = Arc::new(gen::paper_c4());
+        let r = Arc::new(Recorder::new(Arc::clone(&g)));
+        let mut a = StreamingAuditor::new(Arc::clone(&r));
+        for round in 0..3 {
+            for u in g.vertices() {
+                let guard = r.begin(u);
+                for &t in g.out_neighbors(u) {
+                    r.on_send(u, t);
+                    r.on_visible(u, t);
+                }
+                r.end(guard);
+            }
+            let status = a.drain();
+            assert!(status.clean(), "round {round} dirtied a serial feed");
+        }
+        assert!(a.transactions() > 0, "drains released applied work");
+        let live = a.finish();
+        let post = r.history().summarize(&g);
+        assert_eq!(live, post);
+        assert!(live.one_copy_serializable);
+    }
+
+    #[test]
+    fn overlap_and_staleness_surface_in_the_live_verdict() {
+        let g = Arc::new(gen::paper_c4());
+        let r = Arc::new(Recorder::new(Arc::clone(&g)));
+        let mut a = StreamingAuditor::new(Arc::clone(&r));
+        let g0 = r.begin(VertexId::new(0));
+        r.on_send(VertexId::new(0), VertexId::new(1));
+        let g1 = r.begin(VertexId::new(1)); // concurrent neighbor + stale read
+        r.end(g1);
+        r.end(g0);
+        let status = a.drain();
+        assert!(!status.clean());
+        let live = a.finish();
+        let post = r.history().summarize(&g);
+        assert_eq!(live, post);
+        assert!(live.c1_violations > 0);
+        assert!(live.c2_violations > 0);
+    }
+
+    #[test]
+    fn drain_mid_execution_buffers_the_open_transaction() {
+        let g = Arc::new(gen::paper_c4());
+        let r = Arc::new(Recorder::new(Arc::clone(&g)));
+        let mut a = StreamingAuditor::new(Arc::clone(&r));
+        let guard = r.begin(VertexId::new(0));
+        // v0 is open: the watermark must hold everything back.
+        a.drain();
+        assert_eq!(a.transactions(), 0);
+        r.end(guard);
+        a.drain();
+        let live = a.finish();
+        assert_eq!(live.transactions, 1);
+        assert!(live.one_copy_serializable);
+    }
+}

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# sg-audit smoke: the live serializability audit plane, end to end.
+#
+# 1. A 4-process unsynchronized run (`--technique none`) with the audit
+#    plane on: scrape `GET /audit` WHILE the run executes and assert the
+#    violation is reported live — serializable=false *before* the run
+#    completes — and that violation sentinels landed in the JSONL log.
+# 2. A real technique (vertex-lock) under the same plane: the live final
+#    verdict must agree with the post-hoc check (`live-1SR=true`).
+# 3. The msgbench audit lane: the worker half of the plane (watermark
+#    reads + transaction-log shipping) must cost under 5% over recording
+#    alone; the checker itself is off the worker's critical path.
+#
+# Offline-safe (loopback only); writes only under target/.
+# Called by ci.sh and .github/workflows/ci.yml after the release build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=target/ci-audit-smoke
+rm -rf "$SMOKE"
+mkdir -p "$SMOKE"
+
+cargo build -q --release -p sg-bench
+CLUSTER=target/release/sg-cluster
+MSGBENCH=target/release/sg-msgbench
+
+# Fetch /audit with curl when available, else `sg-cluster audit --raw`
+# (dependency-free HTTP client shipped with the workspace).
+scrape() { # scrape URL OUTFILE
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS --max-time 2 "$1" -o "$2" 2>/dev/null
+    else
+        local hostport=${1#http://}
+        hostport=${hostport%%/*}
+        "$CLUSTER" audit --addr "$hostport" --once --raw >"$2" 2>/dev/null
+    fi
+}
+
+# launch_run LOGFILE ARGS... — start a cluster run in the background with
+# ephemeral-port telemetry, retrying the whole launch when the listener
+# never comes up (EADDRINUSE-style races on shared CI hosts). Sets
+# RUN_PID and ADDR.
+launch_run() {
+    local logfile=$1
+    shift
+    ADDR=
+    for launch in 1 2 3; do
+        "$CLUSTER" run --telemetry-addr 127.0.0.1:0 --telemetry-interval-ms 50 \
+            "$@" >"$logfile" 2>&1 &
+        RUN_PID=$!
+        for _ in $(seq 1 200); do
+            ADDR=$(sed -n 's#^telemetry: serving http://\([^/]*\)/metrics$#\1#p' "$logfile")
+            [ -n "$ADDR" ] && break
+            kill -0 "$RUN_PID" 2>/dev/null && sleep 0.05 || break
+        done
+        [ -n "$ADDR" ] && return 0
+        wait "$RUN_PID" 2>/dev/null || true
+        echo "   launch $launch never served telemetry, retrying"
+        cat "$logfile"
+    done
+    echo "FAIL: telemetry address never printed in 3 launches"
+    exit 1
+}
+
+echo "-- 4-process unsynchronized control (technique=none) with the audit plane on"
+SENTINELS="$SMOKE/sentinels.jsonl"
+launch_run "$SMOKE/none.log" \
+    --workers 4 --technique none --workload coloring --graph grid:300:300 \
+    --max-supersteps 40 --audit-interval-ms 20 --audit-log "$SENTINELS"
+
+echo "-- scraping http://$ADDR/audit for a live violation verdict"
+CAUGHT=0
+for _ in $(seq 1 600); do
+    if scrape "http://$ADDR/audit" "$SMOKE/audit-none.json"; then
+        if grep -q '"serializable":false' "$SMOKE/audit-none.json"; then
+            if kill -0 "$RUN_PID" 2>/dev/null; then
+                CAUGHT=1
+                break
+            fi
+        fi
+    fi
+    kill -0 "$RUN_PID" 2>/dev/null || break
+    sleep 0.02
+done
+# Unsynchronized coloring may fail the CLI health gate (it is *supposed*
+# to be broken) — the exit code is not the assertion here.
+wait "$RUN_PID" || true
+[ "$CAUGHT" = 1 ] || {
+    cat "$SMOKE/none.log"
+    echo "FAIL: /audit never reported serializable=false while the run was live"
+    exit 1
+}
+grep -q '"c1_violations"' "$SMOKE/audit-none.json" \
+    || { echo "FAIL: /audit verdict fields missing"; exit 1; }
+grep -q '"hot_vertices"' "$SMOKE/audit-none.json" \
+    || { echo "FAIL: /audit conflict heatmap missing"; exit 1; }
+[ -s "$SENTINELS" ] || { echo "FAIL: sentinel JSONL log is empty"; exit 1; }
+grep -Eq '"kind":"(c1|c2|cycle)"' "$SENTINELS" \
+    || { cat "$SENTINELS"; echo "FAIL: no violation sentinel in the log"; exit 1; }
+echo "   caught live: $(head -c 120 "$SMOKE/audit-none.json")..."
+echo "   sentinels: $(wc -l <"$SENTINELS") lines"
+
+echo "-- vertex-lock under the audit plane: live verdict must match post hoc"
+launch_run "$SMOKE/vlock.log" \
+    --workers 4 --technique vertex-lock --workload coloring --graph grid:60:60 \
+    --audit-interval-ms 20
+scrape "http://$ADDR/audit" "$SMOKE/audit-vlock.json" || true
+wait "$RUN_PID" || { cat "$SMOKE/vlock.log"; echo "FAIL: vertex-lock run failed"; exit 1; }
+grep -q 'live-1SR=true' "$SMOKE/vlock.log" \
+    || { cat "$SMOKE/vlock.log"; echo "FAIL: live verdict disagrees with post hoc"; exit 1; }
+grep -q '1SR=true' "$SMOKE/vlock.log" \
+    || { cat "$SMOKE/vlock.log"; echo "FAIL: vertex-lock run not serializable"; exit 1; }
+
+echo "-- audit overhead guard (msgbench audit lane, <5% budget)"
+# Concurrent streaming auditor vs recorder alone, best-of-reps. Noise only
+# inflates the ratio, so 3 attempts, pass on the first under budget.
+OK=
+for attempt in 1 2 3; do
+    SG_RESULTS_DIR="$SMOKE" "$MSGBENCH" --ops 150000 --threads 1 --reps 5 \
+        >"$SMOKE/msgbench-$attempt.log"
+    PCT=$(sed -n 's/^audit overhead: \(-\{0,1\}[0-9.]*\)%.*/\1/p' "$SMOKE/msgbench-$attempt.log")
+    [ -n "$PCT" ] || { echo "FAIL: audit overhead line missing from msgbench output"; exit 1; }
+    echo "   attempt $attempt: ${PCT}%"
+    if awk -v p="$PCT" 'BEGIN { exit !(p < 5.0) }'; then
+        OK=1
+        break
+    fi
+done
+[ "$OK" = 1 ] || { echo "FAIL: audit overhead >= 5% on all 3 attempts"; exit 1; }
+
+echo "sg-audit smoke green."

@@ -32,21 +32,30 @@ scrape() { # scrape URL OUTFILE
 }
 
 echo "-- 4-worker thread-mode run with --telemetry-addr (vertex-lock, grid 120x120)"
-"$CLUSTER" run --workers 4 --threads --technique vertex-lock \
-    --workload coloring --graph grid:120:120 \
-    --telemetry-addr 127.0.0.1:0 --telemetry-interval-ms 50 \
-    >"$SMOKE/run.log" 2>&1 &
-RUN_PID=$!
-
-# The coordinator prints the bound address (port 0 → kernel-assigned).
+# Ephemeral ports everywhere (127.0.0.1:0 → kernel-assigned), so parallel
+# CI jobs can't collide on a fixed port. A transient bind failure (e.g.
+# EADDRINUSE when the kernel hands back a port that a just-died listener
+# still holds in TIME_WAIT) gets a fresh launch, not a CI failure.
 ADDR=
-for _ in $(seq 1 200); do
-    ADDR=$(sed -n 's#^telemetry: serving http://\([^/]*\)/metrics$#\1#p' "$SMOKE/run.log")
+RUN_PID=
+for launch in 1 2 3; do
+    "$CLUSTER" run --workers 4 --threads --technique vertex-lock \
+        --workload coloring --graph grid:120:120 \
+        --telemetry-addr 127.0.0.1:0 --telemetry-interval-ms 50 \
+        >"$SMOKE/run.log" 2>&1 &
+    RUN_PID=$!
+    # The coordinator prints the bound address (port 0 → kernel-assigned).
+    for _ in $(seq 1 200); do
+        ADDR=$(sed -n 's#^telemetry: serving http://\([^/]*\)/metrics$#\1#p' "$SMOKE/run.log")
+        [ -n "$ADDR" ] && break
+        kill -0 "$RUN_PID" 2>/dev/null && sleep 0.05 || break
+    done
     [ -n "$ADDR" ] && break
-    kill -0 "$RUN_PID" 2>/dev/null || { cat "$SMOKE/run.log"; echo "FAIL: run exited before serving telemetry"; exit 1; }
-    sleep 0.05
+    wait "$RUN_PID" 2>/dev/null || true
+    echo "   launch $launch never served telemetry, retrying"
+    cat "$SMOKE/run.log"
 done
-[ -n "$ADDR" ] || { echo "FAIL: telemetry address never printed"; exit 1; }
+[ -n "$ADDR" ] || { echo "FAIL: telemetry address never printed in 3 launches"; exit 1; }
 
 echo "-- scraping http://$ADDR/metrics during the run"
 LIVE=0

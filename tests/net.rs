@@ -89,6 +89,7 @@ fn every_message() -> Vec<Message> {
                     kill_at_frame: Some(4),
                 },
                 telemetry_interval_ms: 250,
+                audit_interval_ms: 25,
             }),
         },
         Message::PeerMap {
@@ -459,4 +460,71 @@ fn dropped_duplicated_and_delayed_frames_are_absorbed() {
     )
     .expect("clean run");
     assert_eq!(out.values, clean.values);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming audit plane
+
+/// Acceptance gate for the live audit plane: for every real technique the
+/// final streamed verdict equals the post-hoc Theorem 1 check over the
+/// merged history — exact summary equality, not just the 1SR bit.
+#[test]
+fn live_audit_verdict_matches_post_hoc_for_every_technique() {
+    let g = gen::paper_c4();
+    for technique in TECHNIQUES {
+        let mut cfg = ClusterConfig::new(2, technique, Workload::Coloring);
+        cfg.partitions_per_worker = 1;
+        cfg.explicit_partitions = Some(c4_assignment());
+        cfg.audit_interval_ms = 5;
+        let out = run_cluster(&g, &cfg).expect("cluster run");
+        let live = out.audit.expect("live audit verdict");
+        let post = out.history.expect("history").summarize(&g);
+        assert_eq!(
+            live, post,
+            "{technique:?}: live and post-hoc verdicts diverged"
+        );
+        assert!(live.one_copy_serializable, "{technique:?} must serialize");
+    }
+}
+
+/// The unsynchronized control: no technique, four workers, buffered remote
+/// delivery. The audit stream must carry the violation to the coordinator
+/// (stale reads at minimum — Section 3.5 lazy replica updates), the live
+/// verdict must agree with the post-hoc check, and every violation must
+/// leave a sentinel line in the JSONL log.
+#[test]
+fn unsynchronized_control_is_flagged_by_the_live_audit() {
+    let g = gen::grid(4, 4);
+    let log = std::env::temp_dir().join(format!("sg-audit-sentinel-{}.jsonl", std::process::id()));
+    let mut cfg = ClusterConfig::new(4, Technique::None, Workload::Coloring);
+    cfg.audit_interval_ms = 5;
+    cfg.audit_log = Some(log.to_string_lossy().into_owned());
+    let out = run_cluster(&g, &cfg).expect("cluster run");
+    let live = out.audit.expect("live audit verdict");
+    let post = out.history.expect("history").summarize(&g);
+    assert_eq!(live, post, "live and post-hoc verdicts diverged");
+    assert!(
+        !live.one_copy_serializable,
+        "plain AP across 4 workers must violate 1SR"
+    );
+    // Which condition trips first is timing-dependent (stale reads vs
+    // neighbor overlap vs a cycle), but at least one must have.
+    assert!(live.c1_violations + live.c2_violations > 0 || !live.serialization_graph_acyclic);
+    let sentinels = std::fs::read_to_string(&log).expect("sentinel log written");
+    let _ = std::fs::remove_file(&log);
+    assert!(
+        sentinels.lines().any(|l| l.contains("\"kind\"")),
+        "violations must leave JSONL sentinel lines, got: {sentinels:?}"
+    );
+}
+
+/// The audit plane refuses to run blind: a nonzero interval without
+/// history recording is a configuration error, not a silent no-op.
+#[test]
+fn audit_without_history_is_rejected() {
+    let mut cfg = ClusterConfig::new(2, Technique::VertexLock, Workload::Coloring);
+    cfg.record_history = false;
+    cfg.audit_interval_ms = 5;
+    let err = run_cluster(&gen::paper_c4(), &cfg).unwrap_err();
+    assert!(format!("{err}").contains("record_history"));
 }
