@@ -38,4 +38,7 @@ echo "== sg-obs smoke (live telemetry scrape; sg-top; overhead guard) =="
 echo "== sg-audit smoke (live 1SR verdicts; violation sentinels; overhead guard) =="
 ./scripts/audit_smoke.sh
 
+echo "== sg-serve smoke (live /query plane; stable snapshot checksums; MVCC overhead guard) =="
+./scripts/serve_smoke.sh
+
 echo "CI green."

@@ -829,6 +829,24 @@ fn render_dashboard(rows: &[ScrapeRow], prev: &mut BTreeMap<String, (u64, u64, u
     out
 }
 
+/// One scrape with a short retry ladder: a refused connection mid-redial
+/// (the listener's accept loop momentarily behind, a socket in TIME_WAIT)
+/// is retried before being reported, so one dropped accept does not end a
+/// live watch.
+fn scrape_with_retry(addr: &str, path: &str, timeout: Duration) -> std::io::Result<String> {
+    let mut last = None;
+    for attempt in 0..3 {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(150));
+        }
+        match http_get(addr, path, timeout) {
+            Ok(body) => return Ok(body),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("at least one attempt"))
+}
+
 fn top(args: &[String]) -> ExitCode {
     let a = match parse_top_args(args) {
         Ok(a) => a,
@@ -843,12 +861,18 @@ fn top(args: &[String]) -> ExitCode {
     loop {
         let path = if a.raw { "/metrics" } else { "/json" };
         let passthrough = a.raw || a.json;
-        let body = match http_get(&a.addr, path, timeout) {
+        let body = match scrape_with_retry(&a.addr, path, timeout) {
             Ok(b) => b,
             Err(e) if had_frame && !a.once => {
-                // The run finished and took the endpoint with it: a clean
-                // end for a live watch, not an error.
-                println!("sg-top: endpoint {} gone ({e}); exiting", a.addr);
+                // The endpoint stayed unreachable through the retry
+                // ladder — usually the run finished and took it along.
+                // Reset the alternate-screen clutter and say so, so the
+                // watch never ends on a blank or stale frame.
+                print!("\x1b[2J\x1b[H");
+                println!(
+                    "sg-top: endpoint {} unreachable after 3 attempts ({e}); exiting",
+                    a.addr
+                );
                 return ExitCode::SUCCESS;
             }
             Err(e) => {
@@ -966,10 +990,14 @@ fn audit(args: &[String]) -> ExitCode {
     let timeout = Duration::from_secs(2);
     let mut had_frame = false;
     loop {
-        let body = match http_get(&a.addr, "/audit", timeout) {
+        let body = match scrape_with_retry(&a.addr, "/audit", timeout) {
             Ok(b) => b,
             Err(e) if had_frame && !a.once => {
-                println!("sg-audit: endpoint {} gone ({e}); exiting", a.addr);
+                print!("\x1b[2J\x1b[H");
+                println!(
+                    "sg-audit: endpoint {} unreachable after 3 attempts ({e}); exiting",
+                    a.addr
+                );
                 return ExitCode::SUCCESS;
             }
             Err(e) => {

@@ -541,6 +541,91 @@ fn bench_audit(on: bool, ops: u64, verts: usize) -> RunStats {
     }
 }
 
+/// The MVCC lane: the serializable engine's per-vertex write path with
+/// the in-place value vector alone (the seed engine's store) vs
+/// additionally writing every new value through an `sg-store` transaction
+/// — begin, version install, one-atomic-flip commit — exactly what the
+/// rewired engine does per vertex execution. Both variants run the full
+/// turn the engine runs: recorder transaction open/close (MVCC commits
+/// ride the recorder's close in the engine), inbox drain, compute fold,
+/// FANOUT message scatter. The on/off wall-clock delta is the MVCC
+/// plane's intrusion on that hot path; `scripts/serve_smoke.sh` gates it
+/// below 10%.
+fn bench_mvcc(on: bool, ops: u64, verts: usize, cap: usize, seed: u64) -> RunStats {
+    use sg_core::sg_graph::gen;
+    use sg_core::sg_serial::Recorder;
+    use sg_core::sg_store::VertexStore;
+    const FANOUT: u64 = 12;
+    let mvcc = on.then(|| {
+        let s = VertexStore::<u64>::new(verts);
+        for v in 0..verts {
+            s.install_bootstrap(v, 0);
+        }
+        s
+    });
+    let g = Arc::new(gen::ring(verts.max(3) as u32));
+    let rec = Recorder::new(Arc::clone(&g));
+    let store = PartitionStore::<u64>::new(verts);
+    let outbound = OutboundBuffers::<u64>::new(2);
+    let mut st = StagingBuffers::<u64>::new(2, false);
+    let mut values = vec![0u64; verts];
+    let mut x = seed;
+    let mut scratch = Vec::new();
+    let start = Instant::now();
+    let ship = |batches: Vec<Vec<(VertexId, VertexId, u64)>>| {
+        for batch in batches {
+            for (to, sender, msg) in batch {
+                store.insert(to.index(), sender, msg, None);
+            }
+        }
+    };
+    for i in 0..ops {
+        let slot = (lcg(&mut x) % verts as u64) as usize;
+        let vid = VertexId::new(slot as u32);
+        let guard = rec.begin(vid);
+        scratch.clear();
+        store.drain_into(slot, &mut scratch);
+        let mut acc = values[slot];
+        for (_, m) in &scratch {
+            acc = acc.wrapping_add(*m);
+        }
+        let new = acc.wrapping_add(i ^ lcg(&mut x));
+        values[slot] = new;
+        if let Some(s) = &mvcc {
+            let txn = s.begin();
+            s.install(slot, new, txn.xid);
+            s.commit(txn);
+            // The barrierless engine GCs every 32 rounds (a round ≈ one
+            // execution per vertex); an 8-round cadence here keeps the
+            // slab free-list recycling without unbounded chain growth.
+            if (i + 1) % (verts as u64 * 8) == 0 {
+                s.gc();
+            }
+        }
+        for k in 0..FANOUT {
+            let to = (lcg(&mut x) % verts as u64) as usize;
+            let routed = (VertexId::new(to as u32), vid, i + k);
+            let (_, staged) = st.stage(1, routed, None);
+            if staged >= cap {
+                ship(outbound.push_batch(0, 1, st.take_run(1), cap));
+            }
+        }
+        rec.end(guard);
+    }
+    let wall_us = start.elapsed().as_micros() as u64;
+    if let Some(s) = &mvcc {
+        // Correctness spot-check outside the measured window: the latest
+        // committed version must be the in-place value, and GC must strip
+        // the superseded chain tails.
+        let snap = s.open_snapshot();
+        let probe = (lcg(&mut x) % verts as u64) as usize;
+        assert_eq!(s.read_at(probe, &snap), Some(values[probe]));
+        s.release_snapshot(snap);
+        s.gc();
+    }
+    RunStats { ops, wall_us }
+}
+
 fn fields(threads: usize, s: &RunStats) -> Vec<(&'static str, String)> {
     vec![
         ("threads", threads.to_string()),
@@ -723,8 +808,22 @@ fn main() {
         &[("overhead_pct", format!("{audit_pct:.3}"))],
     );
 
+    // --- mvcc: write-through transaction cost on the vertex write path ---
+    let mvcc_off = best_of(reps, || bench_mvcc(false, ops, verts, cap, seed));
+    let mvcc_on = best_of(reps, || bench_mvcc(true, ops, verts, cap, seed));
+    let mvcc_pct = (mvcc_on.wall_us.max(1) as f64 / mvcc_off.wall_us.max(1) as f64 - 1.0) * 100.0;
+    row("mvcc/in-place", 1, &mvcc_off);
+    row("mvcc/write-through", 1, &mvcc_on);
+    log.raw_cell("mvcc/in-place", &fields(1, &mvcc_off));
+    log.raw_cell("mvcc/write-through", &fields(1, &mvcc_on));
+    log.raw_cell(
+        "overhead/mvcc",
+        &[("overhead_pct", format!("{mvcc_pct:.3}"))],
+    );
+
     println!();
     println!("telemetry overhead: {overhead_pct:.2}% (live registry on vs off)");
+    println!("mvcc overhead: {mvcc_pct:.2}% (write-through store on vs in-place values only)");
     println!("audit overhead: {audit_pct:.2}% (worker-side audit shipping on vs recorder only)");
     for (t, s) in &headline {
         println!(

@@ -32,6 +32,7 @@ pub use sg_graph;
 pub use sg_metrics;
 pub use sg_net;
 pub use sg_serial;
+pub use sg_store;
 pub use sg_sync;
 
 /// Map an engine-facing [`Technique`] onto the model checker's technique
@@ -65,4 +66,5 @@ pub mod prelude {
     pub use sg_graph::{gen, ClusterLayout, Graph, GraphBuilder, PartitionId, VertexId, WorkerId};
     pub use sg_metrics::{CostModel, MetricsSnapshot, ObsConfig, ObsReport};
     pub use sg_serial::History;
+    pub use sg_store::{GraphReader, SnapshotView, VertexStore};
 }

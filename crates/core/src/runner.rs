@@ -247,6 +247,32 @@ impl Runner {
         Ok(Engine::new(Arc::clone(&self.graph), program, self.config.clone())?.run())
     }
 
+    /// Build the configured in-process engine without running it — the
+    /// serving entry point: clone [`Engine::reader`] handles off the built
+    /// engine, hand them to query threads, then call `run()`.
+    ///
+    /// ```
+    /// use sg_core::prelude::*;
+    ///
+    /// let runner = Runner::new(sg_graph::gen::ring(16)).workers(2);
+    /// let engine = runner.build_engine(GreedyColoring::default()).unwrap();
+    /// let reader = engine.reader(); // usable from any thread, mid-run
+    /// let outcome = engine.run();
+    /// assert!(outcome.converged);
+    /// let snap = reader.snapshot();
+    /// assert_eq!(snap.get(VertexId::new(0)), Some(outcome.values[0]));
+    /// ```
+    pub fn build_engine<P: VertexProgram>(&self, program: P) -> Result<Engine<P>, EngineError> {
+        if self.net.is_some() {
+            return Err(EngineError::InvalidConfig(
+                "build_engine constructs the in-process engine; networked runs serve \
+                 queries through the coordinator's /query endpoint"
+                    .into(),
+            ));
+        }
+        Engine::new(Arc::clone(&self.graph), program, self.config.clone())
+    }
+
     /// Route one of the wire-supported workloads through the `sg-net`
     /// cluster runtime and translate the [`ClusterOutcome`] back into the
     /// engine's [`Outcome`] shape.
@@ -289,6 +315,7 @@ impl Runner {
             telemetry_interval_ms: opts.telemetry_interval_ms,
             audit_interval_ms: opts.audit_interval_ms,
             audit_log: opts.audit_log.clone(),
+            telemetry_addr_tx: None,
         };
         let started = Instant::now();
         let out: ClusterOutcome = sg_net::run_cluster(&self.graph, &cfg)

@@ -14,6 +14,7 @@ use sg_metrics::{
     SuperstepRow, Telemetry, TelemetrySnapshot, Trace, TraceEventKind, Watchdog, WorkerTimers,
 };
 use sg_serial::{History, HistorySummary, Recorder, StreamingAuditor};
+use sg_store::{GraphReader, VertexStore};
 use sg_sync::technique::LockGranularity;
 use sg_sync::{
     BspVertexLock, DualLayerToken, ForkSnapshot, NoSync, PartitionLock, SingleLayerToken,
@@ -92,6 +93,11 @@ pub struct Engine<P: VertexProgram> {
     config: EngineConfig,
     pm: Arc<PartitionMap>,
     combiner: Option<Box<dyn Combiner<P::Message>>>,
+    /// The MVCC vertex store every execution writes through. Created (and
+    /// bootstrapped with the program's init values) at build time so
+    /// [`Engine::reader`] handles can be cloned off before the run starts
+    /// and serve queries while it executes.
+    store: Arc<VertexStore<P::Value>>,
 }
 
 impl<P: VertexProgram> Engine<P> {
@@ -123,12 +129,17 @@ impl<P: VertexProgram> Engine<P> {
                 PartitionMap::build(&graph, layout, &HashPartitioner::new(config.partition_seed))
             }
         };
+        let store = Arc::new(VertexStore::new(graph.num_vertices() as usize));
+        for v in graph.vertices() {
+            store.install_bootstrap(v.index(), program.init(v, &graph));
+        }
         Ok(Self {
             graph,
             program,
             config,
             pm: Arc::new(pm),
             combiner: None,
+            store,
         })
     }
 
@@ -141,6 +152,21 @@ impl<P: VertexProgram> Engine<P> {
     /// The partition map in effect.
     pub fn partition_map(&self) -> &Arc<PartitionMap> {
         &self.pm
+    }
+
+    /// A serving handle over the engine's MVCC vertex store. Clone it off
+    /// before calling [`Engine::run`] and query from any thread — point
+    /// lookups, k-hop neighborhoods, and consistent whole-graph snapshots
+    /// all resolve against committed versions only, so a reader never
+    /// observes a half-finished vertex execution no matter which
+    /// synchronization technique is driving the run.
+    pub fn reader(&self) -> GraphReader<P::Value> {
+        GraphReader::new(Arc::clone(&self.store), Arc::clone(&self.graph))
+    }
+
+    /// The underlying MVCC store (bootstrapped with init values).
+    pub fn vertex_store(&self) -> &Arc<VertexStore<P::Value>> {
+        &self.store
     }
 
     /// Execute to completion.
@@ -188,6 +214,27 @@ impl<P: VertexProgram> Engine<P> {
             .config
             .record_history
             .then(|| Arc::new(Recorder::new(Arc::clone(&self.graph))));
+
+        // When a recorder runs, the MVCC commit rides on the recorded
+        // transaction's close: `run_partition` installs the new version and
+        // parks its xid here; the recorder's end() fires this hook, which
+        // flips the version visible. Without a recorder the execution
+        // commits directly.
+        let pending_xid: Arc<Vec<AtomicU64>> = Arc::new(
+            (0..self.graph.num_vertices())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        );
+        if let Some(r) = &recorder {
+            let store = Arc::clone(&self.store);
+            let pending = Arc::clone(&pending_xid);
+            r.set_commit_hook(Box::new(move |v: VertexId| {
+                let xid = pending[v.index()].swap(0, Ordering::SeqCst);
+                if xid != 0 {
+                    store.commit_xid(xid);
+                }
+            }));
+        }
 
         let layout = *self.pm.layout();
         let num_partitions = layout.num_partitions() as usize;
@@ -248,6 +295,8 @@ impl<P: VertexProgram> Engine<P> {
             superstep: AtomicU64::new(0),
             sync,
             recorder: recorder.clone(),
+            vstore: Arc::clone(&self.store),
+            pending_xid,
             buffer_cap: self.config.buffer_cap.max(1),
             claim: (0..workers).map(|_| AtomicU32::new(0)).collect(),
             stop: AtomicBool::new(false),
@@ -353,6 +402,10 @@ impl<P: VertexProgram> Engine<P> {
                 core.bsp_swap();
             }
             core.aggs.roll();
+            // Reclaim versions below the oldest open snapshot; the barrier
+            // is off the compute hot path, so GC never contends with a
+            // vertex execution for its stripe.
+            core.vstore.gc();
             core.metrics.inc(Counter::Supersteps);
             core.metrics.inc(Counter::Barriers);
             // Pre-barrier clock spread = idle time absorbed by this barrier
@@ -553,6 +606,14 @@ struct Core<P: VertexProgram> {
     superstep: AtomicU64,
     sync: Arc<dyn Synchronizer>,
     recorder: Option<Arc<Recorder>>,
+    /// The engine's MVCC vertex store: every vertex execution installs its
+    /// new value as a version here (`vstore` — the message containers above
+    /// keep the `store`/`stores` names).
+    vstore: Arc<VertexStore<P::Value>>,
+    /// Per-vertex xid of the version installed by the execution currently
+    /// closing (0 = none). The recorder's commit hook swaps it out and
+    /// commits; see `Engine::run`.
+    pending_xid: Arc<Vec<AtomicU64>>,
     buffer_cap: usize,
     /// Per worker: next partition offset to claim this superstep.
     claim: Vec<AtomicU32>,
@@ -718,6 +779,11 @@ fn barrierless_loop<P: VertexProgram>(
         if did_work {
             round += 1;
             core.rounds.fetch_max(round, Ordering::SeqCst);
+            // No barriers to hang GC on: one designated thread reclaims
+            // old versions every 32 local rounds.
+            if worker == 0 && slot == 0 && round.is_multiple_of(32) {
+                core.vstore.gc();
+            }
             if round >= max_rounds {
                 core.round_capped.store(true, Ordering::SeqCst);
                 core.finish_barrierless();
@@ -821,10 +887,7 @@ fn worker_loop<P: VertexProgram>(
 impl<P: VertexProgram> Core<P> {
     /// Any active vertex or queued message in partition `p`?
     fn partition_has_work(&self, p: usize) -> bool {
-        self.current[p].total() > 0 || {
-            let d = self.partitions[p].lock().unwrap();
-            d.halted.iter().any(|h| !*h)
-        }
+        self.current[p].total() > 0 || self.partitions[p].lock().unwrap().any_active()
     }
 
     fn execute_partition(
@@ -898,7 +961,7 @@ impl<P: VertexProgram> Core<P> {
 
         for i in 0..data.vertices.len() {
             let v = data.vertices[i];
-            if data.halted[i] && !store.has_messages(i) {
+            if data.halted(i) && !store.has_messages(i) {
                 continue;
             }
             if !self.sync.vertex_allowed(s, v) {
@@ -946,7 +1009,22 @@ impl<P: VertexProgram> Core<P> {
             };
             self.program.compute(&mut ctx, &messages);
             let halt = ctx.halt;
-            data.halted[i] = halt;
+            data.set_halted(i, halt);
+
+            // Write-through: install the execution's result as a new MVCC
+            // version. With a recorder the commit is deferred to the
+            // recorded transaction's close (r.end fires the hook); without
+            // one the execution commits here. Either way readers only ever
+            // see committed versions — never the in-place working value a
+            // neighbor's compute might be mutating.
+            let txn = self.vstore.begin();
+            self.vstore
+                .install(v.index(), data.values[i].clone(), txn.xid);
+            if guard.is_some() {
+                self.pending_xid[v.index()].store(txn.xid, Ordering::SeqCst);
+            } else {
+                self.vstore.commit(txn);
+            }
 
             let n_in = messages.len() as u64;
             let n_out = outgoing.len() as u64;
@@ -1238,7 +1316,7 @@ impl<P: VertexProgram> Core<P> {
                 .iter()
                 .map(|p| {
                     let d = p.lock().unwrap();
-                    (d.values.clone(), d.halted.clone())
+                    (d.values.clone(), d.halted_snapshot())
                 })
                 .collect(),
             stores: self.current.iter().map(|s| s.export()).collect(),
@@ -1262,11 +1340,21 @@ impl<P: VertexProgram> Core<P> {
             0,
             ckpt.superstep,
         );
+        // The rollback is itself one MVCC transaction: every restored value
+        // becomes a fresh committed version, atomically. A serving reader's
+        // open snapshot keeps seeing the pre-failure state; a snapshot
+        // opened after the commit sees the whole checkpoint — never a
+        // half-restored graph.
+        let txn = self.vstore.begin();
         for (p, (values, halted)) in self.partitions.iter().zip(&ckpt.partitions) {
             let mut d = p.lock().unwrap();
             d.values.clone_from(values);
-            d.halted.clone_from(halted);
+            d.restore_halted(halted.clone());
+            for (i, &v) in d.vertices.iter().enumerate() {
+                self.vstore.install(v.index(), values[i].clone(), txn.xid);
+            }
         }
+        self.vstore.commit(txn);
         for (store, snapshot) in self.current.iter().zip(&ckpt.stores) {
             store.restore(snapshot.clone());
         }

@@ -39,3 +39,4 @@ pub use config::{EngineConfig, EngineError, Model, TechniqueKind, TransportKind}
 pub use context::Context;
 pub use engine::{Engine, Outcome};
 pub use program::{Combiner, MinCombiner, SumCombiner, VertexProgram};
+pub use sg_store::{GraphReader, Snapshot, SnapshotView, VertexStore};

@@ -4,6 +4,13 @@
 //! (the engine wraps it in a mutex locked for the whole partition
 //! execution), which is precisely Giraph's "vertices in each partition are
 //! executed sequentially" discipline (Section 5.1).
+//!
+//! Halt votes are encapsulated behind [`PartitionData::halted`] /
+//! [`PartitionData::set_halted`] so the partition can maintain an exact
+//! active-vertex counter: the master's convergence check and the workers'
+//! `partition_has_work` probe run every round over every partition, and an
+//! O(n) scan there is pure waste when halt transitions are the only thing
+//! that can change the count.
 
 use sg_graph::VertexId;
 
@@ -17,7 +24,10 @@ pub struct PartitionData<V> {
     pub values: Vec<V>,
     /// Halt votes, parallel to `vertices`. A halted vertex executes again
     /// only when it receives a message (Pregel reactivation).
-    pub halted: Vec<bool>,
+    halted: Vec<bool>,
+    /// Exact count of `false` entries in `halted`, updated on every halt
+    /// transition.
+    active: usize,
 }
 
 impl<V> PartitionData<V> {
@@ -29,6 +39,7 @@ impl<V> PartitionData<V> {
             vertices,
             values,
             halted: vec![false; n],
+            active: n,
         }
     }
 
@@ -42,9 +53,51 @@ impl<V> PartitionData<V> {
         self.vertices.is_empty()
     }
 
+    /// Halt vote of the `i`-th vertex.
+    pub fn halted(&self, i: usize) -> bool {
+        self.halted[i]
+    }
+
+    /// Set the halt vote of the `i`-th vertex, keeping the active counter
+    /// exact.
+    pub fn set_halted(&mut self, i: usize, halt: bool) {
+        let was = self.halted[i];
+        if was != halt {
+            self.halted[i] = halt;
+            if halt {
+                self.active -= 1;
+            } else {
+                self.active += 1;
+            }
+        }
+    }
+
+    /// `true` if any vertex is still active.
+    pub fn any_active(&self) -> bool {
+        self.active != 0
+    }
+
     /// Number of vertices that have not voted to halt.
     pub fn active_count(&self) -> usize {
-        self.halted.iter().filter(|h| !**h).count()
+        debug_assert_eq!(
+            self.active,
+            self.halted.iter().filter(|h| !**h).count(),
+            "active counter out of sync with halt votes"
+        );
+        self.active
+    }
+
+    /// Snapshot the halt votes (checkpointing).
+    pub fn halted_snapshot(&self) -> Vec<bool> {
+        self.halted.clone()
+    }
+
+    /// Replace all halt votes at once (checkpoint restore), resetting the
+    /// active counter from the restored votes.
+    pub fn restore_halted(&mut self, halted: Vec<bool>) {
+        assert_eq!(halted.len(), self.vertices.len());
+        self.active = halted.iter().filter(|h| !**h).count();
+        self.halted = halted;
     }
 }
 
@@ -58,13 +111,39 @@ mod tests {
         assert_eq!(d.len(), 2);
         assert!(!d.is_empty());
         assert_eq!(d.active_count(), 2);
+        assert!(d.any_active());
     }
 
     #[test]
     fn halting_reduces_active_count() {
         let mut d = PartitionData::new(vec![VertexId::new(0)], vec![0u32]);
-        d.halted[0] = true;
+        d.set_halted(0, true);
+        assert!(d.halted(0));
         assert_eq!(d.active_count(), 0);
+        assert!(!d.any_active());
+    }
+
+    #[test]
+    fn counter_tracks_reactivation_and_idempotent_votes() {
+        let mut d = PartitionData::new((0..4).map(VertexId::new).collect(), vec![0u32; 4]);
+        d.set_halted(1, true);
+        d.set_halted(1, true); // repeat vote must not double-decrement
+        d.set_halted(3, true);
+        assert_eq!(d.active_count(), 2);
+        d.set_halted(1, false); // Pregel reactivation
+        d.set_halted(1, false);
+        assert_eq!(d.active_count(), 3);
+    }
+
+    #[test]
+    fn restore_resets_counter() {
+        let mut d = PartitionData::new((0..3).map(VertexId::new).collect(), vec![0u32; 3]);
+        d.set_halted(0, true);
+        assert_eq!(d.halted_snapshot(), vec![true, false, false]);
+        d.restore_halted(vec![true, true, false]);
+        assert_eq!(d.active_count(), 1);
+        d.restore_halted(vec![false, false, false]);
+        assert_eq!(d.active_count(), 3);
     }
 
     #[test]
@@ -78,5 +157,6 @@ mod tests {
         let d = PartitionData::<u32>::new(vec![], vec![]);
         assert!(d.is_empty());
         assert_eq!(d.active_count(), 0);
+        assert!(!d.any_active());
     }
 }

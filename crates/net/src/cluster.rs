@@ -16,7 +16,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -33,10 +33,11 @@ use sg_sync::{
 
 use crate::audit::{AuditConfig, AuditHub};
 use crate::link::{CtrlConn, FrameReader};
-use crate::telemetry::{TelemetryHub, TelemetryServer};
+use crate::telemetry::{QueryService, TelemetryHub, TelemetryServer};
 use crate::wire::{
     read_frame, FaultPlan, Message, RunSpec, WireError, WireMetricRow, WireTraceEvent, WireTxn,
-    PROTOCOL_VERSION,
+    PROTOCOL_VERSION, QUERY_OP_MULTI_LOOKUP, QUERY_OP_SNAP_CHECKSUM, QUERY_OP_SNAP_CLOSE,
+    QUERY_OP_SNAP_OPEN, QUERY_OP_SNAP_READ,
 };
 use crate::{Clock, NetError};
 
@@ -155,6 +156,10 @@ pub struct ClusterConfig {
     /// JSONL file receiving audit violation sentinels and threshold
     /// alerts. Only consulted when the audit plane is on.
     pub audit_log: Option<String>,
+    /// Automation hook: receives the telemetry listener's bound address
+    /// (`host:port`) once it is up — lets a test or harness query a
+    /// `:0`-bound listener without parsing stderr. `None` for normal runs.
+    pub telemetry_addr_tx: Option<std::sync::mpsc::Sender<String>>,
 }
 
 impl ClusterConfig {
@@ -179,6 +184,7 @@ impl ClusterConfig {
             telemetry_interval_ms: 0,
             audit_interval_ms: 0,
             audit_log: None,
+            telemetry_addr_tx: None,
         }
     }
 }
@@ -287,6 +293,7 @@ struct Coord {
     metrics: Arc<Metrics>,
     hub: Arc<TelemetryHub>,
     audit: Option<Arc<AuditHub>>,
+    query: QueryHub,
     halting: AtomicBool,
 }
 
@@ -432,6 +439,315 @@ impl SyncTransport for CoordTransport {
     fn on_control_message(&self, from: WorkerId, to: WorkerId) {
         self.coord
             .send(from.raw(), &Message::RequestTokenRelay { target: to.raw() });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serving plane: response correlation + the GET /query service
+// ---------------------------------------------------------------------------
+
+/// How long an HTTP serving thread waits for a worker's `QueryResponse`
+/// before reporting the query failed.
+const QUERY_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Cap on the vertices one k-hop expansion resolves, so a high `k` on a
+/// dense graph cannot turn a point query into a whole-graph scan.
+const KHOP_LIMIT: usize = 100_000;
+
+/// One worker's answer to a serving-plane request.
+struct QueryReply {
+    ok: bool,
+    values: Vec<u64>,
+    checksum: u64,
+    count: u64,
+}
+
+/// Correlates `QueryResponse` frames — which arrive on the per-worker
+/// reader threads — with the HTTP serving thread that issued the matching
+/// `QueryRequest`s. Ids are allocated here, never reused, and a reply for
+/// an id nobody registered (e.g. after a timeout) is dropped silently.
+#[derive(Default)]
+struct QueryHub {
+    next_id: AtomicU64,
+    pending: Mutex<HashMap<u64, Option<QueryReply>>>,
+    cv: Condvar,
+}
+
+impl QueryHub {
+    /// Allocate a request id and register interest in its response.
+    fn begin(&self) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+        self.pending.lock().unwrap().insert(id, None);
+        id
+    }
+
+    /// Deliver a worker's response to whoever is waiting on `id`.
+    fn complete(&self, id: u64, reply: QueryReply) {
+        let mut pending = self.pending.lock().unwrap();
+        if let Some(slot) = pending.get_mut(&id) {
+            *slot = Some(reply);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block until response `id` lands (or [`QUERY_TIMEOUT`] passes),
+    /// deregistering the id either way.
+    fn wait(&self, id: u64) -> Option<QueryReply> {
+        let deadline = Instant::now() + QUERY_TIMEOUT;
+        let mut pending = self.pending.lock().unwrap();
+        loop {
+            if pending.get(&id).is_some_and(|slot| slot.is_some()) {
+                return pending.remove(&id).flatten();
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                pending.remove(&id);
+                return None;
+            }
+            pending = self.cv.wait_timeout(pending, deadline - now).unwrap().0;
+        }
+    }
+}
+
+/// The coordinator-side `GET /query` handler: parses the query string,
+/// routes serving-plane ops to the owning workers over the control plane,
+/// and merges their replies into one JSON document.
+///
+/// Vertex state is single-owner, which makes the distributed-snapshot
+/// argument local: `op=snapshot` pins each worker's own MVCC commit
+/// frontier, and since no vertex is writable from two workers the union
+/// of the per-worker snapshots is a consistent global view. Checksums
+/// fold with wrapping addition over disjoint owned sets, so two equal
+/// sums at the same handle certify the same visible global state.
+struct ClusterQueryService {
+    coord: Arc<Coord>,
+    graph: Arc<Graph>,
+    pm: Arc<PartitionMap>,
+    workers: u32,
+    next_snap: AtomicU64,
+}
+
+/// Value of `key` in an `a=1&b=2` query string.
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|kv| {
+        kv.split_once('=')
+            .filter(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    })
+}
+
+/// Render a wire value as JSON, mapping the no-committed-version
+/// sentinel to `null`.
+fn json_value(w: u64) -> String {
+    if w == u64::MAX {
+        "null".into()
+    } else {
+        w.to_string()
+    }
+}
+
+impl ClusterQueryService {
+    /// Send one request per `(rank, vertices)` pair, then collect every
+    /// reply. Requests go out before the first wait so the workers
+    /// resolve them concurrently.
+    fn fan_out(
+        &self,
+        op: u8,
+        a: u64,
+        batches: Vec<(u32, Vec<u32>)>,
+    ) -> Result<Vec<(u32, Vec<u32>, QueryReply)>, String> {
+        let sent: Vec<(u64, u32, Vec<u32>)> = batches
+            .into_iter()
+            .map(|(rank, vertices)| {
+                let id = self.coord.query.begin();
+                self.coord.send(
+                    rank,
+                    &Message::QueryRequest {
+                        id,
+                        op,
+                        a,
+                        b: 0,
+                        vertices: vertices.clone(),
+                    },
+                );
+                (id, rank, vertices)
+            })
+            .collect();
+        let mut out = Vec::with_capacity(sent.len());
+        for (id, rank, vertices) in sent {
+            let reply =
+                self.coord.query.wait(id).ok_or_else(|| {
+                    format!("worker {rank} did not answer within {QUERY_TIMEOUT:?}")
+                })?;
+            if !reply.ok {
+                return Err(format!(
+                    "worker {rank} rejected the request (op {op}, operand {a})"
+                ));
+            }
+            out.push((rank, vertices, reply));
+        }
+        Ok(out)
+    }
+
+    /// Resolve `vertices` — at the latest committed frontier, or inside
+    /// snapshot `snap` — returning `(vertex, wire value)` pairs sorted by
+    /// vertex id.
+    fn resolve(&self, vertices: &[u32], snap: Option<u64>) -> Result<Vec<(u32, u64)>, String> {
+        let mut per_worker: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &v in vertices {
+            per_worker
+                .entry(self.pm.worker_of(VertexId::new(v)).raw())
+                .or_default()
+                .push(v);
+        }
+        let (op, a) = match snap {
+            Some(handle) => (QUERY_OP_SNAP_READ, handle),
+            None => (QUERY_OP_MULTI_LOOKUP, 0),
+        };
+        let mut out = Vec::with_capacity(vertices.len());
+        for (rank, vs, reply) in self.fan_out(op, a, per_worker.into_iter().collect())? {
+            if reply.values.len() != vs.len() {
+                return Err(format!(
+                    "worker {rank} answered {} values for {} vertices",
+                    reply.values.len(),
+                    vs.len()
+                ));
+            }
+            out.extend(vs.into_iter().zip(reply.values));
+        }
+        out.sort_unstable_by_key(|&(v, _)| v);
+        Ok(out)
+    }
+
+    /// Parse and bounds-check a vertex-id parameter.
+    fn vertex_param(&self, query: &str, key: &str) -> Result<u32, String> {
+        let v: u32 = query_param(query, key)
+            .ok_or_else(|| format!("missing parameter '{key}'"))?
+            .parse()
+            .map_err(|_| format!("parameter '{key}' is not a vertex id"))?;
+        if u64::from(v) >= u64::from(self.graph.num_vertices()) {
+            return Err(format!(
+                "vertex {v} out of range (graph has {} vertices)",
+                self.graph.num_vertices()
+            ));
+        }
+        Ok(v)
+    }
+
+    /// The vertices within `k` hops of `v` (including `v`), capped at
+    /// [`KHOP_LIMIT`].
+    fn khop_frontier(&self, v: u32, k: u32) -> Vec<u32> {
+        let mut seen: HashSet<u32> = HashSet::from([v]);
+        let mut frontier = vec![v];
+        for _ in 0..k {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for t in self.graph.out_neighbors(VertexId::new(u)) {
+                    if seen.len() >= KHOP_LIMIT {
+                        break;
+                    }
+                    if seen.insert(t.raw()) {
+                        next.push(t.raw());
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        let mut all: Vec<u32> = seen.into_iter().collect();
+        all.sort_unstable();
+        all
+    }
+
+    fn all_ranks(&self) -> Vec<(u32, Vec<u32>)> {
+        (0..self.workers).map(|r| (r, Vec::new())).collect()
+    }
+
+    fn snap_param(&self, query: &str) -> Result<u64, String> {
+        query_param(query, "snap")
+            .ok_or_else(|| "missing parameter 'snap'".to_string())?
+            .parse()
+            .map_err(|_| "parameter 'snap' is not a snapshot handle".to_string())
+    }
+}
+
+impl QueryService for ClusterQueryService {
+    fn handle(&self, query: &str) -> Result<String, String> {
+        match query_param(query, "op") {
+            Some("lookup") => {
+                let v = self.vertex_param(query, "v")?;
+                let snap = match query_param(query, "snap") {
+                    Some(_) => Some(self.snap_param(query)?),
+                    None => None,
+                };
+                let resolved = self.resolve(&[v], snap)?;
+                Ok(format!(
+                    "{{\"op\":\"lookup\",\"vertex\":{v},\"value\":{}}}\n",
+                    json_value(resolved[0].1)
+                ))
+            }
+            Some("khop") => {
+                let v = self.vertex_param(query, "v")?;
+                let k: u32 = query_param(query, "k")
+                    .ok_or_else(|| "missing parameter 'k'".to_string())?
+                    .parse()
+                    .map_err(|_| "parameter 'k' is not a hop count".to_string())?;
+                let snap = match query_param(query, "snap") {
+                    Some(_) => Some(self.snap_param(query)?),
+                    None => None,
+                };
+                let vertices = self.khop_frontier(v, k);
+                let resolved = self.resolve(&vertices, snap)?;
+                let rows: Vec<String> = resolved
+                    .iter()
+                    .map(|&(u, w)| format!("{{\"v\":{u},\"value\":{}}}", json_value(w)))
+                    .collect();
+                Ok(format!(
+                    "{{\"op\":\"khop\",\"v\":{v},\"k\":{k},\"count\":{},\"vertices\":[{}]}}\n",
+                    rows.len(),
+                    rows.join(",")
+                ))
+            }
+            Some("snapshot") => {
+                let handle = self.next_snap.fetch_add(1, Ordering::SeqCst) + 1;
+                let mut replies = self.fan_out(QUERY_OP_SNAP_OPEN, handle, self.all_ranks())?;
+                replies.sort_unstable_by_key(|&(rank, ..)| rank);
+                // Each worker reports its pinned local read frontier in
+                // the `checksum` field of the SnapOpen reply.
+                let read_ts: Vec<String> = replies
+                    .iter()
+                    .map(|(_, _, r)| r.checksum.to_string())
+                    .collect();
+                Ok(format!(
+                    "{{\"op\":\"snapshot\",\"snap\":{handle},\"read_ts\":[{}]}}\n",
+                    read_ts.join(",")
+                ))
+            }
+            Some("checksum") => {
+                let handle = self.snap_param(query)?;
+                let replies = self.fan_out(QUERY_OP_SNAP_CHECKSUM, handle, self.all_ranks())?;
+                let mut checksum = 0u64;
+                let mut count = 0u64;
+                for (_, _, r) in &replies {
+                    checksum = checksum.wrapping_add(r.checksum);
+                    count += r.count;
+                }
+                Ok(format!(
+                    "{{\"op\":\"checksum\",\"snap\":{handle},\"checksum\":{checksum},\"count\":{count}}}\n"
+                ))
+            }
+            Some("close") => {
+                let handle = self.snap_param(query)?;
+                self.fan_out(QUERY_OP_SNAP_CLOSE, handle, self.all_ranks())?;
+                Ok(format!("{{\"op\":\"close\",\"snap\":{handle}}}\n"))
+            }
+            Some(other) => Err(format!(
+                "unknown op '{other}' (expected lookup, khop, snapshot, checksum, or close)"
+            )),
+            None => Err("missing parameter 'op'".into()),
+        }
     }
 }
 
@@ -718,17 +1034,6 @@ fn drive(
     } else {
         None
     };
-    let server = match &cfg.telemetry_addr {
-        Some(addr) => {
-            let srv = TelemetryServer::start_with_audit(addr, Arc::clone(&hub), audit.clone())?;
-            eprintln!("telemetry: serving http://{}/metrics", srv.addr);
-            if audit.is_some() {
-                eprintln!("audit: serving http://{}/audit", srv.addr);
-            }
-            Some(srv)
-        }
-        None => None,
-    };
     let coord = Arc::new(Coord {
         state: Mutex::new(CoordState {
             compute_done: 0,
@@ -750,8 +1055,34 @@ fn drive(
         metrics: Arc::clone(&metrics),
         hub: Arc::clone(&hub),
         audit: audit.clone(),
+        query: QueryHub::default(),
         halting: AtomicBool::new(false),
     });
+    // The HTTP listener starts after the control connections exist so the
+    // /query service can route to live workers from its first request.
+    let server = match &cfg.telemetry_addr {
+        Some(addr) => {
+            let service: Arc<dyn QueryService> = Arc::new(ClusterQueryService {
+                coord: Arc::clone(&coord),
+                graph: Arc::new(graph.clone()),
+                pm: Arc::clone(pm),
+                workers: cfg.workers,
+                next_snap: AtomicU64::new(0),
+            });
+            let srv =
+                TelemetryServer::start_full(addr, Arc::clone(&hub), audit.clone(), Some(service))?;
+            eprintln!("telemetry: serving http://{}/metrics", srv.addr);
+            if audit.is_some() {
+                eprintln!("audit: serving http://{}/audit", srv.addr);
+            }
+            eprintln!("serving: queries at http://{}/query", srv.addr);
+            if let Some(tx) = &cfg.telemetry_addr_tx {
+                let _ = tx.send(srv.addr.to_string());
+            }
+            Some(srv)
+        }
+        None => None,
+    };
     let sync = build_technique(cfg.technique, graph, pm, Arc::clone(&metrics));
     let transport = CoordTransport {
         coord: Arc::clone(&coord),
@@ -1002,6 +1333,23 @@ fn reader_thread(
                     .hub
                     .store(rank as usize, WireMetricRow::to_snapshot(&rows));
             }
+            Message::QueryResponse {
+                id,
+                ok,
+                values,
+                checksum,
+                count,
+            } => {
+                coord.query.complete(
+                    id,
+                    QueryReply {
+                        ok: ok == 1,
+                        values,
+                        checksum,
+                        count,
+                    },
+                );
+            }
             _ => {}
         }
     }
@@ -1127,5 +1475,96 @@ mod tests {
             && r.labels
                 .iter()
                 .any(|(k, v)| k == "technique" && v == "single-token")));
+    }
+
+    #[test]
+    fn query_hub_correlates_out_of_order_replies() {
+        let hub = QueryHub::default();
+        let a = hub.begin();
+        let b = hub.begin();
+        assert_ne!(a, b);
+        hub.complete(
+            b,
+            QueryReply {
+                ok: true,
+                values: vec![7],
+                checksum: 0,
+                count: 1,
+            },
+        );
+        hub.complete(
+            a,
+            QueryReply {
+                ok: false,
+                values: vec![],
+                checksum: 9,
+                count: 0,
+            },
+        );
+        // A reply for an id nobody registered is dropped, not stored.
+        hub.complete(
+            999,
+            QueryReply {
+                ok: true,
+                values: vec![],
+                checksum: 0,
+                count: 0,
+            },
+        );
+        let ra = hub.wait(a).expect("reply a");
+        let rb = hub.wait(b).expect("reply b");
+        assert!(!ra.ok && ra.checksum == 9);
+        assert!(rb.ok && rb.values == [7]);
+        assert!(hub.pending.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn query_endpoint_serves_lookups_and_snapshots_mid_run() {
+        // SSSP on a directed ring advances one hop per superstep, so the
+        // run stays busy for hundreds of supersteps while the serving
+        // thread queries it over HTTP.
+        let g = gen::ring(400);
+        let mut cfg = ClusterConfig::new(2, TechniqueKind::VertexLock, Workload::Sssp(0));
+        cfg.max_supersteps = 1_000;
+        cfg.telemetry_addr = Some("127.0.0.1:0".into());
+        let (tx, rx) = std::sync::mpsc::channel();
+        cfg.telemetry_addr_tx = Some(tx);
+        let g2 = g.clone();
+        let run = std::thread::spawn(move || run_cluster(&g2, &cfg));
+        let addr = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("listener address");
+        let get = |path: &str| crate::http_get(&addr, path, Duration::from_secs(5));
+
+        // Point lookup at the latest committed frontier: the source
+        // vertex commits distance 0 in the first superstep.
+        let body = get("/query?op=lookup&v=0").expect("lookup");
+        assert!(body.contains("\"vertex\":0"), "bad lookup body: {body}");
+
+        // k-hop neighborhood resolves across both workers: the ring is
+        // symmetric, so 3 hops from vertex 0 reach {0, ±1, ±2, ±3}.
+        let body = get("/query?op=khop&v=0&k=3").expect("khop");
+        assert!(body.contains("\"count\":7"), "bad khop body: {body}");
+
+        // Consistent snapshot: open pins every worker's frontier; two
+        // checksums of the same handle — taken while the run keeps
+        // committing — must certify the identical visible state.
+        let body = get("/query?op=snapshot").expect("snapshot open");
+        assert!(body.contains("\"snap\":1"), "bad snapshot body: {body}");
+        let c1 = get("/query?op=checksum&snap=1").expect("first checksum");
+        let c2 = get("/query?op=checksum&snap=1").expect("second checksum");
+        assert_eq!(c1, c2, "snapshot checksum drifted between reads");
+        assert!(c1.contains("\"count\":400"), "bad checksum body: {c1}");
+        let body = get("/query?op=close&snap=1").expect("snapshot close");
+        assert!(body.contains("\"op\":\"close\""));
+
+        // Bad requests surface as HTTP 400s, not hangs.
+        assert!(get("/query?op=nope").is_err());
+        assert!(get("/query?op=lookup&v=99999").is_err());
+
+        let out = run.join().unwrap().expect("cluster run");
+        assert!(out.converged);
+        let h = out.history.expect("history recorded");
+        assert!(h.is_one_copy_serializable(&g));
     }
 }

@@ -57,7 +57,7 @@ pub mod worker;
 pub use audit::{AuditConfig, AuditHub};
 pub use cluster::{run_cluster, ClusterConfig, ClusterOutcome, SpawnMode, Workload};
 pub use fault::{parse_fault_plan, FaultAction, FaultInjector};
-pub use telemetry::{http_get, TelemetryHub, TelemetryServer};
+pub use telemetry::{http_get, QueryService, TelemetryHub, TelemetryServer};
 pub use wire::{
     FaultPlan, Frame, Message, RunSpec, WireError, WireMetricRow, WireValue, PROTOCOL_VERSION,
 };

@@ -14,18 +14,22 @@
 //! listener with a handful of routes, no keep-alive, no dependencies:
 //!
 //! * `GET /metrics` — Prometheus text exposition of the aggregate;
-//! * `GET /json`   — the same aggregate as JSON (what `sg-top` polls);
-//! * `GET /audit`  — the live serializability audit document (verdicts,
-//!   heatmaps, lag), when the run has an [`AuditHub`] attached.
+//! * `GET /json`    — the same aggregate as JSON (what `sg-top` polls);
+//! * `GET /audit`   — the live serializability audit document (verdicts,
+//!   heatmaps, lag), when the run has an [`AuditHub`] attached;
+//! * `GET /healthz` — liveness probe: `200` with an uptime document;
+//! * `GET /query`   — the serving plane (point lookups, neighborhoods,
+//!   consistent snapshots), when the run attached a [`QueryService`].
 //!
 //! Every response carries a real status line (`200 OK`, `404 Not
-//! Found`, `405 Method Not Allowed`) and an exact `Content-Length`.
+//! Found`, `405 Method Not Allowed` with an `Allow: GET` header) and an
+//! exact `Content-Length`.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sg_metrics::{Telemetry, TelemetrySnapshot};
 
@@ -77,6 +81,15 @@ impl TelemetryHub {
     }
 }
 
+/// A pluggable handler for `GET /query`, keeping the listener decoupled
+/// from whatever owns the vertex stores (the cluster coordinator, in
+/// practice). Receives the raw query string (the part after `?`, possibly
+/// empty); returns a JSON body, or a message served as a `400`.
+pub trait QueryService: Send + Sync {
+    /// Answer one query.
+    fn handle(&self, query: &str) -> Result<String, String>;
+}
+
 /// Handle to a running scrape server; stops (and joins) the accept
 /// thread on [`TelemetryServer::stop`] or drop.
 pub struct TelemetryServer {
@@ -99,11 +112,23 @@ impl TelemetryServer {
         hub: Arc<TelemetryHub>,
         audit: Option<Arc<AuditHub>>,
     ) -> std::io::Result<TelemetryServer> {
+        Self::start_full(addr, hub, audit, None)
+    }
+
+    /// The full listener: scrapes, the audit document, and — when a
+    /// [`QueryService`] is attached — the `GET /query` serving plane.
+    pub fn start_full(
+        addr: &str,
+        hub: Arc<TelemetryHub>,
+        audit: Option<Arc<AuditHub>>,
+        query: Option<Arc<dyn QueryService>>,
+    ) -> std::io::Result<TelemetryServer> {
         let listener = TcpListener::bind(addr)?;
         let bound = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let started = Instant::now();
         let thread = std::thread::Builder::new()
             .name("sg-net-telemetry".into())
             .spawn(move || {
@@ -113,7 +138,13 @@ impl TelemetryServer {
                             // Serve inline: scrapes are small and rare, and
                             // a slow client cannot block the cluster (only
                             // this loop, briefly, behind a read timeout).
-                            let _ = serve_one(stream, &hub, audit.as_deref());
+                            let _ = serve_one(
+                                stream,
+                                &hub,
+                                audit.as_deref(),
+                                query.as_deref(),
+                                started,
+                            );
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(25));
@@ -148,6 +179,8 @@ fn serve_one(
     mut stream: TcpStream,
     hub: &TelemetryHub,
     audit: Option<&AuditHub>,
+    query: Option<&dyn QueryService>,
+    started: Instant,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(1)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
@@ -167,7 +200,13 @@ fn serve_one(
     }
     let head = String::from_utf8_lossy(&buf);
     let mut parts = head.split_whitespace();
-    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (path, query_string) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    // A non-GET to a real route is a method problem, not a routing problem:
+    // 405 plus the Allow header RFC 9110 requires, never a 404 fallthrough.
     let (status, content_type, body) = if method != "GET" {
         (
             "405 Method Not Allowed",
@@ -190,17 +229,45 @@ fn serve_one(
                     "no audit plane on this run (enable --audit-interval-ms)\n".to_string(),
                 ),
             },
+            "/healthz" => {
+                let up = started.elapsed();
+                (
+                    "200 OK",
+                    "application/json",
+                    format!(
+                        "{{\"status\":\"ok\",\"uptime_ms\":{}}}\n",
+                        up.as_millis() as u64
+                    ),
+                )
+            }
+            "/query" => match query {
+                Some(q) => match q.handle(query_string) {
+                    Ok(doc) => ("200 OK", "application/json", doc),
+                    Err(msg) => ("400 Bad Request", "text/plain", format!("{msg}\n")),
+                },
+                None => (
+                    "404 Not Found",
+                    "text/plain",
+                    "no serving plane on this endpoint\n".to_string(),
+                ),
+            },
             "/" => (
                 "200 OK",
                 "text/plain",
-                "sg-obs scrape endpoint: GET /metrics (Prometheus text), /json, /audit\n"
+                "sg-obs scrape endpoint: GET /metrics (Prometheus text), /json, /audit, \
+                 /healthz, /query\n"
                     .to_string(),
             ),
             _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
         }
     };
+    let allow = if status.starts_with("405") {
+        "Allow: GET\r\n"
+    } else {
+        ""
+    };
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n{allow}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(response.as_bytes())
@@ -335,6 +402,75 @@ mod tests {
         let (status, headers, body) = raw_get(&addr, "/audit");
         assert_eq!(status, "HTTP/1.1 404 Not Found");
         assert_eq!(content_length(&headers), body.len());
+        server.stop();
+    }
+
+    #[test]
+    fn healthz_reports_uptime() {
+        let hub = Arc::new(TelemetryHub::new(0, Arc::new(Telemetry::new())));
+        let server = TelemetryServer::start("127.0.0.1:0", Arc::clone(&hub)).unwrap();
+        let (status, headers, body) = raw_get(&server.addr.to_string(), "/healthz");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(content_length(&headers), body.len());
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"uptime_ms\":"), "{body}");
+        server.stop();
+    }
+
+    #[test]
+    fn non_get_is_405_with_allow_header() {
+        let hub = Arc::new(TelemetryHub::new(0, Arc::new(Telemetry::new())));
+        let server = TelemetryServer::start("127.0.0.1:0", Arc::clone(&hub)).unwrap();
+        let addr = server.addr.to_string();
+        for method in ["POST", "DELETE", "PUT"] {
+            let mut stream = TcpStream::connect(&addr).unwrap();
+            write!(
+                stream,
+                "{method} /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+            )
+            .unwrap();
+            let mut raw = String::new();
+            stream.read_to_string(&mut raw).unwrap();
+            assert!(
+                raw.starts_with("HTTP/1.1 405 Method Not Allowed"),
+                "{method}: {raw}"
+            );
+            assert!(raw.contains("\r\nAllow: GET\r\n"), "{method}: {raw}");
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn query_route_dispatches_to_the_service() {
+        struct Echo;
+        impl QueryService for Echo {
+            fn handle(&self, query: &str) -> Result<String, String> {
+                match query {
+                    "boom" => Err("bad query".into()),
+                    q => Ok(format!("{{\"echo\":\"{q}\"}}")),
+                }
+            }
+        }
+        let hub = Arc::new(TelemetryHub::new(0, Arc::new(Telemetry::new())));
+        let server = TelemetryServer::start_full(
+            "127.0.0.1:0",
+            Arc::clone(&hub),
+            None,
+            Some(Arc::new(Echo)),
+        )
+        .unwrap();
+        let addr = server.addr.to_string();
+        let body = http_get(&addr, "/query?op=lookup&v=3", Duration::from_secs(2)).unwrap();
+        assert_eq!(body, "{\"echo\":\"op=lookup&v=3\"}");
+        let (status, _, body) = raw_get(&addr, "/query?boom");
+        assert_eq!(status, "HTTP/1.1 400 Bad Request");
+        assert_eq!(body, "bad query\n");
+        server.stop();
+
+        // Without a service the route is a plain 404.
+        let server = TelemetryServer::start("127.0.0.1:0", Arc::clone(&hub)).unwrap();
+        let (status, _, _) = raw_get(&server.addr.to_string(), "/query?op=lookup");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
         server.stop();
     }
 

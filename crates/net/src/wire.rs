@@ -27,8 +27,11 @@ pub const MAX_FRAME_LEN: usize = 64 << 20;
 /// `TelemetryUpload` control frame, and the `telemetry_interval_ms` field
 /// of [`RunSpec`]. v3 added the streaming audit plane: the `AuditUpload`
 /// control frame (incremental Lamport-watermarked transaction batches) and
-/// the `audit_interval_ms` field of [`RunSpec`].
-pub const PROTOCOL_VERSION: u8 = 3;
+/// the `audit_interval_ms` field of [`RunSpec`]. v4 added the serving
+/// plane: `QueryRequest`/`QueryResponse` control frames, letting the
+/// coordinator serve point lookups, neighborhoods, and consistent MVCC
+/// snapshots over workers' vertex stores while the run executes.
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Codec failure. All variants are recoverable at the connection level
 /// (the connection is dropped and re-established; the process never
@@ -434,7 +437,40 @@ pub enum Message {
         watermark: u64,
     },
 
+    /// Answer to a `QueryRequest` (worker -> coordinator).
+    QueryResponse {
+        /// Echo of the request id.
+        id: u64,
+        /// 1 = served; 0 = the worker could not satisfy it (e.g. unknown
+        /// snapshot handle after a worker restart).
+        ok: u8,
+        /// Op-dependent values (wire-encoded vertex values for lookups and
+        /// snapshot reads, in request order; `u64::MAX` marks a vertex
+        /// with no committed version).
+        values: Vec<u64>,
+        /// Op-dependent scalar: snapshot `read_ts` for `SnapOpen`, the
+        /// store checksum for `SnapChecksum`, else 0.
+        checksum: u64,
+        /// Vertices this worker owns (checksum combining weight).
+        count: u64,
+    },
+
     // -- control plane: coordinator -> worker -------------------------------
+    /// Serving-plane query against this worker's MVCC vertex store
+    /// (coordinator -> worker). `op` selects the operation; see
+    /// [`QUERY_OP_MULTI_LOOKUP`] and friends for the operand meanings.
+    QueryRequest {
+        /// Coordinator-chosen id echoed in the response.
+        id: u64,
+        /// Operation selector (`QUERY_OP_*`).
+        op: u8,
+        /// First operand (snapshot handle for snapshot ops).
+        a: u64,
+        /// Second operand (reserved).
+        b: u64,
+        /// Vertices to resolve (for lookups and snapshot reads).
+        vertices: Vec<u32>,
+    },
     /// Full run description (graph, partitioning, technique, faults).
     Setup {
         /// The run spec.
@@ -563,6 +599,20 @@ const K_HEARTBEAT: u8 = 24;
 const K_TELEMETRY_UPLOAD: u8 = 25;
 const K_HEARTBEAT_ACK: u8 = 26;
 const K_AUDIT_UPLOAD: u8 = 27;
+const K_QUERY_REQ: u8 = 28;
+const K_QUERY_RESP: u8 = 29;
+
+/// `QueryRequest` op: resolve `vertices` at the latest committed frontier.
+pub const QUERY_OP_MULTI_LOOKUP: u8 = 0;
+/// `QueryRequest` op: open a snapshot, pinning GC; the response's
+/// `checksum` field carries the worker-local `read_ts`.
+pub const QUERY_OP_SNAP_OPEN: u8 = 1;
+/// `QueryRequest` op: resolve `vertices` in snapshot `a`.
+pub const QUERY_OP_SNAP_READ: u8 = 2;
+/// `QueryRequest` op: release snapshot `a`.
+pub const QUERY_OP_SNAP_CLOSE: u8 = 3;
+/// `QueryRequest` op: checksum every owned vertex in snapshot `a`.
+pub const QUERY_OP_SNAP_CHECKSUM: u8 = 4;
 
 fn put_txns(buf: &mut Vec<u8>, txns: &[WireTxn]) {
     put_u32(buf, txns.len() as u32);
@@ -627,6 +677,8 @@ impl Message {
             Message::HeartbeatAck { .. } => K_HEARTBEAT_ACK,
             Message::TelemetryUpload { .. } => K_TELEMETRY_UPLOAD,
             Message::AuditUpload { .. } => K_AUDIT_UPLOAD,
+            Message::QueryRequest { .. } => K_QUERY_REQ,
+            Message::QueryResponse { .. } => K_QUERY_RESP,
         }
     }
 
@@ -779,6 +831,38 @@ impl Message {
                         put_u64(buf, v);
                     }
                 }
+            }
+            Message::QueryRequest {
+                id,
+                op,
+                a,
+                b,
+                vertices,
+            } => {
+                put_u64(buf, *id);
+                put_u8(buf, *op);
+                put_u64(buf, *a);
+                put_u64(buf, *b);
+                put_u32(buf, vertices.len() as u32);
+                for &v in vertices {
+                    put_u32(buf, v);
+                }
+            }
+            Message::QueryResponse {
+                id,
+                ok,
+                values,
+                checksum,
+                count,
+            } => {
+                put_u64(buf, *id);
+                put_u8(buf, *ok);
+                put_u32(buf, values.len() as u32);
+                for &v in values {
+                    put_u64(buf, v);
+                }
+                put_u64(buf, *checksum);
+                put_u64(buf, *count);
             }
             Message::Heartbeat { echo_ns } => put_u64(buf, *echo_ns),
             Message::HeartbeatAck {
@@ -951,6 +1035,34 @@ impl Message {
                     .collect::<Result<_, WireError>>()?;
                 Message::TelemetryUpload { rows }
             }
+            K_QUERY_REQ => {
+                let id = r.u64()?;
+                let op = r.u8()?;
+                let a = r.u64()?;
+                let b = r.u64()?;
+                let n = r.len(4)?;
+                let vertices = (0..n).map(|_| r.u32()).collect::<Result<_, _>>()?;
+                Message::QueryRequest {
+                    id,
+                    op,
+                    a,
+                    b,
+                    vertices,
+                }
+            }
+            K_QUERY_RESP => {
+                let id = r.u64()?;
+                let ok = r.u8()?;
+                let n = r.len(8)?;
+                let values = (0..n).map(|_| r.u64()).collect::<Result<_, _>>()?;
+                Message::QueryResponse {
+                    id,
+                    ok,
+                    values,
+                    checksum: r.u64()?,
+                    count: r.u64()?,
+                }
+            }
             other => return Err(WireError::BadKind(other)),
         };
         Ok(msg)
@@ -1102,6 +1214,41 @@ mod tests {
         let n = (bytes.len() - 4) as u32;
         bytes[..4].copy_from_slice(&n.to_le_bytes());
         assert_eq!(Frame::decode(&bytes[4..]), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn query_frames_round_trip() {
+        for msg in [
+            Message::QueryRequest {
+                id: 7,
+                op: QUERY_OP_SNAP_READ,
+                a: 42,
+                b: 0,
+                vertices: vec![0, 5, 99],
+            },
+            Message::QueryRequest {
+                id: 8,
+                op: QUERY_OP_SNAP_OPEN,
+                a: 0,
+                b: 0,
+                vertices: vec![],
+            },
+            Message::QueryResponse {
+                id: 7,
+                ok: 1,
+                values: vec![u64::MAX, 3, 17],
+                checksum: 0xDEAD_BEEF,
+                count: 12,
+            },
+        ] {
+            let f = Frame {
+                seq: 4,
+                clock: 5,
+                msg,
+            };
+            let bytes = f.encode();
+            assert_eq!(Frame::decode(&bytes[4..]).unwrap(), f);
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! write-all finds them. Workers run one compute thread each — rank is
 //! worker is thread, which is the paper's single-threaded-worker setting.
 
+use std::collections::HashMap;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -43,8 +44,11 @@ use crate::fault::FaultInjector;
 use crate::link::{accept_handshake, CtrlConn, FrameReader, PeerHandler, PeerLink};
 use crate::wire::{
     Message, RunSpec, WireMetricRow, WireTraceEvent, WireTxn, WireValue, PROTOCOL_VERSION,
+    QUERY_OP_MULTI_LOOKUP, QUERY_OP_SNAP_CHECKSUM, QUERY_OP_SNAP_CLOSE, QUERY_OP_SNAP_OPEN,
+    QUERY_OP_SNAP_READ,
 };
 use crate::{stamp, Clock, NetError};
+use sg_store::{checksum_word, Snapshot, VertexStore};
 
 const CONNECT_RETRIES: u32 = 100;
 const CONNECT_RETRY_DELAY: Duration = Duration::from_millis(50);
@@ -194,6 +198,19 @@ struct AuditShip {
     inflight: AtomicU64,
 }
 
+/// The worker's half of the serving plane: an MVCC store over
+/// wire-encoded vertex values, written through by every vertex execution
+/// and read by the dispatcher when coordinator `QueryRequest` frames
+/// arrive. Snapshot handles are coordinator-chosen, so one logical
+/// cluster snapshot pins a local snapshot on every worker.
+struct Serve {
+    vstore: Arc<VertexStore<u64>>,
+    /// Vertices this rank owns (checksum domain), ascending.
+    owned: Vec<u32>,
+    /// Coordinator handle -> local pinned snapshot.
+    snaps: Mutex<HashMap<u64, Snapshot>>,
+}
+
 /// State shared between the compute thread, the dispatcher, and the
 /// link reader threads.
 struct Shared {
@@ -210,6 +227,7 @@ struct Shared {
     buffer_cap: usize,
     wtel: WorkerTelemetry,
     audit: Option<AuditShip>,
+    serve: Serve,
 }
 
 impl Shared {
@@ -316,6 +334,18 @@ where
         Trace::disabled()
     };
 
+    // The serving-plane store, bootstrapped with init values for the
+    // vertices this rank owns so a pre-superstep-0 query already answers.
+    let vstore = Arc::new(VertexStore::new(n));
+    let mut owned: Vec<u32> = Vec::new();
+    for p in pm.layout().partitions_of_worker(WorkerId::new(rank)) {
+        owned.extend(pm.vertices_in(p).iter().map(|v| v.raw()));
+    }
+    owned.sort_unstable();
+    for &v in &owned {
+        vstore.install_bootstrap(v as usize, program.init(VertexId::new(v), &graph).to_wire());
+    }
+
     let shared = Arc::new(Shared {
         rank,
         ctrl: Arc::clone(&ctrl),
@@ -336,6 +366,11 @@ where
             buf: Mutex::new(Vec::new()),
             inflight: AtomicU64::new(u64::MAX),
         }),
+        serve: Serve {
+            vstore,
+            owned,
+            snaps: Mutex::new(HashMap::new()),
+        },
     });
 
     // The mesh: one resilient link per peer; one fault injector shared by
@@ -438,6 +473,9 @@ where
                         last_audit = std::time::Instant::now();
                         shared.ship_audit();
                     }
+                    // Serving-plane GC: reclaim versions below the oldest
+                    // pinned snapshot, off the compute path.
+                    shared.serve.vstore.gc();
                     std::thread::sleep(tick);
                 }
             })
@@ -511,6 +549,19 @@ fn dispatcher(
                 }
                 None
             }
+            Message::QueryRequest {
+                id,
+                op,
+                a,
+                vertices,
+                ..
+            } => {
+                // Serviced inline like FlushForks: queries must answer
+                // while the compute thread is mid-superstep — that is the
+                // entire point of the serving plane.
+                answer_query(&shared, id, op, a, &vertices);
+                None
+            }
             _ => None,
         };
         if let Some(cmd) = cmd {
@@ -519,6 +570,98 @@ fn dispatcher(
             }
         }
     }
+}
+
+/// Answer one serving-plane query against this worker's MVCC store and
+/// send the `QueryResponse` on the control link. Lookups and snapshot
+/// reads resolve the requested vertices (`u64::MAX` = no committed
+/// version here — e.g. a vertex another rank owns); checksums fold
+/// [`checksum_word`] over this rank's owned vertices only, so the
+/// coordinator combines disjoint domains with a wrapping sum.
+fn answer_query(shared: &Shared, id: u64, op: u8, a: u64, vertices: &[u32]) {
+    let serve = &shared.serve;
+    let count = serve.owned.len() as u64;
+    let resp = match op {
+        QUERY_OP_MULTI_LOOKUP => Message::QueryResponse {
+            id,
+            ok: 1,
+            values: vertices
+                .iter()
+                .map(|&v| serve.vstore.read_latest(v as usize).unwrap_or(u64::MAX))
+                .collect(),
+            checksum: 0,
+            count,
+        },
+        QUERY_OP_SNAP_OPEN => {
+            let snap = serve.vstore.open_snapshot();
+            serve.snaps.lock().unwrap().insert(a, snap);
+            Message::QueryResponse {
+                id,
+                ok: 1,
+                values: Vec::new(),
+                checksum: snap.read_ts,
+                count,
+            }
+        }
+        QUERY_OP_SNAP_READ | QUERY_OP_SNAP_CHECKSUM => {
+            let snap = serve.snaps.lock().unwrap().get(&a).copied();
+            match snap {
+                Some(snap) if op == QUERY_OP_SNAP_READ => Message::QueryResponse {
+                    id,
+                    ok: 1,
+                    values: vertices
+                        .iter()
+                        .map(|&v| serve.vstore.read_at(v as usize, &snap).unwrap_or(u64::MAX))
+                        .collect(),
+                    checksum: snap.read_ts,
+                    count,
+                },
+                Some(snap) => {
+                    let sum = serve.owned.iter().fold(0u64, |acc, &v| {
+                        match serve.vstore.read_at(v as usize, &snap) {
+                            Some(w) => acc.wrapping_add(checksum_word(v, w)),
+                            None => acc,
+                        }
+                    });
+                    Message::QueryResponse {
+                        id,
+                        ok: 1,
+                        values: Vec::new(),
+                        checksum: sum,
+                        count,
+                    }
+                }
+                None => Message::QueryResponse {
+                    id,
+                    ok: 0,
+                    values: Vec::new(),
+                    checksum: 0,
+                    count,
+                },
+            }
+        }
+        QUERY_OP_SNAP_CLOSE => {
+            let snap = serve.snaps.lock().unwrap().remove(&a);
+            if let Some(snap) = snap {
+                serve.vstore.release_snapshot(snap);
+            }
+            Message::QueryResponse {
+                id,
+                ok: 1,
+                values: Vec::new(),
+                checksum: 0,
+                count,
+            }
+        }
+        _ => Message::QueryResponse {
+            id,
+            ok: 0,
+            values: Vec::new(),
+            checksum: 0,
+            count,
+        },
+    };
+    let _ = shared.ctrl.send(&resp);
 }
 
 /// The C1 write-all, serviced on the dispatcher thread: drain staging for
@@ -889,6 +1032,17 @@ fn run_vertex<P>(
     );
     program.compute(&mut ctx, &messages);
     halted[v.index()] = ctx.halted();
+
+    // Publish the execution's result to the serving plane: one MVCC
+    // transaction, committed here — the same instant the Lamport interval
+    // below closes — so a serving snapshot's visible set is always a
+    // prefix of this worker's committed executions.
+    {
+        let vstore = &shared.serve.vstore;
+        let txn = vstore.begin();
+        vstore.install(v.index(), values[v.index()].to_wire(), txn.xid);
+        vstore.commit(txn);
+    }
 
     let n_in = messages.len() as u64;
     for (to, m) in outgoing.drain(..) {

@@ -19,7 +19,7 @@ use crate::history::{History, TxnRecord};
 use sg_graph::{Graph, VertexId};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Concurrent execution recorder. Cheap enough for test-scale graphs;
 /// attach via the engines' `with_recorder` options.
@@ -37,6 +37,11 @@ pub struct Recorder {
     /// Messages readable by the recipient per directed pair.
     visible: Vec<AtomicU64>,
     txns: Mutex<Vec<TxnRecord>>,
+    /// Fired from [`Recorder::end`] once the finished record has landed —
+    /// the point at which the vertex execution's write is *committed*.
+    /// The MVCC engine hangs its transaction-status flip here so version
+    /// visibility and the recorded history close at the same instant.
+    commit_hook: OnceLock<Box<dyn Fn(VertexId) + Send + Sync>>,
 }
 
 /// Handle returned by [`Recorder::begin`]; pass it back to
@@ -62,7 +67,15 @@ impl Recorder {
             sent: (0..e).map(|_| AtomicU64::new(0)).collect(),
             visible: (0..e).map(|_| AtomicU64::new(0)).collect(),
             txns: Mutex::new(Vec::new()),
+            commit_hook: OnceLock::new(),
         }
+    }
+
+    /// Register the commit hook, called from [`Recorder::end`] with the
+    /// finishing vertex after its record lands. One hook per recorder;
+    /// later registrations are ignored.
+    pub fn set_commit_hook(&self, hook: Box<dyn Fn(VertexId) + Send + Sync>) {
+        let _ = self.commit_hook.set(hook);
     }
 
     #[inline]
@@ -137,6 +150,9 @@ impl Recorder {
             stale_reads: guard.stale_reads,
             concurrent_neighbors: guard.concurrent_neighbors,
         });
+        if let Some(hook) = self.commit_hook.get() {
+            hook(vertex);
+        }
         // Only after the push: see `executing_since`.
         self.executing_since[vertex.index()].store(u64::MAX, Ordering::SeqCst);
     }
