@@ -29,6 +29,9 @@ echo "== sg-check smoke (bounded exploration; seeded bug; failure exits) =="
 echo "== sg-msgbench smoke (tiny datapath bench; artifact schema check) =="
 ./scripts/msgbench_smoke.sh
 
+echo "== sg-netbench smoke (wire v5 throughput lane; zero-alloc pool gate; drift check) =="
+./scripts/netbench_smoke.sh
+
 echo "== sg-net smoke (loopback multi-process cluster; fault recovery) =="
 ./scripts/net_smoke.sh
 

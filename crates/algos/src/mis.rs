@@ -9,7 +9,7 @@
 //! superstep 1 (no messages visible yet), so the "set" is the whole vertex
 //! set — maximally wrong, and a deterministic witness for the tests.
 
-use sg_engine::{Context, VertexProgram};
+use sg_engine::{Context, VertexProgram, WireCodec};
 use sg_graph::{Graph, VertexId};
 
 /// Decision state of a vertex.
@@ -21,6 +21,33 @@ pub enum MisState {
     In,
     /// Out (a neighbor is in).
     Out,
+}
+
+impl WireCodec for MisState {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            MisState::Undecided => 0,
+            MisState::In => 1,
+            MisState::Out => 2,
+        });
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        match bytes {
+            [0] => Some(MisState::Undecided),
+            [1] => Some(MisState::In),
+            [2] => Some(MisState::Out),
+            _ => None,
+        }
+    }
+
+    fn to_word(&self) -> u64 {
+        match self {
+            MisState::Undecided => 0,
+            MisState::In => 1,
+            MisState::Out => 2,
+        }
+    }
 }
 
 /// One-pass greedy MIS (serializability-dependent).

@@ -73,6 +73,7 @@ USAGE:
 
     techniques: none single-token dual-token vertex-lock partition-lock
     workloads:  coloring (default) | wcc | sssp (--source picks the root)
+                | mis | pagerank (--threshold picks the residual cutoff)
     graphs:     ring:N | grid:R:C | paper-c4 | complete:N | er:N:M:SEED
                 (default grid:8:8)
     faults:     RANK:drop=F,dup=F,delay=F:MS,kill=F — data-plane frame
@@ -190,6 +191,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut out = RunArgs::default();
     let mut source = 0u32;
     let mut want_sssp = false;
+    let mut threshold = 0.01f64;
+    let mut want_pagerank = false;
     let mut i = 0;
     let next = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
         *i += 1;
@@ -222,6 +225,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                     "coloring" => out.workload = Workload::Coloring,
                     "wcc" => out.workload = Workload::Wcc,
                     "sssp" => want_sssp = true,
+                    "mis" => out.workload = Workload::Mis,
+                    "pagerank" => want_pagerank = true,
                     other => return Err(format!("unknown workload {other:?}")),
                 }
             }
@@ -229,6 +234,11 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 source = next(args, &mut i, "--source")?
                     .parse()
                     .map_err(|_| "--source needs a vertex id".to_string())?;
+            }
+            "--threshold" => {
+                threshold = next(args, &mut i, "--threshold")?
+                    .parse()
+                    .map_err(|_| "--threshold needs a number".to_string())?;
             }
             "--graph" => out.graph_spec = next(args, &mut i, "--graph")?,
             "--threads" => out.threads = true,
@@ -279,6 +289,9 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     }
     if want_sssp {
         out.workload = Workload::Sssp(source);
+    }
+    if want_pagerank {
+        out.workload = Workload::Pagerank(threshold);
     }
     Ok(out)
 }
@@ -439,6 +452,32 @@ fn execute(a: &RunArgs) -> Result<bool, String> {
                 out.supersteps,
                 out.wall_time,
                 out.values.iter().filter(|&&d| d != u64::MAX).count()
+            );
+            print_counters(&out.metrics);
+        }
+        Workload::Mis => {
+            let out = runner.run_mis().map_err(|e| e.to_string())?;
+            let members = sg_core::sg_algos::mis::membership(&out.values);
+            let maximal = validate::is_maximal_independent_set(&graph, &members);
+            ok = out.converged && (maximal || a.technique == Technique::None);
+            println!(
+                "converged={} supersteps={} wall={:?} members={} maximal={maximal}",
+                out.converged,
+                out.supersteps,
+                out.wall_time,
+                members.iter().filter(|&&m| m).count()
+            );
+            print_counters(&out.metrics);
+        }
+        Workload::Pagerank(threshold) => {
+            let out = runner.run_pagerank(threshold).map_err(|e| e.to_string())?;
+            ok = out.converged;
+            println!(
+                "converged={} supersteps={} wall={:?} mass={:.4}",
+                out.converged,
+                out.supersteps,
+                out.wall_time,
+                out.values.iter().sum::<f64>()
             );
             print_counters(&out.metrics);
         }

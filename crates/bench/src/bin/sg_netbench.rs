@@ -1,0 +1,833 @@
+//! sg-netbench — reproducible wall-clock benchmark of the sg-net data
+//! plane, on the paths where the wire-v5 rebuild claims its wins.
+//!
+//! Three lanes, each comparing the PR-8-era wire (emulated inline below,
+//! the way `sg-msgbench` keeps its pre-PR-4 `BaselineStore` verbatim)
+//! against the v5 data plane:
+//!
+//! * **encode** — CPU-only: per-message frames built in freshly allocated
+//!   buffers (the old path: one fixed-word frame per message, one `Vec`
+//!   per frame) vs one `BatchFlush` frame per batch encoded with
+//!   `encode_frame_into` into a reused buffer (the pooled path's entry
+//!   point — alloc-free once warm).
+//! * **decode** — CPU-only: per-frame read allocation plus owned-message
+//!   materialization (old) vs `peek_header` + `batch_view` borrowing the
+//!   receive buffer (new; payload slices are never copied).
+//! * **wirepath** — the headline: a real full-mesh TCP loopback cluster
+//!   of `--workers` worker threads, every directed pair shipping
+//!   `rounds × frames × batch` messages with a write-all fence per round
+//!   (the engine's superstep cadence). The old lane does what the PR-8
+//!   wire did: one 12-byte fixed-word frame per message, a fresh buffer
+//!   and one `write` per frame. The new lane drives the real `PeerLink`
+//!   — pooled frame buffers, coalesced vectored writes, zero-copy batch
+//!   receive — and additionally asserts the pool performs **zero
+//!   steady-state allocations** after warm-up (`PeerLink::pool_stats`).
+//!
+//! The old wire cannot express variable-length payloads at all (that is
+//! the point of v5); its lane always ships fixed 8-byte words. The
+//! comparison metric is therefore *messages* per second, and at payload
+//! sizes above 8 the new lane is additionally moving 8–64× the payload
+//! bytes per message.
+//!
+//! Emits `results/BENCH_netpath.json` (schema_version 2, `raw_cell` rows
+//! keyed `<lane>/<variant>/...` plus `speedup/...` summary rows) and
+//! re-parses the file before exiting — a malformed artifact is exit
+//! code 2. `--assert-pool` exits 3 if any steady-state pool allocation
+//! is observed; `--assert-speedup <x>` exits 3 if the worst wirepath
+//! speedup falls below `x` (the CI smoke gate). `--rounds/--frames/
+//! --batch/--payloads/--msgs/--reps` shrink or grow the workload (CI
+//! smoke uses tiny sizes; the committed run uses the defaults).
+
+use sg_bench::{Args, BenchLog};
+use sg_core::sg_net::link::{accept_handshake, PeerHandler, PeerLink};
+use sg_core::sg_net::wire::{batch_view, encode_frame_into, peek_header};
+use sg_core::sg_net::{BatchView, Clock, FaultInjector, Message, MsgBatch};
+use std::io::{BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Splitmix-style sequence: deterministic payload bytes.
+#[inline]
+fn lcg(x: &mut u64) -> u64 {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *x >> 33
+}
+
+struct RunStats {
+    msgs: u64,
+    wall_us: u64,
+}
+
+impl RunStats {
+    /// Millions of messages per second.
+    fn mmsgs(&self) -> f64 {
+        if self.wall_us == 0 {
+            return self.msgs as f64;
+        }
+        self.msgs as f64 / self.wall_us as f64
+    }
+}
+
+/// Run `f` `reps` times and keep the best (minimum-wall) run.
+fn best_of(reps: u32, mut f: impl FnMut() -> RunStats) -> RunStats {
+    let mut best = f();
+    for _ in 1..reps {
+        let s = f();
+        if s.wall_us < best.wall_us {
+            best = s;
+        }
+    }
+    best
+}
+
+/// A deterministic payload of `len` bytes.
+fn payload_bytes(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed;
+    (0..len).map(|_| lcg(&mut x) as u8).collect()
+}
+
+/// A `BatchFlush` of `n` entries carrying `payload`, addressed round-robin.
+fn build_batch(n: usize, payload: &[u8]) -> MsgBatch {
+    let mut b = MsgBatch::new();
+    for e in 0..n {
+        b.push(e as u32, (e as u32) << 1, payload);
+    }
+    b
+}
+
+// ---------------------------------------------------------------------------
+// The PR-8 wire, emulated: one message per frame, fixed 12-byte body
+// `[to u32][word u64]`, a fresh buffer per frame, one write per frame.
+// ---------------------------------------------------------------------------
+
+const OLD_DATA: u8 = 1;
+const OLD_PING: u8 = 2;
+const OLD_ACK: u8 = 3;
+
+/// Encode one old-wire frame into a *freshly allocated* buffer — the
+/// per-frame allocation the pooled path eliminates.
+fn old_encode(kind: u8, seq: u64, to: u32, word: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(33);
+    out.extend_from_slice(&29u32.to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&0u64.to_le_bytes()); // clock slot
+    out.extend_from_slice(&to.to_le_bytes());
+    out.extend_from_slice(&word.to_le_bytes());
+    out
+}
+
+/// Read one old-wire frame into a *freshly allocated* buffer (the old
+/// read path allocated per frame); returns `(kind, to, word)`.
+fn old_read<R: Read>(r: &mut R) -> std::io::Result<(u8, u32, u64)> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let n = u32::from_le_bytes(len) as usize;
+    let mut body = vec![0u8; n];
+    r.read_exact(&mut body)?;
+    let to = u32::from_le_bytes(body[17..21].try_into().unwrap());
+    let word = u64::from_le_bytes(body[21..29].try_into().unwrap());
+    Ok((body[0], to, word))
+}
+
+// ---------------------------------------------------------------------------
+// encode / decode lanes (CPU only)
+// ---------------------------------------------------------------------------
+
+fn bench_encode(new: bool, msgs: u64, batch_n: usize, payload: &[u8]) -> RunStats {
+    let mut sink = 0u64;
+    let wall_us = if new {
+        let msg = Message::BatchFlush {
+            batch: build_batch(batch_n, payload),
+        };
+        let frames = msgs / batch_n as u64;
+        let mut out = Vec::new();
+        let start = Instant::now();
+        for f in 0..frames {
+            encode_frame_into(f + 1, f, &msg, &mut out);
+            sink ^= out.len() as u64;
+        }
+        start.elapsed().as_micros() as u64
+    } else {
+        let start = Instant::now();
+        for m in 0..msgs {
+            let frame = old_encode(OLD_DATA, m + 1, m as u32, m);
+            sink ^= frame.len() as u64;
+        }
+        start.elapsed().as_micros() as u64
+    };
+    assert!(sink != u64::MAX);
+    RunStats {
+        msgs: if new {
+            (msgs / batch_n as u64) * batch_n as u64
+        } else {
+            msgs
+        },
+        wall_us,
+    }
+}
+
+fn bench_decode(new: bool, msgs: u64, batch_n: usize, payload: &[u8]) -> RunStats {
+    let mut sink = 0u64;
+    let wall_us = if new {
+        let msg = Message::BatchFlush {
+            batch: build_batch(batch_n, payload),
+        };
+        let mut frame = Vec::new();
+        encode_frame_into(1, 1, &msg, &mut frame);
+        let wire_payload = &frame[4..]; // strip the length prefix
+        let frames = msgs / batch_n as u64;
+        let mut scratch = Vec::new();
+        let start = Instant::now();
+        for _ in 0..frames {
+            let header = peek_header(wire_payload).expect("own frame");
+            assert!(header.is_batch());
+            let view = batch_view(wire_payload, &mut scratch).expect("own frame");
+            for (to, _from, bytes) in view.iter() {
+                sink ^= u64::from(to) ^ bytes.len() as u64;
+            }
+        }
+        start.elapsed().as_micros() as u64
+    } else {
+        let frame = old_encode(OLD_DATA, 1, 7, 42);
+        let start = Instant::now();
+        for _ in 0..msgs {
+            // Per-frame read allocation plus owned materialization, as
+            // the old receive path did it.
+            let mut cursor = &frame[..];
+            let (_, to, word) = old_read(&mut cursor).expect("own frame");
+            sink ^= u64::from(to) ^ word;
+        }
+        start.elapsed().as_micros() as u64
+    };
+    assert!(sink != u64::MAX);
+    RunStats {
+        msgs: if new {
+            (msgs / batch_n as u64) * batch_n as u64
+        } else {
+            msgs
+        },
+        wall_us,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// wirepath lane: a real TCP loopback mesh
+// ---------------------------------------------------------------------------
+
+/// Inbound accounting: counts messages and folds a payload byte so the
+/// borrowed slices are actually read.
+struct CountHandler {
+    msgs: AtomicU64,
+    bytes: AtomicU64,
+    sink: AtomicU64,
+}
+
+impl CountHandler {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            msgs: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            sink: AtomicU64::new(0),
+        })
+    }
+}
+
+impl PeerHandler for CountHandler {
+    fn on_batch(&self, _from: u32, batch: BatchView<'_>) {
+        let mut n = 0u64;
+        let mut by = 0u64;
+        let mut s = 0u64;
+        for (to, _from, payload) in batch.iter() {
+            n += 1;
+            by += payload.len() as u64;
+            s ^= u64::from(to) ^ u64::from(*payload.first().unwrap_or(&0));
+        }
+        self.msgs.fetch_add(n, Ordering::Relaxed);
+        self.bytes.fetch_add(by, Ordering::Relaxed);
+        self.sink.fetch_add(s, Ordering::Relaxed);
+    }
+    fn on_request_token(&self, _from: u32) {}
+}
+
+struct WireCfg {
+    workers: usize,
+    rounds: u64,
+    warmup: u64,
+    frames: u64,
+    batch_n: usize,
+}
+
+impl WireCfg {
+    /// Messages each worker ships to each peer per round.
+    fn per_round(&self) -> u64 {
+        self.frames * self.batch_n as u64
+    }
+    /// Total messages shipped in the timed phase, over the whole mesh.
+    fn timed_msgs(&self) -> u64 {
+        let pairs = (self.workers * (self.workers - 1)) as u64;
+        pairs * self.rounds * self.per_round()
+    }
+}
+
+struct WirepathRun {
+    stats: RunStats,
+    bytes: u64,
+    /// Pool counters summed over every link: `(allocs, reuses)` deltas
+    /// across the timed phase only.
+    steady_allocs: u64,
+    steady_reuses: u64,
+}
+
+/// The v5 data plane, end to end: a `PeerLink` full mesh on loopback.
+fn wirepath_new(cfg: &WireCfg, payload: &[u8]) -> WirepathRun {
+    let w = cfg.workers;
+    // One listener per worker; accept threads install replacement
+    // connections exactly the way the worker mesh listener does.
+    let mut addrs = Vec::new();
+    let mut listeners = Vec::new();
+    for _ in 0..w {
+        let l = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        addrs.push(l.local_addr().expect("local addr").to_string());
+        listeners.push(l);
+    }
+    let clocks: Vec<Arc<Clock>> = (0..w).map(|_| Arc::new(Clock::new())).collect();
+    let handlers: Vec<Arc<CountHandler>> = (0..w).map(|_| CountHandler::new()).collect();
+    let links: Vec<Vec<Option<PeerLink>>> = (0..w)
+        .map(|r| {
+            (0..w)
+                .map(|p| {
+                    (p != r).then(|| {
+                        PeerLink::new(
+                            r as u32,
+                            p as u32,
+                            addrs[p].clone(),
+                            Arc::clone(&clocks[r]),
+                            Arc::new(FaultInjector::none()),
+                            handlers[r].clone() as Arc<dyn PeerHandler>,
+                            None,
+                        )
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    let links = Arc::new(links);
+    for (r, listener) in listeners.into_iter().enumerate() {
+        let links = Arc::clone(&links);
+        let clock = Arc::clone(&clocks[r]);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                let resume_of = |peer: u32| {
+                    links[r][peer as usize]
+                        .as_ref()
+                        .map_or(1, PeerLink::recv_next)
+                };
+                let Ok((rank, resume, features)) =
+                    accept_handshake(&stream, &clock, r as u32, resume_of)
+                else {
+                    continue;
+                };
+                if let Some(link) = &links[r][rank as usize] {
+                    let _ = link.accept(stream, resume, features);
+                }
+            }
+        });
+    }
+    // Dial every pair (lower rank dials) and wait for the mesh.
+    for r in 0..w {
+        for p in (r + 1)..w {
+            links[r][p].as_ref().expect("link").dial().expect("dial");
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let frame_cap = 21 + cfg.batch_n * (12 + payload.len());
+    for r in 0..w {
+        for p in 0..w {
+            if let Some(link) = &links[r][p] {
+                while !link.is_connected() {
+                    assert!(Instant::now() < deadline, "mesh did not connect");
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                // Known per-fence demand: `frames` batches + the fence
+                // ping + control acks racing them. Priming makes the
+                // steady-state zero-alloc assertion deterministic.
+                link.prime_pool(cfg.frames as usize + 8, frame_cap);
+            }
+        }
+    }
+
+    let pool_totals = |l: &[Vec<Option<PeerLink>>]| -> (u64, u64) {
+        let mut allocs = 0;
+        let mut reuses = 0;
+        for row in l {
+            for link in row.iter().flatten() {
+                let (a, u) = link.pool_stats();
+                allocs += a;
+                reuses += u;
+            }
+        }
+        (allocs, reuses)
+    };
+
+    // warmed: workers done with warm-up rounds, main may read the pool
+    // counters; go: counters read, timed phase starts.
+    let warmed = Barrier::new(w + 1);
+    let go = Barrier::new(w + 1);
+    let epoch = Instant::now();
+    let fence_timeout = Duration::from_secs(30);
+    let spans = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..w)
+            .map(|r| {
+                let links = &links;
+                let warmed = &warmed;
+                let go = &go;
+                scope.spawn(move || {
+                    let my_links: Vec<&PeerLink> = links[r].iter().flatten().collect();
+                    let mut round_no = 0u64;
+                    let mut run_rounds = |rounds: u64| {
+                        for _ in 0..rounds {
+                            round_no += 1;
+                            for link in &my_links {
+                                for _ in 0..cfg.frames {
+                                    link.send(Message::BatchFlush {
+                                        batch: build_batch(cfg.batch_n, payload),
+                                    });
+                                }
+                            }
+                            for link in &my_links {
+                                link.flush_fence(round_no, fence_timeout)
+                                    .expect("round fence");
+                            }
+                        }
+                    };
+                    run_rounds(cfg.warmup);
+                    warmed.wait();
+                    go.wait();
+                    let start = epoch.elapsed();
+                    run_rounds(cfg.rounds);
+                    (start, epoch.elapsed())
+                })
+            })
+            .collect();
+        warmed.wait();
+        let (warm_allocs, warm_reuses) = pool_totals(&links);
+        go.wait();
+        let spans: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("wirepath worker panicked"))
+            .collect();
+        let (end_allocs, end_reuses) = pool_totals(&links);
+        (spans, end_allocs - warm_allocs, end_reuses - warm_reuses)
+    });
+    let (spans, steady_allocs, steady_reuses) = spans;
+
+    // Every fence has acknowledged application, so the counts are final.
+    let per_worker_in = (w as u64 - 1) * (cfg.warmup + cfg.rounds) * cfg.per_round();
+    let mut bytes = 0u64;
+    for h in &handlers {
+        assert_eq!(
+            h.msgs.load(Ordering::Relaxed),
+            per_worker_in,
+            "a worker lost messages"
+        );
+        bytes += h.bytes.load(Ordering::Relaxed);
+    }
+    for row in links.iter() {
+        for link in row.iter().flatten() {
+            link.shutdown();
+        }
+    }
+    let first = spans.iter().map(|&(s, _)| s).min().expect("non-empty");
+    let last = spans.iter().map(|&(_, e)| e).max().expect("non-empty");
+    WirepathRun {
+        stats: RunStats {
+            msgs: cfg.timed_msgs(),
+            wall_us: (last - first).as_micros() as u64,
+        },
+        // Scale received bytes to the timed share of all rounds.
+        bytes: bytes * cfg.rounds / (cfg.warmup + cfg.rounds),
+        steady_allocs,
+        steady_reuses,
+    }
+}
+
+/// The PR-8 wire, end to end: per-message frames, fresh buffer and one
+/// `write` per frame, over the same loopback mesh at the same fence
+/// cadence.
+fn wirepath_old(cfg: &WireCfg) -> WirepathRun {
+    let w = cfg.workers;
+    // One socket per unordered pair, full duplex. conns[r][p] is worker
+    // r's stream to peer p.
+    let mut conns: Vec<Vec<Option<TcpStream>>> =
+        (0..w).map(|_| (0..w).map(|_| None).collect()).collect();
+    // Indexing (not iterating) is the point: each accepted/dialed pair
+    // lands in two rows, `conns[r][p]` and `conns[p][r]`.
+    #[allow(clippy::needless_range_loop)]
+    for r in 0..w {
+        for p in (r + 1)..w {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            let addr = listener.local_addr().expect("local addr");
+            let dial = std::thread::spawn(move || TcpStream::connect(addr).expect("connect"));
+            let (accepted, _) = listener.accept().expect("accept");
+            let dialed = dial.join().expect("dial thread");
+            dialed.set_nodelay(true).expect("nodelay");
+            accepted.set_nodelay(true).expect("nodelay");
+            conns[r][p] = Some(dialed);
+            conns[p][r] = Some(accepted);
+        }
+    }
+    // Reader thread per connection endpoint: counts data frames, acks
+    // pings on the same socket, forwards received acks to the writer.
+    let msgs_in: Vec<Arc<AtomicU64>> = (0..w).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let mut acks: Vec<Vec<Option<mpsc::Receiver<u64>>>> =
+        (0..w).map(|_| (0..w).map(|_| None).collect()).collect();
+    for (r, row) in conns.iter().enumerate() {
+        for (p, stream) in row.iter().enumerate() {
+            let Some(stream) = stream else { continue };
+            let (tx, rx) = mpsc::channel();
+            acks[r][p] = Some(rx);
+            let read_half = stream.try_clone().expect("clone stream");
+            let write_half = stream.try_clone().expect("clone stream");
+            let counter = Arc::clone(&msgs_in[r]);
+            std::thread::spawn(move || {
+                let mut reader = BufReader::new(read_half);
+                let mut write_half = write_half;
+                let mut sink = 0u64;
+                loop {
+                    let Ok((kind, to, word)) = old_read(&mut reader) else {
+                        assert!(sink != u64::MAX);
+                        return;
+                    };
+                    match kind {
+                        OLD_DATA => {
+                            sink ^= u64::from(to) ^ word;
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        }
+                        OLD_PING => {
+                            let ack = old_encode(OLD_ACK, word, 0, word);
+                            if write_half.write_all(&ack).is_err() {
+                                return;
+                            }
+                        }
+                        OLD_ACK => {
+                            if tx.send(word).is_err() {
+                                return;
+                            }
+                        }
+                        _ => unreachable!("old wire kind {kind}"),
+                    }
+                }
+            });
+        }
+    }
+
+    // Each worker thread owns its write halves and ack receivers
+    // (mpsc receivers are !Sync, so they move rather than being shared).
+    let rigs: Vec<(Vec<TcpStream>, Vec<mpsc::Receiver<u64>>)> = conns
+        .iter()
+        .zip(acks.iter_mut())
+        .map(|(row, ack_row)| {
+            let streams = row
+                .iter()
+                .flatten()
+                .map(|s| s.try_clone().expect("clone stream"))
+                .collect();
+            let rx = ack_row.iter_mut().filter_map(Option::take).collect();
+            (streams, rx)
+        })
+        .collect();
+    let warmed = Barrier::new(w + 1);
+    let go = Barrier::new(w + 1);
+    let epoch = Instant::now();
+    let per_round = cfg.per_round();
+    let spans = std::thread::scope(|scope| {
+        let handles: Vec<_> = rigs
+            .into_iter()
+            .map(|(mut streams, ack_rx)| {
+                let warmed = &warmed;
+                let go = &go;
+                scope.spawn(move || {
+                    let mut seq = 0u64;
+                    let mut ping_no = 0u64;
+                    let mut run_rounds = |rounds: u64| {
+                        for _ in 0..rounds {
+                            for s in &mut streams {
+                                for m in 0..per_round {
+                                    seq += 1;
+                                    // Fresh buffer, one write per message:
+                                    // the per-frame path being replaced.
+                                    let frame = old_encode(OLD_DATA, seq, m as u32, seq);
+                                    s.write_all(&frame).expect("old-wire write");
+                                }
+                            }
+                            ping_no += 1;
+                            for s in &mut streams {
+                                let ping = old_encode(OLD_PING, seq, 0, ping_no);
+                                s.write_all(&ping).expect("old-wire ping");
+                            }
+                            for rx in &ack_rx {
+                                let got = rx
+                                    .recv_timeout(Duration::from_secs(30))
+                                    .expect("old-wire ack");
+                                assert_eq!(got, ping_no, "acks arrive in order");
+                            }
+                        }
+                    };
+                    run_rounds(cfg.warmup);
+                    warmed.wait();
+                    go.wait();
+                    let start = epoch.elapsed();
+                    run_rounds(cfg.rounds);
+                    (start, epoch.elapsed())
+                })
+            })
+            .collect();
+        warmed.wait();
+        go.wait();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("wirepath worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    let per_worker_in = (w as u64 - 1) * (cfg.warmup + cfg.rounds) * per_round;
+    for counter in &msgs_in {
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            per_worker_in,
+            "a worker lost messages"
+        );
+    }
+    for row in &conns {
+        for stream in row.iter().flatten() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+    let first = spans.iter().map(|&(s, _)| s).min().expect("non-empty");
+    let last = spans.iter().map(|&(_, e)| e).max().expect("non-empty");
+    WirepathRun {
+        stats: RunStats {
+            msgs: cfg.timed_msgs(),
+            wall_us: (last - first).as_micros() as u64,
+        },
+        bytes: cfg.timed_msgs() * 8,
+        steady_allocs: 0,
+        steady_reuses: 0,
+    }
+}
+
+fn fields(s: &RunStats, extra: &[(&'static str, String)]) -> Vec<(&'static str, String)> {
+    let mut f = vec![
+        ("msgs", s.msgs.to_string()),
+        ("wall_us", s.wall_us.to_string()),
+        ("mmsgs", format!("{:.3}", s.mmsgs())),
+    ];
+    f.extend_from_slice(extra);
+    f
+}
+
+fn main() {
+    let args = Args::from_env();
+    let msgs: u64 = args.get_or("msgs", 2_000_000);
+    let workers: usize = args.get_or("workers", 4);
+    let rounds: u64 = args.get_or("rounds", 12);
+    let warmup: u64 = args.get_or("warmup", 3);
+    let frames: u64 = args.get_or("frames", 16);
+    let batch_n: usize = args.get_or("batch", 256);
+    let reps: u32 = args.get_or("reps", 3);
+    let seed: u64 = args.get_or("seed", 0x5EED);
+    let assert_pool = args.has_flag("assert-pool");
+    let assert_speedup: Option<f64> = args.get("assert-speedup").and_then(|v| v.parse().ok());
+    let payloads: Vec<usize> = args
+        .get("payloads")
+        .unwrap_or("8,64,512")
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&p| p > 0)
+        .collect();
+    assert!(workers >= 2, "--workers must be at least 2");
+    assert!(
+        !payloads.is_empty(),
+        "--payloads must name at least one size"
+    );
+
+    let cfg = WireCfg {
+        workers,
+        rounds,
+        warmup,
+        frames,
+        batch_n,
+    };
+    let mut log = BenchLog::new(
+        "netpath",
+        &format!("netpath/w{workers}/r{rounds}x{frames}x{batch_n}"),
+    );
+    println!(
+        "sg-netbench: workers={workers} rounds={rounds} warmup={warmup} frames={frames} \
+         batch={batch_n} msgs={msgs} reps={reps} payloads={payloads:?}"
+    );
+    println!();
+    println!(
+        "{:<30} {:>10} {:>10} {:>9}",
+        "lane", "msgs", "wall_us", "Mmsg/s"
+    );
+    let row = |label: &str, s: &RunStats| {
+        println!(
+            "{:<30} {:>10} {:>10} {:>9.3}",
+            label,
+            s.msgs,
+            s.wall_us,
+            s.mmsgs()
+        );
+    };
+
+    // --- encode / decode: codec cost in isolation ---
+    for &p in &payloads {
+        let payload = payload_bytes(p, seed);
+        let enc_old = best_of(reps, || bench_encode(false, msgs, batch_n, &payload));
+        let enc_new = best_of(reps, || bench_encode(true, msgs, batch_n, &payload));
+        let dec_old = best_of(reps, || bench_decode(false, msgs, batch_n, &payload));
+        let dec_new = best_of(reps, || bench_decode(true, msgs, batch_n, &payload));
+        for (label, s) in [
+            (format!("encode/old/p{p}"), &enc_old),
+            (format!("encode/new/p{p}"), &enc_new),
+            (format!("decode/old/p{p}"), &dec_old),
+            (format!("decode/new/p{p}"), &dec_new),
+        ] {
+            row(&label, s);
+            log.raw_cell(&label, &fields(s, &[]));
+        }
+        for (kind, old, new) in [
+            ("encode", &enc_old, &enc_new),
+            ("decode", &dec_old, &dec_new),
+        ] {
+            let speedup = new.mmsgs() / old.mmsgs().max(f64::MIN_POSITIVE);
+            log.raw_cell(
+                &format!("speedup/{kind}/p{p}"),
+                &[("speedup", format!("{speedup:.3}"))],
+            );
+        }
+    }
+
+    // --- wirepath: the end-to-end mesh, old wire vs the v5 data plane ---
+    let best_run = |reps: u32, mut f: Box<dyn FnMut() -> WirepathRun + '_>| {
+        let mut best = f();
+        for _ in 1..reps {
+            let run = f();
+            if run.stats.wall_us < best.stats.wall_us {
+                best = run;
+            }
+        }
+        best
+    };
+    let mut headline = Vec::new();
+    let mut pool_violations = 0u64;
+    let wire_reps = args.get_or("wire-reps", 1u32);
+    for &p in &payloads {
+        let payload = payload_bytes(p, seed);
+        let old = best_run(wire_reps, Box::new(|| wirepath_old(&cfg)));
+        let new = best_run(wire_reps, Box::new(|| wirepath_new(&cfg, &payload)));
+        let old_label = format!("wirepath/old/w{workers}/p{p}");
+        let new_label = format!("wirepath/new/w{workers}/p{p}");
+        row(&old_label, &old.stats);
+        row(&new_label, &new.stats);
+        log.raw_cell(
+            &old_label,
+            &fields(&old.stats, &[("bytes", old.bytes.to_string())]),
+        );
+        log.raw_cell(
+            &new_label,
+            &fields(
+                &new.stats,
+                &[
+                    ("bytes", new.bytes.to_string()),
+                    ("pool_allocs", new.steady_allocs.to_string()),
+                    ("pool_reuses", new.steady_reuses.to_string()),
+                ],
+            ),
+        );
+        let speedup = new.stats.mmsgs() / old.stats.mmsgs().max(f64::MIN_POSITIVE);
+        log.raw_cell(
+            &format!("speedup/wirepath/w{workers}/p{p}"),
+            &[("speedup", format!("{speedup:.3}"))],
+        );
+        log.raw_cell(
+            &format!("pool/steady/p{p}"),
+            &[
+                ("allocs", new.steady_allocs.to_string()),
+                ("reuses", new.steady_reuses.to_string()),
+            ],
+        );
+        println!(
+            "pool/steady/p{p}: {} allocs, {} reuses across the timed phase",
+            new.steady_allocs, new.steady_reuses
+        );
+        pool_violations += new.steady_allocs;
+        headline.push((p, speedup));
+    }
+
+    println!();
+    for (p, s) in &headline {
+        println!(
+            "headline: wire throughput at {workers} workers, {p}-byte payloads — \
+             data-plane v2 is {s:.2}x the per-frame wire"
+        );
+    }
+
+    let path = match log.write() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: could not write BENCH_netpath.json: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("wrote {}", path.display());
+
+    // Self-check: the artifact must be well-formed schema_version-2 JSON
+    // with at least one cell.
+    let text = std::fs::read_to_string(&path).unwrap_or_default();
+    match sg_bench::json::Json::parse(&text) {
+        Ok(doc)
+            if doc.get("schema_version").and_then(|v| v.as_u64())
+                == Some(sg_bench::BENCH_SCHEMA_VERSION)
+                && doc
+                    .get("cells")
+                    .and_then(|c| c.as_arr())
+                    .is_some_and(|c| !c.is_empty()) => {}
+        Ok(_) => {
+            eprintln!(
+                "error: {} is valid JSON but not a schema_version-2 bench log",
+                path.display()
+            );
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {} is malformed: {e:?}", path.display());
+            std::process::exit(2);
+        }
+    }
+
+    if assert_pool && pool_violations > 0 {
+        eprintln!(
+            "FAIL: pooled send path allocated {pool_violations} frame buffers \
+             in steady state (expected 0)"
+        );
+        std::process::exit(3);
+    }
+    if let Some(min) = assert_speedup {
+        let worst = headline
+            .iter()
+            .map(|&(_, s)| s)
+            .fold(f64::INFINITY, f64::min);
+        if worst < min {
+            eprintln!("FAIL: worst wirepath speedup {worst:.2}x is below the required {min:.2}x");
+            std::process::exit(3);
+        }
+    }
+}

@@ -24,7 +24,7 @@ USAGE:
     sg-trace analyze <trace.json> [--top-k N] [--json]
     sg-trace diff <a.json> <b.json>
     sg-trace merge <a.json> <b.json> [more...] --out <merged.json>
-    sg-trace check <trace.json> --against <BENCH.json> [--cell <label>] [--tolerance <pct>]
+    sg-trace check <trace.json|BENCH.json> --against <BENCH.json> [--cell <label>] [--tolerance <pct>]
 
 Exit codes:
     0   success
@@ -138,11 +138,25 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let Some(against) = against else {
                 return Err(usage("check requires --against <BENCH.json>"));
             };
-            let parsed = load_trace(Path::new(trace))?;
             let bench_text = std::fs::read_to_string(&against).map_err(|e| CliError {
                 code: sgtrace::EXIT_MALFORMED,
                 message: format!("{against}: {e}"),
             })?;
+            let input_text = std::fs::read_to_string(trace).map_err(|e| CliError {
+                code: sgtrace::EXIT_MALFORMED,
+                message: format!("{trace}: {e}"),
+            })?;
+            if sgtrace::looks_like_bench(&input_text) {
+                // Bench-vs-bench: gate a fresh artifact's relational
+                // cells against the committed baseline.
+                if cell.is_some() {
+                    return Err(usage("--cell applies to trace-vs-bench checks only"));
+                }
+                let fresh = sgtrace::parse_bench_raw(&input_text)?;
+                let base = sgtrace::parse_bench_raw(&bench_text)?;
+                return sgtrace::check_bench_text(&fresh, &base, tolerance);
+            }
+            let parsed = sgtrace::parse_trace(&input_text)?;
             let (bench_meta, cells) = sgtrace::parse_bench(&bench_text)?;
             check_text(&parsed, &bench_meta, &cells, cell.as_deref(), tolerance)
         }

@@ -14,7 +14,11 @@
 //!   *same* workload (refuses mismatched schema version or workload).
 //! * `sg-trace check <trace> --against results/BENCH_<name>.json
 //!   [--tolerance pct]` — cross-checks the trace's makespan and technique
-//!   against the recorded bench cell.
+//!   against the recorded bench cell. When the positional file is itself
+//!   a `BENCH_<name>.json`, check runs bench-vs-bench instead: relational
+//!   cells (`speedup/...` ratios, `pool/steady/...` alloc counts) from a
+//!   fresh run are gated against the committed baseline — the CI drift
+//!   gate for `results/BENCH_netpath.json`.
 //!
 //! Exit codes: 0 ok, 1 usage error, 2 malformed or incompatible input,
 //! 3 tolerance failure.
@@ -502,6 +506,166 @@ pub fn check_text(
 /// Analyze a parsed trace (shared by `analyze` and the tests).
 pub fn report_for(trace: &ParsedTrace) -> CriticalPathReport {
     critical_path::analyze(&trace.events, trace.makespan_ns)
+}
+
+/// A `BENCH_<name>.json` parsed with every numeric cell field retained —
+/// the input to bench-vs-bench drift checks, where the comparable data
+/// lives in `raw_cell` fields (`speedup`, `allocs`, …) rather than the
+/// makespans [`parse_bench`] keeps.
+#[derive(Debug, Clone)]
+pub struct RawBench {
+    pub name: Option<String>,
+    pub schema_version: Option<u64>,
+    pub workload: Option<String>,
+    /// `(label, [(field, value)])` for every cell, in file order.
+    pub cells: Vec<(String, Vec<(String, f64)>)>,
+}
+
+/// Parse a bench artifact keeping all numeric cell fields.
+pub fn parse_bench_raw(text: &str) -> Result<RawBench, CliError> {
+    let doc = Json::parse(text).map_err(|e| CliError::malformed(format!("bench: {e}")))?;
+    let schema_version = doc.get("schema_version").and_then(Json::as_u64);
+    if schema_version.is_none() {
+        return Err(CliError::malformed(
+            "bench: missing schema_version (pre-v2 file; regenerate the bench)",
+        ));
+    }
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| CliError::malformed("bench: missing \"cells\" array"))?;
+    let mut out = Vec::new();
+    for cell in cells {
+        let Some(label) = cell.get("label").and_then(Json::as_str) else {
+            continue;
+        };
+        let fields = match cell {
+            Json::Obj(members) => members
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+                .collect(),
+            _ => Vec::new(),
+        };
+        out.push((label.to_owned(), fields));
+    }
+    Ok(RawBench {
+        name: doc.get("bench").and_then(Json::as_str).map(str::to_owned),
+        schema_version,
+        workload: doc
+            .get("workload")
+            .and_then(Json::as_str)
+            .map(str::to_owned),
+        cells: out,
+    })
+}
+
+/// Is this document a bench artifact (vs a Chrome trace)? Used by the
+/// `check` subcommand to pick trace-vs-bench or bench-vs-bench mode.
+pub fn looks_like_bench(text: &str) -> bool {
+    Json::parse(text)
+        .ok()
+        .is_some_and(|doc| doc.get("bench").is_some() && doc.get("cells").is_some())
+}
+
+/// `sg-trace check` in bench-vs-bench mode: gate a fresh bench artifact
+/// against a committed baseline of the same bench.
+///
+/// Only *relational* cells are compared — absolute wall-clock numbers
+/// shift with the host, but ratios measured within one run do not:
+///
+/// * every `speedup/...` cell present in both files is gated one-sided:
+///   the fresh `speedup` may exceed the baseline freely but must not fall
+///   more than `tolerance_pct` percent below it;
+/// * every `pool/steady/...` cell whose baseline records zero `allocs`
+///   must still record zero — the pooled send path's alloc-free property
+///   is absolute, not a ratio.
+///
+/// Workloads may differ (CI smoke runs tiny sizes against the committed
+/// full-size baseline); bench names and schema versions may not.
+pub fn check_bench_text(
+    fresh: &RawBench,
+    base: &RawBench,
+    tolerance_pct: f64,
+) -> Result<String, CliError> {
+    if fresh.schema_version != base.schema_version {
+        return Err(CliError::malformed(format!(
+            "incompatible: schema_version {:?} vs {:?}",
+            fresh.schema_version, base.schema_version
+        )));
+    }
+    match (&fresh.name, &base.name) {
+        (Some(a), Some(b)) if a != b => {
+            return Err(CliError::malformed(format!(
+                "incompatible: bench {a:?} vs {b:?} (same-bench artifacts only)"
+            )));
+        }
+        _ => {}
+    }
+    let field_of = |bench: &RawBench, label: &str, field: &str| -> Option<f64> {
+        bench
+            .cells
+            .iter()
+            .find(|(l, _)| l == label)
+            .and_then(|(_, fields)| fields.iter().find(|(k, _)| k == field))
+            .map(|&(_, v)| v)
+    };
+    let mut out = format!(
+        "bench: {} — fresh workload {:?} vs baseline {:?}\n",
+        fresh.name.as_deref().unwrap_or("?"),
+        fresh.workload.as_deref().unwrap_or("?"),
+        base.workload.as_deref().unwrap_or("?"),
+    );
+    let mut compared = 0usize;
+    let mut failures = Vec::new();
+    for (label, _) in &base.cells {
+        if let Some(base_speedup) = field_of(base, label, "speedup") {
+            let Some(fresh_speedup) = field_of(fresh, label, "speedup") else {
+                continue;
+            };
+            compared += 1;
+            let floor = base_speedup * (1.0 - tolerance_pct / 100.0);
+            let verdict = if fresh_speedup < floor { "FAIL" } else { "ok" };
+            out.push_str(&format!(
+                "{label}: baseline {base_speedup:.3}x, fresh {fresh_speedup:.3}x \
+                 (floor {floor:.3}x) {verdict}\n"
+            ));
+            if fresh_speedup < floor {
+                failures.push(label.clone());
+            }
+        } else if label.starts_with("pool/steady") {
+            let (Some(base_allocs), Some(fresh_allocs)) = (
+                field_of(base, label, "allocs"),
+                field_of(fresh, label, "allocs"),
+            ) else {
+                continue;
+            };
+            compared += 1;
+            let regressed = base_allocs == 0.0 && fresh_allocs > 0.0;
+            out.push_str(&format!(
+                "{label}: baseline {base_allocs:.0} allocs, fresh {fresh_allocs:.0} {}\n",
+                if regressed { "FAIL" } else { "ok" }
+            ));
+            if regressed {
+                failures.push(label.clone());
+            }
+        }
+    }
+    if compared == 0 {
+        return Err(CliError::malformed(
+            "no comparable cells (speedup/... or pool/steady/...) shared by both artifacts",
+        ));
+    }
+    if failures.is_empty() {
+        out.push_str(&format!("OK ({compared} cells within tolerance)\n"));
+        Ok(out)
+    } else {
+        Err(CliError::tolerance(format!(
+            "{out}FAIL: {} of {compared} cells regressed beyond tolerance {:.2}%: {}",
+            failures.len(),
+            tolerance_pct,
+            failures.join(", ")
+        )))
+    }
 }
 
 #[cfg(test)]

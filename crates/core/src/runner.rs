@@ -11,7 +11,7 @@ use sg_engine::{
 };
 use sg_graph::{Graph, PartitionId, VertexId};
 use sg_metrics::{CostModel, ObsConfig, ObsReport, TraceBuffer};
-use sg_net::{ClusterConfig, ClusterOutcome, FaultPlan, SpawnMode, WireValue, Workload};
+use sg_net::{ClusterConfig, ClusterOutcome, FaultPlan, SpawnMode, WireCodec, Workload};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -215,7 +215,8 @@ impl Runner {
     /// the synchronization technique, and the run's transaction history
     /// is merged across processes for the 1SR check. Only the wire-routed
     /// workloads ([`Runner::run_coloring`], [`Runner::run_wcc`],
-    /// [`Runner::run_sssp`]) are available networked.
+    /// [`Runner::run_sssp`], [`Runner::run_mis`], [`Runner::run_pagerank`])
+    /// are available networked.
     pub fn networked(mut self, opts: NetworkOptions) -> Self {
         self.config.transport = TransportKind::Tcp;
         self.net = Some(opts);
@@ -240,7 +241,7 @@ impl Runner {
         if self.net.is_some() {
             return Err(EngineError::InvalidConfig(
                 "arbitrary vertex programs cannot ship over the wire; networked runs \
-                 support run_coloring, run_wcc, and run_sssp"
+                 support run_coloring, run_wcc, run_sssp, run_mis, and run_pagerank"
                     .into(),
             ));
         }
@@ -276,7 +277,7 @@ impl Runner {
     /// Route one of the wire-supported workloads through the `sg-net`
     /// cluster runtime and translate the [`ClusterOutcome`] back into the
     /// engine's [`Outcome`] shape.
-    fn run_networked<V: WireValue>(
+    fn run_networked<V: WireCodec>(
         &self,
         opts: &NetworkOptions,
         workload: Workload,
@@ -358,6 +359,9 @@ impl Runner {
 
     /// PageRank with the given residual threshold (paper: 0.01 / 0.1).
     pub fn run_pagerank(&self, threshold: f64) -> Result<Outcome<f64>, EngineError> {
+        if let Some(opts) = &self.net {
+            return self.run_networked(opts, Workload::Pagerank(threshold));
+        }
         Ok(Engine::new(
             Arc::clone(&self.graph),
             DeltaPageRank::new(threshold),
@@ -396,6 +400,9 @@ impl Runner {
     /// Greedy maximal independent set (requires a serializable technique
     /// for correctness).
     pub fn run_mis(&self) -> Result<Outcome<MisState>, EngineError> {
+        if let Some(opts) = &self.net {
+            return self.run_networked(opts, Workload::Mis);
+        }
         self.run_program(GreedyMis)
     }
 

@@ -38,5 +38,5 @@ pub use aggregators::{AggOp, AggregatorSet};
 pub use config::{EngineConfig, EngineError, Model, TechniqueKind, TransportKind};
 pub use context::Context;
 pub use engine::{Engine, Outcome};
-pub use program::{Combiner, MinCombiner, SumCombiner, VertexProgram};
+pub use program::{Combiner, MinCombiner, SumCombiner, VertexProgram, WireCodec};
 pub use sg_store::{GraphReader, Snapshot, SnapshotView, VertexStore};

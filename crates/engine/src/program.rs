@@ -72,6 +72,75 @@ impl Combiner<f64> for SumCombiner {
     }
 }
 
+/// Byte-level payload codec for values and messages that cross a process
+/// boundary — the networked runtime's counterpart to [`Combiner`]: where a
+/// combiner decides *how many* messages ship, `WireCodec` decides *what
+/// bytes* each one ships as.
+///
+/// Encodings are length-free: the wire layer frames each payload with its
+/// own length prefix, so `decode` always receives exactly the bytes one
+/// `encode_into` call appended. Implementations must be infallible on
+/// encode and total on decode (reject, never panic). An empty encoding is
+/// legal (`()` encodes to zero bytes) — the wire layer supports
+/// zero-length payloads.
+pub trait WireCodec: Clone + Send + Sync + 'static {
+    /// Append this value's encoding to `out` (no length prefix).
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Decode from exactly the bytes one `encode_into` produced.
+    /// `None` on malformed input (wrong length, bad discriminant).
+    fn decode(bytes: &[u8]) -> Option<Self>
+    where
+        Self: Sized;
+
+    /// Fixed-width projection for the serving plane: the MVCC vertex
+    /// store, snapshot checksums, and the `/query` JSON surface all speak
+    /// one `u64` word per value. Lossy projections are fine for wide
+    /// types — the authoritative bytes travel through `encode_into`.
+    fn to_word(&self) -> u64;
+}
+
+macro_rules! int_wire_codec {
+    ($t:ty) => {
+        impl WireCodec for $t {
+            fn encode_into(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(bytes: &[u8]) -> Option<Self> {
+                Some(<$t>::from_le_bytes(bytes.try_into().ok()?))
+            }
+            fn to_word(&self) -> u64 {
+                *self as u64
+            }
+        }
+    };
+}
+
+int_wire_codec!(u32);
+int_wire_codec!(u64);
+
+impl WireCodec for f64 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        Some(f64::from_bits(u64::from_le_bytes(bytes.try_into().ok()?)))
+    }
+    fn to_word(&self) -> u64 {
+        self.to_bits()
+    }
+}
+
+impl WireCodec for () {
+    fn encode_into(&self, _out: &mut Vec<u8>) {}
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        bytes.is_empty().then_some(())
+    }
+    fn to_word(&self) -> u64 {
+        0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +157,39 @@ mod tests {
     fn sum_combiner_adds() {
         let c = SumCombiner;
         assert_eq!(c.combine(1.0, 2.5), 3.5);
+    }
+
+    #[test]
+    fn wire_codec_roundtrips_primitives() {
+        fn rt<T: WireCodec + PartialEq + std::fmt::Debug>(v: T) {
+            let mut buf = Vec::new();
+            v.encode_into(&mut buf);
+            assert_eq!(T::decode(&buf), Some(v));
+        }
+        rt(0u32);
+        rt(u32::MAX);
+        rt(0xDEAD_BEEF_u32);
+        rt(0u64);
+        rt(u64::MAX);
+        rt(0.0f64);
+        rt(-1.5f64);
+        rt(f64::MAX);
+        rt(());
+    }
+
+    #[test]
+    fn wire_codec_rejects_wrong_lengths() {
+        assert_eq!(u32::decode(&[1, 2, 3]), None);
+        assert_eq!(u64::decode(&[0; 7]), None);
+        assert_eq!(f64::decode(&[0; 9]), None);
+        assert_eq!(<()>::decode(&[0]), None);
+    }
+
+    #[test]
+    fn wire_codec_word_projection() {
+        assert_eq!(7u32.to_word(), 7);
+        assert_eq!(7u64.to_word(), 7);
+        assert_eq!(1.5f64.to_word(), 1.5f64.to_bits());
+        assert_eq!(().to_word(), 0);
     }
 }

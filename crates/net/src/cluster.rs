@@ -52,7 +52,7 @@ const FLUSH_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// The workload a cluster run executes (the program dispatch happens on
 /// the workers; the coordinator only routes the name).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Workload {
     /// Greedy graph coloring (the paper's running example).
     Coloring,
@@ -60,6 +60,10 @@ pub enum Workload {
     Wcc,
     /// Single-source shortest paths; the argument is the source vertex.
     Sssp(u32),
+    /// Greedy maximal independent set (empty-payload messages).
+    Mis,
+    /// Delta PageRank; the argument is the forwarding threshold.
+    Pagerank(f64),
 }
 
 impl Workload {
@@ -69,13 +73,16 @@ impl Workload {
             Workload::Coloring => "coloring",
             Workload::Wcc => "wcc",
             Workload::Sssp(_) => "sssp",
+            Workload::Mis => "mis",
+            Workload::Pagerank(_) => "pagerank",
         }
     }
 
-    /// Wire argument (SSSP source; 0 otherwise).
+    /// Wire argument (SSSP source, PageRank threshold bits; 0 otherwise).
     pub fn arg(self) -> u64 {
         match self {
             Workload::Sssp(s) => u64::from(s),
+            Workload::Pagerank(t) => t.to_bits(),
             _ => 0,
         }
     }
@@ -86,6 +93,8 @@ impl Workload {
             "coloring" => Some(Workload::Coloring),
             "wcc" => Some(Workload::Wcc),
             "sssp" => Some(Workload::Sssp(arg as u32)),
+            "mis" => Some(Workload::Mis),
+            "pagerank" => Some(Workload::Pagerank(f64::from_bits(arg))),
             _ => None,
         }
     }
@@ -192,8 +201,10 @@ impl ClusterConfig {
 /// Everything a finished cluster run reports.
 #[derive(Debug)]
 pub struct ClusterOutcome {
-    /// Final vertex values in wire encoding, indexed by vertex id.
-    pub values: Vec<u64>,
+    /// Final vertex values as variable-length wire payloads
+    /// ([`WireCodec`](sg_engine::WireCodec) encoding), indexed by vertex
+    /// id.
+    pub values: Vec<Vec<u8>>,
     /// Supersteps executed.
     pub supersteps: u64,
     /// Converged (vs. hitting the superstep cap)?
@@ -220,8 +231,20 @@ pub struct ClusterOutcome {
 
 impl ClusterOutcome {
     /// Decode the value vector into a program's value type.
-    pub fn typed_values<V: crate::wire::WireValue>(&self) -> Vec<V> {
-        self.values.iter().map(|&w| V::from_wire(w)).collect()
+    ///
+    /// Panics if a payload does not decode as `V` — the workload routed
+    /// to the cluster determines the encoding, so a mismatch here is a
+    /// caller bug, not a runtime condition.
+    pub fn typed_values<V: sg_engine::WireCodec>(&self) -> Vec<V> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, payload)| {
+                V::decode(payload).unwrap_or_else(|| {
+                    panic!("vertex {i} payload does not decode as the requested value type")
+                })
+            })
+            .collect()
     }
 }
 
@@ -276,7 +299,7 @@ struct CoordState {
     active_total: u64,
     pending_total: u64,
     goodbyes: u32,
-    values: Vec<Option<u64>>,
+    values: Vec<Option<Vec<u8>>>,
     txns: Vec<WireTxn>,
     events: Vec<TraceEvent>,
     next_flush: u64,
@@ -1185,8 +1208,8 @@ fn drive(
         return Err(NetError::Protocol(err));
     }
     let mut values = Vec::with_capacity(st.values.len());
-    for (i, v) in st.values.iter().enumerate() {
-        values.push(v.ok_or_else(|| {
+    for (i, v) in st.values.iter_mut().enumerate() {
+        values.push(v.take().ok_or_else(|| {
             NetError::Protocol(format!("vertex {i} missing from uploaded values"))
         })?);
     }

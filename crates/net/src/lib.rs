@@ -57,9 +57,11 @@ pub mod worker;
 pub use audit::{AuditConfig, AuditHub};
 pub use cluster::{run_cluster, ClusterConfig, ClusterOutcome, SpawnMode, Workload};
 pub use fault::{parse_fault_plan, FaultAction, FaultInjector};
+pub use sg_engine::WireCodec;
 pub use telemetry::{http_get, QueryService, TelemetryHub, TelemetryServer};
 pub use wire::{
-    FaultPlan, Frame, Message, RunSpec, WireError, WireMetricRow, WireValue, PROTOCOL_VERSION,
+    BatchView, FaultPlan, Frame, Message, MsgBatch, RunSpec, WireError, WireMetricRow,
+    PROTOCOL_VERSION,
 };
 pub use worker::worker_main;
 

@@ -18,16 +18,33 @@
 //! exponential backoff (10ms doubling to 500ms); the resume handshake
 //! exchanges each side's next expected seq and the unacked tail is
 //! retransmitted.
+//!
+//! ## Data-plane v2: pooled buffers and vectored writes
+//!
+//! Every sequenced frame is encoded exactly once at send time into a
+//! buffer drawn from a per-link [`BufPool`]; the encoded bytes live in the
+//! retransmit tail until acknowledged, so a retransmit (fence retry or
+//! post-redial resume) replays the *identical* bytes — no re-encode, no
+//! allocation, no fresh Lamport stamp. Batch flushes are lazily staged and
+//! submitted in one `write_vectored` call when a latency-sensitive frame
+//! follows (fence pings, acks, heartbeats, request tokens — they ride
+//! behind the staged batches in the same syscall) or when the staged run
+//! exceeds [`COALESCE_FRAMES`]/[`COALESCE_BYTES`]. Fault-injection
+//! actions are still claimed at `send` time in frame-index order
+//! (determinism) and applied at submission time.
 
 use std::collections::VecDeque;
-use std::io::{BufReader, Write};
+use std::io::{BufReader, IoSlice, Write};
 use std::net::{Shutdown, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::fault::{FaultAction, FaultInjector};
-use crate::wire::{read_frame, read_frame_sized, Frame, Message, WireError, PROTOCOL_VERSION};
+use crate::wire::{
+    batch_view, local_features, peek_header, read_frame, read_frame_into, BatchView, Frame,
+    Message, WireError, PROTOCOL_VERSION,
+};
 use crate::{Clock, NetError};
 use sg_metrics::{CounterHandle, GaugeHandle, HistogramHandle, Telemetry};
 
@@ -41,6 +58,18 @@ const DIAL_BACKOFF_MAX: Duration = Duration::from_millis(500);
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(2);
 /// Idle threshold after which the maintenance tick sends a heartbeat.
 const HEARTBEAT_IDLE: Duration = Duration::from_millis(300);
+/// Staged batch frames that force a vectored submission on their own.
+const COALESCE_FRAMES: usize = 64;
+/// Staged batch bytes that force a vectored submission on their own.
+const COALESCE_BYTES: usize = 256 << 10;
+/// Max `IoSlice`s per `write_vectored` call (kernels cap iovcnt at
+/// `IOV_MAX`, typically 1024; stay safely below).
+const IOV_CHUNK: usize = 512;
+/// Free-list cap of a [`BufPool`]; excess buffers are dropped.
+const POOL_MAX: usize = 64;
+/// Buffers larger than this are not retained by the pool (one huge setup
+/// frame must not pin memory for the whole run).
+const POOL_MAX_BUF: usize = 1 << 20;
 
 // ---------------------------------------------------------------------------
 // Control plane
@@ -49,7 +78,9 @@ const HEARTBEAT_IDLE: Duration = Duration::from_millis(300);
 /// Shared write half of a framed control-plane connection. Reads happen
 /// on a dedicated thread via [`FrameReader`].
 pub struct CtrlConn {
-    writer: Mutex<TcpStream>,
+    /// Stream plus a reusable encode scratch buffer (control sends are
+    /// serialized by this lock anyway, so the scratch rides along free).
+    writer: Mutex<(TcpStream, Vec<u8>)>,
     seq: AtomicU64,
     clock: Arc<Clock>,
 }
@@ -62,7 +93,7 @@ impl CtrlConn {
         let read_half = stream.try_clone()?;
         Ok((
             Self {
-                writer: Mutex::new(stream),
+                writer: Mutex::new((stream, Vec::new())),
                 seq: AtomicU64::new(1),
                 clock,
             },
@@ -70,22 +101,22 @@ impl CtrlConn {
         ))
     }
 
-    /// Frame and send one message.
+    /// Frame and send one message. `msg` is encoded into the connection's
+    /// reusable scratch buffer — no per-send allocation.
     pub fn send(&self, msg: &Message) -> std::io::Result<()> {
-        let frame = Frame {
-            seq: self.seq.fetch_add(1, Ordering::SeqCst),
-            clock: self.clock.tick(),
-            msg: msg.clone(),
-        };
-        let bytes = frame.encode();
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
         let mut w = self.writer.lock().unwrap();
-        w.write_all(&bytes)
+        let (stream, scratch) = &mut *w;
+        // Clock ticked under the lock so control-plane frame clocks are
+        // monotone in the order the bytes hit the wire.
+        crate::wire::encode_frame_into(seq, self.clock.tick(), msg, scratch);
+        stream.write_all(scratch)
     }
 
     /// Shut the connection down (unblocks the reader thread too).
     pub fn close(&self) {
         let w = self.writer.lock().unwrap();
-        let _ = w.shutdown(Shutdown::Both);
+        let _ = w.0.shutdown(Shutdown::Both);
     }
 }
 
@@ -145,6 +176,7 @@ fn write_handshake(
             version: PROTOCOL_VERSION,
             rank,
             resume_from,
+            features: local_features(),
         },
     };
     (&mut (&*stream)).write_all(&frame.encode())
@@ -175,6 +207,12 @@ struct LinkStats {
     redials: CounterHandle,
     queue_depth: GaugeHandle,
     rtt: HistogramHandle,
+    /// Pool misses: a frame buffer had to be freshly allocated.
+    pool_allocs: CounterHandle,
+    /// Pool hits: a frame buffer was served from the free list.
+    pool_reuses: CounterHandle,
+    /// Vectored socket submissions (≈ send-path syscalls).
+    writevs: CounterHandle,
 }
 
 impl LinkStats {
@@ -191,17 +229,97 @@ impl LinkStats {
             redials: t.counter("sg_link_redials_total", labels),
             queue_depth: t.gauge("sg_link_send_queue_depth", labels),
             rtt: t.histogram("sg_link_rtt_ns", labels),
+            pool_allocs: t.counter("sg_link_pool_allocs_total", labels),
+            pool_reuses: t.counter("sg_link_pool_reuses_total", labels),
+            writevs: t.counter("sg_link_writev_total", labels),
         }
+    }
+}
+
+/// A free list of reusable frame buffers shared by the send path and the
+/// retransmit tail. After warm-up every steady-state send is served from
+/// the free list — the [`BufPool::allocs`] counter goes flat, which is
+/// exactly what `netbench_smoke.sh` asserts.
+pub struct BufPool {
+    free: Mutex<Vec<Vec<u8>>>,
+    allocs: AtomicU64,
+    reuses: AtomicU64,
+}
+
+impl BufPool {
+    fn new() -> Self {
+        Self {
+            free: Mutex::new(Vec::new()),
+            allocs: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+        }
+    }
+
+    /// Pop a cleared buffer; the flag reports whether it was a fresh
+    /// allocation (pool miss).
+    fn get(&self) -> (Vec<u8>, bool) {
+        if let Some(mut b) = self.free.lock().unwrap().pop() {
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+            b.clear();
+            return (b, false);
+        }
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        (Vec::new(), true)
+    }
+
+    fn put(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > POOL_MAX_BUF {
+            return;
+        }
+        let mut free = self.free.lock().unwrap();
+        if free.len() < POOL_MAX {
+            free.push(buf);
+        }
+    }
+
+    /// Pre-provision buffers so the free list holds at least `n` entries
+    /// of at least `capacity` bytes each. Bounded by [`POOL_MAX`] /
+    /// [`POOL_MAX_BUF`]; the up-front allocations count in
+    /// [`BufPool::stats`] like any other pool miss, which keeps the
+    /// steady-state alloc assertion honest — after priming, a workload
+    /// whose concurrent frame demand stays within `n` never allocates.
+    fn prime(&self, n: usize, capacity: usize) {
+        let capacity = capacity.min(POOL_MAX_BUF);
+        let mut free = self.free.lock().unwrap();
+        let want = n.min(POOL_MAX);
+        while free.len() < want {
+            self.allocs.fetch_add(1, Ordering::Relaxed);
+            free.push(Vec::with_capacity(capacity.max(1)));
+        }
+    }
+
+    /// `(fresh allocations, free-list reuses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.allocs.load(Ordering::Relaxed),
+            self.reuses.load(Ordering::Relaxed),
+        )
     }
 }
 
 /// Receiver-side callbacks a [`PeerLink`] delivers applied frames to.
 /// Invoked on the link's reader thread, strictly in frame-seq order.
 pub trait PeerHandler: Send + Sync + 'static {
-    /// A batch of `(to_vertex, from_vertex, payload)` vertex messages.
-    fn on_batch(&self, from: u32, msgs: &[(u32, u32, u64)]);
+    /// A batch of vertex messages. Payload slices borrow the link's
+    /// receive buffer — copy out what must outlive the call.
+    fn on_batch(&self, from: u32, batch: BatchView<'_>);
     /// A relayed Chandy-Misra request token arrived.
     fn on_request_token(&self, from: u32);
+}
+
+/// One sequenced frame in the retransmit tail: wire bytes encoded exactly
+/// once at send time (pooled buffer), the fault action claimed for it,
+/// and whether it has been submitted on the current connection.
+struct SentFrame {
+    seq: u64,
+    bytes: Vec<u8>,
+    fault: FaultAction,
+    written: bool,
 }
 
 struct SendHalf {
@@ -212,8 +330,20 @@ struct SendHalf {
     next_seq: u64,
     /// Highest seq the peer has acknowledged *applying*.
     acked: u64,
-    /// Unacked sequenced frames, oldest first.
-    buffer: VecDeque<(u64, Message)>,
+    /// Unacked sequenced frames, oldest first (the retransmit tail; the
+    /// not-yet-written suffix doubles as the vectored-write stage).
+    buffer: VecDeque<SentFrame>,
+    /// Bytes in not-yet-written sequenced frames.
+    staged_bytes: usize,
+    /// Not-yet-written sequenced frame count.
+    staged_frames: usize,
+    /// Encoded unsequenced frames (acks, heartbeats) awaiting the next
+    /// submission; they ride behind the staged batches.
+    ctrl: Vec<Vec<u8>>,
+    /// Compression scratch (uncompressed body staging), pooled with the
+    /// send half.
+    #[cfg(feature = "wire-compress")]
+    z_scratch: Vec<u8>,
     backoff: Duration,
     next_dial: Instant,
     last_write: Instant,
@@ -233,8 +363,33 @@ struct LinkInner {
     /// Next sequenced incoming frame we will apply.
     recv_next: AtomicU64,
     shutdown: AtomicBool,
+    /// Feature bits the peer advertised at the last handshake.
+    peer_features: AtomicU32,
+    /// Frame-buffer pool shared by sends and the retransmit tail.
+    pool: BufPool,
     /// Wire stats, when a telemetry registry was attached.
     stats: Option<LinkStats>,
+}
+
+impl LinkInner {
+    fn pool_get(&self) -> Vec<u8> {
+        let (buf, fresh) = self.pool.get();
+        if let Some(st) = &self.stats {
+            if fresh {
+                st.pool_allocs.inc();
+            } else {
+                st.pool_reuses.inc();
+            }
+        }
+        buf
+    }
+
+    /// Is batch-flush compression negotiated on this link?
+    #[cfg(feature = "wire-compress")]
+    fn compress_on(&self) -> bool {
+        let both = local_features() & self.peer_features.load(Ordering::Relaxed);
+        both & crate::wire::FEATURE_COMPRESS != 0
+    }
 }
 
 /// One resilient full-duplex link to a peer worker.
@@ -269,6 +424,11 @@ impl PeerLink {
                     next_seq: 1,
                     acked: 0,
                     buffer: VecDeque::new(),
+                    staged_bytes: 0,
+                    staged_frames: 0,
+                    ctrl: Vec::new(),
+                    #[cfg(feature = "wire-compress")]
+                    z_scratch: Vec::new(),
                     backoff: DIAL_BACKOFF_MIN,
                     next_dial: now,
                     last_write: now,
@@ -276,9 +436,26 @@ impl PeerLink {
                 cv: Condvar::new(),
                 recv_next: AtomicU64::new(1),
                 shutdown: AtomicBool::new(false),
+                peer_features: AtomicU32::new(0),
+                pool: BufPool::new(),
                 stats: telemetry.map(|t| LinkStats::new(t, peer_rank)),
             }),
         }
+    }
+
+    /// This link's frame-buffer pool counters: `(allocs, reuses)`. The
+    /// netbench steady-state assertion reads these directly.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        self.inner.pool.stats()
+    }
+
+    /// Pre-provision the frame-buffer pool with `n` buffers of
+    /// `capacity` bytes. Callers that know their per-fence frame demand
+    /// (the worker's outbound stage, the netbench) prime once at startup
+    /// so even the very first superstep's sends — and every control ack
+    /// racing them — come off the free list.
+    pub fn prime_pool(&self, n: usize, capacity: usize) {
+        self.inner.pool.prime(n, capacity);
     }
 
     pub fn peer_rank(&self) -> u32 {
@@ -321,8 +498,12 @@ impl PeerLink {
                 }))
             }
             Message::PeerHello {
-                rank, resume_from, ..
+                rank,
+                resume_from,
+                features,
+                ..
             } if rank == self.inner.peer_rank => {
+                self.inner.peer_features.store(features, Ordering::Relaxed);
                 if redial {
                     if let Some(st) = &self.inner.stats {
                         st.redials.inc();
@@ -341,9 +522,21 @@ impl PeerLink {
 
     /// Adopt an accepted replacement connection (acceptor side; the
     /// listener already consumed the peer's `PeerHello` and replied).
-    pub fn accept(&self, stream: TcpStream, peer_resume_from: u64) {
-        let _ = stream.set_nodelay(true);
+    /// `TCP_NODELAY` is mandatory on every data-plane socket — fence
+    /// round-trips ride on it — so failing to set it fails the accept
+    /// (the dialer side already errors on the same condition).
+    pub fn accept(
+        &self,
+        stream: TcpStream,
+        peer_resume_from: u64,
+        peer_features: u32,
+    ) -> std::io::Result<()> {
+        stream.set_nodelay(true)?;
+        self.inner
+            .peer_features
+            .store(peer_features, Ordering::Relaxed);
         self.attach(stream, peer_resume_from);
+        Ok(())
     }
 
     /// Install a live stream: prune what the peer already applied,
@@ -366,8 +559,13 @@ impl PeerLink {
             if peer_resume_from > 0 {
                 s.acked = s.acked.max(peer_resume_from - 1);
             }
-            while s.buffer.front().is_some_and(|(seq, _)| *seq <= s.acked) {
-                s.buffer.pop_front();
+            while s.buffer.front().is_some_and(|f| f.seq <= s.acked) {
+                let f = s.buffer.pop_front().unwrap();
+                if !f.written {
+                    s.staged_frames -= 1;
+                    s.staged_bytes -= f.bytes.len();
+                }
+                self.inner.pool.put(f.bytes);
             }
             s.stream = Some(stream);
             retransmit_locked(&self.inner, &mut s);
@@ -383,53 +581,68 @@ impl PeerLink {
             .expect("spawn link reader");
     }
 
-    /// Send a sequenced frame; returns its seq. The frame is buffered
-    /// until acknowledged, so a dead connection only delays it. Fault
-    /// injection applies here (and only here): deterministic plans count
-    /// sequenced data frames.
+    /// Send a sequenced frame; returns its seq. The frame is encoded
+    /// exactly once into a pooled buffer and held in the retransmit tail
+    /// until acknowledged, so a dead connection only delays it — and any
+    /// retransmit replays the identical bytes. Fault injection claims its
+    /// action here (deterministic frame-index order) and applies it at
+    /// submission time. Batch flushes are staged for a coalesced vectored
+    /// submission; any other frame submits the stage immediately, riding
+    /// behind the staged batches in the same syscall.
     pub fn send(&self, msg: Message) -> u64 {
+        let is_batch = matches!(msg, Message::BatchFlush { .. });
         let mut s = self.inner.send.lock().unwrap();
         let seq = s.next_seq;
         s.next_seq += 1;
-        s.buffer.push_back((seq, msg.clone()));
-        if let Some(st) = &self.inner.stats {
-            st.queue_depth.set(s.buffer.len() as u64);
+        let mut bytes = self.inner.pool_get();
+        let clock = self.inner.clock.tick();
+        #[cfg(feature = "wire-compress")]
+        if self.inner.compress_on() {
+            crate::wire::encode_frame_into_compressed(
+                seq,
+                clock,
+                &msg,
+                &mut bytes,
+                &mut s.z_scratch,
+            );
+        } else {
+            crate::wire::encode_frame_into(seq, clock, &msg, &mut bytes);
         }
-        let action = if self.inner.fault.is_active() {
+        #[cfg(not(feature = "wire-compress"))]
+        crate::wire::encode_frame_into(seq, clock, &msg, &mut bytes);
+        let fault = if self.inner.fault.is_active() {
             self.inner.fault.next().1
         } else {
             FaultAction::Deliver
         };
-        match action {
-            FaultAction::Drop => {}
-            FaultAction::Kill => {
-                if let Some(stream) = s.stream.take() {
-                    let _ = stream.shutdown(Shutdown::Both);
-                }
-            }
-            FaultAction::Deliver | FaultAction::Duplicate | FaultAction::Delay(_) => {
-                if let FaultAction::Delay(d) = action {
-                    std::thread::sleep(d);
-                }
-                let writes = if action == FaultAction::Duplicate {
-                    2
-                } else {
-                    1
-                };
-                for _ in 0..writes {
-                    write_one_locked(&self.inner, &mut s, seq, &msg);
-                }
-            }
+        s.staged_bytes += bytes.len();
+        s.staged_frames += 1;
+        s.buffer.push_back(SentFrame {
+            seq,
+            bytes,
+            fault,
+            written: false,
+        });
+        if let Some(st) = &self.inner.stats {
+            st.queue_depth.set(s.buffer.len() as u64);
+        }
+        if !is_batch || s.staged_frames >= COALESCE_FRAMES || s.staged_bytes >= COALESCE_BYTES {
+            flush_locked(&self.inner, &mut s);
         }
         seq
     }
 
     /// Fire-and-forget unsequenced frame (acks, heartbeats): never
     /// buffered, never faulted, errors ignored (the sequenced machinery
-    /// recovers state).
+    /// recovers state). Encoded into a pooled buffer and submitted in the
+    /// same vectored write as any staged batches — acks ride behind the
+    /// data they follow.
     fn send_unsequenced(&self, msg: Message) {
         let mut s = self.inner.send.lock().unwrap();
-        write_one_locked(&self.inner, &mut s, 0, &msg);
+        let mut bytes = self.inner.pool_get();
+        crate::wire::encode_frame_into(0, self.inner.clock.tick(), &msg, &mut bytes);
+        s.ctrl.push(bytes);
+        flush_locked(&self.inner, &mut s);
     }
 
     /// C1 write-all fence: send a sequenced `FlushPing` and block until
@@ -488,7 +701,10 @@ impl PeerLink {
             } else {
                 if now.duration_since(s.last_write) >= HEARTBEAT_IDLE {
                     let hb = Message::Heartbeat { echo_ns: mono_ns() };
-                    write_one_locked(&self.inner, &mut s, 0, &hb);
+                    let mut bytes = self.inner.pool_get();
+                    crate::wire::encode_frame_into(0, self.inner.clock.tick(), &hb, &mut bytes);
+                    s.ctrl.push(bytes);
+                    flush_locked(&self.inner, &mut s);
                 }
                 false
             }
@@ -511,47 +727,204 @@ impl PeerLink {
     }
 }
 
-/// Write one frame on the live stream, if any; on failure the stream is
-/// declared dead (the frame stays in the retransmit buffer if sequenced).
-fn write_one_locked(inner: &LinkInner, s: &mut SendHalf, seq: u64, msg: &Message) {
-    let frame = Frame {
-        seq,
-        clock: inner.clock.tick(),
-        msg: msg.clone(),
-    };
-    let bytes = frame.encode();
-    let dead = match &mut s.stream {
-        Some(stream) => stream.write_all(&bytes).is_err(),
-        None => return,
-    };
-    if dead {
-        if let Some(stream) = s.stream.take() {
-            let _ = stream.shutdown(Shutdown::Both);
+/// What a vectored submission pass does after writing its slices: stop,
+/// sleep out a delay fault, or kill the connection.
+enum FlushAfter {
+    Done,
+    Delay(usize, Duration),
+    Kill(usize),
+}
+
+/// Submit everything staged — unwritten sequenced frames (their claimed
+/// fault actions applied here, in frame order) followed by pending
+/// unsequenced control frames — in as few `write_vectored` calls as
+/// possible. On a write error the stream is declared dead; unwritten
+/// sequenced frames stay staged (the retransmit tail recovers them) and
+/// control frames are discarded (idempotent, fire-and-forget).
+fn flush_locked(inner: &LinkInner, s: &mut SendHalf) {
+    loop {
+        if s.stream.is_none() {
+            for buf in s.ctrl.drain(..) {
+                inner.pool.put(buf);
+            }
+            return;
         }
-    } else {
-        s.last_write = Instant::now();
-        if let Some(st) = &inner.stats {
-            st.frames_out.inc();
-            st.bytes_out.add(bytes.len() as u64);
+        // Plan this pass: frame indices to write (duplicate faults listed
+        // twice, drops skipped) up to the first delay/kill boundary.
+        let start = s.buffer.len() - s.staged_frames;
+        let mut plan: Vec<usize> = Vec::new();
+        let mut after = FlushAfter::Done;
+        for i in start..s.buffer.len() {
+            match s.buffer[i].fault {
+                FaultAction::Deliver => plan.push(i),
+                FaultAction::Duplicate => {
+                    plan.push(i);
+                    plan.push(i);
+                }
+                FaultAction::Drop => {}
+                FaultAction::Delay(d) => {
+                    after = FlushAfter::Delay(i, d);
+                    break;
+                }
+                FaultAction::Kill => {
+                    after = FlushAfter::Kill(i);
+                    break;
+                }
+            }
+        }
+        let include_ctrl = matches!(after, FlushAfter::Done);
+        let (result, wrote_bytes, wrote_frames) = {
+            let SendHalf {
+                stream,
+                buffer,
+                ctrl,
+                ..
+            } = &mut *s;
+            let stream = stream.as_mut().unwrap();
+            let mut bufs: Vec<&[u8]> = plan.iter().map(|&i| buffer[i].bytes.as_slice()).collect();
+            if include_ctrl {
+                bufs.extend(ctrl.iter().map(|b| b.as_slice()));
+            }
+            let total: usize = bufs.iter().map(|b| b.len()).sum();
+            let n = bufs.len() as u64;
+            (writev_all(stream, &bufs), total, n)
+        };
+        match result {
+            Ok(calls) => {
+                if wrote_frames > 0 {
+                    s.last_write = Instant::now();
+                    if let Some(st) = &inner.stats {
+                        st.frames_out.add(wrote_frames);
+                        st.bytes_out.add(wrote_bytes as u64);
+                        st.writevs.add(calls);
+                    }
+                }
+            }
+            Err(_) => {
+                if let Some(stream) = s.stream.take() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                for buf in s.ctrl.drain(..) {
+                    inner.pool.put(buf);
+                }
+                return;
+            }
+        }
+        // Everything up to the fault boundary is no longer staged
+        // (dropped frames included: their "write" is the injected loss;
+        // the fence retransmit path redelivers them).
+        let until = match after {
+            FlushAfter::Done => s.buffer.len(),
+            FlushAfter::Delay(i, _) | FlushAfter::Kill(i) => i,
+        };
+        for i in start..until {
+            s.staged_frames -= 1;
+            s.staged_bytes -= s.buffer[i].bytes.len();
+            s.buffer[i].written = true;
+        }
+        match after {
+            FlushAfter::Done => {
+                for buf in s.ctrl.drain(..) {
+                    inner.pool.put(buf);
+                }
+                return;
+            }
+            FlushAfter::Delay(i, d) => {
+                // Deliver the delayed frame on the next pass.
+                s.buffer[i].fault = FaultAction::Deliver;
+                std::thread::sleep(d);
+            }
+            FlushAfter::Kill(i) => {
+                // The killed frame was never written; it survives staged
+                // for the post-redial retransmit and delivers normally
+                // then.
+                s.buffer[i].fault = FaultAction::Deliver;
+                if let Some(stream) = s.stream.take() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                for buf in s.ctrl.drain(..) {
+                    inner.pool.put(buf);
+                }
+                return;
+            }
         }
     }
 }
 
-/// Rewrite every unacked sequenced frame (fence retry / post-reconnect).
-/// Bypasses fault injection: retransmits model the recovery path, not new
-/// sends.
+/// Write every buffer fully via `write_vectored`, chunking at
+/// [`IOV_CHUNK`] (kernel `IOV_MAX` safety) and resuming partial writes.
+/// Returns the number of syscalls made.
+fn writev_all(stream: &mut TcpStream, bufs: &[&[u8]]) -> std::io::Result<u64> {
+    let mut calls = 0u64;
+    let mut i = 0; // first buffer with unwritten bytes
+    let mut off = 0; // bytes of bufs[i] already written
+    while i < bufs.len() {
+        if bufs[i].len() == off {
+            i += 1;
+            off = 0;
+            continue;
+        }
+        let end = bufs.len().min(i + IOV_CHUNK);
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(end - i);
+        slices.push(IoSlice::new(&bufs[i][off..]));
+        for b in &bufs[i + 1..end] {
+            slices.push(IoSlice::new(b));
+        }
+        let mut n = stream.write_vectored(&slices)?;
+        calls += 1;
+        if n == 0 {
+            return Err(std::io::ErrorKind::WriteZero.into());
+        }
+        while n > 0 {
+            let rem = bufs[i].len() - off;
+            if n >= rem {
+                n -= rem;
+                i += 1;
+                off = 0;
+            } else {
+                off += n;
+                n = 0;
+            }
+        }
+    }
+    Ok(calls)
+}
+
+/// Rewrite every unacked sequenced frame verbatim from its stored bytes
+/// (fence retry / post-reconnect) — byte-identical to the original
+/// transmission, no re-encode, no allocation. Bypasses fault injection:
+/// retransmits model the recovery path, not new sends.
 fn retransmit_locked(inner: &LinkInner, s: &mut SendHalf) {
-    if s.stream.is_none() {
+    if s.stream.is_none() || s.buffer.is_empty() {
         return;
     }
-    let pending: Vec<(u64, Message)> = s.buffer.iter().cloned().collect();
-    for (seq, msg) in &pending {
-        if s.stream.is_none() {
-            break;
+    let (result, wrote_bytes, wrote_frames) = {
+        let SendHalf { stream, buffer, .. } = &mut *s;
+        let stream = stream.as_mut().unwrap();
+        let bufs: Vec<&[u8]> = buffer.iter().map(|f| f.bytes.as_slice()).collect();
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        let n = bufs.len() as u64;
+        (writev_all(stream, &bufs), total, n)
+    };
+    match result {
+        Ok(calls) => {
+            s.last_write = Instant::now();
+            for f in s.buffer.iter_mut() {
+                f.written = true;
+            }
+            s.staged_frames = 0;
+            s.staged_bytes = 0;
+            if let Some(st) = &inner.stats {
+                st.frames_out.add(wrote_frames);
+                st.bytes_out.add(wrote_bytes as u64);
+                st.writevs.add(calls);
+                st.retransmits.add(wrote_frames);
+            }
         }
-        write_one_locked(inner, s, *seq, msg);
-        if let Some(st) = &inner.stats {
-            st.retransmits.inc();
+        Err(_) => {
+            if let Some(stream) = s.stream.take() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
         }
     }
 }
@@ -561,23 +934,35 @@ fn reader_loop(inner: Arc<LinkInner>, stream: TcpStream, generation: u64) {
         inner: Arc::clone(&inner),
     };
     let mut reader = BufReader::new(stream);
+    // Reused across frames: the raw payload buffer and the compression
+    // inflate scratch — the zero-copy, alloc-free receive path. Batch
+    // payloads are handed to the handler as borrowed views of these
+    // buffers and never decoded into owned messages.
+    let mut payload: Vec<u8> = Vec::new();
+    let mut inflate: Vec<u8> = Vec::new();
     loop {
         if inner.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let (frame, wire_len) = match read_frame_sized(&mut reader) {
-            Ok(Some(Ok(got))) => got,
+        let wire_len = match read_frame_into(&mut reader, &mut payload) {
+            Ok(Some(Ok(n))) => n,
             // EOF, socket error, or a malformed frame all mean the same
             // thing for this connection: it is done. Sequenced state
             // survives in the buffers; a reconnect resumes it.
             Ok(Some(Err(_))) | Ok(None) | Err(_) => break,
         };
-        inner.clock.join(frame.clock);
+        let Ok(header) = peek_header(&payload) else {
+            break;
+        };
+        inner.clock.join(header.clock);
         if let Some(st) = &inner.stats {
             st.frames_in.inc();
             st.bytes_in.add(wire_len as u64);
         }
-        if frame.seq == 0 {
+        if header.seq == 0 {
+            let Ok(frame) = Frame::decode(&payload) else {
+                break;
+            };
             match frame.msg {
                 Message::FlushAck { ack_through, .. } => {
                     prune_acked(&inner, ack_through);
@@ -604,28 +989,51 @@ fn reader_loop(inner: Arc<LinkInner>, stream: TcpStream, generation: u64) {
             continue;
         }
         let expected = inner.recv_next.load(Ordering::SeqCst);
-        if frame.seq < expected {
+        if header.seq < expected {
             // Duplicate (dup fault or retransmit overlap). Already
-            // applied — but a fence must still get its receipt.
+            // applied — duplicate batches are not even decoded, but a
+            // duplicated fence must still get its receipt.
             if let Some(st) = &inner.stats {
                 st.dup_reacks.inc();
             }
-            if let Message::FlushPing { flush_seq } = frame.msg {
-                link.send_unsequenced(Message::FlushAck {
-                    flush_seq,
-                    ack_through: expected - 1,
-                });
+            if !header.is_batch() {
+                if let Ok(Frame {
+                    msg: Message::FlushPing { flush_seq },
+                    ..
+                }) = Frame::decode(&payload)
+                {
+                    link.send_unsequenced(Message::FlushAck {
+                        flush_seq,
+                        ack_through: expected - 1,
+                    });
+                }
             }
             continue;
         }
-        if frame.seq > expected {
+        if header.seq > expected {
             // Gap (a dropped frame): ignore; the sender's fence logic
             // retransmits everything unacked, in order.
             continue;
         }
+        if header.is_batch() {
+            // Zero-copy apply: hand the handler a validated view borrowing
+            // the receive buffer. Validation happens BEFORE the watermark
+            // advances — a malformed batch must not count as applied, so
+            // the fence retransmit path redelivers it.
+            match batch_view(&payload, &mut inflate) {
+                Ok(view) => {
+                    inner.recv_next.store(expected + 1, Ordering::SeqCst);
+                    inner.handler.on_batch(inner.peer_rank, view);
+                }
+                Err(_) => break,
+            }
+            continue;
+        }
+        let Ok(frame) = Frame::decode(&payload) else {
+            break;
+        };
         inner.recv_next.store(expected + 1, Ordering::SeqCst);
         match frame.msg {
-            Message::BatchFlush { msgs } => inner.handler.on_batch(inner.peer_rank, &msgs),
             Message::RequestToken => inner.handler.on_request_token(inner.peer_rank),
             Message::FlushPing { flush_seq } => {
                 // The sequential read loop guarantees every earlier frame
@@ -654,8 +1062,13 @@ fn prune_acked(inner: &LinkInner, ack_through: u64) {
     let mut s = inner.send.lock().unwrap();
     if ack_through > s.acked {
         s.acked = ack_through;
-        while s.buffer.front().is_some_and(|(q, _)| *q <= ack_through) {
-            s.buffer.pop_front();
+        while s.buffer.front().is_some_and(|f| f.seq <= ack_through) {
+            let f = s.buffer.pop_front().unwrap();
+            if !f.written {
+                s.staged_frames -= 1;
+                s.staged_bytes -= f.bytes.len();
+            }
+            inner.pool.put(f.bytes);
         }
         if let Some(st) = &inner.stats {
             st.queue_depth.set(s.buffer.len() as u64);
@@ -665,14 +1078,14 @@ fn prune_acked(inner: &LinkInner, ack_through: u64) {
 }
 
 /// Accept-side handshake: read the dialer's `PeerHello`, reply with ours.
-/// Returns `(rank, peer_resume_from)` so the mesh can route the stream to
-/// its link (via [`PeerLink::accept`]).
+/// Returns `(rank, peer_resume_from, peer_features)` so the mesh can
+/// route the stream to its link (via [`PeerLink::accept`]).
 pub fn accept_handshake(
     stream: &TcpStream,
     clock: &Clock,
     my_rank: u32,
     my_resume_from: impl Fn(u32) -> u64,
-) -> Result<(u32, u64), NetError> {
+) -> Result<(u32, u64, u32), NetError> {
     let hello = read_frame_timeout(stream, HANDSHAKE_TIMEOUT)?;
     clock.join(hello.clock);
     match hello.msg {
@@ -680,9 +1093,10 @@ pub fn accept_handshake(
             version,
             rank,
             resume_from,
+            features,
         } if version == PROTOCOL_VERSION => {
             write_handshake(stream, clock, my_rank, my_resume_from(rank))?;
-            Ok((rank, resume_from))
+            Ok((rank, resume_from, features))
         }
         Message::PeerHello { version, .. } => Err(NetError::Wire(WireError::VersionMismatch {
             ours: PROTOCOL_VERSION,
@@ -698,6 +1112,7 @@ pub fn accept_handshake(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::MsgBatch;
     use std::net::TcpListener;
     use std::sync::atomic::AtomicUsize;
 
@@ -718,12 +1133,27 @@ mod tests {
     }
 
     impl PeerHandler for CountingHandler {
-        fn on_batch(&self, from: u32, msgs: &[(u32, u32, u64)]) {
-            self.batches.lock().unwrap().push((from, msgs.to_vec()));
+        fn on_batch(&self, from: u32, batch: BatchView<'_>) {
+            let msgs: Vec<(u32, u32, u64)> = batch
+                .iter()
+                .map(|(to, src, payload)| {
+                    (to, src, u64::from_le_bytes(payload.try_into().unwrap()))
+                })
+                .collect();
+            self.batches.lock().unwrap().push((from, msgs));
         }
         fn on_request_token(&self, _from: u32) {
             self.tokens.fetch_add(1, Ordering::SeqCst);
         }
+    }
+
+    /// Shorthand: a `BatchFlush` of `(to, from, u64 payload)` triples.
+    fn batch(entries: &[(u32, u32, u64)]) -> Message {
+        let mut b = MsgBatch::new();
+        for &(to, from, val) in entries {
+            b.push(to, from, &val.to_le_bytes());
+        }
+        Message::BatchFlush { batch: b }
     }
 
     /// Build a connected pair of links over real loopback sockets, with
@@ -770,12 +1200,14 @@ mod tests {
                 for stream in listener.incoming() {
                     let Ok(stream) = stream else { break };
                     let b2 = b.clone();
-                    let Ok((_rank, resume)) = accept_handshake(&stream, &clock_b, 1, |_| {
-                        b2.inner.recv_next.load(Ordering::SeqCst)
-                    }) else {
+                    let Ok((_rank, resume, features)) =
+                        accept_handshake(&stream, &clock_b, 1, |_| {
+                            b2.inner.recv_next.load(Ordering::SeqCst)
+                        })
+                    else {
                         continue;
                     };
-                    b.accept(stream, resume);
+                    let _ = b.accept(stream, resume, features);
                 }
             });
         }
@@ -786,9 +1218,7 @@ mod tests {
     #[test]
     fn batches_flow_and_fence_acknowledges_application() {
         let (a, _b, _ha, hb, _ta) = linked_pair(FaultInjector::none());
-        a.send(Message::BatchFlush {
-            msgs: vec![(7, 3, 42)],
-        });
+        a.send(batch(&[(7, 3, 42)]));
         a.flush_fence(1, Duration::from_secs(5)).unwrap();
         let batches = hb.batches.lock().unwrap();
         assert_eq!(batches.as_slice(), &[(0, vec![(7, 3, 42)])]);
@@ -799,12 +1229,8 @@ mod tests {
         // Frame index 0 (the first batch) is dropped on the wire.
         let plan = crate::fault::parse_fault_plan("drop=0").unwrap();
         let (a, _b, _ha, hb, _ta) = linked_pair(FaultInjector::new(plan));
-        a.send(Message::BatchFlush {
-            msgs: vec![(1, 0, 9)],
-        });
-        a.send(Message::BatchFlush {
-            msgs: vec![(2, 0, 11)],
-        });
+        a.send(batch(&[(1, 0, 9)]));
+        a.send(batch(&[(2, 0, 11)]));
         a.flush_fence(1, Duration::from_secs(10)).unwrap();
         let batches = hb.batches.lock().unwrap();
         assert_eq!(
@@ -818,9 +1244,7 @@ mod tests {
     fn duplicated_frame_applied_once() {
         let plan = crate::fault::parse_fault_plan("dup=0").unwrap();
         let (a, _b, _ha, hb, _ta) = linked_pair(FaultInjector::new(plan));
-        a.send(Message::BatchFlush {
-            msgs: vec![(4, 2, 5)],
-        });
+        a.send(batch(&[(4, 2, 5)]));
         a.flush_fence(1, Duration::from_secs(10)).unwrap();
         assert_eq!(hb.batches.lock().unwrap().len(), 1);
     }
@@ -829,13 +1253,10 @@ mod tests {
     fn killed_connection_redials_and_resumes() {
         let plan = crate::fault::parse_fault_plan("kill=1").unwrap();
         let (a, _b, _ha, hb, _ta) = linked_pair(FaultInjector::new(plan));
-        a.send(Message::BatchFlush {
-            msgs: vec![(1, 0, 1)],
-        });
-        // This send hard-kills the socket; the frame stays buffered.
-        a.send(Message::BatchFlush {
-            msgs: vec![(2, 0, 2)],
-        });
+        a.send(batch(&[(1, 0, 1)]));
+        // This send claims the kill fault; the connection dies at
+        // submission time and the frame stays buffered.
+        a.send(batch(&[(2, 0, 2)]));
         a.flush_fence(1, Duration::from_secs(10)).unwrap();
         let batches = hb.batches.lock().unwrap();
         assert_eq!(batches.len(), 2, "both batches survive the kill");
@@ -848,5 +1269,142 @@ mod tests {
         a.send(Message::RequestToken);
         a.flush_fence(1, Duration::from_secs(5)).unwrap();
         assert_eq!(hb.tokens.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn nodelay_enabled_on_both_sides() {
+        let (a, b, _ha, _hb, _ta) = linked_pair(FaultInjector::none());
+        // B's stream is installed asynchronously by the acceptor thread.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !b.is_connected() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let a_nodelay = {
+            let s = a.inner.send.lock().unwrap();
+            s.stream.as_ref().unwrap().nodelay().unwrap()
+        };
+        let b_nodelay = {
+            let s = b.inner.send.lock().unwrap();
+            s.stream.as_ref().unwrap().nodelay().unwrap()
+        };
+        assert!(
+            a_nodelay && b_nodelay,
+            "TCP_NODELAY must be set on both sides of a data-plane link"
+        );
+    }
+
+    #[test]
+    fn steady_state_sends_reuse_pooled_buffers() {
+        let (a, _b, _ha, hb, _ta) = linked_pair(FaultInjector::none());
+        // Round 0 warms the pool; after it, every send must be served
+        // from the free list (each fence ack returns the round's buffers).
+        let mut allocs_warm = 0;
+        for round in 0..6u64 {
+            for i in 0..40u64 {
+                a.send(batch(&[(1, 0, round * 40 + i)]));
+            }
+            a.flush_fence(round + 1, Duration::from_secs(5)).unwrap();
+            if round == 0 {
+                allocs_warm = a.pool_stats().0;
+            }
+        }
+        let (allocs, reuses) = a.pool_stats();
+        assert_eq!(
+            allocs, allocs_warm,
+            "steady-state sends must not allocate frame buffers"
+        );
+        assert!(reuses >= 200, "expected pooled reuse, got {reuses}");
+        assert_eq!(hb.batches.lock().unwrap().len(), 240);
+    }
+
+    /// A raw acceptor that records every sequenced frame's exact wire
+    /// payload, withholding the first fence ack to force a full
+    /// retransmit pass on the live stream. Every recurrence of a seq must
+    /// be byte-identical — the encode-once pooled tail guarantees it.
+    #[test]
+    fn retransmit_replays_byte_identical_frames() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        type Recorded = Arc<Mutex<Vec<(u64, Vec<u8>)>>>;
+        let recorded: Recorded = Arc::new(Mutex::new(Vec::new()));
+        {
+            let recorded = Arc::clone(&recorded);
+            std::thread::spawn(move || {
+                let clock_b = Clock::new();
+                for stream in listener.incoming() {
+                    let Ok(stream) = stream else { break };
+                    if read_frame_timeout(&stream, HANDSHAKE_TIMEOUT).is_err()
+                        || write_handshake(&stream, &clock_b, 1, 1).is_err()
+                    {
+                        continue;
+                    }
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut payload = Vec::new();
+                    let mut pings = 0u32;
+                    while let Ok(Some(Ok(_))) = read_frame_into(&mut reader, &mut payload) {
+                        let header = peek_header(&payload).unwrap();
+                        if header.seq == 0 {
+                            continue;
+                        }
+                        recorded.lock().unwrap().push((header.seq, payload.clone()));
+                        if let Ok(Frame {
+                            msg: Message::FlushPing { flush_seq },
+                            seq,
+                            ..
+                        }) = Frame::decode(&payload)
+                        {
+                            pings += 1;
+                            if pings == 1 {
+                                // Withhold the first receipt: the fence
+                                // retries and retransmits the whole tail.
+                                continue;
+                            }
+                            let ack = Frame {
+                                seq: 0,
+                                clock: clock_b.tick(),
+                                msg: Message::FlushAck {
+                                    flush_seq,
+                                    ack_through: seq,
+                                },
+                            };
+                            if (&stream).write_all(&ack.encode()).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        let a = PeerLink::new(
+            0,
+            1,
+            addr,
+            Arc::new(Clock::new()),
+            Arc::new(FaultInjector::none()),
+            CountingHandler::new() as Arc<dyn PeerHandler>,
+            None,
+        );
+        a.dial().unwrap();
+        a.send(batch(&[(1, 0, 0xAABB)]));
+        a.send(batch(&[(2, 0, 0xCCDD)]));
+        a.flush_fence(1, Duration::from_secs(10)).unwrap();
+        let recorded = recorded.lock().unwrap();
+        let mut by_seq: std::collections::HashMap<u64, Vec<&Vec<u8>>> =
+            std::collections::HashMap::new();
+        for (seq, bytes) in recorded.iter() {
+            by_seq.entry(*seq).or_default().push(bytes);
+        }
+        assert!(
+            recorded.len() > by_seq.len(),
+            "expected at least one retransmitted frame"
+        );
+        for (seq, copies) in &by_seq {
+            for c in copies.iter().skip(1) {
+                assert_eq!(
+                    *c, copies[0],
+                    "seq {seq} retransmitted with different bytes"
+                );
+            }
+        }
     }
 }

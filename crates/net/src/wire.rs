@@ -11,6 +11,14 @@
 //! truncated, or oversized frame yields a [`WireError`]. Every collection
 //! length is validated against the bytes actually remaining before any
 //! allocation happens.
+//!
+//! The data-plane hot path is built for zero-copy: batch-flush bodies are
+//! a flat run of length-delimited entries ([`MsgBatch`]), so a receiver
+//! can walk borrowed `&[u8]` payload slices straight out of its receive
+//! buffer ([`BatchView`], [`peek_header`], [`read_frame_into`]) without
+//! materializing a typed `Message` or allocating per message. Senders
+//! stage outgoing messages directly in wire format, making frame encoding
+//! a header write plus one `memcpy`.
 
 use std::fmt;
 
@@ -30,8 +38,32 @@ pub const MAX_FRAME_LEN: usize = 64 << 20;
 /// the `audit_interval_ms` field of [`RunSpec`]. v4 added the serving
 /// plane: `QueryRequest`/`QueryResponse` control frames, letting the
 /// coordinator serve point lookups, neighborhoods, and consistent MVCC
-/// snapshots over workers' vertex stores while the run executes.
-pub const PROTOCOL_VERSION: u8 = 4;
+/// snapshots over workers' vertex stores while the run executes. v5 is the
+/// data-plane rebuild: `BatchFlush` and `ValuesUpload` carry
+/// length-delimited variable-size payloads instead of one fixed `u64` word
+/// per message (unblocking MIS/PageRank over the cluster), `PeerHello`
+/// gained a `features` negotiation bitfield, and the negotiated
+/// [`FEATURE_COMPRESS`] bit enables the compressed `BatchFlushZ` frame for
+/// large batches (built with the `wire-compress` cargo feature).
+pub const PROTOCOL_VERSION: u8 = 5;
+
+/// `PeerHello::features` bit: this side can *decode* compressed
+/// `BatchFlushZ` frames. A sender compresses only when both sides
+/// advertised the bit at handshake. Advertised automatically when the
+/// crate is built with the `wire-compress` feature.
+pub const FEATURE_COMPRESS: u32 = 1;
+
+/// The feature bits this build advertises in `PeerHello`.
+pub fn local_features() -> u32 {
+    #[cfg(feature = "wire-compress")]
+    {
+        FEATURE_COMPRESS
+    }
+    #[cfg(not(feature = "wire-compress"))]
+    {
+        0
+    }
+}
 
 /// Codec failure. All variants are recoverable at the connection level
 /// (the connection is dropped and re-established; the process never
@@ -151,6 +183,168 @@ impl<'a> Reader<'a> {
         Ok(())
     }
 }
+
+// ---------------------------------------------------------------------------
+// Batch-flush body: flat, length-delimited message entries
+
+/// An owned batch of remote vertex messages, stored *in wire format*: a
+/// flat byte run of `[to: u32][from: u32][len: u32][payload: len bytes]`
+/// entries. Senders stage messages straight into this layout so encoding a
+/// `BatchFlush` frame is a header write plus one `memcpy`; receivers that
+/// want zero-copy access parse a [`BatchView`] over the receive buffer
+/// instead of decoding to this type at all.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MsgBatch {
+    count: u32,
+    bytes: Vec<u8>,
+}
+
+impl MsgBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one message. `payload` is the message's [`WireCodec`]
+    /// encoding (zero-length payloads are legal).
+    ///
+    /// [`WireCodec`]: sg_engine::WireCodec
+    pub fn push(&mut self, to: u32, from: u32, payload: &[u8]) {
+        put_u32(&mut self.bytes, to);
+        put_u32(&mut self.bytes, from);
+        put_u32(&mut self.bytes, payload.len() as u32);
+        self.bytes.extend_from_slice(payload);
+        self.count += 1;
+    }
+
+    /// Number of messages in the batch.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Size of the entry bytes (the frame body minus the count word).
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Drop all entries, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.count = 0;
+        self.bytes.clear();
+    }
+
+    /// Iterate `(to, from, payload)` entries as borrowed slices.
+    pub fn iter(&self) -> BatchEntries<'_> {
+        BatchEntries {
+            bytes: &self.bytes,
+            remaining: self.count,
+        }
+    }
+
+    /// Build from already-validated entry bytes (see [`BatchView`]).
+    fn from_validated(count: u32, bytes: Vec<u8>) -> Self {
+        Self { count, bytes }
+    }
+}
+
+/// A borrowed, validated view over a `BatchFlush` frame body — the
+/// zero-copy receive path. [`BatchView::parse`] checks every entry bound
+/// once up front; iteration then yields `(to, from, payload)` with payload
+/// slices borrowing the underlying receive buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchView<'a> {
+    count: u32,
+    entries: &'a [u8],
+}
+
+impl<'a> BatchView<'a> {
+    /// Parse and validate a batch body (the bytes after the frame header).
+    /// The declared count must exactly tile the remaining bytes.
+    pub fn parse(body: &'a [u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(body);
+        let count = r.len(12)? as u32;
+        let entries = r.take(r.remaining())?;
+        // Validate every entry bound now so iteration is infallible.
+        let mut pos = 0usize;
+        for _ in 0..count {
+            if entries.len() - pos < 12 {
+                return Err(WireError::Truncated);
+            }
+            let len = u32::from_le_bytes(entries[pos + 8..pos + 12].try_into().unwrap()) as usize;
+            pos += 12;
+            if entries.len() - pos < len {
+                return Err(WireError::BadLength(len as u64));
+            }
+            pos += len;
+        }
+        if pos != entries.len() {
+            return Err(WireError::TrailingBytes(entries.len() - pos));
+        }
+        Ok(Self { count, entries })
+    }
+
+    /// Number of messages.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterate `(to, from, payload)` with payloads borrowing the buffer.
+    pub fn iter(&self) -> BatchEntries<'a> {
+        BatchEntries {
+            bytes: self.entries,
+            remaining: self.count,
+        }
+    }
+
+    /// Copy into an owned [`MsgBatch`] (one allocation for the whole
+    /// batch).
+    pub fn to_owned_batch(&self) -> MsgBatch {
+        MsgBatch::from_validated(self.count, self.entries.to_vec())
+    }
+}
+
+/// Iterator over batch entries; yields `(to, from, payload)`.
+///
+/// Entries were bounds-checked at construction ([`BatchView::parse`]) or
+/// are structurally valid ([`MsgBatch::push`]), so iteration is
+/// infallible.
+pub struct BatchEntries<'a> {
+    bytes: &'a [u8],
+    remaining: u32,
+}
+
+impl<'a> Iterator for BatchEntries<'a> {
+    type Item = (u32, u32, &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let to = u32::from_le_bytes(self.bytes[0..4].try_into().unwrap());
+        let from = u32::from_le_bytes(self.bytes[4..8].try_into().unwrap());
+        let len = u32::from_le_bytes(self.bytes[8..12].try_into().unwrap()) as usize;
+        let payload = &self.bytes[12..12 + len];
+        self.bytes = &self.bytes[12 + len..];
+        Some((to, from, payload))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for BatchEntries<'_> {}
 
 // ---------------------------------------------------------------------------
 // Protocol payload structures
@@ -402,8 +596,9 @@ pub enum Message {
     },
     /// Final vertex values for this worker's vertices.
     ValuesUpload {
-        /// `(vertex, value)` pairs, value in its wire encoding.
-        values: Vec<(u32, u64)>,
+        /// `(vertex, value)` pairs; the value is its variable-length
+        /// `WireCodec` byte encoding.
+        values: Vec<(u32, Vec<u8>)>,
     },
     /// Recorded transaction history for the merged 1SR check.
     HistoryUpload {
@@ -533,11 +728,16 @@ pub enum Message {
         rank: u32,
         /// Next frame seq expected from the peer (0 on first connect).
         resume_from: u64,
+        /// Capability bits ([`FEATURE_COMPRESS`], …). A capability is in
+        /// effect only when both sides advertised it.
+        features: u32,
     },
-    /// A batch of remote vertex messages.
+    /// A batch of remote vertex messages with variable-length payloads.
+    /// On the receive hot path this frame is *not* decoded to `Message` —
+    /// the link parses a [`BatchView`] over the receive buffer instead.
     BatchFlush {
-        /// `(to_vertex, from_vertex, payload)` triples.
-        msgs: Vec<(u32, u32, u64)>,
+        /// The wire-format entries.
+        batch: MsgBatch,
     },
     /// Flush fence: the receiver replies `FlushAck` only after applying
     /// every earlier frame on this connection (the write-all receipt).
@@ -601,6 +801,13 @@ const K_HEARTBEAT_ACK: u8 = 26;
 const K_AUDIT_UPLOAD: u8 = 27;
 const K_QUERY_REQ: u8 = 28;
 const K_QUERY_RESP: u8 = 29;
+/// Compressed `BatchFlush`: body is `[uncompressed_len: u32][lz bytes]`,
+/// where the lz bytes decompress to exactly a `BatchFlush` body. Only on
+/// the wire when both ends negotiated [`FEATURE_COMPRESS`]; decoding it
+/// requires the `wire-compress` feature (otherwise `BadKind`, which is
+/// correct — an un-negotiated sender is a protocol violation).
+#[cfg_attr(not(feature = "wire-compress"), allow(dead_code))]
+pub(crate) const K_BATCH_FLUSH_Z: u8 = 30;
 
 /// `QueryRequest` op: resolve `vertices` at the latest committed frontier.
 pub const QUERY_OP_MULTI_LOOKUP: u8 = 0;
@@ -713,9 +920,10 @@ impl Message {
             }
             Message::ValuesUpload { values } => {
                 put_u32(buf, values.len() as u32);
-                for &(v, x) in values {
-                    put_u32(buf, v);
-                    put_u64(buf, x);
+                for (v, payload) in values {
+                    put_u32(buf, *v);
+                    put_u32(buf, payload.len() as u32);
+                    buf.extend_from_slice(payload);
                 }
             }
             Message::HistoryUpload { txns } => put_txns(buf, txns),
@@ -796,18 +1004,16 @@ impl Message {
                 version,
                 rank,
                 resume_from,
+                features,
             } => {
                 put_u8(buf, *version);
                 put_u32(buf, *rank);
                 put_u64(buf, *resume_from);
+                put_u32(buf, *features);
             }
-            Message::BatchFlush { msgs } => {
-                put_u32(buf, msgs.len() as u32);
-                for &(to, from, payload) in msgs {
-                    put_u32(buf, to);
-                    put_u32(buf, from);
-                    put_u64(buf, payload);
-                }
+            Message::BatchFlush { batch } => {
+                put_u32(buf, batch.count);
+                buf.extend_from_slice(&batch.bytes);
             }
             Message::FlushAck {
                 flush_seq,
@@ -907,9 +1113,13 @@ impl Message {
                 flush_seq: r.u64()?,
             },
             K_VALUES_UPLOAD => {
-                let n = r.len(12)?;
+                let n = r.len(8)?;
                 let values = (0..n)
-                    .map(|_| Ok((r.u32()?, r.u64()?)))
+                    .map(|_| {
+                        let v = r.u32()?;
+                        let len = r.len(1)?;
+                        Ok((v, r.take(len)?.to_vec()))
+                    })
                     .collect::<Result<_, WireError>>()?;
                 Message::ValuesUpload { values }
             }
@@ -993,13 +1203,21 @@ impl Message {
                 version: r.u8()?,
                 rank: r.u32()?,
                 resume_from: r.u64()?,
+                features: r.u32()?,
             },
             K_BATCH_FLUSH => {
-                let n = r.len(16)?;
-                let msgs = (0..n)
-                    .map(|_| Ok((r.u32()?, r.u32()?, r.u64()?)))
-                    .collect::<Result<_, WireError>>()?;
-                Message::BatchFlush { msgs }
+                let view = BatchView::parse(r.take(r.remaining())?)?;
+                Message::BatchFlush {
+                    batch: view.to_owned_batch(),
+                }
+            }
+            #[cfg(feature = "wire-compress")]
+            K_BATCH_FLUSH_Z => {
+                let body = decompress_batch_body(r.take(r.remaining())?)?;
+                let view = BatchView::parse(&body)?;
+                Message::BatchFlush {
+                    batch: view.to_owned_batch(),
+                }
             }
             K_FLUSH_ACK => Message::FlushAck {
                 flush_seq: r.u64()?,
@@ -1085,15 +1303,25 @@ impl Frame {
     /// Encode including the 4-byte length prefix — exactly the bytes
     /// written to the socket.
     pub fn encode(&self) -> Vec<u8> {
-        let mut payload = Vec::with_capacity(32);
-        put_u8(&mut payload, self.msg.kind());
-        put_u64(&mut payload, self.seq);
-        put_u64(&mut payload, self.clock);
-        self.msg.encode_body(&mut payload);
-        let mut out = Vec::with_capacity(payload.len() + 4);
-        put_u32(&mut out, payload.len() as u32);
-        out.extend_from_slice(&payload);
+        let mut out = Vec::with_capacity(32);
+        self.encode_into(&mut out);
         out
+    }
+
+    /// Encode into a caller-owned buffer (cleared first), including the
+    /// 4-byte length prefix — the pooled, alloc-free send path.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        encode_frame_into(self.seq, self.clock, &self.msg, out);
+    }
+
+    /// Like [`Frame::encode_into`], but emits a compressed `BatchFlushZ`
+    /// frame when the message is a batch flush whose body is at least
+    /// [`COMPRESS_MIN`] bytes *and* compression actually shrinks it;
+    /// falls back to the plain encoding otherwise. `scratch` holds the
+    /// uncompressed body between calls (pooled by the link).
+    #[cfg(feature = "wire-compress")]
+    pub fn encode_into_compressed(&self, out: &mut Vec<u8>, scratch: &mut Vec<u8>) {
+        encode_frame_into_compressed(self.seq, self.clock, &self.msg, out, scratch);
     }
 
     /// Decode a payload (the bytes *after* the length prefix). Rejects
@@ -1112,6 +1340,118 @@ impl Frame {
     }
 }
 
+/// Encode a frame into a caller-owned buffer (cleared first) without
+/// taking ownership of the message — the pooled send path's entry point.
+pub fn encode_frame_into(seq: u64, clock: u64, msg: &Message, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&[0, 0, 0, 0]);
+    put_u8(out, msg.kind());
+    put_u64(out, seq);
+    put_u64(out, clock);
+    msg.encode_body(out);
+    let n = (out.len() - 4) as u32;
+    out[..4].copy_from_slice(&n.to_le_bytes());
+}
+
+/// Minimum `BatchFlush` body size (bytes) worth compressing; smaller
+/// frames always ship plain even when compression is negotiated.
+#[cfg(feature = "wire-compress")]
+pub const COMPRESS_MIN: usize = 512;
+
+/// Borrow-based counterpart of [`Frame::encode_into_compressed`].
+#[cfg(feature = "wire-compress")]
+pub fn encode_frame_into_compressed(
+    seq: u64,
+    clock: u64,
+    msg: &Message,
+    out: &mut Vec<u8>,
+    scratch: &mut Vec<u8>,
+) {
+    let batch = match msg {
+        Message::BatchFlush { batch } if 4 + batch.byte_len() >= COMPRESS_MIN => batch,
+        _ => return encode_frame_into(seq, clock, msg, out),
+    };
+    scratch.clear();
+    put_u32(scratch, batch.count);
+    scratch.extend_from_slice(&batch.bytes);
+    out.clear();
+    out.extend_from_slice(&[0, 0, 0, 0]);
+    put_u8(out, K_BATCH_FLUSH_Z);
+    put_u64(out, seq);
+    put_u64(out, clock);
+    put_u32(out, scratch.len() as u32);
+    lz::compress(scratch, out);
+    if out.len() >= scratch.len() + 21 {
+        return encode_frame_into(seq, clock, msg, out);
+    }
+    let n = (out.len() - 4) as u32;
+    out[..4].copy_from_slice(&n.to_le_bytes());
+}
+
+/// A frame header peeked off a raw payload without decoding the body —
+/// the zero-copy receive path's dispatch point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Message kind byte.
+    pub kind: u8,
+    /// Per-connection sequence number.
+    pub seq: u64,
+    /// Sender's Lamport clock at send time.
+    pub clock: u64,
+}
+
+impl FrameHeader {
+    /// Is this a data-plane batch flush (plain or compressed)? Such
+    /// payloads can be walked with [`batch_view`] without allocating.
+    pub fn is_batch(&self) -> bool {
+        #[cfg(feature = "wire-compress")]
+        {
+            self.kind == K_BATCH_FLUSH || self.kind == K_BATCH_FLUSH_Z
+        }
+        #[cfg(not(feature = "wire-compress"))]
+        {
+            self.kind == K_BATCH_FLUSH
+        }
+    }
+}
+
+/// Peek the 17-byte frame header off a payload (bytes after the length
+/// prefix) without touching the body.
+pub fn peek_header(payload: &[u8]) -> Result<FrameHeader, WireError> {
+    let mut r = Reader::new(payload);
+    Ok(FrameHeader {
+        kind: r.u8()?,
+        seq: r.u64()?,
+        clock: r.u64()?,
+    })
+}
+
+/// Borrow a validated [`BatchView`] out of a batch-flush payload (bytes
+/// after the length prefix; header must satisfy [`FrameHeader::is_batch`]).
+/// For compressed frames the body is inflated into `scratch` and the view
+/// borrows that instead — either way, no per-message allocation.
+pub fn batch_view<'a>(
+    payload: &'a [u8],
+    scratch: &'a mut Vec<u8>,
+) -> Result<BatchView<'a>, WireError> {
+    let mut r = Reader::new(payload);
+    let kind = r.u8()?;
+    let _seq = r.u64()?;
+    let _clock = r.u64()?;
+    match kind {
+        K_BATCH_FLUSH => {
+            let _ = &scratch;
+            BatchView::parse(r.take(r.remaining())?)
+        }
+        #[cfg(feature = "wire-compress")]
+        K_BATCH_FLUSH_Z => {
+            decompress_batch_body_into(r.take(r.remaining())?, scratch)?;
+            BatchView::parse(scratch)
+        }
+        other => Err(WireError::BadKind(other)),
+    }
+}
+
 /// Read one length-prefixed frame from `r`. `Ok(None)` on clean EOF at a
 /// frame boundary; io errors and codec errors are distinct failures so the
 /// caller can decide between reconnect and protocol abort.
@@ -1126,6 +1466,22 @@ pub fn read_frame<R: std::io::Read>(
 pub fn read_frame_sized<R: std::io::Read>(
     r: &mut R,
 ) -> std::io::Result<Option<Result<(Frame, usize), WireError>>> {
+    let mut payload = Vec::new();
+    match read_frame_into(r, &mut payload)? {
+        None => Ok(None),
+        Some(Err(e)) => Ok(Some(Err(e))),
+        Some(Ok(n)) => Ok(Some(Frame::decode(&payload).map(|f| (f, n)))),
+    }
+}
+
+/// Read one frame's payload into a caller-owned buffer (resized to fit,
+/// reused across calls — the alloc-free receive path). Returns the total
+/// wire size (length prefix + payload); the payload occupies `buf` in
+/// full. `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame_into<R: std::io::Read>(
+    r: &mut R,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<Option<Result<usize, WireError>>> {
     let mut len = [0u8; 4];
     match r.read_exact(&mut len) {
         Ok(()) => {}
@@ -1136,45 +1492,138 @@ pub fn read_frame_sized<R: std::io::Read>(
     if n > MAX_FRAME_LEN {
         return Ok(Some(Err(WireError::BadLength(n as u64))));
     }
-    let mut payload = vec![0u8; n];
-    r.read_exact(&mut payload)?;
-    Ok(Some(Frame::decode(&payload).map(|f| (f, n + 4))))
+    buf.resize(n, 0);
+    r.read_exact(buf)?;
+    Ok(Some(Ok(n + 4)))
 }
 
-/// Encoding for vertex values and messages crossing the wire. Everything
-/// the built-in workloads ship is representable in a `u64` word; programs
-/// with richer state would add their own impls.
-pub trait WireValue: Copy {
-    /// To the wire word.
-    fn to_wire(self) -> u64;
-    /// From the wire word.
-    fn from_wire(w: u64) -> Self;
+// ---------------------------------------------------------------------------
+// Optional batch-flush compression (`wire-compress` feature)
+
+/// Inflate a `BatchFlushZ` body (`[uncompressed_len: u32][lz bytes]`) into
+/// an owned buffer.
+#[cfg(feature = "wire-compress")]
+fn decompress_batch_body(body: &[u8]) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::new();
+    decompress_batch_body_into(body, &mut out)?;
+    Ok(out)
 }
 
-impl WireValue for u32 {
-    fn to_wire(self) -> u64 {
-        u64::from(self)
+#[cfg(feature = "wire-compress")]
+fn decompress_batch_body_into(body: &[u8], out: &mut Vec<u8>) -> Result<(), WireError> {
+    let mut r = Reader::new(body);
+    let expect = r.u32()? as usize;
+    if expect > MAX_FRAME_LEN {
+        return Err(WireError::BadLength(expect as u64));
     }
-    fn from_wire(w: u64) -> Self {
-        w as u32
-    }
+    let compressed = r.take(r.remaining())?;
+    lz::decompress(compressed, expect, out)
 }
 
-impl WireValue for u64 {
-    fn to_wire(self) -> u64 {
-        self
-    }
-    fn from_wire(w: u64) -> Self {
-        w
-    }
-}
+/// A small dependency-free LZ77: literal runs and back-references over a
+/// 64 KiB window, greedy matching via a 4-byte-prefix hash table. Token
+/// stream: control byte `c < 0x80` = literal run of `c + 1` bytes follows;
+/// `c >= 0x80` = match of length `(c & 0x7F) + 4` at distance given by the
+/// next two LE bytes (1-based, within the bytes already produced).
+/// Built only with the `wire-compress` feature; the exact byte format is
+/// internal to one connection (both ends run the same build — the
+/// negotiated feature bit, not this format, is the compatibility surface).
+#[cfg(feature = "wire-compress")]
+mod lz {
+    use super::WireError;
 
-impl WireValue for f64 {
-    fn to_wire(self) -> u64 {
-        self.to_bits()
+    const MIN_MATCH: usize = 4;
+    const MAX_MATCH: usize = 0x7F + MIN_MATCH;
+    const MAX_DIST: usize = u16::MAX as usize;
+    const HASH_BITS: u32 = 13;
+
+    fn hash(bytes: &[u8]) -> usize {
+        let w = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+        (w.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
     }
-    fn from_wire(w: u64) -> Self {
-        f64::from_bits(w)
+
+    fn flush_literals(src: &[u8], out: &mut Vec<u8>) {
+        for chunk in src.chunks(0x80) {
+            out.push((chunk.len() - 1) as u8);
+            out.extend_from_slice(chunk);
+        }
+    }
+
+    /// Append the compressed form of `src` to `out`.
+    pub fn compress(src: &[u8], out: &mut Vec<u8>) {
+        let mut table = vec![0u32; 1 << HASH_BITS]; // position + 1; 0 = empty
+        let mut i = 0usize;
+        let mut lit_start = 0usize;
+        while i + MIN_MATCH <= src.len() {
+            let h = hash(&src[i..]);
+            let cand = table[h] as usize;
+            table[h] = (i + 1) as u32;
+            if cand > 0 {
+                let cand = cand - 1;
+                let dist = i - cand;
+                if dist > 0 && dist <= MAX_DIST && src[cand..cand + 4] == src[i..i + 4] {
+                    let mut len = 4;
+                    let max = (src.len() - i).min(MAX_MATCH);
+                    while len < max && src[cand + len] == src[i + len] {
+                        len += 1;
+                    }
+                    flush_literals(&src[lit_start..i], out);
+                    out.push(0x80 | (len - MIN_MATCH) as u8);
+                    out.extend_from_slice(&(dist as u16).to_le_bytes());
+                    // Seed the table through the matched region so later
+                    // repeats of its interior still find a candidate.
+                    for j in (i + 1)..(i + len).min(src.len().saturating_sub(3)) {
+                        table[hash(&src[j..])] = (j + 1) as u32;
+                    }
+                    i += len;
+                    lit_start = i;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        flush_literals(&src[lit_start..], out);
+    }
+
+    /// Inflate into `out` (cleared first); the result must be exactly
+    /// `expect` bytes or the stream is rejected.
+    pub fn decompress(src: &[u8], expect: usize, out: &mut Vec<u8>) -> Result<(), WireError> {
+        out.clear();
+        out.reserve(expect);
+        let mut i = 0usize;
+        while i < src.len() {
+            let c = src[i];
+            i += 1;
+            if c < 0x80 {
+                let n = c as usize + 1;
+                if src.len() - i < n || out.len() + n > expect {
+                    return Err(WireError::Truncated);
+                }
+                out.extend_from_slice(&src[i..i + n]);
+                i += n;
+            } else {
+                let len = (c & 0x7F) as usize + MIN_MATCH;
+                if src.len() - i < 2 {
+                    return Err(WireError::Truncated);
+                }
+                let dist = u16::from_le_bytes(src[i..i + 2].try_into().unwrap()) as usize;
+                i += 2;
+                if dist == 0 || dist > out.len() || out.len() + len > expect {
+                    return Err(WireError::BadLength(dist as u64));
+                }
+                // Byte-at-a-time: overlapping copies (dist < len) are
+                // legal and reproduce run-length behavior.
+                let start = out.len() - dist;
+                for j in 0..len {
+                    let b = out[start + j];
+                    out.push(b);
+                }
+            }
+        }
+        if out.len() != expect {
+            return Err(WireError::Truncated);
+        }
+        Ok(())
     }
 }
 
@@ -1379,5 +1828,237 @@ mod tests {
             Frame::decode(&payload),
             Err(WireError::BadLength(u64::from(u32::MAX)))
         );
+    }
+
+    #[test]
+    fn msg_batch_round_trips_variable_payloads() {
+        let mut batch = MsgBatch::new();
+        batch.push(7, 1, &[]);
+        batch.push(8, 2, &[0xAB]);
+        batch.push(9, 3, &42u64.to_le_bytes());
+        let big = vec![0x5A; 4096];
+        batch.push(10, 4, &big);
+        assert_eq!(batch.len(), 4);
+
+        let f = Frame {
+            seq: 11,
+            clock: 12,
+            msg: Message::BatchFlush {
+                batch: batch.clone(),
+            },
+        };
+        let bytes = f.encode();
+        let decoded = Frame::decode(&bytes[4..]).unwrap();
+        assert_eq!(decoded, f);
+
+        // Zero-copy view over the same payload sees identical entries.
+        let hdr = peek_header(&bytes[4..]).unwrap();
+        assert!(hdr.is_batch());
+        assert_eq!((hdr.seq, hdr.clock), (11, 12));
+        let mut scratch = Vec::new();
+        let view = batch_view(&bytes[4..], &mut scratch).unwrap();
+        let got: Vec<(u32, u32, Vec<u8>)> =
+            view.iter().map(|(t, f, p)| (t, f, p.to_vec())).collect();
+        assert_eq!(
+            got,
+            vec![
+                (7, 1, vec![]),
+                (8, 2, vec![0xAB]),
+                (9, 3, 42u64.to_le_bytes().to_vec()),
+                (10, 4, big),
+            ]
+        );
+    }
+
+    #[test]
+    fn batch_view_rejects_malformed_entries() {
+        // Entry header truncated mid-way.
+        let mut body = Vec::new();
+        put_u32(&mut body, 1);
+        body.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(
+            BatchView::parse(&body),
+            Err(WireError::BadLength(_)) | Err(WireError::Truncated)
+        ));
+
+        // Payload length pointing past the end.
+        let mut body = Vec::new();
+        put_u32(&mut body, 1);
+        put_u32(&mut body, 1);
+        put_u32(&mut body, 2);
+        put_u32(&mut body, 100); // claims 100 payload bytes, none follow
+        assert_eq!(BatchView::parse(&body), Err(WireError::BadLength(100)));
+
+        // Count smaller than the bytes present: trailing garbage.
+        let mut batch = MsgBatch::new();
+        batch.push(1, 2, &[9]);
+        batch.push(3, 4, &[8]);
+        let mut body = Vec::new();
+        put_u32(&mut body, 1); // claim one entry, provide two
+        body.extend_from_slice(&batch.bytes);
+        assert_eq!(BatchView::parse(&body), Err(WireError::TrailingBytes(13)));
+    }
+
+    #[test]
+    fn peer_hello_round_trips_features() {
+        let f = Frame {
+            seq: 0,
+            clock: 1,
+            msg: Message::PeerHello {
+                version: PROTOCOL_VERSION,
+                rank: 3,
+                resume_from: 99,
+                features: FEATURE_COMPRESS,
+            },
+        };
+        let bytes = f.encode();
+        assert_eq!(Frame::decode(&bytes[4..]).unwrap(), f);
+    }
+
+    #[test]
+    fn values_upload_round_trips_variable_payloads() {
+        let f = Frame {
+            seq: 5,
+            clock: 6,
+            msg: Message::ValuesUpload {
+                values: vec![
+                    (0, vec![]),
+                    (1, vec![2]),
+                    (2, 7.5f64.to_bits().to_le_bytes().to_vec()),
+                ],
+            },
+        };
+        let bytes = f.encode();
+        assert_eq!(Frame::decode(&bytes[4..]).unwrap(), f);
+        // Implausible count rejected before allocation.
+        let mut payload = vec![K_VALUES_UPLOAD];
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            Frame::decode(&payload),
+            Err(WireError::BadLength(u64::from(u32::MAX)))
+        );
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer_and_matches_encode() {
+        let mut batch = MsgBatch::new();
+        batch.push(1, 2, &[1, 2, 3]);
+        let frames = [
+            Frame {
+                seq: 1,
+                clock: 2,
+                msg: Message::BatchFlush { batch },
+            },
+            Frame {
+                seq: 3,
+                clock: 4,
+                msg: Message::Heartbeat { echo_ns: 9 },
+            },
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut buf);
+            assert_eq!(buf, f.encode());
+        }
+    }
+
+    #[cfg(feature = "wire-compress")]
+    #[test]
+    fn lz_round_trips_and_rejects_corruption() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![7],
+            vec![0; 10_000],
+            (0..=255u8).cycle().take(5000).collect(),
+            b"abcabcabcabcXabcabcabc".repeat(40),
+            {
+                // Pseudo-random — worst case, must still round-trip.
+                let mut v = Vec::new();
+                let mut x = 0x12345678u64;
+                for _ in 0..3000 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    v.push((x >> 33) as u8);
+                }
+                v
+            },
+        ];
+        for src in cases {
+            let mut packed = Vec::new();
+            lz::compress(&src, &mut packed);
+            let mut out = Vec::new();
+            lz::decompress(&packed, src.len(), &mut out).unwrap();
+            assert_eq!(out, src);
+            // A wrong expected length must be rejected, not mis-sized.
+            if !src.is_empty() {
+                let mut out = Vec::new();
+                assert!(lz::decompress(&packed, src.len() - 1, &mut out).is_err());
+            }
+        }
+        // Truncated stream rejected.
+        let mut packed = Vec::new();
+        lz::compress(&[1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3], &mut packed);
+        let mut out = Vec::new();
+        assert!(lz::decompress(&packed[..packed.len() - 1], 12, &mut out).is_err());
+    }
+
+    #[cfg(feature = "wire-compress")]
+    #[test]
+    fn compressed_batch_frame_round_trips() {
+        let mut batch = MsgBatch::new();
+        for i in 0..200u32 {
+            batch.push(i, i + 1, &u64::from(i % 7).to_le_bytes());
+        }
+        let f = Frame {
+            seq: 42,
+            clock: 43,
+            msg: Message::BatchFlush {
+                batch: batch.clone(),
+            },
+        };
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        f.encode_into_compressed(&mut out, &mut scratch);
+        // Repetitive payloads compress: smaller than the plain encoding.
+        assert!(out.len() < f.encode().len());
+        let hdr = peek_header(&out[4..]).unwrap();
+        assert_eq!(hdr.kind, K_BATCH_FLUSH_Z);
+        assert!(hdr.is_batch());
+        // Full decode and zero-copy view both recover the batch.
+        assert_eq!(Frame::decode(&out[4..]).unwrap(), f);
+        let mut inflate = Vec::new();
+        let view = batch_view(&out[4..], &mut inflate).unwrap();
+        assert_eq!(view.len(), 200);
+        let mut expect = batch.iter();
+        for got in view.iter() {
+            let (t, f, p) = expect.next().unwrap();
+            assert_eq!(got, (t, f, p));
+        }
+    }
+
+    #[cfg(feature = "wire-compress")]
+    #[test]
+    fn incompressible_batch_falls_back_to_plain() {
+        let mut payload = Vec::new();
+        let mut x = 0xDEADBEEFu64;
+        for _ in 0..5000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            payload.push((x >> 33) as u8);
+        }
+        let mut batch = MsgBatch::new();
+        batch.push(1, 2, &payload);
+        let f = Frame {
+            seq: 1,
+            clock: 2,
+            msg: Message::BatchFlush { batch },
+        };
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        f.encode_into_compressed(&mut out, &mut scratch);
+        assert_eq!(out, f.encode());
+        assert_eq!(peek_header(&out[4..]).unwrap().kind, K_BATCH_FLUSH);
     }
 }

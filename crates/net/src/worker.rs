@@ -33,8 +33,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
-use sg_algos::{GreedyColoring, Sssp, Wcc};
-use sg_engine::{AggregatorSet, Context, VertexProgram};
+use sg_algos::{DeltaPageRank, GreedyColoring, GreedyMis, Sssp, Wcc};
+use sg_engine::{AggregatorSet, Context, VertexProgram, WireCodec};
 use sg_graph::{ClusterLayout, Graph, PartitionId, PartitionMap, VertexId, WorkerId};
 use sg_metrics::{Counter, CounterHandle, GaugeHandle, Metrics, Telemetry, Trace, TraceEventKind};
 use sg_sync::{LockGranularity, Synchronizer};
@@ -43,9 +43,9 @@ use crate::cluster::{build_technique, technique_from_label, GOODBYE_SUPERSTEP};
 use crate::fault::FaultInjector;
 use crate::link::{accept_handshake, CtrlConn, FrameReader, PeerHandler, PeerLink};
 use crate::wire::{
-    Message, RunSpec, WireMetricRow, WireTraceEvent, WireTxn, WireValue, PROTOCOL_VERSION,
-    QUERY_OP_MULTI_LOOKUP, QUERY_OP_SNAP_CHECKSUM, QUERY_OP_SNAP_CLOSE, QUERY_OP_SNAP_OPEN,
-    QUERY_OP_SNAP_READ,
+    BatchView, Message, MsgBatch, RunSpec, WireMetricRow, WireTraceEvent, WireTxn,
+    PROTOCOL_VERSION, QUERY_OP_MULTI_LOOKUP, QUERY_OP_SNAP_CHECKSUM, QUERY_OP_SNAP_CLOSE,
+    QUERY_OP_SNAP_OPEN, QUERY_OP_SNAP_READ,
 };
 use crate::{stamp, Clock, NetError};
 use sg_store::{checksum_word, Snapshot, VertexStore};
@@ -115,6 +115,22 @@ pub fn worker_main(coord_addr: &str, rank: u32) -> Result<(), NetError> {
                 reader,
             )
         }
+        "mis" => run_worker(GreedyMis, rank, spec, peers, listener, clock, ctrl, reader),
+        "pagerank" => {
+            // The convergence threshold ships as the f64 bit pattern in
+            // the workload argument word.
+            let threshold = f64::from_bits(spec.workload_arg);
+            run_worker(
+                DeltaPageRank::new(threshold),
+                rank,
+                spec,
+                peers,
+                listener,
+                clock,
+                ctrl,
+                reader,
+            )
+        }
         other => Err(NetError::Protocol(format!("unknown workload `{other}`"))),
     }
 }
@@ -148,9 +164,59 @@ fn wall_ns(epoch_ns: u64) -> u64 {
 
 /// Remote staging buffers plus the per-peer "sent since last fence" flag
 /// that decides which peers the end-of-superstep write-all must fence.
+/// Messages stage directly in wire format ([`MsgBatch`]): the eventual
+/// `BatchFlush` send serializes the blob without re-walking entries.
 struct Outbound {
-    staged: Vec<Vec<(u32, u32, u64)>>,
+    staged: Vec<MsgBatch>,
     dirty: Vec<bool>,
+}
+
+/// A per-vertex queue of variable-length message payloads, stored as
+/// `[len: u32 LE][payload]` runs in one contiguous buffer — the networked
+/// counterpart of the engine's mailbox, kept untyped so [`Shared`] works
+/// for every vertex program. Payload slices copied in here are the only
+/// copy the receive path makes.
+#[derive(Default)]
+struct PayloadQueue {
+    bytes: Vec<u8>,
+    count: usize,
+}
+
+impl PayloadQueue {
+    fn push(&mut self, payload: &[u8]) {
+        self.bytes
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.bytes.extend_from_slice(payload);
+        self.count += 1;
+    }
+
+    fn len(&self) -> usize {
+        self.count
+    }
+
+    fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Decode every queued payload in arrival order. Undecodable runs are
+    /// impossible on a well-typed cluster (every worker runs the same
+    /// program) and are skipped defensively.
+    fn decode_all<M: WireCodec>(&self) -> Vec<M> {
+        let mut out = Vec::with_capacity(self.count);
+        let mut rest = self.bytes.as_slice();
+        while rest.len() >= 4 {
+            let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+            rest = &rest[4..];
+            if rest.len() < len {
+                break;
+            }
+            if let Some(m) = M::decode(&rest[..len]) {
+                out.push(m);
+            }
+            rest = &rest[len..];
+        }
+        out
+    }
 }
 
 /// This worker's live-telemetry handles (the registry itself rides on
@@ -217,7 +283,7 @@ struct Shared {
     rank: u32,
     ctrl: Arc<CtrlConn>,
     clock: Arc<Clock>,
-    inbox: Mutex<Vec<Vec<u64>>>,
+    inbox: Mutex<Vec<PayloadQueue>>,
     outbound: Mutex<Outbound>,
     metrics: Arc<Metrics>,
     trace: Trace,
@@ -265,9 +331,11 @@ struct InboxHandler {
 }
 
 impl PeerHandler for InboxHandler {
-    fn on_batch(&self, _from: u32, msgs: &[(u32, u32, u64)]) {
+    fn on_batch(&self, _from: u32, batch: BatchView<'_>) {
+        // Payload slices borrow the link's receive buffer; the copy into
+        // the per-vertex queue is the receive path's only copy.
         let mut inbox = self.shared.inbox.lock().unwrap();
-        for &(to, _from_v, payload) in msgs {
+        for (to, _from_v, payload) in batch.iter() {
             if let Some(q) = inbox.get_mut(to as usize) {
                 q.push(payload);
             }
@@ -303,8 +371,8 @@ fn run_worker<P>(
 ) -> Result<(), NetError>
 where
     P: VertexProgram,
-    P::Value: WireValue,
-    P::Message: WireValue,
+    P::Value: WireCodec,
+    P::Message: WireCodec,
 {
     let technique = technique_from_label(&spec.technique)
         .ok_or_else(|| NetError::Protocol(format!("unknown technique `{}`", spec.technique)))?;
@@ -343,16 +411,16 @@ where
     }
     owned.sort_unstable();
     for &v in &owned {
-        vstore.install_bootstrap(v as usize, program.init(VertexId::new(v), &graph).to_wire());
+        vstore.install_bootstrap(v as usize, program.init(VertexId::new(v), &graph).to_word());
     }
 
     let shared = Arc::new(Shared {
         rank,
         ctrl: Arc::clone(&ctrl),
         clock: Arc::clone(&clock),
-        inbox: Mutex::new(vec![Vec::new(); n]),
+        inbox: Mutex::new((0..n).map(|_| PayloadQueue::default()).collect()),
         outbound: Mutex::new(Outbound {
-            staged: vec![Vec::new(); spec.workers as usize],
+            staged: vec![MsgBatch::new(); spec.workers as usize],
             dirty: vec![false; spec.workers as usize],
         }),
         metrics: Arc::clone(&metrics),
@@ -385,7 +453,7 @@ where
         if peer == rank {
             continue;
         }
-        link_vec[peer as usize] = Some(PeerLink::new(
+        let link = PeerLink::new(
             rank,
             peer,
             addr.clone(),
@@ -393,7 +461,13 @@ where
             Arc::clone(&fault),
             Arc::clone(&handler),
             Some(&telemetry),
-        ));
+        );
+        // Known steady demand per fence: the staged outbound batch (caps
+        // at `buffer_cap` entries of modest payloads), the fence ping,
+        // and control acks racing them. Priming here means even the
+        // first superstep's sends come off the free list.
+        link.prime_pool(8, 21 + shared.buffer_cap * 64);
+        link_vec[peer as usize] = Some(link);
     }
     let links: Arc<Vec<Option<PeerLink>>> = Arc::new(link_vec);
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -418,9 +492,9 @@ where
                                     .and_then(|l| l.as_ref())
                                     .map_or(1, |l| l.recv_next())
                             });
-                            if let Ok((peer, resume)) = handshake {
+                            if let Ok((peer, resume, features)) = handshake {
                                 if let Some(Some(link)) = links.get(peer as usize) {
-                                    link.accept(stream, resume);
+                                    let _ = link.accept(stream, resume, features);
                                 }
                             }
                         }
@@ -686,7 +760,7 @@ fn handle_flush(
     };
     if !staged.is_empty() {
         shared.metrics.inc(Counter::RemoteBatches);
-        link.send(Message::BatchFlush { msgs: staged });
+        link.send(Message::BatchFlush { batch: staged });
     }
     let fence = shared.next_fence();
     match link.flush_fence(fence, FENCE_TIMEOUT) {
@@ -728,8 +802,8 @@ fn compute_loop<P>(
 ) -> Result<(), NetError>
 where
     P: VertexProgram,
-    P::Value: WireValue,
-    P::Message: WireValue,
+    P::Value: WireCodec,
+    P::Message: WireCodec,
 {
     let n = graph.num_vertices() as usize;
     let mut values: Vec<P::Value> = graph.vertices().map(|v| program.init(v, graph)).collect();
@@ -814,7 +888,7 @@ fn barrier_vote(
     shared.wtel.pending.set(pending);
     let staged: usize = {
         let ob = shared.outbound.lock().unwrap();
-        ob.staged.iter().map(Vec::len).sum()
+        ob.staged.iter().map(MsgBatch::len).sum()
     };
     shared.wtel.staged.set(staged as u64);
     shared.wtel.uptime_ns.set(wall_ns(shared.epoch_ns));
@@ -880,8 +954,8 @@ fn run_superstep<P>(
 ) -> Result<(), NetError>
 where
     P: VertexProgram,
-    P::Value: WireValue,
-    P::Message: WireValue,
+    P::Value: WireCodec,
+    P::Message: WireCodec,
 {
     let is_active = |shared: &Shared, halted: &[bool], v: VertexId| {
         !halted[v.index()] || !shared.inbox.lock().unwrap()[v.index()].is_empty()
@@ -998,8 +1072,8 @@ fn run_vertex<P>(
     record_history: bool,
 ) where
     P: VertexProgram,
-    P::Value: WireValue,
-    P::Message: WireValue,
+    P::Value: WireCodec,
+    P::Message: WireCodec,
 {
     // Messages in the inbox arrived on link readers that joined the
     // sender's clock first, so this tick orders after every sender write.
@@ -1007,14 +1081,11 @@ fn run_vertex<P>(
         a.inflight.store(shared.clock.now(), Ordering::SeqCst);
     }
     let start = shared.clock.tick();
-    let wire_msgs = {
+    let queued = {
         let mut inbox = shared.inbox.lock().unwrap();
         std::mem::take(&mut inbox[v.index()])
     };
-    let messages: Vec<P::Message> = wire_msgs
-        .iter()
-        .map(|&w| P::Message::from_wire(w))
-        .collect();
+    let messages: Vec<P::Message> = queued.decode_all();
     let t0 = wall_ns(shared.epoch_ns);
     let mut outgoing: Vec<(VertexId, P::Message)> = Vec::new();
     let aggs = AggregatorSet::new();
@@ -1040,22 +1111,24 @@ fn run_vertex<P>(
     {
         let vstore = &shared.serve.vstore;
         let txn = vstore.begin();
-        vstore.install(v.index(), values[v.index()].to_wire(), txn.xid);
+        vstore.install(v.index(), values[v.index()].to_word(), txn.xid);
         vstore.commit(txn);
     }
 
     let n_in = messages.len() as u64;
+    let mut enc = Vec::new();
     for (to, m) in outgoing.drain(..) {
         let w = pm.worker_of(to).raw();
-        let wire = m.to_wire();
+        enc.clear();
+        m.encode_into(&mut enc);
         if w == shared.rank {
-            shared.inbox.lock().unwrap()[to.index()].push(wire);
+            shared.inbox.lock().unwrap()[to.index()].push(&enc);
             shared.metrics.inc(Counter::LocalMessages);
         } else {
             shared.metrics.inc(Counter::RemoteMessages);
             let batch = {
                 let mut ob = shared.outbound.lock().unwrap();
-                ob.staged[w as usize].push((to.raw(), v.raw(), wire));
+                ob.staged[w as usize].push(to.raw(), v.raw(), &enc);
                 ob.dirty[w as usize] = true;
                 (ob.staged[w as usize].len() >= shared.buffer_cap)
                     .then(|| std::mem::take(&mut ob.staged[w as usize]))
@@ -1064,7 +1137,7 @@ fn run_vertex<P>(
                 if let Some(Some(link)) = links.get(w as usize) {
                     shared.metrics.inc(Counter::RemoteBatches);
                     let len = batch.len() as u64;
-                    link.send(Message::BatchFlush { msgs: batch });
+                    link.send(Message::BatchFlush { batch });
                     shared.trace.record_peer(
                         shared.rank,
                         s,
@@ -1123,7 +1196,7 @@ fn flush_all(shared: &Shared, links: &[Option<PeerLink>]) -> Result<(), NetError
         }
         if !staged.is_empty() {
             shared.metrics.inc(Counter::RemoteBatches);
-            link.send(Message::BatchFlush { msgs: staged });
+            link.send(Message::BatchFlush { batch: staged });
         }
         link.flush_fence(shared.next_fence(), FENCE_TIMEOUT)?;
     }
@@ -1132,7 +1205,7 @@ fn flush_all(shared: &Shared, links: &[Option<PeerLink>]) -> Result<(), NetError
 
 /// Result uploads, chunked to stay far under the frame cap, terminated by
 /// the goodbye marker.
-fn upload<V: WireValue>(
+fn upload<V: WireCodec>(
     shared: &Shared,
     spec: &RunSpec,
     pm: &PartitionMap,
@@ -1143,7 +1216,9 @@ fn upload<V: WireValue>(
     let mut pairs = Vec::new();
     for &p in my_partitions {
         for &v in pm.vertices_in(p) {
-            pairs.push((v.raw(), values[v.index()].to_wire()));
+            let mut payload = Vec::new();
+            values[v.index()].encode_into(&mut payload);
+            pairs.push((v.raw(), payload));
         }
     }
     for chunk in pairs.chunks(UPLOAD_CHUNK) {

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# sg-netbench smoke: run the wire-v5 data-plane throughput lane at reduced
+# sizes and gate the three properties the PR-9 rebuild commits to:
+#
+#   1. the pooled send path performs ZERO steady-state frame-buffer
+#      allocations (--assert-pool, a hard counter assertion);
+#   2. the new wire beats the emulated per-frame PR-8 wire on the 4-worker
+#      batch-flush hotpath (--assert-speedup, an absolute floor);
+#   3. the fresh run's relational cells have not drifted from the
+#      committed results/BENCH_netpath.json baseline (sg-trace check in
+#      bench-vs-bench mode; generous tolerance because smoke sizes
+#      understate the full-size advantage).
+#
+# Offline-safe; writes only under target/ (SG_RESULTS_DIR redirects the
+# artifact away from the tracked results/ directory).
+#
+# Called by ci.sh and .github/workflows/ci.yml after the release build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=target/ci-netbench-smoke
+rm -rf "$SMOKE"
+mkdir -p "$SMOKE"
+
+echo "-- sg-netbench (reduced: 200k codec msgs, 5x8x64 wirepath rounds)"
+SG_RESULTS_DIR="$SMOKE" cargo run -q -p sg-bench --release --bin sg-netbench -- \
+    --msgs 200000 --rounds 5 --warmup 2 --frames 8 --batch 64 \
+    --payloads 8,512 --reps 1 --assert-pool --assert-speedup 1.5 \
+    >"$SMOKE/netbench.log"
+
+ART="$SMOKE/BENCH_netpath.json"
+[ -f "$ART" ] || { echo "FAIL: $ART not written"; exit 1; }
+
+echo "-- artifact sanity (schema_version 2, expected cells present)"
+grep -q '"schema_version": *2' "$ART" || { echo "FAIL: schema_version 2 missing"; exit 1; }
+for cell in 'encode/new/p8' 'decode/new/p512' 'wirepath/new/w4/p8' \
+    'speedup/wirepath/w4/p8' 'pool/steady/p8'; do
+    grep -q "\"$cell\"" "$ART" || { echo "FAIL: cell $cell missing"; exit 1; }
+done
+
+echo "-- zero steady-state pool allocations recorded"
+grep -q 'pool/steady/p8: 0 allocs' "$SMOKE/netbench.log" \
+    || { echo "FAIL: pooled send path allocated in steady state"; exit 1; }
+
+echo "-- headline present in the log"
+grep -q 'headline: wire throughput' "$SMOKE/netbench.log" \
+    || { echo "FAIL: no headline line"; exit 1; }
+
+echo "-- drift gate against the committed baseline (bench-vs-bench check)"
+cargo run -q -p sg-bench --release --bin sg-trace -- \
+    check "$ART" --against results/BENCH_netpath.json --tolerance 75
+
+echo "-- negative: an implausible tolerance must exit 3"
+if cargo run -q -p sg-bench --release --bin sg-trace -- \
+    check "$ART" --against results/BENCH_netpath.json --tolerance -1000 \
+    >/dev/null 2>&1; then
+    echo "FAIL: impossible tolerance did not fail the check"
+    exit 1
+fi
+
+echo "sg-netbench smoke green."

@@ -6,11 +6,15 @@
 //! the same answers.
 
 use serigraph::prelude::*;
-use serigraph::sg_algos::validate;
-use serigraph::sg_net::wire::{read_frame, FaultPlan, WireMetricRow, WireTraceEvent, WireTxn};
+use serigraph::sg_algos::{validate, MisState};
+use serigraph::sg_net::link::accept_handshake;
+use serigraph::sg_net::wire::{
+    batch_view, peek_header, read_frame, FaultPlan, WireMetricRow, WireTraceEvent, WireTxn,
+    MAX_FRAME_LEN,
+};
 use serigraph::sg_net::{
-    parse_fault_plan, run_cluster, ClusterConfig, ClusterOutcome, Frame, Message, RunSpec,
-    SpawnMode, WireError, Workload, PROTOCOL_VERSION,
+    parse_fault_plan, run_cluster, Clock, ClusterConfig, ClusterOutcome, Frame, Message, MsgBatch,
+    NetError, RunSpec, SpawnMode, WireCodec, WireError, Workload, PROTOCOL_VERSION,
 };
 use serigraph::NetworkOptions;
 
@@ -43,7 +47,7 @@ fn every_message() -> Vec<Message> {
         Message::ReleaseUnit { unit: 42 },
         Message::FlushDone { flush_seq: 7 },
         Message::ValuesUpload {
-            values: vec![(0, 11), (5, u64::MAX)],
+            values: vec![(0, vec![11, 0, 0, 0]), (5, Vec::new())],
         },
         Message::HistoryUpload {
             txns: vec![WireTxn {
@@ -113,9 +117,10 @@ fn every_message() -> Vec<Message> {
             version: PROTOCOL_VERSION,
             rank: 1,
             resume_from: 6,
+            features: 1,
         },
         Message::BatchFlush {
-            msgs: vec![(1, 2, 3), (4, 5, u64::MAX)],
+            batch: batch_of(&[(1, 2, &3u64.to_le_bytes()), (4, 5, &[])]),
         },
         Message::FlushPing { flush_seq: 2 },
         Message::FlushAck {
@@ -136,17 +141,49 @@ fn every_message() -> Vec<Message> {
             echo_ns: 123_456,
             ack_through: 88,
         },
+        Message::AuditUpload {
+            txns: vec![WireTxn {
+                vertex: 4,
+                start: 0x301,
+                end: 0x402,
+                stale: vec![],
+            }],
+            watermark: 0x500,
+        },
+        Message::QueryRequest {
+            id: 9,
+            op: 2,
+            a: 3,
+            b: 0,
+            vertices: vec![1, 2, 3],
+        },
+        Message::QueryResponse {
+            id: 9,
+            ok: 1,
+            values: vec![7, u64::MAX],
+            checksum: 0xABCD,
+            count: 2,
+        },
     ]
+}
+
+/// Build a [`MsgBatch`] from `(to, from, payload)` triples.
+fn batch_of(entries: &[(u32, u32, &[u8])]) -> MsgBatch {
+    let mut b = MsgBatch::new();
+    for &(to, from, payload) in entries {
+        b.push(to, from, payload);
+    }
+    b
 }
 
 #[test]
 fn every_message_kind_round_trips_through_the_codec() {
     let msgs = every_message();
-    // All 26 kinds, no duplicates: the list genuinely covers the protocol.
+    // All 29 kinds, no duplicates: the list genuinely covers the protocol.
     let mut kinds: Vec<u8> = msgs.iter().map(Message::kind).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 26, "message list must cover every wire kind");
+    assert_eq!(kinds.len(), 29, "message list must cover every wire kind");
 
     for (i, msg) in msgs.into_iter().enumerate() {
         let frame = Frame {
@@ -283,7 +320,7 @@ fn duplicated_frame_bytes_decode_to_identical_frames() {
         seq: 5,
         clock: 9,
         msg: Message::BatchFlush {
-            msgs: vec![(1, 2, 3)],
+            batch: batch_of(&[(1, 2, &3u64.to_le_bytes())]),
         },
     };
     let mut stream = frame.encode();
@@ -293,6 +330,166 @@ fn duplicated_frame_bytes_decode_to_identical_frames() {
     let b = read_frame(&mut r).unwrap().unwrap().unwrap();
     assert_eq!(a, b);
     assert_eq!(a, frame);
+}
+
+#[test]
+fn batch_frames_round_trip_zero_copy_at_random_payload_sizes() {
+    // Deterministic LCG; payload sizes sweep the interesting boundaries
+    // (empty, sub-word, cache-line, KiB-scale).
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut rng = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for round in 0..32u64 {
+        let n = (rng() % 40) as usize + 1;
+        let mut batch = MsgBatch::new();
+        let mut expect: Vec<(u32, u32, Vec<u8>)> = Vec::new();
+        for _ in 0..n {
+            let to = (rng() % 1000) as u32;
+            let from = (rng() % 1000) as u32;
+            let len = match rng() % 4 {
+                0 => 0,
+                1 => (rng() % 9) as usize,
+                2 => (rng() % 512) as usize,
+                _ => (rng() % 4096) as usize,
+            };
+            let payload: Vec<u8> = (0..len).map(|_| rng() as u8).collect();
+            batch.push(to, from, &payload);
+            expect.push((to, from, payload));
+        }
+        let frame = Frame {
+            seq: round + 1,
+            clock: 7,
+            msg: Message::BatchFlush {
+                batch: batch.clone(),
+            },
+        };
+        let bytes = frame.encode();
+        // The receive hot path: peek the fixed header, then parse a
+        // borrowed view over the frame bytes — no per-message copy.
+        let payload = &bytes[4..];
+        let header = peek_header(payload).expect("header");
+        assert!(header.is_batch());
+        assert_eq!(header.seq, round + 1);
+        let mut scratch = Vec::new();
+        let view = batch_view(payload, &mut scratch).expect("batch view");
+        assert_eq!(view.len(), expect.len());
+        for (got, want) in view.iter().zip(&expect) {
+            assert_eq!(got, (want.0, want.1, want.2.as_slice()));
+        }
+        assert_eq!(view.to_owned_batch(), batch);
+    }
+}
+
+#[test]
+fn oversized_and_truncated_batches_are_rejected_with_typed_errors() {
+    // A length prefix past MAX_FRAME_LEN is rejected before any allocation.
+    let mut bytes = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec();
+    bytes.push(20);
+    let mut r = &bytes[..];
+    assert!(matches!(
+        read_frame(&mut r).expect("no io error").expect("not eof"),
+        Err(WireError::BadLength(_))
+    ));
+
+    let frame = Frame {
+        seq: 1,
+        clock: 1,
+        msg: Message::BatchFlush {
+            batch: batch_of(&[(1, 2, b"hello"), (3, 4, &[0; 64])]),
+        },
+    };
+    let bytes = frame.encode();
+    let payload = &bytes[4..];
+    let mut scratch = Vec::new();
+    assert!(batch_view(payload, &mut scratch).is_ok());
+    // Any strict prefix of the body fails with a typed error, never a
+    // panic and never a short parse (17 = frame header, always intact
+    // after read_frame_into).
+    for cut in 17..payload.len() {
+        assert!(
+            batch_view(&payload[..cut], &mut scratch).is_err(),
+            "cut at {cut} parsed anyway"
+        );
+    }
+    // A batch claiming more entries than its bytes hold is Truncated...
+    let mut lying = payload.to_vec();
+    lying[17..21].copy_from_slice(&3u32.to_le_bytes());
+    assert!(matches!(
+        batch_view(&lying, &mut scratch),
+        Err(WireError::Truncated)
+    ));
+    // ...and one claiming fewer leaves trailing bytes.
+    let mut lying = payload.to_vec();
+    lying[17..21].copy_from_slice(&1u32.to_le_bytes());
+    assert!(matches!(
+        batch_view(&lying, &mut scratch),
+        Err(WireError::TrailingBytes(_))
+    ));
+}
+
+#[test]
+fn wire_codec_value_types_round_trip() {
+    fn rt<T: WireCodec + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.encode_into(&mut buf);
+        assert_eq!(T::decode(&buf), Some(v));
+    }
+    rt(0u32);
+    rt(7u32);
+    rt(u32::MAX);
+    rt(0u64);
+    rt(u64::MAX);
+    rt(0.0f64);
+    rt(-1.5f64);
+    rt(f64::MAX);
+    rt(());
+    rt(MisState::Undecided);
+    rt(MisState::In);
+    rt(MisState::Out);
+    // Wrong-width or garbage payloads decode to None, never panic.
+    assert_eq!(u32::decode(&[1, 2, 3]), None);
+    assert_eq!(u64::decode(&[0; 7]), None);
+    assert_eq!(f64::decode(&[]), None);
+    assert_eq!(<() as WireCodec>::decode(&[0]), None);
+    assert_eq!(MisState::decode(&[3]), None);
+    assert_eq!(MisState::decode(&[]), None);
+}
+
+#[test]
+fn handshake_rejects_a_v4_peer_outright() {
+    use std::io::Write as _;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let dialer = std::thread::spawn(move || {
+        let mut s = std::net::TcpStream::connect(addr).expect("connect");
+        let stale = Frame {
+            seq: 0,
+            clock: 1,
+            msg: Message::PeerHello {
+                version: 4,
+                rank: 1,
+                resume_from: 0,
+                features: 0,
+            },
+        };
+        s.write_all(&stale.encode()).expect("write hello");
+        s
+    });
+    let (stream, _) = listener.accept().expect("accept");
+    let clock = Clock::new();
+    let err = accept_handshake(&stream, &clock, 0, |_| 0).expect_err("v4 must be rejected");
+    match err {
+        NetError::Wire(WireError::VersionMismatch { ours, theirs }) => {
+            assert_eq!(ours, PROTOCOL_VERSION);
+            assert_eq!(theirs, 4);
+        }
+        other => panic!("expected a version mismatch, got {other}"),
+    }
+    drop(dialer.join().unwrap());
 }
 
 // ---------------------------------------------------------------------------
@@ -410,9 +607,113 @@ fn runner_networked_routes_through_the_cluster() {
 fn networked_runner_rejects_unsupported_programs() {
     let err = Runner::new(gen::paper_c4())
         .networked(NetworkOptions::default())
-        .run_mis()
+        .run_triangles()
         .unwrap_err();
     assert!(matches!(err, EngineError::InvalidConfig(_)));
+}
+
+// ---------------------------------------------------------------------------
+// Variable-length payload workloads (MIS, PageRank)
+
+#[test]
+fn networked_mis_matches_the_in_process_engine_exactly() {
+    let g = gen::paper_c4();
+    let parts: Vec<PartitionId> = c4_assignment().into_iter().map(PartitionId::new).collect();
+    for technique in [Technique::SingleToken, Technique::DualToken] {
+        let wire = cluster(&g, technique, Workload::Mis);
+        assert!(wire.converged, "{technique:?} did not converge");
+        let states: Vec<MisState> = wire.typed_values();
+        let local = Runner::new(g.clone())
+            .workers(2)
+            .partitions_per_worker(1)
+            .threads_per_worker(1)
+            .technique(technique)
+            .explicit_partitions(parts.clone())
+            .run_mis()
+            .expect("in-process mis");
+        assert_eq!(
+            states, local.values,
+            "{technique:?}: MIS decisions diverged between TCP and in-process"
+        );
+        let members = serigraph::sg_algos::mis::membership(&states);
+        assert!(validate::is_maximal_independent_set(&g, &members));
+        let history = wire.history.expect("history recorded");
+        assert!(history.is_one_copy_serializable(&g));
+    }
+}
+
+/// Alternate a directed ring of `n` between two workers: every edge
+/// crosses workers, so every vertex is a boundary vertex and execution is
+/// fully token-gated — a pure function of the superstep. That makes the
+/// f64 message-fold grouping deterministic, which bitwise comparisons
+/// need (an internal vertex could consume a racing in-flight batch in
+/// either of two supersteps, shifting sums by an ULP).
+fn ring_alternating(n: u32) -> Vec<u32> {
+    (0..n).map(|v| v % 2).collect()
+}
+
+#[test]
+fn networked_pagerank_matches_a_combiner_free_in_process_run_bit_for_bit() {
+    // A directed ring has in-degree 1, so every vertex folds exactly one
+    // message per update and the f64 sums are order-independent: the
+    // networked run must reproduce the in-process engine's doubles bit
+    // for bit. The in-process side runs WITHOUT the combiner — the wire
+    // path folds messages in `compute`, not in a combiner.
+    let g = gen::ring(12);
+    let threshold = 1e-4;
+    let assignment = ring_alternating(12);
+    let mut cfg = ClusterConfig::new(2, Technique::SingleToken, Workload::Pagerank(threshold));
+    cfg.partitions_per_worker = 1;
+    cfg.explicit_partitions = Some(assignment.clone());
+    let wire = run_cluster(&g, &cfg).expect("cluster pagerank");
+    assert!(wire.converged);
+    let local = Runner::new(g.clone())
+        .workers(2)
+        .partitions_per_worker(1)
+        .threads_per_worker(1)
+        .technique(Technique::SingleToken)
+        .explicit_partitions(assignment.into_iter().map(PartitionId::new).collect())
+        .run_program(DeltaPageRank::new(threshold))
+        .expect("in-process pagerank");
+    let ranks: Vec<f64> = wire.typed_values();
+    assert_eq!(ranks.len(), local.values.len());
+    for (v, (w, l)) in ranks.iter().zip(&local.values).enumerate() {
+        assert_eq!(
+            w.to_bits(),
+            l.to_bits(),
+            "vertex {v}: networked {w} != in-process {l}"
+        );
+    }
+}
+
+#[test]
+fn runner_networked_routes_mis_and_pagerank() {
+    let g = gen::paper_c4();
+    let out = Runner::new(g.clone())
+        .workers(2)
+        .technique(Technique::SingleToken)
+        .networked(NetworkOptions {
+            spawn: SpawnMode::Threads,
+            ..NetworkOptions::default()
+        })
+        .run_mis()
+        .expect("networked mis");
+    assert!(out.converged);
+    let members = serigraph::sg_algos::mis::membership(&out.values);
+    assert!(validate::is_maximal_independent_set(&g, &members));
+
+    let out = Runner::new(gen::ring(8))
+        .workers(2)
+        .technique(Technique::PartitionLock)
+        .networked(NetworkOptions {
+            spawn: SpawnMode::Threads,
+            ..NetworkOptions::default()
+        })
+        .run_pagerank(1e-3)
+        .expect("networked pagerank");
+    assert!(out.converged);
+    let mass: f64 = out.values.iter().sum();
+    assert!((mass - 8.0).abs() < 0.1, "pagerank mass drifted: {mass}");
 }
 
 // ---------------------------------------------------------------------------
@@ -460,6 +761,32 @@ fn dropped_duplicated_and_delayed_frames_are_absorbed() {
     )
     .expect("clean run");
     assert_eq!(out.values, clean.values);
+}
+
+#[test]
+fn faults_on_pooled_links_replay_variable_length_payloads_byte_identically() {
+    // PageRank ships 8-byte f64 payloads through the pooled retransmit
+    // tail; a faulted run must land on exactly the clean run's encoded
+    // value bytes — dropped frames recovered by fence retransmit, the
+    // duplicate deduplicated, the killed connection redialed and resumed.
+    let g = gen::ring(12);
+    let threshold = 1e-4;
+    let assignment = ring_alternating(12);
+    let mut cfg = ClusterConfig::new(2, Technique::SingleToken, Workload::Pagerank(threshold));
+    cfg.partitions_per_worker = 1;
+    cfg.explicit_partitions = Some(assignment.clone());
+    cfg.faults = vec![
+        (0, parse_fault_plan("drop=1,dup=3,kill=6").expect("spec")),
+        (1, parse_fault_plan("drop=2,delay=4:20").expect("spec")),
+    ];
+    let faulted = run_cluster(&g, &cfg).expect("faulted run");
+    assert!(faulted.converged);
+    cfg.faults = Vec::new();
+    let clean = run_cluster(&g, &cfg).expect("clean run");
+    assert_eq!(
+        faulted.values, clean.values,
+        "retransmitted variable-length payloads must replay byte-identically"
+    );
 }
 
 // ---------------------------------------------------------------------------
