@@ -32,6 +32,9 @@ echo "== sg-msgbench smoke (tiny datapath bench; artifact schema check) =="
 echo "== sg-netbench smoke (wire v5 throughput lane; zero-alloc pool gate; drift check) =="
 ./scripts/netbench_smoke.sh
 
+echo "== sg-sim smoke (discrete-event 512-worker lanes; determinism replay; drift check) =="
+./scripts/sim_smoke.sh
+
 echo "== sg-net smoke (loopback multi-process cluster; fault recovery) =="
 ./scripts/net_smoke.sh
 

@@ -61,6 +61,25 @@ fn usage(message: &str) -> CliError {
     }
 }
 
+/// The engine runs more techniques than the checker models. When someone
+/// asks to explore one of those, say *why* it is outside the model (a
+/// typed `not modelable` diagnostic, exit 2) instead of pretending the
+/// name is unknown.
+fn bad_technique(v: &str) -> CliError {
+    use sg_core::{model_coverage, ModelCoverage, Technique};
+    for t in [Technique::PartitionLockNoSkip, Technique::BspVertexLock] {
+        if let ModelCoverage::NotModelable { technique, reason } = model_coverage(t) {
+            if technique == v {
+                return CliError {
+                    code: EXIT_MALFORMED,
+                    message: format!("technique {v:?} is not modelable: {reason}"),
+                };
+            }
+        }
+    }
+    usage(&format!("unknown technique {v:?}"))
+}
+
 fn run(args: &[String]) -> Result<(String, i32), CliError> {
     let Some(cmd) = args.first() else {
         return Err(usage("missing subcommand"));
@@ -96,10 +115,7 @@ fn run(args: &[String]) -> Result<(String, i32), CliError> {
                 let v = value.as_deref().unwrap_or("");
                 match flag.as_str() {
                     "technique" => {
-                        technique = Some(
-                            CheckTechnique::parse(v)
-                                .ok_or_else(|| usage(&format!("unknown technique {v:?}")))?,
-                        );
+                        technique = Some(CheckTechnique::parse(v).ok_or_else(|| bad_technique(v))?);
                     }
                     "strategy" => {
                         cfg.strategy = StrategyKind::parse(v)

@@ -26,6 +26,10 @@ USAGE:
     sg-trace merge <a.json> <b.json> [more...] --out <merged.json>
     sg-trace check <trace.json|BENCH.json> --against <BENCH.json> [--cell <label>] [--tolerance <pct>]
 
+--top-k defaults to the trace's worker count / 16, clamped to [5, 32]
+(a 512-worker simulator trace shows 32 blocking edges, a 4-worker
+engine trace shows 5).
+
 Exit codes:
     0   success
     1   usage error (bad flags or arguments)
@@ -63,18 +67,19 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let [trace] = positional.as_slice() else {
                 return Err(usage("analyze takes exactly one trace file"));
             };
-            let mut top_k = 5usize;
+            let mut top_k: Option<usize> = None;
             let mut json = false;
             for (flag, value) in &flags {
                 match (flag.as_str(), value) {
                     ("top-k", Some(v)) => {
-                        top_k = v.parse().map_err(|_| usage("--top-k needs an integer"))?;
+                        top_k = Some(v.parse().map_err(|_| usage("--top-k needs an integer"))?);
                     }
                     ("json", None) => json = true,
                     _ => return Err(usage(&format!("unknown analyze flag --{flag}"))),
                 }
             }
             let parsed = load_trace(Path::new(trace))?;
+            let top_k = top_k.unwrap_or_else(|| sgtrace::default_top_k(&parsed));
             Ok(analyze_text(&parsed, top_k, json))
         }
         "diff" => {

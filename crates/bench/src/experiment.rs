@@ -128,6 +128,52 @@ pub fn run_pregel_obs(
     }
 }
 
+/// Run `algo` on the `sg-sim` discrete-event simulator under `technique`.
+///
+/// Mirrors [`run_pregel_obs`] (including the coloring symmetrization) but
+/// executes the whole cluster as one single-threaded event-loop walk, so
+/// worker counts in the hundreds finish within a CI budget. `ppw` is
+/// explicit because the engine's `|P|/worker = |W|` default is quadratic
+/// in workers — untenable at 512.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sim(
+    graph: &Arc<Graph>,
+    algo: Algo,
+    technique: Technique,
+    workers: u32,
+    ppw: u32,
+    max_supersteps: u64,
+    opts: SimOptions,
+    obs: ObsConfig,
+) -> ExperimentResult {
+    let runner = |g: Arc<Graph>| {
+        Runner::from_arc(g)
+            .workers(workers)
+            .partitions_per_worker(ppw)
+            .threads_per_worker(2)
+            .max_supersteps(max_supersteps)
+            .technique(technique)
+            .observability(obs.clone())
+            .simulated(opts)
+    };
+    match algo {
+        Algo::Coloring => wrap(
+            runner(Arc::new(graph.to_undirected()))
+                .run_coloring()
+                .expect("config"),
+        ),
+        Algo::PageRank(OrderedF64(t)) => {
+            wrap(runner(Arc::clone(graph)).run_pagerank(t).expect("config"))
+        }
+        Algo::Sssp => wrap(
+            runner(Arc::clone(graph))
+                .run_sssp(VertexId::new(0))
+                .expect("config"),
+        ),
+        Algo::Wcc => wrap(runner(Arc::clone(graph)).run_wcc().expect("config")),
+    }
+}
+
 fn wrap<V>(out: Outcome<V>) -> ExperimentResult {
     ExperimentResult {
         makespan_ns: out.makespan_ns,

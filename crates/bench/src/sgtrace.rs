@@ -179,6 +179,20 @@ fn identity_line(meta: &RunMeta) -> String {
     )
 }
 
+/// Default `--top-k` for `analyze`, scaled to the trace's worker count: 5
+/// covers a handful of engine workers, but a 512-worker simulator trace
+/// aggregates thousands of blocking edges and a fixed 5 hides everything
+/// but the tip. Grows one slot per 16 workers, capped at 32 rows.
+pub fn default_top_k(trace: &ParsedTrace) -> usize {
+    let workers = trace
+        .events
+        .iter()
+        .map(|e| (e.worker + 1).max(e.peer.map_or(0, |p| p + 1)))
+        .max()
+        .unwrap_or(0) as usize;
+    (workers / 16).clamp(5, 32)
+}
+
 /// `sg-trace analyze`: the full critical-path report for one trace.
 pub fn analyze_text(trace: &ParsedTrace, top_k: usize, json: bool) -> String {
     let report = critical_path::analyze(&trace.events, trace.makespan_ns);
@@ -715,6 +729,30 @@ mod tests {
         let mut expect = original.clone();
         expect.sort_by_key(|e| (e.worker, e.ts_ns, e.kind as u8));
         assert_eq!(recovered, expect);
+    }
+
+    #[test]
+    fn top_k_default_scales_with_worker_count() {
+        let mk = |workers: u32| ParsedTrace {
+            meta: RunMeta::default(),
+            events: (0..workers)
+                .map(|w| TraceEvent {
+                    worker: w,
+                    superstep: 0,
+                    kind: TraceEventKind::VertexExecute,
+                    ts_ns: 0,
+                    dur_ns: 10,
+                    arg: 0,
+                    peer: None,
+                })
+                .collect(),
+            makespan_ns: 10,
+        };
+        assert_eq!(default_top_k(&mk(4)), 5);
+        assert_eq!(default_top_k(&mk(64)), 5);
+        assert_eq!(default_top_k(&mk(128)), 8);
+        assert_eq!(default_top_k(&mk(512)), 32);
+        assert_eq!(default_top_k(&mk(2048)), 32);
     }
 
     #[test]

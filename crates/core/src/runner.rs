@@ -7,11 +7,13 @@ use sg_algos::{
     TriangleCount, Wcc,
 };
 use sg_engine::{
-    Engine, EngineConfig, EngineError, Model, Outcome, TechniqueKind, TransportKind, VertexProgram,
+    Combiner, Engine, EngineConfig, EngineError, Model, Outcome, TechniqueKind, TransportKind,
+    VertexProgram,
 };
 use sg_graph::{Graph, PartitionId, VertexId};
 use sg_metrics::{CostModel, ObsConfig, ObsReport, TraceBuffer};
 use sg_net::{ClusterConfig, ClusterOutcome, FaultPlan, SpawnMode, WireCodec, Workload};
+use sg_sim::SimOptions;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -70,6 +72,7 @@ pub struct Runner {
     graph: Arc<Graph>,
     config: EngineConfig,
     net: Option<NetworkOptions>,
+    sim: Option<SimOptions>,
 }
 
 impl Runner {
@@ -84,6 +87,7 @@ impl Runner {
             graph,
             config: EngineConfig::default(),
             net: None,
+            sim: None,
         }
     }
 
@@ -223,6 +227,19 @@ impl Runner {
         self
     }
 
+    /// Execute on the `sg-sim` discrete-event simulator instead of the
+    /// in-process engine: workers become simulation actors on one host,
+    /// 512-worker supersteps walk as a single event-loop pass with exact
+    /// virtual-time makespans, and runs are bit-identical under a fixed
+    /// seed. The unmodified `sg-sync` protocol objects and vertex
+    /// programs run behind the transport seam, so every workload —
+    /// including [`Runner::run_program`] — is available simulated.
+    /// Incompatible with [`Runner::networked`].
+    pub fn simulated(mut self, opts: SimOptions) -> Self {
+        self.sim = Some(opts);
+        self
+    }
+
     /// The underlying engine configuration (escape hatch).
     pub fn config(&self) -> &EngineConfig {
         &self.config
@@ -238,6 +255,9 @@ impl Runner {
         &self,
         program: P,
     ) -> Result<Outcome<P::Value>, EngineError> {
+        if self.sim.is_some() {
+            return self.run_simulated(program, None);
+        }
         if self.net.is_some() {
             return Err(EngineError::InvalidConfig(
                 "arbitrary vertex programs cannot ship over the wire; networked runs \
@@ -264,6 +284,13 @@ impl Runner {
     /// assert_eq!(snap.get(VertexId::new(0)), Some(outcome.values[0]));
     /// ```
     pub fn build_engine<P: VertexProgram>(&self, program: P) -> Result<Engine<P>, EngineError> {
+        if self.sim.is_some() {
+            return Err(EngineError::InvalidConfig(
+                "build_engine constructs the in-process engine; simulated runs execute \
+                 entirely inside sg-sim's event loop"
+                    .into(),
+            ));
+        }
         if self.net.is_some() {
             return Err(EngineError::InvalidConfig(
                 "build_engine constructs the in-process engine; networked runs serve \
@@ -272,6 +299,28 @@ impl Runner {
             ));
         }
         Engine::new(Arc::clone(&self.graph), program, self.config.clone())
+    }
+
+    /// Route a run through the `sg-sim` discrete-event simulator.
+    fn run_simulated<P: VertexProgram>(
+        &self,
+        program: P,
+        combiner: Option<Box<dyn Combiner<P::Message>>>,
+    ) -> Result<Outcome<P::Value>, EngineError> {
+        let opts = self.sim.as_ref().expect("run_simulated requires sim opts");
+        if self.net.is_some() {
+            return Err(EngineError::InvalidConfig(
+                "simulated and networked execution are mutually exclusive".into(),
+            ));
+        }
+        let report = sg_sim::simulate(
+            Arc::clone(&self.graph),
+            program,
+            combiner,
+            &self.config,
+            opts,
+        )?;
+        Ok(report.outcome)
     }
 
     /// Route one of the wire-supported workloads through the `sg-net`
@@ -346,6 +395,9 @@ impl Runner {
     /// Greedy graph coloring (Algorithm 1). Requires a symmetric graph;
     /// proper colorings require a serializable technique.
     pub fn run_coloring(&self) -> Result<Outcome<u32>, EngineError> {
+        if self.sim.is_some() {
+            return self.run_simulated(GreedyColoring, None);
+        }
         if let Some(opts) = &self.net {
             return self.run_networked(opts, Workload::Coloring);
         }
@@ -359,6 +411,12 @@ impl Runner {
 
     /// PageRank with the given residual threshold (paper: 0.01 / 0.1).
     pub fn run_pagerank(&self, threshold: f64) -> Result<Outcome<f64>, EngineError> {
+        if self.sim.is_some() {
+            return self.run_simulated(
+                DeltaPageRank::new(threshold),
+                Some(Box::new(DeltaPageRank::combiner())),
+            );
+        }
         if let Some(opts) = &self.net {
             return self.run_networked(opts, Workload::Pagerank(threshold));
         }
@@ -373,6 +431,9 @@ impl Runner {
 
     /// SSSP from `source` with unit weights.
     pub fn run_sssp(&self, source: VertexId) -> Result<Outcome<u64>, EngineError> {
+        if self.sim.is_some() {
+            return self.run_simulated(Sssp::new(source), Some(Box::new(Sssp::combiner())));
+        }
         if let Some(opts) = &self.net {
             return self.run_networked(opts, Workload::Sssp(source.raw()));
         }
@@ -387,6 +448,9 @@ impl Runner {
 
     /// Weakly connected components (HCC).
     pub fn run_wcc(&self) -> Result<Outcome<u32>, EngineError> {
+        if self.sim.is_some() {
+            return self.run_simulated(Wcc, Some(Box::new(Wcc::combiner())));
+        }
         if let Some(opts) = &self.net {
             return self.run_networked(opts, Workload::Wcc);
         }
@@ -400,6 +464,9 @@ impl Runner {
     /// Greedy maximal independent set (requires a serializable technique
     /// for correctness).
     pub fn run_mis(&self) -> Result<Outcome<MisState>, EngineError> {
+        if self.sim.is_some() {
+            return self.run_simulated(GreedyMis, None);
+        }
         if let Some(opts) = &self.net {
             return self.run_networked(opts, Workload::Mis);
         }
@@ -491,6 +558,45 @@ mod tests {
         assert!(out.converged);
         let members = sg_algos::mis::membership(&out.values);
         assert!(validate::is_maximal_independent_set(&g, &members));
+    }
+
+    #[test]
+    fn simulated_coloring_through_runner() {
+        let out = Runner::new(gen::ring(32))
+            .workers(4)
+            .technique(Technique::DualToken)
+            .record_history(true)
+            .simulated(SimOptions::default())
+            .run_coloring()
+            .unwrap();
+        assert!(out.converged);
+        assert_eq!(validate::coloring_conflicts(&gen::ring(32), &out.values), 0);
+        let history = out.history.expect("recorded");
+        assert!(history.is_one_copy_serializable(&gen::ring(32)));
+    }
+
+    #[test]
+    fn simulated_workloads_with_combiners() {
+        let g = gen::grid(3, 3);
+        let r = Runner::new(g.clone())
+            .workers(2)
+            .simulated(SimOptions::default());
+        let sssp = r.run_sssp(VertexId::new(0)).unwrap();
+        assert_eq!(sssp.values[8], 4);
+        let wcc = r.run_wcc().unwrap();
+        assert!(wcc.values.iter().all(|&c| c == 0));
+        let pr = r.run_pagerank(1e-6).unwrap();
+        assert!(pr.converged);
+    }
+
+    #[test]
+    fn simulated_rejects_networked_and_build_engine() {
+        let r = Runner::new(gen::ring(4))
+            .simulated(SimOptions::default())
+            .networked(NetworkOptions::default());
+        assert!(r.run_coloring().is_err());
+        let r2 = Runner::new(gen::ring(4)).simulated(SimOptions::default());
+        assert!(r2.build_engine(GreedyColoring).is_err());
     }
 
     #[test]

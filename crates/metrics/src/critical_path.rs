@@ -363,6 +363,26 @@ pub fn analyze(events: &[TraceEvent], makespan_ns: u64) -> CriticalPathReport {
     let spans = segment_supersteps(events, makespan_ns);
     let has_ring = events.iter().any(|e| e.kind == TraceEventKind::RingPass);
 
+    // Walking a span scans one worker's own events plus its incoming
+    // arrivals; index both once so the whole analysis stays linear in the
+    // event count rather than supersteps × events (512-worker simulator
+    // traces reach millions of events).
+    let workers = events
+        .iter()
+        .map(|e| (e.worker + 1).max(e.peer.map_or(0, |p| p + 1)))
+        .max()
+        .unwrap_or(0) as usize;
+    let mut own_idx: Vec<Vec<&TraceEvent>> = vec![Vec::new(); workers];
+    let mut arrival_idx: Vec<Vec<&TraceEvent>> = vec![Vec::new(); workers];
+    for e in events {
+        own_idx[e.worker as usize].push(e);
+        if let Some(p) = e.peer {
+            if p != e.worker {
+                arrival_idx[p as usize].push(e);
+            }
+        }
+    }
+
     let mut attribution = Attribution::default();
     let mut per_superstep = Vec::with_capacity(spans.len());
     // On-path compute/comm sub-intervals, tagged with their span index, for
@@ -370,7 +390,13 @@ pub fn analyze(events: &[TraceEvent], makespan_ns: u64) -> CriticalPathReport {
     let mut path_intervals: Vec<(usize, u32, u64, u64, Category)> = Vec::new();
     let mut cursor = 0u64;
     for (idx, &(superstep, start, end, straggler)) in spans.iter().enumerate() {
-        let (attr, intervals) = walk_span(events, straggler, start, end);
+        let w = straggler as usize;
+        let (attr, intervals) = walk_span(
+            own_idx.get(w).map_or(&[][..], Vec::as_slice),
+            arrival_idx.get(w).map_or(&[][..], Vec::as_slice),
+            start,
+            end,
+        );
         attribution.merge(&attr);
         for (s, e, cat) in intervals {
             path_intervals.push((idx, straggler, s, e, cat));
@@ -474,12 +500,14 @@ fn arrival_category(kind: TraceEventKind) -> Option<Category> {
     }
 }
 
-/// Walk `[start, end]` along worker `w`'s timeline; returns the span's
-/// attribution plus the on-path compute/comm sub-intervals (tagged with
-/// their category, for the token-serialization refinement).
+/// Walk `[start, end]` along one worker's timeline; `own_events` are the
+/// worker's own records and `incoming` the cross-worker records targeting
+/// it (both pre-indexed by the caller). Returns the span's attribution
+/// plus the on-path compute/comm sub-intervals (tagged with their
+/// category, for the token-serialization refinement).
 fn walk_span(
-    events: &[TraceEvent],
-    w: u32,
+    own_events: &[&TraceEvent],
+    incoming: &[&TraceEvent],
     start: u64,
     end: u64,
 ) -> (Attribution, Vec<(u64, u64, Category)>) {
@@ -489,9 +517,9 @@ fn walk_span(
         cat: Category,
         prio: u8,
     }
-    let own: Vec<Own> = events
+    let own: Vec<Own> = own_events
         .iter()
-        .filter(|e| e.worker == w && e.dur_ns > 0)
+        .filter(|e| e.dur_ns > 0)
         .filter_map(|e| {
             let (cat, prio) = own_interval(e.kind)?;
             let s = e.ts_ns.max(start);
@@ -504,9 +532,8 @@ fn walk_span(
             })
         })
         .collect();
-    let mut arrivals: Vec<(u64, Category)> = events
+    let mut arrivals: Vec<(u64, Category)> = incoming
         .iter()
-        .filter(|e| e.peer == Some(w) && e.worker != w)
         .filter_map(|e| {
             let cat = arrival_category(e.kind)?;
             let t = e.end_ns();
@@ -516,10 +543,10 @@ fn walk_span(
     arrivals.sort_unstable_by_key(|a| a.0);
     // Incoming ring passes: while one is still ahead, the worker cannot
     // execute no matter what else lands — the token serializes it.
-    let ring_arrivals: Vec<u64> = events
+    let ring_arrivals: Vec<u64> = incoming
         .iter()
-        .filter(|e| e.kind == TraceEventKind::RingPass && e.peer == Some(w) && e.worker != w)
-        .map(TraceEvent::end_ns)
+        .filter(|e| e.kind == TraceEventKind::RingPass)
+        .map(|e| e.end_ns())
         .filter(|&t| t > start && t <= end)
         .collect();
 

@@ -1,0 +1,149 @@
+//! The discrete-event queue: a binary heap over virtual time with a
+//! deterministic total order.
+//!
+//! Ties are broken first by event class — message deliveries order before
+//! lane steps at the same instant, so a vertex scheduled to start exactly
+//! when a batch arrives sees its messages — and then by insertion sequence,
+//! which a single-threaded simulation assigns deterministically. Two runs
+//! with the same seed therefore pop the exact same event sequence.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A remote message batch arrives at its destination worker.
+    Deliver {
+        /// Index into the simulation's batch table.
+        batch: u32,
+    },
+    /// A worker lane (one simulated compute thread) advances its state
+    /// machine: claim a partition, execute one vertex, or retry a blocked
+    /// acquisition.
+    Step {
+        /// Worker rank.
+        worker: u32,
+        /// Lane within the worker (`0..threads_per_worker`).
+        lane: u32,
+    },
+}
+
+impl EventKind {
+    /// Tie-break class at equal timestamps: deliveries before steps.
+    fn class(self) -> u8 {
+        match self {
+            EventKind::Deliver { .. } => 0,
+            EventKind::Step { .. } => 1,
+        }
+    }
+
+    /// Stable numeric encoding folded into the determinism digest.
+    pub fn digest_words(self) -> (u64, u64) {
+        match self {
+            EventKind::Deliver { batch } => (0, u64::from(batch)),
+            EventKind::Step { worker, lane } => (1, (u64::from(worker) << 32) | u64::from(lane)),
+        }
+    }
+}
+
+/// One scheduled event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual timestamp, nanoseconds.
+    pub at: u64,
+    /// What fires.
+    pub kind: EventKind,
+    /// Insertion sequence (deterministic final tie-break).
+    pub seq: u64,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.kind.class().cmp(&self.kind.class()))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulation's event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` at virtual time `at`.
+    pub fn push(&mut self, at: u64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, kind, seq });
+    }
+
+    /// Pop the earliest event (deliveries before steps at equal times,
+    /// then insertion order).
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Any events pending?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, EventKind::Step { worker: 0, lane: 0 });
+        q.push(10, EventKind::Step { worker: 1, lane: 0 });
+        q.push(20, EventKind::Deliver { batch: 0 });
+        assert_eq!(q.pop().unwrap().at, 10);
+        assert_eq!(q.pop().unwrap().at, 20);
+        assert_eq!(q.pop().unwrap().at, 30);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn deliveries_order_before_steps_at_equal_time() {
+        let mut q = EventQueue::new();
+        q.push(5, EventKind::Step { worker: 0, lane: 0 });
+        q.push(5, EventKind::Deliver { batch: 7 });
+        assert_eq!(q.pop().unwrap().kind, EventKind::Deliver { batch: 7 });
+        assert_eq!(
+            q.pop().unwrap().kind,
+            EventKind::Step { worker: 0, lane: 0 }
+        );
+    }
+
+    #[test]
+    fn equal_time_same_class_pops_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for w in 0..8u32 {
+            q.push(42, EventKind::Step { worker: w, lane: 0 });
+        }
+        for w in 0..8u32 {
+            let e = q.pop().unwrap();
+            assert_eq!(e.kind, EventKind::Step { worker: w, lane: 0 });
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # sg-sim — discrete-event cluster simulation
+//!
+//! The fourth transport for the paper's synchronization techniques: a
+//! single-threaded discrete-event core (binary-heap event queue over
+//! virtual time) that hosts the **unmodified** `sg-sync` protocol objects
+//! and vertex programs behind the [`SyncTransport`](sg_sync::SyncTransport)
+//! seam. Where the in-process engine spends one OS thread per simulated
+//! compute thread — topping out at tens of workers on a small host — the
+//! simulator walks a 512-worker superstep as one event-loop pass with
+//! exact virtual-time makespans, deterministic under a fixed seed.
+//!
+//! * [`simulate`] runs a vertex program on a simulated cluster and
+//!   returns the engine-shaped [`Outcome`](sg_engine::Outcome) plus a
+//!   determinism digest ([`SimReport`]).
+//! * [`NetModel`] shapes the simulated network: worker-mesh vs
+//!   coordinator-uplink latency, per-message bandwidth, deterministic
+//!   per-link jitter.
+//! * [`calibrate::fit_cost_model`] fits the per-vertex / per-message cost
+//!   charges from a real instrumented run's trace events.
+//!
+//! Trace events carry simulated timestamps, so `sg-trace analyze` and the
+//! critical-path profiler work unchanged; histories feed the existing 1SR
+//! checker.
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod event;
+pub mod net;
+mod sim;
+
+pub use calibrate::{fit_cost_model, CostFit};
+pub use net::{NetAction, NetModel, SimTransport};
+pub use sim::{simulate, SimOptions, SimReport};

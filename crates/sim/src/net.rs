@@ -1,0 +1,270 @@
+//! The simulated network: a per-link latency model and the
+//! [`SyncTransport`] the protocol objects talk to.
+//!
+//! The model distinguishes the worker mesh (fork transfers, message
+//! batches) from the coordinator uplink (token ring passes, which the
+//! paper routes through the master), and can jitter each directed link
+//! deterministically from a seed — so a 512-worker topology is not one
+//! uniform constant but still replays bit-identically.
+
+use sg_graph::WorkerId;
+use sg_metrics::CostModel;
+use sg_sync::SyncTransport;
+use std::sync::Mutex;
+
+/// SplitMix64 finalizer: a cheap, well-mixed hash for per-link jitter.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Latency/bandwidth shape of the simulated cluster network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetModel {
+    /// One-way latency between two workers (the mesh), nanoseconds.
+    pub mesh_latency_ns: u64,
+    /// One-way latency between a worker and the coordinator (token ring
+    /// passes, barrier traffic), nanoseconds. Equal to the mesh by
+    /// default; raise it to model a master bottleneck.
+    pub uplink_latency_ns: u64,
+    /// Per-message serialization/transfer cost on a remote batch,
+    /// nanoseconds (the bandwidth term).
+    pub per_message_ns: u64,
+    /// Deterministic per-directed-link jitter, ± percent of the mesh
+    /// latency. 0 = uniform links.
+    pub jitter_pct: u32,
+    /// Seed for the jitter hash.
+    pub seed: u64,
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        Self::from_cost(&CostModel::default())
+    }
+}
+
+impl NetModel {
+    /// Derive the network shape from an engine cost model (uniform links,
+    /// no jitter) so sim and in-process runs charge the same wire by
+    /// default.
+    pub fn from_cost(cost: &CostModel) -> Self {
+        Self {
+            mesh_latency_ns: cost.network_latency_ns,
+            uplink_latency_ns: cost.network_latency_ns,
+            per_message_ns: cost.per_remote_message_ns,
+            jitter_pct: 0,
+            seed: 0,
+        }
+    }
+
+    /// One-way latency of the directed link `from -> to`.
+    pub fn link_latency_ns(&self, from: u32, to: u32) -> u64 {
+        if from == to {
+            return 0;
+        }
+        self.jittered(self.mesh_latency_ns, from, to)
+    }
+
+    /// One-way latency of the coordinator uplink as seen from `from`
+    /// toward `to` (ring passes).
+    pub fn uplink_latency_ns(&self, from: u32, to: u32) -> u64 {
+        if from == to {
+            return 0;
+        }
+        self.jittered(self.uplink_latency_ns, from, to)
+    }
+
+    /// Arrival delay of an `n`-message batch on `from -> to`.
+    pub fn batch_latency_ns(&self, from: u32, to: u32, n: u64) -> u64 {
+        self.link_latency_ns(from, to) + n * self.per_message_ns
+    }
+
+    fn jittered(&self, base: u64, from: u32, to: u32) -> u64 {
+        if self.jitter_pct == 0 || base == 0 {
+            return base;
+        }
+        let span = base * u64::from(self.jitter_pct) / 100;
+        if span == 0 {
+            return base;
+        }
+        let h = mix64(self.seed ^ ((u64::from(from) << 32) | u64::from(to)));
+        base - span + h % (2 * span + 1)
+    }
+}
+
+/// A protocol-level network action recorded by [`SimTransport`] for the
+/// event loop to apply.
+///
+/// The `Synchronizer` trait calls into the transport from inside
+/// `try_acquire_unit` / `release_unit` / `end_superstep`; a discrete-event
+/// core cannot mutate its own state re-entrantly from those callbacks, so
+/// the transport queues what happened and the simulation drains the queue
+/// immediately after each protocol call returns — before any other event
+/// fires, which preserves the engine's synchronous write-all (C1)
+/// semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetAction {
+    /// A fork or token moved `from -> to` guarding protocol `unit`
+    /// (`u64::MAX` for unit-less ring passes). The sender's outbound
+    /// messages must be flushed and applied (write-all) as part of the
+    /// handover.
+    Transfer {
+        /// Sending worker.
+        from: u32,
+        /// Receiving worker.
+        to: u32,
+        /// Protocol unit riding the transfer, or `u64::MAX`.
+        unit: u64,
+    },
+    /// A lightweight control message (fork/token request) moved
+    /// `from -> to`. No flush; just trace it.
+    Request {
+        /// Sending worker.
+        from: u32,
+        /// Receiving worker.
+        to: u32,
+    },
+}
+
+/// The simulator's [`SyncTransport`]: answers latency queries from the
+/// [`NetModel`] and records fork/token movements as [`NetAction`]s.
+#[derive(Debug)]
+pub struct SimTransport {
+    net: NetModel,
+    actions: Mutex<Vec<NetAction>>,
+}
+
+impl SimTransport {
+    /// A transport over `net` with an empty action queue.
+    pub fn new(net: NetModel) -> Self {
+        Self {
+            net,
+            actions: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The network model.
+    pub fn net(&self) -> &NetModel {
+        &self.net
+    }
+
+    /// Drain the actions recorded since the last drain, in call order.
+    pub fn drain(&self) -> Vec<NetAction> {
+        std::mem::take(&mut self.actions.lock().unwrap())
+    }
+
+    fn push(&self, a: NetAction) {
+        self.actions.lock().unwrap().push(a);
+    }
+}
+
+impl SyncTransport for SimTransport {
+    fn on_fork_transfer(&self, from: WorkerId, to: WorkerId) {
+        // Unit-less: token ring passes call this hook directly.
+        self.push(NetAction::Transfer {
+            from: from.raw(),
+            to: to.raw(),
+            unit: u64::MAX,
+        });
+    }
+
+    fn on_fork_transfer_detail(&self, from: WorkerId, to: WorkerId, unit: u64) {
+        self.push(NetAction::Transfer {
+            from: from.raw(),
+            to: to.raw(),
+            unit,
+        });
+    }
+
+    // flush_acknowledged: default no-op. The simulation applies the
+    // write-all flush synchronously while draining the Transfer action,
+    // which happens before any other simulated event can observe the
+    // handover — the same guarantee the in-process engine provides.
+
+    fn on_control_message(&self, from: WorkerId, to: WorkerId) {
+        self.push(NetAction::Request {
+            from: from.raw(),
+            to: to.raw(),
+        });
+    }
+
+    fn network_latency_ns(&self) -> u64 {
+        self.net.mesh_latency_ns
+    }
+
+    fn link_latency_ns(&self, from: WorkerId, to: WorkerId) -> u64 {
+        self.net.link_latency_ns(from.raw(), to.raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_links_without_jitter() {
+        let net = NetModel {
+            mesh_latency_ns: 1000,
+            uplink_latency_ns: 3000,
+            per_message_ns: 10,
+            jitter_pct: 0,
+            seed: 0,
+        };
+        assert_eq!(net.link_latency_ns(0, 1), 1000);
+        assert_eq!(net.link_latency_ns(7, 3), 1000);
+        assert_eq!(net.link_latency_ns(4, 4), 0);
+        assert_eq!(net.uplink_latency_ns(2, 0), 3000);
+        assert_eq!(net.batch_latency_ns(0, 1, 5), 1050);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_link_and_bounded() {
+        let net = NetModel {
+            mesh_latency_ns: 1000,
+            uplink_latency_ns: 1000,
+            per_message_ns: 0,
+            jitter_pct: 20,
+            seed: 42,
+        };
+        let mut distinct = std::collections::BTreeSet::new();
+        for from in 0..8 {
+            for to in 0..8 {
+                if from == to {
+                    continue;
+                }
+                let l = net.link_latency_ns(from, to);
+                assert!((800..=1200).contains(&l), "latency {l} out of band");
+                assert_eq!(l, net.link_latency_ns(from, to), "not deterministic");
+                distinct.insert(l);
+            }
+        }
+        assert!(distinct.len() > 1, "jitter produced uniform links");
+    }
+
+    #[test]
+    fn transport_records_actions_in_order() {
+        let t = SimTransport::new(NetModel::default());
+        t.on_fork_transfer(WorkerId::new(0), WorkerId::new(1));
+        t.on_fork_transfer_detail(WorkerId::new(1), WorkerId::new(2), 9);
+        t.on_control_message(WorkerId::new(2), WorkerId::new(0));
+        assert_eq!(
+            t.drain(),
+            vec![
+                NetAction::Transfer {
+                    from: 0,
+                    to: 1,
+                    unit: u64::MAX
+                },
+                NetAction::Transfer {
+                    from: 1,
+                    to: 2,
+                    unit: 9
+                },
+                NetAction::Request { from: 2, to: 0 },
+            ]
+        );
+        assert!(t.drain().is_empty());
+    }
+}

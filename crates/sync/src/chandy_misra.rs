@@ -260,7 +260,7 @@ impl ForkTable {
                     ps.move_fork_to(p);
                     ps.dirty = false;
                     if self.owner_of(q) != self.owner_of(p) {
-                        ps.ts += transport.network_latency_ns();
+                        ps.ts += transport.link_latency_ns(self.owner_of(q), self.owner_of(p));
                     }
                     missing -= 1;
                     self.count_fork_transfer(q, p, transport);
@@ -407,7 +407,7 @@ impl ForkTable {
                 ps.move_fork_to(q);
                 ps.dirty = false;
                 if self.owner_of(p) != self.owner_of(q) {
-                    ps.ts += transport.network_latency_ns();
+                    ps.ts += transport.link_latency_ns(self.owner_of(p), self.owner_of(q));
                 }
                 self.count_fork_transfer(p, q, transport);
                 self.assert_precedence_acyclic(&s);

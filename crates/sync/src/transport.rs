@@ -58,6 +58,17 @@ pub trait SyncTransport: Send + Sync {
     fn network_latency_ns(&self) -> u64 {
         0
     }
+
+    /// One-way latency of the specific link `from -> to`, in simulated
+    /// nanoseconds. Transports with a topology-aware network model (the
+    /// discrete-event simulator's per-link latency/jitter, coordinator
+    /// uplink vs worker mesh asymmetry) override this; the default keeps
+    /// every link at the uniform [`SyncTransport::network_latency_ns`] so
+    /// existing transports are unaffected.
+    fn link_latency_ns(&self, from: WorkerId, to: WorkerId) -> u64 {
+        let _ = (from, to);
+        self.network_latency_ns()
+    }
 }
 
 /// A transport that does nothing. Used by unit tests that exercise protocol

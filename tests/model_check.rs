@@ -170,3 +170,31 @@ fn engine_techniques_map_to_check_techniques() {
     );
     assert_eq!(check_technique(Technique::BspVertexLock), None);
 }
+
+/// The techniques outside the checker's model carry a typed explanation,
+/// not a silent `None`.
+#[test]
+fn unmodelable_techniques_carry_typed_reasons() {
+    use serigraph::{model_coverage, ModelCoverage, Technique};
+    match model_coverage(Technique::BspVertexLock) {
+        ModelCoverage::NotModelable { technique, reason } => {
+            assert_eq!(technique, "bsp-vertex-lock");
+            assert!(
+                reason.contains("barrier"),
+                "reason explains the gap: {reason}"
+            );
+        }
+        other => panic!("expected NotModelable, got {other:?}"),
+    }
+    match model_coverage(Technique::PartitionLockNoSkip) {
+        ModelCoverage::NotModelable { technique, .. } => {
+            assert_eq!(technique, "partition-lock/noskip");
+        }
+        other => panic!("expected NotModelable, got {other:?}"),
+    }
+    // Modeled techniques agree with the thin `check_technique` wrapper.
+    assert_eq!(
+        model_coverage(Technique::DualToken),
+        ModelCoverage::Modeled(CheckTechnique::DualToken)
+    );
+}
